@@ -1,0 +1,28 @@
+"""Section 9 ablation: full Power TM model vs atomicity-only (Dongol)."""
+
+from repro.catalog import CATALOG
+from repro.experiments.ablation import format_ablation, run_ablation
+from repro.models.registry import get_model
+
+
+def test_ablation_power_vs_dongol(benchmark):
+    report = benchmark.pedantic(
+        run_ablation, kwargs={"n_events": 3}, rounds=1, iterations=1
+    )
+    print()
+    print(format_ablation(report))
+    assert report.only_dongol_forbids == 0, "ours must be strictly stronger"
+    assert report.only_ours_forbids > 0, "the ordering axioms must bite"
+
+
+def test_ablation_gap_witness(benchmark):
+    """The paper's own §9 witness separates the models."""
+    x = CATALOG["dongol_gap"].execution
+    ours = get_model("power")
+    theirs = get_model("power-dongol")
+
+    def verdicts():
+        return ours.consistent(x), theirs.consistent(x)
+
+    ok_ours, ok_theirs = benchmark(verdicts)
+    assert not ok_ours and ok_theirs

@@ -1,0 +1,56 @@
+"""Benchmark: the .cat interpreter against the native models.
+
+Measures (a) end-to-end cross-validation over the catalog for every
+paired model and (b) the per-evaluation cost of the interpreted Power
+model — the heaviest file in the library thanks to its ``let rec``
+ppo fixpoint — against the hand-written Python implementation.
+"""
+
+import pytest
+
+from repro.cat import CAT_MODEL_FILES, load_cat_model
+from repro.catalog import CATALOG
+from repro.models.registry import get_model
+
+_PAIRED = ["sc", "tsc", "x86", "power", "armv8", "cpp", "riscv"]
+
+
+def _crosscheck(name: str) -> int:
+    cat = load_cat_model(name)
+    native = get_model(name)
+    agreements = 0
+    for entry in CATALOG.values():
+        assert cat.consistent(entry.execution) == native.consistent(
+            entry.execution
+        )
+        agreements += 1
+    return agreements
+
+
+@pytest.mark.parametrize("name", _PAIRED)
+def test_catalog_crosscheck(benchmark, name, once):
+    agreements = once(benchmark, _crosscheck, name)
+    assert agreements == len(CATALOG)
+
+
+def test_power_cat_evaluation(benchmark):
+    model = load_cat_model("power")
+    execution = CATALOG["power_exec1"].execution
+    verdict = benchmark(model.consistent, execution)
+    assert verdict is False
+
+
+def test_power_native_evaluation(benchmark):
+    model = get_model("power")
+    execution = CATALOG["power_exec1"].execution
+    verdict = benchmark(model.consistent, execution)
+    assert verdict is False
+
+
+def test_parse_library(benchmark):
+    from repro.cat.library import library_source
+    from repro.cat.parser import parse
+
+    source = library_source("powertm.cat")
+    ast = benchmark(parse, source)
+    assert ast.title

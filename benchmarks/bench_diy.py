@@ -1,0 +1,52 @@
+"""Benchmark: Diy-style cycle enumeration and realisation (§9).
+
+Times cycle enumeration over growing vocabularies, and prints the
+per-model Forbid counts for the generated suites — the Diy analogue of
+Table 1's synthesis columns.
+"""
+
+import pytest
+
+from repro.models.registry import get_model
+from repro.synth.diy import (
+    CLASSIC_CYCLES,
+    cycle_execution,
+    enumerate_cycles,
+    interesting_cycles,
+)
+
+_BASE_VOCAB = ["PodWR", "PodWW", "PodRR", "PodRW", "Rfe", "Fre", "Wse"]
+_TXN_VOCAB = _BASE_VOCAB + ["TxndWR", "TxndWW", "TxndRR", "TxndRW"]
+
+
+def test_enumerate_base_vocab(benchmark, once):
+    cycles = once(benchmark, lambda: list(enumerate_cycles(_BASE_VOCAB, 5)))
+    print(f"\n{len(cycles)} canonical cycles (base vocabulary, length <= 5)")
+    assert len(cycles) > 100
+
+
+def test_enumerate_txn_vocab(benchmark, once):
+    cycles = once(benchmark, lambda: list(enumerate_cycles(_TXN_VOCAB, 4)))
+    print(f"\n{len(cycles)} canonical cycles (txn vocabulary, length <= 4)")
+    assert cycles
+
+
+def test_realise_all_classics(benchmark):
+    def run():
+        return [cycle_execution(c) for c in CLASSIC_CYCLES.values()]
+
+    executions = benchmark(run)
+    assert len(executions) == len(CLASSIC_CYCLES)
+
+
+@pytest.mark.parametrize("arch", ["x86", "power", "armv8", "riscv"])
+def test_interesting_cycles_per_model(benchmark, arch, once):
+    model = get_model(arch)
+    found = once(
+        benchmark, lambda: list(interesting_cycles(_TXN_VOCAB, 4, model))
+    )
+    total = len(list(enumerate_cycles(_TXN_VOCAB, 4)))
+    print(f"\n{arch}: {len(found)}/{total} cycles forbidden")
+    for cycle, x in found:
+        assert not model.consistent(x)
+    assert found

@@ -1,0 +1,44 @@
+"""Benchmark: the Appendix C lemma suite.
+
+Runs every lemma check exhaustively at |E| ≤ 2 and on a capped |E| ≤ 3
+prefix, timing each — the per-lemma analogue of the paper's Isabelle
+artefact, with the bounded-evidence character of Table 2.
+"""
+
+import pytest
+
+from repro.metatheory.lemmas import (
+    check_all_lemmas,
+    check_cnf_identity,
+    check_com_plus_expansion,
+    check_lemma_c1,
+    check_lemma_c2,
+    check_lemma_c3,
+    check_lemma_c6,
+    check_psc_inclusions,
+)
+
+_CHECKS = {
+    "C.1": check_lemma_c1,
+    "C.2": check_lemma_c2,
+    "C.3": check_lemma_c3,
+    "C.6": check_lemma_c6,
+    "cnf": check_cnf_identity,
+    "com+": check_com_plus_expansion,
+    "psc": check_psc_inclusions,
+}
+
+
+@pytest.mark.parametrize("name", sorted(_CHECKS))
+def test_lemma_exhaustive_two_events(benchmark, name, once):
+    report = once(benchmark, _CHECKS[name], 2)
+    print(f"\n{report.summary()}")
+    assert report.holds
+
+
+def test_all_lemmas_capped_three_events(benchmark, once):
+    reports = once(benchmark, check_all_lemmas, 3, 1500)
+    print()
+    for report in reports:
+        print(report.summary())
+        assert report.holds

@@ -1,0 +1,94 @@
+"""Benchmark: the operational machines as conformance hardware.
+
+Mirrors the role of the paper's POWER8 runs (§5.3): the Forbid suite
+synthesized from each TM model must never be observable on the
+corresponding machine, and a healthy share of the Allow suite should
+be.  Also times exhaustive exploration of the canonical shapes.
+"""
+
+import pytest
+
+from repro.core.events import Label
+from repro.litmus.from_execution import to_litmus
+from repro.litmus.program import Fence, Load, Program, Store
+from repro.sim.oracle import MachineHardware
+from repro.sim.weakmachine import WeakMachine, runnable_on
+from repro.synth.synthesis import synthesize
+
+
+def _iriw(fence=None):
+    th2 = [Load("r0", "x")] + ([Fence(fence)] if fence else []) + [Load("r1", "y")]
+    th3 = [Load("r2", "y")] + ([Fence(fence)] if fence else []) + [Load("r3", "x")]
+    return Program(((Store("x", 1),), (Store("y", 1),), tuple(th2), tuple(th3)))
+
+
+@pytest.mark.parametrize("arch", ["power", "armv8", "riscv", "sc"])
+def test_iriw_exploration(benchmark, arch, once):
+    outcomes = once(benchmark, lambda: WeakMachine(_iriw(), arch).explore())
+    assert outcomes
+
+
+def test_power_iriw_sync_exploration(benchmark, once):
+    outcomes = once(
+        benchmark, lambda: WeakMachine(_iriw(Label.SYNC), "power").explore()
+    )
+    assert outcomes
+
+
+@pytest.mark.parametrize(
+    "arch,n_events",
+    [("armv8", 3), ("riscv", 3), ("power", 3)],
+)
+def test_forbid_suite_never_observed(benchmark, arch, n_events, once):
+    """The §5.3 soundness loop, with the operational machine as the
+    hardware: no Forbid test may be reachable."""
+
+    def run():
+        result = synthesize(arch, n_events, time_budget=90.0)
+        oracle = MachineHardware(arch)
+        seen = 0
+        run_count = 0
+        skipped = 0
+        # Single-core budget: a 25-test sample keeps the bench tractable
+        # (the full-suite soundness run is the same loop, unsampled).
+        for x in result.forbid[:25]:
+            test = to_litmus(x, f"{arch}-forbid", arch)
+            if not runnable_on(test.program, arch):
+                skipped += 1
+                continue
+            run_count += 1
+            if oracle.observable(test):
+                seen += 1
+        return seen, run_count, skipped, len(result.allow)
+
+    seen, run_count, skipped, _ = once(benchmark, run)
+    print(
+        f"\n{arch}: {run_count} Forbid tests on the machine, "
+        f"{seen} observed (must be 0), {skipped} not machine-expressible"
+    )
+    assert seen == 0
+    assert run_count > 0
+
+
+def test_allow_suite_mostly_observed(benchmark, once):
+    """Completeness on ARMv8 at a small bound: most Allow tests are
+    reachable on the machine (the paper's 83-88% shape)."""
+
+    def run():
+        result = synthesize("armv8", 3, time_budget=90.0)
+        oracle = MachineHardware("armv8")
+        seen = 0
+        run_count = 0
+        for x in result.allow[:30]:  # sampled, as above
+            test = to_litmus(x, "armv8-allow", "armv8")
+            if not runnable_on(test.program, "armv8"):
+                continue
+            run_count += 1
+            if oracle.observable(test):
+                seen += 1
+        return seen, run_count
+
+    seen, run_count = once(benchmark, run)
+    print(f"\narmv8 Allow: {seen}/{run_count} observed on the machine")
+    assert run_count > 0
+    assert seen / run_count > 0.5

@@ -1,0 +1,61 @@
+"""Benchmark: MemSynth-style model synthesis (§9).
+
+Times the exhaustive sketch search for the TSO-recovery and TM-recovery
+corpora and prints the synthesized models.
+"""
+
+from repro.catalog import CATALOG
+from repro.models.registry import get_model
+from repro.synth.diy import Cycle, classic, cycle_execution
+from repro.synth.modelsynth import Example, synthesize_model
+
+
+def _base_corpus():
+    x86 = get_model("x86")
+    corpus = []
+    for name in ("sb", "mp", "lb", "iriw", "2+2w", "wrc"):
+        x = classic(name)
+        corpus.append(Example(x, x86.consistent(x), name))
+    corpus.append(
+        Example(
+            cycle_execution(Cycle.of("MFencedWR", "Fre", "MFencedWR", "Fre")),
+            False,
+            "sb+mfence",
+        )
+    )
+    return corpus
+
+
+def _txn_corpus():
+    corpus = _base_corpus()
+    corpus.append(
+        Example(
+            cycle_execution(Cycle.of("TxndWR", "Fre", "TxndWR", "Fre")),
+            False,
+            "sb-txn",
+        )
+    )
+    for name in ("fig2", "fig3a", "fig3b", "fig3c", "fig3d",
+                 "sb_txn_both", "sb_txn_one", "txn_reads_own_write"):
+        entry = CATALOG[name]
+        if "x86" in entry.expected:
+            corpus.append(Example(entry.execution, entry.expected["x86"], name))
+    return corpus
+
+
+def test_tso_recovery(benchmark, once):
+    outcome = once(benchmark, synthesize_model, _base_corpus(), False)
+    print(f"\n{len(outcome.consistent)}/{outcome.candidates_tried} sketches fit")
+    for params in outcome.weakest:
+        print(f"weakest: {params.describe()}")
+    assert len(outcome.weakest) == 1
+    assert outcome.weakest[0].ppo == {"WW", "RW", "RR"}
+
+
+def test_tm_recovery(benchmark, once):
+    outcome = once(benchmark, synthesize_model, _txn_corpus())
+    print(f"\n{len(outcome.consistent)}/{outcome.candidates_tried} sketches fit")
+    for params in outcome.weakest:
+        print(f"weakest: {params.describe()}")
+    assert outcome.satisfiable
+    assert any(params.tm == {"txn_order"} for params in outcome.weakest)

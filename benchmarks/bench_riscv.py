@@ -1,0 +1,63 @@
+"""Benchmark: the RISC-V TM extension (the paper's §9 future target).
+
+Regenerates the Table 1 / Table 2 rows RISC-V would occupy: synthesis
+counts with conformance on the operational machine, the monotonicity
+counterexample, and the lock-elision verdicts (unsound; fixed by a
+FENCE; sound but serialising with the write-to-lock variant).
+"""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1_cell, Table1
+from repro.metatheory.lockelision import check_lock_elision, elision_serialisation
+from repro.metatheory.monotonicity import check_monotonicity
+from repro.sim.oracle import MachineHardware
+
+
+def test_riscv_table1_row(benchmark, once):
+    def run():
+        table = Table1()
+        for n in (2, 3):
+            row, _ = run_table1_cell(
+                "riscv", n, oracle=MachineHardware("riscv"), time_budget=90.0
+            )
+            table.rows.append(row)
+        return table
+
+    table = once(benchmark, run)
+    print()
+    print(format_table1(table))
+    for row in table.rows:
+        assert row.forbid_seen == 0  # soundness on the machine
+
+
+def test_riscv_monotonicity(benchmark, once):
+    result = once(benchmark, check_monotonicity, "riscv", 2)
+    # Same counterexample family as Power/ARMv8: an RMW split across a
+    # transaction boundary (TxnCancelsRMW), so coalescing is unsound.
+    assert result.counterexample is not None
+
+
+@pytest.mark.parametrize(
+    "fixed,txn_writes_lock,expect_sound",
+    [
+        (False, False, False),  # the headline: elision unsound
+        (True, False, True),  # FENCE rw,rw fix
+        (False, True, True),  # write-to-lock fix
+    ],
+)
+def test_riscv_lock_elision(benchmark, fixed, txn_writes_lock, expect_sound, once):
+    result = once(
+        benchmark,
+        check_lock_elision,
+        "riscv",
+        fixed=fixed,
+        txn_writes_lock=txn_writes_lock,
+    )
+    print(f"\n{result.summary()}")
+    assert result.sound == expect_sound
+
+
+def test_write_to_lock_serialises(benchmark, once):
+    serialises = once(benchmark, elision_serialisation, "riscv", True)
+    assert serialises is True

@@ -1,0 +1,16 @@
+"""Section 6.2: the ARMv8 Forbid suite catches the RTL TxnOrder bug."""
+
+from repro.experiments.rtl import format_rtl, run_rtl_check
+
+
+def test_rtl_bug_detection(benchmark):
+    report = benchmark.pedantic(
+        run_rtl_check,
+        kwargs={"n_events": 4, "time_budget": 240.0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_rtl(report))
+    assert report.bug_found, "the buggy RTL must fail some Forbid test"
+    assert not report.fixed_violations, "the fixed RTL must pass all"

@@ -1,0 +1,67 @@
+"""Table 1: Forbid/Allow synthesis + hardware conformance (§5.3).
+
+Each benchmark regenerates one (architecture, |E|) cell: synthesis of the
+minimally-forbidden and maximally-allowed suites, then conformance runs
+on the simulated hardware.  The assertions pin the paper's headline
+shapes: Forbid never observed, Allow mostly observed.
+"""
+
+import pytest
+
+from repro.experiments.table1 import Table1, format_table1, run_table1_cell
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("n_events", [2, 3])
+def test_table1_x86(benchmark, n_events):
+    row, result = benchmark.pedantic(
+        run_table1_cell,
+        args=("x86", n_events),
+        kwargs={"time_budget": 90.0},
+        rounds=1,
+        iterations=1,
+    )
+    _ROWS.append(row)
+    assert row.forbid_seen == 0, "a Forbid test was observed: model unsound"
+    if row.allow_total:
+        assert row.allow_seen / row.allow_total >= 0.5
+
+
+@pytest.mark.parametrize("n_events", [2, 3])
+def test_table1_power(benchmark, n_events):
+    row, result = benchmark.pedantic(
+        run_table1_cell,
+        args=("power", n_events),
+        kwargs={"time_budget": 120.0},
+        rounds=1,
+        iterations=1,
+    )
+    _ROWS.append(row)
+    assert row.forbid_seen == 0
+    if row.allow_total:
+        assert row.allow_seen / row.allow_total >= 0.5
+
+
+def test_table1_x86_four_events(benchmark):
+    """The largest default x86 cell (time-budgeted, like the paper's
+    two-hour cap)."""
+    row, result = benchmark.pedantic(
+        run_table1_cell,
+        args=("x86", 4),
+        kwargs={"time_budget": 240.0},
+        rounds=1,
+        iterations=1,
+    )
+    _ROWS.append(row)
+    assert row.forbid_seen == 0
+    assert row.forbid_total >= 4  # at least the |E|=3 shapes' extensions
+
+
+def test_zz_print_table1(benchmark):
+    """Print the accumulated table after all cells ran."""
+    table = Table1(rows=sorted(_ROWS, key=lambda r: (r.arch, r.n_events)))
+    text = benchmark(format_table1, table)
+    print()
+    print(text)
+    assert _ROWS

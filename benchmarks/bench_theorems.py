@@ -1,0 +1,42 @@
+"""Benchmark: the §7 theorems, bounded (the paper's Isabelle artefact).
+
+Runs the WeakIsol lemma, Theorem 7.2 (strong isolation for atomic
+transactions), Theorem 7.3 (transactional SC-DRF), and baseline
+conservativity for every TM model, each over the exhaustive execution
+space at laptop-sized bounds.
+"""
+
+import pytest
+
+from repro.metatheory.theorems import (
+    check_conservativity,
+    check_theorem_72,
+    check_theorem_73,
+    check_weak_isolation_lemma,
+)
+
+
+def test_weak_isolation_lemma(benchmark, once):
+    report = once(benchmark, check_weak_isolation_lemma, 3)
+    print(f"\n{report.summary()}")
+    assert report.holds
+    assert report.executions_checked > 0
+
+
+def test_theorem_72(benchmark, once):
+    report = once(benchmark, check_theorem_72, 3)
+    print(f"\n{report.summary()}")
+    assert report.holds
+
+
+def test_theorem_73(benchmark, once):
+    report = once(benchmark, check_theorem_73, 3)
+    print(f"\n{report.summary()}")
+    assert report.holds
+
+
+@pytest.mark.parametrize("arch", ["x86", "power", "armv8", "riscv", "cpp"])
+def test_conservativity(benchmark, arch, once):
+    report = once(benchmark, check_conservativity, arch, 3)
+    print(f"\n{report.summary()}")
+    assert report.holds

@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the regenerated artefact (run with ``-s`` to see them).  The heavy
+experiments run exactly once per benchmark (``pedantic`` with one round)
+— the interesting measurement is the wall-clock of the whole experiment,
+mirroring the paper's own synthesis-time columns.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (heavy experiment)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""RISC-V transactional memory: applying the paper's methodology to the
+architecture its §9 names as the next target ("RISC-V, which plans to
+incorporate TM in the future").
+
+The recipe is the paper's ARMv8 one (section 6.1): start from the
+architecture's axiomatic model (RVWMO), add StrongIsol, boundary
+fences, TxnOrder, and TxnCancelsRMW.  The headline finding transfers
+too: lock elision over the standard LR.aq/SC spinlock is *unsound*, for
+exactly the Example 1.1 reason, and the FENCE fix restores soundness at
+the usual cost.
+"""
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.metatheory.lockelision import check_lock_elision
+from repro.models.registry import get_model
+from repro.synth.synthesis import synthesize
+
+
+def main() -> None:
+    riscv = get_model("riscv")
+
+    # 1. Baseline sanity: the classic verdicts.
+    print("=== RVWMO baseline " + "=" * 45)
+    from repro.synth.diy import classic
+
+    for name in ("sb", "mp", "lb", "iriw", "2+2w"):
+        verdict = "allowed" if riscv.consistent(classic(name)) else "forbidden"
+        print(f"  {name:<5} {verdict}")
+    print()
+
+    # 2. The TM axioms at work: an LR/SC pair split across a transaction
+    # boundary can never succeed (TxnCancelsRMW) — the same shape that
+    # makes transaction coalescing unsound on Power/ARMv8 (§8.1).
+    b = ExecutionBuilder()
+    t0 = b.thread()
+    r = t0.read("x", Label.EXCL)
+    w = t0.write("x", Label.EXCL)
+    b.rmw(r, w)
+    b.txn([r])
+    x = b.build()
+    print("=== TxnCancelsRMW " + "=" * 46)
+    print(x.describe())
+    print(f"  consistent: {riscv.consistent(x)}")
+    print(f"  violated:   {riscv.failed_axioms(x)}")
+    print()
+
+    # 3. Synthesize the Forbid suite at a small bound — the conformance
+    # tests one would hand to a RISC-V TM working group.
+    result = synthesize("riscv", 3, time_budget=60.0)
+    print("=== synthesized conformance tests (|E| <= 3) " + "=" * 19)
+    print(
+        f"  Forbid: {len(result.forbid)} tests, "
+        f"Allow: {len(result.allow)} tests "
+        f"({result.elapsed:.1f}s, exhausted={result.exhausted})"
+    )
+    for x in result.forbid[:2]:
+        print()
+        print(x.describe())
+    print()
+
+    # 4. Lock elision: unsound with the standard spinlock, sound with a
+    # trailing FENCE rw,rw.
+    print("=== lock elision " + "=" * 47)
+    broken = check_lock_elision("riscv")
+    print(f"  {broken.summary()}")
+    if broken.counterexample:
+        abstract, concrete = broken.counterexample
+        print()
+        print("  the (concrete) mutual-exclusion violation:")
+        for line in concrete.describe().splitlines():
+            print("   ", line)
+    fixed = check_lock_elision("riscv", fixed=True)
+    print()
+    print(f"  {fixed.summary()}")
+
+
+if __name__ == "__main__":
+    main()

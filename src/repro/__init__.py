@@ -1,0 +1,75 @@
+"""repro: transactions and weak memory in x86, Power, ARMv8, and C++.
+
+A from-scratch reproduction of Chong, Sorensen & Wickerson, *The Semantics
+of Transactions and Weak Memory in x86, Power, ARM, and C++* (PLDI 2018):
+axiomatic memory models extended with transactions, a bounded synthesizer
+of conformance litmus tests, litmus tooling, simulated hardware back-ends,
+and bounded metatheory checkers.
+
+Quickstart::
+
+    from repro import ExecutionBuilder, get_model
+
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.write("x")
+    c = t1.write("x")
+    d = t1.read("x")
+    b.txn([c, d])            # c and d form a successful transaction
+    b.rf(a, d)               # the txn read observes the external write
+    b.co(c, a)               # ...which coherence-follows the txn write
+    x = b.build()
+
+    print(get_model("x86").check(x))   # INCONSISTENT (StrongIsol)
+"""
+
+from .core import (
+    Event,
+    EventKind,
+    Execution,
+    ExecutionBuilder,
+    Label,
+    Relation,
+    Transaction,
+    stronglift,
+    weaklift,
+)
+from .models import (
+    ARMv8,
+    RiscV,
+    Cpp,
+    MemoryModel,
+    Power,
+    SC,
+    TSC,
+    Verdict,
+    X86,
+    get_model,
+    model_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARMv8",
+    "RiscV",
+    "Cpp",
+    "Event",
+    "EventKind",
+    "Execution",
+    "ExecutionBuilder",
+    "Label",
+    "MemoryModel",
+    "Power",
+    "Relation",
+    "SC",
+    "TSC",
+    "Transaction",
+    "Verdict",
+    "X86",
+    "get_model",
+    "model_names",
+    "stronglift",
+    "weaklift",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""A ``.cat`` model DSL in the style of herding cats [5].
+
+The paper's companion material ships every proposed model "in the .cat
+format"; this package reproduces that artefact.  It implements a small
+interpreter for a cat dialect — lexer (:mod:`repro.cat.lexer`), parser
+(:mod:`repro.cat.parser`), evaluator (:mod:`repro.cat.evaluator`) — plus
+the model files themselves under :mod:`repro.cat.library` and an adapter
+(:class:`repro.cat.model.CatModel`) that turns a ``.cat`` file into a
+:class:`repro.models.base.MemoryModel`, interchangeable with the native
+Python models.  ``tests/test_cat_models.py`` cross-validates the two
+implementations of every model against each other on the paper catalog
+and on exhaustively enumerated executions.
+
+Dialect notes (where cat implementations differ, we pick one reading and
+the library files stick to it):
+
+* postfix ``^+``/``^*``/``^?``/``^-1`` for closures and converse; bare
+  postfix ``+`` and ``?`` are also accepted (they are unambiguous), but
+  reflexive-transitive closure must be written ``^*`` because infix ``*``
+  is reserved for the Cartesian product of two event sets;
+* operator precedence, loosest to tightest:
+  ``|``  <  ``&``  <  ``\\``  <  ``;``  <  ``*``  <  unary ``~``  <
+  postfix closures;
+* ``let rec ... and ...`` computes a simultaneous least fixpoint from
+  empty relations (exactly how ``ppo`` is defined for Power);
+* event sets are auto-promoted to identity relations when composed with
+  ``;`` (write ``[S]`` to be explicit);
+* ``acyclic | irreflexive | empty expr as name`` define consistency
+  axioms; ``flag <check>`` records a non-consistency diagnostic (used for
+  race detection); ``show``/``unshow`` are parsed and ignored.
+"""
+
+from .errors import CatError, CatSyntaxError, CatTypeError, CatNameError
+from .evaluator import EvalResult, evaluate
+from .library import library_path, library_source
+from .model import CatModel, load_cat_model, CAT_MODEL_FILES
+from .parser import parse
+
+__all__ = [
+    "CatError",
+    "CatSyntaxError",
+    "CatTypeError",
+    "CatNameError",
+    "CatModel",
+    "CAT_MODEL_FILES",
+    "EvalResult",
+    "evaluate",
+    "library_path",
+    "library_source",
+    "load_cat_model",
+    "parse",
+]

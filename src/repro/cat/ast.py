@@ -1,0 +1,158 @@
+"""Abstract syntax for the .cat dialect.
+
+Two node families: expressions (:class:`Expr` subclasses) and statements
+(:class:`Stmt` subclasses).  A parsed file is a :class:`Model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "Name",
+    "EmptyRel",
+    "SetLiteral",
+    "Lift",
+    "Binary",
+    "Unary",
+    "Postfix",
+    "Apply",
+    "Stmt",
+    "Let",
+    "LetRec",
+    "Check",
+    "Include",
+    "Show",
+    "Model",
+    "CHECK_KINDS",
+]
+
+#: The three check forms of the paper (section "Axiomatic Memory Models").
+CHECK_KINDS = ("acyclic", "irreflexive", "empty")
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expression nodes; carries the source position."""
+
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A variable reference."""
+
+    ident: str = ""
+
+
+@dataclass(frozen=True)
+class EmptyRel(Expr):
+    """The literal ``0`` — the empty relation."""
+
+
+@dataclass(frozen=True)
+class SetLiteral(Expr):
+    """``{}`` — the empty event set (the only set literal we need)."""
+
+
+@dataclass(frozen=True)
+class Lift(Expr):
+    """``[e]`` — the identity relation restricted to the event set ``e``."""
+
+    body: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Infix operator application: ``|  &  \\  ;  *``."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Prefix complement ``~e``."""
+
+    op: str = "~"
+    body: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Postfix(Expr):
+    """Postfix closure/converse: ``^+  ^*  ^?  ^-1`` (and bare ``+ ?``)."""
+
+    op: str = ""
+    body: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Apply(Expr):
+    """Function application ``f(e1, ..., ek)``."""
+
+    func: str = ""
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statements."""
+
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Let(Stmt):
+    """``let name = expr`` or ``let name(params) = expr``."""
+
+    name: str = ""
+    params: tuple[str, ...] = ()
+    body: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class LetRec(Stmt):
+    """``let rec n1 = e1 and n2 = e2 ...`` — simultaneous least fixpoint."""
+
+    bindings: tuple[tuple[str, Expr], ...] = ()
+
+
+@dataclass(frozen=True)
+class Check(Stmt):
+    """``[flag] [~] acyclic|irreflexive|empty expr as name``.
+
+    ``flag`` checks are diagnostics (reported, not part of consistency);
+    ``negated`` inverts the test (herd's ``flag ~empty races as Race``).
+    """
+
+    kind: str = ""
+    expr: Expr = None  # type: ignore[assignment]
+    name: str = ""
+    flag: bool = False
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Include(Stmt):
+    """``include "file.cat"``."""
+
+    filename: str = ""
+
+
+@dataclass(frozen=True)
+class Show(Stmt):
+    """``show``/``unshow`` — parsed for compatibility, ignored."""
+
+    names: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Model:
+    """A parsed .cat file: optional title plus statement list."""
+
+    title: str = ""
+    statements: tuple[Stmt, ...] = field(default_factory=tuple)

@@ -1,0 +1,200 @@
+"""The initial .cat environment: primitive sets, relations, and functions
+bound from an :class:`~repro.core.execution.Execution`.
+
+Everything else (``rfe``, ``po_loc``, ``fencerel``, ``weaklift``, ...) is
+*defined in the language* by ``library/stdlib.cat``, mirroring how herd
+ships a prelude.  Keeping the builtin surface small makes the
+cross-validation against the native Python models meaningful: the .cat
+files really do reconstruct the models from the same primitives.
+
+Binding table
+=============
+
+Event sets
+    ``_`` (all events), ``R``, ``W``, ``F``, ``M`` (= R ∪ W), ``CALL``,
+    ``ACQ``, ``REL``, ``ACQREL``, ``SC``, ``RLX``, ``ATO``, ``X``
+    (exclusives), the fence flavours ``MFENCE SYNC LWSYNC ISYNC DMB
+    DMB.LD DMB.ST ISB``, and ``TXN``/``TXNAT`` (events in successful /
+    atomic transactions).
+
+Relations
+    ``id``, ``po``, ``rf``, ``co``, ``fr``, ``loc`` (same location),
+    ``int`` (same thread), ``ext`` (different threads), ``addr``,
+    ``data``, ``ctrl``, ``rmw``, ``stxn``, ``stxnat``, ``tfence``.
+
+Functions
+    ``domain(r)`` and ``range(r)``, both set-valued.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..core.relation import Relation
+from .errors import CatTypeError
+
+__all__ = ["Value", "Builtin", "base_env", "SET_NAMES", "RELATION_NAMES"]
+
+#: Runtime values: an event set, a relation, or a (builtin or user) function.
+Value = Union[frozenset, Relation, "Builtin", "Closure"]
+
+
+class Builtin:
+    """A primitive function exposed to .cat code."""
+
+    def __init__(self, name: str, arity: int, fn: Callable[..., Value]) -> None:
+        self.name = name
+        self.arity = arity
+        self.fn = fn
+
+    def __call__(self, *args: Value) -> Value:
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        return f"<builtin {self.name}/{self.arity}>"
+
+
+class Closure:
+    """A user function ``let f(x, y) = body`` with its defining env."""
+
+    def __init__(self, name, params, body, env) -> None:
+        self.name = name
+        self.params = params
+        self.body = body
+        self.env = env
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def __repr__(self) -> str:
+        return f"<fun {self.name}/{self.arity}>"
+
+
+#: Names bound to event sets by :func:`base_env` (used by tests/docs).
+SET_NAMES = (
+    "_",
+    "R",
+    "W",
+    "F",
+    "M",
+    "CALL",
+    "ACQ",
+    "REL",
+    "ACQREL",
+    "SC",
+    "RLX",
+    "ATO",
+    "X",
+    "MFENCE",
+    "SYNC",
+    "LWSYNC",
+    "ISYNC",
+    "DMB",
+    "DMB.LD",
+    "DMB.ST",
+    "ISB",
+    "FENCE.RW.RW",
+    "FENCE.R.RW",
+    "FENCE.RW.W",
+    "FENCE.TSO",
+    "TXN",
+    "TXNAT",
+)
+
+#: Names bound to relations by :func:`base_env`.
+RELATION_NAMES = (
+    "id",
+    "po",
+    "rf",
+    "co",
+    "fr",
+    "loc",
+    "int",
+    "ext",
+    "addr",
+    "data",
+    "ctrl",
+    "rmw",
+    "stxn",
+    "stxnat",
+    "tfence",
+)
+
+
+def _domain(rel: Value) -> frozenset:
+    if not isinstance(rel, Relation):
+        raise CatTypeError("domain() expects a relation")
+    return rel.domain()
+
+
+def _range(rel: Value) -> frozenset:
+    if not isinstance(rel, Relation):
+        raise CatTypeError("range() expects a relation")
+    return rel.codomain()
+
+
+def base_env(x: Execution) -> dict[str, Value]:
+    """The primitive environment for evaluating .cat code against ``x``."""
+    n = x.n
+    all_events = frozenset(range(n))
+
+    def labelled(label: str) -> frozenset:
+        return frozenset(i for i, e in enumerate(x.events) if e.has(label))
+
+    atomic_txn_events = frozenset(
+        e for txn in x.txns if txn.atomic for e in txn.events
+    )
+
+    env: dict[str, Value] = {
+        # -- event sets ---------------------------------------------------
+        "_": all_events,
+        "R": x.reads,
+        "W": x.writes,
+        "F": x.fences,
+        "M": x.reads | x.writes,
+        "CALL": x.calls,
+        "ACQ": labelled(Label.ACQ),
+        "REL": labelled(Label.REL),
+        "ACQREL": labelled(Label.ACQ_REL),
+        "SC": labelled(Label.SC),
+        "RLX": labelled(Label.RLX),
+        "ATO": labelled(Label.ATO),
+        "X": labelled(Label.EXCL),
+        "MFENCE": labelled(Label.MFENCE),
+        "SYNC": labelled(Label.SYNC),
+        "LWSYNC": labelled(Label.LWSYNC),
+        "ISYNC": labelled(Label.ISYNC),
+        "DMB": labelled(Label.DMB),
+        "DMB.LD": labelled(Label.DMB_LD),
+        "DMB.ST": labelled(Label.DMB_ST),
+        "ISB": labelled(Label.ISB),
+        "FENCE.RW.RW": labelled(Label.FENCE_RW_RW),
+        "FENCE.R.RW": labelled(Label.FENCE_R_RW),
+        "FENCE.RW.W": labelled(Label.FENCE_RW_W),
+        "FENCE.TSO": labelled(Label.FENCE_TSO),
+        "TXN": x.txn_events,
+        "TXNAT": atomic_txn_events,
+        # -- relations ----------------------------------------------------
+        "id": Relation.identity(n),
+        "po": x.po,
+        "rf": x.rf_rel,
+        "co": x.co_rel,
+        "fr": x.fr,
+        "loc": x.sloc,
+        "int": x.sthd,
+        "ext": Relation.full(n) - x.sthd,
+        "addr": x.addr_rel,
+        "data": x.data_rel,
+        "ctrl": x.ctrl_rel,
+        "rmw": x.rmw_rel,
+        "stxn": x.stxn,
+        "stxnat": x.stxnat,
+        "tfence": x.tfence,
+        # -- functions ----------------------------------------------------
+        "domain": Builtin("domain", 1, _domain),
+        "range": Builtin("range", 1, _range),
+    }
+    return env

@@ -1,0 +1,340 @@
+"""Evaluator for parsed .cat models.
+
+Evaluation walks the statement list top to bottom, growing an environment
+of named values (event sets, relations, functions).  Check statements are
+evaluated into :class:`CheckResult` records; ``flag`` checks are recorded
+separately and never affect consistency (they are diagnostics, e.g. data
+races).
+
+``let rec`` computes a simultaneous *least fixpoint*: every bound name
+starts as the empty relation and the bodies are re-evaluated until
+nothing changes.  All the operators of the dialect are monotone, so the
+iteration converges (a step bound guards against non-monotone misuse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.execution import Execution
+from ..core.relation import Relation
+from .ast import (
+    Apply,
+    Binary,
+    Check,
+    EmptyRel,
+    Expr,
+    Include,
+    Let,
+    LetRec,
+    Lift,
+    Model,
+    Name,
+    Postfix,
+    SetLiteral,
+    Show,
+    Unary,
+)
+from .env import Builtin, Closure, Value, base_env
+from .errors import CatError, CatNameError, CatTypeError
+from .parser import parse
+
+__all__ = ["CheckResult", "EvalResult", "evaluate", "evaluate_expr"]
+
+#: Callback that resolves ``include "name.cat"`` to a parsed model.
+Loader = Callable[[str], Model]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one ``acyclic``/``irreflexive``/``empty`` statement."""
+
+    name: str
+    kind: str
+    negated: bool
+    flag: bool
+    relation: Relation
+    holds: bool
+
+    def describe(self) -> str:
+        neg = "~" if self.negated else ""
+        status = "ok" if self.holds else "VIOLATED"
+        tag = "flag " if self.flag else ""
+        return f"{tag}{neg}{self.kind} ... as {self.name}: {status}"
+
+
+@dataclass
+class EvalResult:
+    """Everything the evaluator produced for one execution."""
+
+    title: str
+    checks: list[CheckResult] = field(default_factory=list)
+    flags: list[CheckResult] = field(default_factory=list)
+    bindings: dict[str, Value] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """True iff every non-flag check holds."""
+        return all(c.holds for c in self.checks)
+
+    @property
+    def flagged(self) -> list[str]:
+        """Names of *raised* flags (herd semantics: ``flag ~empty race``
+        raises when the test holds, i.e. when races exist)."""
+        return [c.name for c in self.flags if c.holds]
+
+    def relation(self, name: str) -> Relation:
+        """The relation bound to ``name`` (raises if not a relation)."""
+        value = self.bindings[name]
+        if not isinstance(value, Relation):
+            raise CatTypeError(f"{name!r} is not a relation")
+        return value
+
+
+def _is_set(value: Value) -> bool:
+    return isinstance(value, frozenset)
+
+
+def _as_relation(value: Value, n: int, where: Expr) -> Relation:
+    """Promote an event set to the identity on it (for ``;`` operands)."""
+    if isinstance(value, Relation):
+        return value
+    if _is_set(value):
+        return Relation.lift(n, value)
+    raise CatTypeError("expected a relation", where.line, where.col)
+
+
+class _Evaluator:
+    def __init__(self, x: Execution, loader: Loader | None) -> None:
+        self.x = x
+        self.n = x.n
+        self.loader = loader
+        self.env: dict[str, Value] = base_env(x)
+        self.checks: list[CheckResult] = []
+        self.flags: list[CheckResult] = []
+        self.included: set[str] = set()
+
+    # -- expression evaluation -------------------------------------------
+
+    def eval(self, expr: Expr, env: dict[str, Value]) -> Value:
+        if isinstance(expr, Name):
+            try:
+                return env[expr.ident]
+            except KeyError:
+                raise CatNameError(
+                    f"unbound name {expr.ident!r}", expr.line, expr.col
+                ) from None
+        if isinstance(expr, EmptyRel):
+            return Relation.empty(self.n)
+        if isinstance(expr, SetLiteral):
+            return frozenset()
+        if isinstance(expr, Lift):
+            body = self.eval(expr.body, env)
+            if not _is_set(body):
+                raise CatTypeError(
+                    "[...] expects an event set", expr.line, expr.col
+                )
+            return Relation.lift(self.n, body)
+        if isinstance(expr, Unary):
+            return self._complement(self.eval(expr.body, env), expr)
+        if isinstance(expr, Postfix):
+            return self._postfix(expr, env)
+        if isinstance(expr, Binary):
+            return self._binary(expr, env)
+        if isinstance(expr, Apply):
+            return self._apply(expr, env)
+        raise CatError(f"unhandled node {type(expr).__name__}", expr.line, expr.col)
+
+    def _complement(self, value: Value, where: Expr) -> Value:
+        if isinstance(value, Relation):
+            return value.complement()
+        if _is_set(value):
+            return frozenset(range(self.n)) - value
+        raise CatTypeError("~ expects a set or relation", where.line, where.col)
+
+    def _postfix(self, expr: Postfix, env: dict[str, Value]) -> Value:
+        value = self.eval(expr.body, env)
+        if not isinstance(value, Relation):
+            raise CatTypeError(
+                f"{expr.op} expects a relation", expr.line, expr.col
+            )
+        if expr.op == "^+":
+            return value.plus()
+        if expr.op == "^*":
+            return value.star()
+        if expr.op == "^?":
+            return value.opt()
+        if expr.op == "^-1":
+            return value.inverse()
+        raise CatError(f"unknown postfix {expr.op!r}", expr.line, expr.col)
+
+    def _binary(self, expr: Binary, env: dict[str, Value]) -> Value:
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        op = expr.op
+        if op == ";":
+            return _as_relation(left, self.n, expr) @ _as_relation(
+                right, self.n, expr
+            )
+        if op == "*":
+            if _is_set(left) and _is_set(right):
+                return Relation.cross(self.n, left, right)
+            raise CatTypeError(
+                "* is the Cartesian product of two event sets "
+                "(use ^* for reflexive-transitive closure)",
+                expr.line,
+                expr.col,
+            )
+        # |, &, \ work homogeneously on sets or relations.
+        if _is_set(left) and _is_set(right):
+            if op == "|":
+                return left | right
+            if op == "&":
+                return left & right
+            return left - right
+        if isinstance(left, Relation) and isinstance(right, Relation):
+            if op == "|":
+                return left | right
+            if op == "&":
+                return left & right
+            return left - right
+        raise CatTypeError(
+            f"{op!r} needs two sets or two relations, got "
+            f"{type(left).__name__} and {type(right).__name__}",
+            expr.line,
+            expr.col,
+        )
+
+    def _apply(self, expr: Apply, env: dict[str, Value]) -> Value:
+        try:
+            func = env[expr.func]
+        except KeyError:
+            raise CatNameError(
+                f"unbound function {expr.func!r}", expr.line, expr.col
+            ) from None
+        if not isinstance(func, (Builtin, Closure)):
+            raise CatTypeError(
+                f"{expr.func!r} is not a function", expr.line, expr.col
+            )
+        if func.arity != len(expr.args):
+            raise CatTypeError(
+                f"{expr.func!r} expects {func.arity} argument(s), "
+                f"got {len(expr.args)}",
+                expr.line,
+                expr.col,
+            )
+        args = [self.eval(arg, env) for arg in expr.args]
+        if isinstance(func, Builtin):
+            try:
+                return func(*args)
+            except CatError as exc:
+                raise type(exc)(exc.message, expr.line, expr.col) from None
+        call_env = dict(func.env)
+        call_env.update(zip(func.params, args))
+        return self.eval(func.body, call_env)
+
+    # -- statement evaluation ----------------------------------------------
+
+    def _let_rec(self, stmt: LetRec) -> None:
+        names = [name for name, _ in stmt.bindings]
+        for name in names:
+            self.env[name] = Relation.empty(self.n)
+        # Least fixpoint; every operator is monotone so the chain is
+        # increasing and bounded by the full relation.
+        max_steps = self.n * self.n * len(names) + 8
+        for _ in range(max_steps):
+            changed = False
+            for name, body in stmt.bindings:
+                new = self.eval(body, self.env)
+                if not isinstance(new, Relation):
+                    raise CatTypeError(
+                        f"let rec {name!r} must be relation-valued",
+                        stmt.line,
+                        stmt.col,
+                    )
+                if new != self.env[name]:
+                    self.env[name] = new
+                    changed = True
+            if not changed:
+                return
+        raise CatError(
+            f"let rec {', '.join(names)} did not converge "
+            f"(non-monotone definition?)",
+            stmt.line,
+            stmt.col,
+        )
+
+    def _check(self, stmt: Check) -> None:
+        value = self.eval(stmt.expr, self.env)
+        rel = _as_relation(value, self.n, stmt.expr)
+        if stmt.kind == "acyclic":
+            holds = rel.is_acyclic()
+        elif stmt.kind == "irreflexive":
+            holds = rel.is_irreflexive()
+        else:
+            holds = rel.is_empty()
+        if stmt.negated:
+            holds = not holds
+        result = CheckResult(
+            stmt.name, stmt.kind, stmt.negated, stmt.flag, rel, holds
+        )
+        if stmt.flag:
+            self.flags.append(result)
+        else:
+            self.checks.append(result)
+
+    def run(self, model: Model) -> None:
+        for stmt in model.statements:
+            if isinstance(stmt, Let):
+                if stmt.params:
+                    self.env[stmt.name] = Closure(
+                        stmt.name, stmt.params, stmt.body, dict(self.env)
+                    )
+                else:
+                    self.env[stmt.name] = self.eval(stmt.body, self.env)
+            elif isinstance(stmt, LetRec):
+                self._let_rec(stmt)
+            elif isinstance(stmt, Check):
+                self._check(stmt)
+            elif isinstance(stmt, Include):
+                self._include(stmt)
+            elif isinstance(stmt, Show):
+                continue
+            else:
+                raise CatError(
+                    f"unhandled statement {type(stmt).__name__}",
+                    stmt.line,
+                    stmt.col,
+                )
+
+    def _include(self, stmt: Include) -> None:
+        if self.loader is None:
+            raise CatError(
+                f'include "{stmt.filename}" needs a loader', stmt.line, stmt.col
+            )
+        if stmt.filename in self.included:
+            return
+        self.included.add(stmt.filename)
+        self.run(self.loader(stmt.filename))
+
+
+def evaluate(
+    model: Model | str,
+    x: Execution,
+    loader: Loader | None = None,
+) -> EvalResult:
+    """Evaluate ``model`` (parsed or source text) against execution ``x``."""
+    if isinstance(model, str):
+        model = parse(model)
+    ev = _Evaluator(x, loader)
+    ev.run(model)
+    return EvalResult(model.title, ev.checks, ev.flags, ev.env)
+
+
+def evaluate_expr(source: str, x: Execution) -> Value:
+    """Evaluate a single expression against ``x`` with the base env only."""
+    from .parser import parse_expression
+
+    ev = _Evaluator(x, None)
+    return ev.eval(parse_expression(source), ev.env)

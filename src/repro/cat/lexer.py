@@ -1,0 +1,234 @@
+"""Tokeniser for the .cat dialect.
+
+Comments are OCaml-style ``(* ... *)`` and nest.  Identifiers may contain
+letters, digits, ``_``, ``.`` and ``-`` after the first letter (so fence
+sets like ``DMB.LD`` are single tokens); keywords are reserved.  The only
+multi-character operators are ``^+``, ``^*``, ``^?`` and ``^-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import CatSyntaxError
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]
+
+#: Reserved words of the statement grammar.
+KEYWORDS = frozenset(
+    {
+        "let",
+        "rec",
+        "and",
+        "as",
+        "in",
+        "acyclic",
+        "irreflexive",
+        "empty",
+        "include",
+        "show",
+        "unshow",
+        "flag",
+    }
+)
+
+
+class TokenKind:
+    """Token kind tags (plain strings keep match statements readable)."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    STRING = "string"
+    NUMBER = "number"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    UNION = "|"
+    INTER = "&"
+    DIFF = "\\"
+    SEQ = ";"
+    STAR = "*"
+    PLUS = "+"
+    OPT = "?"
+    COMPL = "~"
+    HATPLUS = "^+"
+    HATSTAR = "^*"
+    HATOPT = "^?"
+    INVERSE = "^-1"
+    EQUALS = "="
+    COMMA = ","
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its 1-based source position."""
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}"
+
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "|": TokenKind.UNION,
+    "&": TokenKind.INTER,
+    "\\": TokenKind.DIFF,
+    ";": TokenKind.SEQ,
+    "*": TokenKind.STAR,
+    "+": TokenKind.PLUS,
+    "?": TokenKind.OPT,
+    "~": TokenKind.COMPL,
+    "=": TokenKind.EQUALS,
+    ",": TokenKind.COMMA,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_.-"
+
+
+class _Scanner:
+    """Character cursor with line/column tracking."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.source)
+
+
+def _skip_comment(scanner: _Scanner) -> None:
+    """Consume a (possibly nested) ``(* ... *)`` comment."""
+    start_line, start_col = scanner.line, scanner.col
+    scanner.advance()  # (
+    scanner.advance()  # *
+    depth = 1
+    while depth:
+        if scanner.exhausted:
+            raise CatSyntaxError("unterminated comment", start_line, start_col)
+        if scanner.peek() == "(" and scanner.peek(1) == "*":
+            scanner.advance()
+            scanner.advance()
+            depth += 1
+        elif scanner.peek() == "*" and scanner.peek(1) == ")":
+            scanner.advance()
+            scanner.advance()
+            depth -= 1
+        else:
+            scanner.advance()
+
+
+def _scan_string(scanner: _Scanner) -> Token:
+    line, col = scanner.line, scanner.col
+    scanner.advance()  # opening quote
+    chars: list[str] = []
+    while True:
+        if scanner.exhausted or scanner.peek() == "\n":
+            raise CatSyntaxError("unterminated string literal", line, col)
+        ch = scanner.advance()
+        if ch == '"':
+            return Token(TokenKind.STRING, "".join(chars), line, col)
+        chars.append(ch)
+
+
+def _scan_ident(scanner: _Scanner) -> Token:
+    line, col = scanner.line, scanner.col
+    chars = [scanner.advance()]
+    while not scanner.exhausted and _is_ident_char(scanner.peek()):
+        chars.append(scanner.advance())
+    text = "".join(chars)
+    kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+    return Token(kind, text, line, col)
+
+
+def _scan_number(scanner: _Scanner) -> Token:
+    line, col = scanner.line, scanner.col
+    chars = [scanner.advance()]
+    while not scanner.exhausted and scanner.peek().isdigit():
+        chars.append(scanner.advance())
+    return Token(TokenKind.NUMBER, "".join(chars), line, col)
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield the tokens of ``source``, ending with a single EOF token."""
+    scanner = _Scanner(source)
+    while not scanner.exhausted:
+        ch = scanner.peek()
+        if ch in " \t\r\n":
+            scanner.advance()
+            continue
+        if ch == "(" and scanner.peek(1) == "*":
+            _skip_comment(scanner)
+            continue
+        if ch == '"':
+            yield _scan_string(scanner)
+            continue
+        if ch == "^":
+            line, col = scanner.line, scanner.col
+            scanner.advance()
+            nxt = scanner.peek()
+            if nxt == "+":
+                scanner.advance()
+                yield Token(TokenKind.HATPLUS, "^+", line, col)
+            elif nxt == "*":
+                scanner.advance()
+                yield Token(TokenKind.HATSTAR, "^*", line, col)
+            elif nxt == "?":
+                scanner.advance()
+                yield Token(TokenKind.HATOPT, "^?", line, col)
+            elif nxt == "-" and scanner.peek(1) == "1":
+                scanner.advance()
+                scanner.advance()
+                yield Token(TokenKind.INVERSE, "^-1", line, col)
+            else:
+                raise CatSyntaxError(f"bad operator '^{nxt}'", line, col)
+            continue
+        if _is_ident_start(ch):
+            yield _scan_ident(scanner)
+            continue
+        if ch.isdigit():
+            yield _scan_number(scanner)
+            continue
+        if ch in _SINGLE:
+            line, col = scanner.line, scanner.col
+            scanner.advance()
+            yield Token(_SINGLE[ch], ch, line, col)
+            continue
+        raise CatSyntaxError(f"unexpected character {ch!r}", scanner.line, scanner.col)
+    yield Token(TokenKind.EOF, "", scanner.line, scanner.col)

@@ -1,0 +1,35 @@
+"""The .cat model library shipped with the reproduction.
+
+One file per model of the paper (each mirrors the corresponding native
+class in :mod:`repro.models` axiom for axiom), plus ``stdlib.cat`` — the
+prelude of derived relations (``rfe``, ``po_loc``, ``fencerel``,
+``weaklift``/``stronglift``) that every model includes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["LIBRARY_DIR", "library_path", "library_source", "library_files"]
+
+#: Directory containing the ``.cat`` sources.
+LIBRARY_DIR = Path(__file__).resolve().parent
+
+
+def library_path(name: str) -> Path:
+    """Absolute path of the library file ``name`` (e.g. ``"x86tm.cat"``)."""
+    path = LIBRARY_DIR / name
+    if not path.is_file():
+        known = ", ".join(sorted(p.name for p in LIBRARY_DIR.glob("*.cat")))
+        raise FileNotFoundError(f"no library model {name!r}; known: {known}")
+    return path
+
+
+def library_source(name: str) -> str:
+    """The text of the library file ``name``."""
+    return library_path(name).read_text()
+
+
+def library_files() -> list[str]:
+    """All ``.cat`` files in the library, sorted by name."""
+    return sorted(p.name for p in LIBRARY_DIR.glob("*.cat"))

@@ -1,0 +1,137 @@
+"""Adapter: a parsed .cat file as a :class:`repro.models.base.MemoryModel`.
+
+:class:`CatModel` makes the .cat library interchangeable with the native
+Python models — the same ``check``/``consistent`` interface, the same
+``tm=False`` baseline behaviour — so the whole toolflow (synthesis,
+metatheory, conformance) can run off a ``.cat`` file.  The
+cross-validation tests exploit this to assert that every library model
+agrees with its native counterpart on every execution they are given.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from ..core.execution import Execution
+from ..models.base import Axiom, AxiomResult, MemoryModel, Verdict
+from .ast import Check, Include, Model
+from .errors import CatError
+from .evaluator import EvalResult, evaluate
+from .library import library_source
+from .parser import parse
+
+__all__ = ["CatModel", "load_cat_model", "CAT_MODEL_FILES"]
+
+#: Library file for each model name, mirroring ``repro.models.registry``.
+CAT_MODEL_FILES: dict[str, str] = {
+    "sc": "sc.cat",
+    "tsc": "tsc.cat",
+    "x86": "x86tm.cat",
+    "power": "powertm.cat",
+    "armv8": "armv8tm.cat",
+    "cpp": "cpptm.cat",
+    "power-dongol": "dongol.cat",
+    "riscv": "riscvtm.cat",
+}
+
+
+@lru_cache(maxsize=None)
+def _parse_library(name: str) -> Model:
+    return parse(library_source(name))
+
+
+def _library_loader(name: str) -> Model:
+    return _parse_library(name)
+
+
+class CatModel(MemoryModel):
+    """A memory model defined by .cat source text.
+
+    Args:
+        source: the .cat program.
+        name: model name for reports (defaults to the file's title).
+        tm: as for native models — ``False`` evaluates against the
+            transaction-stripped baseline execution.
+    """
+
+    def __init__(self, source: str, name: str = "", tm: bool = True) -> None:
+        super().__init__(tm=tm)
+        self.ast = parse(source)
+        self.arch = name or self.ast.title or "cat"
+        self._static_checks = tuple(self._collect_checks(self.ast, set()))
+
+    def _collect_checks(self, model: Model, seen: set[str]) -> list[Check]:
+        checks: list[Check] = []
+        for stmt in model.statements:
+            if isinstance(stmt, Check) and not stmt.flag:
+                checks.append(stmt)
+            elif isinstance(stmt, Include) and stmt.filename not in seen:
+                seen.add(stmt.filename)
+                checks.extend(
+                    self._collect_checks(_library_loader(stmt.filename), seen)
+                )
+        return checks
+
+    # -- evaluation ------------------------------------------------------
+
+    def evaluate(self, x: Execution) -> EvalResult:
+        """Full evaluation (respecting the ``tm`` flag)."""
+        return evaluate(self.ast, self._effective(x), _library_loader)
+
+    def relations(self, x: Execution) -> dict:
+        result = self.evaluate(x)
+        return {c.name: c.relation for c in result.checks}
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        out = []
+        for check in self._static_checks:
+            if check.negated:
+                raise CatError(
+                    f"negated non-flag check {check.name!r} has no Axiom form",
+                    check.line,
+                    check.col,
+                )
+            out.append(Axiom(check.name, check.kind, check.name))
+        return tuple(out)
+
+    def check(self, x: Execution) -> Verdict:
+        result = self.evaluate(x)
+        results = tuple(
+            AxiomResult(c.name, c.holds, None if c.holds else "cat-check")
+            for c in result.checks
+        )
+        return Verdict(self.name, all(r.holds for r in results), results)
+
+    def consistent(self, x: Execution) -> bool:
+        return self.evaluate(x).consistent
+
+    def flags_raised(self, x: Execution) -> list[str]:
+        """Names of raised ``flag`` diagnostics (e.g. ``DataRace``)."""
+        return self.evaluate(x).flagged
+
+    def race_free(self, x: Execution) -> bool:
+        """Convenience mirroring :meth:`repro.models.cpp.Cpp.race_free`."""
+        return "DataRace" not in self.flags_raised(x)
+
+
+def load_cat_model(name: str, tm: bool = True) -> CatModel:
+    """Load a model from the library by registry name or by file path.
+
+    ``name`` may be a key of :data:`CAT_MODEL_FILES` (``"x86"``), a
+    library file name (``"x86tm.cat"``), or a path to a ``.cat`` file on
+    disk.
+    """
+    if name in CAT_MODEL_FILES:
+        filename = CAT_MODEL_FILES[name]
+        return CatModel(library_source(filename), name=name, tm=tm)
+    path = Path(name)
+    if path.suffix == ".cat" and not path.is_file():
+        # A bare library file name like "x86tm.cat".
+        return CatModel(library_source(name), name=path.stem, tm=tm)
+    if path.is_file():
+        return CatModel(path.read_text(), name=path.stem, tm=tm)
+    raise ValueError(
+        f"unknown cat model {name!r}; registry names: "
+        f"{', '.join(sorted(CAT_MODEL_FILES))}"
+    )

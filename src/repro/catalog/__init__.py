@@ -1,0 +1,18 @@
+"""Catalog of executions: every shape discussed in the paper plus the
+classic litmus families, each with expected per-model verdicts."""
+
+from .classic import CLASSIC
+from .entry import CatalogEntry
+from .figures import FIGURES
+
+CATALOG: dict[str, CatalogEntry] = {**FIGURES, **CLASSIC}
+
+__all__ = ["CATALOG", "CLASSIC", "FIGURES", "CatalogEntry", "get_entry"]
+
+
+def get_entry(name: str) -> CatalogEntry:
+    """Look a catalog entry up by name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise ValueError(f"unknown catalog entry {name!r}") from None

@@ -1,0 +1,35 @@
+"""Catalog entry type: an execution plus its expected verdicts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.execution import Execution
+
+__all__ = ["CatalogEntry"]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """A named execution with per-model expectations.
+
+    Attributes:
+        name: unique identifier (``fig2``, ``power_exec1``, ``sb``, …).
+        description: one-line summary.
+        execution: the execution graph itself.
+        expected: model name → expected consistency (models not listed
+            are not checked for this entry).
+        racy: for C++ entries, whether the execution has a data race
+            (``None`` when irrelevant).
+        paper_ref: where in the paper the shape appears.
+        tags: free-form labels used to slice the catalog in tests and
+            experiments (e.g. ``{"txn", "classic", "power"}``).
+    """
+
+    name: str
+    description: str
+    execution: Execution
+    expected: dict[str, bool]
+    racy: bool | None = None
+    paper_ref: str = ""
+    tags: frozenset[str] = field(default_factory=frozenset)

@@ -1,0 +1,602 @@
+"""The executions discussed in the paper, figure by figure.
+
+Every entry records the expected verdict under each relevant model; the
+test suite asserts all of them, so this module is simultaneously the
+paper's "executions corresponding to all the executions discussed in our
+paper" companion material and the model validation corpus.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import ExecutionBuilder
+from ..core.events import Label
+from .entry import CatalogEntry
+
+__all__ = ["FIGURES"]
+
+FIGURES: dict[str, CatalogEntry] = {}
+
+
+def _register(entry: CatalogEntry) -> None:
+    if entry.name in FIGURES:
+        raise ValueError(f"duplicate figure {entry.name}")
+    FIGURES[entry.name] = entry
+
+
+# ----------------------------------------------------------------------
+# Fig. 1: a plain execution and its litmus test
+# ----------------------------------------------------------------------
+
+
+def _fig1() -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.write("x")
+    r = t0.read("x")
+    c = t1.write("x")
+    b.co(a, c)
+    b.rf(c, r)
+    return CatalogEntry(
+        name="fig1",
+        description="Fig 1: read observes the other thread's co-later write",
+        execution=b.build(),
+        expected={
+            "sc": True,
+            "tsc": True,
+            "x86": True,
+            "power": True,
+            "armv8": True,
+        },
+        paper_ref="Fig. 1",
+        tags=frozenset({"figure"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 2: the transactional variant
+# ----------------------------------------------------------------------
+
+
+def _fig2() -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.write("x")
+    r = t0.read("x")
+    c = t1.write("x")
+    b.txn([a, r])
+    b.co(a, c)
+    b.rf(c, r)
+    # The transaction writes x, an external write intervenes, and the
+    # transaction then reads the external write: strong isolation fails.
+    return CatalogEntry(
+        name="fig2",
+        description="Fig 2: external write intervenes inside a transaction",
+        execution=b.build(),
+        expected={
+            "sc": True,  # plain SC ignores transactions
+            "tsc": False,
+            "x86": False,
+            "power": False,
+            "armv8": False,
+        },
+        paper_ref="Fig. 2",
+        tags=frozenset({"figure", "txn"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 3: the four strong-vs-weak isolation discriminators
+# ----------------------------------------------------------------------
+
+
+def _fig3a() -> CatalogEntry:
+    # Non-interference: a txn's two reads bracket an external write.
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    r1 = t0.read("x")
+    r2 = t0.read("x")
+    w = t1.write("x")
+    b.txn([r1, r2])
+    b.rf(w, r2)  # r1 reads the initial value, so fr(r1, w)
+    return CatalogEntry(
+        name="fig3a",
+        description="Fig 3(a): non-interference — txn reads straddle external write",
+        execution=b.build(),
+        expected={"sc": True, "tsc": False, "x86": False, "power": False, "armv8": False},
+        paper_ref="Fig. 3(a)",
+        tags=frozenset({"figure", "txn", "isolation"}),
+    )
+
+
+def _fig3b() -> CatalogEntry:
+    # RMW-style isolation: external write between a txn's read and write.
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    r = t0.read("x")
+    w1 = t0.write("x")
+    w2 = t1.write("x")
+    b.txn([r, w1])
+    b.co(w2, w1)  # r reads initial value; fr(r, w2); co w2 -> w1
+    return CatalogEntry(
+        name="fig3b",
+        description="Fig 3(b): external write between txn read and txn write",
+        execution=b.build(),
+        expected={"sc": True, "tsc": False, "x86": False, "power": False, "armv8": False},
+        paper_ref="Fig. 3(b)",
+        tags=frozenset({"figure", "txn", "isolation"}),
+    )
+
+
+def _fig3c() -> CatalogEntry:
+    # Txn write, external write co-after it, txn read observes external.
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    w1 = t0.write("x")
+    r = t0.read("x")
+    w2 = t1.write("x")
+    b.txn([w1, r])
+    b.co(w1, w2)
+    b.rf(w2, r)
+    return CatalogEntry(
+        name="fig3c",
+        description="Fig 3(c): txn read observes external overwrite of txn write",
+        execution=b.build(),
+        expected={"sc": True, "tsc": False, "x86": False, "power": False, "armv8": False},
+        paper_ref="Fig. 3(c)",
+        tags=frozenset({"figure", "txn", "isolation"}),
+    )
+
+
+def _fig3d() -> CatalogEntry:
+    # Containment: an intermediate txn write leaks to an external read.
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    w1 = t0.write("x")
+    w2 = t0.write("x")
+    r = t1.read("x")
+    b.txn([w1, w2])
+    b.co(w1, w2)
+    b.rf(w1, r)  # external read sees the txn's intermediate value
+    return CatalogEntry(
+        name="fig3d",
+        description="Fig 3(d): containment — intermediate txn write observed outside",
+        execution=b.build(),
+        expected={"sc": True, "tsc": False, "x86": False, "power": False, "armv8": False},
+        paper_ref="Fig. 3(d)",
+        tags=frozenset({"figure", "txn", "isolation"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 5.2, execution (1): the Power "integrated memory barrier"
+# ----------------------------------------------------------------------
+
+
+def _power_exec1() -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0, t1, t2 = b.thread(), b.thread(), b.thread()
+    a = t0.write("x")
+    r1 = t1.read("x")
+    c = t1.write("y")
+    d = t2.read("y")
+    e = t2.read("x")
+    b.txn([r1, c])
+    b.rf(a, r1)
+    b.rf(c, d)
+    b.addr(d, e)  # the figure's ppo edge, realised as an address dep
+    # e reads the initial value of x, so fr(e, a).
+    return CatalogEntry(
+        name="power_exec1",
+        description="§5.2 (1): txn write propagates before an observed write (tprop1)",
+        execution=b.build(),
+        expected={"power": False, "x86": False, "armv8": False},
+        paper_ref="§5.2 execution (1)",
+        tags=frozenset({"figure", "txn", "power", "wrc"}),
+    )
+
+
+def _power_exec1_no_txn() -> CatalogEntry:
+    # The same WRC shape without the transaction is the classic
+    # demonstration that Power is not multicopy-atomic: allowed.
+    b = ExecutionBuilder()
+    t0, t1, t2 = b.thread(), b.thread(), b.thread()
+    a = t0.write("x")
+    r1 = t1.read("x")
+    c = t1.write("y")
+    d = t2.read("y")
+    e = t2.read("x")
+    b.rf(a, r1)
+    b.rf(c, d)
+    b.data(r1, c)
+    b.addr(d, e)
+    return CatalogEntry(
+        name="power_exec1_no_txn",
+        description="WRC+deps without txns: allowed on non-MCA Power, forbidden on MCA ARMv8",
+        execution=b.build(),
+        expected={"power": True, "armv8": False, "x86": False},
+        paper_ref="§5.2 (baseline of execution (1))",
+        tags=frozenset({"figure", "power", "wrc"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Remark 5.1: the two ambiguous read-only-transaction shapes
+# ----------------------------------------------------------------------
+
+
+def _remark51a() -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0, t1, t2 = b.thread(), b.thread(), b.thread()
+    a = t0.write("x")
+    r1 = t1.read("x")
+    r2 = t1.read("y")
+    c = t2.write("y")
+    t2.fence(Label.SYNC)
+    d = t2.read("x")
+    b.txn([r1, r2])
+    b.rf(a, r1)
+    # r2 reads initial y -> fr(r2, c); d reads initial x -> fr(d, a).
+    return CatalogEntry(
+        name="remark51a",
+        description="Remark 5.1 (first): read-only txn, ambiguous in the Power manual; allowed",
+        execution=b.build(),
+        expected={"power": True},
+        paper_ref="Remark 5.1",
+        tags=frozenset({"figure", "txn", "power"}),
+    )
+
+
+def _remark51b() -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0, t1, t2 = b.thread(), b.thread(), b.thread()
+    a = t0.write("x")
+    r1 = t1.read("x")
+    r2 = t1.read("y")
+    c = t2.write("y")
+    t2.fence(Label.SYNC)
+    d = t2.write("x")
+    b.txn([r1, r2])
+    b.rf(a, r1)
+    b.co(d, a)  # the external write to x is co-before the observed one
+    # r2 reads initial y -> fr(r2, c).
+    return CatalogEntry(
+        name="remark51b",
+        description="Remark 5.1 (second): read-only txn with external co; allowed",
+        execution=b.build(),
+        expected={"power": True},
+        paper_ref="Remark 5.1",
+        tags=frozenset({"figure", "txn", "power"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 5.2, execution (2): multicopy-atomicity of transactional writes
+# ----------------------------------------------------------------------
+
+
+def _power_exec2() -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0, t1, t2 = b.thread(), b.thread(), b.thread()
+    a = t0.write("x")
+    r1 = t1.read("x")
+    c = t1.write("y")
+    d = t2.read("y")
+    e = t2.read("x")
+    b.txn([a])
+    b.rf(a, r1)
+    b.rf(c, d)
+    b.data(r1, c)
+    b.addr(d, e)
+    # e reads initial x -> fr(e, a).
+    return CatalogEntry(
+        name="power_exec2",
+        description="§5.2 (2): transactional writes are multicopy-atomic (tprop2)",
+        execution=b.build(),
+        expected={"power": False, "armv8": False},
+        paper_ref="§5.2 execution (2)",
+        tags=frozenset({"figure", "txn", "power", "wrc"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 5.2, execution (3): IRIW with two transactional writes
+# ----------------------------------------------------------------------
+
+
+def _power_exec3(both_txn: bool) -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0, t1, t2, t3 = b.thread(), b.thread(), b.thread(), b.thread()
+    a = t0.write("x")
+    r1 = t1.read("x")
+    r2 = t1.read("y")
+    r3 = t2.read("y")
+    r4 = t2.read("x")
+    f = t3.write("y")
+    b.txn([a])
+    if both_txn:
+        b.txn([f])
+    b.rf(a, r1)
+    b.rf(f, r3)
+    b.addr(r1, r2)
+    b.addr(r3, r4)
+    # r2 reads initial y -> fr(r2, f); r4 reads initial x -> fr(r4, a).
+    if both_txn:
+        return CatalogEntry(
+            name="power_exec3",
+            description="§5.2 (3): IRIW with two txn writes, forbidden via thb",
+            execution=b.build(),
+            expected={"power": False, "armv8": False, "x86": False},
+            paper_ref="§5.2 execution (3)",
+            tags=frozenset({"figure", "txn", "power", "iriw"}),
+        )
+    return CatalogEntry(
+        name="power_exec3_one_txn",
+        description="§5.2: IRIW with one txn write, observed on hardware, allowed",
+        execution=b.build(),
+        expected={"power": True},
+        paper_ref="§5.2 (after execution (3))",
+        tags=frozenset({"figure", "txn", "power", "iriw"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 8.1: the monotonicity counterexample (Power and ARMv8)
+# ----------------------------------------------------------------------
+
+
+def _rmw_split() -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0 = b.thread()
+    r = t0.read("x", Label.EXCL)
+    w = t0.write("x", Label.EXCL)
+    b.rmw(r, w)
+    b.txn([r])
+    b.txn([w])
+    return CatalogEntry(
+        name="rmw_split",
+        description="§8.1: rmw straddling txn boundary, forbidden (TxnCancelsRMW)",
+        execution=b.build(),
+        expected={"power": False, "armv8": False, "x86": True},
+        paper_ref="§8.1 counterexample (left)",
+        tags=frozenset({"figure", "txn", "monotonicity"}),
+    )
+
+
+def _rmw_coalesced() -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0 = b.thread()
+    r = t0.read("x", Label.EXCL)
+    w = t0.write("x", Label.EXCL)
+    b.rmw(r, w)
+    b.txn([r, w])
+    return CatalogEntry(
+        name="rmw_coalesced",
+        description="§8.1: the coalesced rmw transaction, consistent",
+        execution=b.build(),
+        expected={"power": True, "armv8": True, "x86": True},
+        paper_ref="§8.1 counterexample (right)",
+        tags=frozenset({"figure", "txn", "monotonicity"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 9: the gap between our Power model and Dongol et al.'s
+# ----------------------------------------------------------------------
+
+
+def _dongol_gap() -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.write("x")
+    c = t0.write("y")
+    d = t1.read("y")
+    e = t1.read("x")
+    b.txn([a, c])
+    b.rf(c, d)
+    b.addr(d, e)
+    # e reads initial x -> fr(e, a): MP against a transaction.
+    return CatalogEntry(
+        name="dongol_gap",
+        description="§9: MP against a txn; ours forbids (tprop2), atomicity-only allows",
+        execution=b.build(),
+        expected={"power": False, "power-dongol": True, "armv8": False},
+        paper_ref="§9 comparison execution",
+        tags=frozenset({"figure", "txn", "power", "ablation"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Example 1.1 / Fig. 10: lock elision unsound in ARMv8 (concrete side)
+# ----------------------------------------------------------------------
+
+
+def _armv8_lock_elision(with_dmb_fix: bool) -> CatalogEntry:
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    # Left thread: the recommended ARMv8 spinlock around x += 2.
+    acq = t0.read("m", Label.ACQ, Label.EXCL)  # LDAXR (reads m == 0, free)
+    wm = t0.write("m", Label.EXCL)  # STXR   (m <- 1, taken)
+    if with_dmb_fix:
+        t0.fence(Label.DMB)
+    rx = t0.read("x")  # LDR    (speculative: reads x == 0)
+    wx2 = t0.write("x")  # STR    (x <- 2)
+    wrel = t0.write("m", Label.REL)  # STLR   (m <- 0, release)
+    # Right thread: the elided critical region inside a transaction.
+    rm = t1.read("m")  # LDR m (sees the lock free: initial value)
+    wx1 = t1.write("x")  # STR x <- 1
+    b.txn([rm, wx1])
+    b.rmw(acq, wm)
+    b.ctrl(acq, wm)
+    b.data(rx, wx2)
+    b.co_order("x", [wx1, wx2])  # final x == 2: mutual-exclusion violation
+    b.co_order("m", [wm, wrel])
+    # All reads observe initial values (rf is empty):
+    #   fr(acq, wm), fr(acq, wrel) are internal;
+    #   fr(rx, wx1) and fr(rm, wm), fr(rm, wrel) are the external edges.
+    expected = {"armv8": not with_dmb_fix, "x86": False}
+    name = "armv8_lock_elision_fixed" if with_dmb_fix else "armv8_lock_elision"
+    what = "forbidden after the DMB fix" if with_dmb_fix else "ALLOWED: lock elision unsound"
+    return CatalogEntry(
+        name=name,
+        description=f"Example 1.1 concrete execution; {what}",
+        execution=b.build(),
+        expected=expected,
+        paper_ref="Example 1.1 / Fig. 10",
+        tags=frozenset({"figure", "txn", "armv8", "lock-elision"}),
+    )
+
+
+def _armv8_lock_elision_b() -> CatalogEntry:
+    # Appendix B: an external load observes an intermediate write because
+    # stores can also be speculated past an incomplete store-exclusive.
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    acq = t0.read("m", Label.ACQ, Label.EXCL)
+    wm = t0.write("m", Label.EXCL)
+    wx1 = t0.write("x")  # x <- 1 (intermediate)
+    wx2 = t0.write("x")  # x <- 2
+    wrel = t0.write("m", Label.REL)
+    rm = t1.read("m")
+    rx = t1.read("x")  # observes the intermediate x == 1
+    b.txn([rm, rx])
+    b.rmw(acq, wm)
+    b.ctrl(acq, wm)
+    b.rf(wx1, rx)
+    b.co_order("x", [wx1, wx2])
+    b.co_order("m", [wm, wrel])
+    return CatalogEntry(
+        name="armv8_lock_elision_b",
+        description="Appendix B: elided CR observes an intermediate store; allowed",
+        execution=b.build(),
+        expected={"armv8": True},
+        paper_ref="Appendix B",
+        tags=frozenset({"figure", "txn", "armv8", "lock-elision"}),
+    )
+
+
+# ----------------------------------------------------------------------
+# C++ figures (section 7)
+# ----------------------------------------------------------------------
+
+
+def _mp_dmb_txn_reader() -> CatalogEntry:
+    # Forbidden by TxnOrder *alone*: the barrier orders the writes, the
+    # transaction must observe them atomically, but no com cycle exists,
+    # so StrongIsol is satisfied.  This is the shape that exposes the
+    # RTL prototype's TxnOrder bug (section 6.2).
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    wx = t0.write("x")
+    t0.fence(Label.DMB)
+    wy = t0.write("y")
+    ry = t1.read("y")
+    rx = t1.read("x")
+    b.txn([ry, rx])
+    b.rf(wy, ry)
+    # rx reads the initial x: fr(rx, wx).
+    # Power reads the DMB as an unknown (no-op) fence and, with the txn
+    # covering its whole thread, tfence is empty — so Power's verdict is
+    # "allowed", illustrating that tbegin/tend barriers exist only at
+    # boundary *crossings* in the paper's model.
+    return CatalogEntry(
+        name="mp_dmb_txn_reader",
+        description="§6.2: MP with fenced writer and txn reader, TxnOrder-only violation",
+        execution=b.build(),
+        expected={"armv8": False, "x86": False, "power": True},
+        paper_ref="§6.2 (RTL bug shape)",
+        tags=frozenset({"figure", "txn", "armv8", "rtl"}),
+    )
+
+
+def _cpp_racy_txn() -> CatalogEntry:
+    # atomic{ x = 1; } || atomic_store(&x, 2): racy despite the txn.
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    w1 = t0.write("x")  # non-atomic store inside an atomic transaction
+    w2 = t1.atomic_write("x", Label.SC)
+    b.txn([w1], atomic=True)
+    b.co(w1, w2)
+    return CatalogEntry(
+        name="cpp_racy_txn",
+        description="§7.2: atomic txn with non-atomic store races with atomic store",
+        execution=b.build(),
+        expected={"cpp": True},
+        racy=True,
+        paper_ref="§7.2 (Transactions and Data Races)",
+        tags=frozenset({"figure", "txn", "cpp"}),
+    )
+
+
+def _cpp_tsw_cycle() -> CatalogEntry:
+    # Two conflicting relaxed transactions must serialise: a communication
+    # cycle between them is inconsistent via tsw ⊆ hb (the §7.2 encoding).
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    w1 = t0.write("x")
+    r1 = t0.read("y")
+    w2 = t1.write("y")
+    r2 = t1.read("x")
+    b.txn([w1, r1])
+    b.txn([w2, r2])
+    # r1 reads initial y (fr to w2), r2 reads initial x (fr to w1):
+    # ecom cycle T0 -> T1 -> T0.
+    return CatalogEntry(
+        name="cpp_tsw_cycle",
+        description="§7.2: SB between two relaxed txns, forbidden via tsw",
+        execution=b.build(),
+        expected={"cpp": False, "x86": False, "power": False, "armv8": False},
+        racy=False,
+        paper_ref="§7.2 (Transactional Synchronisation)",
+        tags=frozenset({"figure", "txn", "cpp"}),
+    )
+
+
+def _cpp_weak_isolation_ok() -> CatalogEntry:
+    # A relaxed transaction is only weakly isolated: non-transactional
+    # atomic interference is allowed (contrast with fig3c on hardware).
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    w1 = t0.atomic_write("x")
+    r = t0.atomic_read("x")
+    w2 = t1.atomic_write("x")
+    b.txn([w1, r])
+    b.co(w1, w2)
+    b.rf(w2, r)
+    return CatalogEntry(
+        name="cpp_weak_isolation_ok",
+        description="§7: relaxed txn admits non-transactional interference",
+        execution=b.build(),
+        expected={"cpp": True},
+        racy=False,
+        paper_ref="§7.2",
+        tags=frozenset({"figure", "txn", "cpp"}),
+    )
+
+
+def _build_figures() -> None:
+    _register(_fig1())
+    _register(_fig2())
+    _register(_fig3a())
+    _register(_fig3b())
+    _register(_fig3c())
+    _register(_fig3d())
+    _register(_power_exec1())
+    _register(_power_exec1_no_txn())
+    _register(_remark51a())
+    _register(_remark51b())
+    _register(_power_exec2())
+    _register(_power_exec3(both_txn=True))
+    _register(_power_exec3(both_txn=False))
+    _register(_rmw_split())
+    _register(_rmw_coalesced())
+    _register(_dongol_gap())
+    _register(_armv8_lock_elision(with_dmb_fix=False))
+    _register(_armv8_lock_elision(with_dmb_fix=True))
+    _register(_armv8_lock_elision_b())
+    _register(_mp_dmb_txn_reader())
+    _register(_cpp_racy_txn())
+    _register(_cpp_tsw_cycle())
+    _register(_cpp_weak_isolation_ok())
+
+
+_build_figures()

@@ -1,0 +1,316 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro``.
+
+Commands:
+
+* ``check <entry> [--model M]`` — check a catalogued execution;
+* ``litmus <entry> --arch A`` — render a catalogued execution as a
+  litmus test in the architecture's surface syntax;
+* ``run <file> [--model M | --hw]`` — run a litmus test (neutral format)
+  against a model or the simulated hardware;
+* ``synth --arch A --events N`` — synthesize Forbid/Allow suites;
+* ``table1`` / ``table2`` / ``table3`` / ``fig7`` / ``rtl`` /
+  ``ablation`` — regenerate the paper's tables and figures;
+* ``catalog`` — list the catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .catalog import CATALOG, get_entry
+from .litmus.candidates import observable
+from .litmus.from_execution import to_litmus
+from .litmus.parse import loads
+from .litmus.render import render
+from .models.registry import get_model, model_names
+from .sim.oracle import get_oracle
+
+__all__ = ["main"]
+
+
+def _cmd_catalog(args) -> int:
+    for name, entry in sorted(CATALOG.items()):
+        tags = ",".join(sorted(entry.tags))
+        print(f"{name:<28} {entry.description}  [{tags}]")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    entry = get_entry(args.entry)
+    models = [args.model] if args.model else sorted(entry.expected)
+    print(entry.execution.describe())
+    print()
+    for name in models:
+        verdict = get_model(name).check(entry.execution)
+        print(verdict)
+    return 0
+
+
+def _cmd_litmus(args) -> int:
+    entry = get_entry(args.entry)
+    test = to_litmus(entry.execution, args.entry, args.arch)
+    print(render(test))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    with open(args.file, encoding="utf-8") as handle:
+        test = loads(handle.read())
+    if args.hw:
+        oracle = get_oracle(test.arch)
+        seen = oracle.observable(test)
+        print(f"{test.name} on {oracle.name}: {'SEEN' if seen else 'not seen'}")
+    else:
+        model = get_model(args.model or test.arch)
+        seen = observable(test, model)
+        print(
+            f"{test.name} under {model.name}: "
+            f"{'observable' if seen else 'forbidden'}"
+        )
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    from .synth.synthesis import synthesize
+
+    result = synthesize(args.arch, args.events, time_budget=args.budget)
+    print(result.summary())
+    if args.show:
+        from .litmus.render import render
+
+        for i, x in enumerate(result.forbid[: args.show]):
+            print(f"\n--- forbid {i} ---")
+            print(render(to_litmus(x, f"forbid-{i}", args.arch)))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .experiments.table1 import format_table1, run_table1
+
+    bounds = {"x86": [2, 3], "power": [2, 3]}
+    if args.full:
+        bounds = {"x86": [2, 3, 4], "power": [2, 3, 4]}
+    table = run_table1(bounds=bounds, time_budget=args.budget)
+    print(format_table1(table))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .experiments.table2 import format_table2, run_table2
+
+    print(format_table2(run_table2(time_budget=args.budget)))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from .experiments.table3 import format_table3
+
+    print(format_table3())
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from .experiments.fig7 import format_fig7, run_fig7
+
+    series = run_fig7(n_events=args.events, time_budget=args.budget)
+    print(format_fig7(series))
+    return 0
+
+
+def _cmd_rtl(args) -> int:
+    from .experiments.rtl import format_rtl, run_rtl_check
+
+    print(format_rtl(run_rtl_check(n_events=args.events, time_budget=args.budget)))
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from .experiments.ablation import format_ablation, run_ablation
+
+    print(format_ablation(run_ablation(n_events=args.events)))
+    return 0
+
+
+def _cmd_cat(args) -> int:
+    from .cat import load_cat_model
+    from .cat.library import library_files, library_source
+
+    if args.list:
+        for name in library_files():
+            print(name)
+        return 0
+    if args.source:
+        print(library_source(args.source), end="")
+        return 0
+    model = load_cat_model(args.model)
+    entry = get_entry(args.entry)
+    result = model.evaluate(entry.execution)
+    print(entry.execution.describe())
+    print()
+    for check in result.checks:
+        print(f"  {check.describe()}")
+    for flag in result.flagged:
+        print(f"  flag raised: {flag}")
+    print(f"=> {'consistent' if result.consistent else 'INCONSISTENT'}")
+    return 0 if result.consistent else 1
+
+
+def _cmd_diy(args) -> int:
+    from .synth.diy import cycle_execution, enumerate_cycles
+
+    model = get_model(args.model)
+    vocab = args.vocab.split(",")
+    shown = 0
+    total = 0
+    for cycle in enumerate_cycles(vocab, args.length):
+        total += 1
+        execution = cycle_execution(cycle)
+        forbidden = not model.consistent(execution)
+        if args.forbidden_only and not forbidden:
+            continue
+        verdict = "FORBID" if forbidden else "allow "
+        print(f"{verdict}  {cycle}")
+        shown += 1
+    print(f"({shown} shown of {total} cycles up to length {args.length})")
+    return 0
+
+
+def _cmd_lemmas(args) -> int:
+    from .metatheory.lemmas import check_all_lemmas
+
+    ok = True
+    for report in check_all_lemmas(args.events, args.limit):
+        print(report.summary())
+        ok = ok and report.holds
+    return 0 if ok else 1
+
+
+def _cmd_elision(args) -> int:
+    from .metatheory.lockelision import check_lock_elision
+
+    result = check_lock_elision(
+        args.arch,
+        fixed=args.fixed,
+        txn_writes_lock=args.write_lock,
+        time_budget=args.budget,
+    )
+    print(result.summary())
+    if result.counterexample and args.show:
+        abstract, concrete = result.counterexample
+        print("\nabstract (CROrder-violating) execution:")
+        print(abstract.describe())
+        print("\nconcrete image (consistent under the TM model):")
+        print(concrete.describe())
+    return 0 if result.sound else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Transactions and weak memory in x86, Power, ARMv8, C++",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="list catalogued executions")
+
+    p = sub.add_parser("check", help="check a catalogued execution")
+    p.add_argument("entry")
+    p.add_argument("--model", choices=model_names())
+
+    p = sub.add_parser("litmus", help="render a catalogue entry as litmus")
+    p.add_argument("entry")
+    p.add_argument("--arch", default="armv8",
+                   choices=["x86", "power", "armv8", "cpp"])
+
+    p = sub.add_parser("run", help="run a litmus file against a model/hw")
+    p.add_argument("file")
+    p.add_argument("--model", choices=model_names())
+    p.add_argument("--hw", action="store_true")
+
+    p = sub.add_parser("synth", help="synthesize Forbid/Allow suites")
+    p.add_argument("--arch", default="x86",
+                   choices=["x86", "power", "armv8", "cpp", "riscv"])
+    p.add_argument("--events", type=int, default=3)
+    p.add_argument("--budget", type=float, default=None)
+    p.add_argument("--show", type=int, default=0)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--budget", type=float, default=120.0)
+    p.add_argument("--full", action="store_true")
+
+    p = sub.add_parser("table2", help="regenerate Table 2")
+    p.add_argument("--budget", type=float, default=120.0)
+
+    sub.add_parser("table3", help="print the lock-elision pi mapping")
+
+    p = sub.add_parser("fig7", help="regenerate the Fig 7 curve")
+    p.add_argument("--events", type=int, default=4)
+    p.add_argument("--budget", type=float, default=120.0)
+
+    p = sub.add_parser("rtl", help="run the §6.2 RTL conformance check")
+    p.add_argument("--events", type=int, default=4)
+    p.add_argument("--budget", type=float, default=300.0)
+
+    p = sub.add_parser("ablation", help="Power vs atomicity-only ablation")
+    p.add_argument("--events", type=int, default=3)
+
+    p = sub.add_parser("cat", help="evaluate a .cat library model")
+    p.add_argument("model", nargs="?", default="x86")
+    p.add_argument("entry", nargs="?", default="fig2")
+    p.add_argument("--list", action="store_true",
+                   help="list the .cat library files")
+    p.add_argument("--source", metavar="FILE",
+                   help="print a library file's source")
+
+    p = sub.add_parser("diy", help="enumerate diy-style critical cycles")
+    p.add_argument("--model", default="x86", choices=model_names())
+    p.add_argument("--vocab",
+                   default="PodWR,PodWW,PodRR,PodRW,Rfe,Fre,Wse")
+    p.add_argument("--length", type=int, default=4)
+    p.add_argument("--forbidden-only", action="store_true")
+
+    p = sub.add_parser("lemmas", help="check the Appendix C lemmas")
+    p.add_argument("--events", type=int, default=2)
+    p.add_argument("--limit", type=int, default=None)
+
+    p = sub.add_parser("elision", help="lock-elision soundness search")
+    p.add_argument("--arch", default="armv8",
+                   choices=["x86", "power", "armv8", "riscv"])
+    p.add_argument("--fixed", action="store_true",
+                   help="append the fence fix to lock()")
+    p.add_argument("--write-lock", action="store_true",
+                   help="the section 1.1 write-to-lock serialising fix")
+    p.add_argument("--budget", type=float, default=None)
+    p.add_argument("--show", action="store_true",
+                   help="print the counterexample pair")
+
+    return parser
+
+
+_COMMANDS = {
+    "catalog": _cmd_catalog,
+    "check": _cmd_check,
+    "litmus": _cmd_litmus,
+    "run": _cmd_run,
+    "synth": _cmd_synth,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "fig7": _cmd_fig7,
+    "rtl": _cmd_rtl,
+    "ablation": _cmd_ablation,
+    "cat": _cmd_cat,
+    "diy": _cmd_diy,
+    "lemmas": _cmd_lemmas,
+    "elision": _cmd_elision,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

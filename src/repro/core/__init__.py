@@ -1,0 +1,36 @@
+"""Core substrate: relations, events, executions, well-formedness."""
+
+from .builder import ExecutionBuilder, ThreadBuilder
+from .events import Event, EventKind, Label, call, fence, read, write
+from .execution import Execution, Transaction
+from .lifting import stronglift, weaklift
+from .relation import Relation
+from .wellformed import (
+    WellformednessError,
+    check,
+    check_cpp,
+    is_wellformed,
+    require,
+)
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "Execution",
+    "ExecutionBuilder",
+    "Label",
+    "Relation",
+    "ThreadBuilder",
+    "Transaction",
+    "WellformednessError",
+    "call",
+    "check",
+    "check_cpp",
+    "fence",
+    "is_wellformed",
+    "read",
+    "require",
+    "stronglift",
+    "weaklift",
+    "write",
+]

@@ -1,0 +1,212 @@
+"""A small DSL for constructing executions.
+
+Every execution figure in the paper is expressed in a few lines::
+
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.write("x")            # a: W x
+    c = t1.write("x")            # c: W x
+    e = t1.read("x")             # b: R x
+    b.rf(a, e)                   # reads-from edge
+    b.co(a, c)                   # coherence a before c
+    x = b.build()
+
+Writes default to coherence order = construction order per location; call
+:meth:`ExecutionBuilder.co` or :meth:`ExecutionBuilder.co_order` to
+override.  Event handles are plain integers (the event ids of the final
+execution).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .events import Event, EventKind, Label, call, fence, read, write
+from .execution import Execution, Transaction
+
+__all__ = ["ExecutionBuilder", "ThreadBuilder"]
+
+
+class ThreadBuilder:
+    """Accumulates the events of one thread in program order."""
+
+    def __init__(self, parent: "ExecutionBuilder") -> None:
+        self._parent = parent
+        self.events: list[int] = []
+
+    def _add(self, event: Event) -> int:
+        eid = self._parent._add_event(event)
+        self.events.append(eid)
+        return eid
+
+    def read(self, loc: str, *labels: str) -> int:
+        """Append a read of ``loc``; returns the event id."""
+        return self._add(read(loc, *labels))
+
+    def write(self, loc: str, *labels: str) -> int:
+        """Append a write to ``loc``; returns the event id."""
+        return self._add(write(loc, *labels))
+
+    def fence(self, kind: str, *labels: str) -> int:
+        """Append a fence of the given flavour (e.g. ``Label.SYNC``)."""
+        return self._add(fence(kind, *labels))
+
+    def call(self, kind: str) -> int:
+        """Append a lock-elision call event (``Label.LOCK`` etc.)."""
+        return self._add(call(kind))
+
+    # Convenience wrappers used heavily by the catalog -----------------
+
+    def acq_read(self, loc: str, *labels: str) -> int:
+        return self.read(loc, Label.ACQ, *labels)
+
+    def rel_write(self, loc: str, *labels: str) -> int:
+        return self.write(loc, Label.REL, *labels)
+
+    def atomic_read(self, loc: str, mode: str = Label.RLX) -> int:
+        """A C++ atomic load with the given memory order."""
+        return self.read(loc, Label.ATO, mode)
+
+    def atomic_write(self, loc: str, mode: str = Label.RLX) -> int:
+        """A C++ atomic store with the given memory order."""
+        return self.write(loc, Label.ATO, mode)
+
+
+class ExecutionBuilder:
+    """Builds an :class:`~repro.core.execution.Execution` incrementally."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._threads: list[ThreadBuilder] = []
+        self._rf: dict[int, int] = {}
+        self._co_constraints: list[tuple[int, int]] = []
+        self._co_orders: dict[str, tuple[int, ...]] = {}
+        self._addr: set[tuple[int, int]] = set()
+        self._data: set[tuple[int, int]] = set()
+        self._ctrl: set[tuple[int, int]] = set()
+        self._rmw: set[tuple[int, int]] = set()
+        self._txns: list[Transaction] = []
+
+    def _add_event(self, event: Event) -> int:
+        self._events.append(event)
+        return len(self._events) - 1
+
+    def thread(self) -> ThreadBuilder:
+        """Start a new thread; events added to it are in program order."""
+        tb = ThreadBuilder(self)
+        self._threads.append(tb)
+        return tb
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def rf(self, w: int, r: int) -> None:
+        """Record that read ``r`` observes write ``w``."""
+        if not self._events[w].is_write or not self._events[r].is_read:
+            raise ValueError("rf must go from a write to a read")
+        self._rf[r] = w
+
+    def co(self, *writes: int) -> None:
+        """Constrain coherence: each write precedes the next."""
+        for a, b in zip(writes, writes[1:]):
+            self._co_constraints.append((a, b))
+
+    def co_order(self, loc: str, order: Sequence[int]) -> None:
+        """Fix the complete coherence order for ``loc`` explicitly."""
+        self._co_orders[loc] = tuple(order)
+
+    def addr(self, r: int, e: int) -> None:
+        """Address dependency from read ``r`` to ``e``."""
+        self._addr.add((r, e))
+
+    def data(self, r: int, w: int) -> None:
+        """Data dependency from read ``r`` to write ``w``."""
+        self._data.add((r, w))
+
+    def ctrl(self, r: int, e: int) -> None:
+        """Control dependency from read ``r`` to ``e``."""
+        self._ctrl.add((r, e))
+
+    def ctrl_after(self, r: int) -> None:
+        """Control dependency from ``r`` to every po-later event in its
+        thread *at build time* (control dependencies are downward-closed
+        in real ISAs)."""
+        self._ctrl.add((r, -1))  # sentinel expanded in build()
+
+    def rmw(self, r: int, w: int) -> None:
+        """Mark ``(r, w)`` as the two halves of an RMW operation."""
+        self._rmw.add((r, w))
+
+    def txn(self, events: Sequence[int], atomic: bool = False) -> None:
+        """Mark ``events`` (contiguous in one thread) as a successful
+        transaction; ``atomic=True`` makes it a C++ atomic transaction."""
+        self._txns.append(Transaction(tuple(events), atomic))
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def _coherence(self) -> dict[str, tuple[int, ...]]:
+        """Resolve the per-location coherence orders.
+
+        Default order is construction order; explicit :meth:`co`
+        constraints reorder via a stable topological pass, and
+        :meth:`co_order` overrides entirely.
+        """
+        by_loc: dict[str, list[int]] = {}
+        for eid, event in enumerate(self._events):
+            if event.is_write:
+                by_loc.setdefault(event.loc, []).append(eid)
+        out: dict[str, tuple[int, ...]] = {}
+        for loc, ws in by_loc.items():
+            if loc in self._co_orders:
+                order = self._co_orders[loc]
+                if sorted(order) != sorted(ws):
+                    raise ValueError(
+                        f"co_order for {loc!r} must mention exactly its writes"
+                    )
+                out[loc] = order
+                continue
+            constraints = [
+                (a, b) for a, b in self._co_constraints if a in ws and b in ws
+            ]
+            order_list = list(ws)
+            # Stable insertion sort honouring the explicit constraints.
+            for _ in range(len(order_list)):
+                moved = False
+                for a, b in constraints:
+                    ia, ib = order_list.index(a), order_list.index(b)
+                    if ia > ib:
+                        order_list.pop(ia)
+                        order_list.insert(ib, a)
+                        moved = True
+                if not moved:
+                    break
+            out[loc] = tuple(order_list)
+        return out
+
+    def build(self) -> Execution:
+        """Produce the (immutable) execution."""
+        threads = [tb.events for tb in self._threads if tb.events]
+        # Expand ctrl_after sentinels.
+        ctrl = set()
+        for r, e in self._ctrl:
+            if e == -1:
+                for thread in threads:
+                    if r in thread:
+                        idx = thread.index(r)
+                        ctrl.update((r, later) for later in thread[idx + 1:])
+            else:
+                ctrl.add((r, e))
+        return Execution(
+            events=self._events,
+            threads=threads,
+            rf=self._rf,
+            co=self._coherence(),
+            addr=self._addr,
+            data=self._data,
+            ctrl=ctrl,
+            rmw=self._rmw,
+            txns=self._txns,
+        )

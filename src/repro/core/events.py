@@ -1,0 +1,229 @@
+"""Events: the vertices of execution graphs (paper section 2.1).
+
+Events are partitioned into reads (``R``), writes (``W``), and fences
+(``F``).  Following the paper, fences are *events* rather than edges
+because this simplifies execution minimisation (section 4.2 footnote 1);
+architecture-specific fence relations are derived from them in
+:mod:`repro.core.execution`.
+
+For the lock-elision study (section 8.3) executions are additionally
+extended with *call* events (``L``, ``U``, ``Lt``, ``Ut``) representing
+``lock()``/``unlock()`` method calls; these use :data:`EventKind.CALL`.
+
+Architecture- and language-specific distinctions (acquire/release,
+SC atomics, fence flavours, exclusives) are expressed as string *labels*
+attached to events; the label vocabulary is defined here so every module
+agrees on spelling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "EventKind",
+    "Event",
+    "Label",
+    "read",
+    "write",
+    "fence",
+    "call",
+]
+
+
+class EventKind(enum.Enum):
+    """The fundamental partition of events: reads, writes, fences, calls."""
+
+    READ = "R"
+    WRITE = "W"
+    FENCE = "F"
+    CALL = "C"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventKind.{self.name}"
+
+
+class Label:
+    """Label vocabulary shared by all architectures and C++.
+
+    Labels are plain strings so events stay cheap and hashable; this class
+    only namespaces the constants.
+    """
+
+    # Access orderings (ARMv8 acquire/release, C++ memory orders).
+    ACQ = "acq"
+    REL = "rel"
+    ACQ_REL = "acqrel"
+    SC = "sc"
+    RLX = "rlx"
+    #: C++ atomic accesses (``Ato`` in Fig. 9).  Non-atomic events carry no
+    #: ``ATO`` label.
+    ATO = "ato"
+    #: Load-/store-exclusive halves of an RMW (Power/ARMv8).
+    EXCL = "excl"
+
+    # Fence flavours (one per architecture-specific fence instruction).
+    MFENCE = "mfence"
+    SYNC = "sync"
+    LWSYNC = "lwsync"
+    ISYNC = "isync"
+    DMB = "dmb"
+    DMB_LD = "dmb.ld"
+    DMB_ST = "dmb.st"
+    ISB = "isb"
+    # RISC-V FENCE instructions, named by predecessor/successor sets.
+    FENCE_RW_RW = "fence.rw.rw"
+    FENCE_R_RW = "fence.r.rw"
+    FENCE_RW_W = "fence.rw.w"
+    FENCE_TSO = "fence.tso"
+
+    # Lock-elision call events (section 8.3).
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    LOCK_T = "lock.t"
+    UNLOCK_T = "unlock.t"
+
+    #: All fence flavour labels, used by well-formedness checks.
+    FENCE_KINDS = frozenset(
+        {
+            MFENCE,
+            SYNC,
+            LWSYNC,
+            ISYNC,
+            DMB,
+            DMB_LD,
+            DMB_ST,
+            ISB,
+            FENCE_RW_RW,
+            FENCE_R_RW,
+            FENCE_RW_W,
+            FENCE_TSO,
+        }
+    )
+    #: C++ memory-order labels.
+    MODES = frozenset({RLX, ACQ, REL, ACQ_REL, SC})
+    #: Lock-elision call labels.
+    CALL_KINDS = frozenset({LOCK, UNLOCK, LOCK_T, UNLOCK_T})
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single memory event.
+
+    Attributes:
+        kind: read / write / fence / call.
+        loc: the location accessed (``None`` for fences and calls; the
+            lock-elision machinery gives call events no location because
+            the lock variable only appears in the *concrete* execution).
+        labels: architecture/language-specific decorations (see
+            :class:`Label`).
+    """
+
+    kind: EventKind
+    loc: str | None = None
+    labels: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.labels, frozenset):
+            object.__setattr__(self, "labels", frozenset(self.labels))
+        if self.kind in (EventKind.READ, EventKind.WRITE) and self.loc is None:
+            raise ValueError(f"{self.kind.value} event requires a location")
+        if self.kind in (EventKind.FENCE, EventKind.CALL) and self.loc is not None:
+            raise ValueError(f"{self.kind.value} event must not have a location")
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is EventKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is EventKind.WRITE
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind is EventKind.FENCE
+
+    @property
+    def is_call(self) -> bool:
+        return self.kind is EventKind.CALL
+
+    @property
+    def is_access(self) -> bool:
+        """True for reads and writes (events with a location)."""
+        return self.kind in (EventKind.READ, EventKind.WRITE)
+
+    def has(self, label: str) -> bool:
+        """True iff the event carries ``label``."""
+        return label in self.labels
+
+    # ------------------------------------------------------------------
+    # Derived attributes
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str | None:
+        """The C++ memory-order label carried by this event, if any."""
+        modes = self.labels & Label.MODES
+        if len(modes) > 1:
+            raise ValueError(f"event carries several modes: {sorted(modes)}")
+        return next(iter(modes), None)
+
+    @property
+    def fence_kind(self) -> str | None:
+        """The architecture fence flavour of a fence event, if any."""
+        kinds = self.labels & Label.FENCE_KINDS
+        if len(kinds) > 1:
+            raise ValueError(f"fence carries several kinds: {sorted(kinds)}")
+        return next(iter(kinds), None)
+
+    @property
+    def call_kind(self) -> str | None:
+        """The lock/unlock flavour of a call event, if any."""
+        kinds = self.labels & Label.CALL_KINDS
+        if len(kinds) > 1:
+            raise ValueError(f"call carries several kinds: {sorted(kinds)}")
+        return next(iter(kinds), None)
+
+    # ------------------------------------------------------------------
+    # Surgery
+    # ------------------------------------------------------------------
+
+    def with_labels(self, labels: frozenset[str]) -> "Event":
+        """A copy of this event with ``labels`` replacing the current set."""
+        return replace(self, labels=frozenset(labels))
+
+    def add_labels(self, *labels: str) -> "Event":
+        return self.with_labels(self.labels | set(labels))
+
+    def drop_labels(self, *labels: str) -> "Event":
+        return self.with_labels(self.labels - set(labels))
+
+    def __str__(self) -> str:
+        tags = ",".join(sorted(self.labels))
+        body = self.kind.value + (f" {self.loc}" if self.loc else "")
+        return f"{body}[{tags}]" if tags else body
+
+
+def read(loc: str, *labels: str) -> Event:
+    """Construct a read event on ``loc`` with the given labels."""
+    return Event(EventKind.READ, loc, frozenset(labels))
+
+
+def write(loc: str, *labels: str) -> Event:
+    """Construct a write event on ``loc`` with the given labels."""
+    return Event(EventKind.WRITE, loc, frozenset(labels))
+
+
+def fence(kind: str, *labels: str) -> Event:
+    """Construct a fence event of flavour ``kind`` (e.g. ``Label.SYNC``)."""
+    return Event(EventKind.FENCE, None, frozenset((kind, *labels)))
+
+
+def call(kind: str) -> Event:
+    """Construct a lock-elision call event (``Label.LOCK`` etc.)."""
+    return Event(EventKind.CALL, None, frozenset((kind,)))

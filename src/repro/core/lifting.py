@@ -1,0 +1,28 @@
+"""The transaction lifting operators of section 3.3.
+
+``weaklift(r, t)`` relates whole transactions whenever ``r`` relates events
+in different transactions; ``stronglift(r, t)`` additionally admits a
+non-transactional event at either end::
+
+    weaklift(r, t)   = t ; (r \\ t) ; t
+    stronglift(r, t) = t? ; (r \\ t) ; t?
+
+``t`` is expected to be a partial equivalence relation that is reflexive on
+its domain, which :attr:`repro.core.execution.Execution.stxn` guarantees.
+"""
+
+from __future__ import annotations
+
+from .relation import Relation
+
+__all__ = ["weaklift", "stronglift"]
+
+
+def weaklift(rel: Relation, txn: Relation) -> Relation:
+    """``t ; (r \\ t) ; t`` — isolation of transactions from transactions."""
+    return txn.then(rel - txn, txn)
+
+
+def stronglift(rel: Relation, txn: Relation) -> Relation:
+    """``t? ; (r \\ t) ; t?`` — isolation from all other events."""
+    return txn.opt().then(rel - txn, txn.opt())

@@ -1,0 +1,238 @@
+"""Execution well-formedness (paper sections 2.1, 3.1, and 8.3).
+
+:func:`check` returns a list of human-readable violations (empty when the
+execution is well-formed); :func:`require` raises on the first violation.
+The checks mirror the paper's prose:
+
+* ``po`` forms a strict total order per thread (guaranteed structurally by
+  :class:`~repro.core.execution.Execution`, re-validated here);
+* dependencies are within ``po`` and originate at a read;
+* ``rmw`` links a read to a po-later write on the same location;
+* ``rf`` connects same-location writes to reads, at most one per read;
+* ``co`` totally orders the writes of each location;
+* each transaction is a contiguous po-interval of one thread, and
+  transactions do not overlap (``stxn`` is a partial equivalence whose
+  classes are contiguous in ``po``);
+* lock-elision call events obey the L/U/Lt/Ut bracketing discipline.
+"""
+
+from __future__ import annotations
+
+from .events import EventKind, Label
+from .execution import Execution
+
+__all__ = ["check", "require", "is_wellformed", "WellformednessError", "check_cpp"]
+
+
+class WellformednessError(ValueError):
+    """Raised by :func:`require` on an ill-formed execution."""
+
+
+def check(execution: Execution, allow_calls: bool = False) -> list[str]:
+    """Return all well-formedness violations of ``execution``."""
+    problems: list[str] = []
+    problems.extend(_check_threads(execution))
+    problems.extend(_check_dependencies(execution))
+    problems.extend(_check_rmw(execution))
+    problems.extend(_check_rf(execution))
+    problems.extend(_check_co(execution))
+    problems.extend(_check_txns(execution))
+    if allow_calls:
+        problems.extend(_check_calls(execution))
+    elif execution.calls:
+        problems.append("call events present but allow_calls=False")
+    return problems
+
+
+def is_wellformed(execution: Execution, allow_calls: bool = False) -> bool:
+    """True iff ``execution`` has no well-formedness violations."""
+    return not check(execution, allow_calls=allow_calls)
+
+
+def require(execution: Execution, allow_calls: bool = False) -> Execution:
+    """Raise :class:`WellformednessError` unless well-formed; else return
+    the execution unchanged (handy for pipelining)."""
+    problems = check(execution, allow_calls=allow_calls)
+    if problems:
+        raise WellformednessError("; ".join(problems))
+    return execution
+
+
+# ----------------------------------------------------------------------
+# Individual checks
+# ----------------------------------------------------------------------
+
+
+def _check_threads(x: Execution) -> list[str]:
+    problems = []
+    seen: set[int] = set()
+    for tid, thread in enumerate(x.threads):
+        if not thread:
+            problems.append(f"thread {tid} is empty")
+        for eid in thread:
+            if eid in seen:
+                problems.append(f"event e{eid} appears in several threads")
+            seen.add(eid)
+            if not 0 <= eid < x.n:
+                problems.append(f"event id e{eid} out of range")
+    if seen != set(range(x.n)):
+        missing = sorted(set(range(x.n)) - seen)
+        problems.append(f"events not in any thread: {missing}")
+    return problems
+
+
+def _check_dependencies(x: Execution) -> list[str]:
+    problems = []
+    for name, pairs in (("addr", x.addr), ("data", x.data), ("ctrl", x.ctrl)):
+        for a, b in pairs:
+            if not x.events[a].is_read:
+                problems.append(f"{name} edge e{a}->e{b} does not start at a read")
+            if (a, b) not in x.po:
+                problems.append(f"{name} edge e{a}->e{b} is not within po")
+            if name in ("addr", "data") and x.events[b].is_fence:
+                problems.append(f"{name} edge e{a}->e{b} targets a fence")
+    for a, b in x.data:
+        if not x.events[b].is_write:
+            problems.append(f"data edge e{a}->e{b} does not target a write")
+    return problems
+
+
+def _check_rmw(x: Execution) -> list[str]:
+    problems = []
+    read_halves: set[int] = set()
+    write_halves: set[int] = set()
+    for r, w in x.rmw:
+        if not x.events[r].is_read or not x.events[w].is_write:
+            problems.append(f"rmw edge e{r}->e{w} is not read->write")
+            continue
+        if (r, w) not in x.po:
+            problems.append(f"rmw edge e{r}->e{w} is not within po")
+        if x.events[r].loc != x.events[w].loc:
+            problems.append(f"rmw edge e{r}->e{w} spans different locations")
+        if r in read_halves or w in write_halves:
+            problems.append(f"event reused across rmw pairs at e{r}->e{w}")
+        read_halves.add(r)
+        write_halves.add(w)
+    return problems
+
+
+def _check_rf(x: Execution) -> list[str]:
+    problems = []
+    for r, w in x.rf.items():
+        if not x.events[r].is_read:
+            problems.append(f"rf target e{r} is not a read")
+            continue
+        if not x.events[w].is_write:
+            problems.append(f"rf source e{w} is not a write")
+            continue
+        if x.events[r].loc != x.events[w].loc:
+            problems.append(f"rf edge e{w}->e{r} spans different locations")
+    return problems
+
+
+def _check_co(x: Execution) -> list[str]:
+    problems = []
+    writes_by_loc: dict[str, set[int]] = {}
+    for w in x.writes:
+        writes_by_loc.setdefault(x.events[w].loc, set()).add(w)
+    for loc, order in x.co.items():
+        if len(set(order)) != len(order):
+            problems.append(f"co({loc}) repeats a write")
+        expected = writes_by_loc.get(loc, set())
+        if set(order) != expected:
+            problems.append(
+                f"co({loc}) must order exactly the writes to {loc}"
+            )
+        for w in order:
+            if w < 0 or w >= x.n or not x.events[w].is_write:
+                problems.append(f"co({loc}) contains non-write e{w}")
+    for loc, ws in writes_by_loc.items():
+        if len(ws) > 1 and loc not in x.co:
+            problems.append(f"location {loc} has several writes but no co order")
+    return problems
+
+
+def _check_txns(x: Execution) -> list[str]:
+    problems = []
+    used: set[int] = set()
+    for idx, txn in enumerate(x.txns):
+        tids = {x.tid_of.get(e) for e in txn.events}
+        if len(tids) != 1 or None in tids:
+            problems.append(f"txn {idx} spans several threads")
+            continue
+        thread = x.threads[tids.pop()]
+        positions = sorted(thread.index(e) for e in txn.events)
+        if positions != list(range(positions[0], positions[0] + len(positions))):
+            problems.append(f"txn {idx} is not contiguous in po")
+        if tuple(txn.events) != tuple(
+            thread[p] for p in sorted(thread.index(e) for e in txn.events)
+        ):
+            problems.append(f"txn {idx} events not listed in program order")
+        overlap = used & set(txn.events)
+        if overlap:
+            problems.append(f"txn {idx} overlaps another transaction")
+        used.update(txn.events)
+    return problems
+
+
+_OPENERS = {Label.LOCK: Label.UNLOCK, Label.LOCK_T: Label.UNLOCK_T}
+
+
+def _check_calls(x: Execution) -> list[str]:
+    """Every L must be followed by a matching U with no interleaved
+    lock/unlock of the other flavour, per section 8.3."""
+    problems = []
+    for tid, thread in enumerate(x.threads):
+        expected_close: str | None = None
+        for eid in thread:
+            event = x.events[eid]
+            if not event.is_call:
+                continue
+            kind = event.call_kind
+            if kind in _OPENERS:
+                if expected_close is not None:
+                    problems.append(
+                        f"thread {tid}: nested lock call at e{eid}"
+                    )
+                expected_close = _OPENERS[kind]
+            else:
+                if kind != expected_close:
+                    problems.append(
+                        f"thread {tid}: unmatched unlock call at e{eid}"
+                    )
+                expected_close = None
+        if expected_close is not None:
+            problems.append(f"thread {tid}: lock without unlock")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# C++-specific well-formedness (section 7)
+# ----------------------------------------------------------------------
+
+
+def check_cpp(x: Execution) -> list[str]:
+    """C++ extras: mode labels only on atomics, SC ⊆ Ato, rmw halves
+    atomic, and atomic transactions free of atomic operations (the §7
+    restriction that makes Theorem 7.2 go through)."""
+    problems = []
+    for eid, event in enumerate(x.events):
+        mode = event.mode
+        if event.is_access:
+            if event.has(Label.ATO) and mode is None:
+                problems.append(f"e{eid}: atomic access without a memory order")
+            if not event.has(Label.ATO) and mode is not None:
+                problems.append(f"e{eid}: non-atomic access with memory order")
+        if event.is_fence and mode is None:
+            problems.append(f"e{eid}: C++ fence without a memory order")
+    for r, w in x.rmw:
+        if not (x.events[r].has(Label.ATO) and x.events[w].has(Label.ATO)):
+            problems.append(f"rmw e{r}->e{w} with non-atomic halves")
+    for idx, txn in enumerate(x.txns):
+        if txn.atomic:
+            for e in txn.events:
+                if x.events[e].has(Label.ATO):
+                    problems.append(
+                        f"atomic txn {idx} contains atomic operation e{e}"
+                    )
+    return problems

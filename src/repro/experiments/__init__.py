@@ -1,0 +1,29 @@
+"""Experiment harnesses: one module per paper table/figure."""
+
+from .ablation import AblationReport, format_ablation, run_ablation
+from .fig7 import Fig7Series, format_fig7, run_fig7
+from .rtl import RtlReport, format_rtl, run_rtl_check
+from .table1 import Table1, Table1Row, format_table1, run_table1, run_table1_cell
+from .table2 import Table2Row, format_table2, run_table2
+from .table3 import format_table3
+
+__all__ = [
+    "AblationReport",
+    "Fig7Series",
+    "RtlReport",
+    "Table1",
+    "Table1Row",
+    "Table2Row",
+    "format_ablation",
+    "format_fig7",
+    "format_rtl",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "run_ablation",
+    "run_fig7",
+    "run_rtl_check",
+    "run_table1",
+    "run_table1_cell",
+    "run_table2",
+]

@@ -1,0 +1,79 @@
+"""Table 3: the key constraints on π for lock elision (paper §8.3).
+
+The table is definitional; this module renders the concrete expansions
+the checker actually uses (so the printed table is guaranteed to match
+the executable semantics in :mod:`repro.metatheory.lockelision`) together
+with the three side constraints (LockVar, TxnIntro, TxnReadsLockFree).
+"""
+
+from __future__ import annotations
+
+from ..metatheory.lockelision import LOCK_VAR, _expand_lock, _expand_unlock
+
+__all__ = ["format_table3"]
+
+
+def _describe(events, rmw, ctrl) -> str:
+    parts = []
+    for i, event in enumerate(events):
+        tags = ",".join(sorted(event.labels))
+        name = f"{event.kind.value}"
+        if event.loc:
+            name += f" {event.loc}"
+        if tags:
+            name += f"[{tags}]"
+        parts.append(name)
+    notes = []
+    if rmw:
+        notes.append("rmw")
+    if ctrl:
+        notes.append("ctrl")
+    text = "; ".join(parts)
+    return f"{text}" + (f"  ({', '.join(notes)})" if notes else "")
+
+
+def format_table3() -> str:
+    lines = [
+        "Table 3: key constraints on pi for lock elision",
+        "",
+        f"{'Source':<8}{'x86':<34}{'Power':<38}",
+    ]
+    for source, arch_args in (
+        ("L", [("x86", False), ("power", False)]),
+        ("U", [("x86", None), ("power", None)]),
+    ):
+        cells = []
+        for arch, fixed in arch_args:
+            if source == "L":
+                events, rmw, ctrl, _ = _expand_lock(arch, fixed)
+                cells.append(_describe(events, rmw, ctrl))
+            else:
+                cells.append(_describe(_expand_unlock(arch), [], []))
+        lines.append(f"{source:<8}{cells[0]:<34}{cells[1]:<38}")
+
+    lines.append("")
+    lines.append(f"{'Source':<8}{'ARMv8':<34}{'ARMv8 (fixed)':<38}")
+    for source in ("L", "U"):
+        cells = []
+        for fixed in (False, True):
+            if source == "L":
+                events, rmw, ctrl, _ = _expand_lock("armv8", fixed)
+                cells.append(_describe(events, rmw, ctrl))
+            else:
+                cells.append(_describe(_expand_unlock("armv8"), [], []))
+        lines.append(f"{source:<8}{cells[0]:<34}{cells[1]:<38}")
+
+    lines.extend(
+        [
+            "",
+            "Lt -> R m   (a plain read of the lock, inside the transaction)",
+            "Ut -> (nothing)",
+            "",
+            "Side constraints:",
+            f"  LockVar:          the introduced accesses all target '{LOCK_VAR}',",
+            "                    which no other event accesses",
+            "  TxnIntro:         a transactionalised CR becomes one transaction",
+            "  TxnReadsLockFree: the Lt read never observes an L write",
+        ]
+    )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Litmus tests: programs, postconditions, conversion, expansion, text."""
+
+from .candidates import Candidate, all_outcomes, candidate_executions, observable
+from .from_execution import to_litmus
+from .parse import ParseError, dumps, loads
+from .program import CtrlBranch, Fence, Instruction, Load, Program, Store, TxBegin, TxEnd
+from .render import render, render_armv8, render_cpp, render_power, render_x86
+from .test import Atom, LitmusTest, MemEq, Outcome, RegEq, TxnOk
+
+__all__ = [
+    "Atom",
+    "Candidate",
+    "CtrlBranch",
+    "Fence",
+    "Instruction",
+    "LitmusTest",
+    "Load",
+    "MemEq",
+    "Outcome",
+    "ParseError",
+    "Program",
+    "RegEq",
+    "Store",
+    "TxBegin",
+    "TxEnd",
+    "TxnOk",
+    "all_outcomes",
+    "candidate_executions",
+    "dumps",
+    "loads",
+    "observable",
+    "render",
+    "render_armv8",
+    "render_cpp",
+    "render_power",
+    "render_x86",
+    "to_litmus",
+]

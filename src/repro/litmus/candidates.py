@@ -1,0 +1,318 @@
+"""Expand a litmus program into its candidate executions.
+
+This is the front half of a herd-style axiomatic checker (the paper's
+"candidate executions of a program are obtained by assuming a
+non-deterministic memory system", section 2): every load may observe any
+same-location store or the initial value, every location's stores are
+ordered arbitrarily by coherence, and every transaction independently
+commits or aborts (an aborted transaction's events vanish, section 3.1).
+
+:func:`observable` then answers the question the Litmus tool answers on
+hardware: can this test's postcondition be satisfied under a given model?
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.events import Event, EventKind, Label
+from ..core.execution import Execution, Transaction
+from ..models.base import MemoryModel
+from .program import (
+    CtrlBranch,
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from .test import LitmusTest, Outcome
+
+__all__ = ["Candidate", "candidate_executions", "observable", "all_outcomes"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate execution of a program plus its final state."""
+
+    execution: Execution
+    outcome: Outcome
+
+
+@dataclass
+class _ThreadShape:
+    """Per-thread expansion state for one commit/abort choice."""
+
+    events: list[Event]
+    regs: dict[str, int]  # register -> defining load event (thread-local id)
+    reads: list[tuple[int, str]]  # (local event id, dst register)
+    store_values: dict[int, int]  # local event id -> stored value
+    addr: list[tuple[int, int]]
+    data: list[tuple[int, int]]
+    ctrl: list[tuple[int, int]]
+    rmw: list[tuple[int, int]]
+    txns: list[tuple[int, int, bool]]  # (first, last, atomic) local ids
+    #: Commit feasibility conditions from conditional TxAborts inside
+    #: *committed* transactions: (local read event id, required value is
+    #: zero).  A committed transaction means no abort fired, so every
+    #: condition register must have read zero.
+    abort_conditions: list[int]
+
+
+def _expand_thread(
+    thread: tuple, committed: dict[int, bool]
+) -> _ThreadShape | None:
+    """Expand one thread given commit decisions for its transactions.
+
+    Returns ``None`` if a transaction chosen as committed contains an
+    unconditional ``TxAbort`` — that choice is infeasible (Remark 7.1:
+    such a transaction never succeeds).
+    """
+    shape = _ThreadShape([], {}, [], {}, [], [], [], [], [], [])
+    pending_ctrl: list[int] = []  # defining loads of all open branches
+    open_excl: dict[str, int] = {}  # loc -> unpaired exclusive load
+    txn_counter = -1
+    in_txn = False
+    txn_start = 0
+    txn_atomic = False
+    skipping = False
+
+    for instr in thread:
+        if isinstance(instr, TxBegin):
+            txn_counter += 1
+            if committed[txn_counter]:
+                in_txn = True
+                txn_atomic = instr.atomic
+                txn_start = len(shape.events)
+            else:
+                skipping = True
+            continue
+        if isinstance(instr, TxEnd):
+            if skipping:
+                skipping = False
+            elif in_txn:
+                in_txn = False
+                if len(shape.events) > txn_start:
+                    shape.txns.append(
+                        (txn_start, len(shape.events) - 1, txn_atomic)
+                    )
+            continue
+        if skipping:
+            continue
+        if isinstance(instr, TxAbort):
+            if not in_txn:
+                continue
+            if instr.reg is None:
+                return None  # committed choice is infeasible
+            shape.abort_conditions.append(shape.regs[instr.reg])
+            continue
+        if isinstance(instr, CtrlBranch):
+            for reg in instr.regs:
+                pending_ctrl.append(shape.regs[reg])
+            continue
+        if isinstance(instr, Fence):
+            eid = len(shape.events)
+            shape.events.append(Event(EventKind.FENCE, None, frozenset({instr.kind})))
+            shape.ctrl.extend((src, eid) for src in pending_ctrl)
+            continue
+        if isinstance(instr, Load):
+            eid = len(shape.events)
+            labels = set(instr.labels)
+            if instr.excl:
+                labels.add(Label.EXCL)
+            shape.events.append(Event(EventKind.READ, instr.loc, frozenset(labels)))
+            shape.regs[instr.dst] = eid
+            shape.reads.append((eid, instr.dst))
+            shape.addr.extend((shape.regs[r], eid) for r in instr.addr_dep)
+            shape.ctrl.extend((src, eid) for src in pending_ctrl)
+            if instr.excl:
+                open_excl[instr.loc] = eid
+            continue
+        if isinstance(instr, Store):
+            eid = len(shape.events)
+            labels = set(instr.labels)
+            if instr.excl:
+                labels.add(Label.EXCL)
+            shape.events.append(Event(EventKind.WRITE, instr.loc, frozenset(labels)))
+            shape.store_values[eid] = instr.value
+            shape.data.extend((shape.regs[r], eid) for r in instr.data_dep)
+            shape.addr.extend((shape.regs[r], eid) for r in instr.addr_dep)
+            shape.ctrl.extend((src, eid) for src in pending_ctrl)
+            if instr.excl and instr.loc in open_excl:
+                shape.rmw.append((open_excl.pop(instr.loc), eid))
+            continue
+        raise TypeError(f"unknown instruction {instr!r}")
+    return shape
+
+
+def _txn_counts(program: Program) -> list[int]:
+    return [
+        sum(isinstance(i, TxBegin) for i in thread) for thread in program.threads
+    ]
+
+
+def candidate_executions(program: Program) -> Iterator[Candidate]:
+    """Yield every candidate execution of ``program``."""
+    counts = _txn_counts(program)
+    commit_spaces = [
+        list(itertools.product([True, False], repeat=c)) for c in counts
+    ]
+    for commit_choice in itertools.product(*commit_spaces):
+        committed_sets = [
+            {i: ok for i, ok in enumerate(choices)} for choices in commit_choice
+        ]
+        shapes = [
+            _expand_thread(thread, committed_sets[tid])
+            for tid, thread in enumerate(program.threads)
+        ]
+        if any(shape is None for shape in shapes):
+            continue  # a committed transaction aborts unconditionally
+        yield from _expand_memory(program, shapes, committed_sets)
+
+
+def _expand_memory(
+    program: Program,
+    shapes: list[_ThreadShape],
+    committed_sets: list[dict[int, bool]],
+) -> Iterator[Candidate]:
+    """Enumerate rf choices and co orders for fixed thread shapes."""
+    # Global renumbering: threads in order, events in program order.
+    offset: list[int] = []
+    events: list[Event] = []
+    threads: list[list[int]] = []
+    for shape in shapes:
+        offset.append(len(events))
+        threads.append(list(range(len(events), len(events) + len(shape.events))))
+        events.extend(shape.events)
+
+    def glob(tid: int, local: int) -> int:
+        return offset[tid] + local
+
+    store_values: dict[int, int] = {}
+    writes_by_loc: dict[str, list[int]] = {}
+    for tid, shape in enumerate(shapes):
+        for local, value in shape.store_values.items():
+            store_values[glob(tid, local)] = value
+    for eid, event in enumerate(events):
+        if event.is_write:
+            writes_by_loc.setdefault(event.loc, []).append(eid)
+
+    reads: list[tuple[int, int, str]] = []  # (tid, global id, reg)
+    for tid, shape in enumerate(shapes):
+        for local, reg in shape.reads:
+            reads.append((tid, glob(tid, local), reg))
+
+    # Conditional aborts in committed transactions: the condition read
+    # must observe zero, i.e. the initial value (store values are
+    # non-zero by validation).
+    condition_reads: list[int] = []
+    for tid, shape in enumerate(shapes):
+        condition_reads.extend(glob(tid, c) for c in shape.abort_conditions)
+
+    deps = {"addr": [], "data": [], "ctrl": [], "rmw": []}
+    txns: list[Transaction] = []
+    for tid, shape in enumerate(shapes):
+        for name in ("addr", "data", "ctrl", "rmw"):
+            deps[name].extend(
+                (glob(tid, a), glob(tid, b)) for a, b in getattr(shape, name)
+            )
+        for first, last, atomic in shape.txns:
+            txns.append(
+                Transaction(
+                    tuple(range(glob(tid, first), glob(tid, last) + 1)), atomic
+                )
+            )
+
+    committed = frozenset(
+        (tid, idx)
+        for tid, chosen in enumerate(committed_sets)
+        for idx, ok in chosen.items()
+        if ok
+    )
+    aborted = frozenset(
+        (tid, idx)
+        for tid, chosen in enumerate(committed_sets)
+        for idx, ok in chosen.items()
+        if not ok
+    )
+
+    rf_spaces = [
+        [None] + writes_by_loc.get(events[r].loc, [])
+        for _, r, _ in reads
+    ]
+    co_locs = [loc for loc, ws in writes_by_loc.items() if len(ws) > 1]
+    co_spaces = [list(itertools.permutations(writes_by_loc[loc])) for loc in co_locs]
+
+    nonempty_threads = [t for t in threads if t]
+    for rf_choice in itertools.product(*rf_spaces):
+        rf = {
+            r: w
+            for (_, r, _), w in zip(reads, rf_choice)
+            if w is not None
+        }
+        if any(c in rf for c in condition_reads):
+            continue  # a committed transaction's abort would have fired
+        for co_choice in itertools.product(*co_spaces):
+            co = {loc: order for loc, order in zip(co_locs, co_choice)}
+            for loc, ws in writes_by_loc.items():
+                if len(ws) == 1:
+                    co[loc] = tuple(ws)
+            execution = Execution(
+                events=events,
+                threads=nonempty_threads,
+                rf=rf,
+                co=co,
+                addr=deps["addr"],
+                data=deps["data"],
+                ctrl=deps["ctrl"],
+                rmw=deps["rmw"],
+                txns=txns,
+            )
+            registers = {
+                (tid, reg): (store_values[rf[r]] if r in rf else 0)
+                for tid, r, reg in reads
+            }
+            memory = {
+                loc: store_values[order[-1]]
+                for loc, order in co.items()
+                if order
+            }
+            write_orders = {
+                loc: tuple(store_values[w] for w in order)
+                for loc, order in co.items()
+                if order
+            }
+            outcome = Outcome(
+                registers=registers,
+                memory=memory,
+                committed=committed,
+                aborted=aborted,
+                write_orders=write_orders,
+            )
+            yield Candidate(execution, outcome)
+
+
+def observable(test: LitmusTest, model: MemoryModel) -> bool:
+    """Can ``test``'s postcondition be satisfied under ``model``?
+
+    This is the axiomatic analogue of running the test on hardware: the
+    test is observable iff some consistent candidate execution satisfies
+    the postcondition.
+    """
+    for candidate in candidate_executions(test.program):
+        if test.check(candidate.outcome) and model.consistent(candidate.execution):
+            return True
+    return False
+
+
+def all_outcomes(test: LitmusTest, model: MemoryModel) -> set[tuple]:
+    """All final states reachable under ``model`` (as hashable keys)."""
+    out: set[tuple] = set()
+    for candidate in candidate_executions(test.program):
+        if model.consistent(candidate.execution):
+            out.add(candidate.outcome.key())
+    return out

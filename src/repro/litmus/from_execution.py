@@ -1,0 +1,136 @@
+"""Convert executions into litmus tests (paper sections 2.2 and 3.2).
+
+The construction ensures the postcondition passes exactly when the
+intended execution is taken:
+
+* every store writes a unique non-zero value (the write's coherence
+  position);
+* each load's destination register is checked against the value of the
+  write it is intended to observe (or 0 for the initial value), fixing
+  the ``rf`` edges;
+* the final value of every written location is checked, fixing the last
+  ``co`` edge (with more than two writes per location the intermediate
+  ``co`` order is additionally pinned by the distinct values — see the
+  paper's footnote 2);
+* every transaction's success is checked through a per-transaction ``ok``
+  flag that its fail handler zeroes (section 3.2).
+"""
+
+from __future__ import annotations
+
+from ..core.events import EventKind, Label
+from ..core.execution import Execution
+from .program import CtrlBranch, Fence, Instruction, Load, Program, Store, TxBegin, TxEnd
+from .test import Atom, CoSeq, LitmusTest, MemEq, RegEq, TxnOk
+
+__all__ = ["to_litmus"]
+
+
+def to_litmus(x: Execution, name: str, arch: str) -> LitmusTest:
+    """Build the litmus test whose passing outcome witnesses ``x``."""
+    values = x.write_values
+    reg_of: dict[int, str] = {}
+    for tid, thread in enumerate(x.threads):
+        counter = 0
+        for eid in thread:
+            if x.events[eid].is_read:
+                reg_of[eid] = f"r{counter}"
+                counter += 1
+
+    # Control dependencies: a branch is inserted before the *earliest*
+    # target of each read's ctrl edges; real branches order everything
+    # after them, which only downward-closes the dependency set.
+    ctrl_before: dict[int, list[str]] = {}
+    for src, tgt in sorted(x.ctrl):
+        pos = {e: i for i, e in enumerate(x.threads[x.tid_of[src]])}
+        earliest = min(
+            (t for s, t in x.ctrl if s == src), key=lambda e: pos.get(e, 1 << 30)
+        )
+        regs = ctrl_before.setdefault(earliest, [])
+        if reg_of[src] not in regs:
+            regs.append(reg_of[src])
+
+    data_regs: dict[int, list[str]] = {}
+    for src, tgt in sorted(x.data):
+        data_regs.setdefault(tgt, []).append(reg_of[src])
+    addr_regs: dict[int, list[str]] = {}
+    for src, tgt in sorted(x.addr):
+        addr_regs.setdefault(tgt, []).append(reg_of[src])
+
+    excl_events = {e for pair in x.rmw for e in pair}
+
+    threads: list[list[Instruction]] = []
+    txn_index: dict[int, tuple[int, int]] = {}  # txn idx -> (tid, per-thread idx)
+    for tid, thread in enumerate(x.threads):
+        instrs: list[Instruction] = []
+        per_thread_txns = 0
+        open_txn: int | None = None
+        for eid in thread:
+            event = x.events[eid]
+            this_txn = x.txn_of.get(eid)
+            if open_txn is not None and this_txn != open_txn:
+                instrs.append(TxEnd())
+                open_txn = None
+            if this_txn is not None and this_txn != open_txn:
+                instrs.append(TxBegin(atomic=x.txns[this_txn].atomic))
+                txn_index[this_txn] = (tid, per_thread_txns)
+                per_thread_txns += 1
+                open_txn = this_txn
+            if eid in ctrl_before:
+                instrs.append(CtrlBranch(tuple(ctrl_before[eid])))
+            if event.is_read:
+                instrs.append(
+                    Load(
+                        dst=reg_of[eid],
+                        loc=event.loc,
+                        labels=event.labels - {Label.EXCL},
+                        addr_dep=tuple(addr_regs.get(eid, ())),
+                        excl=eid in excl_events,
+                    )
+                )
+            elif event.is_write:
+                instrs.append(
+                    Store(
+                        loc=event.loc,
+                        value=values[eid],
+                        labels=event.labels - {Label.EXCL},
+                        data_dep=tuple(data_regs.get(eid, ())),
+                        addr_dep=tuple(addr_regs.get(eid, ())),
+                        excl=eid in excl_events,
+                    )
+                )
+            elif event.is_fence:
+                instrs.append(Fence(event.fence_kind))
+            else:
+                raise ValueError(
+                    f"cannot emit litmus code for call event e{eid}"
+                )
+        if open_txn is not None:
+            instrs.append(TxEnd())
+        threads.append(instrs)
+
+    postcondition: list[Atom] = []
+    for txn_idx in sorted(txn_index):
+        tid, per_thread = txn_index[txn_idx]
+        postcondition.append(TxnOk(tid, per_thread, ok=True))
+    for tid, thread in enumerate(x.threads):
+        for eid in thread:
+            if x.events[eid].is_read:
+                postcondition.append(RegEq(tid, reg_of[eid], x.read_value(eid)))
+    for loc in x.locations:
+        writes_here = [w for w in x.writes if x.events[w].loc == loc]
+        if writes_here:
+            postcondition.append(MemEq(loc, x.final_value(loc)))
+        # Footnote 2: with three or more writes, the final value cannot
+        # pin every co-edge; carry the full coherence sequence.
+        if len(writes_here) >= 3:
+            postcondition.append(
+                CoSeq(loc, tuple(values[w] for w in x.co[loc]))
+            )
+
+    return LitmusTest(
+        name=name,
+        arch=arch,
+        program=Program(tuple(tuple(t) for t in threads)),
+        postcondition=tuple(postcondition),
+    )

@@ -1,0 +1,231 @@
+"""Parser for the neutral litmus format.
+
+The format is line-based and mirrors the instruction set of
+:mod:`repro.litmus.program` one-to-one, so tests round-trip through
+:func:`dumps`/:func:`loads`::
+
+    litmus "sb+txn" x86
+    init x=0 y=0
+    thread
+      txbegin
+      store x 1
+      load r0 y
+      txend
+    thread
+      store y 1
+      load r0 x
+    exists 0:r0=0 & 1:r0=0 & txn(0,0)=ok
+
+Instruction syntax:
+
+* ``load REG LOC [label,...]`` / ``store LOC VALUE [label,...]``
+* options after the operands: ``excl``, ``data=REG[,REG]``,
+  ``addr=REG[,REG]``
+* ``fence KIND``, ``branch REG[,REG]``, ``txbegin [atomic]``, ``txend``
+
+Postcondition atoms: ``TID:REG=V``, ``LOC=V``, ``txn(TID,IDX)=ok|aborted``.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+
+from .program import (
+    CtrlBranch,
+    Fence,
+    Instruction,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from .test import Atom, CoSeq, LitmusTest, MemEq, RegEq, TxnOk
+
+__all__ = ["loads", "dumps", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed litmus text."""
+
+
+_HEADER = re.compile(r'^litmus\s+"([^"]+)"\s+(\w[\w+-]*)$')
+_REG_ATOM = re.compile(r"^(\d+):(\w+)=(-?\d+)$")
+_MEM_ATOM = re.compile(r"^(\w+)=(-?\d+)$")
+_TXN_ATOM = re.compile(r"^txn\((\d+),(\d+)\)=(ok|aborted)$")
+_CO_ATOM = re.compile(r"^co\((\w+)\)=((?:-?\d+)(?:,-?\d+)*)$")
+
+
+def _parse_options(parts: list[str]) -> dict:
+    opts: dict = {"labels": frozenset(), "excl": False, "data": (), "addr": ()}
+    for part in parts:
+        if part == "excl":
+            opts["excl"] = True
+        elif part.startswith("data="):
+            opts["data"] = tuple(part[5:].split(","))
+        elif part.startswith("addr="):
+            opts["addr"] = tuple(part[5:].split(","))
+        else:
+            opts["labels"] = opts["labels"] | frozenset(part.split(","))
+    return opts
+
+
+def _parse_instruction(line: str, lineno: int) -> Instruction:
+    parts = shlex.split(line)
+    op = parts[0]
+    try:
+        if op == "load":
+            opts = _parse_options(parts[3:])
+            return Load(
+                dst=parts[1],
+                loc=parts[2],
+                labels=opts["labels"],
+                addr_dep=opts["addr"],
+                excl=opts["excl"],
+            )
+        if op == "store":
+            opts = _parse_options(parts[3:])
+            return Store(
+                loc=parts[1],
+                value=int(parts[2]),
+                labels=opts["labels"],
+                data_dep=opts["data"],
+                addr_dep=opts["addr"],
+                excl=opts["excl"],
+            )
+        if op == "fence":
+            return Fence(parts[1])
+        if op == "branch":
+            return CtrlBranch(tuple(parts[1].split(",")))
+        if op == "txbegin":
+            return TxBegin(atomic="atomic" in parts[1:])
+        if op == "txabort":
+            return TxAbort(parts[1] if len(parts) > 1 else None)
+        if op == "txend":
+            return TxEnd()
+    except (IndexError, ValueError) as exc:
+        raise ParseError(f"line {lineno}: {exc}") from exc
+    raise ParseError(f"line {lineno}: unknown instruction {op!r}")
+
+
+def _parse_atom(text: str, lineno: int) -> Atom:
+    text = text.strip()
+    if m := _TXN_ATOM.match(text):
+        return TxnOk(int(m.group(1)), int(m.group(2)), m.group(3) == "ok")
+    if m := _CO_ATOM.match(text):
+        values = tuple(int(v) for v in m.group(2).split(","))
+        return CoSeq(m.group(1), values)
+    if m := _REG_ATOM.match(text):
+        return RegEq(int(m.group(1)), m.group(2), int(m.group(3)))
+    if m := _MEM_ATOM.match(text):
+        return MemEq(m.group(1), int(m.group(2)))
+    raise ParseError(f"line {lineno}: bad postcondition atom {text!r}")
+
+
+def loads(text: str) -> LitmusTest:
+    """Parse a litmus test from its textual form."""
+    name = arch = None
+    init: dict[str, int] = {}
+    threads: list[list[Instruction]] = []
+    atoms: list[Atom] = []
+    current: list[Instruction] | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if m := _HEADER.match(line):
+            name, arch = m.group(1), m.group(2)
+        elif line.startswith("init"):
+            for part in line.split()[1:]:
+                loc, _, value = part.partition("=")
+                init[loc] = int(value)
+        elif line == "thread":
+            current = []
+            threads.append(current)
+        elif line.startswith("exists"):
+            for part in line[len("exists"):].split("&"):
+                atoms.append(_parse_atom(part, lineno))
+        else:
+            if current is None:
+                raise ParseError(f"line {lineno}: instruction outside a thread")
+            current.append(_parse_instruction(line, lineno))
+
+    if name is None or arch is None:
+        raise ParseError("missing litmus header line")
+    if not threads:
+        raise ParseError("litmus test has no threads")
+    return LitmusTest(
+        name=name,
+        arch=arch,
+        program=Program(tuple(tuple(t) for t in threads)),
+        postcondition=tuple(atoms),
+        init=init,
+    )
+
+
+def dumps(test: LitmusTest) -> str:
+    """Serialise a litmus test into the neutral format."""
+    lines = [f'litmus "{test.name}" {test.arch}']
+    locs = test.program.locations()
+    if locs:
+        lines.append(
+            "init " + " ".join(f"{loc}={test.init.get(loc, 0)}" for loc in locs)
+        )
+    for thread in test.program.threads:
+        lines.append("thread")
+        for instr in thread:
+            lines.append("  " + _dump_instruction(instr))
+    if test.postcondition:
+        lines.append(
+            "exists " + " & ".join(_dump_atom(a) for a in test.postcondition)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _dump_instruction(instr: Instruction) -> str:
+    if isinstance(instr, Load):
+        parts = ["load", instr.dst, instr.loc]
+        if instr.labels:
+            parts.append(",".join(sorted(instr.labels)))
+        if instr.addr_dep:
+            parts.append("addr=" + ",".join(instr.addr_dep))
+        if instr.excl:
+            parts.append("excl")
+        return " ".join(parts)
+    if isinstance(instr, Store):
+        parts = ["store", instr.loc, str(instr.value)]
+        if instr.labels:
+            parts.append(",".join(sorted(instr.labels)))
+        if instr.data_dep:
+            parts.append("data=" + ",".join(instr.data_dep))
+        if instr.addr_dep:
+            parts.append("addr=" + ",".join(instr.addr_dep))
+        if instr.excl:
+            parts.append("excl")
+        return " ".join(parts)
+    if isinstance(instr, Fence):
+        return f"fence {instr.kind}"
+    if isinstance(instr, CtrlBranch):
+        return "branch " + ",".join(instr.regs)
+    if isinstance(instr, TxBegin):
+        return "txbegin atomic" if instr.atomic else "txbegin"
+    if isinstance(instr, TxAbort):
+        return f"txabort {instr.reg}" if instr.reg else "txabort"
+    if isinstance(instr, TxEnd):
+        return "txend"
+    raise TypeError(f"unknown instruction {instr!r}")
+
+
+def _dump_atom(atom: Atom) -> str:
+    if isinstance(atom, RegEq):
+        return f"{atom.tid}:{atom.reg}={atom.value}"
+    if isinstance(atom, MemEq):
+        return f"{atom.loc}={atom.value}"
+    if isinstance(atom, TxnOk):
+        return f"txn({atom.tid},{atom.index})={'ok' if atom.ok else 'aborted'}"
+    if isinstance(atom, CoSeq):
+        return f"co({atom.loc})=" + ",".join(str(v) for v in atom.values)
+    raise TypeError(f"unknown atom {atom!r}")

@@ -1,0 +1,206 @@
+"""Litmus programs: a small architecture-neutral instruction set.
+
+Litmus tests are programs with a postcondition (section 2.2).  We keep the
+program representation neutral — loads, stores, fences, transaction
+brackets, and register-carried dependencies — and specialise the surface
+syntax per architecture in :mod:`repro.litmus.render`.
+
+Dependency encoding follows litmus-tool conventions:
+
+* a **data** dependency is a store whose value is computed from a register
+  (``Store(..., data_dep=("r0",))`` renders as ``eor``/``xor`` tricks);
+* an **address** dependency is an access whose address mixes in a register
+  (``addr_dep=("r0",)``);
+* a **control** dependency is a conditional branch on a register
+  (``CtrlBranch(("r0",))``) — every po-later event in the thread is
+  control-dependent on the loads that produced the registers.
+
+Exclusives (``excl=True`` on Load/Store) model Power/ARM
+load-/store-exclusive pairs; an exclusive store is paired with the
+closest preceding exclusive load on the same location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = [
+    "Load",
+    "Store",
+    "Fence",
+    "CtrlBranch",
+    "TxBegin",
+    "TxAbort",
+    "TxEnd",
+    "Instruction",
+    "Program",
+]
+
+
+@dataclass(frozen=True)
+class Load:
+    """Load ``loc`` into register ``dst``."""
+
+    dst: str
+    loc: str
+    labels: frozenset[str] = field(default_factory=frozenset)
+    addr_dep: tuple[str, ...] = ()
+    excl: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "labels", frozenset(self.labels))
+
+
+@dataclass(frozen=True)
+class Store:
+    """Store constant ``value`` to ``loc`` (optionally via registers)."""
+
+    loc: str
+    value: int
+    labels: frozenset[str] = field(default_factory=frozenset)
+    data_dep: tuple[str, ...] = ()
+    addr_dep: tuple[str, ...] = ()
+    excl: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "labels", frozenset(self.labels))
+
+
+@dataclass(frozen=True)
+class Fence:
+    """An architecture fence of the given flavour (``sync``, ``dmb``…)."""
+
+    kind: str
+
+
+@dataclass(frozen=True)
+class CtrlBranch:
+    """A conditional branch on ``regs``: induces control dependencies from
+    the loads defining those registers to every later event."""
+
+    regs: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TxBegin:
+    """Start of a transaction.  ``atomic`` marks C++ ``atomic{}``."""
+
+    atomic: bool = False
+
+
+@dataclass(frozen=True)
+class TxAbort:
+    """An explicit ``abort()``/``TXABORT`` inside a transaction.
+
+    ``reg is None`` aborts unconditionally: the transaction can *never*
+    commit (the paper's Remark 7.1 case, whose race semantics
+    :mod:`repro.models.aborts` implements).  With a register, the abort
+    fires iff the register is non-zero — the self-abort idiom of lock
+    elision ("load the lock variable and abort if non-zero",
+    Example 1.1).  Conditional aborts are resolved by the operational
+    machines and by the candidate expansion (which knows every read's
+    value from the rf choice).
+    """
+
+    reg: str | None = None
+
+
+@dataclass(frozen=True)
+class TxEnd:
+    """End of the innermost open transaction."""
+
+
+Instruction = Union[Load, Store, Fence, CtrlBranch, TxBegin, TxAbort, TxEnd]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A multi-threaded litmus program."""
+
+    threads: tuple[tuple[Instruction, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "threads", tuple(tuple(t) for t in self.threads)
+        )
+        problems = self.validate()
+        if problems:
+            raise ValueError("; ".join(problems))
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    def locations(self) -> tuple[str, ...]:
+        """All memory locations, in first-use order."""
+        seen: dict[str, None] = {}
+        for thread in self.threads:
+            for instr in thread:
+                if isinstance(instr, (Load, Store)) and instr.loc not in seen:
+                    seen[instr.loc] = None
+        return tuple(seen)
+
+    def stores(self) -> Iterator[tuple[int, int, Store]]:
+        """Yield ``(tid, index, store)`` for every store."""
+        for tid, thread in enumerate(self.threads):
+            for idx, instr in enumerate(thread):
+                if isinstance(instr, Store):
+                    yield tid, idx, instr
+
+    def loads(self) -> Iterator[tuple[int, int, Load]]:
+        """Yield ``(tid, index, load)`` for every load."""
+        for tid, thread in enumerate(self.threads):
+            for idx, instr in enumerate(thread):
+                if isinstance(instr, Load):
+                    yield tid, idx, instr
+
+    def validate(self) -> list[str]:
+        """Structural validation: balanced txn brackets, unique store
+        values per location, registers defined before use."""
+        problems = []
+        values: dict[str, set[int]] = {}
+        for tid, thread in enumerate(self.threads):
+            depth = 0
+            defined: set[str] = set()
+            for idx, instr in enumerate(thread):
+                where = f"thread {tid} instr {idx}"
+                if isinstance(instr, TxBegin):
+                    if depth:
+                        problems.append(f"{where}: nested transaction")
+                    depth += 1
+                elif isinstance(instr, TxEnd):
+                    if not depth:
+                        problems.append(f"{where}: txend without txbegin")
+                    depth -= 1
+                elif isinstance(instr, Load):
+                    for reg in instr.addr_dep:
+                        if reg not in defined:
+                            problems.append(f"{where}: undefined register {reg}")
+                    defined.add(instr.dst)
+                elif isinstance(instr, Store):
+                    for reg in instr.data_dep + instr.addr_dep:
+                        if reg not in defined:
+                            problems.append(f"{where}: undefined register {reg}")
+                    if instr.value in values.setdefault(instr.loc, set()):
+                        problems.append(
+                            f"{where}: duplicate value {instr.value} for "
+                            f"{instr.loc}"
+                        )
+                    values[instr.loc].add(instr.value)
+                    if instr.value == 0:
+                        problems.append(f"{where}: stores must be non-zero")
+                elif isinstance(instr, CtrlBranch):
+                    for reg in instr.regs:
+                        if reg not in defined:
+                            problems.append(f"{where}: undefined register {reg}")
+                elif isinstance(instr, TxAbort):
+                    if not depth:
+                        problems.append(f"{where}: txabort outside a transaction")
+                    if instr.reg is not None and instr.reg not in defined:
+                        problems.append(
+                            f"{where}: undefined register {instr.reg}"
+                        )
+            if depth:
+                problems.append(f"thread {tid}: unclosed transaction")
+        return problems

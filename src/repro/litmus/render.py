@@ -1,0 +1,478 @@
+"""Render litmus tests in per-architecture surface syntax.
+
+The output mirrors the style of the paper's examples: x86 TSX mnemonics
+(Fig. 2's ``XBEGIN``/``XEND``), Power's ``tbegin.``/``tend.``, the
+representative ARMv8 ``TXBEGIN``/``TXEND`` of Example 1.1, and the C++ TM
+technical specification's ``atomic {}``/``synchronized {}`` blocks.
+
+These renderings are for human consumption and for diffing against the
+paper; the machine-checked semantics lives in
+:mod:`repro.litmus.candidates`.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Label
+from .program import CtrlBranch, Fence, Load, Store, TxAbort, TxBegin, TxEnd
+from .test import CoSeq, LitmusTest, MemEq, RegEq, TxnOk
+
+__all__ = [
+    "render",
+    "render_x86",
+    "render_power",
+    "render_armv8",
+    "render_riscv",
+    "render_cpp",
+]
+
+_X86_REGS = ["EAX", "EBX", "ECX", "EDX", "ESI", "EDI", "R8D", "R9D"]
+_X86_FENCES = {Label.MFENCE: "MFENCE"}
+_POWER_FENCES = {Label.SYNC: "sync", Label.LWSYNC: "lwsync", Label.ISYNC: "isync"}
+_ARM_FENCES = {
+    Label.DMB: "DMB SY",
+    Label.DMB_LD: "DMB LD",
+    Label.DMB_ST: "DMB ST",
+    Label.ISB: "ISB",
+}
+
+
+def render(test: LitmusTest) -> str:
+    """Dispatch on the test's architecture tag."""
+    renderers = {
+        "x86": render_x86,
+        "power": render_power,
+        "armv8": render_armv8,
+        "riscv": render_riscv,
+        "cpp": render_cpp,
+        "sc": render_armv8,  # SC/TSC tests display in a neutral RISC syntax
+        "tsc": render_armv8,
+    }
+    try:
+        return renderers[test.arch](test)
+    except KeyError:
+        raise ValueError(f"no renderer for architecture {test.arch!r}") from None
+
+
+def _columns(threads: list[list[str]]) -> str:
+    """Typeset per-thread instruction lists side by side."""
+    width = max((len(line) for col in threads for line in col), default=0)
+    height = max((len(col) for col in threads), default=0)
+    header = " | ".join(f"P{i}".ljust(width) for i in range(len(threads)))
+    rows = [header, "-+-".join("-" * width for _ in threads)]
+    for i in range(height):
+        cells = [
+            (col[i] if i < len(col) else "").ljust(width) for col in threads
+        ]
+        rows.append(" | ".join(cells))
+    return "\n".join(rows)
+
+
+def _init_line(test: LitmusTest) -> str:
+    locs = test.program.locations()
+    parts = [f"{loc}={test.init.get(loc, 0)}" for loc in locs]
+    return "{ " + "; ".join(parts) + " }"
+
+
+def _exists_line(test: LitmusTest, reg_name) -> str:
+    parts = []
+    for atom in test.postcondition:
+        if isinstance(atom, RegEq):
+            parts.append(f"{atom.tid}:{reg_name(atom.tid, atom.reg)}={atom.value}")
+        elif isinstance(atom, MemEq):
+            parts.append(f"{atom.loc}={atom.value}")
+        elif isinstance(atom, TxnOk):
+            state = "ok" if atom.ok else "aborted"
+            parts.append(f"txn{atom.index}@P{atom.tid}={state}")
+        elif isinstance(atom, CoSeq):
+            chain = "->".join(str(v) for v in atom.values)
+            parts.append(f"co({atom.loc})={chain}")
+    return "exists (" + " /\\ ".join(parts) + ")"
+
+
+# ----------------------------------------------------------------------
+# x86
+# ----------------------------------------------------------------------
+
+
+def render_x86(test: LitmusTest) -> str:
+    def reg_name(tid: int, reg: str) -> str:
+        return _X86_REGS[int(reg.lstrip("r")) % len(_X86_REGS)]
+
+    threads = []
+    for tid, thread in enumerate(test.program.threads):
+        lines: list[str] = []
+        txn = 0
+        pending_excl: dict[str, str] = {}
+        for instr in thread:
+            if isinstance(instr, TxBegin):
+                lines.append(f"XBEGIN fail{txn}")
+            elif isinstance(instr, TxAbort):
+                if instr.reg is not None:
+                    lines.append(f"TEST {reg_name(tid, instr.reg)}; JZ ok{txn}")
+                lines.append("XABORT $0")
+                if instr.reg is not None:
+                    lines.append(f"ok{txn}:")
+            elif isinstance(instr, TxEnd):
+                lines.append("XEND")
+                txn += 1
+            elif isinstance(instr, Fence):
+                lines.append(_X86_FENCES.get(instr.kind, instr.kind.upper()))
+            elif isinstance(instr, CtrlBranch):
+                for reg in instr.regs:
+                    lines.append(f"TEST {reg_name(tid, reg)}; JNE skip")
+            elif isinstance(instr, Load):
+                if instr.excl:
+                    # The load half of a LOCK'd RMW; rendered at the store.
+                    pending_excl[instr.loc] = instr.dst
+                    continue
+                lines.append(f"MOV {reg_name(tid, instr.dst)},[{instr.loc}]")
+            elif isinstance(instr, Store):
+                if instr.excl and instr.loc in pending_excl:
+                    dst = pending_excl.pop(instr.loc)
+                    lines.append(
+                        f"LOCK XCHG [{instr.loc}],${instr.value} "
+                        f"; old -> {reg_name(tid, dst)}"
+                    )
+                else:
+                    lines.append(f"MOV [{instr.loc}],${instr.value}")
+        threads.append(lines)
+    return "\n".join(
+        [
+            f"X86 {test.name}",
+            _init_line(test),
+            _columns(threads),
+            _exists_line(test, reg_name),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Power
+# ----------------------------------------------------------------------
+
+
+def render_power(test: LitmusTest) -> str:
+    def reg_name(tid: int, reg: str) -> str:
+        return "r" + str(int(reg.lstrip("r")) + 1)
+
+    threads = []
+    for tid, thread in enumerate(test.program.threads):
+        lines: list[str] = []
+        scratch = 10
+        for instr in thread:
+            if isinstance(instr, TxBegin):
+                lines.append("tbegin.")
+                lines.append("beq fail")
+            elif isinstance(instr, TxAbort):
+                if instr.reg is not None:
+                    lines.append(f"cmpwi {reg_name(tid, instr.reg)},0")
+                    lines.append("beq ok")
+                lines.append("tabort. 0")
+                if instr.reg is not None:
+                    lines.append("ok:")
+            elif isinstance(instr, TxEnd):
+                lines.append("tend.")
+            elif isinstance(instr, Fence):
+                lines.append(_POWER_FENCES.get(instr.kind, instr.kind))
+            elif isinstance(instr, CtrlBranch):
+                for reg in instr.regs:
+                    lines.append(f"cmpwi {reg_name(tid, reg)},0")
+                    lines.append("bne skip")
+            elif isinstance(instr, Load):
+                op = "lwarx" if instr.excl else "lwz"
+                addr = f"0({instr.loc})"
+                if instr.addr_dep:
+                    mix = reg_name(tid, instr.addr_dep[0])
+                    lines.append(f"xor r{scratch},{mix},{mix}")
+                    addr = f"r{scratch}({instr.loc})"
+                    scratch += 1
+                suffix = ",0" if instr.excl else ""
+                lines.append(f"{op} {reg_name(tid, instr.dst)},{addr}{suffix}")
+            elif isinstance(instr, Store):
+                value_reg = f"r{scratch}"
+                scratch += 1
+                if instr.data_dep:
+                    mix = reg_name(tid, instr.data_dep[0])
+                    lines.append(f"xor {value_reg},{mix},{mix}")
+                    lines.append(f"addi {value_reg},{value_reg},{instr.value}")
+                else:
+                    lines.append(f"li {value_reg},{instr.value}")
+                op = "stwcx." if instr.excl else "stw"
+                lines.append(f"{op} {value_reg},0({instr.loc})")
+                if instr.excl:
+                    lines.append("bne fail")
+        threads.append(lines)
+    return "\n".join(
+        [
+            f"PPC {test.name}",
+            _init_line(test),
+            _columns(threads),
+            _exists_line(test, reg_name),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# ARMv8
+# ----------------------------------------------------------------------
+
+
+def render_armv8(test: LitmusTest) -> str:
+    def reg_name(tid: int, reg: str) -> str:
+        return "W" + str(int(reg.lstrip("r")))
+
+    threads = []
+    for tid, thread in enumerate(test.program.threads):
+        lines: list[str] = []
+        scratch = 10
+        txn = 0
+        for instr in thread:
+            if isinstance(instr, TxBegin):
+                lines.append(f"TXBEGIN fail{txn}")
+            elif isinstance(instr, TxAbort):
+                if instr.reg is not None:
+                    lines.append(f"CBZ {reg_name(tid, instr.reg)},L{txn}")
+                lines.append("TXABORT")
+                if instr.reg is not None:
+                    lines.append(f"L{txn}:")
+            elif isinstance(instr, TxEnd):
+                lines.append("TXEND")
+                txn += 1
+            elif isinstance(instr, Fence):
+                lines.append(_ARM_FENCES.get(instr.kind, instr.kind.upper()))
+            elif isinstance(instr, CtrlBranch):
+                for reg in instr.regs:
+                    lines.append(f"CBNZ {reg_name(tid, reg)},skip")
+            elif isinstance(instr, Load):
+                acq = Label.ACQ in instr.labels
+                op = {
+                    (False, False): "LDR",
+                    (True, False): "LDAR",
+                    (False, True): "LDXR",
+                    (True, True): "LDAXR",
+                }[(acq, instr.excl)]
+                addr = f"[{instr.loc}]"
+                if instr.addr_dep:
+                    mix = reg_name(tid, instr.addr_dep[0])
+                    lines.append(f"EOR W{scratch},{mix},{mix}")
+                    addr = f"[{instr.loc},W{scratch}]"
+                    scratch += 1
+                lines.append(f"{op} {reg_name(tid, instr.dst)},{addr}")
+            elif isinstance(instr, Store):
+                value_reg = f"W{scratch}"
+                scratch += 1
+                if instr.data_dep:
+                    mix = reg_name(tid, instr.data_dep[0])
+                    lines.append(f"EOR {value_reg},{mix},{mix}")
+                    lines.append(f"ADD {value_reg},{value_reg},#{instr.value}")
+                else:
+                    lines.append(f"MOV {value_reg},#{instr.value}")
+                rel = Label.REL in instr.labels
+                if instr.excl:
+                    status = f"W{scratch}"
+                    scratch += 1
+                    op = "STLXR" if rel else "STXR"
+                    lines.append(f"{op} {status},{value_reg},[{instr.loc}]")
+                    lines.append(f"CBNZ {status},retry")
+                else:
+                    op = "STLR" if rel else "STR"
+                    lines.append(f"{op} {value_reg},[{instr.loc}]")
+        threads.append(lines)
+    return "\n".join(
+        [
+            f"AArch64 {test.name}",
+            _init_line(test),
+            _columns(threads),
+            _exists_line(test, reg_name),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# RISC-V
+# ----------------------------------------------------------------------
+
+_RISCV_FENCES = {
+    Label.FENCE_RW_RW: "fence rw,rw",
+    Label.FENCE_R_RW: "fence r,rw",
+    Label.FENCE_RW_W: "fence rw,w",
+    Label.FENCE_TSO: "fence.tso",
+}
+
+
+def render_riscv(test: LitmusTest) -> str:
+    """RISC-V assembly surface syntax.
+
+    Loads/stores use ``lw``/``sw`` with the location's address held in a
+    symbolic register; acquire/release annotate the LR/SC/AMO forms as
+    ``.aq``/``.rl``.  The TM mnemonics (``tx.begin``/``tx.abort``/
+    ``tx.end``) are unofficial — RISC-V has no ratified TM extension —
+    exactly as the paper's ARMv8 mnemonics are "unofficial but
+    representative" (Example 1.1).
+    """
+
+    def reg_name(tid: int, reg: str) -> str:
+        return "x" + str(int(reg.lstrip("r")) + 5)
+
+    threads = []
+    for tid, thread in enumerate(test.program.threads):
+        lines: list[str] = []
+        scratch = 28
+        txn = 0
+        for instr in thread:
+            if isinstance(instr, TxBegin):
+                lines.append(f"tx.begin fail{txn}")
+            elif isinstance(instr, TxAbort):
+                if instr.reg is not None:
+                    lines.append(f"beqz {reg_name(tid, instr.reg)},L{txn}")
+                lines.append("tx.abort")
+                if instr.reg is not None:
+                    lines.append(f"L{txn}:")
+            elif isinstance(instr, TxEnd):
+                lines.append("tx.end")
+                txn += 1
+            elif isinstance(instr, Fence):
+                lines.append(_RISCV_FENCES.get(instr.kind, instr.kind))
+            elif isinstance(instr, CtrlBranch):
+                for reg in instr.regs:
+                    lines.append(f"bnez {reg_name(tid, reg)},skip")
+            elif isinstance(instr, Load):
+                acq = ".aq" if Label.ACQ in instr.labels else ""
+                addr = f"0({instr.loc})"
+                if instr.addr_dep:
+                    mix = reg_name(tid, instr.addr_dep[0])
+                    lines.append(f"xor x{scratch},{mix},{mix}")
+                    lines.append(f"add x{scratch},x{scratch},{instr.loc}")
+                    addr = f"0(x{scratch})"
+                    scratch += 1
+                if instr.excl:
+                    lines.append(f"lr.w{acq} {reg_name(tid, instr.dst)},{addr}")
+                elif acq:
+                    # plain acquire load: amoor.w.aq with x0 idiom
+                    lines.append(
+                        f"amoor.w.aq {reg_name(tid, instr.dst)},x0,{addr}"
+                    )
+                else:
+                    lines.append(f"lw {reg_name(tid, instr.dst)},{addr}")
+            elif isinstance(instr, Store):
+                value_reg = f"x{scratch}"
+                scratch += 1
+                if instr.data_dep:
+                    mix = reg_name(tid, instr.data_dep[0])
+                    lines.append(f"xor {value_reg},{mix},{mix}")
+                    lines.append(f"addi {value_reg},{value_reg},{instr.value}")
+                else:
+                    lines.append(f"li {value_reg},{instr.value}")
+                rel = ".rl" if Label.REL in instr.labels else ""
+                if instr.excl:
+                    status = f"x{scratch}"
+                    scratch += 1
+                    lines.append(
+                        f"sc.w{rel} {status},{value_reg},0({instr.loc})"
+                    )
+                    lines.append(f"bnez {status},retry")
+                elif rel:
+                    lines.append(
+                        f"amoswap.w.rl x0,{value_reg},0({instr.loc})"
+                    )
+                else:
+                    lines.append(f"sw {value_reg},0({instr.loc})")
+        threads.append(lines)
+    return "\n".join(
+        [
+            f"RISCV {test.name}",
+            _init_line(test),
+            _columns(threads),
+            _exists_line(test, reg_name),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# C++
+# ----------------------------------------------------------------------
+
+_CPP_ORDERS = {
+    Label.RLX: "memory_order_relaxed",
+    Label.ACQ: "memory_order_acquire",
+    Label.REL: "memory_order_release",
+    Label.ACQ_REL: "memory_order_acq_rel",
+    Label.SC: "memory_order_seq_cst",
+}
+
+
+def render_cpp(test: LitmusTest) -> str:
+    atomics = set()
+    for _, _, store in test.program.stores():
+        if Label.ATO in store.labels:
+            atomics.add(store.loc)
+    for _, _, load in test.program.loads():
+        if Label.ATO in load.labels:
+            atomics.add(load.loc)
+
+    decls = []
+    for loc in test.program.locations():
+        init = test.init.get(loc, 0)
+        if loc in atomics:
+            decls.append(f"std::atomic<int> {loc}{{{init}}};")
+        else:
+            decls.append(f"int {loc} = {init};")
+
+    blocks = []
+    for tid, thread in enumerate(test.program.threads):
+        lines = [f"// thread {tid}"]
+        indent = "  "
+        for instr in thread:
+            if isinstance(instr, TxBegin):
+                kw = "atomic" if instr.atomic else "synchronized"
+                lines.append(f"{indent}{kw} {{")
+                indent += "  "
+            elif isinstance(instr, TxAbort):
+                if instr.reg is not None:
+                    lines.append(f"{indent}if ({instr.reg}) abort();")
+                else:
+                    lines.append(f"{indent}abort();")
+            elif isinstance(instr, TxEnd):
+                indent = indent[:-2]
+                lines.append(f"{indent}}}")
+            elif isinstance(instr, Fence):
+                order = _CPP_ORDERS.get(instr.kind, instr.kind)
+                lines.append(f"{indent}std::atomic_thread_fence({order});")
+            elif isinstance(instr, CtrlBranch):
+                conds = " && ".join(f"{r}" for r in instr.regs)
+                lines.append(f"{indent}if ({conds}) {{}}")
+            elif isinstance(instr, Load):
+                mode = next(
+                    (m for m in _CPP_ORDERS if m in instr.labels), None
+                )
+                if Label.ATO in instr.labels and mode:
+                    lines.append(
+                        f"{indent}int {instr.dst} = "
+                        f"{instr.loc}.load({_CPP_ORDERS[mode]});"
+                    )
+                else:
+                    lines.append(f"{indent}int {instr.dst} = {instr.loc};")
+            elif isinstance(instr, Store):
+                mode = next(
+                    (m for m in _CPP_ORDERS if m in instr.labels), None
+                )
+                if Label.ATO in instr.labels and mode:
+                    lines.append(
+                        f"{indent}{instr.loc}.store({instr.value}, "
+                        f"{_CPP_ORDERS[mode]});"
+                    )
+                else:
+                    lines.append(f"{indent}{instr.loc} = {instr.value};")
+        blocks.append("\n".join(lines))
+
+    def reg_name(tid: int, reg: str) -> str:
+        return reg
+
+    return "\n".join(
+        [
+            f"// C++ {test.name}",
+            "\n".join(decls),
+            "\n\n".join(blocks),
+            "// " + _exists_line(test, reg_name),
+        ]
+    )

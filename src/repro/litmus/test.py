@@ -1,0 +1,139 @@
+"""Litmus tests: a program plus a postcondition.
+
+The postcondition is a conjunction of atoms over final register values,
+final memory values, and transaction outcomes, exactly as in the paper's
+Figs. 1 and 2 (``Test: ok = 1 ∧ r0 = 2 ∧ x = 2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .program import Program
+
+__all__ = ["RegEq", "MemEq", "TxnOk", "Atom", "LitmusTest", "Outcome"]
+
+
+@dataclass(frozen=True)
+class RegEq:
+    """Register ``reg`` of thread ``tid`` must end holding ``value``."""
+
+    tid: int
+    reg: str
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.tid}:{self.reg} = {self.value}"
+
+
+@dataclass(frozen=True)
+class MemEq:
+    """Location ``loc`` must end holding ``value``."""
+
+    loc: str
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.loc} = {self.value}"
+
+
+@dataclass(frozen=True)
+class TxnOk:
+    """Transaction number ``index`` of thread ``tid`` must commit
+    (``ok=True``) or abort (``ok=False``)."""
+
+    tid: int
+    index: int
+    ok: bool = True
+
+    def __str__(self) -> str:
+        return f"txn({self.tid},{self.index}) {'ok' if self.ok else 'aborted'}"
+
+
+@dataclass(frozen=True)
+class CoSeq:
+    """The writes to ``loc`` must hit memory in exactly this value order.
+
+    This is the paper's footnote 2: with more than two writes to a
+    location, the final value alone cannot pin every co-edge, so the
+    test carries the full intended coherence sequence.  The axiomatic
+    checker reads it off ``co``; the operational machine logs the order
+    writes drain/commit to memory.
+    """
+
+    loc: str
+    values: tuple[int, ...]
+
+    def __str__(self) -> str:
+        chain = " -> ".join(str(v) for v in self.values)
+        return f"co({self.loc}) = {chain}"
+
+
+Atom = Union[RegEq, MemEq, TxnOk, CoSeq]
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """A final machine state: registers, memory, txn commit bits, and the
+    per-location order in which write values hit memory (``co``)."""
+
+    registers: dict[tuple[int, str], int]
+    memory: dict[str, int]
+    committed: frozenset[tuple[int, int]] = frozenset()
+    aborted: frozenset[tuple[int, int]] = frozenset()
+    write_orders: dict[str, tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.write_orders is None:
+            object.__setattr__(self, "write_orders", {})
+
+    def key(self) -> tuple:
+        return (
+            tuple(sorted(self.registers.items())),
+            tuple(sorted(self.memory.items())),
+            tuple(sorted(self.committed)),
+            tuple(sorted(self.aborted)),
+            tuple(sorted(self.write_orders.items())),
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Outcome):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def satisfies(self, atom: Atom) -> bool:
+        if isinstance(atom, RegEq):
+            return self.registers.get((atom.tid, atom.reg), 0) == atom.value
+        if isinstance(atom, MemEq):
+            return self.memory.get(atom.loc, 0) == atom.value
+        if isinstance(atom, TxnOk):
+            key = (atom.tid, atom.index)
+            return key in (self.committed if atom.ok else self.aborted)
+        if isinstance(atom, CoSeq):
+            return self.write_orders.get(atom.loc, ()) == atom.values
+        raise TypeError(f"unknown atom {atom!r}")
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus test for a given architecture."""
+
+    name: str
+    arch: str
+    program: Program
+    postcondition: tuple[Atom, ...]
+    init: dict[str, int] = field(default_factory=dict)
+
+    def check(self, outcome: Outcome) -> bool:
+        """True iff ``outcome`` satisfies every postcondition atom."""
+        return all(outcome.satisfies(atom) for atom in self.postcondition)
+
+    def postcondition_str(self) -> str:
+        return " /\\ ".join(str(atom) for atom in self.postcondition)
+
+    def __str__(self) -> str:
+        return f"{self.arch} {self.name}: exists ({self.postcondition_str()})"

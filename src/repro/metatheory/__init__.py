@@ -1,0 +1,44 @@
+"""Metatheory: monotonicity, theorems, Appendix C lemmas, compilation,
+lock elision (§7–8 and Appendix C)."""
+
+from .compilation import CompilationResult, check_compilation, compile_execution
+from .lemmas import check_all_lemmas
+from .lockelision import (
+    LockElisionResult,
+    abstract_executions,
+    check_lock_elision,
+    cr_order_violated,
+    elide,
+    elision_serialisation,
+    scr_relation,
+)
+from .monotonicity import MonotonicityResult, check_monotonicity, txn_structures
+from .theorems import (
+    TheoremReport,
+    check_conservativity,
+    check_theorem_72,
+    check_theorem_73,
+    check_weak_isolation_lemma,
+)
+
+__all__ = [
+    "CompilationResult",
+    "LockElisionResult",
+    "MonotonicityResult",
+    "TheoremReport",
+    "abstract_executions",
+    "check_all_lemmas",
+    "check_compilation",
+    "check_conservativity",
+    "check_lock_elision",
+    "check_monotonicity",
+    "check_theorem_72",
+    "check_theorem_73",
+    "check_weak_isolation_lemma",
+    "compile_execution",
+    "cr_order_violated",
+    "elide",
+    "elision_serialisation",
+    "scr_relation",
+    "txn_structures",
+]

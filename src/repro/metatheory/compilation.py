@@ -1,0 +1,199 @@
+"""Compiling C++ transactions to hardware (paper section 8.2).
+
+The compiler mappings are the standard ones (Wickerson et al. [55],
+extended with transactions by requiring π to preserve all stxn edges):
+
+=================  ==========================  =======================
+C++ event          Power                       ARMv8
+=================  ==========================  =======================
+load (na/rlx)      ``lwz``                     ``LDR``
+load acquire       ``lwz; ctrl-isync``         ``LDAR``
+load seq_cst       ``sync; lwz; ctrl-isync``   ``LDAR``
+store (na/rlx)     ``stw``                     ``STR``
+store release      ``lwsync; stw``             ``STLR``
+store seq_cst      ``sync; stw``               ``STLR``
+transaction        ``tbegin. … tend.``         ``TXBEGIN … TXEND``
+=================  ==========================  =======================
+
+x86 maps every load to ``MOV`` and every store to ``MOV`` with a trailing
+``MFENCE`` for seq_cst stores.
+
+The bounded check searches for a C++ execution ``X`` that is
+*inconsistent* whose compiled image ``Y`` is *consistent* on the target —
+a witness that the mapping is unsound.  The paper (and this
+reproduction) finds none up to the bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.events import Event, EventKind, Label
+from ..core.execution import Execution, Transaction
+from ..models.base import MemoryModel
+from ..models.registry import get_model
+from ..synth.generate import EnumerationSpace, enumerate_executions
+
+__all__ = ["CompilationResult", "compile_execution", "check_compilation"]
+
+
+@dataclass
+class CompilationResult:
+    """Outcome of a bounded compilation-soundness check."""
+
+    target: str
+    n_events: int
+    counterexample: tuple[Execution, Execution] | None
+    executions_checked: int
+    elapsed: float
+    exhausted: bool = True
+
+    @property
+    def sound(self) -> bool:
+        return self.counterexample is None
+
+    def summary(self) -> str:
+        verdict = "sound" if self.sound else "UNSOUND"
+        return (
+            f"compilation C++ -> {self.target} |E|<={self.n_events}: {verdict} "
+            f"({self.executions_checked} inconsistent sources, {self.elapsed:.1f}s)"
+        )
+
+
+def _map_event(event: Event, target: str) -> list[Event]:
+    """The per-event instruction mapping; the *last* access event is the
+    image of the source access (leading fences attach before)."""
+    mode = event.mode
+    if event.is_read:
+        if target == "x86":
+            return [Event(EventKind.READ, event.loc)]
+        if target == "power":
+            out = []
+            if mode == Label.SC:
+                out.append(Event(EventKind.FENCE, None, frozenset({Label.SYNC})))
+            out.append(Event(EventKind.READ, event.loc))
+            if mode in (Label.ACQ, Label.SC):
+                out.append(Event(EventKind.FENCE, None, frozenset({Label.ISYNC})))
+            return out
+        if target == "armv8":
+            labels = frozenset({Label.ACQ}) if mode in (Label.ACQ, Label.SC) else frozenset()
+            return [Event(EventKind.READ, event.loc, labels)]
+    if event.is_write:
+        if target == "x86":
+            out = [Event(EventKind.WRITE, event.loc)]
+            if mode == Label.SC:
+                out.append(Event(EventKind.FENCE, None, frozenset({Label.MFENCE})))
+            return out
+        if target == "power":
+            out = []
+            if mode == Label.SC:
+                out.append(Event(EventKind.FENCE, None, frozenset({Label.SYNC})))
+            elif mode == Label.REL:
+                out.append(Event(EventKind.FENCE, None, frozenset({Label.LWSYNC})))
+            out.append(Event(EventKind.WRITE, event.loc))
+            return out
+        if target == "armv8":
+            labels = frozenset({Label.REL}) if mode in (Label.REL, Label.SC) else frozenset()
+            return [Event(EventKind.WRITE, event.loc, labels)]
+    raise ValueError(f"cannot compile event {event} to {target}")
+
+
+def compile_execution(x: Execution, target: str) -> Execution:
+    """Apply the compiler mapping to a C++ execution.
+
+    The image preserves program order, maps rf/co through the main image
+    of each access, adds the mapping's fences (and ctrl edges into
+    ``isync`` for Power acquire loads), and preserves all stxn edges
+    (the paper's ``stxnY = π⁻¹; stxnX; π`` requirement).
+    """
+    events: list[Event] = []
+    threads: list[list[int]] = []
+    image: dict[int, int] = {}  # source access -> its image access
+    span: dict[int, list[int]] = {}  # source event -> all its image events
+    ctrl: list[tuple[int, int]] = []
+
+    for thread in x.threads:
+        new_thread: list[int] = []
+        for eid in thread:
+            seq = _map_event(x.events[eid], target)
+            ids = []
+            for ev in seq:
+                ids.append(len(events))
+                events.append(ev)
+                new_thread.append(ids[-1])
+            span[eid] = ids
+            image[eid] = next(i for i, ev in zip(ids, seq) if ev.is_access)
+            # Power acquire/SC loads: ctrl edge into the trailing isync.
+            if (
+                target == "power"
+                and x.events[eid].is_read
+                and x.events[eid].mode in (Label.ACQ, Label.SC)
+            ):
+                ctrl.append((image[eid], ids[-1]))
+        threads.append(new_thread)
+
+    rf = {image[r]: image[w] for r, w in x.rf.items()}
+    co = {
+        loc: tuple(image[w] for w in order) for loc, order in x.co.items()
+    }
+    txns = [
+        Transaction(
+            tuple(sorted(i for eid in txn.events for i in span[eid])),
+            txn.atomic,
+        )
+        for txn in x.txns
+    ]
+    return Execution(
+        events=events,
+        threads=threads,
+        rf=rf,
+        co=co,
+        ctrl=ctrl,
+        txns=txns,
+    )
+
+
+def check_compilation(
+    target: str,
+    n_events: int,
+    time_budget: float | None = None,
+    source_model: MemoryModel | None = None,
+    target_model: MemoryModel | None = None,
+) -> CompilationResult:
+    """Search for an inconsistent C++ execution with a consistent image."""
+    source_model = source_model or get_model("cpp")
+    target_model = target_model or get_model(target)
+    base = EnumerationSpace.for_arch("cpp", n_events)
+    space = EnumerationSpace(
+        vocab=base.vocab,
+        n_events=n_events,
+        max_threads=base.max_threads,
+        max_locations=base.max_locations,
+        max_deps=0,
+        max_rmws=0,
+        max_txns=2,
+        require_txn=False,
+        include_fences=False,
+        txn_atomic_variants=(False,),
+    )
+    start = time.perf_counter()
+    checked = 0
+    for x in enumerate_executions(space):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            return CompilationResult(
+                target, n_events, None, checked,
+                time.perf_counter() - start, exhausted=False,
+            )
+        if source_model.consistent(x):
+            continue
+        checked += 1
+        y = compile_execution(x, target)
+        if target_model.consistent(y):
+            return CompilationResult(
+                target, n_events, (x, y), checked,
+                time.perf_counter() - start,
+            )
+    return CompilationResult(
+        target, n_events, None, checked, time.perf_counter() - start
+    )

@@ -1,0 +1,241 @@
+"""Bounded checks of the paper's Appendix C lemmas.
+
+Appendix C proves Theorem 7.3 through a chain of lemmas; the paper marks
+several supporting identities with the Isabelle symbol.  Checking each
+lemma *separately* (rather than only the end-to-end theorem, which
+:mod:`repro.metatheory.theorems` already covers) localises any future
+model change that breaks the proof: the failing lemma names the step.
+
+Each check enumerates every canonical C++ execution up to a bound,
+filters by the lemma's premises, and verifies its conclusion:
+
+=====================  ====================================================
+Lemma C.1              race-free ⟹ ``com \\ SC² ⊆ hb``
+Lemma C.2              no non-SC atomics ⟹ ``hb = (po ∪ rf_SC ∪ tsw)⁺``
+Lemma C.3              segments lie in ``hb ∪ co ∪ fr``
+Lemma C.6              ``stxn* ; (hb \\ stxn) ; stxn* ⊆ hb \\ stxn``
+cnf identity (§7.2)    ``cnf = ecom ∪ ecom⁻¹``
+com⁺ expansion (§7.2)  ``com⁺ = ecom ∪ (fr ; rf)``
+psc inclusion (6)      ``[SC] ; po_{≠loc} ; hb ; po_{≠loc} ; [SC] ⊆ psc``
+psc inclusion (7)      ``[SC] ; pocom ; [SC] ⊆ psc``
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..core.lifting import weaklift
+from ..core.relation import Relation
+from ..models.cpp import Cpp, atomic_events, sc_events
+from ..synth.generate import EnumerationSpace, enumerate_executions
+from .theorems import TheoremReport
+
+__all__ = [
+    "check_lemma_c1",
+    "check_lemma_c2",
+    "check_lemma_c3",
+    "check_lemma_c6",
+    "check_cnf_identity",
+    "check_com_plus_expansion",
+    "check_psc_inclusions",
+    "check_all_lemmas",
+]
+
+_MODEL = Cpp()
+
+
+def _space(n_events: int) -> EnumerationSpace:
+    base = EnumerationSpace.for_arch("cpp", n_events)
+    return EnumerationSpace(
+        vocab=base.vocab,
+        n_events=n_events,
+        max_threads=base.max_threads,
+        max_locations=base.max_locations,
+        max_deps=0,
+        max_rmws=0,
+        max_txns=2,
+        include_fences=False,
+        txn_atomic_variants=(False, True),
+    )
+
+
+def _executions(n_events: int) -> Iterator[Execution]:
+    for n in range(2, n_events + 1):
+        yield from enumerate_executions(_space(n))
+
+
+def _hb(x: Execution) -> Relation:
+    return _MODEL.relations(x)["hb"]
+
+
+def _ecom(x: Execution) -> Relation:
+    return x.com | (x.co_rel @ x.rf_rel)
+
+
+def _premises_73(x: Execution) -> bool:
+    """No relaxed transactions, no atomics inside them, Ato = SC."""
+    if any(not txn.atomic for txn in x.txns):
+        return False
+    if any(
+        x.events[e].has(Label.ATO) for txn in x.txns for e in txn.events
+    ):
+        return False
+    return not (atomic_events(x) - sc_events(x))
+
+
+def _run(
+    name: str,
+    n_events: int,
+    premise: Callable[[Execution], bool],
+    conclusion: Callable[[Execution], bool],
+    limit: int | None = None,
+) -> TheoremReport:
+    start = time.perf_counter()
+    checked = 0
+    scanned = 0
+    for x in _executions(n_events):
+        scanned += 1
+        if limit is not None and scanned > limit:
+            break
+        if not premise(x):
+            continue
+        checked += 1
+        if not conclusion(x):
+            return TheoremReport(
+                name, n_events, False, x, checked,
+                time.perf_counter() - start,
+            )
+    return TheoremReport(
+        name, n_events, True, None, checked, time.perf_counter() - start
+    )
+
+
+def check_lemma_c1(n_events: int, limit: int | None = None) -> TheoremReport:
+    """Race-free communication (outside SC pairs) induces happens-before.
+
+    Appendix C's lemmas all live under the standing premises of
+    Theorem 7.3 ("let us assume the three conditions that the theorem
+    assumes"); C.1's proof needs *no non-SC atomics* in particular — a
+    pair of relaxed atomics communicates race-freely without inducing
+    hb, which the premise rules out.
+    """
+
+    def premise(x: Execution) -> bool:
+        if atomic_events(x) - sc_events(x):
+            return False
+        return _MODEL.consistent(x) and _MODEL.race_free(x)
+
+    def conclusion(x: Execution) -> bool:
+        sc_sq = Relation.cross(x.n, sc_events(x), sc_events(x))
+        return (x.com - sc_sq) <= _hb(x)
+
+    return _run("Lemma C.1", n_events, premise, conclusion, limit)
+
+
+def check_lemma_c2(n_events: int, limit: int | None = None) -> TheoremReport:
+    """Without non-SC atomics, ``hb = (po ∪ rf_SC ∪ tsw)⁺``."""
+
+    def premise(x: Execution) -> bool:
+        return not (atomic_events(x) - sc_events(x))
+
+    def conclusion(x: Execution) -> bool:
+        sc_sq = Relation.cross(x.n, sc_events(x), sc_events(x))
+        rf_sc = x.rf_rel & sc_sq
+        tsw = weaklift(_ecom(x), x.stxn)
+        return _hb(x) == (x.po | rf_sc | tsw).plus()
+
+    return _run("Lemma C.2", n_events, premise, conclusion, limit)
+
+
+def check_lemma_c3(n_events: int, limit: int | None = None) -> TheoremReport:
+    """Each cycle segment lies in ``hb ∪ co ∪ fr`` (under the Theorem 7.3
+    premises and consistency)."""
+
+    def premise(x: Execution) -> bool:
+        return (
+            _premises_73(x)
+            and _MODEL.consistent(x)
+            and _MODEL.race_free(x)
+        )
+
+    def conclusion(x: Execution) -> bool:
+        n = x.n
+        sc = Relation.lift(n, sc_events(x))
+        non_sc = Relation.lift(n, frozenset(range(n)) - sc_events(x))
+        pocom = x.po | x.com
+        seg = sc @ pocom @ (non_sc @ pocom).star() @ sc
+        return seg <= (_hb(x) | x.co_rel | x.fr)
+
+    return _run("Lemma C.3", n_events, premise, conclusion, limit)
+
+
+def check_lemma_c6(n_events: int, limit: int | None = None) -> TheoremReport:
+    """Happens-before lifts through transactions:
+    ``stxn* ; (hb \\ stxn) ; stxn* ⊆ hb \\ stxn``."""
+
+    def premise(x: Execution) -> bool:
+        return bool(x.txns) and _premises_73(x) and _MODEL.consistent(x)
+
+    def conclusion(x: Execution) -> bool:
+        hb = _hb(x)
+        lifted = x.stxn.star() @ (hb - x.stxn) @ x.stxn.star()
+        return lifted <= (hb - x.stxn)
+
+    return _run("Lemma C.6", n_events, premise, conclusion, limit)
+
+
+def check_cnf_identity(n_events: int, limit: int | None = None) -> TheoremReport:
+    """§7.2's marked identity: ``cnf = ecom ∪ ecom⁻¹`` in every
+    well-formed execution (conflicting events are always communication-
+    connected one way or the other)."""
+
+    def conclusion(x: Execution) -> bool:
+        ecom = _ecom(x)
+        return _MODEL.conflicts(x) == (ecom | ecom.inverse()).remove_diagonal()
+
+    return _run("cnf identity", n_events, lambda x: True, conclusion, limit)
+
+
+def check_com_plus_expansion(n_events: int, limit: int | None = None) -> TheoremReport:
+    """The Theorem 7.2 proof's expansion: ``com⁺ = ecom ∪ (fr ; rf)``."""
+
+    def conclusion(x: Execution) -> bool:
+        return x.com.plus() == (_ecom(x) | (x.fr @ x.rf_rel))
+
+    return _run("com+ expansion", n_events, lambda x: True, conclusion, limit)
+
+
+def check_psc_inclusions(n_events: int, limit: int | None = None) -> TheoremReport:
+    """Appendix C's (6) and (7): the two psc inclusions the proof of
+    Theorem 7.3 relies on."""
+
+    def conclusion(x: Execution) -> bool:
+        n = x.n
+        relations = _MODEL.relations(x)
+        hb, psc = relations["hb"], relations["psc"]
+        sc = Relation.lift(n, sc_events(x))
+        po_neq_loc = x.po - x.sloc
+        incl6 = sc @ po_neq_loc @ hb @ po_neq_loc @ sc
+        incl7 = sc @ (x.po | x.com) @ sc
+        return incl6 <= psc and incl7 <= psc
+
+    return _run("psc inclusions (6)/(7)", n_events, lambda x: True, conclusion, limit)
+
+
+def check_all_lemmas(
+    n_events: int, limit: int | None = None
+) -> list[TheoremReport]:
+    """Run every Appendix C lemma check at the given bound."""
+    return [
+        check_lemma_c1(n_events, limit),
+        check_lemma_c2(n_events, limit),
+        check_lemma_c3(n_events, limit),
+        check_lemma_c6(n_events, limit),
+        check_cnf_identity(n_events, limit),
+        check_com_plus_expansion(n_events, limit),
+        check_psc_inclusions(n_events, limit),
+    ]

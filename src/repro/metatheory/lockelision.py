@@ -1,0 +1,486 @@
+"""Checking lock elision against hardware TM models (paper section 8.3).
+
+Abstract executions contain ``lock()``/``unlock()`` call events — ``L``/
+``U`` for critical regions (CRs) that take the lock, ``Lt``/``Ut`` for
+CRs that will be *elided* into transactions — plus the CR bodies' data
+accesses.  The abstract consistency predicate is the architecture's own
+axioms extended with CR serialisability::
+
+    acyclic(weaklift(po ∪ com, scr))                       (CROrder)
+
+The π mapping (Table 3) replaces each call with its implementation:
+
+=====  ===========================  =========================
+event  x86                          ARMv8 [fixed: + DMB]
+=====  ===========================  =========================
+L      R; R-W (rmw)  (TATAS)        R(acq,excl); W(excl) rmw, ctrl
+U      W                            W(rel)
+Lt     R  (of the lock, in-txn)     R (in-txn)
+Ut     —                            —
+=====  ===========================  =========================
+
+Power maps ``L`` to ``R(excl); W(excl) rmw; ctrl-isync`` and ``U`` to
+``sync; W``.  ``TxnReadsLockFree`` forbids the elided CR's lock read from
+observing an ``L`` write (it must see the lock free), and ``TxnIntro``
+makes the elided CR one transaction.
+
+*Unsoundness witness*: an abstract execution forbidden by CROrder whose
+concrete image is consistent under the architecture's TM model.  The
+search below rediscovers Example 1.1 / Fig. 10 on ARMv8 within seconds,
+and finds nothing for x86 or for ARMv8 with the DMB fix, matching
+Table 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+from ..core.events import Event, EventKind, Label
+from ..core.execution import Execution, Transaction
+from ..core.lifting import weaklift
+from ..core.relation import Relation
+from ..models.base import MemoryModel
+from ..models.registry import get_model
+
+__all__ = [
+    "LOCK_VAR",
+    "LockElisionResult",
+    "abstract_executions",
+    "check_lock_elision",
+    "cr_order_violated",
+    "elide",
+    "scr_relation",
+]
+
+#: The lock variable introduced by the mapping (LockVar: fresh location).
+LOCK_VAR = "m"
+
+
+# ----------------------------------------------------------------------
+# Abstract side
+# ----------------------------------------------------------------------
+
+
+def scr_relation(x: Execution) -> Relation:
+    """Same-critical-region equivalence (reflexive on CR events)."""
+    rel = Relation.empty(x.n)
+    for thread in x.threads:
+        current: list[int] | None = None
+        for eid in thread:
+            event = x.events[eid]
+            if event.is_call and event.call_kind in (Label.LOCK, Label.LOCK_T):
+                current = [eid]
+            elif event.is_call:
+                if current is not None:
+                    current.append(eid)
+                    rel = rel | Relation.cross(x.n, current, current)
+                current = None
+            elif current is not None:
+                current.append(eid)
+    return rel
+
+
+def cr_order_violated(x: Execution) -> bool:
+    """True iff the execution violates CR serialisability (CROrder)."""
+    return not weaklift(x.po | x.com, scr_relation(x)).is_acyclic()
+
+
+_BODIES: tuple[tuple[str, ...], ...] = (
+    ("R",),
+    ("W",),
+    ("R", "W"),  # read-then-update (Example 1.1's x += 2, with data dep)
+    ("W", "R"),
+    ("W", "W"),  # double store (Appendix B)
+)
+
+
+def abstract_executions(data_loc: str = "x"):
+    """All two-thread abstract executions: one locked CR against one
+    elided CR, bodies drawn from the five shapes above, with every rf/co
+    arrangement on the data location."""
+    for body0, body1 in itertools.product(_BODIES, repeat=2):
+        yield from _abstract_with_bodies(body0, body1, data_loc)
+
+
+def _abstract_with_bodies(body0, body1, data_loc: str):
+    events: list[Event] = []
+    threads: list[list[int]] = []
+    reads: list[int] = []
+    writes: list[int] = []
+    data: list[tuple[int, int]] = []
+
+    def add_thread(body: tuple[str, ...], elided: bool) -> None:
+        tid_events = []
+
+        def push(ev: Event) -> int:
+            events.append(ev)
+            tid_events.append(len(events) - 1)
+            return len(events) - 1
+
+        push(Event(EventKind.CALL, None, frozenset({Label.LOCK_T if elided else Label.LOCK})))
+        body_ids = []
+        for kind in body:
+            if kind == "R":
+                eid = push(Event(EventKind.READ, data_loc))
+                reads.append(eid)
+            else:
+                eid = push(Event(EventKind.WRITE, data_loc))
+                writes.append(eid)
+            body_ids.append(eid)
+        if body == ("R", "W"):
+            data.append((body_ids[0], body_ids[1]))
+        push(Event(EventKind.CALL, None, frozenset({Label.UNLOCK_T if elided else Label.UNLOCK})))
+        threads.append(tid_events)
+
+    add_thread(body0, elided=False)
+    add_thread(body1, elided=True)
+
+    rf_spaces = [[None] + writes for _ in reads]
+    co_spaces = (
+        [list(itertools.permutations(writes))] if len(writes) > 1 else [[tuple(writes)]]
+    )
+    for rf_choice in itertools.product(*rf_spaces):
+        rf = {r: w for r, w in zip(reads, rf_choice) if w is not None}
+        for (co_order,) in itertools.product(*co_spaces):
+            co = {data_loc: tuple(co_order)} if co_order else {}
+            yield Execution(
+                events=list(events),
+                threads=[list(t) for t in threads],
+                rf=rf,
+                co=co,
+                data=data,
+            )
+
+
+# ----------------------------------------------------------------------
+# Concrete side: the π expansion of Table 3
+# ----------------------------------------------------------------------
+
+
+def _expand_lock(arch: str, fixed: bool):
+    """The instruction sequence for an L event.
+
+    Returns (events, rmw pair indices, ctrl pairs, fence-tail), with
+    indices local to the returned list.
+    """
+    if arch == "x86":
+        # test-and-test-and-set: a plain read, then a LOCK'd RMW.
+        events = [
+            Event(EventKind.READ, LOCK_VAR),
+            Event(EventKind.READ, LOCK_VAR, frozenset({Label.EXCL})),
+            Event(EventKind.WRITE, LOCK_VAR, frozenset({Label.EXCL})),
+        ]
+        return events, [(1, 2)], [], []
+    if arch == "power":
+        events = [
+            Event(EventKind.READ, LOCK_VAR, frozenset({Label.EXCL})),
+            Event(EventKind.WRITE, LOCK_VAR, frozenset({Label.EXCL})),
+            Event(EventKind.FENCE, None, frozenset({Label.ISYNC})),
+        ]
+        return events, [(0, 1)], [(0, 2)], []
+    if arch == "armv8":
+        events = [
+            Event(EventKind.READ, LOCK_VAR, frozenset({Label.ACQ, Label.EXCL})),
+            Event(EventKind.WRITE, LOCK_VAR, frozenset({Label.EXCL})),
+        ]
+        ctrl = [(0, 1)]
+        tail = (
+            [Event(EventKind.FENCE, None, frozenset({Label.DMB}))]
+            if fixed
+            else []
+        )
+        return events + tail, [(0, 1)], ctrl, []
+    if arch == "riscv":
+        # lr.w.aq / bnez / sc.w spinlock: same shape as the ARMv8 one,
+        # with a FENCE rw,rw appended for the fixed variant.
+        events = [
+            Event(EventKind.READ, LOCK_VAR, frozenset({Label.ACQ, Label.EXCL})),
+            Event(EventKind.WRITE, LOCK_VAR, frozenset({Label.EXCL})),
+        ]
+        ctrl = [(0, 1)]
+        tail = (
+            [Event(EventKind.FENCE, None, frozenset({Label.FENCE_RW_RW}))]
+            if fixed
+            else []
+        )
+        return events + tail, [(0, 1)], ctrl, []
+    raise ValueError(f"no lock-elision mapping for {arch!r}")
+
+
+def _expand_unlock(arch: str):
+    if arch == "x86":
+        return [Event(EventKind.WRITE, LOCK_VAR)]
+    if arch == "power":
+        return [
+            Event(EventKind.FENCE, None, frozenset({Label.SYNC})),
+            Event(EventKind.WRITE, LOCK_VAR),
+        ]
+    if arch == "armv8":
+        return [Event(EventKind.WRITE, LOCK_VAR, frozenset({Label.REL}))]
+    if arch == "riscv":
+        # sw.rl (store with release annotation).
+        return [Event(EventKind.WRITE, LOCK_VAR, frozenset({Label.REL}))]
+    raise ValueError(f"no lock-elision mapping for {arch!r}")
+
+
+def elide(
+    abstract: Execution,
+    arch: str,
+    fixed: bool = False,
+    txn_writes_lock: bool = False,
+):
+    """All concrete images of an abstract execution under π.
+
+    The data structure (accesses, rf, co, deps) is copied through; the
+    lock variable's rf/co are enumerated subject to TxnReadsLockFree
+    (the elided CR's lock read never observes an L write).
+
+    ``txn_writes_lock`` selects the *serialising fix* of section 1.1:
+    each elided CR also **writes** the lock variable inside its
+    transaction ("transactional CRs could be made to write to the lock
+    variable (rather than just read it), but this would induce
+    serialisation").  :func:`elision_serialisation` demonstrates the
+    induced serialisation.
+    """
+    events: list[Event] = []
+    threads: list[list[int]] = []
+    image: dict[int, int] = {}
+    rmw: list[tuple[int, int]] = []
+    ctrl: list[tuple[int, int]] = []
+    txns: list[Transaction] = []
+    lock_reads: list[int] = []  # L-expansion reads (may read unlock writes)
+    elided_reads: list[int] = []  # Lt reads (TxnReadsLockFree applies)
+    lock_writes: list[int] = []  # L-expansion (acquire) writes
+    unlock_writes: list[int] = []
+    elided_writes: list[int] = []  # Lt writes under the serialising fix
+
+    for thread in abstract.threads:
+        tid_events: list[int] = []
+        txn_span: list[int] | None = None
+
+        def push(ev: Event) -> int:
+            events.append(ev)
+            tid_events.append(len(events) - 1)
+            return len(events) - 1
+
+        for eid in thread:
+            event = abstract.events[eid]
+            if event.is_call:
+                kind = event.call_kind
+                if kind == Label.LOCK:
+                    seq, rmws, ctrls, _tail = _expand_lock(arch, fixed)
+                    base = len(events)
+                    for ev in seq:
+                        pushed = push(ev)
+                        if ev.is_read and ev.loc == LOCK_VAR:
+                            lock_reads.append(pushed)
+                        if ev.is_write and ev.loc == LOCK_VAR:
+                            lock_writes.append(pushed)
+                    rmw.extend((base + a, base + b) for a, b in rmws)
+                    ctrl.extend((base + a, base + b) for a, b in ctrls)
+                elif kind == Label.UNLOCK:
+                    for ev in _expand_unlock(arch):
+                        pushed = push(ev)
+                        if ev.is_write:
+                            unlock_writes.append(pushed)
+                elif kind == Label.LOCK_T:
+                    pushed = push(Event(EventKind.READ, LOCK_VAR))
+                    elided_reads.append(pushed)
+                    txn_span = [pushed]
+                    if txn_writes_lock:
+                        wrote = push(Event(EventKind.WRITE, LOCK_VAR))
+                        elided_writes.append(wrote)
+                        txn_span.append(wrote)
+                elif kind == Label.UNLOCK_T:
+                    if txn_span:
+                        txns.append(Transaction(tuple(txn_span)))
+                    txn_span = None
+            else:
+                pushed = push(event)
+                image[eid] = pushed
+                if txn_span is not None:
+                    txn_span.append(pushed)
+        threads.append(tid_events)
+
+    data_rf = {image[r]: image[w] for r, w in abstract.rf.items()}
+    data_co = {
+        loc: tuple(image[w] for w in order)
+        for loc, order in abstract.co.items()
+    }
+    deps = {
+        name: [(image[a], image[b]) for a, b in getattr(abstract, name)]
+        for name in ("addr", "data", "ctrl")
+    }
+    deps["ctrl"] = deps["ctrl"] + ctrl
+
+    # Lock-variable memory: enumerate rf and co choices.  Elided writes
+    # (the serialising fix) are observable like unlock writes; only L
+    # writes are barred from the elided reads (TxnReadsLockFree).
+    m_writes = lock_writes + unlock_writes + elided_writes
+    observable_free = unlock_writes + elided_writes
+    rf_options = []
+    for r in lock_reads:
+        rf_options.append([None] + observable_free)
+    for r in elided_reads:
+        rf_options.append([None] + observable_free)  # TxnReadsLockFree
+    m_reads = lock_reads + elided_reads
+
+    co_options = (
+        list(itertools.permutations(m_writes))
+        if len(m_writes) > 1
+        else [tuple(m_writes)]
+    )
+
+    for rf_choice in itertools.product(*rf_options):
+        rf = dict(data_rf)
+        rf.update(
+            {r: w for r, w in zip(m_reads, rf_choice) if w is not None}
+        )
+        for co_order in co_options:
+            co = dict(data_co)
+            if co_order:
+                co[LOCK_VAR] = tuple(co_order)
+            yield Execution(
+                events=list(events),
+                threads=[list(t) for t in threads],
+                rf=rf,
+                co=co,
+                addr=deps["addr"],
+                data=deps["data"],
+                ctrl=deps["ctrl"],
+                rmw=rmw,
+                txns=txns,
+            )
+
+
+# ----------------------------------------------------------------------
+# The soundness check
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LockElisionResult:
+    """Outcome of a lock-elision soundness search."""
+
+    arch: str
+    fixed: bool
+    counterexample: tuple[Execution, Execution] | None
+    abstract_checked: int
+    concrete_checked: int
+    elapsed: float
+    exhausted: bool = True
+
+    @property
+    def sound(self) -> bool:
+        return self.counterexample is None
+
+    def summary(self) -> str:
+        label = f"{self.arch}{' (fixed)' if self.fixed else ''}"
+        verdict = (
+            "no counterexample"
+            if self.sound
+            else "UNSOUND (mutual exclusion violated)"
+        )
+        return (
+            f"lock elision {label}: {verdict} "
+            f"({self.abstract_checked} abstract / {self.concrete_checked} "
+            f"concrete, {self.elapsed:.1f}s)"
+        )
+
+
+def check_lock_elision(
+    arch: str,
+    fixed: bool = False,
+    model: MemoryModel | None = None,
+    time_budget: float | None = None,
+    txn_writes_lock: bool = False,
+) -> LockElisionResult:
+    """Search for a CROrder-forbidden abstract execution whose concrete
+    image is consistent under the architecture's TM model.
+
+    ``txn_writes_lock=True`` checks the section 1.1 serialising fix
+    instead of read-only elision.
+    """
+    model = model or get_model(arch)
+    start = time.perf_counter()
+    abstract_checked = 0
+    concrete_checked = 0
+    for abstract in abstract_executions():
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            return LockElisionResult(
+                arch, fixed, None, abstract_checked, concrete_checked,
+                time.perf_counter() - start, exhausted=False,
+            )
+        if not cr_order_violated(abstract):
+            continue
+        abstract_checked += 1
+        for concrete in elide(abstract, arch, fixed, txn_writes_lock):
+            concrete_checked += 1
+            if model.consistent(concrete):
+                return LockElisionResult(
+                    arch, fixed, (abstract, concrete),
+                    abstract_checked, concrete_checked,
+                    time.perf_counter() - start,
+                )
+    return LockElisionResult(
+        arch, fixed, None, abstract_checked, concrete_checked,
+        time.perf_counter() - start,
+    )
+
+
+# ----------------------------------------------------------------------
+# The serialisation cost of the write-to-lock fix (section 1.1)
+# ----------------------------------------------------------------------
+
+
+def _two_elided_crs(txn_writes_lock: bool) -> list[Execution]:
+    """Concrete images of two *elided* CRs touching disjoint data.
+
+    The CRs cannot conflict on data, so read-only elision lets them run
+    fully independently; with the write-to-lock fix both transactions
+    write ``m``, so every image in which both commit has them
+    communicating — the conflict a real TM turns into an abort.
+    """
+    events: list[Event] = []
+    threads: list[list[int]] = []
+
+    def add_cr(data_loc: str) -> None:
+        tid_events: list[int] = []
+
+        def push(ev: Event) -> int:
+            events.append(ev)
+            tid_events.append(len(events) - 1)
+            return len(events) - 1
+
+        push(Event(EventKind.CALL, None, frozenset({Label.LOCK_T})))
+        push(Event(EventKind.WRITE, data_loc))
+        push(Event(EventKind.CALL, None, frozenset({Label.UNLOCK_T})))
+        threads.append(tid_events)
+
+    add_cr("x")
+    add_cr("y")
+    abstract = Execution(events=events, threads=threads)
+    return list(elide(abstract, "armv8", txn_writes_lock=txn_writes_lock))
+
+
+def elision_serialisation(
+    arch: str = "armv8", txn_writes_lock: bool = False
+) -> bool:
+    """Do two data-disjoint elided CRs necessarily communicate?
+
+    Returns ``True`` iff every model-consistent image has a
+    communication edge between the two transactions — i.e. the fix has
+    induced serialisation and "nullif[ied] the potential speedup from
+    lock elision" (section 1.1).  Read-only elision returns ``False``.
+    """
+    model = get_model(arch)
+    found_consistent = False
+    for concrete in _two_elided_crs(txn_writes_lock):
+        if not model.consistent(concrete):
+            continue
+        found_consistent = True
+        if weaklift(concrete.com, concrete.stxn).is_empty():
+            return False  # an independent (conflict-free) run exists
+    return found_consistent

@@ -1,0 +1,168 @@
+"""Transactional monotonicity (paper section 8.1).
+
+A model is *monotonic* when adding ``stxn`` edges can never make an
+inconsistent execution consistent; this justifies introducing, enlarging,
+and coalescing transactions as program transformations.
+
+The bounded check enumerates base executions, overlays every transaction
+structure, and compares every pair ``(X, Y)`` where ``stxn(X) ⊂ stxn(Y)``:
+a counterexample is an inconsistent ``X`` whose strengthening ``Y`` is
+consistent.  The paper's finding is reproduced exactly: x86 and C++ are
+monotonic up to the bound, while Power and ARMv8 have a two-event
+counterexample — an RMW whose halves sit in two adjacent transactions
+(inconsistent via TxnCancelsRMW) that becomes consistent when the
+transactions are coalesced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.execution import Execution, Transaction
+from ..models.base import MemoryModel
+from ..models.registry import get_model
+from ..synth.generate import EnumerationSpace, _interval_sets, enumerate_executions
+from ..synth.vocab import get_vocab
+
+__all__ = ["MonotonicityResult", "check_monotonicity", "txn_structures"]
+
+
+@dataclass
+class MonotonicityResult:
+    """Outcome of a bounded monotonicity check."""
+
+    arch: str
+    n_events: int
+    counterexample: tuple[Execution, Execution] | None
+    pairs_checked: int
+    elapsed: float
+    exhausted: bool = True
+
+    @property
+    def holds(self) -> bool:
+        return self.counterexample is None
+
+    def summary(self) -> str:
+        verdict = (
+            "no counterexample"
+            if self.holds
+            else "COUNTEREXAMPLE (coalescing unsound)"
+        )
+        return (
+            f"monotonicity {self.arch} |E|<={self.n_events}: {verdict} "
+            f"({self.pairs_checked} pairs, {self.elapsed:.1f}s)"
+        )
+
+
+def txn_structures(
+    base: Execution, atomic_variants: tuple[bool, ...] = (False,)
+) -> list[tuple[Transaction, ...]]:
+    """All transaction overlays for a (transaction-free) execution."""
+    fence_positions = [
+        frozenset(
+            pos
+            for pos, e in enumerate(thread)
+            if base.events[e].is_fence
+        )
+        for thread in base.threads
+    ]
+    per_thread = [
+        _interval_sets(len(thread), fence_positions[tid])
+        for tid, thread in enumerate(base.threads)
+    ]
+    out: list[tuple[Transaction, ...]] = []
+
+    def rec(tid: int, chosen: list[Transaction]) -> None:
+        if tid == len(base.threads):
+            out.append(tuple(chosen))
+            return
+        for intervals in per_thread[tid]:
+            txns = [
+                tuple(base.threads[tid][p] for p in range(a, b + 1))
+                for a, b in intervals
+            ]
+            for flags in _flag_choices(len(txns), atomic_variants):
+                rec(
+                    tid + 1,
+                    chosen
+                    + [Transaction(t, f) for t, f in zip(txns, flags)],
+                )
+
+    rec(0, [])
+    return out
+
+
+def _flag_choices(count: int, variants: tuple[bool, ...]):
+    if count == 0:
+        yield ()
+        return
+    import itertools
+
+    yield from itertools.product(variants, repeat=count)
+
+
+def _stxn_pairs(txns: tuple[Transaction, ...]) -> frozenset[tuple[int, int]]:
+    pairs = set()
+    for txn in txns:
+        for a in txn.events:
+            for b in txn.events:
+                pairs.add((a, b))
+    return frozenset(pairs)
+
+
+def check_monotonicity(
+    arch: str,
+    n_events: int,
+    time_budget: float | None = None,
+    model: MemoryModel | None = None,
+) -> MonotonicityResult:
+    """Search for a monotonicity counterexample up to ``n_events``."""
+    model = model or get_model(arch)
+    space = EnumerationSpace.for_arch(arch, n_events, require_txn=False)
+    # Enumerate *base* executions without transactions; overlay after.
+    space = EnumerationSpace(
+        vocab=space.vocab,
+        n_events=n_events,
+        max_threads=space.max_threads,
+        max_locations=space.max_locations,
+        max_deps=space.max_deps,
+        max_rmws=space.max_rmws,
+        max_txns=0,
+        require_txn=False,
+        include_fences=space.include_fences,
+    )
+    atomic_variants = (False, True) if arch == "cpp" else (False,)
+
+    start = time.perf_counter()
+    pairs_checked = 0
+    for base in enumerate_executions(space):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            return MonotonicityResult(
+                arch, n_events, None, pairs_checked,
+                time.perf_counter() - start, exhausted=False,
+            )
+        structures = txn_structures(base, atomic_variants)
+        verdicts = []
+        for txns in structures:
+            x = base.with_txns(txns)
+            verdicts.append((txns, _stxn_pairs(txns), model.consistent(x)))
+        for txns_x, stxn_x, ok_x in verdicts:
+            if ok_x:
+                continue
+            for txns_y, stxn_y, ok_y in verdicts:
+                if not ok_y or stxn_y == stxn_x:
+                    continue
+                if stxn_x < stxn_y:
+                    pairs_checked += 1
+                    return MonotonicityResult(
+                        arch,
+                        n_events,
+                        (base.with_txns(txns_x), base.with_txns(txns_y)),
+                        pairs_checked,
+                        time.perf_counter() - start,
+                    )
+        pairs_checked += len(verdicts)
+    return MonotonicityResult(
+        arch, n_events, None, pairs_checked, time.perf_counter() - start
+    )

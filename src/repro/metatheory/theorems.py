@@ -1,0 +1,190 @@
+"""Bounded checks of the paper's C++ theorems (section 7).
+
+The paper proves these in Isabelle; we verify them over *every* C++
+execution up to a bound (the same style of evidence Memalloy provides for
+Table 2), plus randomised hypothesis tests in the test suite:
+
+* **WeakIsol lemma** — relaxed transactions are weakly isolated in every
+  C++-consistent execution (§7.2: "the WeakIsol axiom follows from the
+  other C++ consistency axioms").
+* **Theorem 7.2** — race-free executions whose atomic transactions
+  contain no atomic operations have *strongly isolated* atomic
+  transactions: ``acyclic(stronglift(com, stxnat))``.
+* **Theorem 7.3 (transactional SC-DRF)** — consistent executions with no
+  relaxed transactions, no non-SC atomics, and no races are TSC-consistent.
+* **Baseline conservativity** — transaction-free executions have the same
+  verdict under every TM model and its baseline (the "same semantics to
+  transaction-free programs" remark opening section 8).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..core.lifting import stronglift
+from ..models.cpp import Cpp, atomic_events, sc_events
+from ..models.registry import get_model
+from ..models.sc import TSC
+from ..synth.generate import EnumerationSpace, enumerate_executions
+
+__all__ = [
+    "TheoremReport",
+    "check_weak_isolation_lemma",
+    "check_theorem_72",
+    "check_theorem_73",
+    "check_conservativity",
+]
+
+
+@dataclass
+class TheoremReport:
+    """Outcome of one bounded theorem check."""
+
+    name: str
+    n_events: int
+    holds: bool
+    counterexample: Execution | None
+    executions_checked: int
+    elapsed: float
+
+    def summary(self) -> str:
+        verdict = "holds" if self.holds else "REFUTED"
+        return (
+            f"{self.name} |E|<={self.n_events}: {verdict} "
+            f"({self.executions_checked} executions, {self.elapsed:.1f}s)"
+        )
+
+
+def _cpp_space(n_events: int, atomic_txns: bool) -> EnumerationSpace:
+    base = EnumerationSpace.for_arch("cpp", n_events, require_txn=False)
+    variants = (False, True) if atomic_txns else (False,)
+    return EnumerationSpace(
+        vocab=base.vocab,
+        n_events=n_events,
+        max_threads=base.max_threads,
+        max_locations=base.max_locations,
+        max_deps=base.max_deps,
+        max_rmws=base.max_rmws,
+        max_txns=2,
+        require_txn=True,
+        include_fences=False,
+        txn_atomic_variants=variants,
+    )
+
+
+def check_weak_isolation_lemma(n_events: int) -> TheoremReport:
+    """Every C++-consistent execution satisfies WeakIsol."""
+    model = Cpp()
+    start = time.perf_counter()
+    checked = 0
+    for x in enumerate_executions(_cpp_space(n_events, atomic_txns=False)):
+        if not model.consistent(x):
+            continue
+        checked += 1
+        from ..models.isolation import weakly_isolated
+
+        if not weakly_isolated(x):
+            return TheoremReport(
+                "WeakIsol lemma", n_events, False, x, checked,
+                time.perf_counter() - start,
+            )
+    return TheoremReport(
+        "WeakIsol lemma", n_events, True, None, checked,
+        time.perf_counter() - start,
+    )
+
+
+def check_theorem_72(n_events: int) -> TheoremReport:
+    """Strong isolation for atomic transactions (Theorem 7.2)."""
+    model = Cpp()
+    start = time.perf_counter()
+    checked = 0
+    for x in enumerate_executions(_cpp_space(n_events, atomic_txns=True)):
+        if not any(txn.atomic for txn in x.txns):
+            continue
+        # Premise: atomic transactions contain no atomic operations.
+        if any(
+            x.events[e].has(Label.ATO)
+            for txn in x.txns
+            if txn.atomic
+            for e in txn.events
+        ):
+            continue
+        if not model.consistent(x) or not model.race_free(x):
+            continue
+        checked += 1
+        if not stronglift(x.com, x.stxnat).is_acyclic():
+            return TheoremReport(
+                "Theorem 7.2 (strong isolation)", n_events, False, x,
+                checked, time.perf_counter() - start,
+            )
+    return TheoremReport(
+        "Theorem 7.2 (strong isolation)", n_events, True, None, checked,
+        time.perf_counter() - start,
+    )
+
+
+def check_theorem_73(n_events: int) -> TheoremReport:
+    """Transactional SC-DRF (Theorem 7.3)."""
+    model = Cpp()
+    tsc = TSC()
+    start = time.perf_counter()
+    checked = 0
+    for x in enumerate_executions(_cpp_space(n_events, atomic_txns=True)):
+        # Premise 1: no relaxed transactions.
+        if any(not txn.atomic for txn in x.txns):
+            continue
+        # Premise 1b (well-formedness of atomic txns): no atomics inside.
+        if any(
+            x.events[e].has(Label.ATO)
+            for txn in x.txns
+            for e in txn.events
+        ):
+            continue
+        # Premise 2: no non-SC atomics.
+        if atomic_events(x) - sc_events(x):
+            continue
+        if not model.consistent(x) or not model.race_free(x):
+            continue
+        checked += 1
+        if not tsc.consistent(x):
+            return TheoremReport(
+                "Theorem 7.3 (TSC-DRF)", n_events, False, x, checked,
+                time.perf_counter() - start,
+            )
+    return TheoremReport(
+        "Theorem 7.3 (TSC-DRF)", n_events, True, None, checked,
+        time.perf_counter() - start,
+    )
+
+
+def check_conservativity(arch: str, n_events: int) -> TheoremReport:
+    """TM models agree with their baselines on transaction-free executions."""
+    model = get_model(arch)
+    baseline = get_model(arch, tm=False)
+    space = EnumerationSpace.for_arch(arch, n_events, require_txn=False)
+    space = EnumerationSpace(
+        vocab=space.vocab,
+        n_events=n_events,
+        max_threads=space.max_threads,
+        max_locations=space.max_locations,
+        max_deps=space.max_deps,
+        max_rmws=space.max_rmws,
+        max_txns=0,
+    )
+    start = time.perf_counter()
+    checked = 0
+    for x in enumerate_executions(space):
+        checked += 1
+        if model.consistent(x) != baseline.consistent(x):
+            return TheoremReport(
+                f"conservativity ({arch})", n_events, False, x, checked,
+                time.perf_counter() - start,
+            )
+    return TheoremReport(
+        f"conservativity ({arch})", n_events, True, None, checked,
+        time.perf_counter() - start,
+    )

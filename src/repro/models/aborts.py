@@ -1,0 +1,143 @@
+"""Race semantics for aborted C++ transactions (paper Remarks 3.1, 7.1).
+
+The C++ TM specification "clarifies that although events in an
+unsuccessful transaction are unobservable, they can still participate in
+races" (Remark 7.1).  The paper's execution framework handles this
+automatically for transactions that *can* succeed — "the race will be
+detected in the case where the transaction succeeds" — but leaves
+transactions that *never* succeed, such as ::
+
+    atomic{ x = 1; abort(); }   ||   atomic_store(&x, 2);
+
+as future work.  This module carries that future work out.
+
+The key observation in the remark is that the racing events are the ones
+the transaction executes *before* aborting.  So the race semantics of a
+program with unconditional ``abort()`` calls is obtained by checking the
+*truncated-success* variant: each always-aborting transaction is
+replaced by a transaction containing exactly its pre-abort prefix, which
+can commit.  If a consistent execution of any truncation choice is racy,
+the original program is racy — the rollback does not erase the race.
+
+:func:`truncate_aborts` performs the transformation, and
+:func:`program_racy` implements the full check.  The regular candidate
+expansion (:mod:`repro.litmus.candidates`) is unchanged: for
+reachability/outcome questions, always-aborting transactions simply
+never commit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..litmus.candidates import candidate_executions
+from ..litmus.program import Instruction, Program, TxAbort, TxBegin, TxEnd
+from .cpp import Cpp
+
+__all__ = ["truncate_aborts", "abort_variants", "program_racy"]
+
+
+def _truncate_thread(
+    thread: tuple[Instruction, ...], keep_abort: dict[int, bool]
+) -> tuple[Instruction, ...]:
+    """Drop the suffix of every aborting transaction from its
+    (chosen-kept) unconditional abort point to its ``TxEnd``.
+
+    ``keep_abort`` maps the index of each *conditional* abort to whether
+    this variant assumes it fires.  Unconditional aborts always fire.
+    """
+    out: list[Instruction] = []
+    in_txn = False
+    dropping = False
+    cond_counter = -1
+    for instr in thread:
+        if isinstance(instr, TxBegin):
+            in_txn = True
+            dropping = False
+            out.append(instr)
+            continue
+        if isinstance(instr, TxEnd):
+            in_txn = False
+            dropping = False
+            out.append(instr)
+            continue
+        if dropping:
+            continue
+        if isinstance(instr, TxAbort) and in_txn:
+            fires = True
+            if instr.reg is not None:
+                cond_counter += 1
+                fires = keep_abort.get(cond_counter, False)
+            if fires:
+                dropping = True
+                continue  # cut here: the suffix rolls back
+            # A conditional abort assumed NOT to fire stays in place: the
+            # candidate expansion then enforces that its register read
+            # zero, keeping this variant exact.  (The firing direction
+            # over-approximates — the read-nonzero requirement is
+            # dropped — which can only add races for contrived
+            # conditions; unconditional aborts, the Remark 7.1 case, are
+            # exact.)
+            out.append(instr)
+            continue
+        out.append(instr)
+    return tuple(out)
+
+
+def _count_conditional_aborts(thread: tuple[Instruction, ...]) -> int:
+    return sum(
+        1
+        for instr in thread
+        if isinstance(instr, TxAbort) and instr.reg is not None
+    )
+
+
+def truncate_aborts(program: Program) -> Program:
+    """The truncated-success variant with every abort firing.
+
+    Every transaction is cut at its first abort point (conditional or
+    not); the resulting transactions can commit, exposing the pre-abort
+    events to race detection.
+    """
+    threads = []
+    for thread in program.threads:
+        n_cond = _count_conditional_aborts(thread)
+        keep = {i: True for i in range(n_cond)}
+        threads.append(_truncate_thread(thread, keep))
+    return Program(tuple(threads))
+
+
+def abort_variants(program: Program) -> Iterator[Program]:
+    """All truncation variants of ``program``.
+
+    Unconditional aborts always fire; each conditional abort
+    independently fires or not (whether it *can* fire in a consistent
+    execution is decided downstream by the candidate expansion, which
+    knows the register values).
+    """
+    counts = [_count_conditional_aborts(thread) for thread in program.threads]
+    spaces = [list(itertools.product([True, False], repeat=c)) for c in counts]
+    for choice in itertools.product(*spaces):
+        threads = tuple(
+            _truncate_thread(thread, dict(enumerate(fires)))
+            for thread, fires in zip(program.threads, choice)
+        )
+        yield Program(threads)
+
+
+def program_racy(program: Program, model: Cpp | None = None) -> bool:
+    """Is the program racy under the C++ TM race semantics?
+
+    A program is racy iff *some* consistent execution of some abort
+    variant has a data race (racy programs are undefined, so one racy
+    execution suffices).  For programs without ``TxAbort`` this
+    coincides with checking the ordinary candidate executions.
+    """
+    model = model or Cpp()
+    for variant in abort_variants(program):
+        for candidate in candidate_executions(variant):
+            x = candidate.execution
+            if model.consistent(x) and not model.race_free(x):
+                return True
+    return False

@@ -1,0 +1,107 @@
+"""The ARMv8 memory model with the proposed TM extension (paper Fig. 8,
+section 6).
+
+The baseline follows the official multicopy-atomic axiomatic model
+(Deacon's aarch64.cat [7, 21]): ordered-before (``ob``) collects external
+communication, dependency order (``dob``), atomic-RMW order (``aob``), and
+barrier order (``bob``), and must be acyclic.
+
+The TM extension is *unofficial* — it models the proposal under
+consideration within ARM Research that Example 1.1 shows to be
+incompatible with lock elision:
+
+* StrongIsol — the natural choice for hardware TM;
+* ``tfence`` — implicit fences at transaction boundaries, added to ``ob``;
+* TxnOrder — no ``ob`` cycles through transactions;
+* TxnCancelsRMW — exclusives straddling a boundary always fail.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..core.lifting import stronglift
+from ..core.relation import Relation
+from .base import Axiom, DerivedRelations, MemoryModel
+
+__all__ = ["ARMv8"]
+
+
+class ARMv8(MemoryModel):
+    """ARMv8 (multicopy-atomic) with the proposed TM extension."""
+
+    arch = "armv8"
+
+    def _dob(self, x: Execution) -> Relation:
+        """Dependency-ordered-before."""
+        n = x.n
+        writes = Relation.lift(n, x.writes)
+        isb_events = [i for i in x.fences if x.events[i].has(Label.ISB)]
+        isb_lift = Relation.lift(n, isb_events)
+        dep_to_isb = (x.ctrl_rel | (x.addr_rel @ x.po)) @ isb_lift @ x.po
+        return (
+            x.addr_rel
+            | x.data_rel
+            | (x.ctrl_rel @ writes)
+            | dep_to_isb
+            | (x.addr_rel @ x.po @ writes)
+            | ((x.addr_rel | x.data_rel) @ x.rfi)
+        )
+
+    def _aob(self, x: Execution) -> Relation:
+        """Atomic-ordered-before: RMWs, and acquire loads that read from
+        the write half of a local RMW."""
+        n = x.n
+        acq_reads = Relation.lift(
+            n, (r for r in x.reads if x.events[r].has(Label.ACQ))
+        )
+        rmw_writes = Relation.lift(n, x.rmw_rel.codomain())
+        return x.rmw_rel | (rmw_writes @ x.rfi @ acq_reads)
+
+    def _bob(self, x: Execution) -> Relation:
+        """Barrier-ordered-before: DMB variants plus one-way
+        release/acquire fencing."""
+        n = x.n
+        reads = Relation.lift(n, x.reads)
+        writes = Relation.lift(n, x.writes)
+        acq = Relation.lift(
+            n, (r for r in x.reads if x.events[r].has(Label.ACQ))
+        )
+        rel = Relation.lift(
+            n, (w for w in x.writes if x.events[w].has(Label.REL))
+        )
+        dmb = x.fence_rel(Label.DMB)
+        dmb_ld = reads @ x.fence_rel(Label.DMB_LD)
+        dmb_st = writes @ x.fence_rel(Label.DMB_ST) @ writes
+        return (
+            dmb
+            | dmb_ld
+            | dmb_st
+            | (acq @ x.po)
+            | (x.po @ rel)
+            | (rel @ x.po @ acq)
+            | (x.po @ rel @ x.coi)
+        )
+
+    def relations(self, x: Execution) -> DerivedRelations:
+        ob_base = (
+            x.come | self._dob(x) | self._aob(x) | self._bob(x) | x.tfence
+        )
+        return {
+            "coherence": x.po_loc | x.com,
+            "ob": ob_base,
+            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "strong_isol": stronglift(x.com, x.stxn),
+            "txn_order": stronglift(ob_base.plus(), x.stxn),
+            "txn_cancels_rmw": x.rmw_rel & x.tfence,
+        }
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        return (
+            Axiom("Coherence", "acyclic", "coherence"),
+            Axiom("Order", "acyclic", "ob"),
+            Axiom("RMWIsol", "empty", "rmw_isol"),
+            Axiom("StrongIsol", "acyclic", "strong_isol"),
+            Axiom("TxnOrder", "acyclic", "txn_order"),
+            Axiom("TxnCancelsRMW", "empty", "txn_cancels_rmw"),
+        )

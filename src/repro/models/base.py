@@ -1,0 +1,157 @@
+"""Memory-model interface.
+
+A model is a list of named axioms over the derived relations of an
+execution (paper section 2).  Three axiom forms appear in the paper and
+are supported here:
+
+* ``acyclic(r)``   — ``r`` must have no cycles;
+* ``irreflexive(r)`` — ``r`` must have no reflexive pairs;
+* ``empty(r)``     — ``r`` must contain no pairs.
+
+:meth:`MemoryModel.check` evaluates every axiom and returns a
+:class:`Verdict` with failure witnesses; :meth:`MemoryModel.consistent`
+short-circuits on the first failure (the hot path of the synthesizer).
+
+Models take a ``tm`` flag: with ``tm=False`` the transactional structure of
+the execution is ignored entirely (``stxn`` treated as empty), which gives
+the *non-transactional baseline* used when synthesizing the Forbid suites
+("forbidden by our transactional models but allowed under the
+non-transactional baselines", section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..core.execution import Execution
+from ..core.relation import Relation
+
+__all__ = ["Axiom", "AxiomResult", "Verdict", "MemoryModel", "DerivedRelations"]
+
+#: The derived-relation dictionary each model computes per execution.
+DerivedRelations = dict[str, Relation]
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """A named constraint of one of the three standard forms."""
+
+    name: str
+    kind: str  # "acyclic" | "irreflexive" | "empty"
+    relation: str  # key into the model's derived-relation dict
+
+    def evaluate(self, relations: DerivedRelations) -> "AxiomResult":
+        rel = relations[self.relation]
+        if self.kind == "acyclic":
+            cycle = rel.find_cycle()
+            return AxiomResult(self.name, cycle is None, cycle)
+        if self.kind == "irreflexive":
+            witness = [i for i in range(rel.n) if (i, i) in rel]
+            return AxiomResult(self.name, not witness, witness or None)
+        if self.kind == "empty":
+            witness = [list(pair) for pair in rel.pairs()]
+            return AxiomResult(self.name, not witness, witness or None)
+        raise ValueError(f"unknown axiom kind {self.kind!r}")
+
+    def holds(self, relations: DerivedRelations) -> bool:
+        rel = relations[self.relation]
+        if self.kind == "acyclic":
+            return rel.is_acyclic()
+        if self.kind == "irreflexive":
+            return rel.is_irreflexive()
+        if self.kind == "empty":
+            return rel.is_empty()
+        raise ValueError(f"unknown axiom kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class AxiomResult:
+    """The outcome of evaluating one axiom: pass/fail plus a witness."""
+
+    name: str
+    holds: bool
+    witness: object = None
+
+    def __str__(self) -> str:
+        status = "ok" if self.holds else f"VIOLATED (witness: {self.witness})"
+        return f"{self.name}: {status}"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Full consistency report for one execution under one model."""
+
+    model: str
+    consistent: bool
+    results: tuple[AxiomResult, ...] = field(default_factory=tuple)
+
+    @property
+    def failures(self) -> tuple[AxiomResult, ...]:
+        return tuple(r for r in self.results if not r.holds)
+
+    def __str__(self) -> str:
+        head = f"{self.model}: {'consistent' if self.consistent else 'INCONSISTENT'}"
+        lines = [head] + [f"  {r}" for r in self.results]
+        return "\n".join(lines)
+
+
+class MemoryModel:
+    """Base class for every model in :mod:`repro.models`.
+
+    Subclasses implement :meth:`relations` (the derived-relation
+    dictionary) and :meth:`axioms` (the axiom list); everything else is
+    inherited.
+    """
+
+    #: Short architecture tag ("sc", "x86", "power", "armv8", "cpp").
+    arch: str = ""
+
+    def __init__(self, tm: bool = True) -> None:
+        self.tm = tm
+
+    @property
+    def name(self) -> str:
+        suffix = "" if self.tm else " (no TM)"
+        return f"{self.arch}{suffix}"
+
+    # -- to be provided by subclasses ----------------------------------
+
+    def relations(self, x: Execution) -> DerivedRelations:
+        """Compute the model's derived relations for ``x``."""
+        raise NotImplementedError
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        """The model's axioms in evaluation order."""
+        raise NotImplementedError
+
+    # -- shared machinery ----------------------------------------------
+
+    def _effective(self, x: Execution) -> Execution:
+        return x if self.tm else x.without_transactions()
+
+    def check(self, x: Execution) -> Verdict:
+        """Evaluate every axiom; return a full report with witnesses."""
+        relations = self.relations(self._effective(x))
+        results = tuple(axiom.evaluate(relations) for axiom in self.axioms())
+        return Verdict(self.name, all(r.holds for r in results), results)
+
+    def consistent(self, x: Execution) -> bool:
+        """Fast yes/no consistency (short-circuits on first failure)."""
+        relations = self.relations(self._effective(x))
+        return all(axiom.holds(relations) for axiom in self.axioms())
+
+    def failed_axioms(self, x: Execution) -> list[str]:
+        """Names of the axioms the execution violates."""
+        return [r.name for r in self.check(x).failures]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} tm={self.tm}>"
+
+
+def chain(*relations: Relation) -> Relation:
+    """Compose relations left to right (helper for model definitions)."""
+    result = relations[0]
+    for rel in relations[1:]:
+        result = result @ rel
+    return result

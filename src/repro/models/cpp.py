@@ -1,0 +1,156 @@
+"""The C++ memory model with transactions (paper Fig. 9, section 7).
+
+The baseline is RC11 (Lahav et al. [38]), which the paper builds on
+because its fixed SC semantics is what makes compilation to Power sound.
+The TM additions implement the paper's own *simplification* of the C++ TM
+specification (section 7.2): instead of quantifying over a total order on
+transactions, conflicting transactions synchronise in *extended
+communication* order::
+
+    ecom = com ∪ (co ; rf)
+    tsw  = weaklift(ecom, stxn)
+    hb   = (po ∪ sw ∪ tsw)⁺
+
+Atomic transactions (``atomic{}``) are tracked via ``stxnat``; they are
+strongly isolated *by construction* for race-free programs (Theorem 7.2,
+checked in :mod:`repro.metatheory.theorems`).
+
+Race freedom (NoRace) is deliberately *not* part of the consistency
+axioms: it is a predicate on whole programs.  Use :meth:`Cpp.race_free`.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..core.lifting import weaklift
+from ..core.relation import Relation
+from .base import Axiom, DerivedRelations, MemoryModel
+
+__all__ = ["Cpp", "acquire_events", "release_events", "sc_events", "atomic_events"]
+
+_ACQ_MODES = frozenset({Label.ACQ, Label.ACQ_REL, Label.SC})
+_REL_MODES = frozenset({Label.REL, Label.ACQ_REL, Label.SC})
+
+
+def atomic_events(x: Execution) -> frozenset[int]:
+    """``Ato``: accesses from atomic operations."""
+    return frozenset(
+        i for i in x.accesses if x.events[i].has(Label.ATO)
+    )
+
+
+def acquire_events(x: Execution) -> frozenset[int]:
+    """Events with acquire semantics: acq/acq_rel/sc reads and fences."""
+    out = set()
+    for i, e in enumerate(x.events):
+        if e.mode in _ACQ_MODES and (e.is_read or e.is_fence):
+            out.add(i)
+    return frozenset(out)
+
+
+def release_events(x: Execution) -> frozenset[int]:
+    """Events with release semantics: rel/acq_rel/sc writes and fences."""
+    out = set()
+    for i, e in enumerate(x.events):
+        if e.mode in _REL_MODES and (e.is_write or e.is_fence):
+            out.add(i)
+    return frozenset(out)
+
+
+def sc_events(x: Execution) -> frozenset[int]:
+    """``SC``: events with memory order seq_cst."""
+    return frozenset(i for i, e in enumerate(x.events) if e.mode == Label.SC)
+
+
+class Cpp(MemoryModel):
+    """RC11 plus the transactional extensions of section 7."""
+
+    arch = "cpp"
+
+    def _sw(self, x: Execution) -> Relation:
+        """Synchronises-with, including release sequences and fences."""
+        n = x.n
+        w = Relation.lift(n, x.writes)
+        w_ato = Relation.lift(n, atomic_events(x) & x.writes)
+        r_ato = Relation.lift(n, atomic_events(x) & x.reads)
+        f = Relation.lift(n, x.fences)
+        rel = Relation.lift(n, release_events(x))
+        acq = Relation.lift(n, acquire_events(x))
+
+        rs = w @ x.po_loc.opt() @ w_ato @ (x.rf_rel @ x.rmw_rel).star()
+        return (
+            rel
+            @ (f @ x.po).opt()
+            @ rs
+            @ x.rf_rel
+            @ r_ato
+            @ (x.po @ f).opt()
+            @ acq
+        )
+
+    def relations(self, x: Execution) -> DerivedRelations:
+        n = x.n
+        ecom = x.com | (x.co_rel @ x.rf_rel)
+        tsw = weaklift(ecom, x.stxn)
+        hb = (x.po | self._sw(x) | tsw).plus()
+
+        # RC11 psc.
+        sc_all = Relation.lift(n, sc_events(x))
+        sc_fence = Relation.lift(n, sc_events(x) & x.fences)
+        sb_neq_loc = x.po - x.sloc
+        eco = x.com.plus()
+        scb = (
+            x.po
+            | (sb_neq_loc @ hb @ sb_neq_loc)
+            | (hb & x.sloc)
+            | x.co_rel
+            | x.fr
+        )
+        psc_base = (
+            (sc_all | (sc_fence @ hb.opt()))
+            @ scb
+            @ (sc_all | (hb.opt() @ sc_fence))
+        )
+        psc_fence = sc_fence @ (hb | (hb @ eco @ hb)) @ sc_fence
+
+        return {
+            "hb": hb,
+            "hb_com": hb @ x.com.star(),
+            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "thin_air": x.po | x.rf_rel,
+            "psc": psc_base | psc_fence,
+        }
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        return (
+            Axiom("HbCom", "irreflexive", "hb_com"),
+            Axiom("RMWIsol", "empty", "rmw_isol"),
+            Axiom("NoThinAir", "acyclic", "thin_air"),
+            Axiom("SeqCst", "acyclic", "psc"),
+        )
+
+    # ------------------------------------------------------------------
+    # Race freedom (the NoRace predicate at the bottom of Fig. 9)
+    # ------------------------------------------------------------------
+
+    def conflicts(self, x: Execution) -> Relation:
+        """``cnf``: same-location pairs, at least one a write, not both the
+        same event."""
+        n = x.n
+        ww = Relation.cross(n, x.writes, x.writes)
+        rw = Relation.cross(n, x.reads, x.writes)
+        wr = Relation.cross(n, x.writes, x.reads)
+        return ((ww | rw | wr) & x.sloc).remove_diagonal()
+
+    def races(self, x: Execution) -> Relation:
+        """Conflicting pairs that are neither both atomic nor hb-ordered."""
+        x = self._effective(x)
+        ato = atomic_events(x)
+        ato_sq = Relation.cross(x.n, ato, ato)
+        hb = self.relations(x)["hb"]
+        return self.conflicts(x) - ato_sq - (hb | hb.inverse())
+
+    def race_free(self, x: Execution) -> bool:
+        """The NoRace predicate: no race in this execution."""
+        return self.races(x).is_empty()

@@ -1,0 +1,71 @@
+"""The atomicity-only Power TM model of Dongol et al. [23] (paper §9).
+
+Dongol et al. lift relations from events to transactions like the paper,
+but "capture only the atomicity of transactions, not the ordering".  We
+model this as the Power baseline plus StrongIsol, with none of the
+ordering extensions (no ``tfence`` in ``fence``, no ``thb`` lifting, no
+``tprop1``/``tprop2``, no TxnOrder).
+
+The paper demonstrates the gap with a two-thread execution — a
+transaction writing ``x`` then ``y``, observed inconsistently by a
+non-transactional reader — that our Power model forbids (Observation,
+via ``tprop2``) but this model allows.  :mod:`repro.catalog.figures`
+contains that execution (``dongol_gap``) and
+``benchmarks/bench_ablation.py`` measures the divergence between the
+two models over the whole enumerated execution space.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..core.lifting import stronglift
+from ..core.relation import Relation
+from .base import Axiom, DerivedRelations, MemoryModel
+from .power import power_ppo
+
+__all__ = ["DongolPower"]
+
+
+class DongolPower(MemoryModel):
+    """Power with transactions that are atomic but impose no ordering."""
+
+    arch = "power-dongol"
+
+    def relations(self, x: Execution) -> DerivedRelations:
+        n = x.n
+        writes = Relation.lift(n, x.writes)
+
+        ppo = power_ppo(x)
+        sync = x.fence_rel(Label.SYNC)
+        lwsync = x.fence_rel(Label.LWSYNC)
+        wr = Relation.cross(n, x.writes, x.reads)
+
+        fence = sync | (lwsync - wr)
+        ihb = ppo | fence
+        hb = x.rfe.opt() @ ihb @ x.rfe.opt()
+        hb_star = hb.star()
+
+        efence = x.rfe.opt() @ fence @ x.rfe.opt()
+        prop1 = writes @ efence @ hb_star @ writes
+        prop2 = x.come.star() @ efence.star() @ hb_star @ sync @ hb_star
+        prop = prop1 | prop2
+
+        return {
+            "coherence": x.po_loc | x.com,
+            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "hb": hb,
+            "propagation": x.co_rel | prop,
+            "observation": x.fre @ prop @ hb_star,
+            "strong_isol": stronglift(x.com, x.stxn),
+        }
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        return (
+            Axiom("Coherence", "acyclic", "coherence"),
+            Axiom("RMWIsol", "empty", "rmw_isol"),
+            Axiom("Order", "acyclic", "hb"),
+            Axiom("Propagation", "acyclic", "propagation"),
+            Axiom("Observation", "irreflexive", "observation"),
+            Axiom("StrongIsol", "acyclic", "strong_isol"),
+        )

@@ -1,0 +1,45 @@
+"""Weak and strong isolation as standalone checks (paper section 3.3).
+
+These are properties an execution either has or violates, independent of
+any architecture model::
+
+    WeakIsol:   acyclic(weaklift(com, stxn))
+    StrongIsol: acyclic(stronglift(com, stxn))
+
+Strong isolation also protects transactions from *non-transactional*
+interference; the four 3-event discriminating shapes are Fig. 3 of the
+paper (and live in :mod:`repro.catalog.figures`).
+"""
+
+from __future__ import annotations
+
+from ..core.execution import Execution
+from ..core.lifting import stronglift, weaklift
+from ..core.relation import Relation
+
+__all__ = [
+    "weak_isolation_rel",
+    "strong_isolation_rel",
+    "weakly_isolated",
+    "strongly_isolated",
+]
+
+
+def weak_isolation_rel(x: Execution) -> Relation:
+    """The relation whose acyclicity is the WeakIsol axiom."""
+    return weaklift(x.com, x.stxn)
+
+
+def strong_isolation_rel(x: Execution) -> Relation:
+    """The relation whose acyclicity is the StrongIsol axiom."""
+    return stronglift(x.com, x.stxn)
+
+
+def weakly_isolated(x: Execution) -> bool:
+    """True iff the execution satisfies WeakIsol."""
+    return weak_isolation_rel(x).is_acyclic()
+
+
+def strongly_isolated(x: Execution) -> bool:
+    """True iff the execution satisfies StrongIsol."""
+    return strong_isolation_rel(x).is_acyclic()

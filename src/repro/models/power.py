@@ -1,0 +1,142 @@
+"""The Power memory model with HTM (paper Fig. 6, section 5).
+
+The baseline follows the herding-cats Power model of Alglave et al. [5]:
+``ppo`` is their mutually-recursive ii/ic/ci/cc fixpoint (the paper elides
+it, Fig. 6 says "(preserved program order, elided)"), the ``fence``
+relation combines ``sync``/``lwsync``, and the Propagation/Observation
+axioms govern write propagation in a non-multicopy-atomic machine.
+
+The highlighted TM additions (all implemented below):
+
+* StrongIsol — transactions "appear atomic with respect to both
+  transactional and non-transactional accesses" (Power ISA 5.1);
+* ``tfence`` — cumulative barriers created by successful ``tbegin``/
+  ``tend`` (Power ISA 1.8), added alongside ``sync``;
+* TxnOrder — ``hb`` must not cycle through transactions;
+* ``tprop1`` — the "integrated memory barrier": writes observed by a
+  transaction propagate before the transaction's own writes
+  (rules out execution (1) of section 5.2);
+* ``tprop2`` — transactional writes are multicopy-atomic
+  (rules out execution (2));
+* ``thb`` — transactions serialise in an order no thread can contradict
+  (rules out the IRIW-style execution (3)), folded into ``hb`` via
+  ``weaklift`` so the serialisation order need not be constructed;
+* TxnCancelsRMW — an RMW straddling a transaction boundary always fails.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..core.lifting import stronglift, weaklift
+from ..core.relation import Relation
+from .base import Axiom, DerivedRelations, MemoryModel
+
+__all__ = ["Power", "power_ppo"]
+
+
+def power_ppo(x: Execution) -> Relation:
+    """Preserved program order: the herding-cats ii/ic/ci/cc fixpoint.
+
+    ::
+
+        ii0 = addr | data | rdw | rfi
+        ci0 = ctrl_isync | detour
+        cc0 = addr | data | po_loc | ctrl | addr;po
+        ii  = ii0 | ci | ic;ci | ii;ii
+        ic  = ii | cc | ic;cc | ii;ic      (ic0 is empty)
+        ci  = ci0 | ci;ii | cc;ci
+        cc  = cc0 | ci | ci;ic | cc;cc
+        ppo = (R×R ∩ ii) | (R×W ∩ ic)
+    """
+    n = x.n
+    dd = x.addr_rel | x.data_rel
+    po = x.po
+    rdw = x.po_loc & (x.fre @ x.rfe)
+    detour = x.po_loc & (x.coe @ x.rfe)
+    isync_events = [
+        i for i in x.fences if x.events[i].has(Label.ISYNC)
+    ]
+    ctrl_isync = (
+        x.ctrl_rel.restrict(range(n), isync_events) @ po
+    ) | (x.ctrl_rel & x.fence_rel(Label.ISYNC))
+
+    ii0 = dd | rdw | x.rfi
+    ci0 = ctrl_isync | detour
+    cc0 = dd | x.po_loc | x.ctrl_rel | (x.addr_rel @ po)
+
+    empty = Relation.empty(n)
+    ii, ic, ci, cc = ii0, empty, ci0, cc0
+    while True:
+        new_ii = ii0 | ci | (ic @ ci) | (ii @ ii)
+        new_ic = ii | cc | (ic @ cc) | (ii @ ic)
+        new_ci = ci0 | (ci @ ii) | (cc @ ci)
+        new_cc = cc0 | ci | (ci @ ic) | (cc @ cc)
+        if (new_ii, new_ic, new_ci, new_cc) == (ii, ic, ci, cc):
+            break
+        ii, ic, ci, cc = new_ii, new_ic, new_ci, new_cc
+
+    rr = Relation.cross(n, x.reads, x.reads)
+    rw = Relation.cross(n, x.reads, x.writes)
+    return (rr & ii) | (rw & ic)
+
+
+class Power(MemoryModel):
+    """Power with the ISA 3.0 transactional-memory facility."""
+
+    arch = "power"
+
+    def relations(self, x: Execution) -> DerivedRelations:
+        n = x.n
+        writes = Relation.lift(n, x.writes)
+
+        ppo = power_ppo(x)
+        sync = x.fence_rel(Label.SYNC)
+        lwsync = x.fence_rel(Label.LWSYNC)
+        wr = Relation.cross(n, x.writes, x.reads)
+        tfence = x.tfence
+
+        fence = sync | tfence | (lwsync - wr)
+        ihb = ppo | fence
+
+        frecoe = x.fre | x.coe
+        # thb: chains of ihb and external communication, excluding
+        # (fre|coe);rfe sub-chains that end mid-chain (they give no
+        # ordering on a non-multicopy-atomic machine).
+        thb = (
+            (x.rfe | (frecoe.star() @ ihb)).star()
+            @ frecoe.star()
+            @ x.rfe.opt()
+        )
+        hb = (x.rfe.opt() @ ihb @ x.rfe.opt()) | weaklift(thb, x.stxn)
+        hb_star = hb.star()
+
+        efence = x.rfe.opt() @ fence @ x.rfe.opt()
+        prop1 = writes @ efence @ hb_star @ writes
+        prop2 = x.come.star() @ efence.star() @ hb_star @ (sync | tfence) @ hb_star
+        tprop1 = x.rfe @ x.stxn @ writes
+        tprop2 = x.stxn @ x.rfe
+        prop = prop1 | prop2 | tprop1 | tprop2
+
+        return {
+            "coherence": x.po_loc | x.com,
+            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "hb": hb,
+            "propagation": x.co_rel | prop,
+            "observation": x.fre @ prop @ hb_star,
+            "strong_isol": stronglift(x.com, x.stxn),
+            "txn_order": stronglift(hb, x.stxn),
+            "txn_cancels_rmw": x.rmw_rel & x.tfence,
+        }
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        return (
+            Axiom("Coherence", "acyclic", "coherence"),
+            Axiom("RMWIsol", "empty", "rmw_isol"),
+            Axiom("Order", "acyclic", "hb"),
+            Axiom("Propagation", "acyclic", "propagation"),
+            Axiom("Observation", "irreflexive", "observation"),
+            Axiom("StrongIsol", "acyclic", "strong_isol"),
+            Axiom("TxnOrder", "acyclic", "txn_order"),
+            Axiom("TxnCancelsRMW", "empty", "txn_cancels_rmw"),
+        )

@@ -1,0 +1,47 @@
+"""Model registry: look models up by name (used by the CLI and tests)."""
+
+from __future__ import annotations
+
+from .armv8 import ARMv8
+from .base import MemoryModel
+from .cpp import Cpp
+from .dongol import DongolPower
+from .power import Power
+from .riscv import RiscV
+from .sc import SC, TSC
+from .x86 import X86
+
+__all__ = ["MODELS", "get_model", "model_names"]
+
+MODELS: dict[str, type] = {
+    "sc": SC,
+    "tsc": TSC,
+    "x86": X86,
+    "power": Power,
+    "armv8": ARMv8,
+    "cpp": Cpp,
+    "power-dongol": DongolPower,
+    "riscv": RiscV,
+}
+
+
+def model_names() -> list[str]:
+    """All registered model names."""
+    return sorted(MODELS)
+
+
+def get_model(name: str, tm: bool = True) -> MemoryModel:
+    """Instantiate the model registered under ``name``.
+
+    ``tm=False`` gives the non-transactional baseline (transactions in
+    the execution are ignored).  SC ignores the flag (it has no TM).
+    """
+    try:
+        cls = MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; known: {', '.join(model_names())}"
+        ) from None
+    if cls is SC:
+        return cls()
+    return cls(tm=tm)

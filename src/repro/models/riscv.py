@@ -1,0 +1,160 @@
+"""RISC-V RVWMO with a transactional-memory extension.
+
+The paper names RISC-V as a target for its methodology: "other
+architectures ... that could be targetted ... include RISC-V, which
+plans to incorporate TM in the future" (section 9, citing the RISC-V
+ISA manual [54]).  This module carries that suggestion out.
+
+Baseline
+========
+
+RVWMO is the multicopy-atomic memory model of the RISC-V unprivileged
+specification; we follow its axiomatic presentation (the ``riscv.cat``
+herd model in the spec's appendix), restricted to this project's event
+vocabulary.  The global axiom set is the standard MCA formulation:
+
+* Coherence — ``acyclic(po_loc ∪ com)``;
+* Atomicity — ``empty(rmw ∩ (fre ; coe))`` (LR/SC pairs);
+* Main — ``acyclic(ppo ∪ rfe ∪ coe ∪ fre)``, with ``ppo`` the union of
+  the spec's thirteen preserved-program-order rules (r1–r13 below).
+
+Annotations map onto this project's labels: ``.aq`` on loads is
+:data:`~repro.core.events.Label.ACQ`, ``.rl`` on stores is ``REL``
+(both RCsc, as in the base ISA), store-conditionals carry ``EXCL``, and
+the four FENCE flavours we model are ``fence rw,rw``, ``fence r,rw``,
+``fence rw,w`` and ``fence.tso``.
+
+TM extension
+============
+
+RISC-V has no ratified TM extension, so — exactly as the paper does for
+ARMv8 (section 6.1) — we apply its recipe for a *reasonable* hardware
+TM on an MCA architecture:
+
+* StrongIsol — conflicts are detected against any other hart;
+* ``tfence`` — implicit fences at successful-transaction boundaries,
+  added to the Main order;
+* TxnOrder — no Main-order cycles through transactions;
+* TxnCancelsRMW — an LR/SC pair straddling a transaction boundary
+  always fails.
+
+The lock-elision study of section 8.3 extends to this model in
+:mod:`repro.metatheory.lockelision`; like ARMv8, the RISC-V spinlock
+(LR.aq/SC loop with an SW.rl release) is *unsound* under lock elision,
+and for the same reason — nothing orders the store-conditional before
+the critical-region body.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..core.lifting import stronglift
+from ..core.relation import Relation
+from .base import Axiom, DerivedRelations, MemoryModel
+
+__all__ = ["RiscV", "riscv_ppo"]
+
+
+def _fence_order(x: Execution) -> Relation:
+    """The order induced by the four modelled FENCE flavours.
+
+    ``fence pr,ps`` orders predecessor-set events before successor-set
+    events; ``fence.tso`` orders R→RW and W→W.
+    """
+    n = x.n
+    r = Relation.lift(n, x.reads)
+    w = Relation.lift(n, x.writes)
+    full = x.fence_rel(Label.FENCE_RW_RW)
+    r_rw = r @ x.fence_rel(Label.FENCE_R_RW)
+    rw_w = x.fence_rel(Label.FENCE_RW_W) @ w
+    tso = x.fence_rel(Label.FENCE_TSO)
+    return full | r_rw | rw_w | (r @ tso) | (w @ tso @ w)
+
+
+def riscv_ppo(x: Execution) -> Relation:
+    """Preserved program order: the thirteen RVWMO rules.
+
+    Rule numbering follows the RVWMO chapter of the spec:
+
+    ====  ======================================================
+    r1    ``[M] ; po_loc ; [W]`` — same-address, later store
+    r2    same-address loads with no intervening same-address
+          store, unless they read from the same store (``rsw``)
+    r3    value returned locally from an AMO/SC write
+    r4    FENCE instructions (:func:`_fence_order`)
+    r5    acquire annotation orders everything po-later
+    r6    release annotation orders everything po-earlier
+    r7    RCsc-annotated pairs stay ordered
+    r8    the two halves of a paired AMO / LR-SC
+    r9    address dependencies
+    r10   data dependencies (into stores)
+    r11   control dependencies into stores
+    r12   load that reads from a dependency-ordered local store
+    r13   address dependency followed by any access, into a store
+    ====  ======================================================
+    """
+    n = x.n
+    reads = Relation.lift(n, x.reads)
+    writes = Relation.lift(n, x.writes)
+    rr = Relation.cross(n, x.reads, x.reads)
+
+    rsw = x.rf_rel.inverse() @ x.rf_rel
+    po_loc_no_w = x.po_loc - (x.po_loc @ writes @ x.po_loc)
+
+    aq = Relation.lift(n, (e for e in x.reads if x.events[e].has(Label.ACQ)))
+    rl = Relation.lift(n, (e for e in x.writes if x.events[e].has(Label.REL)))
+    rcsc_events = frozenset(
+        e
+        for e in x.accesses
+        if x.events[e].has(Label.ACQ) or x.events[e].has(Label.REL)
+    )
+    rcsc = Relation.lift(n, rcsc_events)
+    atomic_writes = Relation.lift(
+        n,
+        x.rmw_rel.codomain()
+        | {w for w in x.writes if x.events[w].has(Label.EXCL)},
+    )
+
+    r1 = x.po_loc @ writes
+    r2 = (po_loc_no_w & rr) - rsw
+    r3 = atomic_writes @ x.rfi
+    r4 = _fence_order(x)
+    r5 = aq @ x.po
+    r6 = x.po @ rl
+    r7 = rcsc @ x.po @ rcsc
+    r8 = x.rmw_rel
+    r9 = x.addr_rel
+    r10 = x.data_rel @ writes
+    r11 = x.ctrl_rel @ writes
+    r12 = reads @ (x.addr_rel | x.data_rel) @ x.rfi
+    r13 = x.addr_rel @ x.po @ writes
+
+    return r1 | r2 | r3 | r4 | r5 | r6 | r7 | r8 | r9 | r10 | r11 | r12 | r13
+
+
+class RiscV(MemoryModel):
+    """RVWMO with the TM extension built by the paper's recipe."""
+
+    arch = "riscv"
+
+    def relations(self, x: Execution) -> DerivedRelations:
+        main = riscv_ppo(x) | x.rfe | x.coe | x.fre | x.tfence
+        return {
+            "coherence": x.po_loc | x.com,
+            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "main": main,
+            "strong_isol": stronglift(x.com, x.stxn),
+            "txn_order": stronglift(main.plus(), x.stxn),
+            "txn_cancels_rmw": x.rmw_rel & x.tfence,
+        }
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        return (
+            Axiom("Coherence", "acyclic", "coherence"),
+            Axiom("RMWIsol", "empty", "rmw_isol"),
+            Axiom("Main", "acyclic", "main"),
+            Axiom("StrongIsol", "acyclic", "strong_isol"),
+            Axiom("TxnOrder", "acyclic", "txn_order"),
+            Axiom("TxnCancelsRMW", "empty", "txn_cancels_rmw"),
+        )

@@ -1,0 +1,55 @@
+"""Sequential consistency and transactional SC (paper Fig. 4, section 3.4).
+
+SC is characterised by a single axiom [Shasha & Snir 1988]::
+
+    acyclic(hb)  where  hb = po ∪ com              (Order)
+
+TSC strengthens SC so that consecutive events of a transaction appear
+consecutively in the overall order::
+
+    acyclic(stronglift(hb, stxn))                   (TxnOrder)
+
+TxnOrder subsumes StrongIsol (com ⊆ hb), as the paper notes.
+"""
+
+from __future__ import annotations
+
+from ..core.execution import Execution
+from ..core.lifting import stronglift
+from .base import Axiom, DerivedRelations, MemoryModel
+
+__all__ = ["SC", "TSC"]
+
+
+class SC(MemoryModel):
+    """Plain sequential consistency (ignores transactions entirely)."""
+
+    arch = "sc"
+
+    def __init__(self) -> None:
+        super().__init__(tm=False)
+
+    def relations(self, x: Execution) -> DerivedRelations:
+        return {"hb": x.po | x.com}
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        return (Axiom("Order", "acyclic", "hb"),)
+
+
+class TSC(MemoryModel):
+    """Transactional sequential consistency (Fig. 4 with highlights)."""
+
+    arch = "tsc"
+
+    def __init__(self, tm: bool = True) -> None:
+        super().__init__(tm=tm)
+
+    def relations(self, x: Execution) -> DerivedRelations:
+        hb = x.po | x.com
+        return {"hb": hb, "txn_hb": stronglift(hb, x.stxn)}
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        return (
+            Axiom("Order", "acyclic", "hb"),
+            Axiom("TxnOrder", "acyclic", "txn_hb"),
+        )

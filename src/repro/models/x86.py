@@ -1,0 +1,69 @@
+"""The x86 memory model with TSX transactions (paper Fig. 5, section 5).
+
+The baseline is the axiomatic TSO formulation of Alglave et al. [5]; the
+highlighted TM additions are:
+
+* ``tfence`` — implicit fences at successful-transaction boundaries
+  ("a successfully committed [transaction] has the same ordering semantics
+  as a LOCK prefixed instruction", Intel SDM 16.3.6);
+* StrongIsol — TSX detects conflicts against *any* other logical
+  processor, transactional or not (SDM 16.2);
+* TxnOrder — transactions appear to execute instantaneously, so ``hb``
+  must not cycle through them.
+"""
+
+from __future__ import annotations
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..core.lifting import stronglift
+from ..core.relation import Relation
+from .base import Axiom, DerivedRelations, MemoryModel
+
+__all__ = ["X86"]
+
+
+class X86(MemoryModel):
+    """x86-TSO with Intel TSX transactions."""
+
+    arch = "x86"
+
+    def relations(self, x: Execution) -> DerivedRelations:
+        n = x.n
+        reads = Relation.lift(n, x.reads)
+        writes = Relation.lift(n, x.writes)
+
+        # ppo: TSO preserves all of po except W->R pairs.
+        ww = Relation.cross(n, x.writes, x.writes)
+        rw = Relation.cross(n, x.reads, x.writes)
+        rr = Relation.cross(n, x.reads, x.reads)
+        ppo = (ww | rw | rr) & x.po
+
+        mfence = x.fence_rel(Label.MFENCE)
+
+        tfence = x.tfence
+
+        # LOCK'd instructions (the two halves of atomic RMWs) imply
+        # fencing on both sides.
+        locked = x.rmw_rel.domain() | x.rmw_rel.codomain()
+        lift_locked = Relation.lift(n, locked)
+        implied = (lift_locked @ x.po) | (x.po @ lift_locked) | tfence
+
+        hb = mfence | ppo | implied | x.rfe | x.fr | x.co_rel
+
+        return {
+            "coherence": x.po_loc | x.com,
+            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "hb": hb,
+            "strong_isol": stronglift(x.com, x.stxn),
+            "txn_order": stronglift(hb, x.stxn),
+        }
+
+    def axioms(self) -> tuple[Axiom, ...]:
+        return (
+            Axiom("Coherence", "acyclic", "coherence"),
+            Axiom("RMWIsol", "empty", "rmw_isol"),
+            Axiom("Order", "acyclic", "hb"),
+            Axiom("StrongIsol", "acyclic", "strong_isol"),
+            Axiom("TxnOrder", "acyclic", "txn_order"),
+        )

@@ -1,0 +1,33 @@
+"""Simulated hardware: the operational TSO+HTM machine, the policy-driven
+weak-memory machine (Power/ARMv8/RISC-V/SC), and axiomatic oracles."""
+
+from .oracle import (
+    ArmRtl,
+    BuggyRtlArm,
+    HardwareOracle,
+    MachineHardware,
+    PowerHardware,
+    X86Hardware,
+    get_oracle,
+)
+from .policy import CommitPolicy, blocking_matrix, get_policy
+from .tso import TsoMachine, reachable_outcomes, runnable_on_tso
+from .weakmachine import WeakMachine, runnable_on
+
+__all__ = [
+    "ArmRtl",
+    "BuggyRtlArm",
+    "CommitPolicy",
+    "HardwareOracle",
+    "MachineHardware",
+    "PowerHardware",
+    "TsoMachine",
+    "WeakMachine",
+    "X86Hardware",
+    "blocking_matrix",
+    "get_oracle",
+    "get_policy",
+    "reachable_outcomes",
+    "runnable_on",
+    "runnable_on_tso",
+]

@@ -1,0 +1,317 @@
+"""Per-architecture commit-ordering policies for the weak-memory machine.
+
+The operational machine of :mod:`repro.sim.weakmachine` commits the
+instructions of each thread *out of program order*.  A policy decides
+which program-order pairs must nonetheless commit in order; everything
+else may be reordered by the scheduler.  This is the operational face of
+each model's preserved-program-order, approximated **conservatively**:
+the machine may enforce *more* order than the axiomatic model requires
+(hurting only the Allow-observation rate), but never less — the
+conformance tests check that every machine behaviour is admitted by the
+corresponding axiomatic model.
+
+Ordering comes from three places:
+
+1. *direct rules* between two instructions (dependencies, same-location
+   accesses, acquire/release labels, transaction brackets, control
+   dependencies into stores);
+2. *fence rules*: an access pair with a fence strictly between them in
+   program order is committed in order when :meth:`CommitPolicy.
+   fence_orders` says the flavour orders that pair (this is where the
+   lwsync store→load relaxation lives);
+3. *fence instruction scheduling*: the fence instruction itself waits
+   for / blocks neighbours just enough for its bookkeeping (cumulativity
+   markers, sync's propagation wait) to be well placed.
+
+Conservative simplifications (documented in DESIGN.md):
+
+* Power ``isync`` alone blocks later commits until earlier loads commit
+  (a superset of ``ctrl+isync``);
+* same-location accesses always commit in program order (subsumes
+  coherence; forwarding is outcome-equivalent at commit granularity);
+* control dependencies order *stores* after the branch everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.events import Label
+from ..litmus.program import (
+    CtrlBranch,
+    Fence,
+    Instruction,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+
+__all__ = ["CommitPolicy", "POLICIES", "get_policy", "blocking_matrix"]
+
+
+def _is_load(instr: Instruction) -> bool:
+    return isinstance(instr, Load)
+
+
+def _is_store(instr: Instruction) -> bool:
+    return isinstance(instr, Store)
+
+
+def _is_access(instr: Instruction) -> bool:
+    return isinstance(instr, (Load, Store))
+
+
+def _same_loc(a: Instruction, b: Instruction) -> bool:
+    a_loc = getattr(a, "loc", None)
+    b_loc = getattr(b, "loc", None)
+    return a_loc is not None and a_loc == b_loc
+
+
+def _regs_read(instr: Instruction) -> tuple[str, ...]:
+    if isinstance(instr, Load):
+        return instr.addr_dep
+    if isinstance(instr, Store):
+        return instr.data_dep + instr.addr_dep
+    if isinstance(instr, CtrlBranch):
+        return instr.regs
+    if isinstance(instr, TxAbort) and instr.reg is not None:
+        return (instr.reg,)
+    return ()
+
+
+@dataclass(frozen=True)
+class CommitPolicy:
+    """Commit-order rules for one architecture.
+
+    Attributes:
+        arch: architecture tag.
+        mca: multicopy-atomic — committed writes become visible to every
+            thread at once (ARMv8, RISC-V, SC); otherwise writes
+            propagate per thread under scheduler control (Power).
+        in_order: commit strictly in program order (the SC machine).
+        acq_rel_labels: honour ACQ/REL one-way barriers on accesses.
+        full_fences: flavours ordering every access pair across them.
+        ld_fences: flavours ordering earlier loads before everything.
+        st_fences: flavours ordering earlier stores before later stores.
+        lw_fences: Power lwsync: orders all pairs except store→load,
+            and is cumulative on the propagation side.
+        isync_fences: conservative ctrl+isync: earlier loads before
+            everything later.
+        tso_fences: RISC-V fence.tso: earlier loads before everything,
+            earlier stores before later stores.
+    """
+
+    arch: str
+    mca: bool
+    in_order: bool = False
+    acq_rel_labels: bool = True
+    full_fences: frozenset[str] = frozenset()
+    ld_fences: frozenset[str] = frozenset()
+    st_fences: frozenset[str] = frozenset()
+    lw_fences: frozenset[str] = frozenset()
+    isync_fences: frozenset[str] = frozenset()
+    tso_fences: frozenset[str] = frozenset()
+
+    @property
+    def supported_fences(self) -> frozenset[str]:
+        return (
+            self.full_fences
+            | self.ld_fences
+            | self.st_fences
+            | self.lw_fences
+            | self.isync_fences
+            | self.tso_fences
+        )
+
+    #: Flavours whose commit must wait until the thread's group-A writes
+    #: have propagated to every thread (Power's strong barrier).
+    @property
+    def propagation_fences(self) -> frozenset[str]:
+        return self.full_fences if not self.mca else frozenset()
+
+    #: Flavours that mark cumulativity (group-A capture) on commit.
+    @property
+    def cumulative_fences(self) -> frozenset[str]:
+        if self.mca:
+            return frozenset()
+        return self.full_fences | self.lw_fences
+
+    # ------------------------------------------------------------------
+    # Rule 1: direct pairwise order
+    # ------------------------------------------------------------------
+
+    def direct_orders(
+        self, thread: tuple[Instruction, ...], j: int, i: int
+    ) -> bool:
+        """Must ``j`` commit before ``i`` regardless of what is between?"""
+        a, b = thread[j], thread[i]
+
+        # Transaction brackets are full barriers (tfence); the body also
+        # commits in order relative to both brackets.  An abort point is
+        # likewise ordered against everything in its thread so rollback
+        # is well defined.
+        if isinstance(a, (TxBegin, TxEnd, TxAbort)) or isinstance(
+            b, (TxBegin, TxEnd, TxAbort)
+        ):
+            return True
+
+        # Coherence: same-location accesses commit in program order.
+        if _same_loc(a, b):
+            return True
+
+        # Dataflow: a load commits before any user of its register.
+        if isinstance(a, Load) and a.dst in _regs_read(b):
+            return True
+
+        # Control dependencies: the branch waits for its registers
+        # (dataflow above); stores after the branch wait for the branch.
+        if isinstance(a, CtrlBranch) and _is_store(b):
+            return True
+
+        # One-way barriers from access labels.
+        if self.acq_rel_labels:
+            if isinstance(a, Load) and Label.ACQ in a.labels:
+                return True
+            if isinstance(b, Store) and Label.REL in b.labels:
+                return True
+
+        return False
+
+    # ------------------------------------------------------------------
+    # Rule 2: order imposed by a fence strictly between two accesses
+    # ------------------------------------------------------------------
+
+    def fence_orders(
+        self, kind: str, a: Instruction, b: Instruction
+    ) -> bool:
+        """Does a ``kind`` fence between ``a`` and ``b`` order them?"""
+        if kind in self.full_fences:
+            return True
+        if kind in self.ld_fences or kind in self.isync_fences:
+            return _is_load(a)
+        if kind in self.st_fences:
+            return _is_store(a) and _is_store(b)
+        if kind in self.lw_fences:
+            # Everything except store→load.
+            return not (_is_store(a) and _is_load(b))
+        if kind in self.tso_fences:
+            return _is_load(a) or (_is_store(a) and _is_store(b))
+        return False
+
+    # ------------------------------------------------------------------
+    # Rule 3: scheduling of the fence instruction itself
+    # ------------------------------------------------------------------
+
+    def fence_waits_for(self, kind: str, a: Instruction) -> bool:
+        """Must the earlier instruction ``a`` commit before the fence?"""
+        if kind in self.full_fences:
+            return True
+        if kind in self.lw_fences:
+            return _is_access(a)  # marker sits after everything it covers
+        if kind in self.ld_fences or kind in self.isync_fences:
+            return _is_load(a)
+        if kind in self.st_fences:
+            return _is_store(a)
+        if kind in self.tso_fences:
+            return _is_access(a)
+        return False
+
+    def fence_blocks(self, kind: str, b: Instruction) -> bool:
+        """Must the fence commit before the later instruction ``b``?"""
+        if kind in self.full_fences:
+            return True
+        if kind in self.lw_fences:
+            return _is_store(b)  # marker precedes the writes it fences
+        if kind in self.ld_fences or kind in self.isync_fences:
+            return True
+        if kind in self.st_fences:
+            return _is_store(b)
+        if kind in self.tso_fences:
+            # Pairwise rules already order R→* and W→W across the fence;
+            # blocking later loads here would wrongly forbid W→R.
+            return _is_store(b)
+        return False
+
+
+POLICIES: dict[str, CommitPolicy] = {
+    "power": CommitPolicy(
+        arch="power",
+        mca=False,
+        acq_rel_labels=False,
+        full_fences=frozenset({Label.SYNC}),
+        lw_fences=frozenset({Label.LWSYNC}),
+        isync_fences=frozenset({Label.ISYNC}),
+    ),
+    "armv8": CommitPolicy(
+        arch="armv8",
+        mca=True,
+        full_fences=frozenset({Label.DMB}),
+        ld_fences=frozenset({Label.DMB_LD}),
+        st_fences=frozenset({Label.DMB_ST}),
+    ),
+    "riscv": CommitPolicy(
+        arch="riscv",
+        mca=True,
+        full_fences=frozenset({Label.FENCE_RW_RW}),
+        ld_fences=frozenset({Label.FENCE_R_RW}),
+        st_fences=frozenset({Label.FENCE_RW_W}),
+        tso_fences=frozenset({Label.FENCE_TSO}),
+    ),
+    "sc": CommitPolicy(arch="sc", mca=True, in_order=True),
+}
+
+
+def get_policy(arch: str) -> CommitPolicy:
+    """Look up the commit policy for ``arch``."""
+    try:
+        return POLICIES[arch]
+    except KeyError:
+        raise ValueError(
+            f"no commit policy for {arch!r}; known: "
+            f"{', '.join(sorted(POLICIES))}"
+        ) from None
+
+
+def blocking_matrix(
+    program: Program, policy: CommitPolicy
+) -> tuple[tuple[frozenset[int], ...], ...]:
+    """Per thread, per instruction: earlier indices that must commit
+    first (direct rules, between-fence rules, fence scheduling)."""
+    out: list[tuple[frozenset[int], ...]] = []
+    for thread in program.threads:
+        rows: list[frozenset[int]] = []
+        for i, b in enumerate(thread):
+            if policy.in_order:
+                rows.append(frozenset(range(i)))
+                continue
+            blockers: set[int] = set()
+            for j in range(i):
+                a = thread[j]
+                if isinstance(a, Fence):
+                    if isinstance(b, Fence):
+                        # Fences commit in order among themselves.
+                        blockers.add(j)
+                    elif policy.fence_blocks(a.kind, b):
+                        blockers.add(j)
+                    continue
+                if isinstance(b, Fence):
+                    if policy.fence_waits_for(b.kind, a):
+                        blockers.add(j)
+                    continue
+                if policy.direct_orders(thread, j, i):
+                    blockers.add(j)
+                    continue
+                # A fence strictly between j and i.
+                for k in range(j + 1, i):
+                    mid = thread[k]
+                    if isinstance(mid, Fence) and policy.fence_orders(
+                        mid.kind, a, b
+                    ):
+                        blockers.add(j)
+                        break
+            rows.append(frozenset(blockers))
+        out.append(tuple(rows))
+    return tuple(out)

@@ -1,0 +1,425 @@
+"""An operational x86-TSO machine with hardware transactional memory.
+
+This is the repository's stand-in for the paper's four Intel TSX machines
+(section 5.3): litmus tests are *executed*, exhaustively over all
+interleavings, rather than checked axiomatically.  The machine implements
+
+* **x86-TSO** (Owens et al. [44]): a FIFO store buffer per hardware
+  thread with store-to-load forwarding; ``MFENCE`` and LOCK'd RMWs drain
+  the buffer;
+* **TSX-style HTM** (Intel SDM ch. 16): transactional writes are buffered
+  in a speculative write set, reads are tracked in a read set, conflicts
+  are detected eagerly at memory-visible accesses (requester wins), and
+  the paper's strong isolation holds: non-transactional accesses abort
+  conflicting transactions too.  Successful begins/commits drain the
+  store buffer, matching the model's ``tfence``.
+
+The explorer enumerates every schedule (instruction execution and buffer
+drain are separate scheduler actions) with state memoisation, so the set
+of reachable outcomes is exact for the small programs litmus tests use.
+
+A Forbid test synthesized from the axiomatic x86 model must never be
+reachable here (soundness); most Allow tests should be (completeness) —
+the exceptions are tests relying on orders the eager requester-wins
+policy serialises, mirroring the paper's 83% observation rate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..litmus.program import (
+    CtrlBranch,
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from ..litmus.test import LitmusTest, Outcome
+
+__all__ = ["TsoMachine", "reachable_outcomes", "runnable_on_tso"]
+
+
+@dataclass(frozen=True)
+class _ThreadState:
+    """Immutable per-thread machine state."""
+
+    pc: int
+    regs: tuple[tuple[str, int], ...]
+    buffer: tuple[tuple[str, int], ...]  # FIFO store buffer, oldest first
+    txn: int | None  # index of the open transaction, if any
+    read_set: frozenset[str]
+    write_set: tuple[tuple[str, int], ...]  # insertion order preserved
+    reg_snapshot: tuple[tuple[str, int], ...]  # registers at txn begin
+    committed: tuple[int, ...]
+    aborted: tuple[int, ...]
+
+    def reg(self, name: str) -> int:
+        for key, value in self.regs:
+            if key == name:
+                return value
+        return 0
+
+    def with_reg(self, name: str, value: int) -> "_ThreadState":
+        regs = tuple((k, v) for k, v in self.regs if k != name) + ((name, value),)
+        return self._replace(regs=tuple(sorted(regs)))
+
+    def _replace(self, **kwargs) -> "_ThreadState":
+        fields = {
+            "pc": self.pc,
+            "regs": self.regs,
+            "buffer": self.buffer,
+            "txn": self.txn,
+            "read_set": self.read_set,
+            "write_set": self.write_set,
+            "reg_snapshot": self.reg_snapshot,
+            "committed": self.committed,
+            "aborted": self.aborted,
+        }
+        fields.update(kwargs)
+        return _ThreadState(**fields)
+
+    def write_set_value(self, loc: str) -> int | None:
+        for key, value in reversed(self.write_set):
+            if key == loc:
+                return value
+        return None
+
+    def buffered_value(self, loc: str) -> int | None:
+        for key, value in reversed(self.buffer):
+            if key == loc:
+                return value
+        return None
+
+
+# (memory, write log in commit order, per-thread states)
+_State = tuple[
+    tuple[tuple[str, int], ...],
+    tuple[tuple[str, int], ...],
+    tuple[_ThreadState, ...],
+]
+
+
+def runnable_on_tso(program: Program) -> bool:
+    """The machine executes loads, stores, MFENCEs, branches, and
+    transactions; other fence flavours have no x86 encoding."""
+    for thread in program.threads:
+        for instr in thread:
+            if isinstance(instr, Fence) and instr.kind != "mfence":
+                return False
+    return True
+
+
+class TsoMachine:
+    """Exhaustive-interleaving executor for x86-TSO + HTM."""
+
+    def __init__(self, program: Program, max_states: int = 200_000) -> None:
+        if not runnable_on_tso(program):
+            raise ValueError("program uses non-x86 fences")
+        self.program = program
+        self.max_states = max_states
+        # Pre-compute transaction spans: (begin index, end index, txn no).
+        self._spans: list[dict[int, tuple[int, int]]] = []
+        for thread in program.threads:
+            spans: dict[int, tuple[int, int]] = {}
+            counter = 0
+            begin: int | None = None
+            for idx, instr in enumerate(thread):
+                if isinstance(instr, TxBegin):
+                    begin = idx
+                elif isinstance(instr, TxEnd):
+                    spans[counter] = (begin, idx)
+                    counter += 1
+                    begin = None
+            self._spans.append(spans)
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+
+    def _initial(self) -> _State:
+        threads = tuple(
+            _ThreadState(
+                pc=0,
+                regs=(),
+                buffer=(),
+                txn=None,
+                read_set=frozenset(),
+                write_set=(),
+                reg_snapshot=(),
+                committed=(),
+                aborted=(),
+            )
+            for _ in self.program.threads
+        )
+        return ((), (), threads)
+
+    @staticmethod
+    def _mem_get(memory: tuple[tuple[str, int], ...], loc: str) -> int:
+        for key, value in memory:
+            if key == loc:
+                return value
+        return 0
+
+    @staticmethod
+    def _mem_set(
+        memory: tuple[tuple[str, int], ...], loc: str, value: int
+    ) -> tuple[tuple[str, int], ...]:
+        return tuple(sorted({**dict(memory), loc: value}.items()))
+
+    def _abort_txn(self, thread: _ThreadState, tid: int) -> _ThreadState:
+        """Roll a transaction back: registers restored, pc to past TxEnd."""
+        txn = thread.txn
+        _, end = self._spans[tid][txn]
+        return thread._replace(
+            pc=end + 1,
+            regs=thread.reg_snapshot,
+            txn=None,
+            read_set=frozenset(),
+            write_set=(),
+            aborted=thread.aborted + (txn,),
+        )
+
+    def _abort_conflicting(
+        self,
+        threads: tuple[_ThreadState, ...],
+        actor: int,
+        loc: str,
+        against_read_sets: bool,
+    ) -> tuple[_ThreadState, ...]:
+        """Abort every *other* transaction that conflicts on ``loc``.
+
+        A write conflicts with other transactions' read and write sets; a
+        read conflicts with other transactions' write sets only.
+        """
+        out = list(threads)
+        for tid, thread in enumerate(threads):
+            if tid == actor or thread.txn is None:
+                continue
+            in_write_set = any(k == loc for k, _ in thread.write_set)
+            in_read_set = loc in thread.read_set
+            if in_write_set or (against_read_sets and in_read_set):
+                out[tid] = self._abort_txn(thread, tid)
+        return tuple(out)
+
+    def _drain_one(self, state: _State, tid: int) -> _State:
+        memory, log, threads = state
+        thread = threads[tid]
+        (loc, value), rest = thread.buffer[0], thread.buffer[1:]
+        memory = self._mem_set(memory, loc, value)
+        log = log + ((loc, value),)
+        threads = self._abort_conflicting(
+            threads, tid, loc, against_read_sets=True
+        )
+        threads = tuple(
+            t._replace(buffer=rest) if i == tid else t
+            for i, t in enumerate(threads)
+        )
+        return (memory, log, threads)
+
+    def _step_instruction(self, state: _State, tid: int) -> _State | None:
+        """Execute the next instruction of ``tid``; ``None`` if blocked."""
+        memory, log, threads = state
+        thread = threads[tid]
+        instr = self.program.threads[tid][thread.pc]
+
+        if isinstance(instr, CtrlBranch):
+            # Dependencies are order-irrelevant on TSO; fall through.
+            threads = self._set(threads, tid, thread._replace(pc=thread.pc + 1))
+            return (memory, log, threads)
+
+        if isinstance(instr, Fence):
+            if thread.buffer:
+                return None  # blocked until the buffer drains
+            threads = self._set(threads, tid, thread._replace(pc=thread.pc + 1))
+            return (memory, log, threads)
+
+        if isinstance(instr, TxBegin):
+            if thread.buffer:
+                return None  # implicit fence at successful txn begin
+            txn = len(thread.committed) + len(thread.aborted)
+            threads = self._set(
+                threads,
+                tid,
+                thread._replace(
+                    pc=thread.pc + 1, txn=txn, reg_snapshot=thread.regs
+                ),
+            )
+            return (memory, log, threads)
+
+        if isinstance(instr, TxAbort):
+            if instr.reg is None or thread.reg(instr.reg) != 0:
+                threads = self._set(threads, tid, self._abort_txn(thread, tid))
+            else:
+                threads = self._set(
+                    threads, tid, thread._replace(pc=thread.pc + 1)
+                )
+            return (memory, log, threads)
+
+        if isinstance(instr, TxEnd):
+            # Commit: apply the write set to memory atomically.
+            for loc, value in thread.write_set:
+                memory = self._mem_set(memory, loc, value)
+                log = log + ((loc, value),)
+                threads = self._abort_conflicting(
+                    threads, tid, loc, against_read_sets=True
+                )
+            thread = threads[tid]
+            threads = self._set(
+                threads,
+                tid,
+                thread._replace(
+                    pc=thread.pc + 1,
+                    txn=None,
+                    read_set=frozenset(),
+                    write_set=(),
+                    committed=thread.committed + (thread.txn,),
+                ),
+            )
+            return (memory, log, threads)
+
+        if isinstance(instr, Load):
+            if instr.excl:
+                # The read half of a LOCK'd RMW executes with the store.
+                threads = self._set(
+                    threads, tid, thread._replace(pc=thread.pc + 1)
+                )
+                return (memory, log, threads)
+            if thread.txn is not None:
+                value = thread.write_set_value(instr.loc)
+                if value is None:
+                    value = self._mem_get(memory, instr.loc)
+                    threads = self._abort_conflicting(
+                        threads, tid, instr.loc, against_read_sets=False
+                    )
+                thread = threads[tid]
+                thread = thread.with_reg(instr.dst, value)._replace(
+                    pc=thread.pc + 1,
+                    read_set=thread.read_set | {instr.loc},
+                )
+                return (memory, log, self._set(threads, tid, thread))
+            value = thread.buffered_value(instr.loc)
+            if value is None:
+                value = self._mem_get(memory, instr.loc)
+                threads = self._abort_conflicting(
+                    threads, tid, instr.loc, against_read_sets=False
+                )
+                thread = threads[tid]
+            thread = thread.with_reg(instr.dst, value)._replace(pc=thread.pc + 1)
+            return (memory, log, self._set(threads, tid, thread))
+
+        if isinstance(instr, Store):
+            if instr.excl:
+                # LOCK'd RMW: buffer must be empty; atomic read+write.
+                if thread.buffer:
+                    return None
+                load = self._paired_exclusive_load(tid, thread.pc)
+                old = self._mem_get(memory, instr.loc)
+                memory = self._mem_set(memory, instr.loc, instr.value)
+                log = log + ((instr.loc, instr.value),)
+                threads = self._abort_conflicting(
+                    threads, tid, instr.loc, against_read_sets=True
+                )
+                thread = threads[tid]
+                if load is not None:
+                    thread = thread.with_reg(load.dst, old)
+                thread = thread._replace(pc=thread.pc + 1)
+                return (memory, log, self._set(threads, tid, thread))
+            if thread.txn is not None:
+                thread = thread._replace(
+                    pc=thread.pc + 1,
+                    write_set=thread.write_set + ((instr.loc, instr.value),),
+                )
+                threads = self._set(threads, tid, thread)
+                threads = self._abort_conflicting(
+                    threads, tid, instr.loc, against_read_sets=True
+                )
+                return (memory, log, threads)
+            thread = thread._replace(
+                pc=thread.pc + 1,
+                buffer=thread.buffer + ((instr.loc, instr.value),),
+            )
+            return (memory, log, self._set(threads, tid, thread))
+
+        raise TypeError(f"unknown instruction {instr!r}")
+
+    def _paired_exclusive_load(self, tid: int, store_pc: int) -> Load | None:
+        for idx in range(store_pc - 1, -1, -1):
+            instr = self.program.threads[tid][idx]
+            if isinstance(instr, Load) and instr.excl:
+                return instr
+        return None
+
+    @staticmethod
+    def _set(
+        threads: tuple[_ThreadState, ...], tid: int, new: _ThreadState
+    ) -> tuple[_ThreadState, ...]:
+        return tuple(new if i == tid else t for i, t in enumerate(threads))
+
+    # ------------------------------------------------------------------
+    # Exploration
+    # ------------------------------------------------------------------
+
+    def _successors(self, state: _State) -> Iterator[_State]:
+        _, _, threads = state
+        for tid, thread in enumerate(threads):
+            if thread.buffer:
+                yield self._drain_one(state, tid)
+            if thread.pc < len(self.program.threads[tid]):
+                nxt = self._step_instruction(state, tid)
+                if nxt is not None:
+                    yield nxt
+
+    def explore(self) -> set[Outcome]:
+        """All final outcomes reachable under some schedule."""
+        outcomes: dict[tuple, Outcome] = {}
+        seen: set[_State] = set()
+        stack = [self._initial()]
+        while stack:
+            state = stack.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+            if len(seen) > self.max_states:
+                raise RuntimeError(
+                    f"state space exceeds {self.max_states} states"
+                )
+            memory, log, threads = state
+            successors = list(self._successors(state))
+            if not successors:
+                outcome = self._outcome(state)
+                outcomes[outcome.key()] = outcome
+                continue
+            stack.extend(successors)
+        return set(outcomes.values())
+
+    def _outcome(self, state: _State) -> Outcome:
+        memory, log, threads = state
+        registers: dict[tuple[int, str], int] = {}
+        committed = set()
+        aborted = set()
+        for tid, thread in enumerate(threads):
+            for reg, value in thread.regs:
+                registers[(tid, reg)] = value
+            committed.update((tid, txn) for txn in thread.committed)
+            aborted.update((tid, txn) for txn in thread.aborted)
+        write_orders: dict[str, tuple[int, ...]] = {}
+        for loc, value in log:
+            write_orders[loc] = write_orders.get(loc, ()) + (value,)
+        return Outcome(
+            registers=registers,
+            memory=dict(memory),
+            committed=frozenset(committed),
+            aborted=frozenset(aborted),
+            write_orders=write_orders,
+        )
+
+
+def reachable_outcomes(program: Program, max_states: int = 200_000) -> set[Outcome]:
+    """Convenience wrapper: all outcomes of ``program`` on the machine."""
+    return TsoMachine(program, max_states=max_states).explore()

@@ -1,0 +1,580 @@
+"""An operational weak-memory machine with HTM, for Power, ARMv8, RISC-V
+(and an SC reference), driven by the commit policies of
+:mod:`repro.sim.policy`.
+
+This is the repository's stand-in for the paper's POWER8 hardware runs
+(section 5.3) and for TM-capable ARM/RISC-V silicon that does not exist:
+litmus tests are *executed*, exhaustively over all schedules, and the
+set of reachable outcomes is compared against the axiomatic models.
+
+Machine structure
+=================
+
+* **Out-of-order commit.**  Each thread may commit its instructions in
+  any order consistent with the policy's blocking matrix (dependencies,
+  same-location pairs, fences, acquire/release, transaction brackets).
+
+* **Non-multicopy-atomic storage (Power).**  Committed writes append to
+  a per-location coherence list; each thread has a per-location *view*
+  (an index into that list) advanced by explicit propagation steps, so
+  different threads can see writes in different orders.  Reads return
+  the co-latest write in view.  Cumulative barriers capture a *group A*
+  (writes committed or observed by the thread); a ``sync`` commits only
+  once its group A has propagated everywhere, and writes committed
+  after a barrier must propagate to each thread after the group A does.
+
+* **Multicopy-atomic storage (ARMv8, RISC-V, SC).**  The same machine
+  with instant propagation: every commit publishes to all views at once.
+
+* **HTM.**  Transactional writes are buffered, reads tracked; conflicts
+  are detected eagerly (requester wins) against *any* access by another
+  thread, giving strong isolation.  Begin/end are full barriers
+  (``tfence``); on Power the commit additionally waits for the group A
+  to propagate everywhere (the "integrated memory barrier", tprop1) and
+  publishes the write set to all threads at once (multicopy-atomic
+  transactional stores, tprop2).  An exclusive pair straddling a
+  transaction boundary can never succeed (TxnCancelsRMW).
+
+Everything the machine does beyond the axiomatic model errs on the
+*strong* side; ``tests/test_weakmachine.py`` checks machine ⊆ model on
+the catalog and on synthesized suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..litmus.program import (
+    CtrlBranch,
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from ..litmus.test import Outcome
+from .policy import CommitPolicy, blocking_matrix, get_policy
+
+__all__ = ["WeakMachine", "runnable_on", "reachable_outcomes"]
+
+
+def runnable_on(program: Program, arch: str) -> bool:
+    """True iff every fence in ``program`` exists on ``arch``."""
+    policy = get_policy(arch)
+    for thread in program.threads:
+        for instr in thread:
+            if isinstance(instr, Fence) and instr.kind not in policy.supported_fences:
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class _Thread:
+    """Immutable per-thread state."""
+
+    committed: int  # bitmask over instruction indices
+    regs: tuple[tuple[str, int], ...]
+    views: tuple[int, ...]  # per-location index into the coherence list
+    observed: frozenset[int]  # write ids read so far
+    my_writes: frozenset[int]  # write ids committed by this thread
+    group_a: frozenset[int]  # cumulativity capture at the last barrier
+    txn: int | None  # open transaction number
+    read_set: frozenset[int]  # location ids read transactionally
+    write_set: tuple[tuple[int, int], ...]  # (loc id, value), in order
+    reg_snapshot: tuple[tuple[str, int], ...]
+    obs_snapshot: frozenset[int]
+    committed_txns: tuple[int, ...]
+    aborted_txns: tuple[int, ...]
+    monitor: tuple[int, int, int] | None  # (loc id, co length, txn ctx)
+
+    def reg(self, name: str) -> int:
+        for key, value in self.regs:
+            if key == name:
+                return value
+        return 0
+
+    def with_reg(self, name: str, value: int) -> "_Thread":
+        regs = tuple(
+            sorted([(k, v) for k, v in self.regs if k != name] + [(name, value)])
+        )
+        return self.replace(regs=regs)
+
+    def replace(self, **kwargs) -> "_Thread":
+        data = {f: getattr(self, f) for f in self.__dataclass_fields__}
+        data.update(kwargs)
+        return _Thread(**data)
+
+    def has_committed(self, idx: int) -> bool:
+        return bool(self.committed >> idx & 1)
+
+    def txn_ctx(self) -> int:
+        """A context id distinguishing transactional episodes (for
+        TxnCancelsRMW): -1 outside transactions, else the txn number."""
+        return -1 if self.txn is None else self.txn
+
+
+#: Machine state: (coherence lists per location, pred sets per write id,
+#: thread states).
+_State = tuple[
+    tuple[tuple[tuple[int, int], ...], ...],
+    tuple[frozenset[int], ...],
+    tuple[_Thread, ...],
+]
+
+
+class WeakMachine:
+    """Exhaustive-interleaving executor for the policy-driven machine."""
+
+    def __init__(
+        self, program: Program, arch: str, max_states: int = 400_000
+    ) -> None:
+        if not runnable_on(program, arch):
+            raise ValueError(f"program uses fences not available on {arch}")
+        self.program = program
+        self.arch = arch
+        self.policy: CommitPolicy = get_policy(arch)
+        self.max_states = max_states
+        self.locations = program.locations()
+        self.loc_id = {loc: i for i, loc in enumerate(self.locations)}
+        self.blockers = blocking_matrix(program, self.policy)
+        # Transaction spans per thread: txn number -> (begin idx, end idx).
+        self._spans: list[dict[int, tuple[int, int]]] = []
+        for thread in program.threads:
+            spans: dict[int, tuple[int, int]] = {}
+            counter = 0
+            begin: int | None = None
+            for idx, instr in enumerate(thread):
+                if isinstance(instr, TxBegin):
+                    begin = idx
+                elif isinstance(instr, TxEnd):
+                    spans[counter] = (begin, idx)
+                    counter += 1
+                    begin = None
+            self._spans.append(spans)
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+
+    def _initial(self) -> _State:
+        n_locs = len(self.locations)
+        threads = tuple(
+            _Thread(
+                committed=0,
+                regs=(),
+                views=(0,) * n_locs,
+                observed=frozenset(),
+                my_writes=frozenset(),
+                group_a=frozenset(),
+                txn=None,
+                read_set=frozenset(),
+                write_set=(),
+                reg_snapshot=(),
+                obs_snapshot=frozenset(),
+                committed_txns=(),
+                aborted_txns=(),
+                monitor=None,
+            )
+            for _ in self.program.threads
+        )
+        return (((),) * n_locs, (), threads)
+
+    @staticmethod
+    def _set(
+        threads: tuple[_Thread, ...], tid: int, new: _Thread
+    ) -> tuple[_Thread, ...]:
+        return tuple(new if i == tid else t for i, t in enumerate(threads))
+
+    def _view_value(self, co, thread: _Thread, lid: int) -> tuple[int | None, int]:
+        """(write id or None for init, value) of the co-max write in view."""
+        idx = thread.views[lid]
+        if idx == 0:
+            return None, 0
+        wid, value = co[lid][idx - 1]
+        return wid, value
+
+    def _delivered(self, co, thread: _Thread) -> frozenset[int]:
+        """All write ids delivered to this thread."""
+        out = set()
+        for lid, idx in enumerate(thread.views):
+            out.update(wid for wid, _ in co[lid][:idx])
+        return frozenset(out)
+
+    def _group_a_everywhere(self, state: _State, tid: int) -> bool:
+        """Has ``tid``'s current group A propagated to every thread?"""
+        co, _, threads = state
+        group = threads[tid].my_writes | threads[tid].observed
+        for other in threads:
+            delivered = self._delivered(co, other)
+            if not group <= delivered:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Transaction rollback and conflict detection
+    # ------------------------------------------------------------------
+
+    def _abort_txn(self, thread: _Thread, tid: int) -> _Thread:
+        """Roll back: in-txn commits vanish, registers/observed restored,
+        every instruction of the span is marked committed (skipped)."""
+        begin, end = self._spans[tid][thread.txn]
+        mask = thread.committed
+        for idx in range(begin, end + 1):
+            mask |= 1 << idx
+        return thread.replace(
+            committed=mask,
+            regs=thread.reg_snapshot,
+            observed=thread.obs_snapshot,
+            txn=None,
+            read_set=frozenset(),
+            write_set=(),
+            monitor=None,
+            aborted_txns=thread.aborted_txns + (thread.txn,),
+        )
+
+    def _abort_conflicting(
+        self,
+        threads: tuple[_Thread, ...],
+        actor: int,
+        lid: int,
+        against_read_sets: bool,
+    ) -> tuple[_Thread, ...]:
+        """Abort other transactions conflicting on location ``lid``."""
+        out = list(threads)
+        for tid, thread in enumerate(threads):
+            if tid == actor or thread.txn is None:
+                continue
+            in_ws = any(l == lid for l, _ in thread.write_set)
+            in_rs = lid in thread.read_set
+            if in_ws or (against_read_sets and in_rs):
+                out[tid] = self._abort_txn(thread, tid)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Commit steps
+    # ------------------------------------------------------------------
+
+    def _commit_write(
+        self, state: _State, tid: int, lid: int, value: int, preds: frozenset[int]
+    ) -> _State:
+        """Append a write to the coherence list; MCA publishes everywhere."""
+        co, pred_tab, threads = state
+        wid = len(pred_tab)
+        co = tuple(
+            lst + ((wid, value),) if i == lid else lst for i, lst in enumerate(co)
+        )
+        pred_tab = pred_tab + (preds,)
+        new_len = len(co[lid])
+        if self.policy.mca:
+            threads = tuple(
+                t.replace(
+                    views=tuple(
+                        new_len if i == lid else v for i, v in enumerate(t.views)
+                    )
+                )
+                for t in threads
+            )
+        else:
+            writer = threads[tid]
+            threads = self._set(
+                threads,
+                tid,
+                writer.replace(
+                    views=tuple(
+                        new_len if i == lid else v
+                        for i, v in enumerate(writer.views)
+                    )
+                ),
+            )
+        thread = threads[tid]
+        threads = self._set(
+            threads, tid, thread.replace(my_writes=thread.my_writes | {wid})
+        )
+        threads = self._abort_conflicting(threads, tid, lid, against_read_sets=True)
+        return (co, pred_tab, threads)
+
+    def _ready(self, thread: _Thread, tid: int, idx: int) -> bool:
+        blockers = self.blockers[tid][idx]
+        return all(thread.has_committed(j) for j in blockers)
+
+    def _step(self, state: _State, tid: int, idx: int) -> _State | None:
+        """Commit instruction ``idx`` of thread ``tid``; None if blocked."""
+        co, pred_tab, threads = state
+        thread = threads[tid]
+        instr = self.program.threads[tid][idx]
+        mark = thread.committed | (1 << idx)
+
+        if isinstance(instr, CtrlBranch):
+            threads = self._set(threads, tid, thread.replace(committed=mark))
+            return (co, pred_tab, threads)
+
+        if isinstance(instr, Fence):
+            if instr.kind in self.policy.propagation_fences:
+                if not self._group_a_everywhere(state, tid):
+                    return None
+            new = thread.replace(committed=mark)
+            if instr.kind in self.policy.cumulative_fences:
+                new = new.replace(group_a=new.my_writes | new.observed)
+            threads = self._set(threads, tid, new)
+            return (co, pred_tab, threads)
+
+        if isinstance(instr, TxBegin):
+            if not self.policy.mca and not self._group_a_everywhere(state, tid):
+                return None  # tbegin's cumulative barrier
+            txn = len(thread.committed_txns) + len(thread.aborted_txns)
+            new = thread.replace(
+                committed=mark,
+                txn=txn,
+                reg_snapshot=thread.regs,
+                obs_snapshot=thread.observed,
+                group_a=thread.my_writes | thread.observed,
+            )
+            threads = self._set(threads, tid, new)
+            return (co, pred_tab, threads)
+
+        if isinstance(instr, TxAbort):
+            if instr.reg is None or thread.reg(instr.reg) != 0:
+                threads = self._set(threads, tid, self._abort_txn(thread, tid))
+            else:
+                threads = self._set(threads, tid, thread.replace(committed=mark))
+            return (co, pred_tab, threads)
+
+        if isinstance(instr, TxEnd):
+            if not self.policy.mca:
+                # Commit-time validation: the transaction's footprint
+                # must be coherence-current.  A foreign write that is
+                # committed but not yet delivered to this thread would
+                # otherwise slip past eager conflict detection and let
+                # the transaction commit a stale snapshot (a strong-
+                # isolation violation).  Wait for delivery — which
+                # itself aborts the transaction through the conflict
+                # path.
+                footprint = set(thread.read_set)
+                footprint.update(l for l, _ in thread.write_set)
+                for lid in footprint:
+                    if thread.views[lid] < len(co[lid]):
+                        return None
+            if not self.policy.mca and not self._group_a_everywhere(state, tid):
+                return None  # the integrated memory barrier (tprop1)
+            preds = thread.my_writes | thread.observed
+            new_state = (co, pred_tab, threads)
+            for lid, value in thread.write_set:
+                new_state = self._commit_write(new_state, tid, lid, value, preds)
+                co2, pred_tab2, threads2 = new_state
+                # Transactional stores are multicopy-atomic (tprop2):
+                # publish to every thread, delivering prefixes.
+                new_len = len(co2[lid])
+                threads2 = tuple(
+                    t.replace(
+                        views=tuple(
+                            new_len if i == lid else v
+                            for i, v in enumerate(t.views)
+                        )
+                    )
+                    for t in threads2
+                )
+                new_state = (co2, pred_tab2, threads2)
+            co, pred_tab, threads = new_state
+            thread = threads[tid]
+            new = thread.replace(
+                committed=thread.committed | (1 << idx),
+                txn=None,
+                read_set=frozenset(),
+                write_set=(),
+                committed_txns=thread.committed_txns + (thread.txn,),
+                group_a=thread.my_writes | thread.observed,
+            )
+            threads = self._set(threads, tid, new)
+            return (co, pred_tab, threads)
+
+        lid = self.loc_id[instr.loc]
+
+        if isinstance(instr, Load):
+            if thread.txn is not None:
+                value = None
+                for l, v in reversed(thread.write_set):
+                    if l == lid:
+                        value = v
+                        break
+                observed = thread.observed
+                if value is None:
+                    wid, value = self._view_value(co, thread, lid)
+                    if wid is not None:
+                        observed = observed | {wid}
+                    threads = self._abort_conflicting(
+                        threads, tid, lid, against_read_sets=False
+                    )
+                    thread = threads[tid]
+                new = thread.with_reg(instr.dst, value).replace(
+                    committed=thread.committed | (1 << idx),
+                    read_set=thread.read_set | {lid},
+                    observed=observed,
+                )
+                if instr.excl:
+                    new = new.replace(
+                        monitor=(lid, thread.views[lid], thread.txn_ctx())
+                    )
+                return (co, pred_tab, self._set(threads, tid, new))
+            wid, value = self._view_value(co, thread, lid)
+            observed = thread.observed | ({wid} if wid is not None else set())
+            threads = self._abort_conflicting(
+                threads, tid, lid, against_read_sets=False
+            )
+            thread = threads[tid]
+            new = thread.with_reg(instr.dst, value).replace(
+                committed=mark, observed=observed
+            )
+            if instr.excl:
+                new = new.replace(
+                    monitor=(lid, thread.views[lid], thread.txn_ctx())
+                )
+            return (co, pred_tab, self._set(threads, tid, new))
+
+        if isinstance(instr, Store):
+            if instr.excl:
+                monitor = thread.monitor
+                if (
+                    monitor is None
+                    or monitor[0] != lid
+                    or monitor[2] != thread.txn_ctx()
+                ):
+                    return None  # straddles a txn boundary: never succeeds
+                if thread.txn is None and monitor[1] != len(co[lid]):
+                    return None  # lost the reservation
+                # Inside a transaction the co-length check is subsumed by
+                # conflict detection (a foreign write aborts the txn).
+            if thread.txn is not None:
+                new = thread.replace(
+                    committed=mark,
+                    write_set=thread.write_set + ((lid, instr.value),),
+                    monitor=None if instr.excl else thread.monitor,
+                )
+                threads = self._set(threads, tid, new)
+                threads = self._abort_conflicting(
+                    threads, tid, lid, against_read_sets=True
+                )
+                return (co, pred_tab, threads)
+            state2 = self._commit_write(
+                state, tid, lid, instr.value, threads[tid].group_a
+            )
+            co, pred_tab, threads = state2
+            thread = threads[tid]
+            new = thread.replace(
+                committed=thread.committed | (1 << idx),
+                monitor=None if instr.excl else thread.monitor,
+            )
+            return (co, pred_tab, self._set(threads, tid, new))
+
+        raise TypeError(f"unknown instruction {instr!r}")
+
+    # ------------------------------------------------------------------
+    # Propagation steps (non-MCA only)
+    # ------------------------------------------------------------------
+
+    def _propagate(self, state: _State, tid: int, lid: int) -> _State | None:
+        """Deliver the next coherence-order write on ``lid`` to ``tid``."""
+        co, pred_tab, threads = state
+        thread = threads[tid]
+        idx = thread.views[lid]
+        if idx >= len(co[lid]):
+            return None
+        wid, _ = co[lid][idx]
+        if not pred_tab[wid] <= self._delivered(co, thread):
+            return None  # cumulativity: group A first
+        new = thread.replace(
+            views=tuple(idx + 1 if i == lid else v for i, v in enumerate(thread.views))
+        )
+        threads = self._set(threads, tid, new)
+        threads = self._abort_conflicting(threads, tid, lid, against_read_sets=True)
+        # Delivery of a foreign write aborts conflicting transactions on
+        # the *receiving* thread too (its read set is stale).
+        receiver = threads[tid]
+        if receiver.txn is not None and (
+            lid in receiver.read_set
+            or any(l == lid for l, _ in receiver.write_set)
+        ):
+            threads = self._set(threads, tid, self._abort_txn(receiver, tid))
+        return (co, pred_tab, threads)
+
+    # ------------------------------------------------------------------
+    # Exploration
+    # ------------------------------------------------------------------
+
+    def _successors(self, state: _State) -> Iterator[_State]:
+        co, _, threads = state
+        for tid, thread in enumerate(threads):
+            n_instr = len(self.program.threads[tid])
+            for idx in range(n_instr):
+                if thread.has_committed(idx):
+                    continue
+                if not self._ready(thread, tid, idx):
+                    continue
+                nxt = self._step(state, tid, idx)
+                if nxt is not None:
+                    yield nxt
+            if not self.policy.mca:
+                for lid in range(len(self.locations)):
+                    nxt = self._propagate(state, tid, lid)
+                    if nxt is not None:
+                        yield nxt
+
+    def _finished(self, state: _State) -> bool:
+        _, _, threads = state
+        return all(
+            thread.committed == (1 << len(self.program.threads[tid])) - 1
+            for tid, thread in enumerate(threads)
+        )
+
+    def explore(self) -> set[Outcome]:
+        """All final outcomes reachable under some schedule."""
+        outcomes: dict[tuple, Outcome] = {}
+        seen: set[_State] = set()
+        stack = [self._initial()]
+        while stack:
+            state = stack.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+            if len(seen) > self.max_states:
+                raise RuntimeError(
+                    f"state space exceeds {self.max_states} states"
+                )
+            if self._finished(state):
+                outcome = self._outcome(state)
+                outcomes[outcome.key()] = outcome
+            stack.extend(self._successors(state))
+        return set(outcomes.values())
+
+    def _outcome(self, state: _State) -> Outcome:
+        co, _, threads = state
+        registers: dict[tuple[int, str], int] = {}
+        committed = set()
+        aborted = set()
+        for tid, thread in enumerate(threads):
+            for reg, value in thread.regs:
+                registers[(tid, reg)] = value
+            committed.update((tid, txn) for txn in thread.committed_txns)
+            aborted.update((tid, txn) for txn in thread.aborted_txns)
+        memory = {}
+        write_orders = {}
+        for lid, loc in enumerate(self.locations):
+            if co[lid]:
+                memory[loc] = co[lid][-1][1]
+                write_orders[loc] = tuple(value for _, value in co[lid])
+        return Outcome(
+            registers=registers,
+            memory=memory,
+            committed=frozenset(committed),
+            aborted=frozenset(aborted),
+            write_orders=write_orders,
+        )
+
+
+def reachable_outcomes(
+    program: Program, arch: str, max_states: int = 400_000
+) -> set[Outcome]:
+    """All outcomes of ``program`` on the ``arch`` machine."""
+    return WeakMachine(program, arch, max_states=max_states).explore()

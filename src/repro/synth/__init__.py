@@ -1,0 +1,50 @@
+"""Test synthesis: the bounded-exhaustive Memalloy replacement, the
+Diy-style critical-cycle generator, and MemSynth-style model synthesis."""
+
+from .canonical import canonical_key
+from .diy import (
+    CLASSIC_CYCLES,
+    Cycle,
+    Edge,
+    cycle_execution,
+    enumerate_cycles,
+    interesting_cycles,
+)
+from .generate import EnumerationSpace, enumerate_executions, thread_partitions
+from .minimality import is_minimal_inconsistent, weakenings
+from .modelsynth import (
+    Example,
+    ModelParams,
+    SketchModel,
+    SynthesisOutcome,
+    synthesize_model,
+)
+from .synthesis import SynthesisResult, synthesize, synthesize_allow, synthesize_forbid
+from .vocab import VOCABS, ArchVocab, get_vocab
+
+__all__ = [
+    "ArchVocab",
+    "CLASSIC_CYCLES",
+    "Cycle",
+    "Edge",
+    "Example",
+    "ModelParams",
+    "SketchModel",
+    "SynthesisOutcome",
+    "cycle_execution",
+    "enumerate_cycles",
+    "interesting_cycles",
+    "synthesize_model",
+    "EnumerationSpace",
+    "SynthesisResult",
+    "VOCABS",
+    "canonical_key",
+    "enumerate_executions",
+    "get_vocab",
+    "is_minimal_inconsistent",
+    "synthesize",
+    "synthesize_allow",
+    "synthesize_forbid",
+    "thread_partitions",
+    "weakenings",
+]

@@ -1,0 +1,90 @@
+"""Canonical forms for executions (symmetry breaking in the enumerator).
+
+Two executions are *symmetric* when they differ only by renaming threads
+or locations; synthesizing both would double-count every litmus test.  The
+canonical key computed here is invariant under both renamings: we take the
+lexicographically least structural signature over all thread permutations,
+with locations renamed in first-occurrence order for each permutation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.execution import Execution
+
+__all__ = ["canonical_key"]
+
+
+def _signature_under(x: Execution, order: tuple[int, ...]) -> tuple:
+    """The structural signature of ``x`` with threads permuted by ``order``
+    and locations renamed by first occurrence in that reading."""
+    rename: dict[str, int] = {}
+    event_sig: dict[int, tuple] = {}
+    new_id: dict[int, int] = {}
+    counter = 0
+    for tid in order:
+        for eid in x.threads[tid]:
+            event = x.events[eid]
+            loc = event.loc
+            if loc is not None and loc not in rename:
+                rename[loc] = len(rename)
+            event_sig[eid] = (
+                event.kind.value,
+                rename.get(loc, -1),
+                tuple(sorted(event.labels)),
+            )
+            new_id[eid] = counter
+            counter += 1
+
+    def pairs(edges) -> tuple:
+        return tuple(sorted((new_id[a], new_id[b]) for a, b in edges))
+
+    threads_sig = tuple(
+        tuple(event_sig[eid] for eid in x.threads[tid]) for tid in order
+    )
+    co_sig = tuple(
+        sorted(
+            tuple(new_id[w] for w in ws)
+            for ws in x.co.values()
+            if len(ws) > 1
+        )
+    )
+    txn_sig = tuple(
+        sorted(
+            (tuple(new_id[e] for e in txn.events), txn.atomic)
+            for txn in x.txns
+        )
+    )
+    return (
+        threads_sig,
+        pairs(x.rf.items()),  # (read, write) pairs
+        co_sig,
+        pairs(x.addr),
+        pairs(x.data),
+        pairs(x.ctrl),
+        pairs(x.rmw),
+        txn_sig,
+    )
+
+
+def canonical_key(x: Execution) -> tuple:
+    """A key equal for exactly the thread/location-renamings of ``x``."""
+    n_threads = len(x.threads)
+    if n_threads <= 1:
+        return _signature_under(x, tuple(range(n_threads)))
+    # Only permute threads of equal length (others cannot be symmetric),
+    # which keeps the permutation count tiny in practice.
+    by_len: dict[int, list[int]] = {}
+    for tid, thread in enumerate(x.threads):
+        by_len.setdefault(len(thread), []).append(tid)
+    groups = [by_len[length] for length in sorted(by_len, reverse=True)]
+    best: tuple | None = None
+    for perm_parts in itertools.product(
+        *(itertools.permutations(group) for group in groups)
+    ):
+        order = tuple(tid for part in perm_parts for tid in part)
+        sig = _signature_under(x, order)
+        if best is None or sig < best:
+            best = sig
+    return best

@@ -1,0 +1,353 @@
+"""Exhaustive bounded enumeration of candidate executions.
+
+This is the search space of the paper's Memalloy runs, generated directly:
+every well-formed execution over an architecture's vocabulary up to a
+bounded event count, with threads/locations canonicalised so symmetric
+variants appear once (section 4.2: "we exhaustively generate all litmus
+tests (up to a bounded size)").
+
+The space is a nested product:
+
+1. thread-size partitions of the event count;
+2. event kinds and label variants per slot (fences never first/last in a
+   thread — a boundary fence orders nothing and can never appear in a
+   minimal test);
+3. locations as restricted-growth strings over the access slots;
+4. coherence orders (permutations of each location's writes);
+5. reads-from choices (any same-location write, or the initial value);
+6. dependency edges (up to ``max_deps``, kinds per the vocabulary);
+7. RMW pairs (up to ``max_rmws``);
+8. successful transactions (disjoint contiguous po-intervals, up to
+   ``max_txns``).
+
+Symmetric duplicates are suppressed with
+:func:`repro.synth.canonical.canonical_key`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.events import Event, EventKind, Label
+from ..core.execution import Execution, Transaction
+from .canonical import canonical_key
+from .vocab import ArchVocab, get_vocab
+
+__all__ = ["EnumerationSpace", "enumerate_executions", "thread_partitions"]
+
+
+@dataclass(frozen=True)
+class EnumerationSpace:
+    """Bounds for one enumeration run."""
+
+    vocab: ArchVocab
+    n_events: int
+    max_threads: int = 4
+    max_locations: int = 3
+    max_deps: int = 2
+    max_rmws: int = 1
+    max_txns: int = 3
+    require_txn: bool = False
+    include_fences: bool = True
+    txn_atomic_variants: tuple[bool, ...] = (False,)
+
+    @classmethod
+    def for_arch(cls, arch: str, n_events: int, **overrides) -> "EnumerationSpace":
+        return cls(vocab=get_vocab(arch), n_events=n_events, **overrides)
+
+
+def thread_partitions(n: int, max_threads: int) -> Iterator[tuple[int, ...]]:
+    """Partitions of ``n`` into at most ``max_threads`` non-increasing parts."""
+
+    def rec(remaining: int, cap: int, parts: tuple[int, ...]) -> Iterator:
+        if remaining == 0:
+            yield parts
+            return
+        if len(parts) == max_threads:
+            return
+        for part in range(min(cap, remaining), 0, -1):
+            yield from rec(remaining - part, part, parts + (part,))
+
+    yield from rec(n, n, ())
+
+
+def _event_variants(vocab: ArchVocab, include_fences: bool) -> list[Event]:
+    variants: list[Event] = []
+    for labels in vocab.read_labels:
+        variants.append(Event(EventKind.READ, "?", labels))
+    for labels in vocab.write_labels:
+        variants.append(Event(EventKind.WRITE, "?", labels))
+    if include_fences:
+        for kind in vocab.fence_kinds:
+            variants.append(Event(EventKind.FENCE, None, frozenset({kind})))
+    return variants
+
+
+def _location_assignments(
+    n_accesses: int, max_locations: int
+) -> Iterator[tuple[int, ...]]:
+    """Restricted-growth strings: canonical location assignments (the
+    first access uses location 0, each later access any already-used
+    location or the next fresh one)."""
+
+    def gen(prefix: tuple[int, ...], used: int) -> Iterator[tuple[int, ...]]:
+        if len(prefix) == n_accesses:
+            yield prefix
+            return
+        for loc in range(min(used + 1, max_locations)):
+            yield from gen(prefix + (loc,), max(used, loc + 1))
+
+    yield from gen((), 0)
+
+
+def _interval_sets(
+    length: int, forbidden_singletons: frozenset[int]
+) -> list[tuple[tuple[int, int], ...]]:
+    """All sets of disjoint, non-adjacent-ok contiguous intervals over
+    ``range(length)``; intervals covering only forbidden positions (pure
+    fence runs) are omitted."""
+    intervals = [
+        (a, b)
+        for a in range(length)
+        for b in range(a, length)
+        if not all(p in forbidden_singletons for p in range(a, b + 1))
+    ]
+
+    out: list[tuple[tuple[int, int], ...]] = []
+
+    def rec(start: int, chosen: tuple[tuple[int, int], ...]) -> None:
+        out.append(chosen)
+        for a, b in intervals:
+            if a >= start:
+                rec(b + 1, chosen + ((a, b),))
+
+    rec(0, ())
+    return out
+
+
+def enumerate_executions(space: EnumerationSpace) -> Iterator[Execution]:
+    """Yield every canonical well-formed execution in ``space``."""
+    seen: set = set()
+    for execution in _raw_executions(space):
+        key = canonical_key(execution)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield execution
+
+
+def _raw_executions(space: EnumerationSpace) -> Iterator[Execution]:
+    vocab = space.vocab
+    variants = _event_variants(vocab, space.include_fences)
+    loc_names = [f"x{i}" for i in range(space.max_locations)]
+
+    for partition in thread_partitions(space.n_events, space.max_threads):
+        threads: list[list[int]] = []
+        next_id = 0
+        for size in partition:
+            threads.append(list(range(next_id, next_id + size)))
+            next_id += size
+        boundary = {t[0] for t in threads} | {t[-1] for t in threads}
+
+        for kinds in itertools.product(variants, repeat=space.n_events):
+            if any(
+                kinds[e].is_fence and e in boundary
+                for e in range(space.n_events)
+            ):
+                continue
+            accesses = [e for e in range(space.n_events) if kinds[e].is_access]
+            if space.require_txn and not accesses:
+                continue
+
+            for loc_assign in _location_assignments(
+                len(accesses), space.max_locations
+            ):
+                events: list[Event] = []
+                for e in range(space.n_events):
+                    proto = kinds[e]
+                    if proto.is_access:
+                        loc = loc_names[loc_assign[accesses.index(e)]]
+                        events.append(Event(proto.kind, loc, proto.labels))
+                    else:
+                        events.append(proto)
+
+                yield from _expand_memory_and_structure(
+                    space, events, threads
+                )
+
+
+def _expand_memory_and_structure(
+    space: EnumerationSpace, events: list[Event], threads: list[list[int]]
+) -> Iterator[Execution]:
+    n = len(events)
+    writes_by_loc: dict[str, list[int]] = {}
+    reads = []
+    for e, event in enumerate(events):
+        if event.is_write:
+            writes_by_loc.setdefault(event.loc, []).append(e)
+        elif event.is_read:
+            reads.append(e)
+
+    tid_of = {}
+    pos_of = {}
+    for tid, thread in enumerate(threads):
+        for pos, e in enumerate(thread):
+            tid_of[e] = tid
+            pos_of[e] = pos
+
+    # Dependency candidates: read -> po-later event in the same thread.
+    dep_choices: list[tuple[tuple[int, int], str]] = []
+    for r in reads:
+        thread = threads[tid_of[r]]
+        for t in thread[pos_of[r] + 1:]:
+            target = events[t]
+            for kind in space.vocab.dep_kinds:
+                if kind == "data" and not target.is_write:
+                    continue
+                if kind == "addr" and not target.is_access:
+                    continue
+                if kind == "ctrl" and not target.is_write:
+                    continue
+                dep_choices.append(((r, t), kind))
+
+    # RMW candidates: same-location read-before-write in one thread.
+    rmw_choices: list[tuple[int, int]] = []
+    if space.vocab.rmw:
+        for r in reads:
+            thread = threads[tid_of[r]]
+            for w in thread[pos_of[r] + 1:]:
+                if events[w].is_write and events[w].loc == events[r].loc:
+                    rmw_choices.append((r, w))
+
+    # Transaction candidates per thread.
+    fence_positions = [
+        frozenset(
+            pos for pos, e in enumerate(thread) if events[e].is_fence
+        )
+        for thread in threads
+    ]
+    txn_spaces = [
+        _interval_sets(len(thread), fence_positions[tid])
+        for tid, thread in enumerate(threads)
+    ]
+
+    co_spaces = [
+        list(itertools.permutations(ws)) if len(ws) > 1 else [tuple(ws)]
+        for ws in writes_by_loc.values()
+    ]
+    co_locs = list(writes_by_loc)
+    rf_spaces = [
+        [None] + writes_by_loc.get(events[r].loc, []) for r in reads
+    ]
+
+    dep_sets = _dependency_sets(dep_choices, space.max_deps)
+    rmw_sets = _rmw_sets(rmw_choices, space.max_rmws)
+
+    for co_choice in itertools.product(*co_spaces):
+        co = dict(zip(co_locs, co_choice))
+        for rf_choice in itertools.product(*rf_spaces):
+            rf = {
+                r: w for r, w in zip(reads, rf_choice) if w is not None
+            }
+            for deps in dep_sets:
+                for rmw in rmw_sets:
+                    yield from _expand_txns(
+                        space, events, threads, rf, co, deps, rmw, txn_spaces
+                    )
+
+
+def _dependency_sets(
+    choices: list[tuple[tuple[int, int], str]], max_deps: int
+) -> list[dict[str, tuple[tuple[int, int], ...]]]:
+    """All ways to place at most ``max_deps`` dependency edges, one kind
+    per (source, target) pair."""
+    pairs = sorted({pair for pair, _ in choices})
+    kinds_of: dict[tuple[int, int], list[str]] = {}
+    for pair, kind in choices:
+        kinds_of.setdefault(pair, []).append(kind)
+
+    out: list[dict[str, tuple[tuple[int, int], ...]]] = []
+    for count in range(min(max_deps, len(pairs)) + 1):
+        for subset in itertools.combinations(pairs, count):
+            for kind_choice in itertools.product(
+                *(kinds_of[p] for p in subset)
+            ):
+                grouped: dict[str, list[tuple[int, int]]] = {}
+                for pair, kind in zip(subset, kind_choice):
+                    grouped.setdefault(kind, []).append(pair)
+                out.append(
+                    {k: tuple(v) for k, v in grouped.items()}
+                )
+    return out
+
+
+def _rmw_sets(
+    choices: list[tuple[int, int]], max_rmws: int
+) -> list[tuple[tuple[int, int], ...]]:
+    """All ways to place at most ``max_rmws`` non-overlapping RMW pairs."""
+    out: list[tuple[tuple[int, int], ...]] = [()]
+    for count in range(1, min(max_rmws, len(choices)) + 1):
+        for subset in itertools.combinations(choices, count):
+            used: set[int] = set()
+            ok = True
+            for r, w in subset:
+                if r in used or w in used:
+                    ok = False
+                    break
+                used.update((r, w))
+            if ok:
+                out.append(subset)
+    return out
+
+
+def _expand_txns(
+    space: EnumerationSpace,
+    events: list[Event],
+    threads: list[list[int]],
+    rf: dict[int, int],
+    co: dict[str, tuple[int, ...]],
+    deps: dict[str, tuple[tuple[int, int], ...]],
+    rmw: tuple[tuple[int, int], ...],
+    txn_spaces: list[list[tuple[tuple[int, int], ...]]],
+) -> Iterator[Execution]:
+    # Exclusive labels on RMW halves (hardware flavour; harmless for SC).
+    if rmw:
+        events = list(events)
+        for r, w in rmw:
+            events[r] = events[r].add_labels(Label.EXCL)
+            events[w] = events[w].add_labels(Label.EXCL)
+
+    for txn_choice in itertools.product(*txn_spaces):
+        total = sum(len(intervals) for intervals in txn_choice)
+        if total > space.max_txns:
+            continue
+        if space.require_txn and total == 0:
+            continue
+        interval_lists = [
+            [
+                tuple(threads[tid][p] for p in range(a, b + 1))
+                for a, b in intervals
+            ]
+            for tid, intervals in enumerate(txn_choice)
+        ]
+        flat = [ivl for lst in interval_lists for ivl in lst]
+        for flags in itertools.product(
+            space.txn_atomic_variants, repeat=len(flat)
+        ):
+            txns = [
+                Transaction(events_ids, atomic)
+                for events_ids, atomic in zip(flat, flags)
+            ]
+            yield Execution(
+                events=events,
+                threads=threads,
+                rf=rf,
+                co=co,
+                addr=deps.get("addr", ()),
+                data=deps.get("data", ()),
+                ctrl=deps.get("ctrl", ()),
+                rmw=rmw,
+                txns=txns,
+            )

@@ -1,0 +1,65 @@
+"""The ⊏ weakening order between executions (paper section 4.2).
+
+``X ⊏ Y`` holds when ``X`` is obtained from ``Y`` by one of:
+
+  (i)  removing an event (plus any incident edges);
+  (ii) removing a dependency edge (addr, ctrl, data, rmw);
+  (iii) downgrading an event (e.g. acquire-read → plain read);
+  (v)  making the first or last event of a transaction non-transactional
+       (never the middle, which would split the transaction).
+
+`weakenings` enumerates every one-step-weaker execution; a forbidden
+execution is *minimally forbidden* when all of its weakenings are allowed,
+and the *maximally allowed* tests are the consistent one-step weakenings
+of minimally forbidden ones (section 4.2's ``max-consistent``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.execution import Execution, Transaction
+from ..models.base import MemoryModel
+from .vocab import ArchVocab
+
+__all__ = ["weakenings", "is_minimal_inconsistent"]
+
+
+def weakenings(x: Execution, vocab: ArchVocab) -> Iterator[Execution]:
+    """Yield every execution one ⊏-step below ``x``."""
+    # (i) remove an event.
+    for eid in range(x.n):
+        yield x.without_event(eid)
+    # (ii) remove one dependency edge.
+    for kind in ("addr", "data", "ctrl", "rmw"):
+        for pair in sorted(getattr(x, kind)):
+            yield x.without_dep(kind, pair)
+    # (iii) downgrade one event.
+    for eid, event in enumerate(x.events):
+        for weaker in vocab.downgrade_event(event):
+            yield x.with_event(eid, weaker)
+    # (v) shrink one transaction at either end.
+    for idx, txn in enumerate(x.txns):
+        shrunk: list[tuple[int, ...]] = []
+        if len(txn.events) == 1:
+            shrunk.append(())
+        else:
+            shrunk.append(txn.events[1:])
+            shrunk.append(txn.events[:-1])
+        for events in shrunk:
+            txns = list(x.txns)
+            if events:
+                txns[idx] = Transaction(events, txn.atomic)
+            else:
+                del txns[idx]
+            yield x.with_txns(txns)
+
+
+def is_minimal_inconsistent(
+    x: Execution, model: MemoryModel, vocab: ArchVocab
+) -> bool:
+    """True iff ``x`` is inconsistent but all one-step weakenings are
+    consistent (``min-inconsistent`` in section 4.2)."""
+    if model.consistent(x):
+        return False
+    return all(model.consistent(w) for w in weakenings(x, vocab))

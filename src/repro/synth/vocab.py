@@ -1,0 +1,146 @@
+"""Per-architecture event vocabularies for the synthesizer.
+
+The enumerator of :mod:`repro.synth.generate` builds candidate executions
+from an architecture's vocabulary: which read/write label variants exist,
+which fence flavours, whether dependencies and RMWs are expressible, and
+how events *downgrade* (weakening (iii) of the paper's ⊏ order:
+"downgrading an event (e.g. reducing an acquire-read to a plain read in
+ARMv8)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.events import Event, EventKind, Label
+
+__all__ = ["ArchVocab", "VOCABS", "get_vocab"]
+
+_EMPTY = frozenset()
+
+
+@dataclass(frozen=True)
+class ArchVocab:
+    """The event/edge vocabulary of one architecture.
+
+    Attributes:
+        name: architecture tag, matching the model registry.
+        read_labels: admissible label sets for read events.
+        write_labels: admissible label sets for write events.
+        fence_kinds: fence flavours (each becomes a fence event).
+        dep_kinds: dependency kinds the enumerator may place
+            (subset of ``{"addr", "data", "ctrl"}``).
+        rmw: whether RMW pairs may be placed.
+        downgrades: label set → strictly weaker label sets (one step).
+    """
+
+    name: str
+    read_labels: tuple[frozenset[str], ...] = (_EMPTY,)
+    write_labels: tuple[frozenset[str], ...] = (_EMPTY,)
+    fence_kinds: tuple[str, ...] = ()
+    dep_kinds: tuple[str, ...] = ()
+    rmw: bool = True
+    downgrades: dict[frozenset[str], tuple[frozenset[str], ...]] = field(
+        default_factory=dict
+    )
+
+    def downgrade_event(self, event: Event) -> list[Event]:
+        """One-step weaker variants of ``event`` (may be empty).
+
+        Polarity is respected: a read never downgrades to a release
+        variant, nor a write to an acquire variant.
+        """
+        weaker = self.downgrades.get(event.labels - {Label.EXCL}, ())
+        keep = event.labels & {Label.EXCL}
+        out = []
+        for labels in weaker:
+            if event.is_read and Label.REL in labels:
+                continue
+            if event.is_write and Label.ACQ in labels:
+                continue
+            out.append(event.with_labels(labels | keep))
+        return out
+
+
+def _fs(*labels: str) -> frozenset[str]:
+    return frozenset(labels)
+
+
+VOCABS: dict[str, ArchVocab] = {
+    "sc": ArchVocab(name="sc", rmw=False),
+    "tsc": ArchVocab(name="tsc", rmw=False),
+    "x86": ArchVocab(
+        name="x86",
+        fence_kinds=(Label.MFENCE,),
+        rmw=True,
+    ),
+    "power": ArchVocab(
+        name="power",
+        fence_kinds=(Label.SYNC, Label.LWSYNC),
+        dep_kinds=("addr", "data", "ctrl"),
+        rmw=True,
+        downgrades={},
+    ),
+    "armv8": ArchVocab(
+        name="armv8",
+        read_labels=(_EMPTY, _fs(Label.ACQ)),
+        write_labels=(_EMPTY, _fs(Label.REL)),
+        fence_kinds=(Label.DMB, Label.DMB_LD, Label.DMB_ST),
+        dep_kinds=("addr", "data", "ctrl"),
+        rmw=True,
+        downgrades={
+            _fs(Label.ACQ): (_EMPTY,),
+            _fs(Label.REL): (_EMPTY,),
+        },
+    ),
+    "riscv": ArchVocab(
+        name="riscv",
+        read_labels=(_EMPTY, _fs(Label.ACQ)),
+        write_labels=(_EMPTY, _fs(Label.REL)),
+        fence_kinds=(Label.FENCE_RW_RW, Label.FENCE_R_RW, Label.FENCE_RW_W),
+        dep_kinds=("addr", "data", "ctrl"),
+        rmw=True,
+        downgrades={
+            _fs(Label.ACQ): (_EMPTY,),
+            _fs(Label.REL): (_EMPTY,),
+        },
+    ),
+    "cpp": ArchVocab(
+        name="cpp",
+        read_labels=(
+            _EMPTY,
+            _fs(Label.ATO, Label.RLX),
+            _fs(Label.ATO, Label.ACQ),
+            _fs(Label.ATO, Label.SC),
+        ),
+        write_labels=(
+            _EMPTY,
+            _fs(Label.ATO, Label.RLX),
+            _fs(Label.ATO, Label.REL),
+            _fs(Label.ATO, Label.SC),
+        ),
+        fence_kinds=(),
+        dep_kinds=(),
+        rmw=False,
+        downgrades={
+            _fs(Label.ATO, Label.SC): (
+                _fs(Label.ATO, Label.ACQ),
+                _fs(Label.ATO, Label.REL),
+            ),
+            _fs(Label.ATO, Label.ACQ): (_fs(Label.ATO, Label.RLX),),
+            _fs(Label.ATO, Label.REL): (_fs(Label.ATO, Label.RLX),),
+            _fs(Label.ATO, Label.RLX): (_EMPTY,),
+        },
+    ),
+}
+
+# C++ downgrade targets must respect read/write polarity: filter at use.
+_CPP = VOCABS["cpp"]
+
+
+def get_vocab(name: str) -> ArchVocab:
+    """Look up an architecture vocabulary."""
+    try:
+        return VOCABS[name]
+    except KeyError:
+        raise ValueError(f"no vocabulary for architecture {name!r}") from None

@@ -1,0 +1,298 @@
+"""Tests for explicit transaction aborts (paper Remarks 3.1 and 7.1).
+
+Covers the ``TxAbort`` instruction end to end: program validation, the
+candidate expansion (always-aborting transactions never commit;
+conditional aborts constrain the rf choice), the operational machines
+(self-abort idiom of Example 1.1), the truncated-success race semantics
+of :mod:`repro.models.aborts`, and the render/parse round trip.
+"""
+
+import pytest
+
+from repro.core.events import Label
+from repro.litmus.candidates import candidate_executions
+from repro.litmus.parse import dumps, loads
+from repro.litmus.program import (
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from repro.litmus.render import render
+from repro.litmus.test import LitmusTest, RegEq, TxnOk
+from repro.models.aborts import abort_variants, program_racy, truncate_aborts
+from repro.models.cpp import Cpp
+from repro.sim.tso import TsoMachine
+from repro.sim.weakmachine import reachable_outcomes
+
+_ATO = frozenset({Label.ATO, Label.RLX})
+
+
+def remark71() -> Program:
+    """``atomic{ x=1; abort(); } || atomic_store(&x, 2)``."""
+    return Program(
+        (
+            (TxBegin(atomic=True), Store("x", 1), TxAbort(), TxEnd()),
+            (Store("x", 2, labels=_ATO),),
+        )
+    )
+
+
+class TestValidation:
+    def test_abort_outside_txn_rejected(self):
+        with pytest.raises(ValueError, match="outside a transaction"):
+            Program(((Store("x", 1), TxAbort()),))
+
+    def test_undefined_condition_register_rejected(self):
+        with pytest.raises(ValueError, match="undefined register"):
+            Program(((TxBegin(), TxAbort("r9"), TxEnd()),))
+
+    def test_valid_conditional_abort(self):
+        prog = Program(
+            ((TxBegin(), Load("r0", "m"), TxAbort("r0"), TxEnd()),)
+        )
+        assert prog.validate() == []
+
+
+class TestCandidates:
+    def test_always_aborting_txn_never_commits(self):
+        prog = Program(
+            (
+                (TxBegin(), Store("x", 1), TxAbort(), TxEnd()),
+                (Load("r0", "x"),),
+            )
+        )
+        candidates = list(candidate_executions(prog))
+        assert candidates
+        for c in candidates:
+            assert (0, 0) not in c.outcome.committed
+            assert (0, 0) in c.outcome.aborted
+            assert c.outcome.registers.get((1, "r0"), 0) == 0
+
+    def test_conditional_abort_constrains_rf(self):
+        prog = Program(
+            (
+                (
+                    TxBegin(),
+                    Load("r0", "m"),
+                    TxAbort("r0"),
+                    Store("x", 1),
+                    TxEnd(),
+                ),
+                (Store("m", 1),),
+            )
+        )
+        commits = [
+            c
+            for c in candidate_executions(prog)
+            if (0, 0) in c.outcome.committed
+        ]
+        assert commits  # committing while m reads 0 is possible
+        for c in commits:
+            assert c.outcome.registers[(0, "r0")] == 0
+
+    def test_abort_choice_still_expanded(self):
+        prog = Program(
+            (
+                (
+                    TxBegin(),
+                    Load("r0", "m"),
+                    TxAbort("r0"),
+                    Store("x", 1),
+                    TxEnd(),
+                ),
+                (Store("m", 1),),
+            )
+        )
+        aborts = [
+            c
+            for c in candidate_executions(prog)
+            if (0, 0) in c.outcome.aborted
+        ]
+        assert aborts
+        for c in aborts:
+            # aborted transactions leave no events: x was never written
+            assert c.outcome.memory.get("x", 0) == 0
+
+
+class TestMachines:
+    def test_tso_unconditional_abort(self):
+        prog = Program(
+            ((TxBegin(), Store("x", 1), TxAbort(), TxEnd()),)
+        )
+        outcomes = TsoMachine(prog).explore()
+        assert all((0, 0) in o.aborted for o in outcomes)
+        assert all(o.memory.get("x", 0) == 0 for o in outcomes)
+
+    def test_tso_conditional_abort_both_ways(self):
+        prog = Program(
+            (
+                (TxBegin(), Load("r0", "m"), TxAbort("r0"), Store("x", 1), TxEnd()),
+                (Store("m", 1),),
+            )
+        )
+        outcomes = TsoMachine(prog).explore()
+        assert any((0, 0) in o.committed for o in outcomes)
+        assert any((0, 0) in o.aborted for o in outcomes)
+        for o in outcomes:
+            if (0, 0) in o.committed:
+                assert o.registers.get((0, "r0"), 0) == 0
+
+    @pytest.mark.parametrize("arch", ["power", "armv8", "riscv"])
+    def test_weak_machine_self_abort(self, arch):
+        prog = Program(
+            (
+                (TxBegin(), Load("r0", "m"), TxAbort("r0"), Store("x", 1), TxEnd()),
+                (Store("m", 1),),
+            )
+        )
+        outcomes = reachable_outcomes(prog, arch)
+        assert any((0, 0) in o.committed for o in outcomes)
+        assert any((0, 0) in o.aborted for o in outcomes)
+        for o in outcomes:
+            if (0, 0) in o.committed:
+                assert o.registers.get((0, "r0"), 0) == 0
+            if (0, 0) in o.aborted:
+                assert o.memory.get("x", 0) == 0
+
+    def test_machine_agrees_with_candidates_on_abort_program(self):
+        from repro.litmus.candidates import all_outcomes
+        from repro.models.registry import get_model
+
+        prog = Program(
+            (
+                (TxBegin(), Load("r0", "m"), TxAbort("r0"), Store("x", 1), TxEnd()),
+                (Store("m", 1),),
+            )
+        )
+        test = LitmusTest("abort", "armv8", prog, ())
+        allowed = all_outcomes(test, get_model("armv8"))
+        machine = {o.key() for o in reachable_outcomes(prog, "armv8")}
+        assert machine <= allowed
+
+
+class TestTruncation:
+    def test_truncate_cuts_at_abort(self):
+        prog = Program(
+            (
+                (TxBegin(), Store("x", 1), TxAbort(), Store("y", 1), TxEnd()),
+            )
+        )
+        cut = truncate_aborts(prog)
+        kinds = [type(i).__name__ for i in cut.threads[0]]
+        assert kinds == ["TxBegin", "Store", "TxEnd"]
+
+    def test_variant_count(self):
+        prog = Program(
+            (
+                (TxBegin(), Load("r0", "m"), TxAbort("r0"), TxEnd()),
+                (TxBegin(), Load("r1", "n"), TxAbort("r1"), TxEnd()),
+            )
+        )
+        assert len(list(abort_variants(prog))) == 4
+
+    def test_non_firing_variant_keeps_constraint(self):
+        prog = Program(
+            ((TxBegin(), Load("r0", "m"), TxAbort("r0"), TxEnd()),)
+        )
+        variants = list(abort_variants(prog))
+        kept = [
+            v
+            for v in variants
+            if any(isinstance(i, TxAbort) for i in v.threads[0])
+        ]
+        assert len(kept) == 1
+
+    def test_programs_without_aborts_unchanged(self):
+        prog = Program(((TxBegin(), Store("x", 1), TxEnd()),))
+        assert truncate_aborts(prog) == prog
+        assert list(abort_variants(prog)) == [prog]
+
+
+class TestRaceSemantics:
+    def test_remark_71_is_racy(self):
+        assert program_racy(remark71())
+
+    def test_atomic_operations_do_not_race(self):
+        prog = Program(
+            (
+                (
+                    TxBegin(),
+                    Store("x", 1, labels=_ATO),
+                    TxAbort(),
+                    TxEnd(),
+                ),
+                (Store("x", 2, labels=_ATO),),
+            )
+        )
+        assert not program_racy(prog)
+
+    def test_post_abort_events_do_not_race(self):
+        # The conflicting store sits AFTER the abort: it never executes,
+        # so there is no race.
+        prog = Program(
+            (
+                (TxBegin(), TxAbort(), Store("x", 1), TxEnd()),
+                (Store("x", 2, labels=_ATO),),
+            )
+        )
+        assert not program_racy(prog)
+
+    def test_successful_txn_race_found_without_aborts(self):
+        prog = Program(
+            (
+                (TxBegin(atomic=True), Store("x", 1), TxEnd()),
+                (Store("x", 2, labels=_ATO),),
+            )
+        )
+        assert program_racy(prog)
+
+    def test_race_free_program(self):
+        prog = Program(
+            (
+                (Store("x", 1, labels=_ATO),),
+                (Load("r0", "x", labels=_ATO),),
+            )
+        )
+        assert not program_racy(prog)
+
+    def test_custom_model_instance(self):
+        assert program_racy(remark71(), Cpp())
+
+
+class TestSurfaceSyntax:
+    def _prog(self):
+        return Program(
+            (
+                (
+                    TxBegin(),
+                    Load("r0", "m"),
+                    TxAbort("r0"),
+                    Store("x", 1),
+                    TxEnd(),
+                ),
+                (TxBegin(), Store("y", 1), TxAbort(), TxEnd()),
+            )
+        )
+
+    def test_neutral_roundtrip(self):
+        test = LitmusTest("aborts", "armv8", self._prog(), (RegEq(0, "r0", 0),))
+        assert loads(dumps(test)).program == test.program
+
+    @pytest.mark.parametrize("arch", ["x86", "power", "armv8", "cpp"])
+    def test_renderers_emit_abort(self, arch):
+        test = LitmusTest("aborts", arch, self._prog(), ())
+        text = render(test)
+        marker = {
+            "x86": "XABORT",
+            "power": "tabort.",
+            "armv8": "TXABORT",
+            "cpp": "abort();",
+        }[arch]
+        assert marker in text
+
+    def test_armv8_conditional_renders_cbz(self):
+        test = LitmusTest("aborts", "armv8", self._prog(), ())
+        assert "CBZ" in render(test)

@@ -1,0 +1,166 @@
+"""Axiom-level tests for the ARMv8 model (Fig. 8)."""
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.models.armv8 import ARMv8
+
+
+def failed(x):
+    return ARMv8().failed_axioms(x)
+
+
+class TestDob:
+    def test_data_dep_orders(self):
+        # LB+datas forbidden.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r0 = t0.read("x")
+        w0 = t0.write("y")
+        r1 = t1.read("y")
+        w1 = t1.write("x")
+        b.rf(w0, r1)
+        b.rf(w1, r0)
+        b.data(r0, w0)
+        b.data(r1, w1)
+        assert "Order" in failed(b.build())
+
+    def test_plain_lb_allowed(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r0 = t0.read("x")
+        w0 = t0.write("y")
+        r1 = t1.read("y")
+        w1 = t1.write("x")
+        b.rf(w0, r1)
+        b.rf(w1, r0)
+        assert ARMv8().consistent(b.build())
+
+    def test_ctrl_orders_writes_only(self):
+        # ctrl to a write orders; ctrl to a read does not (MP+ctrl-read).
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        t0.fence(Label.DMB)
+        wy = t0.write("y")
+        ry = t1.read("y")
+        rx = t1.read("x")
+        b.rf(wy, ry)
+        b.ctrl(ry, rx)
+        assert ARMv8().consistent(b.build())  # ctrl->R gives no order
+
+
+class TestBob:
+    def test_acquire_orders_later(self):
+        # MP with acquire read: forbidden.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        wy = t0.rel_write("y")
+        ry = t1.acq_read("y")
+        rx = t1.read("x")
+        b.rf(wy, ry)
+        assert "Order" in failed(b.build())
+
+    def test_release_orders_earlier(self):
+        # Without the acquire the release alone does not forbid MP.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        wy = t0.rel_write("y")
+        ry = t1.read("y")
+        rx = t1.read("x")
+        b.rf(wy, ry)
+        assert ARMv8().consistent(b.build())
+
+    def test_dmb_ld_orders_read_read(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        t0.fence(Label.DMB)
+        wy = t0.write("y")
+        ry = t1.read("y")
+        t1.fence(Label.DMB_LD)
+        rx = t1.read("x")
+        b.rf(wy, ry)
+        assert not ARMv8().consistent(b.build())
+
+    def test_dmb_st_orders_write_write_only(self):
+        # DMB ST between a write and a read gives no order: SB stays.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.write("x")
+        t0.fence(Label.DMB_ST)
+        t0.read("y")
+        t1.write("y")
+        t1.fence(Label.DMB_ST)
+        t1.read("x")
+        assert ARMv8().consistent(b.build())
+
+    def test_full_dmb_forbids_sb(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.write("x")
+        t0.fence(Label.DMB)
+        t0.read("y")
+        t1.write("y")
+        t1.fence(Label.DMB)
+        t1.read("x")
+        assert "Order" in failed(b.build())
+
+
+class TestMultiCopyAtomicity:
+    def test_wrc_deps_forbidden(self):
+        # Unlike Power, ARMv8 is MCA: WRC+deps is forbidden.
+        b = ExecutionBuilder()
+        t0, t1, t2 = b.thread(), b.thread(), b.thread()
+        wx = t0.write("x")
+        r1 = t1.read("x")
+        wy = t1.write("y")
+        ry = t2.read("y")
+        rx = t2.read("x")
+        b.rf(wx, r1)
+        b.rf(wy, ry)
+        b.data(r1, wy)
+        b.addr(ry, rx)
+        assert "Order" in failed(b.build())
+
+
+class TestTxnAxioms:
+    def test_example_11_consistent(self):
+        from repro.catalog import CATALOG
+
+        assert ARMv8().consistent(CATALOG["armv8_lock_elision"].execution)
+
+    def test_appendix_b_consistent(self):
+        from repro.catalog import CATALOG
+
+        assert ARMv8().consistent(CATALOG["armv8_lock_elision_b"].execution)
+
+    def test_dmb_fix_forbids(self):
+        from repro.catalog import CATALOG
+
+        verdict = ARMv8().check(CATALOG["armv8_lock_elision_fixed"].execution)
+        assert [r.name for r in verdict.failures] == ["TxnOrder"]
+
+    def test_txn_cancels_rmw(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b.rmw(r, w)
+        b.txn([w])
+        assert "TxnCancelsRMW" in failed(b.build())
+
+    def test_tfence_in_ob(self):
+        # MP with the writer's second write transactional: the boundary
+        # fence orders wx before wy, and the txn reader path closes it.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        wy = t0.write("y")
+        ry = t1.read("y")
+        rx = t1.read("x")
+        b.txn([wy])
+        b.rf(wy, ry)
+        b.addr(ry, rx)
+        assert not ARMv8().consistent(b.build())

@@ -1,0 +1,129 @@
+"""Unit tests for the execution builder DSL."""
+
+import pytest
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.core.wellformed import is_wellformed
+
+
+class TestThreads:
+    def test_events_in_program_order(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        c = t0.read("y")
+        x = b.build()
+        assert x.threads == ((a, c),)
+        assert (a, c) in x.po
+
+    def test_multiple_threads(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        a = t0.write("x")
+        c = t1.read("x")
+        x = b.build()
+        assert len(x.threads) == 2
+        assert (a, c) not in x.po
+
+    def test_empty_threads_dropped(self):
+        b = ExecutionBuilder()
+        b.thread()
+        t1 = b.thread()
+        t1.write("x")
+        assert len(b.build().threads) == 1
+
+    def test_convenience_wrappers(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.acq_read("x")
+        w = t0.rel_write("y")
+        ar = t0.atomic_read("z", Label.SC)
+        aw = t0.atomic_write("z", Label.REL)
+        x = b.build()
+        assert x.events[r].has(Label.ACQ)
+        assert x.events[w].has(Label.REL)
+        assert x.events[ar].has(Label.ATO) and x.events[ar].mode == Label.SC
+        assert x.events[aw].mode == Label.REL
+
+
+class TestEdges:
+    def test_rf_direction_enforced(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w = t0.write("x")
+        r = t0.read("x")
+        with pytest.raises(ValueError):
+            b.rf(r, w)
+
+    def test_co_default_is_construction_order(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w1 = t0.write("x")
+        w2 = t0.write("x")
+        x = b.build()
+        assert x.co["x"] == (w1, w2)
+
+    def test_co_constraint_reorders(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t1.write("x")
+        b.co(w2, w1)
+        x = b.build()
+        assert x.co["x"] == (w2, w1)
+
+    def test_co_order_explicit(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w1 = t0.write("x")
+        w2 = t0.write("x")
+        w3 = t0.write("x")
+        b.co_order("x", [w3, w1, w2])
+        assert b.build().co["x"] == (w3, w1, w2)
+
+    def test_co_order_must_cover_writes(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w1 = t0.write("x")
+        t0.write("x")
+        b.co_order("x", [w1])
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_deps(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x")
+        e = t0.read("y")
+        w = t0.write("z")
+        b.addr(r, e)
+        b.data(r, w)
+        b.ctrl(e, w)
+        x = b.build()
+        assert (r, e) in x.addr_rel
+        assert (r, w) in x.data_rel
+        assert (e, w) in x.ctrl_rel
+
+    def test_ctrl_after_expands(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x")
+        e1 = t0.write("y")
+        e2 = t0.write("z")
+        b.ctrl_after(r)
+        x = b.build()
+        assert (r, e1) in x.ctrl_rel
+        assert (r, e2) in x.ctrl_rel
+
+    def test_rmw_and_txn(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b.rmw(r, w)
+        b.txn([r, w], atomic=True)
+        x = b.build()
+        assert (r, w) in x.rmw_rel
+        assert x.txns[0].atomic
+        assert is_wellformed(x)

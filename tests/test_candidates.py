@@ -1,0 +1,116 @@
+"""Unit tests for the program→candidate-execution expansion."""
+
+import pytest
+
+from repro.core.wellformed import is_wellformed
+from repro.litmus.candidates import candidate_executions
+from repro.litmus.program import (
+    CtrlBranch,
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxBegin,
+    TxEnd,
+)
+
+
+def prog(*threads):
+    return Program(tuple(tuple(t) for t in threads))
+
+
+def candidates(*threads):
+    return list(candidate_executions(prog(*threads)))
+
+
+class TestExpansionCounts:
+    def test_single_load_two_candidates(self):
+        # The load reads the initial value or the store.
+        cands = candidates([Load("r0", "x")], [Store("x", 1)])
+        assert len(cands) == 2
+        values = {c.outcome.registers[(0, "r0")] for c in cands}
+        assert values == {0, 1}
+
+    def test_co_permutations(self):
+        cands = candidates([Store("x", 1)], [Store("x", 2)])
+        orders = {c.outcome.write_orders["x"] for c in cands}
+        assert orders == {(1, 2), (2, 1)}
+
+    def test_txn_commit_and_abort_variants(self):
+        cands = candidates([TxBegin(), Store("x", 1), TxEnd()])
+        assert len(cands) == 2
+        committed = [c for c in cands if c.outcome.committed]
+        aborted = [c for c in cands if c.outcome.aborted]
+        assert len(committed) == 1 and len(aborted) == 1
+        assert aborted[0].execution.n == 0  # events vanish (§3.1)
+        assert committed[0].execution.txns
+
+    def test_all_candidates_wellformed(self):
+        cands = candidates(
+            [TxBegin(), Load("r0", "x"), Store("y", 1, data_dep=("r0",)), TxEnd()],
+            [Store("x", 1), Load("r0", "y")],
+        )
+        for c in cands:
+            assert is_wellformed(c.execution)
+
+
+class TestStructure:
+    def test_register_carried_data_dep(self):
+        cands = candidates(
+            [Load("r0", "x"), Store("y", 1, data_dep=("r0",))]
+        )
+        for c in cands:
+            assert (0, 1) in c.execution.data
+
+    def test_addr_dep(self):
+        cands = candidates([Load("r0", "x"), Load("r1", "y", addr_dep=("r0",))])
+        for c in cands:
+            assert (0, 1) in c.execution.addr
+
+    def test_ctrl_branch_downward_closed(self):
+        cands = candidates(
+            [Load("r0", "x"), CtrlBranch(("r0",)), Store("y", 1), Store("z", 2)]
+        )
+        for c in cands:
+            assert (0, 1) in c.execution.ctrl
+            assert (0, 2) in c.execution.ctrl
+
+    def test_exclusive_pairing(self):
+        cands = candidates(
+            [Load("r0", "x", excl=True), Store("x", 1, excl=True)]
+        )
+        for c in cands:
+            assert (0, 1) in c.execution.rmw
+
+    def test_exclusive_pairing_same_location_only(self):
+        cands = candidates(
+            [Load("r0", "x", excl=True), Store("y", 1, excl=True)]
+        )
+        for c in cands:
+            assert not c.execution.rmw
+
+    def test_fences_are_events(self):
+        cands = candidates([Store("x", 1), Fence("sync"), Store("y", 1)])
+        for c in cands:
+            assert len(c.execution.fences) == 1
+
+    def test_atomic_txn_flag(self):
+        cands = candidates([TxBegin(atomic=True), Store("x", 1), TxEnd()])
+        committed = [c for c in cands if c.outcome.committed]
+        assert committed[0].execution.txns[0].atomic
+
+    def test_two_txns_independent_fates(self):
+        cands = candidates(
+            [TxBegin(), Store("x", 1), TxEnd(), TxBegin(), Store("y", 1), TxEnd()]
+        )
+        fates = {
+            (len(c.outcome.committed), len(c.outcome.aborted)) for c in cands
+        }
+        assert fates == {(2, 0), (1, 1), (0, 2)}
+
+    def test_memory_final_values(self):
+        cands = candidates([Store("x", 1), Store("x", 2)])
+        finals = {c.outcome.memory["x"] for c in cands}
+        # po order does not constrain candidates' co... but wellformedness
+        # of the outcome means the final is the co-last of each order.
+        assert finals == {1, 2}

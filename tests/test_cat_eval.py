@@ -1,0 +1,266 @@
+"""Unit tests for the .cat evaluator against hand-built executions."""
+
+import pytest
+
+from repro.cat.errors import CatError, CatNameError, CatTypeError
+from repro.cat.evaluator import evaluate, evaluate_expr
+from repro.cat.library import library_source
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.core.lifting import stronglift, weaklift
+from repro.core.relation import Relation
+
+
+@pytest.fixture
+def mp():
+    """Message-passing: t0 writes x then y; t1 reads y (from t0) then x
+    (stale, from the initial state)."""
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    wx = t0.write("x")
+    wy = t0.write("y")
+    ry = t1.read("y")
+    rx = t1.read("x")
+    b.rf(wy, ry)
+    return b.build()
+
+
+@pytest.fixture
+def txn_exec():
+    """One transaction on each thread, conflicting on x."""
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.write("x")
+    c = t1.write("x")
+    d = t1.read("x")
+    b.rf(a, d)
+    b.co(c, a)
+    b.txn([a])
+    b.txn([c, d])
+    return b.build()
+
+
+class TestPrimitives:
+    def test_po(self, mp):
+        po = evaluate_expr("po", mp)
+        assert (0, 1) in po and (2, 3) in po
+        assert (0, 2) not in po
+
+    def test_sets(self, mp):
+        assert evaluate_expr("W", mp) == frozenset({0, 1})
+        assert evaluate_expr("R", mp) == frozenset({2, 3})
+        assert evaluate_expr("M", mp) == frozenset(range(4))
+
+    def test_universe(self, mp):
+        assert evaluate_expr("_", mp) == frozenset(range(4))
+
+    def test_rf(self, mp):
+        assert list(evaluate_expr("rf", mp).pairs()) == [(1, 2)]
+
+    def test_fr_includes_init_reads(self, mp):
+        # rx reads the initial x, so it is fr-before the write wx.
+        assert (3, 0) in evaluate_expr("fr", mp)
+
+    def test_loc(self, mp):
+        loc = evaluate_expr("loc", mp)
+        assert (0, 3) in loc and (1, 2) in loc
+        assert (0, 1) not in loc
+
+    def test_int_ext_partition_non_diagonal_pairs(self, mp):
+        union = evaluate_expr("int | ext", mp)
+        assert union == Relation.full(4)
+
+    def test_empty_relation_literal(self, mp):
+        assert evaluate_expr("0", mp).is_empty()
+
+    def test_empty_set_literal(self, mp):
+        assert evaluate_expr("{}", mp) == frozenset()
+
+
+class TestOperators:
+    def test_union_and_intersection_on_sets(self, mp):
+        assert evaluate_expr("R | W", mp) == frozenset(range(4))
+        assert evaluate_expr("R & W", mp) == frozenset()
+
+    def test_difference_on_sets(self, mp):
+        assert evaluate_expr("M \\ R", mp) == frozenset({0, 1})
+
+    def test_cross_product(self, mp):
+        wr = evaluate_expr("W * R", mp)
+        assert (0, 2) in wr and (1, 3) in wr and (2, 0) not in wr
+
+    def test_cross_on_relations_is_an_error(self, mp):
+        with pytest.raises(CatTypeError, match="Cartesian"):
+            evaluate_expr("po * rf", mp)
+
+    def test_mixed_boolean_op_is_an_error(self, mp):
+        with pytest.raises(CatTypeError, match="two sets or two relations"):
+            evaluate_expr("po | W", mp)
+
+    def test_lift(self, mp):
+        lifted = evaluate_expr("[W]", mp)
+        assert list(lifted.pairs()) == [(0, 0), (1, 1)]
+
+    def test_lift_of_relation_is_an_error(self, mp):
+        with pytest.raises(CatTypeError, match="event set"):
+            evaluate_expr("[po]", mp)
+
+    def test_seq(self, mp):
+        # po ; rf : wx -> ry
+        assert (0, 2) in evaluate_expr("po ; rf", mp)
+
+    def test_seq_promotes_sets_to_identity(self, mp):
+        explicit = evaluate_expr("[W] ; po ; [R]", mp)
+        promoted = evaluate_expr("W ; po ; R", mp)
+        assert explicit == promoted
+
+    def test_complement_of_set(self, mp):
+        assert evaluate_expr("~R", mp) == frozenset({0, 1})
+
+    def test_complement_of_relation_includes_diagonal(self, mp):
+        compl = evaluate_expr("~po", mp)
+        assert (0, 0) in compl and (1, 0) in compl and (0, 1) not in compl
+
+    def test_closures(self, mp):
+        assert evaluate_expr("po^?", mp) == evaluate_expr("po", mp).opt()
+        assert evaluate_expr("po^+", mp) == evaluate_expr("po", mp).plus()
+        assert evaluate_expr("po^*", mp) == evaluate_expr("po", mp).star()
+
+    def test_inverse(self, mp):
+        assert list(evaluate_expr("rf^-1", mp).pairs()) == [(2, 1)]
+
+    def test_closure_of_set_is_an_error(self, mp):
+        with pytest.raises(CatTypeError, match="expects a relation"):
+            evaluate_expr("W^+", mp)
+
+    def test_unbound_name(self, mp):
+        with pytest.raises(CatNameError, match="unbound name 'zz'"):
+            evaluate_expr("zz", mp)
+
+
+class TestStatements:
+    def test_let_binds(self, mp):
+        result = evaluate('let hb = po | rf\nacyclic hb as Order', mp)
+        assert result.consistent
+        assert result.relation("hb") == evaluate_expr("po | rf", mp)
+
+    def test_let_function_and_application(self, mp):
+        source = """
+        let fences(S) = po; [S]; po
+        let f = fences(W)
+        empty f \\ po as Sub
+        """
+        result = evaluate(source, mp)
+        assert result.consistent
+
+    def test_function_wrong_arity(self, mp):
+        with pytest.raises(CatTypeError, match="expects 1 argument"):
+            evaluate("let f(x) = x\nlet y = f(po, rf)", mp)
+
+    def test_calling_a_relation_is_an_error(self, mp):
+        with pytest.raises(CatTypeError, match="not a function"):
+            evaluate("let y = po(rf)", mp)
+
+    def test_domain_and_range(self, mp):
+        result = evaluate(
+            "let d = domain(rf)\nlet r = range(rf)\n"
+            "empty [d] \\ [W] as DomW\nempty [r] \\ [R] as RanR",
+            mp,
+        )
+        assert result.consistent
+        assert result.bindings["d"] == frozenset({1})
+        assert result.bindings["r"] == frozenset({2})
+
+    def test_domain_of_set_is_an_error(self, mp):
+        with pytest.raises(CatTypeError, match="expects a relation"):
+            evaluate("let d = domain(W)", mp)
+
+    def test_let_rec_fixpoint(self, mp):
+        # Transitive closure of po by recursion.
+        source = "let rec tc = po | (tc; tc)"
+        result = evaluate(source, mp)
+        assert result.bindings["tc"] == evaluate_expr("po^+", mp)
+
+    def test_let_rec_mutual(self, mp):
+        source = """
+        let rec a = po | (b; b)
+        and b = rf | a
+        """
+        result = evaluate(source, mp)
+        assert result.bindings["a"] <= result.bindings["b"]
+
+    def test_let_rec_must_be_relation(self, mp):
+        with pytest.raises(CatTypeError, match="relation-valued"):
+            evaluate("let rec s = W", mp)
+
+    def test_failing_check_reported(self, mp):
+        result = evaluate("acyclic po | po^-1 as Bad", mp)
+        assert not result.consistent
+        (check,) = result.checks
+        assert check.name == "Bad" and not check.holds
+        assert "VIOLATED" in check.describe()
+
+    def test_flag_does_not_affect_consistency(self, mp):
+        result = evaluate("flag ~empty po as Diag\nacyclic po as Order", mp)
+        assert result.consistent
+        assert result.flagged == ["Diag"]
+
+    def test_flag_not_raised_when_test_fails(self, mp):
+        result = evaluate("flag ~empty 0 as Diag", mp)
+        assert result.flagged == []
+
+    def test_include_without_loader_fails(self, mp):
+        with pytest.raises(CatError, match="needs a loader"):
+            evaluate('include "stdlib.cat"', mp)
+
+    def test_relation_accessor_type_guard(self, mp):
+        result = evaluate("let s = W", mp)
+        with pytest.raises(CatTypeError):
+            result.relation("s")
+
+
+class TestStdlib:
+    def _eval(self, extra: str, x):
+        from repro.cat.model import _library_loader
+
+        return evaluate(library_source("stdlib.cat") + "\n" + extra, x,
+                        _library_loader)
+
+    def test_rfe_rfi(self, mp):
+        result = self._eval("let probe = rfe", mp)
+        assert result.bindings["rfe"] == mp.rfe
+        assert result.bindings["rfi"] == mp.rfi
+
+    def test_com(self, mp):
+        result = self._eval("let probe = com", mp)
+        assert result.bindings["com"] == mp.com
+
+    def test_po_loc(self, mp):
+        result = self._eval("let probe = po_loc", mp)
+        assert result.bindings["po_loc"] == mp.po_loc
+
+    def test_fencerel_matches_native(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        t0.write("x")
+        t0.fence(Label.SYNC)
+        t0.write("y")
+        x = b.build()
+        result = self._eval("let s = fencerel(SYNC)", x)
+        assert result.bindings["s"] == x.fence_rel(Label.SYNC)
+
+    def test_weaklift_matches_native(self, txn_exec):
+        result = self._eval("let wl = weaklift(com, stxn)", txn_exec)
+        assert result.bindings["wl"] == weaklift(txn_exec.com, txn_exec.stxn)
+
+    def test_stronglift_matches_native(self, txn_exec):
+        result = self._eval("let sl = stronglift(com, stxn)", txn_exec)
+        assert result.bindings["sl"] == stronglift(
+            txn_exec.com, txn_exec.stxn
+        )
+
+    def test_tfence_primitive(self, txn_exec):
+        assert evaluate_expr("tfence", txn_exec) == txn_exec.tfence
+
+    def test_stxn_primitive(self, txn_exec):
+        assert evaluate_expr("stxn", txn_exec) == txn_exec.stxn

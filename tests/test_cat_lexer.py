@@ -1,0 +1,142 @@
+"""Unit tests for the .cat tokeniser."""
+
+import pytest
+
+from repro.cat.errors import CatSyntaxError
+from repro.cat.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source) if t.kind != TokenKind.EOF]
+
+
+class TestBasics:
+    def test_empty_source_yields_only_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds(" \t\n\r ") == [TokenKind.EOF]
+
+    def test_identifier(self):
+        tokens = list(tokenize("ppo"))
+        assert tokens[0].kind == TokenKind.IDENT
+        assert tokens[0].text == "ppo"
+
+    def test_identifier_with_dot_and_dash(self):
+        assert texts("DMB.LD po-loc") == ["DMB.LD", "po-loc"]
+
+    def test_underscore_is_an_identifier(self):
+        tokens = list(tokenize("_"))
+        assert tokens[0].kind == TokenKind.IDENT
+
+    def test_keywords_are_reserved(self):
+        tokens = list(tokenize("let rec and as acyclic empty"))
+        assert all(t.kind == TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_number_zero(self):
+        tokens = list(tokenize("0"))
+        assert tokens[0].kind == TokenKind.NUMBER
+        assert tokens[0].text == "0"
+
+    def test_string_literal(self):
+        tokens = list(tokenize('"a model name"'))
+        assert tokens[0].kind == TokenKind.STRING
+        assert tokens[0].text == "a model name"
+
+
+class TestOperators:
+    def test_single_char_operators(self):
+        expected = [
+            TokenKind.UNION,
+            TokenKind.INTER,
+            TokenKind.DIFF,
+            TokenKind.SEQ,
+            TokenKind.STAR,
+            TokenKind.PLUS,
+            TokenKind.OPT,
+            TokenKind.COMPL,
+            TokenKind.EQUALS,
+            TokenKind.COMMA,
+            TokenKind.EOF,
+        ]
+        assert kinds("| & \\ ; * + ? ~ = ,") == expected
+
+    def test_hat_operators(self):
+        assert kinds("^+ ^* ^? ^-1") == [
+            TokenKind.HATPLUS,
+            TokenKind.HATSTAR,
+            TokenKind.HATOPT,
+            TokenKind.INVERSE,
+            TokenKind.EOF,
+        ]
+
+    def test_brackets(self):
+        assert kinds("( ) [ ] { }") == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.EOF,
+        ]
+
+    def test_bad_hat_operator(self):
+        with pytest.raises(CatSyntaxError):
+            list(tokenize("^^"))
+
+
+class TestComments:
+    def test_simple_comment_skipped(self):
+        assert texts("po (* comment *) rf") == ["po", "rf"]
+
+    def test_nested_comment(self):
+        assert texts("a (* outer (* inner *) still out *) b") == ["a", "b"]
+
+    def test_comment_with_operators_inside(self):
+        assert texts("(* r1 ; r2 | ~x *) po") == ["po"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CatSyntaxError, match="unterminated comment"):
+            list(tokenize("po (* oops"))
+
+    def test_unterminated_nested_comment(self):
+        with pytest.raises(CatSyntaxError):
+            list(tokenize("(* a (* b *)"))
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = list(tokenize("let x =\n  po"))
+        let, x, eq, po = tokens[:4]
+        assert (let.line, let.col) == (1, 1)
+        assert (x.line, x.col) == (1, 5)
+        assert (po.line, po.col) == (2, 3)
+
+    def test_error_position_reported(self):
+        with pytest.raises(CatSyntaxError) as exc:
+            list(tokenize("po\n  $"))
+        assert exc.value.line == 2
+        assert exc.value.col == 3
+
+    def test_unterminated_string(self):
+        with pytest.raises(CatSyntaxError, match="unterminated string"):
+            list(tokenize('"no closing quote'))
+
+    def test_string_may_not_span_lines(self):
+        with pytest.raises(CatSyntaxError):
+            list(tokenize('"line one\nline two"'))
+
+
+class TestTokenValue:
+    def test_token_is_frozen_dataclass(self):
+        token = Token(TokenKind.IDENT, "po", 1, 1)
+        with pytest.raises(AttributeError):
+            token.text = "rf"  # type: ignore[misc]
+
+    def test_str_shows_text(self):
+        assert "po" in str(Token(TokenKind.IDENT, "po", 1, 1))

@@ -1,0 +1,161 @@
+"""Cross-validation: every .cat library model agrees with its native
+Python counterpart — on the whole paper catalog and on exhaustively
+enumerated executions.  This is the test that makes the .cat artefact
+meaningful: two independent implementations of each model, one in Python
+and one in the DSL, computing identical verdicts from shared primitives.
+"""
+
+import pytest
+
+from repro.cat import CAT_MODEL_FILES, CatModel, load_cat_model
+from repro.cat.library import library_files, library_path, library_source
+from repro.catalog import CATALOG
+from repro.models.registry import get_model, model_names
+from repro.synth.generate import EnumerationSpace, enumerate_executions
+
+#: Models cross-checked here (riscv is covered by test_riscv.py).
+PAIRED = ["sc", "tsc", "x86", "power", "armv8", "cpp", "power-dongol"]
+
+
+@pytest.fixture(scope="module")
+def cat_models():
+    return {name: load_cat_model(name) for name in PAIRED}
+
+
+@pytest.fixture(scope="module")
+def native_models():
+    return {name: get_model(name) for name in PAIRED}
+
+
+class TestLibraryShape:
+    def test_every_registry_model_has_a_cat_file(self):
+        for name in model_names():
+            assert name in CAT_MODEL_FILES
+
+    def test_library_files_exist(self):
+        files = library_files()
+        assert "stdlib.cat" in files
+        for name in PAIRED:
+            assert CAT_MODEL_FILES[name] in files
+
+    def test_library_path_unknown_file(self):
+        with pytest.raises(FileNotFoundError, match="no library model"):
+            library_path("nonsense.cat")
+
+    def test_titles_present(self):
+        for name in PAIRED:
+            model = load_cat_model(name)
+            assert model.ast.title, f"{name} has no title line"
+
+
+class TestLoadCatModel:
+    def test_load_by_registry_name(self):
+        model = load_cat_model("x86")
+        assert isinstance(model, CatModel)
+        assert model.arch == "x86"
+
+    def test_load_by_file_name(self):
+        model = load_cat_model("x86tm.cat")
+        assert model.arch == "x86tm"
+
+    def test_load_by_path(self, tmp_path):
+        path = tmp_path / "tiny.cat"
+        path.write_text('"tiny"\nacyclic po as Order')
+        model = load_cat_model(str(path))
+        assert model.arch == "tiny"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown cat model"):
+            load_cat_model("not-a-model")
+
+    def test_axioms_match_native_names(self):
+        for name in PAIRED:
+            cat_names = {a.name for a in load_cat_model(name).axioms()}
+            native_names = {a.name for a in get_model(name).axioms()}
+            assert cat_names == native_names, name
+
+
+class TestCatalogAgreement:
+    @pytest.mark.parametrize("name", PAIRED)
+    def test_consistency_agreement(self, name, cat_models, native_models):
+        cat, native = cat_models[name], native_models[name]
+        for ename, entry in CATALOG.items():
+            assert cat.consistent(entry.execution) == native.consistent(
+                entry.execution
+            ), f"{name} disagrees on {ename}"
+
+    @pytest.mark.parametrize("name", PAIRED)
+    def test_notm_baseline_agreement(self, name):
+        cat = load_cat_model(name, tm=False)
+        native = get_model(name, tm=False)
+        for ename, entry in CATALOG.items():
+            assert cat.consistent(entry.execution) == native.consistent(
+                entry.execution
+            ), f"{name} (no TM) disagrees on {ename}"
+
+    @pytest.mark.parametrize("name", ["x86", "power", "armv8", "cpp"])
+    def test_failed_axiom_agreement(self, name, cat_models, native_models):
+        cat, native = cat_models[name], native_models[name]
+        for ename, entry in CATALOG.items():
+            cat_failures = {r.name for r in cat.check(entry.execution).failures}
+            native_failures = set(native.failed_axioms(entry.execution))
+            assert cat_failures == native_failures, f"{name}/{ename}"
+
+    def test_race_flag_agreement(self, cat_models, native_models):
+        cat, native = cat_models["cpp"], native_models["cpp"]
+        for ename, entry in CATALOG.items():
+            if entry.racy is None:
+                continue
+            assert cat.race_free(entry.execution) == native.race_free(
+                entry.execution
+            ), ename
+            assert cat.race_free(entry.execution) != entry.racy, ename
+
+    def test_expected_catalog_verdicts_through_cat(self, cat_models):
+        """The catalog's expected verdicts hold under the cat models too."""
+        for ename, entry in CATALOG.items():
+            for model_name, expected in entry.expected.items():
+                if model_name not in PAIRED:
+                    continue
+                got = cat_models[model_name].consistent(entry.execution)
+                assert got == expected, f"{model_name} on {ename}"
+
+
+class TestEnumeratedAgreement:
+    """Exhaustive agreement over every canonical execution at a small
+    bound — thousands of executions per architecture."""
+
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("x86", {}),
+            ("armv8", {"max_deps": 1}),
+            ("cpp", {}),
+        ],
+    )
+    def test_agreement_at_three_events(self, name, kwargs):
+        space = EnumerationSpace.for_arch(name, 3, **kwargs)
+        cat = load_cat_model(name)
+        native = get_model(name)
+        count = 0
+        for x in enumerate_executions(space):
+            assert cat.consistent(x) == native.consistent(x), x.describe()
+            count += 1
+        assert count > 100  # the space is non-trivial
+
+    def test_power_agreement_at_three_events(self):
+        space = EnumerationSpace.for_arch(
+            "power", 3, max_deps=1, include_fences=False
+        )
+        cat = load_cat_model("power")
+        native = get_model("power")
+        for x in enumerate_executions(space):
+            assert cat.consistent(x) == native.consistent(x), x.describe()
+
+    def test_sc_tsc_agreement_at_four_events(self):
+        for name in ("sc", "tsc"):
+            space = EnumerationSpace.for_arch(name, 4, max_txns=2)
+            cat = load_cat_model(name)
+            native = get_model(name)
+            for x in enumerate_executions(space):
+                assert cat.consistent(x) == native.consistent(x)

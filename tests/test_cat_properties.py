@@ -1,0 +1,139 @@
+"""Property-based tests for the .cat evaluator.
+
+Hypothesis generates random small executions (via the existing strategy
+in ``test_properties``) and random relational expressions; evaluation
+must satisfy the relational-algebra laws and agree with the native
+:class:`~repro.core.relation.Relation` operators.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cat.evaluator import evaluate_expr
+from repro.cat.errors import CatError
+from repro.core.builder import ExecutionBuilder
+from repro.core.relation import Relation
+
+#: Leaf names usable in generated expressions (all relation-valued).
+_LEAVES = ("po", "rf", "co", "fr", "loc", "int", "id", "addr", "ctrl")
+
+
+@st.composite
+def executions(draw):
+    """Small random executions: 2 threads, up to 5 events, rf/co random."""
+    b = ExecutionBuilder()
+    writes: list[int] = []
+    reads: list[int] = []
+    for _ in range(2):
+        thread = b.thread()
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            loc = draw(st.sampled_from(["x", "y"]))
+            if draw(st.booleans()):
+                writes.append(thread.write(loc))
+            else:
+                reads.append(thread.read(loc))
+    x_probe = b.build()
+    for r in reads:
+        loc = x_probe.events[r].loc
+        candidates = [w for w in writes if x_probe.events[w].loc == loc]
+        if candidates and draw(st.booleans()):
+            b.rf(draw(st.sampled_from(candidates)), r)
+    return b.build()
+
+
+@st.composite
+def expressions(draw, depth: int = 3):
+    """A random expression string over the leaf relations."""
+    if depth == 0 or draw(st.integers(min_value=0, max_value=2)) == 0:
+        return draw(st.sampled_from(_LEAVES))
+    form = draw(st.sampled_from(["bin", "post", "compl"]))
+    if form == "bin":
+        op = draw(st.sampled_from(["|", "&", "\\", ";"]))
+        left = draw(expressions(depth=depth - 1))
+        right = draw(expressions(depth=depth - 1))
+        return f"({left} {op} {right})"
+    if form == "post":
+        op = draw(st.sampled_from(["^+", "^*", "?", "^-1"]))
+        return f"({draw(expressions(depth=depth - 1))}){op}"
+    return f"~({draw(expressions(depth=depth - 1))})"
+
+
+class TestAlgebraicLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(x=executions(), data=st.data())
+    def test_random_expressions_evaluate_to_relations(self, x, data):
+        source = data.draw(expressions())
+        value = evaluate_expr(source, x)
+        assert isinstance(value, Relation)
+        assert value.n == x.n
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=executions(), data=st.data())
+    def test_union_commutes(self, x, data):
+        a = data.draw(expressions(depth=2))
+        b = data.draw(expressions(depth=2))
+        assert evaluate_expr(f"({a}) | ({b})", x) == evaluate_expr(
+            f"({b}) | ({a})", x
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=executions(), data=st.data())
+    def test_de_morgan(self, x, data):
+        a = data.draw(expressions(depth=2))
+        b = data.draw(expressions(depth=2))
+        lhs = evaluate_expr(f"~(({a}) | ({b}))", x)
+        rhs = evaluate_expr(f"~({a}) & ~({b})", x)
+        assert lhs == rhs
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=executions(), data=st.data())
+    def test_double_complement(self, x, data):
+        a = data.draw(expressions(depth=2))
+        assert evaluate_expr(f"~(~({a}))", x) == evaluate_expr(a, x)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=executions(), data=st.data())
+    def test_closure_idempotent(self, x, data):
+        a = data.draw(expressions(depth=2))
+        once = evaluate_expr(f"({a})^*", x)
+        twice = evaluate_expr(f"(({a})^*)^*", x)
+        assert once == twice
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=executions(), data=st.data())
+    def test_inverse_involution(self, x, data):
+        a = data.draw(expressions(depth=2))
+        assert evaluate_expr(f"(({a})^-1)^-1", x) == evaluate_expr(a, x)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=executions(), data=st.data())
+    def test_seq_associates(self, x, data):
+        a = data.draw(expressions(depth=1))
+        b = data.draw(expressions(depth=1))
+        c = data.draw(expressions(depth=1))
+        lhs = evaluate_expr(f"(({a}) ; ({b})) ; ({c})", x)
+        rhs = evaluate_expr(f"({a}) ; (({b}) ; ({c}))", x)
+        assert lhs == rhs
+
+
+class TestNativeAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(x=executions())
+    def test_fr_matches_paper_definition(self, x):
+        """fr = ([R]; loc; [W]) \\ (rf^-1; (co^-1)^*) — the §2.1 formula
+        evaluated in cat equals the primitive."""
+        derived = evaluate_expr(
+            "([R] ; loc ; [W]) \\ (rf^-1 ; (co^-1)^*)", x
+        )
+        assert derived == x.fr
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=executions())
+    def test_com_union(self, x):
+        assert evaluate_expr("rf | co | fr", x) == x.com
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=executions())
+    def test_external_restriction(self, x):
+        assert evaluate_expr("(rf | co | fr) & ext", x) == x.come

@@ -1,0 +1,107 @@
+"""The catalog is the model-validation corpus: every entry must be
+well-formed and match its expected verdict under every listed model."""
+
+import pytest
+
+from repro.catalog import CATALOG, get_entry
+from repro.core.wellformed import check
+from repro.models.registry import get_model
+
+ENTRIES = sorted(CATALOG)
+
+
+@pytest.mark.parametrize("name", ENTRIES)
+def test_wellformed(name):
+    assert not check(CATALOG[name].execution), name
+
+
+_CASES = [
+    (name, model)
+    for name in ENTRIES
+    for model in sorted(CATALOG[name].expected)
+]
+
+
+@pytest.mark.parametrize("name,model_name", _CASES)
+def test_expected_verdict(name, model_name):
+    entry = CATALOG[name]
+    model = get_model(model_name)
+    got = model.consistent(entry.execution)
+    want = entry.expected[model_name]
+    assert got == want, (
+        f"{name} under {model_name}: expected "
+        f"{'consistent' if want else 'inconsistent'}, got verdict "
+        f"{model.check(entry.execution)}"
+    )
+
+
+_RACY = [name for name in ENTRIES if CATALOG[name].racy is not None]
+
+
+@pytest.mark.parametrize("name", _RACY)
+def test_expected_race(name):
+    entry = CATALOG[name]
+    cpp = get_model("cpp")
+    assert (not cpp.race_free(entry.execution)) == entry.racy
+
+
+def test_get_entry_unknown():
+    with pytest.raises(ValueError):
+        get_entry("nonexistent")
+
+
+def test_catalog_names_unique_and_tagged():
+    for name, entry in CATALOG.items():
+        assert entry.name == name
+        assert entry.description
+        assert entry.paper_ref
+
+
+class TestKeyPaperFindings:
+    """The paper's headline claims, asserted directly."""
+
+    def test_example_11_lock_elision_unsound_on_armv8(self):
+        x = CATALOG["armv8_lock_elision"].execution
+        assert get_model("armv8").consistent(x)
+
+    def test_example_11_dmb_fix_works(self):
+        x = CATALOG["armv8_lock_elision_fixed"].execution
+        verdict = get_model("armv8").check(x)
+        assert not verdict.consistent
+        assert any(r.name == "TxnOrder" for r in verdict.failures)
+
+    def test_example_11_x86_is_safe(self):
+        x = CATALOG["armv8_lock_elision"].execution
+        assert not get_model("x86").consistent(x)
+
+    def test_power_integrated_barrier(self):
+        verdict = get_model("power").check(CATALOG["power_exec1"].execution)
+        assert any(r.name == "Observation" for r in verdict.failures)
+
+    def test_power_txn_multicopy_atomicity(self):
+        verdict = get_model("power").check(CATALOG["power_exec2"].execution)
+        assert any(r.name == "Observation" for r in verdict.failures)
+
+    def test_power_txn_serialisation(self):
+        verdict = get_model("power").check(CATALOG["power_exec3"].execution)
+        assert any(r.name == "Order" for r in verdict.failures)
+
+    def test_power_one_txn_iriw_allowed(self):
+        assert get_model("power").consistent(
+            CATALOG["power_exec3_one_txn"].execution
+        )
+
+    def test_monotonicity_counterexample_axiom(self):
+        verdict = get_model("power").check(CATALOG["rmw_split"].execution)
+        assert [r.name for r in verdict.failures] == ["TxnCancelsRMW"]
+
+    def test_dongol_gap(self):
+        x = CATALOG["dongol_gap"].execution
+        assert not get_model("power").consistent(x)
+        assert get_model("power-dongol").consistent(x)
+
+    def test_rtl_bug_shape_is_txn_order_only(self):
+        verdict = get_model("armv8").check(
+            CATALOG["mp_dmb_txn_reader"].execution
+        )
+        assert [r.name for r in verdict.failures] == ["TxnOrder"]

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.litmus.from_execution import to_litmus
+from repro.litmus.parse import dumps
+from repro.catalog import CATALOG
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCli:
+    def test_catalog(self, capsys):
+        code, out = run(capsys, "catalog")
+        assert code == 0
+        assert "fig2" in out and "armv8_lock_elision" in out
+
+    def test_check(self, capsys):
+        code, out = run(capsys, "check", "fig2")
+        assert code == 0
+        assert "INCONSISTENT" in out
+        assert "StrongIsol" in out
+
+    def test_check_single_model(self, capsys):
+        code, out = run(capsys, "check", "fig2", "--model", "sc")
+        assert ": consistent" in out
+
+    def test_litmus(self, capsys):
+        code, out = run(capsys, "litmus", "fig2", "--arch", "x86")
+        assert "XBEGIN" in out
+
+    def test_run_model(self, capsys, tmp_path):
+        test = to_litmus(CATALOG["sb"].execution, "sb", "x86")
+        path = tmp_path / "sb.litmus"
+        path.write_text(dumps(test))
+        code, out = run(capsys, "run", str(path))
+        assert code == 0
+        assert "observable" in out
+
+    def test_run_hw(self, capsys, tmp_path):
+        test = to_litmus(CATALOG["sb_mfence"].execution, "sbf", "x86")
+        path = tmp_path / "sbf.litmus"
+        path.write_text(dumps(test))
+        code, out = run(capsys, "run", str(path), "--hw")
+        assert "not seen" in out
+
+    def test_synth(self, capsys):
+        code, out = run(capsys, "synth", "--arch", "x86", "--events", "2",
+                        "--show", "1")
+        assert code == 0
+        assert "forbid" in out
+
+    def test_table3(self, capsys):
+        code, out = run(capsys, "table3")
+        assert "TxnReadsLockFree" in out
+
+    def test_ablation(self, capsys):
+        code, out = run(capsys, "ablation", "--events", "2")
+        assert "atomicity-only" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestNewCommands:
+    def test_cat_list(self, capsys):
+        code, out = run(capsys, "cat", "--list")
+        assert code == 0
+        assert "x86tm.cat" in out and "stdlib.cat" in out
+
+    def test_cat_source(self, capsys):
+        code, out = run(capsys, "cat", "--source", "sc.cat")
+        assert code == 0
+        assert "acyclic hb as Order" in out
+
+    def test_cat_evaluate_inconsistent(self, capsys):
+        code, out = run(capsys, "cat", "x86", "fig2")
+        assert code == 1
+        assert "StrongIsol: VIOLATED" in out
+
+    def test_cat_evaluate_consistent(self, capsys):
+        code, out = run(capsys, "cat", "cpp", "fig2")
+        assert code == 0
+        assert "consistent" in out
+
+    def test_diy(self, capsys):
+        code, out = run(capsys, "diy", "--model", "x86", "--length", "3")
+        assert code == 0
+        assert "FORBID" in out and "allow" in out
+
+    def test_diy_forbidden_only(self, capsys):
+        code, out = run(
+            capsys, "diy", "--model", "sc", "--length", "2",
+            "--forbidden-only",
+        )
+        assert code == 0
+        assert "allow" not in out.splitlines()[0]
+
+    def test_lemmas(self, capsys):
+        code, out = run(capsys, "lemmas", "--events", "2", "--limit", "300")
+        assert code == 0
+        assert "Lemma C.1" in out and "holds" in out
+
+    def test_elision_unsound_exit_code(self, capsys):
+        code, out = run(capsys, "elision", "--arch", "riscv", "--show")
+        assert code == 1
+        assert "UNSOUND" in out
+        assert "abstract" in out  # --show printed the pair
+
+    def test_elision_fixed_sound(self, capsys):
+        code, out = run(
+            capsys, "elision", "--arch", "riscv", "--fixed",
+            "--budget", "120",
+        )
+        assert code == 0
+        assert "no counterexample" in out
+
+    def test_elision_write_lock(self, capsys):
+        code, out = run(
+            capsys, "elision", "--arch", "armv8", "--write-lock",
+            "--budget", "180",
+        )
+        assert code == 0
+
+    def test_synth_riscv(self, capsys):
+        code, out = run(
+            capsys, "synth", "--arch", "riscv", "--events", "2",
+        )
+        assert code == 0
+        assert "forbid" in out.lower()

@@ -1,0 +1,187 @@
+"""Axiom-level tests for the C++/RC11 model (Fig. 9)."""
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.models.cpp import Cpp
+
+
+def failed(x):
+    return Cpp().failed_axioms(x)
+
+
+class TestHbCom:
+    def test_coherence_per_location(self):
+        # CoRR violation: same-location reads disagree with coherence.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w = t0.atomic_write("x")
+        r1 = t1.atomic_read("x")
+        r2 = t1.atomic_read("x")
+        b.rf(w, r1)  # r2 reads the initial value afterwards
+        assert "HbCom" in failed(b.build())
+
+    def test_release_acquire_mp_forbidden(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wd = t0.write("x")
+        wf = t0.atomic_write("y", Label.REL)
+        rf_ = t1.atomic_read("y", Label.ACQ)
+        rd = t1.read("x")
+        b.rf(wf, rf_)
+        assert "HbCom" in failed(b.build())
+
+    def test_relaxed_mp_allowed(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.atomic_write("x")
+        wf = t0.atomic_write("y")
+        rf_ = t1.atomic_read("y")
+        t1.atomic_read("x")
+        b.rf(wf, rf_)
+        assert Cpp().consistent(b.build())
+
+    def test_release_sequence_rmw(self):
+        # A release write followed by a relaxed RMW still synchronises.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wd = t0.write("d")
+        wrel = t0.atomic_write("x", Label.REL)
+        r_rmw = t1.atomic_read("x")
+        w_rmw = t1.atomic_write("x")
+        racq = t1.atomic_read("x", Label.ACQ)
+        rd = t1.read("d")
+        b.rmw(r_rmw, w_rmw)
+        b.rf(wrel, r_rmw)
+        b.co(wrel, w_rmw)
+        b.rf(w_rmw, racq)
+        x = b.build()
+        # hb: wd -> wrel -> (rs through the RMW) -> racq -> rd, so the
+        # read of d must not see the initial value... here it does: racy
+        # would be the alternative; instead assert sw edge exists by
+        # checking the execution with rd reading wd is consistent and
+        # race-free.
+        b2 = ExecutionBuilder()
+        t0, t1 = b2.thread(), b2.thread()
+        wd = t0.write("d")
+        wrel = t0.atomic_write("x", Label.REL)
+        r_rmw = t1.atomic_read("x")
+        w_rmw = t1.atomic_write("x")
+        racq = t1.atomic_read("x", Label.ACQ)
+        rd = t1.read("d")
+        b2.rmw(r_rmw, w_rmw)
+        b2.rf(wrel, r_rmw)
+        b2.co(wrel, w_rmw)
+        b2.rf(w_rmw, racq)
+        b2.rf(wd, rd)
+        y = b2.build()
+        cpp = Cpp()
+        assert cpp.consistent(y)
+        assert cpp.race_free(y)
+
+
+class TestNoThinAir:
+    def test_lb_forbidden(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r0 = t0.atomic_read("x")
+        w0 = t0.atomic_write("y")
+        r1 = t1.atomic_read("y")
+        w1 = t1.atomic_write("x")
+        b.rf(w0, r1)
+        b.rf(w1, r0)
+        assert "NoThinAir" in failed(b.build())
+
+
+class TestSeqCst:
+    def test_sc_sb_forbidden(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.atomic_write("x", Label.SC)
+        t0.atomic_read("y", Label.SC)
+        t1.atomic_write("y", Label.SC)
+        t1.atomic_read("x", Label.SC)
+        assert "SeqCst" in failed(b.build())
+
+    def test_mixed_sc_rlx_sb_allowed(self):
+        # One relaxed access breaks the psc chain: allowed (RC11).
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.atomic_write("x", Label.SC)
+        t0.atomic_read("y", Label.SC)
+        t1.atomic_write("y", Label.SC)
+        t1.atomic_read("x", Label.RLX)
+        assert Cpp().consistent(b.build())
+
+    def test_sc_iriw_forbidden(self):
+        b = ExecutionBuilder()
+        t0, t1, t2, t3 = b.thread(), b.thread(), b.thread(), b.thread()
+        wx = t0.atomic_write("x", Label.SC)
+        r1 = t1.atomic_read("x", Label.SC)
+        r2 = t1.atomic_read("y", Label.SC)
+        r3 = t2.atomic_read("y", Label.SC)
+        r4 = t2.atomic_read("x", Label.SC)
+        wy = t3.atomic_write("y", Label.SC)
+        b.rf(wx, r1)
+        b.rf(wy, r3)
+        assert "SeqCst" in failed(b.build())
+
+
+class TestTransactions:
+    def test_tsw_orders_conflicting_txns(self):
+        from repro.catalog import CATALOG
+
+        assert "HbCom" in failed(CATALOG["cpp_tsw_cycle"].execution)
+
+    def test_non_conflicting_txns_unordered(self):
+        # Transactions on different locations need no serialisation edges.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t1.write("y")
+        b.txn([w1])
+        b.txn([w2])
+        assert Cpp().consistent(b.build())
+
+    def test_txn_synchronisation_creates_hb(self):
+        # If txn A writes x and txn B reads it, B's later non-atomic read
+        # of A's earlier plain write is NOT racy: tsw gives hb.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wd = t0.write("d")
+        wx = t0.write("x")
+        rx = t1.read("x")
+        rd = t1.read("d")
+        b.txn([wd, wx])
+        b.txn([rx, rd])
+        b.rf(wx, rx)
+        b.rf(wd, rd)
+        x = b.build()
+        cpp = Cpp()
+        assert cpp.consistent(x)
+        assert cpp.race_free(x)
+
+    def test_same_accesses_without_txns_racy(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wd = t0.write("d")
+        wx = t0.write("x")
+        rx = t1.read("x")
+        rd = t1.read("d")
+        b.rf(wx, rx)
+        b.rf(wd, rd)
+        assert not Cpp().race_free(b.build())
+
+    def test_ecom_includes_co_rf(self):
+        # Two txns ordered only by co;rf chains still synchronise.
+        b = ExecutionBuilder()
+        t0, t1, t2 = b.thread(), b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t1.write("x")
+        r = t2.read("x")
+        b.txn([w1])
+        b.txn([w2])
+        b.co(w1, w2)
+        b.rf(w2, r)
+        x = b.build()
+        relations = Cpp().relations(x)
+        assert (w1, w2) in relations["hb"]

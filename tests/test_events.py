@@ -1,0 +1,80 @@
+"""Unit tests for events and labels."""
+
+import pytest
+
+from repro.core.events import Event, EventKind, Label, call, fence, read, write
+
+
+class TestConstructors:
+    def test_read(self):
+        e = read("x", Label.ACQ)
+        assert e.is_read and not e.is_write
+        assert e.loc == "x"
+        assert e.has(Label.ACQ)
+
+    def test_write(self):
+        e = write("y")
+        assert e.is_write and e.is_access
+        assert e.labels == frozenset()
+
+    def test_fence(self):
+        e = fence(Label.SYNC)
+        assert e.is_fence
+        assert e.fence_kind == Label.SYNC
+        assert e.loc is None
+
+    def test_call(self):
+        e = call(Label.LOCK)
+        assert e.is_call
+        assert e.call_kind == Label.LOCK
+
+    def test_read_requires_location(self):
+        with pytest.raises(ValueError):
+            Event(EventKind.READ, None)
+
+    def test_fence_rejects_location(self):
+        with pytest.raises(ValueError):
+            Event(EventKind.FENCE, "x")
+
+    def test_labels_coerced_to_frozenset(self):
+        e = Event(EventKind.READ, "x", {"acq"})
+        assert isinstance(e.labels, frozenset)
+
+
+class TestDerived:
+    def test_mode_single(self):
+        assert read("x", Label.ATO, Label.ACQ).mode == Label.ACQ
+        assert read("x").mode is None
+
+    def test_mode_conflict(self):
+        with pytest.raises(ValueError):
+            read("x", Label.ACQ, Label.SC).mode
+
+    def test_fence_kind_conflict(self):
+        e = Event(EventKind.FENCE, None, frozenset({Label.SYNC, Label.DMB}))
+        with pytest.raises(ValueError):
+            e.fence_kind
+
+    def test_call_kind_none_for_access(self):
+        assert read("x").call_kind is None
+
+
+class TestSurgery:
+    def test_with_labels(self):
+        e = read("x", Label.ACQ).with_labels(frozenset())
+        assert e.labels == frozenset()
+        assert e.loc == "x"
+
+    def test_add_drop_labels(self):
+        e = read("x").add_labels(Label.ACQ, Label.EXCL)
+        assert e.has(Label.ACQ) and e.has(Label.EXCL)
+        assert not e.drop_labels(Label.ACQ).has(Label.ACQ)
+
+    def test_str(self):
+        assert str(read("x")) == "R x"
+        assert "acq" in str(read("x", Label.ACQ))
+        assert str(fence(Label.SYNC)) == "F[sync]"
+
+    def test_hashable(self):
+        assert read("x") == read("x")
+        assert {read("x"), read("x")} == {read("x")}

@@ -1,0 +1,265 @@
+"""Unit tests for executions and their derived relations."""
+
+import pytest
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.core.execution import Execution, Transaction
+from repro.core.events import read, write
+
+
+def mp_execution():
+    """Message passing: T0: Wx, Wy; T1: Ry (reads Wy), Rx (reads init)."""
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    wx = t0.write("x")
+    wy = t0.write("y")
+    ry = t1.read("y")
+    rx = t1.read("x")
+    b.rf(wy, ry)
+    return b.build(), (wx, wy, ry, rx)
+
+
+class TestBasics:
+    def test_event_counts(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        assert x.n == 4
+        assert x.reads == {ry, rx}
+        assert x.writes == {wx, wy}
+        assert x.fences == frozenset()
+        assert x.accesses == {wx, wy, ry, rx}
+
+    def test_tid_of(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        assert x.tid_of[wx] == 0
+        assert x.tid_of[rx] == 1
+
+    def test_locations_first_use_order(self):
+        x, _ = mp_execution()
+        assert x.locations == ("x", "y")
+
+    def test_po(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        assert (wx, wy) in x.po
+        assert (ry, rx) in x.po
+        assert (wx, ry) not in x.po
+        assert (wy, wx) not in x.po
+
+    def test_sloc_reflexive_on_accesses(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        assert (wx, wx) in x.sloc
+        assert (wx, rx) in x.sloc
+        assert (wx, wy) not in x.sloc
+
+    def test_rf_rel_direction(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        assert (wy, ry) in x.rf_rel
+        assert (ry, wy) not in x.rf_rel
+
+
+class TestDerivedRelations:
+    def test_fr_initial_read(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        # rx reads the initial value, so it is fr-before wx.
+        assert (rx, wx) in x.fr
+        # ry reads wy itself: no fr (no co-later write to y).
+        assert (ry, wy) not in x.fr
+
+    def test_fr_with_co(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t0.write("x")
+        r = t1.read("x")
+        b.rf(w1, r)
+        b.co(w1, w2)
+        x = b.build()
+        assert (r, w2) in x.fr
+        assert (r, w1) not in x.fr
+
+    def test_com_union(self):
+        x, _ = mp_execution()
+        assert x.com == (x.rf_rel | x.co_rel | x.fr)
+
+    def test_external_internal(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        assert (wy, ry) in x.rfe
+        assert x.rfi.is_empty()
+        assert (rx, wx) in x.fre
+
+    def test_internal_rf(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w = t0.write("x")
+        r = t0.read("x")
+        b.rf(w, r)
+        x = b.build()
+        assert (w, r) in x.rfi
+        assert x.rfe.is_empty()
+
+    def test_po_loc(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w = t0.write("x")
+        r = t0.read("x")
+        r2 = t0.read("y")
+        x = b.build()
+        assert (w, r) in x.po_loc
+        assert (w, r2) not in x.po_loc
+
+    def test_fence_rel(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w = t0.write("x")
+        t0.fence(Label.SYNC)
+        r = t0.read("y")
+        x = b.build()
+        assert (w, r) in x.fence_rel(Label.SYNC)
+        assert x.fence_rel(Label.LWSYNC).is_empty()
+
+
+class TestTransactions:
+    def build_txn(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        c = t0.read("x")
+        d = t0.write("y")
+        b.txn([c, d])
+        return b.build(), (a, c, d)
+
+    def test_stxn_partial_equivalence(self):
+        x, (a, c, d) = self.build_txn()
+        assert (c, d) in x.stxn and (d, c) in x.stxn
+        assert (c, c) in x.stxn  # reflexive on its domain
+        assert (a, a) not in x.stxn
+
+    def test_txn_events(self):
+        x, (a, c, d) = self.build_txn()
+        assert x.txn_events == {c, d}
+        assert x.txn_of == {c: 0, d: 0}
+
+    def test_tfence_boundary(self):
+        x, (a, c, d) = self.build_txn()
+        # a (outside) to c/d (inside) crosses the boundary.
+        assert (a, c) in x.tfence
+        assert (a, d) in x.tfence
+        assert (c, d) not in x.tfence
+
+    def test_tfence_exit(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        c = t0.write("y")
+        b.txn([a])
+        x = b.build()
+        assert (a, c) in x.tfence
+
+    def test_stxnat(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        b.txn([a], atomic=True)
+        x = b.build()
+        assert (a, a) in x.stxnat
+
+    def test_without_transactions(self):
+        x, _ = self.build_txn()
+        y = x.without_transactions()
+        assert y.stxn.is_empty()
+        assert y.tfence.is_empty()
+        assert y.po == x.po
+
+    def test_empty_transaction_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(())
+
+
+class TestValues:
+    def test_write_values_coherence_positions(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t1.write("x")
+        b.co(w2, w1)
+        x = b.build()
+        assert x.write_values[w2] == 1
+        assert x.write_values[w1] == 2
+        assert x.final_value("x") == 2
+
+    def test_read_values(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        assert x.read_value(ry) == x.write_values[wy]
+        assert x.read_value(rx) == 0
+
+
+class TestSurgery:
+    def test_without_event_renumbers(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        y = x.without_event(wx)
+        assert y.n == 3
+        assert y.events[0].loc == "y"  # wy shifted down
+        assert len(y.threads) == 2
+        # The rf edge survives with renumbered ids.
+        assert len(y.rf) == 1
+
+    def test_without_event_drops_incident_rf(self):
+        x, (wx, wy, ry, rx) = mp_execution()
+        y = x.without_event(wy)
+        assert not y.rf  # the rf edge vanished with its source
+
+    def test_without_event_empty_thread_removed(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.write("x")
+        w = t1.write("x")
+        x = b.build()
+        y = x.without_event(w)
+        assert len(y.threads) == 1
+
+    def test_without_event_shrinks_txn(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        c = t0.write("y")
+        b.txn([a, c])
+        x = b.build()
+        y = x.without_event(a)
+        assert len(y.txns) == 1
+        assert y.txns[0].events == (0,)
+
+    def test_without_dep(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x")
+        w = t0.write("y")
+        b.data(r, w)
+        x = b.build()
+        y = x.without_dep("data", (r, w))
+        assert not y.data
+
+    def test_without_dep_unknown_kind(self):
+        x, _ = mp_execution()
+        with pytest.raises(ValueError):
+            x.without_dep("bogus", (0, 1))
+
+    def test_with_event_downgrade(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.acq_read("x")
+        x = b.build()
+        y = x.with_event(r, x.events[r].drop_labels(Label.ACQ))
+        assert not y.events[r].has(Label.ACQ)
+
+    def test_equality_and_hash(self):
+        x1, _ = mp_execution()
+        x2, _ = mp_execution()
+        assert x1 == x2
+        assert hash(x1) == hash(x2)
+        assert x1 != x1.without_event(0)
+
+    def test_describe_mentions_structure(self):
+        x, _ = mp_execution()
+        text = x.describe()
+        assert "thread 0" in text
+        assert "rf<-" in text

@@ -1,0 +1,164 @@
+"""Tests for the Appendix C lemma checks.
+
+The full-bound runs live in ``benchmarks/bench_theorems.py``-style
+harnesses; here each lemma is verified exhaustively at |E| ≤ 2 and on a
+capped prefix of the |E| ≤ 3 space, plus targeted witnesses showing each
+premise is *necessary* (dropping it finds the counterexample the proof
+would predict).
+"""
+
+import pytest
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.core.lifting import weaklift
+from repro.core.relation import Relation
+from repro.metatheory.lemmas import (
+    check_all_lemmas,
+    check_cnf_identity,
+    check_com_plus_expansion,
+    check_lemma_c1,
+    check_lemma_c2,
+    check_lemma_c3,
+    check_lemma_c6,
+    check_psc_inclusions,
+)
+from repro.models.cpp import Cpp, sc_events
+
+_LIMIT = 3000
+
+
+class TestBoundedChecks:
+    def test_all_lemmas_hold_at_two_events(self):
+        for report in check_all_lemmas(2):
+            assert report.holds, report.summary()
+            assert report.executions_checked > 0, report.summary()
+
+    @pytest.mark.parametrize(
+        "check",
+        [
+            check_lemma_c1,
+            check_lemma_c2,
+            check_lemma_c3,
+            check_lemma_c6,
+            check_cnf_identity,
+            check_com_plus_expansion,
+            check_psc_inclusions,
+        ],
+    )
+    def test_lemmas_hold_on_capped_three_event_prefix(self, check):
+        report = check(3, limit=_LIMIT)
+        assert report.holds, report.summary()
+
+    def test_report_summary_format(self):
+        report = check_cnf_identity(2)
+        assert "cnf identity" in report.summary()
+        assert "holds" in report.summary()
+
+
+class TestPremiseNecessity:
+    def test_c1_needs_no_weak_atomics(self):
+        """Two relaxed atomics communicate race-freely without hb: the
+        exact counterexample the premise exists to exclude."""
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r = t0.atomic_read("x")  # rlx
+        w = t1.atomic_write("x")  # rlx
+        x = b.build()
+        model = Cpp()
+        assert model.consistent(x) and model.race_free(x)
+        sc_sq = Relation.cross(x.n, sc_events(x), sc_events(x))
+        hb = model.relations(x)["hb"]
+        assert not ((x.com - sc_sq) <= hb)
+
+    def test_c1_conclusion_with_sc_atomics(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w = t1.atomic_write("x", Label.SC)
+        r = t0.atomic_read("x", Label.SC)
+        b.rf(w, r)
+        x = b.build()
+        model = Cpp()
+        sc_sq = Relation.cross(x.n, sc_events(x), sc_events(x))
+        hb = model.relations(x)["hb"]
+        # All communication here is SC-SC, so the inclusion is vacuous.
+        assert (x.com - sc_sq).is_empty()
+        # ... and the SC pair does synchronise anyway.
+        assert (w, r) in hb
+
+    def test_c2_simplification_shape(self):
+        """On an execution with only SC atomics, hb collapses to
+        (po ∪ rf_SC ∪ tsw)+."""
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("a")
+        w2 = t0.atomic_write("x", Label.SC)
+        r = t1.atomic_read("x", Label.SC)
+        r2 = t1.read("a")
+        b.rf(w2, r)
+        b.rf(w1, r2)
+        x = b.build()
+        model = Cpp()
+        sc_sq = Relation.cross(x.n, sc_events(x), sc_events(x))
+        simplified = (x.po | (x.rf_rel & sc_sq)).plus()
+        assert model.relations(x)["hb"] == simplified
+
+    def test_c6_lifting_through_a_transaction(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w = t0.atomic_write("x", Label.SC)
+        a1 = t1.atomic_read("x", Label.SC)
+        a2 = t1.read("y")
+        b.rf(w, a1)
+        b.txn([a1, a2], atomic=True)
+        x = b.build()
+        # w happens-before a1 (sw); lifting must extend it to a2.
+        hb = Cpp().relations(x)["hb"]
+        assert (w, a1) in hb
+        lifted = x.stxn.star() @ (hb - x.stxn) @ x.stxn.star()
+        assert (w, a2) in lifted
+        assert lifted <= (hb - x.stxn)
+
+
+class TestIdentitiesDirect:
+    def test_cnf_identity_on_handmade_execution(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t1.write("x")
+        r = t1.read("x")
+        b.rf(w1, r)
+        b.co(w1, w2)
+        x = b.build()
+        model = Cpp()
+        ecom = x.com | (x.co_rel @ x.rf_rel)
+        assert model.conflicts(x) == (
+            ecom | ecom.inverse()
+        ).remove_diagonal()
+
+    def test_com_plus_expansion_on_handmade_execution(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t1.write("x")
+        r0 = t0.read("x")
+        b.rf(w2, r0)
+        b.co(w1, w2)
+        x = b.build()
+        ecom = x.com | (x.co_rel @ x.rf_rel)
+        assert x.com.plus() == ecom | (x.fr @ x.rf_rel)
+
+    def test_fr_rf_needed_in_expansion(self):
+        """fr;rf really does escape ecom: a read observing a write that a
+        co-earlier-reading read conflicts with."""
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r = t0.read("x")  # reads init
+        w = t1.write("x")
+        r2 = t1.read("x")
+        b.rf(w, r2)
+        x = b.build()
+        frrf = x.fr @ x.rf_rel
+        ecom = x.com | (x.co_rel @ x.rf_rel)
+        assert (r, r2) in frrf
+        assert (r, r2) not in ecom

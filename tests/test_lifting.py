@@ -1,0 +1,95 @@
+"""Tests for weaklift/stronglift (§3.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.lifting import stronglift, weaklift
+from repro.core.relation import Relation
+
+
+def txn_relation(n, *classes):
+    rel = Relation.empty(n)
+    for cls in classes:
+        rel = rel | Relation.cross(n, cls, cls)
+    return rel
+
+
+class TestWeaklift:
+    def test_relates_whole_transactions(self):
+        # Events 0,1 in txn A; 2,3 in txn B; com edge 1 -> 2.
+        t = txn_relation(4, [0, 1], [2, 3])
+        r = Relation.from_pairs(4, [(1, 2)])
+        lifted = weaklift(r, t)
+        assert (0, 2) in lifted and (0, 3) in lifted
+        assert (1, 2) in lifted and (1, 3) in lifted
+
+    def test_ignores_non_transactional_endpoints(self):
+        t = txn_relation(3, [0, 1])
+        r = Relation.from_pairs(3, [(1, 2)])  # target outside any txn
+        assert weaklift(r, t).is_empty()
+
+    def test_intra_txn_edges_removed(self):
+        t = txn_relation(2, [0, 1])
+        r = Relation.from_pairs(2, [(0, 1)])
+        assert weaklift(r, t).is_empty()
+
+
+class TestStronglift:
+    def test_allows_non_transactional_endpoints(self):
+        t = txn_relation(3, [0, 1])
+        r = Relation.from_pairs(3, [(1, 2)])
+        lifted = stronglift(r, t)
+        assert (0, 2) in lifted
+        assert (1, 2) in lifted
+
+    def test_subsumes_weaklift(self):
+        t = txn_relation(4, [0, 1], [2, 3])
+        r = Relation.from_pairs(4, [(1, 2), (3, 0)])
+        assert weaklift(r, t) <= stronglift(r, t)
+
+    def test_plain_edges_kept(self):
+        t = Relation.empty(2)
+        r = Relation.from_pairs(2, [(0, 1)])
+        assert stronglift(r, t) == r
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=10
+    )
+)
+def test_stronglift_acyclic_implies_weaklift_acyclic(pairs):
+    t = txn_relation(5, [0, 1], [3, 4])
+    r = Relation.from_pairs(5, pairs)
+    if stronglift(r, t).is_acyclic():
+        assert weaklift(r, t).is_acyclic()
+
+
+def test_fig3_shapes_distinguish_isolations():
+    """The Fig. 3 executions violate StrongIsol but satisfy WeakIsol."""
+    from repro.catalog import CATALOG
+    from repro.models.isolation import strongly_isolated, weakly_isolated
+
+    for name in ("fig3a", "fig3b", "fig3c", "fig3d"):
+        x = CATALOG[name].execution
+        assert weakly_isolated(x), name
+        assert not strongly_isolated(x), name
+
+
+def test_weak_isolation_violated_between_txns():
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    w1 = t0.write("x")
+    r1 = t0.read("y")
+    w2 = t1.write("y")
+    r2 = t1.read("x")
+    b.txn([w1, r1])
+    b.txn([w2, r2])
+    b.rf(w1, r2)
+    b.rf(w2, r1)
+    x = b.build()
+    from repro.models.isolation import weakly_isolated
+
+    assert not weakly_isolated(x)

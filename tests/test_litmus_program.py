@@ -1,0 +1,109 @@
+"""Unit tests for litmus programs and postconditions."""
+
+import pytest
+
+from repro.litmus.program import (
+    CtrlBranch,
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxBegin,
+    TxEnd,
+)
+from repro.litmus.test import LitmusTest, MemEq, Outcome, RegEq, TxnOk
+
+
+def prog(*threads):
+    return Program(tuple(tuple(t) for t in threads))
+
+
+class TestValidation:
+    def test_valid_program(self):
+        p = prog(
+            [Store("x", 1), Load("r0", "y")],
+            [Store("y", 1), Load("r0", "x")],
+        )
+        assert p.n_threads == 2
+        assert p.locations() == ("x", "y")
+
+    def test_nested_txn_rejected(self):
+        with pytest.raises(ValueError, match="nested"):
+            prog([TxBegin(), TxBegin(), TxEnd(), TxEnd()])
+
+    def test_unbalanced_txn_rejected(self):
+        with pytest.raises(ValueError, match="unclosed"):
+            prog([TxBegin(), Store("x", 1)])
+        with pytest.raises(ValueError, match="without txbegin"):
+            prog([TxEnd()])
+
+    def test_duplicate_store_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate value"):
+            prog([Store("x", 1)], [Store("x", 1)])
+
+    def test_zero_store_rejected(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            prog([Store("x", 0)])
+
+    def test_undefined_register_rejected(self):
+        with pytest.raises(ValueError, match="undefined register"):
+            prog([Store("x", 1, data_dep=("r0",))])
+        with pytest.raises(ValueError, match="undefined register"):
+            prog([CtrlBranch(("r9",))])
+
+    def test_register_defined_before_use(self):
+        p = prog([Load("r0", "x"), Store("y", 1, data_dep=("r0",))])
+        assert list(p.stores())[0][2].data_dep == ("r0",)
+
+    def test_loads_iterator(self):
+        p = prog([Load("r0", "x")], [Load("r0", "y")])
+        assert len(list(p.loads())) == 2
+
+
+class TestOutcome:
+    def outcome(self):
+        return Outcome(
+            registers={(0, "r0"): 1, (1, "r0"): 0},
+            memory={"x": 2},
+            committed=frozenset({(0, 0)}),
+            aborted=frozenset({(1, 0)}),
+        )
+
+    def test_reg_eq(self):
+        o = self.outcome()
+        assert o.satisfies(RegEq(0, "r0", 1))
+        assert not o.satisfies(RegEq(0, "r0", 2))
+        assert o.satisfies(RegEq(5, "r9", 0))  # absent registers read 0
+
+    def test_mem_eq(self):
+        o = self.outcome()
+        assert o.satisfies(MemEq("x", 2))
+        assert o.satisfies(MemEq("unwritten", 0))
+
+    def test_txn_ok(self):
+        o = self.outcome()
+        assert o.satisfies(TxnOk(0, 0, ok=True))
+        assert o.satisfies(TxnOk(1, 0, ok=False))
+        assert not o.satisfies(TxnOk(0, 0, ok=False))
+
+    def test_outcome_hashable(self):
+        assert self.outcome() == self.outcome()
+        assert len({self.outcome(), self.outcome()}) == 1
+
+
+class TestLitmusTest:
+    def test_check_conjunction(self):
+        p = prog([Load("r0", "x")])
+        t = LitmusTest(
+            "t", "x86", p,
+            postcondition=(RegEq(0, "r0", 0), MemEq("x", 0)),
+        )
+        good = Outcome(registers={(0, "r0"): 0}, memory={})
+        bad = Outcome(registers={(0, "r0"): 1}, memory={})
+        assert t.check(good)
+        assert not t.check(bad)
+
+    def test_str_shows_postcondition(self):
+        p = prog([Load("r0", "x")])
+        t = LitmusTest("t", "x86", p, postcondition=(RegEq(0, "r0", 0),))
+        assert "0:r0 = 0" in str(t)

@@ -1,0 +1,130 @@
+"""Tests for the lock-elision variants beyond the paper's Table 2 rows:
+the RISC-V mapping (the paper's §9 future-work target), and the two
+fixes discussed in section 1.1 — appending a fence to ``lock()`` and
+making transactional CRs write the lock variable, with the latter's
+serialisation cost demonstrated.
+"""
+
+import pytest
+
+from repro.core.events import Label
+from repro.metatheory.lockelision import (
+    LOCK_VAR,
+    abstract_executions,
+    check_lock_elision,
+    cr_order_violated,
+    elide,
+    elision_serialisation,
+)
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def riscv_result():
+    return check_lock_elision("riscv")
+
+
+class TestRiscvMapping:
+    def test_lock_expansion_shape(self):
+        abstract = next(iter(abstract_executions()))
+        concrete = next(iter(elide(abstract, "riscv")))
+        kinds = [
+            (e.kind.value, e.loc, sorted(e.labels))
+            for e in concrete.events
+            if e.loc == LOCK_VAR or e.is_fence
+        ]
+        # lr.w.aq (acquire+exclusive read), sc.w (exclusive write), and
+        # the elided CR's plain lock read.
+        assert ("R", LOCK_VAR, [Label.ACQ, Label.EXCL]) in kinds
+        assert ("W", LOCK_VAR, [Label.EXCL]) in kinds
+
+    def test_fixed_expansion_appends_fence(self):
+        abstract = next(iter(abstract_executions()))
+        concrete = next(iter(elide(abstract, "riscv", fixed=True)))
+        fences = [
+            e.fence_kind for e in concrete.events if e.is_fence
+        ]
+        assert Label.FENCE_RW_RW in fences
+
+    def test_unlock_is_release_store(self):
+        abstract = next(iter(abstract_executions()))
+        concrete = next(iter(elide(abstract, "riscv")))
+        rel_writes = [
+            e
+            for e in concrete.events
+            if e.is_write and e.loc == LOCK_VAR and e.has(Label.REL)
+        ]
+        assert rel_writes
+
+    def test_unknown_arch_rejected(self):
+        abstract = next(iter(abstract_executions()))
+        with pytest.raises(ValueError, match="no lock-elision mapping"):
+            list(elide(abstract, "sparc"))
+
+
+class TestRiscvUnsoundness:
+    def test_elision_unsound(self, riscv_result):
+        """Example 1.1 extends to RISC-V: nothing orders the
+        store-conditional before the critical-region body."""
+        assert not riscv_result.sound
+        assert riscv_result.counterexample is not None
+
+    def test_counterexample_shape(self, riscv_result):
+        abstract, concrete = riscv_result.counterexample
+        assert cr_order_violated(abstract)
+        assert get_model("riscv").consistent(concrete)
+        assert len(concrete.txns) == 1  # the elided CR
+
+    def test_fence_fix_restores_soundness(self):
+        result = check_lock_elision("riscv", fixed=True)
+        assert result.sound
+        assert result.exhausted
+
+    def test_summary_strings(self, riscv_result):
+        assert "UNSOUND" in riscv_result.summary()
+        assert "riscv" in riscv_result.summary()
+
+
+class TestWriteToLockFix:
+    def test_armv8_write_to_lock_is_sound(self):
+        result = check_lock_elision("armv8", txn_writes_lock=True)
+        assert result.sound
+        assert result.exhausted
+
+    def test_riscv_write_to_lock_is_sound(self):
+        result = check_lock_elision("riscv", txn_writes_lock=True)
+        assert result.sound
+
+    def test_elided_write_present(self):
+        abstract = next(iter(abstract_executions()))
+        concrete = next(
+            iter(elide(abstract, "armv8", txn_writes_lock=True))
+        )
+        txn_events = {e for txn in concrete.txns for e in txn.events}
+        in_txn_lock_writes = [
+            eid
+            for eid in txn_events
+            if concrete.events[eid].is_write
+            and concrete.events[eid].loc == LOCK_VAR
+        ]
+        assert in_txn_lock_writes
+
+    def test_read_only_elision_has_no_elided_write(self):
+        abstract = next(iter(abstract_executions()))
+        concrete = next(iter(elide(abstract, "armv8")))
+        txn_events = {e for txn in concrete.txns for e in txn.events}
+        assert not any(
+            concrete.events[eid].is_write
+            and concrete.events[eid].loc == LOCK_VAR
+            for eid in txn_events
+        )
+
+
+class TestSerialisationCost:
+    def test_read_only_elision_keeps_crs_independent(self):
+        assert elision_serialisation(txn_writes_lock=False) is False
+
+    def test_write_to_lock_serialises(self):
+        """The paper's trade-off: writing the lock 'would induce
+        serialisation, and thus nullify the potential speedup'."""
+        assert elision_serialisation(txn_writes_lock=True) is True

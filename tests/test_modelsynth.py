@@ -1,0 +1,229 @@
+"""Tests for MemSynth-style model synthesis (paper §9 related work).
+
+The flagship checks: the synthesizer recovers TSO's preserved program
+order from classic-shape verdicts, and recovers the paper's TM axiom
+story — TxnOrder alone explains the transactional corpus, reproducing
+the paper's remark that TxnOrder subsumes StrongIsol.
+"""
+
+import pytest
+
+from repro.catalog import CATALOG
+from repro.models.registry import get_model
+from repro.synth.diy import Cycle, classic, cycle_execution
+from repro.synth.modelsynth import (
+    DEP_HOLES,
+    PPO_HOLES,
+    TM_HOLES,
+    Example,
+    ModelParams,
+    SketchModel,
+    SynthesisOutcome,
+    synthesize_model,
+)
+
+
+def x86_corpus() -> list[Example]:
+    x86 = get_model("x86")
+    corpus = []
+    for name in ("sb", "mp", "lb", "iriw", "2+2w", "wrc"):
+        x = classic(name)
+        corpus.append(Example(x, x86.consistent(x), name))
+    corpus.append(
+        Example(
+            cycle_execution(Cycle.of("MFencedWR", "Fre", "MFencedWR", "Fre")),
+            False,
+            "sb+mfence",
+        )
+    )
+    return corpus
+
+
+def txn_corpus() -> list[Example]:
+    corpus = x86_corpus()
+    corpus.append(
+        Example(
+            cycle_execution(Cycle.of("TxndWR", "Fre", "TxndWR", "Fre")),
+            False,
+            "sb-txn",
+        )
+    )
+    for name in (
+        "fig2",
+        "fig3a",
+        "fig3b",
+        "fig3c",
+        "fig3d",
+        "rmw_split",
+        "sb_txn_both",
+        "sb_txn_one",
+        "mp_txn_both",
+        "txn_reads_own_write",
+    ):
+        entry = CATALOG[name]
+        if "x86" in entry.expected:
+            corpus.append(
+                Example(entry.execution, entry.expected["x86"], name)
+            )
+    return corpus
+
+
+class TestModelParams:
+    def test_unknown_holes_rejected(self):
+        with pytest.raises(ValueError, match="unknown ppo holes"):
+            ModelParams(ppo=frozenset({"XX"}))
+        with pytest.raises(ValueError, match="unknown tm holes"):
+            ModelParams(tm=frozenset({"magic"}))
+
+    def test_ordering(self):
+        weak = ModelParams(ppo=frozenset({"WW"}))
+        strong = ModelParams(ppo=frozenset({"WW", "RR"}))
+        assert weak <= strong
+        assert not strong <= weak
+
+    def test_size_and_describe(self):
+        params = ModelParams(
+            ppo=frozenset({"WW"}), fences=frozenset({"mfence"})
+        )
+        assert params.size == 2
+        assert "ppo={WW}" in params.describe()
+
+
+class TestSketchModel:
+    def test_monotone_in_parameters(self):
+        """Adding holes can only forbid more executions."""
+        weak = SketchModel(ModelParams())
+        strong = SketchModel(
+            ModelParams(
+                ppo=frozenset(PPO_HOLES), deps=frozenset(DEP_HOLES)
+            )
+        )
+        for name in ("sb", "mp", "lb", "iriw"):
+            x = classic(name)
+            if strong.consistent(x):
+                assert weak.consistent(x)
+
+    def test_empty_sketch_is_weak(self):
+        model = SketchModel(ModelParams())
+        assert model.consistent(classic("mp"))
+        assert model.consistent(classic("sb"))
+
+    def test_coherence_always_on(self):
+        from repro.core.builder import ExecutionBuilder
+
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t0.write("x")
+        ra = t1.read("x")
+        rb = t1.read("x")
+        b.rf(w2, ra)
+        b.rf(w1, rb)
+        assert not SketchModel(ModelParams()).consistent(b.build())
+
+    def test_tm_axiom_names(self):
+        model = SketchModel(ModelParams(tm=frozenset(TM_HOLES)))
+        names = [a.name for a in model.axioms()]
+        assert "StrongIsol" in names and "TxnOrder" in names
+        assert "TxnCancelsRMW" in names
+
+
+class TestTsoRecovery:
+    @pytest.fixture(scope="class")
+    def outcome(self) -> SynthesisOutcome:
+        return synthesize_model(x86_corpus(), include_tm=False)
+
+    def test_satisfiable(self, outcome):
+        assert outcome.satisfiable
+        assert outcome.candidates_tried == 256  # 2^4 ppo × 2^3 deps × 2 fence
+
+    def test_unique_weakest_is_tso(self, outcome):
+        assert len(outcome.weakest) == 1
+        params = outcome.weakest[0]
+        assert params.ppo == {"WW", "RW", "RR"}  # everything but W->R
+        assert params.fences == {"mfence"}
+        assert params.deps == frozenset()
+        assert params.tm == frozenset()
+
+    def test_every_consistent_sketch_extends_the_weakest(self, outcome):
+        weakest = outcome.weakest[0]
+        for params in outcome.consistent:
+            assert weakest.ppo <= params.ppo
+            assert weakest.fences <= params.fences
+
+    def test_recovered_model_agrees_with_x86_on_corpus(self, outcome):
+        model = SketchModel(outcome.weakest[0])
+        for example in x86_corpus():
+            assert model.consistent(example.execution) == example.allowed
+
+
+class TestTmRecovery:
+    @pytest.fixture(scope="class")
+    def outcome(self) -> SynthesisOutcome:
+        return synthesize_model(txn_corpus())
+
+    def test_satisfiable(self, outcome):
+        assert outcome.satisfiable
+
+    def test_txn_order_subsumes_strong_isol(self, outcome):
+        """The weakest TM hole set is {txn_order} alone — the paper's
+        'TxnOrder subsumes the StrongIsol axiom' (section 3.4)."""
+        tm_sets = {params.tm for params in outcome.weakest}
+        assert frozenset({"txn_order"}) in tm_sets
+        # No weakest solution needs strong_isol *in addition to*
+        # txn_order.
+        for params in outcome.weakest:
+            assert not {"txn_order", "strong_isol"} <= params.tm
+
+    def test_base_holes_still_tso(self, outcome):
+        for params in outcome.weakest:
+            assert params.ppo == {"WW", "RW", "RR"}
+
+
+class TestConflicts:
+    def test_contradictory_corpus_unsat(self):
+        x = classic("sb")
+        corpus = [Example(x, True, "yes"), Example(x, False, "no")]
+        outcome = synthesize_model(corpus, include_tm=False)
+        assert not outcome.satisfiable
+
+    def test_conflict_witness_for_unreachable_forbid(self):
+        # MP forbidden is fine; MP allowed together with a shape that
+        # needs the same ppo bits is not expressible... simplest direct
+        # witness: forbid something even the strongest sketch allows.
+        from repro.core.builder import ExecutionBuilder
+
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        t0.write("x")
+        trivial = b.build()
+        outcome = synthesize_model([Example(trivial, False, "trivial")])
+        assert not outcome.satisfiable
+        assert outcome.conflict is not None
+        assert outcome.conflict.name == "trivial"
+
+    def test_conflict_witness_for_coherence_violation(self):
+        from repro.core.builder import ExecutionBuilder
+
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t0.write("x")
+        ra = t1.read("x")
+        rb = t1.read("x")
+        b.rf(w2, ra)
+        b.rf(w1, rb)
+        outcome = synthesize_model([Example(b.build(), True, "corr")])
+        assert not outcome.satisfiable
+        assert outcome.conflict is not None
+
+    def test_sketch_expressiveness_boundary(self):
+        """The Fig. 10 lock-elision execution needs LOCK'd-RMW implied
+        fences, which the sketch has no hole for: adding it with its
+        x86 verdict makes the corpus unsatisfiable.  (MemSynth reports
+        the same phenomenon: synthesis is relative to the sketch.)"""
+        entry = CATALOG["armv8_lock_elision"]
+        corpus = txn_corpus() + [
+            Example(entry.execution, entry.expected["x86"], "lock-elision")
+        ]
+        assert not synthesize_model(corpus).satisfiable

@@ -1,0 +1,75 @@
+"""Tests for the simulated hardware oracles."""
+
+import pytest
+
+from repro.catalog import CATALOG
+from repro.litmus.from_execution import to_litmus
+from repro.sim.oracle import (
+    ArmRtl,
+    BuggyRtlArm,
+    HardwareOracle,
+    PowerHardware,
+    X86Hardware,
+    get_oracle,
+)
+
+
+def t(name, arch):
+    return to_litmus(CATALOG[name].execution, name, arch)
+
+
+class TestPowerOracle:
+    def test_lb_never_observed(self):
+        """Real POWER8 parts never exhibit load buffering (§5.3)."""
+        oracle = PowerHardware()
+        assert not oracle.observable(t("lb", "power"))
+
+    def test_mp_observed(self):
+        assert PowerHardware().observable(t("mp", "power"))
+
+    def test_forbidden_tests_not_observed(self):
+        oracle = PowerHardware()
+        for name in ("power_exec1", "power_exec2", "power_exec3", "fig2"):
+            assert not oracle.observable(t(name, "power")), name
+
+    def test_allowed_non_lb_observed(self):
+        oracle = PowerHardware()
+        for name in ("sb", "wrc_deps", "iriw_addrs", "power_exec3_one_txn"):
+            assert oracle.observable(t(name, "power")), name
+
+
+class TestArmRtl:
+    def test_buggy_rtl_violates_txn_order(self):
+        """§6.2: the RTL prototype bug is a TxnOrder violation."""
+        test = t("mp_dmb_txn_reader", "armv8")
+        assert BuggyRtlArm().observable(test)
+        assert not ArmRtl().observable(test)
+
+    def test_buggy_rtl_respects_other_axioms(self):
+        # Shapes forbidden by Coherence/StrongIsol stay unobservable.
+        for name in ("corr", "fig3a", "fig2"):
+            assert not BuggyRtlArm().observable(t(name, "armv8")), name
+
+
+class TestX86Hardware:
+    def test_runs_programs(self):
+        assert X86Hardware().observable(t("sb", "x86"))
+        assert not X86Hardware().observable(t("sb_mfence", "x86"))
+
+    def test_rejects_foreign_fences(self):
+        with pytest.raises(ValueError):
+            X86Hardware().observable(t("sb_sync", "x86"))
+
+
+class TestRegistry:
+    def test_get_oracle(self):
+        assert isinstance(get_oracle("x86"), X86Hardware)
+        assert isinstance(get_oracle("power"), PowerHardware)
+        assert isinstance(get_oracle("armv8"), ArmRtl)
+        assert isinstance(get_oracle("armv8", buggy_rtl=True), BuggyRtlArm)
+        with pytest.raises(ValueError):
+            get_oracle("sparc")
+
+    def test_base_class_abstract(self):
+        with pytest.raises(NotImplementedError):
+            HardwareOracle().observable(None)

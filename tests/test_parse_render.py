@@ -1,0 +1,158 @@
+"""Tests for the neutral-format parser and the per-arch renderers."""
+
+import pytest
+
+from repro.catalog import CATALOG
+from repro.litmus.from_execution import to_litmus
+from repro.litmus.parse import ParseError, dumps, loads
+from repro.litmus.program import CtrlBranch, Fence, Load, Store, TxBegin, TxEnd
+from repro.litmus.render import (
+    render,
+    render_armv8,
+    render_cpp,
+    render_power,
+    render_x86,
+)
+from repro.litmus.test import MemEq, RegEq, TxnOk
+
+SAMPLE = '''
+litmus "sb+txn" x86
+init x=0 y=0
+thread
+  txbegin
+  store x 1
+  load r0 y
+  txend
+thread
+  store y 1
+  load r0 x
+exists 0:r0=0 & 1:r0=0 & txn(0,0)=ok & x=1
+'''
+
+
+class TestParser:
+    def test_parse_sample(self):
+        t = loads(SAMPLE)
+        assert t.name == "sb+txn"
+        assert t.arch == "x86"
+        assert t.init == {"x": 0, "y": 0}
+        assert len(t.program.threads) == 2
+        assert isinstance(t.program.threads[0][0], TxBegin)
+        assert t.postcondition[0] == RegEq(0, "r0", 0)
+        assert t.postcondition[2] == TxnOk(0, 0, True)
+        assert t.postcondition[3] == MemEq("x", 1)
+
+    def test_parse_options(self):
+        t = loads(
+            'litmus "t" armv8\n'
+            "thread\n"
+            "  load r0 x acq\n"
+            "  store y 1 rel data=r0\n"
+            "  fence dmb\n"
+            "  branch r0\n"
+            "  load r1 z addr=r0 excl\n"
+        )
+        load0 = t.program.threads[0][0]
+        store = t.program.threads[0][1]
+        assert "acq" in load0.labels
+        assert store.data_dep == ("r0",)
+        assert isinstance(t.program.threads[0][2], Fence)
+        assert isinstance(t.program.threads[0][3], CtrlBranch)
+        assert t.program.threads[0][4].excl
+
+    def test_parse_atomic_txn(self):
+        t = loads('litmus "t" cpp\nthread\n  txbegin atomic\n  store x 1\n  txend\n')
+        assert t.program.threads[0][0].atomic
+
+    def test_comments_and_blank_lines(self):
+        t = loads('litmus "t" x86\n\n# comment\nthread\n  store x 1  # trailing\n')
+        assert len(t.program.threads[0]) == 1
+
+    def test_missing_header(self):
+        with pytest.raises(ParseError, match="header"):
+            loads("thread\n  store x 1\n")
+
+    def test_instruction_outside_thread(self):
+        with pytest.raises(ParseError, match="outside"):
+            loads('litmus "t" x86\nstore x 1\n')
+
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError, match="unknown instruction"):
+            loads('litmus "t" x86\nthread\n  frobnicate x\n')
+
+    def test_bad_atom(self):
+        with pytest.raises(ParseError, match="bad postcondition"):
+            loads('litmus "t" x86\nthread\n  store x 1\nexists wat\n')
+
+    def test_roundtrip(self):
+        t = loads(SAMPLE)
+        assert loads(dumps(t)).program == t.program
+
+
+class TestRenderers:
+    def fig2(self, arch):
+        return to_litmus(CATALOG["fig2"].execution, "fig2", arch)
+
+    def test_x86_tsx_mnemonics(self):
+        text = render_x86(self.fig2("x86"))
+        assert "XBEGIN" in text and "XEND" in text
+        assert "MOV [x" in text
+        assert "exists" in text
+
+    def test_power_mnemonics(self):
+        text = render_power(self.fig2("power"))
+        assert "tbegin." in text and "tend." in text
+        assert "stw" in text and "lwz" in text
+
+    def test_armv8_mnemonics(self):
+        text = render_armv8(self.fig2("armv8"))
+        assert "TXBEGIN" in text and "TXEND" in text
+        assert "STR" in text and "LDR" in text
+
+    def test_armv8_acquire_release(self):
+        test = to_litmus(CATALOG["mp_rel_acq"].execution, "mp", "armv8")
+        text = render_armv8(test)
+        assert "LDAR" in text and "STLR" in text
+
+    def test_armv8_exclusives(self):
+        test = to_litmus(
+            CATALOG["armv8_lock_elision"].execution, "ex", "armv8"
+        )
+        text = render_armv8(test)
+        assert "LDAXR" in text and "STXR" in text
+
+    def test_power_fences_and_deps(self):
+        test = to_litmus(CATALOG["wrc_sync"].execution, "wrc", "power")
+        text = render_power(test)
+        assert "sync" in text
+        assert "xor" in text  # the addr dep
+
+    def test_x86_mfence(self):
+        test = to_litmus(CATALOG["sb_mfence"].execution, "sb", "x86")
+        assert "MFENCE" in render_x86(test)
+
+    def test_cpp_rendering(self):
+        test = to_litmus(CATALOG["cpp_mp_rel_acq"].execution, "mp", "cpp")
+        text = render_cpp(test)
+        assert "std::atomic<int>" in text
+        assert "memory_order_release" in text
+        assert "memory_order_acquire" in text
+
+    def test_cpp_transactions(self):
+        test = to_litmus(CATALOG["cpp_tsw_cycle"].execution, "t", "cpp")
+        text = render_cpp(test)
+        assert "synchronized {" in text
+
+    def test_cpp_atomic_transaction(self):
+        test = to_litmus(CATALOG["cpp_txn_serialise"].execution, "t", "cpp")
+        assert "atomic {" in render_cpp(test)
+
+    def test_dispatch(self):
+        assert "X86" in render(self.fig2("x86"))
+        with pytest.raises(ValueError):
+            render(to_litmus(CATALOG["fig1"].execution, "f", "vax"))
+
+    def test_data_dep_rendered_as_xor_chain(self):
+        test = to_litmus(CATALOG["lb_deps"].execution, "lb", "armv8")
+        text = render_armv8(test)
+        assert "EOR" in text and "ADD" in text

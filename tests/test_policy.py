@@ -1,0 +1,173 @@
+"""Unit tests for the commit-ordering policies of the weak machine."""
+
+import pytest
+
+from repro.core.events import Label
+from repro.litmus.program import (
+    CtrlBranch,
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxBegin,
+    TxEnd,
+)
+from repro.sim.policy import POLICIES, blocking_matrix, get_policy
+
+
+def matrix_for(thread, arch):
+    program = Program((tuple(thread),))
+    return blocking_matrix(program, get_policy(arch))[0]
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        assert set(POLICIES) == {"power", "armv8", "riscv", "sc"}
+
+    def test_unknown_arch(self):
+        with pytest.raises(ValueError, match="no commit policy"):
+            get_policy("vax")
+
+    def test_mca_flags(self):
+        assert not get_policy("power").mca
+        assert get_policy("armv8").mca
+        assert get_policy("riscv").mca
+        assert get_policy("sc").mca
+
+    def test_supported_fences(self):
+        assert Label.SYNC in get_policy("power").supported_fences
+        assert Label.DMB_LD in get_policy("armv8").supported_fences
+        assert Label.FENCE_TSO in get_policy("riscv").supported_fences
+        assert Label.DMB not in get_policy("power").supported_fences
+
+
+class TestDirectRules:
+    def test_plain_accesses_unordered(self):
+        rows = matrix_for([Store("x", 1), Load("r0", "y")], "power")
+        assert rows[1] == frozenset()
+
+    def test_same_location_ordered(self):
+        rows = matrix_for([Store("x", 1), Load("r0", "x")], "power")
+        assert rows[1] == {0}
+
+    def test_address_dependency_ordered(self):
+        rows = matrix_for(
+            [Load("r0", "x"), Load("r1", "y", addr_dep=("r0",))], "power"
+        )
+        assert rows[1] == {0}
+
+    def test_data_dependency_ordered(self):
+        rows = matrix_for(
+            [Load("r0", "x"), Store("y", 1, data_dep=("r0",))], "armv8"
+        )
+        assert rows[1] == {0}
+
+    def test_ctrl_dependency_orders_store_not_load(self):
+        thread = [
+            Load("r0", "x"),
+            CtrlBranch(("r0",)),
+            Load("r1", "y"),
+            Store("z", 1),
+        ]
+        rows = matrix_for(thread, "armv8")
+        assert rows[1] == {0}  # branch waits for its register
+        assert 1 not in rows[2]  # later load may speculate past the branch
+        assert 1 in rows[3]  # the store may not
+
+    def test_acquire_blocks_all_on_armv8(self):
+        rows = matrix_for(
+            [Load("r0", "x", labels={Label.ACQ}), Load("r1", "y")], "armv8"
+        )
+        assert rows[1] == {0}
+
+    def test_release_waits_all_on_armv8(self):
+        rows = matrix_for(
+            [Load("r0", "x"), Store("y", 1, labels={Label.REL})], "armv8"
+        )
+        assert rows[1] == {0}
+
+    def test_power_ignores_acq_rel_labels(self):
+        rows = matrix_for(
+            [Load("r0", "x", labels={Label.ACQ}), Load("r1", "y")], "power"
+        )
+        assert rows[1] == frozenset()
+
+    def test_txn_brackets_are_barriers(self):
+        thread = [Store("x", 1), TxBegin(), Load("r0", "y"), TxEnd()]
+        rows = matrix_for(thread, "armv8")
+        assert rows[1] == {0}
+        assert 1 in rows[2]
+        assert rows[3] >= {1, 2}
+
+
+class TestFenceRules:
+    def _sb_thread(self, kind):
+        return [Store("x", 1), Fence(kind), Load("r0", "y")]
+
+    def test_sync_orders_store_load(self):
+        rows = matrix_for(self._sb_thread(Label.SYNC), "power")
+        assert 0 in rows[2]
+
+    def test_lwsync_relaxes_store_load(self):
+        rows = matrix_for(self._sb_thread(Label.LWSYNC), "power")
+        assert 0 not in rows[2]  # W -> R free through lwsync
+        assert 1 not in rows[2]  # ... and the fence does not block loads
+
+    def test_lwsync_orders_loads(self):
+        thread = [Load("r0", "x"), Fence(Label.LWSYNC), Load("r1", "y")]
+        rows = matrix_for(thread, "power")
+        assert 0 in rows[2]
+
+    def test_lwsync_orders_stores(self):
+        thread = [Store("x", 1), Fence(Label.LWSYNC), Store("y", 1)]
+        rows = matrix_for(thread, "power")
+        assert 0 in rows[2]
+
+    def test_dmb_full_barrier(self):
+        rows = matrix_for(self._sb_thread(Label.DMB), "armv8")
+        assert 0 in rows[2]
+
+    def test_dmb_ld_orders_loads_before_everything(self):
+        thread = [Load("r0", "x"), Fence(Label.DMB_LD), Store("y", 1)]
+        rows = matrix_for(thread, "armv8")
+        assert 0 in rows[2]
+
+    def test_dmb_ld_ignores_stores(self):
+        thread = [Store("x", 1), Fence(Label.DMB_LD), Load("r0", "y")]
+        rows = matrix_for(thread, "armv8")
+        assert 0 not in rows[2]
+
+    def test_dmb_st_orders_stores_only(self):
+        thread = [Store("x", 1), Fence(Label.DMB_ST), Store("y", 1)]
+        rows = matrix_for(thread, "armv8")
+        assert 0 in rows[2]
+        thread2 = [Store("x", 1), Fence(Label.DMB_ST), Load("r0", "y")]
+        rows2 = matrix_for(thread2, "armv8")
+        assert 0 not in rows2[2]
+
+    def test_fence_tso_orders_rr_and_ww_not_wr(self):
+        policy = get_policy("riscv")
+        load, store = Load("r", "x"), Store("y", 1)
+        assert policy.fence_orders(Label.FENCE_TSO, load, load)
+        assert policy.fence_orders(Label.FENCE_TSO, load, store)
+        assert policy.fence_orders(Label.FENCE_TSO, store, store)
+        assert not policy.fence_orders(Label.FENCE_TSO, store, load)
+
+    def test_isync_conservative(self):
+        thread = [Load("r0", "x"), Fence(Label.ISYNC), Load("r1", "y")]
+        rows = matrix_for(thread, "power")
+        assert 0 in rows[2]
+
+    def test_fences_commit_in_order(self):
+        thread = [Fence(Label.LWSYNC), Fence(Label.SYNC)]
+        rows = matrix_for(thread, "power")
+        assert rows[1] == {0}
+
+
+class TestScPolicy:
+    def test_strict_program_order(self):
+        thread = [Store("x", 1), Load("r0", "y"), Store("z", 1)]
+        rows = matrix_for(thread, "sc")
+        assert rows[0] == frozenset()
+        assert rows[1] == {0}
+        assert rows[2] == {0, 1}

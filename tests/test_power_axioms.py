@@ -1,0 +1,175 @@
+"""Axiom-level tests for the Power model (Fig. 6)."""
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.models.power import Power
+
+
+def failed(x):
+    return Power().failed_axioms(x)
+
+
+class TestOrderAndFences:
+    def test_mp_allowed_without_fences(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        wy = t0.write("y")
+        ry = t1.read("y")
+        rx = t1.read("x")
+        b.rf(wy, ry)
+        assert Power().consistent(b.build())
+
+    def test_mp_lwsync_addr_forbidden(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        t0.fence(Label.LWSYNC)
+        wy = t0.write("y")
+        ry = t1.read("y")
+        rx = t1.read("x")
+        b.rf(wy, ry)
+        b.addr(ry, rx)
+        # herding-cats rejects MP+lwsync+addr through Observation: the
+        # lwsync puts (wx, wy) into prop, and fre(rx, wx); prop; hb*
+        # becomes reflexive at rx.
+        assert "Observation" in failed(b.build())
+
+    def test_lwsync_does_not_order_w_to_r(self):
+        # SB+lwsyncs stays allowed: lwsync \ (W×R).
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.write("x")
+        t0.fence(Label.LWSYNC)
+        t0.read("y")
+        t1.write("y")
+        t1.fence(Label.LWSYNC)
+        t1.read("x")
+        assert Power().consistent(b.build())
+
+    def test_sync_orders_w_to_r(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.write("x")
+        t0.fence(Label.SYNC)
+        t0.read("y")
+        t1.write("y")
+        t1.fence(Label.SYNC)
+        t1.read("x")
+        assert not Power().consistent(b.build())
+
+
+class TestPropagationObservation:
+    def test_iriw_syncs_forbidden(self):
+        b = ExecutionBuilder()
+        t0, t1, t2, t3 = b.thread(), b.thread(), b.thread(), b.thread()
+        wx = t0.write("x")
+        r1 = t1.read("x")
+        t1.fence(Label.SYNC)
+        r2 = t1.read("y")
+        r3 = t2.read("y")
+        t2.fence(Label.SYNC)
+        r4 = t2.read("x")
+        wy = t3.write("y")
+        b.rf(wx, r1)
+        b.rf(wy, r3)
+        x = b.build()
+        assert not Power().consistent(x)
+
+    def test_wrc_sync_forbidden_observation(self):
+        b = ExecutionBuilder()
+        t0, t1, t2 = b.thread(), b.thread(), b.thread()
+        wx = t0.write("x")
+        r1 = t1.read("x")
+        t1.fence(Label.SYNC)
+        wy = t1.write("y")
+        ry = t2.read("y")
+        rx = t2.read("x")
+        b.rf(wx, r1)
+        b.rf(wy, ry)
+        b.addr(ry, rx)
+        assert "Observation" in failed(b.build())
+
+    def test_wrc_deps_only_allowed(self):
+        # Non-multicopy-atomicity: without the sync, WRC is allowed.
+        b = ExecutionBuilder()
+        t0, t1, t2 = b.thread(), b.thread(), b.thread()
+        wx = t0.write("x")
+        r1 = t1.read("x")
+        wy = t1.write("y")
+        ry = t2.read("y")
+        rx = t2.read("x")
+        b.rf(wx, r1)
+        b.rf(wy, ry)
+        b.data(r1, wy)
+        b.addr(ry, rx)
+        assert Power().consistent(b.build())
+
+
+class TestTxnAxioms:
+    def test_tprop1_integrated_barrier(self):
+        # §5.2 execution (1): a write observed by a txn propagates before
+        # the txn's own writes.
+        from repro.catalog import CATALOG
+
+        verdict = Power().check(CATALOG["power_exec1"].execution)
+        assert any(r.name == "Observation" for r in verdict.failures)
+
+    def test_tprop2_multicopy_atomic_txn_writes(self):
+        from repro.catalog import CATALOG
+
+        verdict = Power().check(CATALOG["power_exec2"].execution)
+        assert any(r.name == "Observation" for r in verdict.failures)
+
+    def test_thb_serialisation(self):
+        from repro.catalog import CATALOG
+
+        verdict = Power().check(CATALOG["power_exec3"].execution)
+        assert any(r.name == "Order" for r in verdict.failures)
+
+    def test_txn_cancels_rmw_entering(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b.rmw(r, w)
+        b.txn([w])  # the write half alone is transactional
+        assert failed(b.build()) == ["TxnCancelsRMW"]
+
+    def test_txn_cancels_rmw_exiting(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b.rmw(r, w)
+        b.txn([r])  # the read half alone is transactional
+        assert failed(b.build()) == ["TxnCancelsRMW"]
+
+    def test_rmw_inside_txn_fine(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b.rmw(r, w)
+        b.txn([r, w])
+        assert Power().consistent(b.build())
+
+    def test_tfence_acts_as_sync(self):
+        # MP with the writer's writes split around a txn boundary: the
+        # tbegin barrier orders them like a sync.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        wy = t0.write("y")
+        ry = t1.read("y")
+        rx = t1.read("x")
+        b.txn([wy])  # tfence between wx and wy
+        b.rf(wy, ry)
+        b.addr(ry, rx)
+        assert not Power().consistent(b.build())
+
+    def test_read_only_txn_remark51_permissive(self):
+        from repro.catalog import CATALOG
+
+        assert Power().consistent(CATALOG["remark51a"].execution)
+        assert Power().consistent(CATALOG["remark51b"].execution)

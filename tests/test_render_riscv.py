@@ -1,0 +1,108 @@
+"""Tests for the RISC-V litmus renderer."""
+
+import pytest
+
+from repro.catalog import CATALOG
+from repro.core.events import Label
+from repro.litmus.from_execution import to_litmus
+from repro.litmus.program import (
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from repro.litmus.render import render, render_riscv
+from repro.litmus.test import LitmusTest
+
+
+def _render(prog: Program) -> str:
+    return render_riscv(LitmusTest("t", "riscv", prog, ()))
+
+
+class TestInstructions:
+    def test_plain_load_store(self):
+        text = _render(Program(((Load("r0", "x"), Store("y", 1)),)))
+        assert "lw x5,0(x)" in text
+        assert "li x28,1" in text and "sw x28,0(y)" in text
+
+    def test_fence_flavours(self):
+        for kind, mnemonic in [
+            (Label.FENCE_RW_RW, "fence rw,rw"),
+            (Label.FENCE_R_RW, "fence r,rw"),
+            (Label.FENCE_RW_W, "fence rw,w"),
+            (Label.FENCE_TSO, "fence.tso"),
+        ]:
+            text = _render(
+                Program(((Store("x", 1), Fence(kind), Store("y", 1)),))
+            )
+            assert mnemonic in text
+
+    def test_exclusive_pair(self):
+        prog = Program(
+            (
+                (
+                    Load("r0", "m", labels={Label.ACQ}, excl=True),
+                    Store("m", 1, excl=True),
+                ),
+            )
+        )
+        text = _render(prog)
+        assert "lr.w.aq" in text
+        assert "sc.w" in text
+
+    def test_release_store_uses_amoswap(self):
+        text = _render(Program(((Store("x", 1, labels={Label.REL}),),)))
+        assert "amoswap.w.rl" in text
+
+    def test_acquire_load_uses_amoor(self):
+        text = _render(Program(((Load("r0", "x", labels={Label.ACQ}),),)))
+        assert "amoor.w.aq" in text
+
+    def test_transaction_brackets(self):
+        prog = Program(
+            ((TxBegin(), Store("x", 1), TxEnd()),)
+        )
+        text = _render(prog)
+        assert "tx.begin fail0" in text
+        assert "tx.end" in text
+
+    def test_conditional_abort(self):
+        prog = Program(
+            ((TxBegin(), Load("r0", "m"), TxAbort("r0"), TxEnd()),)
+        )
+        text = _render(prog)
+        assert "beqz x5,L0" in text
+        assert "tx.abort" in text
+
+    def test_data_dependency_via_xor(self):
+        prog = Program(
+            ((Load("r0", "x"), Store("y", 1, data_dep=("r0",))),)
+        )
+        text = _render(prog)
+        assert "xor" in text and "addi" in text
+
+    def test_address_dependency(self):
+        prog = Program(
+            ((Load("r0", "x"), Load("r1", "y", addr_dep=("r0",))),)
+        )
+        text = _render(prog)
+        assert "xor" in text and "add " in text
+
+
+class TestDispatch:
+    def test_render_dispatches_riscv(self):
+        test = to_litmus(CATALOG["mp"].execution, "mp", "riscv")
+        text = render(test)
+        assert text.startswith("RISCV mp")
+        assert "exists" in text
+
+    def test_synthesized_tests_render(self):
+        from repro.synth.synthesis import synthesize
+
+        result = synthesize("riscv", 2, time_budget=30.0)
+        for x in result.forbid:
+            text = render(to_litmus(x, "f", "riscv"))
+            assert "RISCV" in text

@@ -1,0 +1,421 @@
+"""Tests for the RISC-V RVWMO model and its TM extension.
+
+The paper names RISC-V as a future target of its methodology (section 9);
+these tests pin down the baseline RVWMO behaviours on the classic litmus
+shapes, the TM axioms added by the paper's recipe, and the agreement
+between the native model and ``riscvtm.cat``.
+"""
+
+import pytest
+
+from repro.cat import load_cat_model
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.models.registry import get_model
+from repro.models.riscv import RiscV, riscv_ppo
+from repro.synth.generate import EnumerationSpace, enumerate_executions
+
+
+@pytest.fixture(scope="module")
+def riscv():
+    return get_model("riscv")
+
+
+@pytest.fixture(scope="module")
+def riscv_notm():
+    return get_model("riscv", tm=False)
+
+
+def sb(fence: str | None = None, txns: bool = False):
+    """Store buffering, optionally fenced or fully transactional."""
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    a = t0.write("x")
+    if fence:
+        t0.fence(fence)
+    r0 = t0.read("y")
+    c = t1.write("y")
+    if fence:
+        t1.fence(fence)
+    r1 = t1.read("x")
+    if txns:
+        b.txn([a, r0])
+        b.txn([c, r1])
+    return b.build()
+
+
+def mp(*, writer_fence=None, reader_fence=None, rel_acq=False, addr_dep=False):
+    """Message passing with the stale-read outcome."""
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    wx = t0.write("x")
+    if writer_fence:
+        t0.fence(writer_fence)
+    wy = t0.rel_write("y") if rel_acq else t0.write("y")
+    ry = t1.acq_read("y") if rel_acq else t1.read("y")
+    if reader_fence:
+        t1.fence(reader_fence)
+    rx = t1.read("x")
+    if addr_dep:
+        b.addr(ry, rx)
+    b.rf(wy, ry)
+    return b.build()
+
+
+class TestBaselineClassics:
+    def test_sb_allowed(self, riscv):
+        assert riscv.consistent(sb())
+
+    def test_sb_with_full_fence_forbidden(self, riscv):
+        assert not riscv.consistent(sb(Label.FENCE_RW_RW))
+
+    def test_sb_with_rw_w_fence_still_allowed(self, riscv):
+        # fence rw,w does not order the later load.
+        assert riscv.consistent(sb(Label.FENCE_RW_W))
+
+    def test_mp_allowed_unfenced(self, riscv):
+        assert riscv.consistent(mp())
+
+    def test_mp_writer_fence_alone_insufficient(self, riscv):
+        assert riscv.consistent(mp(writer_fence=Label.FENCE_RW_W))
+
+    def test_mp_fenced_both_sides_forbidden(self, riscv):
+        assert not riscv.consistent(
+            mp(writer_fence=Label.FENCE_RW_W, reader_fence=Label.FENCE_R_RW)
+        )
+
+    def test_mp_release_acquire_forbidden(self, riscv):
+        assert not riscv.consistent(mp(rel_acq=True))
+
+    def test_mp_writer_fence_reader_addr_dep_forbidden(self, riscv):
+        assert not riscv.consistent(
+            mp(writer_fence=Label.FENCE_RW_W, addr_dep=True)
+        )
+
+    def test_fence_tso_forbids_mp(self, riscv):
+        # fence.tso orders W->W on the writer and R->R on the reader.
+        assert not riscv.consistent(
+            mp(writer_fence=Label.FENCE_TSO, reader_fence=Label.FENCE_TSO)
+        )
+
+    def test_fence_tso_allows_sb(self, riscv):
+        # fence.tso does not order W->R, the TSO relaxation.
+        assert riscv.consistent(sb(Label.FENCE_TSO))
+
+    def test_lb_allowed(self, riscv):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r0 = t0.read("y")
+        w0 = t0.write("x")
+        r1 = t1.read("x")
+        w1 = t1.write("y")
+        b.rf(w0, r1)
+        b.rf(w1, r0)
+        assert riscv.consistent(b.build())
+
+    def test_lb_with_data_deps_forbidden(self, riscv):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r0 = t0.read("y")
+        w0 = t0.write("x")
+        r1 = t1.read("x")
+        w1 = t1.write("y")
+        b.rf(w0, r1)
+        b.rf(w1, r0)
+        b.data(r0, w0)
+        b.data(r1, w1)
+        assert not riscv.consistent(b.build())
+
+    def test_lb_with_ctrl_deps_forbidden(self, riscv):
+        # Rule 11: control dependencies into stores are preserved
+        # (no RVWMO analogue of the Power ctrl+isync requirement).
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r0 = t0.read("y")
+        w0 = t0.write("x")
+        r1 = t1.read("x")
+        w1 = t1.write("y")
+        b.rf(w0, r1)
+        b.rf(w1, r0)
+        b.ctrl(r0, w0)
+        b.ctrl(r1, w1)
+        assert not riscv.consistent(b.build())
+
+    def test_corr_forbidden_by_coherence(self, riscv):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        w2 = t0.write("x")
+        ra = t1.read("x")
+        rb = t1.read("x")
+        b.rf(w2, ra)
+        b.rf(w1, rb)
+        assert not riscv.consistent(b.build())
+
+    def test_iriw_plain_allowed(self, riscv):
+        assert riscv.consistent(self._iriw(fence=None))
+
+    def test_iriw_fenced_forbidden_multicopy_atomic(self, riscv):
+        assert not riscv.consistent(self._iriw(fence=Label.FENCE_RW_RW))
+
+    @staticmethod
+    def _iriw(fence):
+        b = ExecutionBuilder()
+        t0, t1, t2, t3 = (b.thread() for _ in range(4))
+        wx = t0.write("x")
+        wy = t1.write("y")
+        r0 = t2.read("x")
+        if fence:
+            t2.fence(fence)
+        r1 = t2.read("y")
+        r2 = t3.read("y")
+        if fence:
+            t3.fence(fence)
+        r3 = t3.read("x")
+        b.rf(wx, r0)
+        b.rf(wy, r2)
+        return b.build()
+
+    def test_2plus2w_allowed(self, riscv):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        a = t0.write("x")
+        bb = t0.write("y")
+        c = t1.write("y")
+        d = t1.write("x")
+        b.co(a, d)
+        b.co(c, bb)
+        assert riscv.consistent(b.build())
+
+
+class TestPpoRules:
+    def test_r1_same_address_store_ordered(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x")
+        w = t0.write("x")
+        x = b.build()
+        assert (r, w) in riscv_ppo(x)
+
+    def test_r2_same_address_loads_from_different_writes(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        ra = t0.read("x")
+        rb = t0.read("x")
+        w = t1.write("x")
+        b.rf(w, rb)
+        x = b.build()
+        assert (ra, rb) in riscv_ppo(x)
+
+    def test_r2_excludes_same_source_loads(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        ra = t0.read("x")
+        rb = t0.read("x")
+        w = t1.write("x")
+        b.rf(w, ra)
+        b.rf(w, rb)
+        x = b.build()
+        assert (ra, rb) not in riscv_ppo(x)
+
+    def test_r2_excludes_loads_with_intervening_store(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        ra = t0.read("x")
+        w = t0.write("x")
+        rb = t0.read("x")
+        b.rf(w, rb)
+        x = b.build()
+        ppo = riscv_ppo(x)
+        assert (ra, w) in ppo  # r1: same-address later store
+        # The intervening store disables r2, and a plain (non-AMO/SC)
+        # store being read locally is store-forwarding, not ppo.
+        assert (ra, rb) not in ppo
+        assert (w, rb) not in ppo
+
+    def test_r3_amo_write_read_locally(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        r2 = t0.read("x")
+        b.rmw(r, w)
+        b.rf(w, r2)
+        x = b.build()
+        assert (w, r2) in riscv_ppo(x)
+
+    def test_r5_acquire_orders_later(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.acq_read("x")
+        w = t0.write("y")
+        x = b.build()
+        assert (r, w) in riscv_ppo(x)
+
+    def test_r6_release_orders_earlier(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x")
+        w = t0.rel_write("y")
+        x = b.build()
+        assert (r, w) in riscv_ppo(x)
+
+    def test_r7_rcsc_pair(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w = t0.rel_write("x")
+        r = t0.acq_read("y")
+        x = b.build()
+        assert (w, r) in riscv_ppo(x)
+
+    def test_plain_wr_not_ordered(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w = t0.write("x")
+        r = t0.read("y")
+        x = b.build()
+        assert (w, r) not in riscv_ppo(x)
+
+    def test_r13_addr_then_po_to_store(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r = t0.read("x")
+        m = t0.read("y")
+        w = t0.write("z")
+        b.addr(r, m)
+        x = b.build()
+        assert (r, w) in riscv_ppo(x)
+
+
+class TestTmExtension:
+    def test_transactional_sb_forbidden(self, riscv):
+        assert not riscv.consistent(sb(txns=True))
+
+    def test_transactional_sb_allowed_without_tm(self, riscv_notm):
+        assert riscv_notm.consistent(sb(txns=True))
+
+    def test_one_sided_txn_sb_allowed(self, riscv):
+        # With only one side transactional there is no StrongIsol/TxnOrder
+        # cycle, and tfence materialises only on po-edges that cross a
+        # boundary — a whole-thread transaction has none.  The paper makes
+        # the analogous observation for x86/Power ("a behaviour similar to
+        # (3) but with only one write transactional was observed", §5.2).
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        a = t0.write("x")
+        r0 = t0.read("y")
+        c = t1.write("y")
+        r1 = t1.read("x")
+        b.txn([a, r0])
+        assert riscv.consistent(b.build())
+
+    def test_txn_boundary_fence_orders_sb(self, riscv):
+        # A store *before* the transaction is fenced against the
+        # transaction's read: the W->R reordering is gone.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        a = t0.write("x")
+        r0 = t0.read("y")
+        c = t1.write("y")
+        r1 = t1.read("x")
+        b.txn([r0])  # a is outside: po-edge a->r0 crosses the boundary
+        b.txn([c])   # r1 outside: po-edge c->r1 crosses the boundary
+        assert not riscv.consistent(b.build())
+
+    def test_strong_isolation_non_interference(self, riscv):
+        # Fig. 3(a): a non-transactional write intervening between a
+        # transaction's read pair.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        ra = t0.read("x")
+        rb = t0.read("x")
+        w = t1.write("x")
+        b.rf(w, rb)
+        b.txn([ra, rb])
+        assert not riscv.consistent(b.build())
+
+    def test_txn_cancels_rmw(self, riscv):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b.rmw(r, w)
+        b.txn([r])  # boundary between the two halves
+        assert not riscv.consistent(b.build())
+        assert "TxnCancelsRMW" in riscv.failed_axioms(b.build())
+
+    def test_rmw_inside_txn_fine(self, riscv):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b.rmw(r, w)
+        b.txn([r, w])
+        assert riscv.consistent(b.build())
+
+    def test_monotonicity_counterexample_shape(self, riscv):
+        """Like Power/ARMv8 (section 8.1): coalescing two transactions
+        over an RMW makes a consistent execution inconsistent."""
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b.rmw(r, w)
+        b.txn([r])
+        b.txn([w])
+        split = b.build()
+        assert not riscv.consistent(split)
+
+        b2 = ExecutionBuilder()
+        t0 = b2.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b2.rmw(r, w)
+        b2.txn([r, w])
+        merged = b2.build()
+        assert riscv.consistent(merged)
+
+
+class TestAxiomSurface:
+    def test_axiom_names(self, riscv):
+        names = [a.name for a in riscv.axioms()]
+        assert names == [
+            "Coherence",
+            "RMWIsol",
+            "Main",
+            "StrongIsol",
+            "TxnOrder",
+            "TxnCancelsRMW",
+        ]
+
+    def test_model_is_registered(self):
+        assert isinstance(get_model("riscv"), RiscV)
+
+    def test_baseline_name(self, riscv_notm):
+        assert "(no TM)" in riscv_notm.name
+
+
+class TestCatAgreement:
+    def test_cat_model_loads(self):
+        assert load_cat_model("riscv").arch == "riscv"
+
+    def test_agreement_on_enumerated_executions(self):
+        space = EnumerationSpace.for_arch(
+            "riscv", 3, max_deps=1, include_fences=False
+        )
+        cat = load_cat_model("riscv")
+        native = get_model("riscv")
+        count = 0
+        for x in enumerate_executions(space):
+            assert cat.consistent(x) == native.consistent(x), x.describe()
+            count += 1
+        assert count > 100
+
+    def test_agreement_with_fences(self):
+        space = EnumerationSpace.for_arch(
+            "riscv", 3, max_deps=0, max_rmws=0, max_txns=1
+        )
+        cat = load_cat_model("riscv")
+        native = get_model("riscv")
+        for x in enumerate_executions(space):
+            assert cat.consistent(x) == native.consistent(x), x.describe()

@@ -1,0 +1,92 @@
+"""The SC reference machine is *exactly* the SC model.
+
+For the weak machines we can only assert machine ⊆ model (they are
+deliberately conservative); the in-order, instantly-propagating SC
+machine should match the axiomatic SC model outcome-for-outcome, which
+pins down both the machine skeleton and the candidate expansion.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.litmus.candidates import all_outcomes
+from repro.litmus.program import Load, Program, Store
+from repro.litmus.test import LitmusTest
+from repro.models.registry import get_model
+from repro.sim.weakmachine import reachable_outcomes
+
+_LOCS = ("x", "y")
+
+
+def _sc_outcomes(prog: Program) -> set:
+    test = LitmusTest("sc", "sc", prog, ())
+    return all_outcomes(test, get_model("sc"))
+
+
+def _machine_outcomes(prog: Program) -> set:
+    return {o.key() for o in reachable_outcomes(prog, "sc")}
+
+
+class TestFixedPrograms:
+    def test_sb(self):
+        prog = Program(
+            (
+                (Store("x", 1), Load("r0", "y")),
+                (Store("y", 1), Load("r1", "x")),
+            )
+        )
+        assert _machine_outcomes(prog) == _sc_outcomes(prog)
+
+    def test_mp(self):
+        prog = Program(
+            (
+                (Store("x", 1), Store("y", 1)),
+                (Load("r0", "y"), Load("r1", "x")),
+            )
+        )
+        assert _machine_outcomes(prog) == _sc_outcomes(prog)
+
+    def test_coherence_chain(self):
+        prog = Program(
+            (
+                (Store("x", 1), Store("x", 2)),
+                (Load("r0", "x"), Load("r1", "x")),
+            )
+        )
+        assert _machine_outcomes(prog) == _sc_outcomes(prog)
+
+    def test_three_threads(self):
+        prog = Program(
+            (
+                (Store("x", 1),),
+                (Load("r0", "x"), Store("y", 1)),
+                (Load("r1", "y"), Load("r2", "x")),
+            )
+        )
+        assert _machine_outcomes(prog) == _sc_outcomes(prog)
+
+
+@st.composite
+def _program(draw):
+    counter = [0, 1]
+    threads = []
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        instrs = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            loc = draw(st.sampled_from(_LOCS))
+            if draw(st.booleans()):
+                instrs.append(Load(f"r{counter[0]}", loc))
+                counter[0] += 1
+            else:
+                instrs.append(Store(loc, counter[1]))
+                counter[1] += 1
+        threads.append(tuple(instrs))
+    return Program(tuple(threads))
+
+
+class TestRandomPrograms:
+    @settings(max_examples=40, deadline=None)
+    @given(prog=_program())
+    def test_machine_equals_model(self, prog):
+        assert _machine_outcomes(prog) == _sc_outcomes(prog)

@@ -1,0 +1,180 @@
+"""Tests for the operational x86-TSO + HTM machine."""
+
+import pytest
+
+from repro.catalog import CATALOG
+from repro.litmus.candidates import all_outcomes
+from repro.litmus.from_execution import to_litmus
+from repro.litmus.program import Fence, Load, Program, Store, TxBegin, TxEnd
+from repro.litmus.test import Outcome
+from repro.models.registry import get_model
+from repro.sim.tso import TsoMachine, reachable_outcomes, runnable_on_tso
+
+
+def prog(*threads):
+    return Program(tuple(tuple(t) for t in threads))
+
+
+def regs(outcomes, tid, reg):
+    return {o.registers.get((tid, reg), 0) for o in outcomes}
+
+
+class TestTsoBasics:
+    def test_store_then_load_forwarding(self):
+        # A thread must see its own buffered store.
+        outcomes = reachable_outcomes(
+            prog([Store("x", 1), Load("r0", "x")])
+        )
+        assert regs(outcomes, 0, "r0") == {1}
+
+    def test_final_memory(self):
+        outcomes = reachable_outcomes(prog([Store("x", 7)]))
+        assert all(o.memory.get("x") == 7 for o in outcomes)
+
+    def test_store_buffering_relaxation(self):
+        # SB: both threads can read 0 (the TSO hallmark).
+        outcomes = reachable_outcomes(
+            prog(
+                [Store("x", 1), Load("r0", "y")],
+                [Store("y", 1), Load("r0", "x")],
+            )
+        )
+        keys = {
+            (o.registers[(0, "r0")], o.registers[(1, "r0")]) for o in outcomes
+        }
+        assert (0, 0) in keys
+        assert (1, 1) in keys
+
+    def test_mfence_forbids_sb(self):
+        outcomes = reachable_outcomes(
+            prog(
+                [Store("x", 1), Fence("mfence"), Load("r0", "y")],
+                [Store("y", 1), Fence("mfence"), Load("r0", "x")],
+            )
+        )
+        keys = {
+            (o.registers[(0, "r0")], o.registers[(1, "r0")]) for o in outcomes
+        }
+        assert (0, 0) not in keys
+
+    def test_tso_forbids_mp(self):
+        outcomes = reachable_outcomes(
+            prog(
+                [Store("x", 1), Store("y", 1)],
+                [Load("r0", "y"), Load("r1", "x")],
+            )
+        )
+        assert all(
+            not (o.registers[(1, "r0")] == 1 and o.registers[(1, "r1")] == 0)
+            for o in outcomes
+        )
+
+    def test_locked_rmw_is_atomic(self):
+        # Two increments via LOCK'd RMW: the final value reflects both.
+        outcomes = reachable_outcomes(
+            prog(
+                [Load("r0", "x", excl=True), Store("x", 1, excl=True)],
+                [Load("r0", "x", excl=True), Store("x", 2, excl=True)],
+            )
+        )
+        for o in outcomes:
+            # One RMW read 0, the other read the first one's value.
+            assert {o.registers[(0, "r0")], o.registers[(1, "r0")]} in (
+                {0, 1},
+                {0, 2},
+            )
+
+    def test_non_x86_fence_rejected(self):
+        with pytest.raises(ValueError):
+            TsoMachine(prog([Fence("sync")]))
+        assert not runnable_on_tso(prog([Fence("dmb")]))
+
+    def test_state_explosion_guard(self):
+        threads = [
+            [Store(f"x{t}", v + 1) for v in range(3)] for t in range(3)
+        ]
+        with pytest.raises(RuntimeError):
+            TsoMachine(prog(*threads), max_states=10).explore()
+
+
+class TestHtm:
+    def test_txn_commits_atomically(self):
+        # Another thread never sees x=1 with y=0 if both written in a txn.
+        outcomes = reachable_outcomes(
+            prog(
+                [TxBegin(), Store("x", 1), Store("y", 1), TxEnd()],
+                [Load("r0", "y"), Load("r1", "x")],
+            )
+        )
+        for o in outcomes:
+            if (0, 0) in o.committed and o.registers[(1, "r0")] == 1:
+                assert o.registers[(1, "r1")] == 1
+
+    def test_conflicting_write_aborts_txn(self):
+        # The txn reads x, the other thread writes it mid-flight: some
+        # schedule aborts the transaction.
+        outcomes = reachable_outcomes(
+            prog(
+                [TxBegin(), Load("r0", "x"), Load("r1", "y"), TxEnd()],
+                [Store("x", 1)],
+            )
+        )
+        assert any(o.aborted for o in outcomes)
+        assert any(o.committed for o in outcomes)
+
+    def test_strong_isolation_nontxn_read(self):
+        # A plain load of a location in a txn write-set aborts the txn.
+        outcomes = reachable_outcomes(
+            prog(
+                [TxBegin(), Store("x", 1), Store("y", 1), TxEnd()],
+                [Load("r0", "x")],
+            )
+        )
+        # Whenever the reader saw x==0 after the txn started writing, the
+        # machine either ordered it before or aborted; in no outcome does
+        # the reader see an uncommitted intermediate value.
+        for o in outcomes:
+            if o.registers[(1, "r0")] == 1:
+                assert (0, 0) in o.committed
+
+    def test_txn_reads_own_writes(self):
+        outcomes = reachable_outcomes(
+            prog([TxBegin(), Store("x", 1), Load("r0", "x"), TxEnd()])
+        )
+        committed = [o for o in outcomes if o.committed]
+        assert committed
+        assert regs(committed, 0, "r0") == {1}
+
+    def test_aborted_txn_rolls_back(self):
+        outcomes = reachable_outcomes(
+            prog(
+                [TxBegin(), Load("r0", "x"), TxEnd()],
+                [Store("x", 5)],
+            )
+        )
+        for o in outcomes:
+            if (0, 0) in o.aborted:
+                # Rolled-back register state: r0 never holds the txn read.
+                assert o.registers.get((0, "r0"), 0) == 0
+                assert o.memory.get("x") == 5
+
+
+class TestConformance:
+    """Soundness of the machine against the axiomatic model: every
+    reachable outcome must be allowed by the x86 TM model."""
+
+    NAMES = [
+        "sb", "sb_mfence", "mp", "lb", "iriw", "2+2w", "corr",
+        "fig2", "fig3a", "fig3b", "fig3c", "fig3d",
+        "sb_txn_both", "sb_txn_one", "rmw_intervene",
+    ]
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_machine_sound_wrt_model(self, name):
+        test = to_litmus(CATALOG[name].execution, name, "x86")
+        model_outcomes = all_outcomes(test, get_model("x86"))
+        machine_outcomes = {
+            o.key() for o in TsoMachine(test.program).explore()
+        }
+        extra = machine_outcomes - model_outcomes
+        assert not extra, f"{name}: machine reaches {len(extra)} outcomes the model forbids"

@@ -1,0 +1,529 @@
+"""Tests for the policy-driven operational machine.
+
+Three layers:
+
+1. architectural ground truth — the classic litmus shapes behave on the
+   machine exactly as the architectures behave in the wild (MP/SB/WRC/
+   IRIW × fence placements, including lwsync being too weak for IRIW);
+2. HTM semantics — conflicts abort, commits are atomic, exclusive pairs
+   respect reservations and transaction boundaries;
+3. conformance — every machine-reachable outcome is admitted by the
+   corresponding axiomatic model (machine ⊆ model), checked on fixed
+   programs and on hypothesis-generated random programs.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Label
+from repro.litmus.candidates import all_outcomes
+from repro.litmus.program import (
+    CtrlBranch,
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxBegin,
+    TxEnd,
+)
+from repro.litmus.test import LitmusTest, MemEq, RegEq, TxnOk
+from repro.models.registry import get_model
+from repro.sim.oracle import MachineHardware, get_oracle
+from repro.sim.weakmachine import WeakMachine, reachable_outcomes, runnable_on
+
+
+def observable(prog: Program, arch: str, pred) -> bool:
+    return any(pred(o) for o in reachable_outcomes(prog, arch))
+
+
+def mp(writer_fence=None, reader_fence=None, rel_acq=False):
+    th0 = [Store("x", 1)]
+    if writer_fence:
+        th0.append(Fence(writer_fence))
+    th0.append(Store("y", 1, labels={Label.REL} if rel_acq else frozenset()))
+    th1 = [Load("r0", "y", labels={Label.ACQ} if rel_acq else frozenset())]
+    if reader_fence:
+        th1.append(Fence(reader_fence))
+    th1.append(Load("r1", "x"))
+    return Program((tuple(th0), tuple(th1)))
+
+
+def sb(fence=None):
+    th0 = [Store("x", 1)] + ([Fence(fence)] if fence else []) + [Load("r0", "y")]
+    th1 = [Store("y", 1)] + ([Fence(fence)] if fence else []) + [Load("r1", "x")]
+    return Program((tuple(th0), tuple(th1)))
+
+
+def iriw(fence=None):
+    th2 = [Load("r0", "x")] + ([Fence(fence)] if fence else []) + [Load("r1", "y")]
+    th3 = [Load("r2", "y")] + ([Fence(fence)] if fence else []) + [Load("r3", "x")]
+    return Program(
+        ((Store("x", 1),), (Store("y", 1),), tuple(th2), tuple(th3))
+    )
+
+
+def _mp_stale(o):
+    return o.registers.get((1, "r0"), 0) == 1 and o.registers.get((1, "r1"), 0) == 0
+
+
+def _sb_both_zero(o):
+    return o.registers.get((0, "r0"), 0) == 0 and o.registers.get((1, "r1"), 0) == 0
+
+
+def _iriw_split(o):
+    return (
+        o.registers.get((2, "r0"), 0) == 1
+        and o.registers.get((2, "r1"), 0) == 0
+        and o.registers.get((3, "r2"), 0) == 1
+        and o.registers.get((3, "r3"), 0) == 0
+    )
+
+
+class TestPowerGroundTruth:
+    def test_mp_plain_observable(self):
+        assert observable(mp(), "power", _mp_stale)
+
+    def test_mp_sync_forbidden(self):
+        assert not observable(mp(Label.SYNC, Label.SYNC), "power", _mp_stale)
+
+    def test_mp_lwsync_forbidden(self):
+        assert not observable(
+            mp(Label.LWSYNC, Label.LWSYNC), "power", _mp_stale
+        )
+
+    def test_sb_plain_observable(self):
+        assert observable(sb(), "power", _sb_both_zero)
+
+    def test_sb_sync_forbidden(self):
+        assert not observable(sb(Label.SYNC), "power", _sb_both_zero)
+
+    def test_sb_lwsync_still_observable(self):
+        """lwsync does not order store→load — the TSO-like relaxation."""
+        assert observable(sb(Label.LWSYNC), "power", _sb_both_zero)
+
+    def test_iriw_plain_observable_non_mca(self):
+        assert observable(iriw(), "power", _iriw_split)
+
+    def test_iriw_lwsync_still_observable(self):
+        """The famous result: lwsync is not cumulative enough for IRIW."""
+        assert observable(iriw(Label.LWSYNC), "power", _iriw_split)
+
+    def test_iriw_sync_forbidden(self):
+        assert not observable(iriw(Label.SYNC), "power", _iriw_split)
+
+    def test_wrc_plain_observable(self):
+        prog = Program(
+            (
+                (Store("x", 1),),
+                (Load("r0", "x"), Store("y", 1)),
+                (Load("r1", "y"), Load("r2", "x")),
+            )
+        )
+        weird = lambda o: (
+            o.registers.get((1, "r0"), 0) == 1
+            and o.registers.get((2, "r1"), 0) == 1
+            and o.registers.get((2, "r2"), 0) == 0
+        )
+        assert observable(prog, "power", weird)
+
+    def test_wrc_sync_forbidden(self):
+        prog = Program(
+            (
+                (Store("x", 1),),
+                (Load("r0", "x"), Fence(Label.SYNC), Store("y", 1)),
+                (Load("r1", "y"), Fence(Label.SYNC), Load("r2", "x")),
+            )
+        )
+        weird = lambda o: (
+            o.registers.get((1, "r0"), 0) == 1
+            and o.registers.get((2, "r1"), 0) == 1
+            and o.registers.get((2, "r2"), 0) == 0
+        )
+        assert not observable(prog, "power", weird)
+
+
+class TestMcaGroundTruth:
+    @pytest.mark.parametrize("arch", ["armv8", "riscv"])
+    def test_mp_plain_observable(self, arch):
+        assert observable(mp(), arch, _mp_stale)
+
+    def test_mp_rel_acq_forbidden_on_armv8(self):
+        assert not observable(mp(rel_acq=True), "armv8", _mp_stale)
+
+    def test_mp_rel_acq_forbidden_on_riscv(self):
+        assert not observable(mp(rel_acq=True), "riscv", _mp_stale)
+
+    def test_sb_dmb_forbidden(self):
+        assert not observable(sb(Label.DMB), "armv8", _sb_both_zero)
+
+    def test_sb_fence_tso_observable_on_riscv(self):
+        assert observable(sb(Label.FENCE_TSO), "riscv", _sb_both_zero)
+
+    def test_iriw_plain_observable_via_local_reordering(self):
+        assert observable(iriw(), "armv8", _iriw_split)
+
+    def test_iriw_dmb_forbidden_multicopy_atomic(self):
+        assert not observable(iriw(Label.DMB), "armv8", _iriw_split)
+
+    def test_iriw_full_fence_forbidden_on_riscv(self):
+        assert not observable(iriw(Label.FENCE_RW_RW), "riscv", _iriw_split)
+
+    def test_sc_machine_forbids_everything_weak(self):
+        assert not observable(sb(), "sc", _sb_both_zero)
+        assert not observable(mp(), "sc", _mp_stale)
+        assert not observable(iriw(), "sc", _iriw_split)
+
+
+class TestHtm:
+    def _sb_txn(self):
+        return Program(
+            (
+                (TxBegin(), Store("x", 1), Load("r0", "y"), TxEnd()),
+                (TxBegin(), Store("y", 1), Load("r1", "x"), TxEnd()),
+            )
+        )
+
+    @pytest.mark.parametrize("arch", ["power", "armv8", "riscv"])
+    def test_transactional_sb_serialises(self, arch):
+        both_committed_stale = lambda o: (
+            _sb_both_zero(o)
+            and (0, 0) in o.committed
+            and (1, 0) in o.committed
+        )
+        assert not observable(self._sb_txn(), arch, both_committed_stale)
+
+    @pytest.mark.parametrize("arch", ["power", "armv8", "riscv"])
+    def test_some_commit_exists(self, arch):
+        outcomes = reachable_outcomes(self._sb_txn(), arch)
+        assert any(
+            (0, 0) in o.committed and (1, 0) in o.committed for o in outcomes
+        )
+
+    def test_conflicting_txn_aborts(self):
+        # A non-transactional store conflicts with an open transaction
+        # that has read the location (strong isolation, requester wins).
+        prog = Program(
+            (
+                (TxBegin(), Load("r0", "x"), Load("r1", "y"), TxEnd()),
+                (Store("x", 1),),
+            )
+        )
+        outcomes = reachable_outcomes(prog, "armv8")
+        assert any((0, 0) in o.aborted for o in outcomes)
+        assert any((0, 0) in o.committed for o in outcomes)
+
+    def test_aborted_txn_rolls_back_registers(self):
+        prog = Program(
+            (
+                (TxBegin(), Load("r0", "x"), Load("r1", "x"), TxEnd()),
+                (Store("x", 1),),
+            )
+        )
+        for outcome in reachable_outcomes(prog, "armv8"):
+            if (0, 0) in outcome.aborted:
+                assert outcome.registers.get((0, "r0"), 0) == 0
+                assert outcome.registers.get((0, "r1"), 0) == 0
+
+    def test_committed_txn_never_reads_torn_state(self):
+        # Inside a committed transaction both reads of x agree with the
+        # atomic snapshot discipline: no foreign write can land between.
+        prog = Program(
+            (
+                (TxBegin(), Load("r0", "x"), Load("r1", "x"), TxEnd()),
+                (Store("x", 1),),
+            )
+        )
+        for arch in ("power", "armv8"):
+            for outcome in reachable_outcomes(prog, arch):
+                if (0, 0) in outcome.committed:
+                    assert outcome.registers.get(
+                        (0, "r0"), 0
+                    ) == outcome.registers.get((0, "r1"), 0)
+
+    def test_no_stale_snapshot_commit_on_power(self):
+        """Regression: a foreign write committed but not yet propagated
+        to the transaction's thread must not let the transaction commit
+        a stale read snapshot (strong-isolation violation caught by the
+        Power Forbid suite)."""
+        prog = Program(
+            (
+                (TxBegin(), Load("r0", "x"), Store("x", 2), TxEnd()),
+                (Store("x", 1),),
+            )
+        )
+        for outcome in reachable_outcomes(prog, "power"):
+            if (0, 0) not in outcome.committed:
+                continue
+            stale = (
+                outcome.registers.get((0, "r0"), 0) == 0
+                and outcome.write_orders.get("x", ()) == (1, 2)
+            )
+            assert not stale
+
+    def test_txn_write_invisible_unless_committed(self):
+        prog = Program(
+            (
+                (TxBegin(), Store("x", 1), TxEnd()),
+                (Load("r0", "x"),),
+            )
+        )
+        for outcome in reachable_outcomes(prog, "armv8"):
+            if outcome.registers.get((1, "r0"), 0) == 1:
+                assert (0, 0) in outcome.committed
+
+
+class TestExclusives:
+    def test_exclusive_pair_success(self):
+        prog = Program(
+            (
+                (
+                    Load("r0", "m", excl=True),
+                    Store("m", 1, excl=True),
+                ),
+            )
+        )
+        outcomes = reachable_outcomes(prog, "armv8")
+        assert any(o.memory.get("m") == 1 for o in outcomes)
+
+    def test_exclusive_fails_if_interrupted(self):
+        # If the foreign store lands between the pair, the reservation is
+        # lost: no outcome has the exclusive store overwriting it with 1
+        # after reading 0 and m=2 co-later... concretely the final memory
+        # m=1 requires co order 2 -> 1, which needs the reservation to
+        # survive, i.e. the foreign write must come first and be seen.
+        prog = Program(
+            (
+                (
+                    Load("r0", "m", excl=True),
+                    Store("m", 1, excl=True),
+                ),
+                (Store("m", 2),),
+            )
+        )
+        for outcome in reachable_outcomes(prog, "armv8"):
+            if outcome.memory.get("m") == 1:
+                # exclusive succeeded last: it must have read the foreign 2
+                assert outcome.registers.get((0, "r0"), 0) == 2
+
+    def test_exclusive_across_txn_boundary_never_succeeds(self):
+        # TxnCancelsRMW, operationally: the pair straddles a boundary.
+        prog = Program(
+            (
+                (
+                    Load("r0", "m", excl=True),
+                    TxBegin(),
+                    Store("m", 1, excl=True),
+                    TxEnd(),
+                ),
+            )
+        )
+        for arch in ("power", "armv8", "riscv"):
+            outcomes = reachable_outcomes(prog, arch)
+            assert all(o.memory.get("m", 0) == 0 for o in outcomes)
+
+
+class TestRunnable:
+    def test_wrong_fence_rejected(self):
+        prog = sb(Label.DMB)
+        assert not runnable_on(prog, "power")
+        with pytest.raises(ValueError, match="not available"):
+            WeakMachine(prog, "power")
+
+    def test_oracle_wrapper(self):
+        oracle = MachineHardware("armv8")
+        test = LitmusTest(
+            "sb", "armv8", sb(Label.DMB),
+            (RegEq(0, "r0", 0), RegEq(1, "r1", 0)),
+        )
+        assert not oracle.observable(test)
+
+    def test_get_oracle_operational(self):
+        assert get_oracle("power", operational=True).name == "power-machine-sim"
+        assert get_oracle("riscv").name == "riscv-machine-sim"
+
+
+# ---------------------------------------------------------------------------
+# Conformance: machine ⊆ axiomatic model
+# ---------------------------------------------------------------------------
+
+_FIXED_PROGRAMS = [
+    mp(),
+    mp(Label.SYNC, Label.SYNC),
+    mp(Label.LWSYNC, Label.LWSYNC),
+    sb(),
+    sb(Label.SYNC),
+    Program(
+        (
+            (TxBegin(), Store("x", 1), Load("r0", "y"), TxEnd()),
+            (TxBegin(), Store("y", 1), Load("r1", "x"), TxEnd()),
+        )
+    ),
+    Program(
+        (
+            (TxBegin(), Load("r0", "x"), Load("r1", "x"), TxEnd()),
+            (Store("x", 1),),
+        )
+    ),
+    Program(
+        (
+            (Store("x", 1),),
+            (Load("r0", "x"), Fence(Label.LWSYNC), Store("y", 1)),
+            (Load("r1", "y"), Load("r2", "x")),
+        )
+    ),
+]
+
+
+class TestConformance:
+    @pytest.mark.parametrize("idx", range(len(_FIXED_PROGRAMS)))
+    def test_power_machine_subset_of_model(self, idx):
+        prog = _FIXED_PROGRAMS[idx]
+        if not runnable_on(prog, "power"):
+            pytest.skip("power cannot run this program")
+        self._check(prog, "power")
+
+    @pytest.mark.parametrize("idx", range(len(_FIXED_PROGRAMS)))
+    def test_armv8_machine_subset_of_model(self, idx):
+        prog = _FIXED_PROGRAMS[idx]
+        if not runnable_on(prog, "armv8"):
+            pytest.skip("armv8 cannot run this program")
+        self._check(prog, "armv8")
+
+    @pytest.mark.parametrize("idx", range(len(_FIXED_PROGRAMS)))
+    def test_riscv_machine_subset_of_model(self, idx):
+        prog = _FIXED_PROGRAMS[idx]
+        if not runnable_on(prog, "riscv"):
+            pytest.skip("riscv cannot run this program")
+        self._check(prog, "riscv")
+
+    @staticmethod
+    def _check(prog: Program, arch: str):
+        test = LitmusTest("conf", arch, prog, ())
+        allowed = all_outcomes(test, get_model(arch))
+        machine = {o.key() for o in reachable_outcomes(prog, arch)}
+        assert machine <= allowed
+
+    def test_sc_machine_subset_of_sc_model(self):
+        for prog in (_FIXED_PROGRAMS[0], _FIXED_PROGRAMS[3]):
+            test = LitmusTest("conf", "sc", prog, ())
+            allowed = all_outcomes(test, get_model("sc"))
+            machine = {o.key() for o in reachable_outcomes(prog, "sc")}
+            assert machine <= allowed
+
+
+# -- hypothesis: random small programs --------------------------------------
+
+_LOCS = ("x", "y")
+
+
+@st.composite
+def _instruction(draw, arch: str, reg_counter: list):
+    kind = draw(st.sampled_from(["load", "store", "fence"]))
+    loc = draw(st.sampled_from(_LOCS))
+    if kind == "load":
+        reg = f"r{reg_counter[0]}"
+        reg_counter[0] += 1
+        labels = frozenset()
+        if arch in ("armv8", "riscv") and draw(st.booleans()):
+            labels = frozenset({Label.ACQ})
+        return Load(reg, loc, labels=labels)
+    if kind == "store":
+        value = reg_counter[1]
+        reg_counter[1] += 1
+        labels = frozenset()
+        if arch in ("armv8", "riscv") and draw(st.booleans()):
+            labels = frozenset({Label.REL})
+        return Store(loc, value, labels=labels)
+    kinds = {
+        "power": [Label.SYNC, Label.LWSYNC],
+        "armv8": [Label.DMB, Label.DMB_LD, Label.DMB_ST],
+        "riscv": [Label.FENCE_RW_RW, Label.FENCE_TSO],
+    }[arch]
+    return Fence(draw(st.sampled_from(kinds)))
+
+
+@st.composite
+def _program(draw, arch: str):
+    counter = [0, 1]  # registers, store values (unique per location works
+    # because values are globally unique integers here)
+    threads = []
+    for _ in range(2):
+        n = draw(st.integers(min_value=1, max_value=3))
+        instrs = [draw(_instruction(arch, counter)) for _ in range(n)]
+        # Strip leading/trailing fences (they order nothing).
+        while instrs and isinstance(instrs[0], Fence):
+            instrs.pop(0)
+        while instrs and isinstance(instrs[-1], Fence):
+            instrs.pop()
+        if instrs:
+            threads.append(tuple(instrs))
+    if not threads:
+        threads = [(Load("r99", "x"),)]
+    return Program(tuple(threads))
+
+
+@st.composite
+def _txn_program(draw, arch: str):
+    """Random two-thread programs where one thread wraps a contiguous
+    chunk in a transaction — the shape family that exposed the
+    stale-snapshot commit bug."""
+    counter = [0, 1]
+    threads = []
+    for tid in range(2):
+        n = draw(st.integers(min_value=1, max_value=3))
+        instrs = []
+        for _ in range(n):
+            loc = draw(st.sampled_from(_LOCS))
+            if draw(st.booleans()):
+                instrs.append(Load(f"r{counter[0]}", loc))
+                counter[0] += 1
+            else:
+                instrs.append(Store(loc, counter[1]))
+                counter[1] += 1
+        if tid == 0:
+            lo = draw(st.integers(min_value=0, max_value=len(instrs) - 1))
+            hi = draw(st.integers(min_value=lo, max_value=len(instrs) - 1))
+            instrs = (
+                instrs[:lo]
+                + [TxBegin()]
+                + instrs[lo : hi + 1]
+                + [TxEnd()]
+                + instrs[hi + 1 :]
+            )
+        threads.append(tuple(instrs))
+    return Program(tuple(threads))
+
+
+class TestConformanceRandom:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_power_random_programs(self, data):
+        prog = data.draw(_program("power"))
+        TestConformance._check(prog, "power")
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_power_random_txn_programs(self, data):
+        prog = data.draw(_txn_program("power"))
+        TestConformance._check(prog, "power")
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_armv8_random_txn_programs(self, data):
+        prog = data.draw(_txn_program("armv8"))
+        TestConformance._check(prog, "armv8")
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_armv8_random_programs(self, data):
+        prog = data.draw(_program("armv8"))
+        TestConformance._check(prog, "armv8")
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_riscv_random_programs(self, data):
+        prog = data.draw(_program("riscv"))
+        TestConformance._check(prog, "riscv")

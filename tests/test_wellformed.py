@@ -1,0 +1,205 @@
+"""Unit tests for well-formedness checking."""
+
+import pytest
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Event, EventKind, Label, call, read, write
+from repro.core.execution import Execution, Transaction
+from repro.core.wellformed import (
+    WellformednessError,
+    check,
+    check_cpp,
+    is_wellformed,
+    require,
+)
+
+
+def simple():
+    b = ExecutionBuilder()
+    t0, t1 = b.thread(), b.thread()
+    w = t0.write("x")
+    r = t1.read("x")
+    b.rf(w, r)
+    return b.build()
+
+
+class TestStructure:
+    def test_valid(self):
+        assert is_wellformed(simple())
+        require(simple())  # must not raise
+
+    def test_event_in_no_thread(self):
+        x = Execution(events=[write("x"), write("y")], threads=[[0]])
+        assert any("not in any thread" in p for p in check(x))
+
+    def test_event_in_two_threads(self):
+        x = Execution(events=[write("x")], threads=[[0], [0]])
+        assert any("several threads" in p for p in check(x))
+
+    def test_require_raises(self):
+        x = Execution(events=[write("x")], threads=[[0], [0]])
+        with pytest.raises(WellformednessError):
+            require(x)
+
+
+class TestEdgeChecks:
+    def test_dep_from_non_read(self):
+        x = Execution(
+            events=[write("x"), write("y")],
+            threads=[[0, 1]],
+            data=[(0, 1)],
+        )
+        assert any("does not start at a read" in p for p in check(x))
+
+    def test_dep_outside_po(self):
+        x = Execution(
+            events=[read("x"), write("y")],
+            threads=[[0], [1]],
+            data=[(0, 1)],
+        )
+        assert any("not within po" in p for p in check(x))
+
+    def test_data_to_read(self):
+        x = Execution(
+            events=[read("x"), read("y")],
+            threads=[[0, 1]],
+            data=[(0, 1)],
+        )
+        assert any("target a write" in p for p in check(x))
+
+    def test_rmw_same_location(self):
+        x = Execution(
+            events=[read("x"), write("y")],
+            threads=[[0, 1]],
+            rmw=[(0, 1)],
+        )
+        assert any("different locations" in p for p in check(x))
+
+    def test_rmw_backwards(self):
+        x = Execution(
+            events=[write("x"), read("x")],
+            threads=[[0, 1]],
+            rmw=[(1, 0)],
+        )
+        assert any("not within po" in p for p in check(x))
+
+    def test_rf_wrong_location(self):
+        x = Execution(
+            events=[write("x"), read("y")],
+            threads=[[0], [1]],
+            rf={1: 0},
+        )
+        assert any("different locations" in p for p in check(x))
+
+    def test_rf_from_read(self):
+        x = Execution(
+            events=[read("x"), read("x")],
+            threads=[[0], [1]],
+            rf={1: 0},
+        )
+        assert any("not a write" in p for p in check(x))
+
+
+class TestCoherenceChecks:
+    def test_co_must_cover_location_writes(self):
+        x = Execution(
+            events=[write("x"), write("x")],
+            threads=[[0], [1]],
+            co={"x": (0,)},
+        )
+        assert any("exactly the writes" in p for p in check(x))
+
+    def test_multi_write_location_needs_co(self):
+        x = Execution(
+            events=[write("x"), write("x")],
+            threads=[[0], [1]],
+        )
+        assert any("no co order" in p for p in check(x))
+
+    def test_co_repeats(self):
+        x = Execution(
+            events=[write("x"), write("x")],
+            threads=[[0], [1]],
+            co={"x": (0, 0)},
+        )
+        assert any("repeats" in p for p in check(x))
+
+
+class TestTxnChecks:
+    def test_txn_contiguous(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        c = t0.write("y")
+        d = t0.write("z")
+        b.txn([a, d])
+        assert any("not contiguous" in p for p in check(b.build()))
+
+    def test_txn_cross_thread(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        a = t0.write("x")
+        c = t1.write("y")
+        b.txn([a, c])
+        assert any("several threads" in p for p in check(b.build()))
+
+    def test_txn_overlap(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.write("x")
+        c = t0.write("y")
+        b.txn([a, c])
+        b.txn([c])
+        assert any("overlaps" in p for p in check(b.build()))
+
+
+class TestCallChecks:
+    def test_calls_need_flag(self):
+        x = Execution(events=[call(Label.LOCK), call(Label.UNLOCK)], threads=[[0, 1]])
+        assert check(x) and not check(x, allow_calls=True)
+
+    def test_unmatched_unlock(self):
+        x = Execution(events=[call(Label.UNLOCK)], threads=[[0]])
+        assert any("unmatched unlock" in p for p in check(x, allow_calls=True))
+
+    def test_lock_without_unlock(self):
+        x = Execution(events=[call(Label.LOCK)], threads=[[0]])
+        assert any("without unlock" in p for p in check(x, allow_calls=True))
+
+    def test_mismatched_flavours(self):
+        x = Execution(
+            events=[call(Label.LOCK), call(Label.UNLOCK_T)], threads=[[0, 1]]
+        )
+        assert any("unmatched" in p for p in check(x, allow_calls=True))
+
+    def test_nested_lock(self):
+        x = Execution(
+            events=[call(Label.LOCK), call(Label.LOCK_T)], threads=[[0, 1]]
+        )
+        assert any("nested" in p for p in check(x, allow_calls=True))
+
+
+class TestCppChecks:
+    def test_atomic_without_mode(self):
+        b = ExecutionBuilder()
+        b.thread().read("x", Label.ATO)
+        assert any("without a memory order" in p for p in check_cpp(b.build()))
+
+    def test_mode_without_atomic(self):
+        b = ExecutionBuilder()
+        b.thread().read("x", Label.ACQ)
+        assert any("non-atomic access" in p for p in check_cpp(b.build()))
+
+    def test_atomic_txn_with_atomic_op(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        a = t0.atomic_write("x", Label.RLX)
+        b.txn([a], atomic=True)
+        assert any("contains atomic" in p for p in check_cpp(b.build()))
+
+    def test_clean_cpp(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        t0.write("x")
+        t0.atomic_write("y", Label.REL)
+        assert not check_cpp(b.build())

@@ -1,0 +1,158 @@
+"""Axiom-level tests for the x86 model (Fig. 5), one witness per rule."""
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.events import Label
+from repro.models.x86 import X86
+
+
+def failed(x):
+    return X86().failed_axioms(x)
+
+
+class TestCoherence:
+    def test_cowr_violation(self):
+        # A read po-after a same-location write observing a co-earlier one.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        w1 = t0.write("x")
+        r = t0.read("x")
+        w2 = t1.write("x")
+        b.co(w2, w1)
+        b.rf(w2, r)  # reads the co-overwritten value after writing w1
+        assert "Coherence" in failed(b.build())
+
+    def test_read_own_earlier_write_ok(self):
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        w = t0.write("x")
+        r = t0.read("x")
+        b.rf(w, r)
+        assert X86().consistent(b.build())
+
+
+class TestOrder:
+    def test_wr_reordering_allowed(self):
+        # The TSO relaxation: W->R pairs leave ppo.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.write("x")
+        t0.read("y")
+        t1.write("y")
+        t1.read("x")
+        assert X86().consistent(b.build())  # SB outcome
+
+    def test_ww_preserved(self):
+        # 2+2W is forbidden: W->W stays ordered.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx2 = t0.write("x")
+        wy1 = t0.write("y")
+        wy2 = t1.write("y")
+        wx1 = t1.write("x")
+        b.co_order("x", [wx1, wx2])
+        b.co_order("y", [wy1, wy2])
+        assert "Order" in failed(b.build())
+
+    def test_rfe_in_hb(self):
+        # MP is forbidden: rfe + R->R ppo + fr closes the cycle.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        wy = t0.write("y")
+        ry = t1.read("y")
+        rx = t1.read("x")
+        b.rf(wy, ry)
+        assert "Order" in failed(b.build())
+
+    def test_mfence_restores_sc_for_sb(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        t0.write("x")
+        t0.fence(Label.MFENCE)
+        t0.read("y")
+        t1.write("y")
+        t1.fence(Label.MFENCE)
+        t1.read("x")
+        assert "Order" in failed(b.build())
+
+    def test_locked_rmw_implies_fence(self):
+        # SB with a LOCK'd RMW on one side: that side cannot reorder.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r0 = t0.read("x", Label.EXCL)
+        w0 = t0.write("x", Label.EXCL)
+        ry = t0.read("y")
+        t1.write("y")
+        rx = t1.read("x")
+        b.rmw(r0, w0)
+        # t1 still buffers: its read may run early; but t0's read of y
+        # cannot pass the LOCK'd RMW, so if ry=0 then rx must see w0.
+        b.rf(w0, rx)  # rx sees the RMW's write: consistent
+        assert X86().consistent(b.build())
+
+
+class TestRmwIsol:
+    def test_external_write_between_halves(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        wext = t1.write("x")
+        b.rmw(r, w)
+        b.co_order("x", [wext, w])  # r reads init; fre(r,wext); coe(wext,w)
+        assert "RMWIsol" in failed(b.build())
+
+    def test_internal_interleaving_not_flagged(self):
+        # fre;coe requires *external* edges: same-thread does not count.
+        b = ExecutionBuilder()
+        t0 = b.thread()
+        r = t0.read("x", Label.EXCL)
+        w = t0.write("x", Label.EXCL)
+        b.rmw(r, w)
+        assert X86().consistent(b.build())
+
+
+class TestTxnAxioms:
+    def test_strong_isol_com_cycle(self):
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        r1 = t0.read("x")
+        r2 = t0.read("x")
+        w = t1.write("x")
+        b.txn([r1, r2])
+        b.rf(w, r2)
+        assert "StrongIsol" in failed(b.build())
+
+    def test_txn_order_via_implied_fence(self):
+        # The Example 1.1 shape on x86: forbidden through TxnOrder with
+        # the LOCK'd RMW's implied fence.
+        from repro.catalog import CATALOG
+
+        verdict = X86().check(CATALOG["armv8_lock_elision"].execution)
+        assert any(r.name == "TxnOrder" for r in verdict.failures)
+
+    def test_tfence_orders_across_boundary(self):
+        # SB where each thread's write is in a txn: tfence acts as MFENCE.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        ry = t0.read("y")
+        wy = t1.write("y")
+        rx = t1.read("x")
+        b.txn([wx])
+        b.txn([wy])
+        x = b.build()
+        assert (wx, ry) in x.tfence
+        assert not X86().consistent(x)
+
+    def test_single_whole_thread_txn_sb_allowed(self):
+        # With the txn covering a whole thread there is no tfence, and a
+        # single txn cannot create a TxnOrder cycle for SB.
+        b = ExecutionBuilder()
+        t0, t1 = b.thread(), b.thread()
+        wx = t0.write("x")
+        ry = t0.read("y")
+        t1.write("y")
+        t1.read("x")
+        b.txn([wx, ry])
+        assert X86().consistent(b.build())
