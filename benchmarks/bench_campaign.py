@@ -1,0 +1,61 @@
+"""Benchmark: campaign-engine throughput.
+
+Measures the three mechanisms the engine stacks on top of a naive
+(test, model) double loop:
+
+* cold cross-product — includes candidate expansion per test;
+* warm expansion memo — a second sweep with more models reuses every
+  test's expansion, isolating the per-model check cost;
+* warm persistent cache — a re-run served entirely from
+  ``.repro-cache``-style storage (here a tmp dir), the incremental
+  re-run path;
+* parallel dispatch — the same cold cross-product across two workers.
+"""
+
+import pytest
+
+from repro.engine import ResultCache, diy_suite, run_campaign
+from repro.litmus.candidates import expand_program
+
+MODELS = ["x86", "tsc", "sc"]
+
+
+def _suite():
+    return diy_suite("x86", max_length=3)
+
+
+def _cold(suite, models, jobs=1):
+    expand_program.cache_clear()
+    return run_campaign(suite, models, jobs=jobs)
+
+
+def test_campaign_cold(benchmark, once):
+    suite = _suite()
+    result = once(benchmark, _cold, suite, MODELS)
+    assert len(result.cells) == len(suite) * len(MODELS)
+    print(result.summary())
+
+
+def test_campaign_warm_expansion(benchmark, once):
+    suite = _suite()
+    run_campaign(suite, ["x86"])  # pre-expand every test once
+    result = once(benchmark, run_campaign, suite, MODELS)
+    assert len(result.cells) == len(suite) * len(MODELS)
+    print(result.summary())
+
+
+def test_campaign_warm_cache(benchmark, once, tmp_path):
+    suite = _suite()
+    run_campaign(suite, MODELS, cache=ResultCache(tmp_path))
+    result = once(
+        benchmark, run_campaign, suite, MODELS, cache=ResultCache(tmp_path)
+    )
+    assert result.hit_rate == 1.0
+    print(result.summary())
+
+
+def test_campaign_parallel(benchmark, once):
+    suite = _suite()
+    result = once(benchmark, _cold, suite, MODELS, 2)
+    assert len(result.cells) == len(suite) * len(MODELS)
+    print(result.summary())

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart for the campaign engine: synthesize a diy suite and sweep
+it across models, with caching and a worker pool.
+
+The same flow is available from the command line::
+
+    repro campaign --arch x86 --models x86,x86tm,sc --jobs 4
+
+Run this twice — the second run is served from ``.repro-cache/`` (here
+redirected to a temporary directory so the example leaves nothing
+behind).
+"""
+
+import tempfile
+
+from repro.engine import (
+    ResultCache,
+    catalog_suite,
+    diy_suite,
+    run_campaign,
+)
+
+
+def main() -> None:
+    # 1. Synthesize a diy critical-cycle suite, rendered as x86 litmus
+    #    tests.  Every cycle over the vocabulary becomes one test.
+    suite = diy_suite("x86", max_length=3)
+    print(f"diy suite: {len(suite)} tests")
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # 2. Sweep it across the native x86 model, its .cat twin, and
+        #    SC.  Each test is expanded into candidate executions once
+        #    and checked against all three models; misses go to the
+        #    worker pool; every verdict lands in the persistent cache.
+        models = ["x86", "x86tm", "sc"]
+        result = run_campaign(
+            suite, models, jobs=2, cache=ResultCache(cache_dir)
+        )
+        print(result.format_matrix())
+        print(result.summary())
+        print()
+
+        # 3. Re-running is incremental: everything is a cache hit.
+        rerun = run_campaign(
+            suite, models, cache=ResultCache(cache_dir)
+        )
+        print(f"re-run: {rerun.summary()}")
+        print()
+
+        # 4. The native model and its .cat source agree on every test.
+        matrix = result.matrix()
+        assert matrix["x86"] == matrix["x86tm"]
+        print("native x86 and x86tm.cat agree on the whole suite")
+
+        # 5. Campaigns also take catalog entries (bare executions, with
+        #    expected verdicts attached) — diffs() reports any model
+        #    that disagrees with the paper's expectations.
+        entries = catalog_suite(tags=["classic"])
+        check = run_campaign(
+            entries, ["sc", "x86", "power"], cache=ResultCache(cache_dir)
+        )
+        print(f"catalog sweep: {check.summary()}")
+        print(f"disagreements with the paper: {check.diffs(entries)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,8 +8,16 @@ Commands:
 * ``run <file> [--model M | --hw]`` — run a litmus test (neutral format)
   against a model or the simulated hardware;
 * ``synth --arch A --events N`` — synthesize Forbid/Allow suites;
+* ``campaign --arch A --models M1,M2 [--jobs N]`` — batch-run a litmus
+  suite (synthesized diy cycles, the catalog, or litmus files) across
+  many models through the campaign engine, with a persistent result
+  cache under ``.repro-cache/``;
 * ``table1`` / ``table2`` / ``table3`` / ``fig7`` / ``rtl`` /
-  ``ablation`` — regenerate the paper's tables and figures;
+  ``ablation`` — regenerate the paper's tables and figures.  table1
+  and table2 run through the campaign engine and accept ``--jobs``;
+  fig7 routes its consistency checks through the engine's in-memory
+  memoized models (never the persistent cache — the figure measures
+  synthesis time); table3 is definitional — it has no test×model loop;
 * ``catalog`` — list the catalogue.
 """
 
@@ -85,13 +93,27 @@ def _cmd_synth(args) -> int:
     return 0
 
 
+def _make_cache(args):
+    """The persistent campaign cache selected by --no-cache/--cache-dir."""
+    from .engine.cache import NullCache, ResultCache
+
+    if getattr(args, "no_cache", False):
+        return NullCache()
+    return ResultCache(getattr(args, "cache_dir", None))
+
+
 def _cmd_table1(args) -> int:
     from .experiments.table1 import format_table1, run_table1
 
     bounds = {"x86": [2, 3], "power": [2, 3]}
     if args.full:
         bounds = {"x86": [2, 3, 4], "power": [2, 3, 4]}
-    table = run_table1(bounds=bounds, time_budget=args.budget)
+    table = run_table1(
+        bounds=bounds,
+        time_budget=args.budget,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+    )
     print(format_table1(table))
     return 0
 
@@ -99,7 +121,7 @@ def _cmd_table1(args) -> int:
 def _cmd_table2(args) -> int:
     from .experiments.table2 import format_table2, run_table2
 
-    print(format_table2(run_table2(time_budget=args.budget)))
+    print(format_table2(run_table2(time_budget=args.budget, jobs=args.jobs)))
     return 0
 
 
@@ -115,6 +137,43 @@ def _cmd_fig7(args) -> int:
 
     series = run_fig7(n_events=args.events, time_budget=args.budget)
     print(format_fig7(series))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .engine import (
+        catalog_suite,
+        diy_suite,
+        litmus_suite,
+        run_campaign,
+    )
+
+    if args.files:
+        items = litmus_suite(args.files)
+    elif args.suite == "catalog":
+        items = catalog_suite()
+    else:
+        vocab = args.vocab.split(",") if args.vocab else None
+        items = diy_suite(args.arch, vocab, args.length)
+    if not items:
+        print("empty suite")
+        return 1
+
+    models = (args.models or args.arch).split(",")
+    cache = _make_cache(args)
+    result = run_campaign(items, models, jobs=args.jobs, cache=cache)
+    print(result.format_matrix())
+    print()
+    print(result.summary())
+    if cache.path is not None:
+        print(f"cache: {cache.path} ({cache.stats()})")
+    diffs = result.diffs(items)
+    if diffs:
+        print()
+        print("disagreements with expected verdicts:")
+        for name, model, got, expected in diffs:
+            print(f"  {name} under {model}: got {got}, expected {expected}")
+        return 1
     return 0
 
 
@@ -235,12 +294,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=None)
     p.add_argument("--show", type=int, default=0)
 
+    def add_engine_options(p) -> None:
+        """Campaign-engine knobs shared by the batch commands."""
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (0 = one per CPU)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the persistent result cache")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache location (default .repro-cache)")
+
+    p = sub.add_parser("campaign",
+                       help="batch-run a litmus suite across models")
+    p.add_argument("files", nargs="*",
+                   help="litmus files (overrides --suite)")
+    p.add_argument("--arch", default="x86",
+                   choices=["x86", "power", "armv8", "cpp", "riscv"])
+    p.add_argument("--models", default=None,
+                   help="comma-separated checker specs: registry names "
+                        "(x86), .cat library names (x86tm), '!notm' "
+                        "baselines, hw:<arch> oracles (default: --arch)")
+    p.add_argument("--suite", default="diy", choices=["diy", "catalog"])
+    p.add_argument("--vocab", default=None,
+                   help="diy relaxation vocabulary (comma-separated)")
+    p.add_argument("--length", type=int, default=3,
+                   help="max diy cycle length")
+    add_engine_options(p)
+
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--budget", type=float, default=120.0)
     p.add_argument("--full", action="store_true")
+    add_engine_options(p)
 
     p = sub.add_parser("table2", help="regenerate Table 2")
     p.add_argument("--budget", type=float, default=120.0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (0 = one per CPU)")
 
     sub.add_parser("table3", help="print the lock-elision pi mapping")
 
@@ -294,6 +382,7 @@ _COMMANDS = {
     "litmus": _cmd_litmus,
     "run": _cmd_run,
     "synth": _cmd_synth,
+    "campaign": _cmd_campaign,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "table3": _cmd_table3,

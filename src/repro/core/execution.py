@@ -471,9 +471,8 @@ class Execution:
     # Structural identity
     # ------------------------------------------------------------------
 
-    def signature(self) -> tuple:
-        """A hashable value identifying the execution up to nothing (exact
-        structural identity); used for deduplication in the synthesizer."""
+    @cached_property
+    def _signature(self) -> tuple:
         return (
             self.events,
             self.threads,
@@ -486,13 +485,24 @@ class Execution:
             tuple((txn.events, txn.atomic) for txn in self.txns),
         )
 
+    def signature(self) -> tuple:
+        """A hashable value identifying the execution up to nothing (exact
+        structural identity); used for deduplication in the synthesizer.
+        Cached — executions are immutable and the synthesizer and the
+        campaign engine's memo hash the same execution repeatedly."""
+        return self._signature
+
+    @cached_property
+    def _sig_hash(self) -> int:
+        return hash(self._signature)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Execution):
             return NotImplemented
         return self.signature() == other.signature()
 
     def __hash__(self) -> int:
-        return hash(self.signature())
+        return self._sig_hash
 
     def __repr__(self) -> str:
         parts = [f"{len(self.events)} events", f"{len(self.threads)} threads"]

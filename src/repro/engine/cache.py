@@ -1,0 +1,239 @@
+"""Persistent, content-addressed result cache for campaign runs.
+
+Every (test, model) cell of a campaign is keyed by a SHA-256 fingerprint
+of the *content* of the test (its program and postcondition, or the
+execution graph itself) combined with the model specification.  Renaming
+a test does not invalidate its entry; changing a single instruction
+does.
+
+The store is an append-only JSONL file under ``.repro-cache/`` (override
+with the ``REPRO_CACHE_DIR`` environment variable), one record per line::
+
+    {"key": "<sha256>", "verdict": true, "elapsed": 0.0021,
+     "item": "diy-PodWR Fre PodWR Fre", "model": "x86"}
+
+Append-only keeps writes crash-safe and makes the cache trivially
+mergeable across machines (``cat`` two caches together); on load the
+last record for a key wins.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Any
+
+from ..core.execution import Execution
+from ..core.relation import Relation
+from ..litmus.test import LitmusTest
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "NullCache",
+    "default_cache_dir",
+    "fingerprint",
+    "cache_key",
+]
+
+#: Bumped whenever the fingerprint scheme or record layout changes.
+CACHE_VERSION = 1
+
+#: Default directory for the on-disk store, relative to the CWD.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+# ----------------------------------------------------------------------
+# Canonical fingerprinting
+# ----------------------------------------------------------------------
+
+
+def _canon(obj: Any) -> Any:
+    """A JSON-serialisable canonical form with deterministic ordering.
+
+    ``repr`` of a frozenset is hash-order dependent (and string hashing
+    is randomised per process), so sets and dicts are sorted by their
+    canonical JSON encoding — the fingerprint of an object is identical
+    across processes and runs.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.value]
+    if isinstance(obj, Execution):
+        return ["Execution", _canon(obj.signature())]
+    if isinstance(obj, LitmusTest):
+        # The name is presentation, not content: renaming a test must
+        # not invalidate its cache entries.
+        return [
+            "LitmusTest",
+            obj.arch,
+            _canon(obj.program),
+            _canon(obj.postcondition),
+            _canon(obj.init),
+        ]
+    if isinstance(obj, Relation):
+        return ["Relation", obj.n, sorted(obj.pairs())]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            type(obj).__name__,
+            [[f.name, _canon(getattr(obj, f.name))] for f in fields(obj)],
+        ]
+    if isinstance(obj, (frozenset, set)):
+        return ["set", sorted((_canon(v) for v in obj), key=_dumps)]
+    if isinstance(obj, dict):
+        return [
+            "dict",
+            sorted(
+                ([_canon(k), _canon(v)] for k, v in obj.items()), key=_dumps
+            ),
+        ]
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    raise TypeError(f"cannot fingerprint {type(obj).__name__}")
+
+
+def _dumps(canon: Any) -> str:
+    return json.dumps(canon, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(obj: Any) -> str:
+    """Content hash of a test payload (LitmusTest, Execution, ...)."""
+    return hashlib.sha256(_dumps(_canon(obj)).encode()).hexdigest()
+
+
+def cache_key(
+    item_fingerprint: str, model_spec: str, definition: str = ""
+) -> str:
+    """The cache key of one (test, model) cell.
+
+    ``definition`` is a hash of the model's definition (see
+    :func:`repro.engine.checkers.definition_hash`): editing a model's
+    axioms or its ``.cat`` source invalidates its cached verdicts.
+    """
+    text = f"v{CACHE_VERSION}:{item_fingerprint}:{model_spec}:{definition}"
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Stores
+# ----------------------------------------------------------------------
+
+
+class ResultCache:
+    """The on-disk JSONL store, with hit/miss accounting.
+
+    Args:
+        path: the JSONL file (or a directory, in which case
+            ``results.jsonl`` inside it).  Defaults to
+            ``default_cache_dir()/results.jsonl``.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        path = Path(path) if path is not None else default_cache_dir()
+        if path.suffix != ".jsonl":
+            path = path / "results.jsonl"
+        self.path = path
+        self._records: dict[str, dict] = {}
+        self._append_handle = None
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        with self.path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write; ignore
+                key = record.get("key")
+                if key:
+                    self._records[key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str) -> dict | None:
+        """The cached record for ``key`` (counts a hit or a miss)."""
+        record = self._records.get(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Store ``record`` under ``key`` and append it to the file.
+
+        The append handle stays open across puts (the hot paths write
+        one record per computed cell) and is flushed per record so
+        concurrent readers and crashed runs see complete lines.
+        """
+        record = {"key": key, **record}
+        self._records[key] = record
+        if self._append_handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._append_handle = self.path.open("a", encoding="utf-8")
+        self._append_handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._append_handle.flush()
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily by the next put)."""
+        if self._append_handle is not None:
+            self._append_handle.close()
+            self._append_handle = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> str:
+        return (
+            f"{len(self)} entries, {self.hits} hits / {self.misses} misses "
+            f"({100 * self.hit_rate:.0f}% hit rate)"
+        )
+
+
+class NullCache:
+    """A cache that remembers nothing (the ``--no-cache`` path)."""
+
+    path = None
+    hits = 0
+    misses = 0
+    hit_rate = 0.0
+
+    def __len__(self) -> int:
+        return 0
+
+    def get(self, key: str) -> None:
+        return None
+
+    def put(self, key: str, record: dict) -> None:
+        pass
+
+    def stats(self) -> str:
+        return "caching disabled"

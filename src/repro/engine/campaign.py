@@ -1,0 +1,386 @@
+"""The campaign runner: suites × models, cached and parallel.
+
+A *campaign* executes the full cross-product of an iterable of litmus
+tests (or bare executions) against a set of checkers — native models,
+.cat library models, or simulated hardware — the way herd/diy sweep a
+directory of tests against a model file.  Three mechanisms make the
+cross-product cheap:
+
+1. work is grouped *by test*, so the *memoized* candidate expansion
+   (:func:`repro.litmus.candidates.expand_program`) runs once per test
+   however many models are swept;
+2. every (test, model) cell is keyed by a content hash and served from
+   the persistent :class:`~repro.engine.cache.ResultCache` when it has
+   been computed before — re-runs are incremental;
+3. cache misses are dispatched to a chunked worker pool
+   (:func:`~repro.engine.pool.parallel_map`) with a deterministic
+   serial fallback — the verdict matrix is identical for any ``jobs``.
+
+:func:`run_campaign` returns a :class:`CampaignResult` with per-model
+verdict matrices, timing, cache accounting, and diff-vs-expected
+summaries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.execution import Execution
+from ..litmus.test import LitmusTest
+from .cache import NullCache, ResultCache, cache_key, fingerprint
+from .checkers import Checker, resolve_checker
+from .pool import parallel_map
+
+__all__ = [
+    "CampaignItem",
+    "CellResult",
+    "CampaignResult",
+    "run_campaign",
+    "catalog_suite",
+    "diy_suite",
+    "litmus_suite",
+    "execution_suite",
+]
+
+
+@dataclass
+class CampaignItem:
+    """One unit of a campaign suite.
+
+    Attributes:
+        name: display name (unique within the suite).
+        payload: a :class:`LitmusTest` (verdict = "postcondition
+            observable?") or an :class:`Execution` (verdict =
+            "consistent?").
+        expected: optional model-name → expected-verdict map used for
+            the diff-vs-expected report.
+    """
+
+    name: str
+    payload: LitmusTest | Execution
+    expected: dict[str, bool] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (test, model) cell of the verdict matrix."""
+
+    verdict: bool
+    elapsed: float
+    cached: bool
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    item_names: list[str]
+    model_specs: list[str]
+    cells: dict[tuple[str, str], CellResult]
+    elapsed: float
+    cache_hits: int
+    cache_misses: int
+
+    # -- views ----------------------------------------------------------
+
+    def verdict(self, item: str, model: str) -> bool:
+        return self.cells[(item, model)].verdict
+
+    def matrix(self) -> dict[str, dict[str, bool]]:
+        """Per-model verdict maps: ``matrix()[model][item] -> bool``."""
+        return {
+            spec: {
+                name: self.cells[(name, spec)].verdict
+                for name in self.item_names
+            }
+            for spec in self.model_specs
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def model_time(self, model: str) -> float:
+        """Total compute seconds spent on one model's column."""
+        return sum(
+            cell.elapsed
+            for (_, spec), cell in self.cells.items()
+            if spec == model and not cell.cached
+        )
+
+    def diffs(self, items: Sequence[CampaignItem]) -> list[tuple[str, str, bool, bool]]:
+        """(item, model, got, expected) rows where the verdict disagrees
+        with the item's expectation (models without expectations skip)."""
+        out = []
+        by_name = {item.name: item for item in items}
+        for (name, spec), cell in sorted(self.cells.items()):
+            item = by_name.get(name)
+            if item is None:
+                continue
+            expected = item.expected.get(spec)
+            if expected is None and "!" not in spec:
+                # hw:/cat: specs fall back to the registry name; !notm
+                # baselines don't (expectations are for the TM models).
+                expected = item.expected.get(_base_model_name(spec))
+            if expected is not None and expected != cell.verdict:
+                out.append((name, spec, cell.verdict, expected))
+        return out
+
+    # -- rendering -------------------------------------------------------
+
+    def format_matrix(self) -> str:
+        """The verdict matrix as text: one row per test, one column per
+        model; ``A`` = observable/consistent, ``F`` = forbidden."""
+        name_width = max((len(n) for n in self.item_names), default=4)
+        name_width = max(name_width, 4)
+        widths = [max(len(s), 1) for s in self.model_specs]
+        header = "test".ljust(name_width) + "".join(
+            f"  {s:>{w}}" for s, w in zip(self.model_specs, widths)
+        )
+        lines = [header, "-" * len(header)]
+        for name in self.item_names:
+            row = name.ljust(name_width)
+            for spec, w in zip(self.model_specs, widths):
+                cell = self.cells[(name, spec)]
+                mark = "A" if cell.verdict else "F"
+                row += f"  {mark:>{w}}"
+            lines.append(row)
+        lines.append("(A = observable/consistent, F = forbidden)")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        computed = self.cache_misses
+        return (
+            f"{len(self.item_names)} tests x {len(self.model_specs)} models "
+            f"= {len(self.cells)} cells ({self.cache_hits} cached, "
+            f"{computed} computed) in {self.elapsed:.2f}s "
+            f"[{100 * self.hit_rate:.0f}% cache hits]"
+        )
+
+
+def _base_model_name(spec: str) -> str:
+    """The registry name behind a spec, for expected-verdict lookups:
+    ``hw:x86:<oracle>`` → ``x86``, ``cat:x86`` → ``x86``, the bare .cat
+    stem ``x86tm`` → ``x86``."""
+    from ..cat.model import CAT_MODEL_FILES
+
+    if spec.startswith("hw:"):
+        return spec.split(":")[1]
+    name = spec[4:] if spec.startswith("cat:") else spec
+    if name in CAT_MODEL_FILES:
+        return name
+    for registry_name, filename in CAT_MODEL_FILES.items():
+        if filename in (name, f"{name}.cat"):
+            return registry_name
+    return name
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+
+
+def _run_unit(
+    unit: tuple[str, LitmusTest | Execution, tuple[str | Checker, ...]],
+) -> list[tuple[str, str, bool, float]]:
+    """Evaluate one test against several checkers (runs in a worker).
+
+    Grouping by test means the candidate expansion is computed once and
+    shared by every checker via the per-process memo.  Checkers arrive
+    as spec strings (resolved locally, memoized per process) or as
+    ready-made :class:`Checker` instances.
+    """
+    name, payload, checkers = unit
+    out = []
+    for entry in checkers:
+        checker = entry if isinstance(entry, Checker) else resolve_checker(entry)
+        start = time.perf_counter()
+        verdict = checker.verdict(payload)
+        out.append((name, checker.spec, verdict, time.perf_counter() - start))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def run_campaign(
+    items: Iterable[CampaignItem],
+    models: Sequence[str | Checker],
+    jobs: int = 1,
+    cache: ResultCache | NullCache | None = None,
+) -> CampaignResult:
+    """Execute the items × models cross-product.
+
+    Args:
+        items: the suite (see the ``*_suite`` constructors below).
+        models: checker specs (:func:`~repro.engine.checkers.resolve_checker`)
+            or ready-made :class:`Checker` instances.
+        jobs: worker processes; ``1`` = deterministic serial run in this
+            process, ``0`` = one per CPU.
+        cache: persistent store; ``None`` disables caching.
+    """
+    items = list(items)
+    checkers = list(models)
+    for entry in checkers:
+        if not isinstance(entry, Checker):
+            resolve_checker(entry)  # fail fast on bad specs, before forking
+    models = [
+        entry.spec if isinstance(entry, Checker) else entry
+        for entry in checkers
+    ]
+    if len(set(models)) != len(models):
+        raise ValueError(f"duplicate model specs in {models}")
+    by_spec = dict(zip(models, checkers))
+    cache = cache if cache is not None else NullCache()
+    start = time.perf_counter()
+
+    names = []
+    seen_names = set()
+    for item in items:
+        if item.name in seen_names:
+            raise ValueError(f"duplicate campaign item name {item.name!r}")
+        seen_names.add(item.name)
+        names.append(item.name)
+
+    cells: dict[tuple[str, str], CellResult] = {}
+    hits = 0
+    pending: dict[str, list[str]] = {}
+    keys: dict[tuple[str, str], str] = {}
+    caching = not isinstance(cache, NullCache)
+    definitions = (
+        {
+            spec: (
+                entry if isinstance(entry, Checker) else resolve_checker(entry)
+            ).definition_hash()
+            for spec, entry in by_spec.items()
+        }
+        if caching
+        else {}
+    )
+    for item in items:
+        # Fingerprinting is the expensive per-item step; skip it
+        # entirely on uncached runs.
+        item_fp = fingerprint(item.payload) if caching else None
+        for spec in models:
+            record = None
+            if caching:
+                key = cache_key(item_fp, spec, definitions[spec])
+                keys[(item.name, spec)] = key
+                record = cache.get(key)
+            if record is not None:
+                hits += 1
+                cells[(item.name, spec)] = CellResult(
+                    bool(record["verdict"]),
+                    float(record.get("elapsed", 0.0)),
+                    cached=True,
+                )
+            else:
+                pending.setdefault(item.name, []).append(spec)
+
+    units = [
+        (
+            item.name,
+            item.payload,
+            tuple(by_spec[spec] for spec in pending[item.name]),
+        )
+        for item in items
+        if item.name in pending
+    ]
+    misses = sum(len(specs) for _, _, specs in units)
+
+    for result in parallel_map(_run_unit, units, jobs=jobs):
+        for name, spec, verdict, elapsed in result:
+            cells[(name, spec)] = CellResult(verdict, elapsed, cached=False)
+            if caching:
+                cache.put(
+                    keys[(name, spec)],
+                    {
+                        "verdict": verdict,
+                        "elapsed": round(elapsed, 6),
+                        "item": name,
+                        "model": spec,
+                    },
+                )
+
+    return CampaignResult(
+        item_names=names,
+        model_specs=models,
+        cells=cells,
+        elapsed=time.perf_counter() - start,
+        cache_hits=hits,
+        cache_misses=misses,
+    )
+
+
+# ----------------------------------------------------------------------
+# Suite constructors
+# ----------------------------------------------------------------------
+
+
+def catalog_suite(
+    names: Iterable[str] | None = None, tags: Iterable[str] | None = None
+) -> list[CampaignItem]:
+    """Catalog entries as campaign items (payload = the execution)."""
+    from ..catalog import CATALOG
+
+    wanted = set(names) if names is not None else None
+    tagset = set(tags) if tags is not None else None
+    out = []
+    for name, entry in sorted(CATALOG.items()):
+        if wanted is not None and name not in wanted:
+            continue
+        if tagset is not None and not (tagset & entry.tags):
+            continue
+        out.append(CampaignItem(name, entry.execution, dict(entry.expected)))
+    return out
+
+
+def diy_suite(
+    arch: str,
+    vocabulary: Sequence[str] | None = None,
+    max_length: int = 3,
+) -> list[CampaignItem]:
+    """A synthesized diy suite rendered as litmus tests for ``arch``.
+
+    Each critical cycle over the vocabulary becomes one litmus test via
+    :func:`~repro.litmus.from_execution.to_litmus`, so campaign verdicts
+    have :func:`~repro.litmus.candidates.observable` semantics.
+    """
+    from ..litmus.from_execution import to_litmus
+    from ..synth.diy import cycle_execution, enumerate_cycles
+
+    vocabulary = list(
+        vocabulary or ("PodWR", "PodWW", "PodRR", "PodRW", "Rfe", "Fre", "Wse")
+    )
+    out = []
+    for cycle in enumerate_cycles(vocabulary, max_length):
+        name = "diy-" + "+".join(e.name for e in cycle.edges)
+        test = to_litmus(cycle_execution(cycle), name, arch)
+        out.append(CampaignItem(name, test))
+    return out
+
+
+def litmus_suite(paths: Iterable[str]) -> list[CampaignItem]:
+    """Litmus files (neutral format) as campaign items."""
+    from ..litmus.parse import loads
+
+    out = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            test = loads(handle.read())
+        out.append(CampaignItem(test.name, test))
+    return out
+
+
+def execution_suite(
+    executions: Iterable[Execution], prefix: str = "exec"
+) -> list[CampaignItem]:
+    """Bare executions (e.g. a synthesis result's Forbid/Allow lists)."""
+    return [
+        CampaignItem(f"{prefix}-{i}", x) for i, x in enumerate(executions)
+    ]

@@ -1,0 +1,158 @@
+"""Checker resolution: one string names one way to judge a test.
+
+The campaign engine executes a cross-product of *items* × *checkers*.
+A checker maps a campaign payload — a :class:`~repro.litmus.test.LitmusTest`
+or a bare :class:`~repro.core.execution.Execution` — to a boolean
+verdict:
+
+* for a litmus test, "is the postcondition observable?"
+  (:func:`repro.litmus.candidates.observable` semantics);
+* for an execution, "is it consistent under the model?".
+
+Specs are plain strings so they cross process boundaries cheaply (the
+worker pool resolves them locally and memoizes the instantiation):
+
+==================  ====================================================
+``x86``             native Python model from ``repro.models.registry``
+``x86!notm``        the same with ``tm=False`` (baseline view)
+``x86tm``           .cat library model (any ``CAT_MODEL_FILES`` stem,
+                    registry key prefixed ``cat:``, or a ``*.cat`` path)
+``hw:x86``          hardware stand-in from ``repro.sim.oracle``
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from functools import lru_cache
+
+from ..core.execution import Execution
+from ..litmus.candidates import observable
+from ..litmus.test import LitmusTest
+from ..models.base import MemoryModel
+from ..models.registry import MODELS, get_model
+
+__all__ = [
+    "Checker",
+    "ModelChecker",
+    "OracleChecker",
+    "definition_hash",
+    "resolve_checker",
+]
+
+
+def definition_hash(obj) -> str:
+    """A short hash of a model/oracle *definition*, for cache keying.
+
+    Editing a model must invalidate its cached verdicts, so the cache
+    key includes this alongside the spec string.  For ``.cat`` models
+    the parsed AST is hashed (editing the file changes it); for native
+    Python models and oracles, the class source.  Edits to shared
+    helpers in other modules are not caught — bump
+    :data:`repro.engine.cache.CACHE_VERSION` for those.
+    """
+    from ..cat.model import CatModel
+
+    if isinstance(obj, CatModel):
+        text = repr(obj.ast)
+    else:
+        try:
+            text = inspect.getsource(type(obj))
+        except (OSError, TypeError):  # pragma: no cover - builtins only
+            text = repr(type(obj))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+class Checker:
+    """A named verdict function over campaign payloads."""
+
+    def __init__(self, spec: str) -> None:
+        self.spec = spec
+
+    def verdict(self, payload: LitmusTest | Execution) -> bool:
+        raise NotImplementedError
+
+    def definition_hash(self) -> str:
+        """Hash of the underlying definition (see :func:`definition_hash`)."""
+        return ""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.spec}>"
+
+
+class ModelChecker(Checker):
+    """An axiomatic model (native or .cat) used as a checker."""
+
+    def __init__(self, spec: str, model: MemoryModel) -> None:
+        super().__init__(spec)
+        self.model = model
+
+    def verdict(self, payload: LitmusTest | Execution) -> bool:
+        if isinstance(payload, LitmusTest):
+            return observable(payload, self.model)
+        return self.model.consistent(payload)
+
+    def definition_hash(self) -> str:
+        return definition_hash(self.model)
+
+
+class OracleChecker(Checker):
+    """A simulated-hardware oracle used as a checker (litmus tests only)."""
+
+    def __init__(self, spec: str, oracle) -> None:
+        super().__init__(spec)
+        self.oracle = oracle
+
+    def definition_hash(self) -> str:
+        return definition_hash(self.oracle)
+
+    def verdict(self, payload: LitmusTest | Execution) -> bool:
+        if not isinstance(payload, LitmusTest):
+            raise TypeError(
+                f"oracle checker {self.spec!r} needs a litmus test, "
+                f"got {type(payload).__name__}"
+            )
+        return self.oracle.observable(payload)
+
+
+def _cat_file_for(name: str) -> str | None:
+    """Resolve ``name`` to a .cat library file, or None."""
+    from ..cat.model import CAT_MODEL_FILES
+
+    if name.endswith(".cat"):
+        return name
+    if f"{name}.cat" in CAT_MODEL_FILES.values():
+        return f"{name}.cat"
+    return None
+
+
+@lru_cache(maxsize=None)
+def resolve_checker(spec: str) -> Checker:
+    """Instantiate the checker named by ``spec`` (memoized per process)."""
+    if spec.startswith("hw:"):
+        from ..sim.oracle import get_oracle
+
+        return OracleChecker(spec, get_oracle(spec[3:]))
+
+    name, _, suffix = spec.partition("!")
+    if suffix not in ("", "notm"):
+        raise ValueError(f"unknown checker suffix {suffix!r} in {spec!r}")
+    tm = suffix != "notm"
+
+    if name.startswith("cat:"):
+        from ..cat.model import load_cat_model
+
+        return ModelChecker(spec, load_cat_model(name[4:], tm=tm))
+    if name in MODELS:
+        return ModelChecker(spec, get_model(name, tm=tm))
+    cat_file = _cat_file_for(name)
+    if cat_file is not None:
+        from ..cat.model import load_cat_model
+
+        return ModelChecker(spec, load_cat_model(cat_file, tm=tm))
+    raise ValueError(
+        f"unknown checker {spec!r}; use a registry model "
+        f"({', '.join(sorted(MODELS))}), a .cat library name, "
+        f"'cat:<name>', or 'hw:<arch>'"
+    )

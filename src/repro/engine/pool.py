@@ -1,0 +1,53 @@
+"""Chunked process-pool execution with a deterministic serial fallback.
+
+Every parallel path in the engine funnels through :func:`parallel_map`,
+which preserves input order (so results are identical for any worker
+count) and degrades to a plain in-process loop when ``jobs <= 1``, when
+there is only one task, or when the platform cannot fork worker
+processes (sandboxes, restricted CI runners).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["parallel_map", "default_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0``: the CPU count."""
+    return os.cpu_count() or 1
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    tasks: Iterable[T],
+    jobs: int = 1,
+    chunksize: int | None = None,
+) -> list[R]:
+    """``[fn(t) for t in tasks]``, optionally across ``jobs`` processes.
+
+    Results are returned in task order regardless of worker count, so
+    callers see identical output from serial and parallel runs.  ``fn``
+    and the tasks must be picklable when ``jobs > 1``.
+    """
+    items: Sequence[T] = list(tasks)
+    if jobs == 0:
+        jobs = default_jobs()
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(t) for t in items]
+    workers = min(jobs, len(items))
+    if chunksize is None:
+        # ~4 chunks per worker balances scheduling overhead and skew.
+        chunksize = max(1, len(items) // (workers * 4))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except (OSError, PermissionError):
+        # No subprocess support here; fall back to the serial path.
+        return [fn(t) for t in items]

@@ -10,6 +10,11 @@ The columns mirror the paper's: synthesis time, test counts (T), seen (S)
 and not-seen (¬S) on hardware.  The paper's headline shapes must hold:
 **no Forbid test is ever observed**, most Allow tests are, and the unseen
 Power Allow tests are dominated by load-buffering shapes.
+
+The hardware-conformance sweeps run through the campaign engine
+(:mod:`repro.engine`): each suite becomes a campaign against the
+architecture's oracle, so ``jobs`` fans the tests out across workers and
+``cache`` makes repeated table regenerations incremental.
 """
 
 from __future__ import annotations
@@ -17,6 +22,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..engine import CampaignItem, run_campaign
+from ..engine.cache import NullCache, ResultCache
+from ..engine.checkers import OracleChecker
 from ..litmus.from_execution import to_litmus
 from ..sim.oracle import HardwareOracle, get_oracle
 from ..synth.generate import EnumerationSpace
@@ -61,31 +69,61 @@ def _is_lb_shaped(execution) -> bool:
     return not (execution.po | execution.rf_rel).is_acyclic()
 
 
+def _conformance_verdicts(
+    arch: str,
+    n_events: int,
+    kind: str,
+    executions,
+    oracle: HardwareOracle,
+    jobs: int,
+    cache: ResultCache | NullCache | None,
+) -> list[bool]:
+    """Run one suite against the hardware oracle through the engine.
+
+    Each execution becomes a litmus test and one campaign item; the
+    engine handles caching, worker dispatch and memoized candidate
+    expansion.  Verdicts come back in suite order.
+    """
+    checker = OracleChecker(f"hw:{arch}:{oracle.name}", oracle)
+    items = [
+        CampaignItem(
+            f"{arch}-{kind}-{n_events}-{i}",
+            to_litmus(x, f"{arch}-{kind}-{n_events}", arch),
+        )
+        for i, x in enumerate(executions)
+    ]
+    result = run_campaign(items, [checker], jobs=jobs, cache=cache)
+    return [result.verdict(item.name, checker.spec) for item in items]
+
+
 def run_table1_cell(
     arch: str,
     n_events: int,
     oracle: HardwareOracle | None = None,
     time_budget: float | None = None,
     space: EnumerationSpace | None = None,
+    jobs: int = 1,
+    cache: ResultCache | NullCache | None = None,
 ) -> tuple[Table1Row, SynthesisResult]:
     """Synthesize one cell and run conformance against the hardware."""
     oracle = oracle or get_oracle(arch)
     result = synthesize(arch, n_events, time_budget=time_budget, space=space)
 
-    forbid_seen = 0
-    for x in result.forbid:
-        test = to_litmus(x, f"{arch}-forbid-{n_events}", arch)
-        if oracle.observable(test):
-            forbid_seen += 1
+    forbid_seen = sum(
+        _conformance_verdicts(
+            arch, n_events, "forbid", result.forbid, oracle, jobs, cache
+        )
+    )
 
-    allow_seen = 0
-    unseen_lb = 0
-    for x in result.allow:
-        test = to_litmus(x, f"{arch}-allow-{n_events}", arch)
-        if oracle.observable(test):
-            allow_seen += 1
-        elif _is_lb_shaped(x):
-            unseen_lb += 1
+    allow_verdicts = _conformance_verdicts(
+        arch, n_events, "allow", result.allow, oracle, jobs, cache
+    )
+    allow_seen = sum(allow_verdicts)
+    unseen_lb = sum(
+        1
+        for x, seen in zip(result.allow, allow_verdicts)
+        if not seen and _is_lb_shaped(x)
+    )
 
     row = Table1Row(
         arch=arch,
@@ -105,6 +143,8 @@ def run_table1_cell(
 def run_table1(
     bounds: dict[str, list[int]] | None = None,
     time_budget: float | None = 120.0,
+    jobs: int = 1,
+    cache: ResultCache | NullCache | None = None,
 ) -> Table1:
     """Regenerate Table 1 (default bounds sized for a laptop run)."""
     bounds = bounds or {"x86": [2, 3, 4], "power": [2, 3]}
@@ -112,7 +152,7 @@ def run_table1(
     for arch, sizes in bounds.items():
         for n in sizes:
             row, result = run_table1_cell(
-                arch, n, time_budget=time_budget
+                arch, n, time_budget=time_budget, jobs=jobs, cache=cache
             )
             table.rows.append(row)
             table.results.append(result)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..engine.pool import parallel_map
 from ..metatheory.compilation import check_compilation
 from ..metatheory.lockelision import check_lock_elision
 from ..metatheory.monotonicity import check_monotonicity
@@ -53,56 +54,61 @@ _PAPER = {
 }
 
 
+def _run_property_check(
+    task: tuple[str, str, int, bool, float | None],
+) -> Table2Row:
+    """One (property, target) cell — a picklable task for the engine's
+    worker pool."""
+    prop, target, bound, fixed, time_budget = task
+    if prop == "Monotonicity":
+        r = check_monotonicity(target, bound, time_budget=time_budget)
+    elif prop == "Compilation":
+        r = check_compilation(target, bound, time_budget=time_budget)
+    else:
+        r = check_lock_elision(target, fixed=fixed, time_budget=time_budget)
+        bound = 0
+    label = f"{target} (fixed)" if fixed else target
+    return Table2Row(
+        prop, label, bound, r.elapsed,
+        r.counterexample is not None, r.exhausted,
+        _PAPER[(prop, label)],
+    )
+
+
 def run_table2(
     monotonicity_bounds: dict[str, int] | None = None,
     compilation_bound: int = 3,
     time_budget: float | None = 120.0,
+    jobs: int = 1,
 ) -> list[Table2Row]:
-    """Regenerate Table 2 at laptop-sized bounds."""
+    """Regenerate Table 2 at laptop-sized bounds.
+
+    The property checks are independent, so they run through the
+    engine's worker pool; ``jobs=1`` keeps the deterministic serial
+    path and any worker count produces the same rows in the same order.
+    """
     monotonicity_bounds = monotonicity_bounds or {
         "x86": 3,
         "power": 2,
         "armv8": 2,
         "cpp": 3,
     }
-    rows: list[Table2Row] = []
-
+    tasks: list[tuple[str, str, int, bool, float | None]] = []
     for arch, bound in monotonicity_bounds.items():
-        r = check_monotonicity(arch, bound, time_budget=time_budget)
-        rows.append(
-            Table2Row(
-                "Monotonicity", arch, bound, r.elapsed,
-                r.counterexample is not None, r.exhausted,
-                _PAPER[("Monotonicity", arch)],
-            )
-        )
-
+        tasks.append(("Monotonicity", arch, bound, False, time_budget))
     for target in ("x86", "power", "armv8"):
-        r = check_compilation(target, compilation_bound, time_budget=time_budget)
-        rows.append(
-            Table2Row(
-                "Compilation", target, compilation_bound, r.elapsed,
-                r.counterexample is not None, r.exhausted,
-                _PAPER[("Compilation", target)],
-            )
+        tasks.append(
+            ("Compilation", target, compilation_bound, False, time_budget)
         )
-
     for arch, fixed in (
         ("x86", False),
         ("power", False),
         ("armv8", False),
         ("armv8", True),
     ):
-        r = check_lock_elision(arch, fixed=fixed, time_budget=time_budget)
-        label = f"{arch} (fixed)" if fixed else arch
-        rows.append(
-            Table2Row(
-                "Lock elision", label, 0, r.elapsed,
-                r.counterexample is not None, r.exhausted,
-                _PAPER[("Lock elision", label)],
-            )
-        )
-    return rows
+        tasks.append(("Lock elision", arch, 0, fixed, time_budget))
+
+    return parallel_map(_run_property_check, tasks, jobs=jobs)
 
 
 def format_table2(rows: list[Table2Row]) -> str:

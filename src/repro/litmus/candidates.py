@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from ..core.events import Event, EventKind, Label
@@ -32,7 +33,13 @@ from .program import (
 )
 from .test import LitmusTest, Outcome
 
-__all__ = ["Candidate", "candidate_executions", "observable", "all_outcomes"]
+__all__ = [
+    "Candidate",
+    "candidate_executions",
+    "expand_program",
+    "observable",
+    "all_outcomes",
+]
 
 
 @dataclass(frozen=True)
@@ -155,8 +162,60 @@ def _txn_counts(program: Program) -> list[int]:
     ]
 
 
+class _LazyExpansion:
+    """A replayable view of one program's candidate stream.
+
+    Candidates are pulled from the underlying enumerator on demand and
+    retained, so early-exiting consumers (:func:`observable` stops at
+    the first witness) pay only for the prefix they visit, while later
+    consumers — the same test checked against another model — replay
+    the retained prefix instead of re-enumerating.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self._source = _enumerate_candidates(program)
+        self._seen: list[Candidate] = []
+        self._done = False
+
+    def __iter__(self) -> Iterator[Candidate]:
+        i = 0
+        while True:
+            if i < len(self._seen):
+                yield self._seen[i]
+                i += 1
+            elif self._done:
+                return
+            else:
+                try:
+                    self._seen.append(next(self._source))
+                except StopIteration:
+                    self._done = True
+
+
 def candidate_executions(program: Program) -> Iterator[Candidate]:
-    """Yield every candidate execution of ``program``."""
+    """Yield every candidate execution of ``program``.
+
+    Expansion is memoized per program (see :func:`expand_program`), so
+    checking the same test against many models — the campaign engine's
+    cross-product, repeated :func:`observable` calls — enumerates once.
+    The stream stays lazy: consumers that stop early (a postcondition
+    witnessed by the first candidate) never force the full expansion.
+    """
+    return iter(expand_program(program))
+
+
+@lru_cache(maxsize=256)
+def expand_program(program: Program) -> _LazyExpansion:
+    """The memoized (lazily materialized) expansion of ``program``.
+
+    ``Program`` is a frozen dataclass, so the cache key is structural:
+    two syntactically identical tests share one expansion.  The cache is
+    bounded; ``expand_program.cache_clear()`` resets it (tests use this).
+    """
+    return _LazyExpansion(program)
+
+
+def _enumerate_candidates(program: Program) -> Iterator[Candidate]:
     counts = _txn_counts(program)
     commit_spaces = [
         list(itertools.product([True, False], repeat=c)) for c in counts

@@ -127,9 +127,21 @@ def synthesize(
     n_events: int,
     time_budget: float | None = None,
     space: EnumerationSpace | None = None,
+    model: MemoryModel | None = None,
+    baseline: MemoryModel | None = None,
 ) -> SynthesisResult:
-    """Forbid + Allow in one call (the full Table 1 cell)."""
+    """Forbid + Allow in one call (the full Table 1 cell).
+
+    ``model``/``baseline`` may be any :class:`MemoryModel`, including an
+    :class:`~repro.engine.memo.MemoModel` wrapper — the campaign engine's
+    hook for memoized / persistently cached consistency checks.
+    """
     result = synthesize_forbid(
-        arch, n_events, space=space, time_budget=time_budget
+        arch,
+        n_events,
+        space=space,
+        time_budget=time_budget,
+        model=model,
+        baseline=baseline,
     )
-    return synthesize_allow(result)
+    return synthesize_allow(result, model=model)
