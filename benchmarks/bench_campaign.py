@@ -1,21 +1,27 @@
 """Benchmark: campaign-engine throughput.
 
-Measures the three mechanisms the engine stacks on top of a naive
+Measures the mechanisms the engine stacks on top of a naive
 (test, model) double loop:
 
-* cold cross-product — includes candidate expansion per test;
+* cold cross-product — includes candidate expansion per test, through
+  the constraint-pruned incremental enumerator and the shared
+  per-candidate analysis layer;
 * warm expansion memo — a second sweep with more models reuses every
   test's expansion, isolating the per-model check cost;
 * warm persistent cache — a re-run served entirely from
   ``.repro-cache``-style storage (here a tmp dir), the incremental
   re-run path;
 * parallel dispatch — the same cold cross-product across two workers.
+
+Run directly (``python benchmarks/bench_campaign.py --json OUT.json``)
+for the CI artifact: a heavier cold sweep reporting tests/sec and
+candidates/sec, tracked from PR 2 onward.
 """
 
 import pytest
 
 from repro.engine import ResultCache, diy_suite, run_campaign
-from repro.litmus.candidates import expand_program
+from repro.litmus.candidates import _expand_test, expand_program
 
 MODELS = ["x86", "tsc", "sc"]
 
@@ -24,13 +30,22 @@ def _suite():
     return diy_suite("x86", max_length=3)
 
 
-def _cold(suite, models, jobs=1):
+def _clear_expansions():
     expand_program.cache_clear()
+    _expand_test.cache_clear()
+
+
+def _cold(suite, models, jobs=1):
+    _clear_expansions()
     return run_campaign(suite, models, jobs=jobs)
 
 
 def test_campaign_cold(benchmark, once):
     suite = _suite()
+    # One unmeasured run warms process-level state (model classes,
+    # checker resolution, import side effects); the measured run still
+    # re-expands every test from scratch.
+    _cold(suite, MODELS)
     result = once(benchmark, _cold, suite, MODELS)
     assert len(result.cells) == len(suite) * len(MODELS)
     print(result.summary())
@@ -59,3 +74,66 @@ def test_campaign_parallel(benchmark, once):
     result = once(benchmark, _cold, suite, MODELS, 2)
     assert len(result.cells) == len(suite) * len(MODELS)
     print(result.summary())
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: the CI perf artifact (no pytest-benchmark needed)
+# ----------------------------------------------------------------------
+
+#: The heavier sweep the artifact tracks: every architecture model plus
+#: a .cat model and a no-TM baseline, over length-4 diy cycles.
+_ARTIFACT_MODELS = [
+    "x86", "tsc", "sc", "x86tm", "power", "armv8", "riscv", "cpp",
+    "x86!notm",
+]
+
+
+def _artifact(json_path: str) -> dict:
+    import json
+    import time
+
+    from repro.core import profiling
+
+    suite = diy_suite("x86", max_length=4)
+    _clear_expansions()
+    profiler = profiling.enable()
+    start = time.perf_counter()
+    result = run_campaign(suite, _ARTIFACT_MODELS)
+    elapsed = time.perf_counter() - start
+    profiling.disable()
+
+    candidates = profiler.counters.get("candidates", 0)
+    payload = {
+        "benchmark": "campaign-cold-sweep",
+        "tests": len(suite),
+        "models": len(_ARTIFACT_MODELS),
+        "cells": len(result.cells),
+        "candidates": candidates,
+        "elapsed_seconds": round(elapsed, 4),
+        "tests_per_second": round(len(suite) / elapsed, 1),
+        "cells_per_second": round(len(result.cells) / elapsed, 1),
+        "candidates_per_second": round(candidates / elapsed, 1)
+        if elapsed
+        else 0.0,
+        "stage_seconds": {
+            name: round(secs, 4) for name, secs in profiler.seconds.items()
+        },
+    }
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        default="BENCH_campaign.json",
+        help="where to write the perf artifact",
+    )
+    args = parser.parse_args()
+    print(json.dumps(_artifact(args.json), indent=2, sort_keys=True))

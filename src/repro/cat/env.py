@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Callable, Union
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.events import Label
 from ..core.execution import Execution
 from ..core.relation import Relation
@@ -136,63 +137,68 @@ def _range(rel: Value) -> frozenset:
     return rel.codomain()
 
 
-def base_env(x: Execution) -> dict[str, Value]:
-    """The primitive environment for evaluating .cat code against ``x``."""
-    n = x.n
-    all_events = frozenset(range(n))
+def base_env(x: "Execution | CandidateAnalysis") -> dict[str, Value]:
+    """The primitive environment for evaluating .cat code against ``x``.
 
-    def labelled(label: str) -> frozenset:
-        return frozenset(i for i, e in enumerate(x.events) if e.has(label))
+    The bindings are built off the shared
+    :class:`~repro.core.analysis.CandidateAnalysis` and memoized there,
+    so the many ``.cat`` models of a campaign (and repeated evaluations
+    of one model) bootstrap their environment from one computation per
+    candidate.  Each call returns a fresh ``dict`` — evaluators mutate
+    their environment — over the shared values.
+    """
+    a = analyze(x)
+    return dict(a.memo("cat.base_env", lambda: _build_env(a)))
 
-    atomic_txn_events = frozenset(
-        e for txn in x.txns if txn.atomic for e in txn.events
-    )
+
+def _build_env(a: CandidateAnalysis) -> dict[str, Value]:
+    n = a.n
 
     env: dict[str, Value] = {
         # -- event sets ---------------------------------------------------
-        "_": all_events,
-        "R": x.reads,
-        "W": x.writes,
-        "F": x.fences,
-        "M": x.reads | x.writes,
-        "CALL": x.calls,
-        "ACQ": labelled(Label.ACQ),
-        "REL": labelled(Label.REL),
-        "ACQREL": labelled(Label.ACQ_REL),
-        "SC": labelled(Label.SC),
-        "RLX": labelled(Label.RLX),
-        "ATO": labelled(Label.ATO),
-        "X": labelled(Label.EXCL),
-        "MFENCE": labelled(Label.MFENCE),
-        "SYNC": labelled(Label.SYNC),
-        "LWSYNC": labelled(Label.LWSYNC),
-        "ISYNC": labelled(Label.ISYNC),
-        "DMB": labelled(Label.DMB),
-        "DMB.LD": labelled(Label.DMB_LD),
-        "DMB.ST": labelled(Label.DMB_ST),
-        "ISB": labelled(Label.ISB),
-        "FENCE.RW.RW": labelled(Label.FENCE_RW_RW),
-        "FENCE.R.RW": labelled(Label.FENCE_R_RW),
-        "FENCE.RW.W": labelled(Label.FENCE_RW_W),
-        "FENCE.TSO": labelled(Label.FENCE_TSO),
-        "TXN": x.txn_events,
-        "TXNAT": atomic_txn_events,
+        "_": frozenset(range(n)),
+        "R": a.reads,
+        "W": a.writes,
+        "F": a.fences,
+        "M": a.accesses,
+        "CALL": a.calls,
+        "ACQ": a.labelled(Label.ACQ),
+        "REL": a.labelled(Label.REL),
+        "ACQREL": a.labelled(Label.ACQ_REL),
+        "SC": a.labelled(Label.SC),
+        "RLX": a.labelled(Label.RLX),
+        "ATO": a.labelled(Label.ATO),
+        "X": a.labelled(Label.EXCL),
+        "MFENCE": a.labelled(Label.MFENCE),
+        "SYNC": a.labelled(Label.SYNC),
+        "LWSYNC": a.labelled(Label.LWSYNC),
+        "ISYNC": a.labelled(Label.ISYNC),
+        "DMB": a.labelled(Label.DMB),
+        "DMB.LD": a.labelled(Label.DMB_LD),
+        "DMB.ST": a.labelled(Label.DMB_ST),
+        "ISB": a.labelled(Label.ISB),
+        "FENCE.RW.RW": a.labelled(Label.FENCE_RW_RW),
+        "FENCE.R.RW": a.labelled(Label.FENCE_R_RW),
+        "FENCE.RW.W": a.labelled(Label.FENCE_RW_W),
+        "FENCE.TSO": a.labelled(Label.FENCE_TSO),
+        "TXN": a.txn_events,
+        "TXNAT": a.atomic_txn_events,
         # -- relations ----------------------------------------------------
         "id": Relation.identity(n),
-        "po": x.po,
-        "rf": x.rf_rel,
-        "co": x.co_rel,
-        "fr": x.fr,
-        "loc": x.sloc,
-        "int": x.sthd,
-        "ext": Relation.full(n) - x.sthd,
-        "addr": x.addr_rel,
-        "data": x.data_rel,
-        "ctrl": x.ctrl_rel,
-        "rmw": x.rmw_rel,
-        "stxn": x.stxn,
-        "stxnat": x.stxnat,
-        "tfence": x.tfence,
+        "po": a.po,
+        "rf": a.rf_rel,
+        "co": a.co_rel,
+        "fr": a.fr,
+        "loc": a.sloc,
+        "int": a.sthd,
+        "ext": a.ext,
+        "addr": a.addr_rel,
+        "data": a.data_rel,
+        "ctrl": a.ctrl_rel,
+        "rmw": a.rmw_rel,
+        "stxn": a.stxn,
+        "stxnat": a.stxnat,
+        "tfence": a.tfence,
         # -- functions ----------------------------------------------------
         "domain": Builtin("domain", 1, _domain),
         "range": Builtin("range", 1, _range),

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.execution import Execution
 from ..core.relation import Relation
 from .ast import (
@@ -106,14 +107,23 @@ def _as_relation(value: Value, n: int, where: Expr) -> Relation:
 
 
 class _Evaluator:
-    def __init__(self, x: Execution, loader: Loader | None) -> None:
-        self.x = x
-        self.n = x.n
+    def __init__(
+        self, x: "Execution | CandidateAnalysis", loader: Loader | None
+    ) -> None:
+        self.a = analyze(x)
+        self.n = self.a.n
         self.loader = loader
-        self.env: dict[str, Value] = base_env(x)
+        self.env: dict[str, Value] = base_env(self.a)
         self.checks: list[CheckResult] = []
         self.flags: list[CheckResult] = []
         self.included: set[str] = set()
+        # Environment provenance, for the per-candidate include cache:
+        # the env is *pristine* while it equals the base env plus the
+        # deltas of the includes in ``_trail`` — a deterministic function
+        # of the analysis, so those deltas are shareable across
+        # evaluations (and across models including the same prelude).
+        self._pristine = True
+        self._trail: tuple[str, ...] = ()
 
     # -- expression evaluation -------------------------------------------
 
@@ -284,9 +294,11 @@ class _Evaluator:
         else:
             self.checks.append(result)
 
-    def run(self, model: Model) -> None:
+    def run(self, model: Model, _included: bool = False) -> None:
         for stmt in model.statements:
             if isinstance(stmt, Let):
+                if not _included:
+                    self._pristine = False
                 if stmt.params:
                     self.env[stmt.name] = Closure(
                         stmt.name, stmt.params, stmt.body, dict(self.env)
@@ -294,6 +306,8 @@ class _Evaluator:
                 else:
                     self.env[stmt.name] = self.eval(stmt.body, self.env)
             elif isinstance(stmt, LetRec):
+                if not _included:
+                    self._pristine = False
                 self._let_rec(stmt)
             elif isinstance(stmt, Check):
                 self._check(stmt)
@@ -315,16 +329,51 @@ class _Evaluator:
             )
         if stmt.filename in self.included:
             return
+        before_included = frozenset(self.included)
         self.included.add(stmt.filename)
-        self.run(self.loader(stmt.filename))
+        if self._pristine:
+            trail = self._trail + (stmt.filename,)
+            self._trail = trail
+            # The loader is part of the key: the same filename may
+            # resolve to different source under different loaders.
+            key = ("cat.include", self.loader, trail)
+            cached = self.a._memo.get(key)
+            if cached is not None:
+                delta, checks, flags, covered = cached
+                self.env.update(delta)
+                self.checks.extend(checks)
+                self.flags.extend(flags)
+                # Nested includes covered by the cached delta must be
+                # marked, or a later explicit include re-applies them.
+                self.included.update(covered)
+                return
+            before = dict(self.env)
+            before_checks = len(self.checks)
+            before_flags = len(self.flags)
+            self.run(self.loader(stmt.filename), _included=True)
+            missing = object()
+            delta = {
+                name: value
+                for name, value in self.env.items()
+                if before.get(name, missing) is not value
+            }
+            self.a._memo[key] = (
+                delta,
+                tuple(self.checks[before_checks:]),
+                tuple(self.flags[before_flags:]),
+                frozenset(self.included) - before_included,
+            )
+            return
+        self.run(self.loader(stmt.filename), _included=True)
 
 
 def evaluate(
     model: Model | str,
-    x: Execution,
+    x: "Execution | CandidateAnalysis",
     loader: Loader | None = None,
 ) -> EvalResult:
-    """Evaluate ``model`` (parsed or source text) against execution ``x``."""
+    """Evaluate ``model`` (parsed or source text) against ``x`` (an
+    execution or its shared candidate analysis)."""
     if isinstance(model, str):
         model = parse(model)
     ev = _Evaluator(x, loader)
@@ -332,7 +381,7 @@ def evaluate(
     return EvalResult(model.title, ev.checks, ev.flags, ev.env)
 
 
-def evaluate_expr(source: str, x: Execution) -> Value:
+def evaluate_expr(source: str, x: "Execution | CandidateAnalysis") -> Value:
     """Evaluate a single expression against ``x`` with the base env only."""
     from .parser import parse_expression
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 from functools import lru_cache
 from pathlib import Path
 
+from ..core import profiling
+from ..core.analysis import CandidateAnalysis
 from ..core.execution import Execution
 from ..models.base import Axiom, AxiomResult, MemoryModel, Verdict
 from .ast import Check, Include, Model
@@ -75,11 +77,21 @@ class CatModel(MemoryModel):
 
     # -- evaluation ------------------------------------------------------
 
-    def evaluate(self, x: Execution) -> EvalResult:
-        """Full evaluation (respecting the ``tm`` flag)."""
-        return evaluate(self.ast, self._effective(x), _library_loader)
+    def evaluate(self, x: "Execution | CandidateAnalysis") -> EvalResult:
+        """Full evaluation (respecting the ``tm`` flag).
 
-    def relations(self, x: Execution) -> dict:
+        The evaluator consumes the candidate's shared analysis: the
+        primitive environment (and each included library prelude's
+        bindings) is computed once per candidate however many ``.cat``
+        models — or repeated evaluations — see it.
+        """
+        a = self._analysis(x)
+        if profiling.ACTIVE is not None:
+            with profiling.stage("axioms"):
+                return evaluate(self.ast, a, _library_loader)
+        return evaluate(self.ast, a, _library_loader)
+
+    def relations(self, x: "Execution | CandidateAnalysis") -> dict:
         result = self.evaluate(x)
         return {c.name: c.relation for c in result.checks}
 
@@ -95,7 +107,7 @@ class CatModel(MemoryModel):
             out.append(Axiom(check.name, check.kind, check.name))
         return tuple(out)
 
-    def check(self, x: Execution) -> Verdict:
+    def check(self, x: "Execution | CandidateAnalysis") -> Verdict:
         result = self.evaluate(x)
         results = tuple(
             AxiomResult(c.name, c.holds, None if c.holds else "cat-check")
@@ -103,14 +115,14 @@ class CatModel(MemoryModel):
         )
         return Verdict(self.name, all(r.holds for r in results), results)
 
-    def consistent(self, x: Execution) -> bool:
+    def consistent(self, x: "Execution | CandidateAnalysis") -> bool:
         return self.evaluate(x).consistent
 
-    def flags_raised(self, x: Execution) -> list[str]:
+    def flags_raised(self, x: "Execution | CandidateAnalysis") -> list[str]:
         """Names of raised ``flag`` diagnostics (e.g. ``DataRace``)."""
         return self.evaluate(x).flagged
 
-    def race_free(self, x: Execution) -> bool:
+    def race_free(self, x: "Execution | CandidateAnalysis") -> bool:
         """Convenience mirroring :meth:`repro.models.cpp.Cpp.race_free`."""
         return "DataRace" not in self.flags_raised(x)
 
@@ -120,15 +132,24 @@ def load_cat_model(name: str, tm: bool = True) -> CatModel:
 
     ``name`` may be a key of :data:`CAT_MODEL_FILES` (``"x86"``), a
     library file name (``"x86tm.cat"``), or a path to a ``.cat`` file on
-    disk.
+    disk.  Library models mirror the native models, all of which imply
+    per-location coherence, so they are tagged ``enforces_coherence``
+    (ad-hoc ``.cat`` files stay conservative).
     """
     if name in CAT_MODEL_FILES:
         filename = CAT_MODEL_FILES[name]
-        return CatModel(library_source(filename), name=name, tm=tm)
+        model = CatModel(library_source(filename), name=name, tm=tm)
+        model.enforces_coherence = True
+        return model
     path = Path(name)
     if path.suffix == ".cat" and not path.is_file():
         # A bare library file name like "x86tm.cat".
-        return CatModel(library_source(name), name=path.stem, tm=tm)
+        model = CatModel(library_source(name), name=path.stem, tm=tm)
+        # Only the *model* files mirror coherence-enforcing native
+        # models; library preludes (stdlib.cat, powerppo.cat) carry no
+        # checks at all and must stay conservative.
+        model.enforces_coherence = name in CAT_MODEL_FILES.values()
+        return model
     if path.is_file():
         return CatModel(path.read_text(), name=path.stem, tm=tm)
     raise ValueError(

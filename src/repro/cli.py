@@ -141,6 +141,7 @@ def _cmd_fig7(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    from .core import profiling
     from .engine import (
         catalog_suite,
         diy_suite,
@@ -161,10 +162,27 @@ def _cmd_campaign(args) -> int:
 
     models = (args.models or args.arch).split(",")
     cache = _make_cache(args)
-    result = run_campaign(items, models, jobs=args.jobs, cache=cache)
+    jobs = args.jobs
+    profiler = None
+    if args.profile:
+        # Stage timers live in this process; worker processes would not
+        # report back, so profiling forces the deterministic serial path.
+        if jobs != 1:
+            print("--profile forces --jobs 1 (timers are per-process)")
+            jobs = 1
+        profiler = profiling.enable()
+    try:
+        result = run_campaign(items, models, jobs=jobs, cache=cache)
+    finally:
+        if profiler is not None:
+            profiling.disable()
     print(result.format_matrix())
     print()
     print(result.summary())
+    if profiler is not None:
+        print()
+        print("per-stage timing (self time):")
+        print(profiler.report())
     if cache.path is not None:
         print(f"cache: {cache.path} ({cache.stats()})")
     diffs = result.diffs(items)
@@ -318,6 +336,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="diy relaxation vocabulary (comma-separated)")
     p.add_argument("--length", type=int, default=3,
                    help="max diy cycle length")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-stage timing breakdown "
+                        "(expansion / analysis / axioms / cache)")
     add_engine_options(p)
 
     p = sub.add_parser("table1", help="regenerate Table 1")

@@ -1,5 +1,6 @@
-"""Core substrate: relations, events, executions, well-formedness."""
+"""Core substrate: relations, events, executions, analyses, well-formedness."""
 
+from .analysis import CandidateAnalysis, analyze
 from .builder import ExecutionBuilder, ThreadBuilder
 from .events import Event, EventKind, Label, call, fence, read, write
 from .execution import Execution, Transaction
@@ -14,6 +15,8 @@ from .wellformed import (
 )
 
 __all__ = [
+    "CandidateAnalysis",
+    "analyze",
     "Event",
     "EventKind",
     "Execution",

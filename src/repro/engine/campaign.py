@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..core import profiling
 from ..core.execution import Execution
 from ..litmus.test import LitmusTest
 from .cache import NullCache, ResultCache, cache_key, fingerprint
@@ -265,13 +266,18 @@ def run_campaign(
     for item in items:
         # Fingerprinting is the expensive per-item step; skip it
         # entirely on uncached runs.
-        item_fp = fingerprint(item.payload) if caching else None
+        if caching:
+            with profiling.stage("cache"):
+                item_fp = fingerprint(item.payload)
+        else:
+            item_fp = None
         for spec in models:
             record = None
             if caching:
-                key = cache_key(item_fp, spec, definitions[spec])
-                keys[(item.name, spec)] = key
-                record = cache.get(key)
+                with profiling.stage("cache"):
+                    key = cache_key(item_fp, spec, definitions[spec])
+                    keys[(item.name, spec)] = key
+                    record = cache.get(key)
             if record is not None:
                 hits += 1
                 cells[(item.name, spec)] = CellResult(
@@ -297,15 +303,16 @@ def run_campaign(
         for name, spec, verdict, elapsed in result:
             cells[(name, spec)] = CellResult(verdict, elapsed, cached=False)
             if caching:
-                cache.put(
-                    keys[(name, spec)],
-                    {
-                        "verdict": verdict,
-                        "elapsed": round(elapsed, 6),
-                        "item": name,
-                        "model": spec,
-                    },
-                )
+                with profiling.stage("cache"):
+                    cache.put(
+                        keys[(name, spec)],
+                        {
+                            "verdict": verdict,
+                            "elapsed": round(elapsed, 6),
+                            "item": name,
+                            "model": spec,
+                        },
+                    )
 
     return CampaignResult(
         item_names=names,

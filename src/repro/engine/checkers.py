@@ -82,7 +82,16 @@ class Checker:
 
 
 class ModelChecker(Checker):
-    """An axiomatic model (native or .cat) used as a checker."""
+    """An axiomatic model (native or .cat) used as a checker.
+
+    Checkers of one campaign share one
+    :class:`~repro.core.analysis.CandidateAnalysis` per candidate: work
+    is grouped by test, the memoized candidate streams hand every
+    checker the *same* ``Execution`` objects, and each model reads its
+    base relations off the analysis attached to them.  Models declaring
+    :attr:`~repro.models.base.MemoryModel.enforces_coherence` further
+    skip (or never expand) candidates violating per-location coherence.
+    """
 
     def __init__(self, spec: str, model: MemoryModel) -> None:
         super().__init__(spec)

@@ -42,6 +42,8 @@ class MemoModel(MemoryModel):
         super().__init__(tm=model.tm)
         self.model = model
         self.arch = model.arch
+        # Candidate streams gate on this flag; the proxy must mirror it.
+        self.enforces_coherence = getattr(model, "enforces_coherence", False)
         # The definition hash keeps persistently cached verdicts honest:
         # editing the wrapped model's axioms invalidates them.
         self.spec = f"consistent:{model.name}@{definition_hash(model)}"

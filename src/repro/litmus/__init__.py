@@ -1,6 +1,14 @@
 """Litmus tests: programs, postconditions, conversion, expansion, text."""
 
-from .candidates import Candidate, all_outcomes, candidate_executions, observable
+from .candidates import (
+    Candidate,
+    all_outcomes,
+    brute_force_candidates,
+    candidate_executions,
+    expand_test,
+    observable,
+    set_expansion_cache_limit,
+)
 from .from_execution import to_litmus
 from .parse import ParseError, dumps, loads
 from .program import CtrlBranch, Fence, Instruction, Load, Program, Store, TxBegin, TxEnd
@@ -25,10 +33,13 @@ __all__ = [
     "TxEnd",
     "TxnOk",
     "all_outcomes",
+    "brute_force_candidates",
     "candidate_executions",
     "dumps",
+    "expand_test",
     "loads",
     "observable",
+    "set_expansion_cache_limit",
     "render",
     "render_armv8",
     "render_cpp",

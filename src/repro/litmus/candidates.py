@@ -7,17 +7,42 @@ same-location store or the initial value, every location's stores are
 ordered arbitrarily by coherence, and every transaction independently
 commits or aborts (an aborted transaction's events vanish, section 3.1).
 
+The enumeration is an *incremental constraint-pruned search* rather than
+a materialised cross-product:
+
+* per-shape work (global renumbering, dependency/transaction lifting,
+  write indexes, per-location permutation tables) is hoisted out of the
+  rf × co loops;
+* every candidate carries a ``coherent`` bit — the classic uniproc
+  patterns (coWW/coRW/coWR/coRR) are detected incrementally while rf is
+  assigned, which is exactly ``acyclic(po_loc ∪ com)``.  Consumers
+  checking a model that :attr:`~repro.models.base.MemoryModel.
+  enforces_coherence` skip the full axiom sweep for incoherent
+  candidates; ``coherent_only=True`` prunes them *before* an
+  ``Execution`` is even built;
+* :func:`expand_test` threads a litmus test's postcondition through the
+  search: commit choices contradicting ``TxnOk`` atoms, rf choices
+  contradicting register atoms, and co permutations contradicting final
+  -memory/coherence-sequence atoms are pruned at their loop level, so
+  the permutations of locations the postcondition cannot distinguish
+  are never expanded for failing branches.
+
 :func:`observable` then answers the question the Litmus tool answers on
-hardware: can this test's postcondition be satisfied under a given model?
+hardware: can this test's postcondition be satisfied under a given
+model?  :func:`brute_force_candidates` retains the original
+cross-product enumerator as the oracle for the randomized equivalence
+suite (``tests/test_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Iterator
+from typing import Callable, Iterator
 
+from ..core import profiling
 from ..core.events import Event, EventKind, Label
 from ..core.execution import Execution, Transaction
 from ..models.base import MemoryModel
@@ -31,23 +56,32 @@ from .program import (
     TxBegin,
     TxEnd,
 )
-from .test import LitmusTest, Outcome
+from .test import CoSeq, LitmusTest, MemEq, Outcome, RegEq, TxnOk
 
 __all__ = [
     "Candidate",
     "candidate_executions",
     "expand_program",
+    "expand_test",
+    "brute_force_candidates",
     "observable",
     "all_outcomes",
+    "set_expansion_cache_limit",
 ]
 
 
 @dataclass(frozen=True)
 class Candidate:
-    """One candidate execution of a program plus its final state."""
+    """One candidate execution of a program plus its final state.
+
+    ``coherent`` records whether the execution satisfies per-location
+    coherence (``acyclic(po_loc ∪ com)``), determined for free during
+    the incremental enumeration.
+    """
 
     execution: Execution
     outcome: Outcome
+    coherent: bool = True
 
 
 @dataclass
@@ -162,20 +196,54 @@ def _txn_counts(program: Program) -> list[int]:
     ]
 
 
+# ----------------------------------------------------------------------
+# Replayable, bounded candidate streams
+# ----------------------------------------------------------------------
+
+#: Candidates retained per stream before falling through to
+#: re-enumeration (``REPRO_EXPANSION_CACHE`` overrides).
+_DEFAULT_CACHE_LIMIT = 20_000
+
+_cache_limit = int(
+    os.environ.get("REPRO_EXPANSION_CACHE", _DEFAULT_CACHE_LIMIT)
+)
+
+
+def set_expansion_cache_limit(limit: int) -> int:
+    """Set the per-stream candidate retention cap; returns the old cap.
+
+    Streams retain at most this many candidates for replay by later
+    consumers (the same test checked against another model).  Beyond the
+    cap, iteration falls through to re-enumeration, so huge tests cannot
+    pin their full candidate set in memory via the expansion memos.
+    """
+    global _cache_limit
+    old = _cache_limit
+    _cache_limit = int(limit)
+    return old
+
+
 class _LazyExpansion:
-    """A replayable view of one program's candidate stream.
+    """A replayable view of one candidate stream.
 
     Candidates are pulled from the underlying enumerator on demand and
-    retained, so early-exiting consumers (:func:`observable` stops at
-    the first witness) pay only for the prefix they visit, while later
-    consumers — the same test checked against another model — replay
-    the retained prefix instead of re-enumerating.
+    retained (up to the cache limit), so early-exiting consumers
+    (:func:`observable` stops at the first witness) pay only for the
+    prefix they visit, while later consumers — the same test checked
+    against another model — replay the retained prefix instead of
+    re-enumerating.  Past the limit each consumer re-enumerates its own
+    tail from the deterministic source, trading CPU for bounded memory.
     """
 
-    def __init__(self, program: Program) -> None:
-        self._source = _enumerate_candidates(program)
+    def __init__(self, factory: Callable[[], Iterator[Candidate]]) -> None:
+        self._factory = factory
+        self._source = factory()
         self._seen: list[Candidate] = []
         self._done = False
+
+    def _pull(self) -> None:
+        """Advance the shared source by one candidate into ``_seen``."""
+        self._seen.append(_next_profiled(self._source))
 
     def __iter__(self) -> Iterator[Candidate]:
         i = 0
@@ -185,14 +253,37 @@ class _LazyExpansion:
                 i += 1
             elif self._done:
                 return
+            elif len(self._seen) >= _cache_limit:
+                # Retention cap reached (read dynamically, so lowering
+                # the limit also bounds already-memoized streams): this
+                # consumer re-enumerates its own tail — the source is
+                # deterministic.
+                tail = itertools.islice(self._factory(), i, None)
+                while True:
+                    try:
+                        yield _next_profiled(tail)
+                    except StopIteration:
+                        return
             else:
                 try:
-                    self._seen.append(next(self._source))
+                    self._pull()
                 except StopIteration:
                     self._done = True
 
 
-def candidate_executions(program: Program) -> Iterator[Candidate]:
+def _next_profiled(source: Iterator[Candidate]) -> Candidate:
+    """``next(source)`` attributed to the ``expansion`` profiling stage."""
+    if profiling.ACTIVE is not None:
+        with profiling.stage("expansion"):
+            item = next(source)
+        profiling.count("candidates")
+        return item
+    return next(source)
+
+
+def candidate_executions(
+    program: Program, coherent_only: bool = False
+) -> Iterator[Candidate]:
     """Yield every candidate execution of ``program``.
 
     Expansion is memoized per program (see :func:`expand_program`), so
@@ -200,23 +291,87 @@ def candidate_executions(program: Program) -> Iterator[Candidate]:
     cross-product, repeated :func:`observable` calls — enumerates once.
     The stream stays lazy: consumers that stop early (a postcondition
     witnessed by the first candidate) never force the full expansion.
+
+    ``coherent_only=True`` prunes candidates violating per-location
+    coherence during the search (sound for any consumer whose model
+    enforces the Coherence axiom — all of the paper's models do).
     """
-    return iter(expand_program(program))
+    return iter(expand_program(program, coherent_only))
 
 
 @lru_cache(maxsize=256)
-def expand_program(program: Program) -> _LazyExpansion:
+def _expand_program_cached(
+    program: Program, coherent_only: bool
+) -> _LazyExpansion:
+    return _LazyExpansion(
+        lambda: _enumerate_candidates(program, coherent_only=coherent_only)
+    )
+
+
+def expand_program(
+    program: Program, coherent_only: bool = False
+) -> _LazyExpansion:
     """The memoized (lazily materialized) expansion of ``program``.
 
     ``Program`` is a frozen dataclass, so the cache key is structural:
     two syntactically identical tests share one expansion.  The cache is
     bounded; ``expand_program.cache_clear()`` resets it (tests use this).
     """
-    return _LazyExpansion(program)
+    # Normalize the argument shape so ``expand_program(p)`` and
+    # ``candidate_executions(p)`` share one cache entry.
+    return _expand_program_cached(program, bool(coherent_only))
 
 
-def _enumerate_candidates(program: Program) -> Iterator[Candidate]:
+expand_program.cache_clear = _expand_program_cached.cache_clear
+expand_program.cache_info = _expand_program_cached.cache_info
+
+
+def expand_test(
+    test: LitmusTest, coherent_only: bool = False
+) -> _LazyExpansion:
+    """The memoized postcondition-filtered expansion of ``test``.
+
+    The stream contains exactly the candidates whose outcome satisfies
+    the test's postcondition, enumerated with the postcondition pushed
+    into the search (see the module docstring), and is shared by every
+    model the test is checked against.  The memo key is the (program,
+    postcondition) pair — the only inputs expansion depends on.
+    """
+    return _expand_test(test.program, test.postcondition, coherent_only)
+
+
+@lru_cache(maxsize=256)
+def _expand_test(
+    program: Program,
+    postcondition: tuple,
+    coherent_only: bool,
+) -> _LazyExpansion:
+    return _LazyExpansion(
+        lambda: _enumerate_candidates(
+            program, postcondition=postcondition, coherent_only=coherent_only
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# The incremental search
+# ----------------------------------------------------------------------
+
+
+def _enumerate_candidates(
+    program: Program,
+    postcondition: tuple | None = None,
+    coherent_only: bool = False,
+) -> Iterator[Candidate]:
     counts = _txn_counts(program)
+    txn_atoms = (
+        [a for a in postcondition if isinstance(a, TxnOk)]
+        if postcondition
+        else []
+    )
+    for atom in txn_atoms:
+        if atom.tid >= len(counts) or atom.index >= counts[atom.tid]:
+            return  # the transaction never exists: unsatisfiable
     commit_spaces = [
         list(itertools.product([True, False], repeat=c)) for c in counts
     ]
@@ -224,29 +379,61 @@ def _enumerate_candidates(program: Program) -> Iterator[Candidate]:
         committed_sets = [
             {i: ok for i, ok in enumerate(choices)} for choices in commit_choice
         ]
+        # TxnOk atoms are decided entirely by the commit choice: prune
+        # contradicting choices before expanding any thread.
+        if any(
+            committed_sets[a.tid][a.index] != a.ok for a in txn_atoms
+        ):
+            continue
         shapes = [
             _expand_thread(thread, committed_sets[tid])
             for tid, thread in enumerate(program.threads)
         ]
         if any(shape is None for shape in shapes):
             continue  # a committed transaction aborts unconditionally
-        yield from _expand_memory(program, shapes, committed_sets)
+        yield from _expand_memory(
+            program, shapes, committed_sets, postcondition=postcondition,
+            coherent_only=coherent_only,
+        )
+
+
+def _coww_ok(order: tuple[int, ...], thread_of: list[int]) -> bool:
+    """True iff a coherence order agrees with po on same-thread writes
+    (ids within a thread are po-ordered by construction)."""
+    last: dict[int, int] = {}
+    for w in order:
+        tid = thread_of[w]
+        prev = last.get(tid)
+        if prev is not None and prev > w:
+            return False
+        last[tid] = w
+    return True
 
 
 def _expand_memory(
     program: Program,
     shapes: list[_ThreadShape],
     committed_sets: list[dict[int, bool]],
+    postcondition: tuple | None = None,
+    coherent_only: bool = False,
 ) -> Iterator[Candidate]:
-    """Enumerate rf choices and co orders for fixed thread shapes."""
-    # Global renumbering: threads in order, events in program order.
+    """Incrementally enumerate rf choices and co orders for fixed shapes.
+
+    All shape-level structure is hoisted; rf is assigned read by read
+    with the uniproc coherence patterns checked against the chosen co,
+    and postcondition atoms are applied at the outermost loop level that
+    decides them.
+    """
+    # -- global renumbering: threads in order, events in program order --
     offset: list[int] = []
     events: list[Event] = []
     threads: list[list[int]] = []
-    for shape in shapes:
+    thread_of: list[int] = []
+    for tid, shape in enumerate(shapes):
         offset.append(len(events))
         threads.append(list(range(len(events), len(events) + len(shape.events))))
         events.extend(shape.events)
+        thread_of.extend([tid] * len(shape.events))
 
     def glob(tid: int, local: int) -> int:
         return offset[tid] + local
@@ -267,10 +454,10 @@ def _expand_memory(
 
     # Conditional aborts in committed transactions: the condition read
     # must observe zero, i.e. the initial value (store values are
-    # non-zero by validation).
-    condition_reads: list[int] = []
+    # non-zero by validation) — its rf space collapses to {init}.
+    condition_reads: set[int] = set()
     for tid, shape in enumerate(shapes):
-        condition_reads.extend(glob(tid, c) for c in shape.abort_conditions)
+        condition_reads.update(glob(tid, c) for c in shape.abort_conditions)
 
     deps = {"addr": [], "data": [], "ctrl": [], "rmw": []}
     txns: list[Transaction] = []
@@ -299,60 +486,393 @@ def _expand_memory(
         if not ok
     )
 
-    rf_spaces = [
-        [None] + writes_by_loc.get(events[r].loc, [])
-        for _, r, _ in reads
-    ]
-    co_locs = [loc for loc, ws in writes_by_loc.items() if len(ws) > 1]
-    co_spaces = [list(itertools.permutations(writes_by_loc[loc])) for loc in co_locs]
+    # -- postcondition atoms decided by this shape -----------------------
+    reg_atoms: dict[tuple[int, str], int] = {}
+    mem_atoms: dict[str, int] = {}
+    coseq_atoms: dict[str, tuple[int, ...]] = {}
+    if postcondition is not None:
+        for atom in postcondition:
+            if isinstance(atom, RegEq):
+                want = reg_atoms.setdefault((atom.tid, atom.reg), atom.value)
+                if want != atom.value:
+                    return  # contradictory conjunction
+            elif isinstance(atom, MemEq):
+                want = mem_atoms.setdefault(atom.loc, atom.value)
+                if want != atom.value:
+                    return
+            elif isinstance(atom, CoSeq):
+                want = coseq_atoms.setdefault(atom.loc, atom.values)
+                if want != atom.values:
+                    return
+        # Registers never defined in this shape stay 0.
+        defined = {(tid, reg) for tid, _, reg in reads}
+        for key, value in reg_atoms.items():
+            if key not in defined and value != 0:
+                return
+        # Locations with fewer than two writes have a fixed final state.
+        for loc, value in mem_atoms.items():
+            ws = writes_by_loc.get(loc, [])
+            if len(ws) < 2:
+                final = store_values[ws[0]] if ws else 0
+                if final != value:
+                    return
+        for loc, values in coseq_atoms.items():
+            ws = writes_by_loc.get(loc, [])
+            if len(ws) < 2:
+                fixed = tuple(store_values[w] for w in ws)
+                if fixed != values:
+                    return
 
-    nonempty_threads = [t for t in threads if t]
-    for rf_choice in itertools.product(*rf_spaces):
-        rf = {
-            r: w
-            for (_, r, _), w in zip(reads, rf_choice)
-            if w is not None
+    # -- rf spaces, statically restricted --------------------------------
+    last_def: dict[tuple[int, str], int] = {}
+    for i, (tid, _, reg) in enumerate(reads):
+        last_def[(tid, reg)] = i
+
+    rf_spaces: list[list[int | None]] = []
+    for i, (tid, gid, reg) in enumerate(reads):
+        if gid in condition_reads:
+            space: list[int | None] = [None]
+        else:
+            space = [None] + writes_by_loc.get(events[gid].loc, [])
+        want = reg_atoms.get((tid, reg))
+        if want is not None and last_def[(tid, reg)] == i:
+            space = [
+                w
+                for w in space
+                if (0 if w is None else store_values[w]) == want
+            ]
+        if not space:
+            return
+        rf_spaces.append(space)
+
+    # -- per-read structure for the uniproc coherence patterns -----------
+    read_loc = [events[gid].loc for _, gid, _ in reads]
+    #: same-thread same-location writes po-before / po-after each read
+    writes_before: list[list[int]] = []
+    writes_after: list[list[int]] = []
+    #: po-earlier same-thread same-location reads (indices into reads)
+    prev_reads: list[list[int]] = []
+    for i, (tid, gid, _) in enumerate(reads):
+        ws = writes_by_loc.get(read_loc[i], [])
+        writes_before.append(
+            [w for w in ws if thread_of[w] == tid and w < gid]
+        )
+        writes_after.append(
+            [w for w in ws if thread_of[w] == tid and w > gid]
+        )
+        prev_reads.append(
+            [
+                j
+                for j in range(i)
+                if reads[j][0] == tid and read_loc[j] == read_loc[i]
+            ]
+        )
+
+    # -- co permutation tables, postcondition- and coWW-annotated --------
+    base_co = {
+        loc: (ws[0],) for loc, ws in writes_by_loc.items() if len(ws) == 1
+    }
+    co_locs = [loc for loc, ws in writes_by_loc.items() if len(ws) > 1]
+    co_tables: list[list[tuple[tuple[int, ...], bool]]] = []
+    for loc in co_locs:
+        table = []
+        mem_want = mem_atoms.get(loc)
+        seq_want = coseq_atoms.get(loc)
+        for perm in itertools.permutations(writes_by_loc[loc]):
+            if mem_want is not None and store_values[perm[-1]] != mem_want:
+                continue
+            if seq_want is not None and (
+                tuple(store_values[w] for w in perm) != seq_want
+            ):
+                continue
+            ok = _coww_ok(perm, thread_of)
+            if coherent_only and not ok:
+                continue
+            table.append((perm, ok))
+        if not table:
+            return
+        co_tables.append(table)
+
+    # -- structure shared by every candidate -----------------------------
+    events_t = tuple(events)
+    nonempty_threads = tuple(t for t in threads if t)
+    addr_fs = frozenset(deps["addr"])
+    data_fs = frozenset(deps["data"])
+    ctrl_fs = frozenset(deps["ctrl"])
+    rmw_fs = frozenset(deps["rmw"])
+    txns_t = tuple(txns)
+    n_reads = len(reads)
+    chosen: list[int | None] = [None] * n_reads
+
+    for co_sel in itertools.product(*co_tables):
+        co: dict[str, tuple[int, ...]] = dict(base_co)
+        co_ok = True
+        copos: dict[int, int] = {}
+        for loc, (perm, ok) in zip(co_locs, co_sel):
+            co[loc] = perm
+            co_ok = co_ok and ok
+            for pos, w in enumerate(perm):
+                copos[w] = pos
+        for loc, order in base_co.items():
+            copos[order[0]] = 0
+
+        memory = {
+            loc: store_values[order[-1]] for loc, order in co.items()
         }
-        if any(c in rf for c in condition_reads):
-            continue  # a committed transaction's abort would have fired
-        for co_choice in itertools.product(*co_spaces):
-            co = {loc: order for loc, order in zip(co_locs, co_choice)}
-            for loc, ws in writes_by_loc.items():
-                if len(ws) == 1:
-                    co[loc] = tuple(ws)
-            execution = Execution(
-                events=events,
-                threads=nonempty_threads,
-                rf=rf,
-                co=co,
-                addr=deps["addr"],
-                data=deps["data"],
-                ctrl=deps["ctrl"],
-                rmw=deps["rmw"],
-                txns=txns,
+        write_orders = {
+            loc: tuple(store_values[w] for w in order)
+            for loc, order in co.items()
+        }
+
+        # Incremental rf assignment with per-read coherence checks
+        # against the chosen co.
+        def assign(i: int, ok_prefix: bool) -> Iterator[Candidate]:
+            if i == n_reads:
+                rf = {
+                    reads[j][1]: w
+                    for j, w in enumerate(chosen)
+                    if w is not None
+                }
+                execution = Execution(
+                    events=events_t,
+                    threads=nonempty_threads,
+                    rf=rf,
+                    co=co,
+                    addr=addr_fs,
+                    data=data_fs,
+                    ctrl=ctrl_fs,
+                    rmw=rmw_fs,
+                    txns=txns_t,
+                )
+                registers = {
+                    (tid, reg): (
+                        store_values[chosen[j]]
+                        if chosen[j] is not None
+                        else 0
+                    )
+                    for j, (tid, _, reg) in enumerate(reads)
+                }
+                outcome = Outcome(
+                    registers=registers,
+                    memory=memory,
+                    committed=committed,
+                    aborted=aborted,
+                    write_orders=write_orders,
+                )
+                # The atom-level pruning above is exhaustive; this final
+                # check is a cheap guard so the filtered stream can never
+                # over-approximate the postcondition.
+                if postcondition is None or all(
+                    outcome.satisfies(atom) for atom in postcondition
+                ):
+                    yield Candidate(execution, outcome, coherent=ok_prefix)
+                return
+            tid, gid, _ = reads[i]
+            for w in rf_spaces[i]:
+                ok = ok_prefix
+                if ok:
+                    if w is None:
+                        # coWR-init: a same-thread write was overtaken.
+                        if writes_before[i]:
+                            ok = False
+                        else:
+                            # coRR-init: an earlier read saw a write.
+                            for j in prev_reads[i]:
+                                if chosen[j] is not None:
+                                    ok = False
+                                    break
+                    else:
+                        pos = copos[w]
+                        # coRW1: reading a po-later same-thread write.
+                        if thread_of[w] == tid and w > gid:
+                            ok = False
+                        if ok:
+                            # coWR: a po-earlier same-thread write is
+                            # co-after the write being read.
+                            for wb in writes_before[i]:
+                                if copos[wb] > pos:
+                                    ok = False
+                                    break
+                        if ok:
+                            # coRW2: a po-later same-thread write is
+                            # co-before the write being read.
+                            for wa in writes_after[i]:
+                                if copos[wa] < pos:
+                                    ok = False
+                                    break
+                        if ok:
+                            # coRR: same-thread reads observing writes
+                            # against the coherence order.
+                            for j in prev_reads[i]:
+                                wj = chosen[j]
+                                if wj is not None and copos[wj] > pos:
+                                    ok = False
+                                    break
+                if coherent_only and not ok:
+                    continue
+                chosen[i] = w
+                yield from assign(i + 1, ok)
+            chosen[i] = None
+
+        yield from assign(0, co_ok)
+
+
+# ----------------------------------------------------------------------
+# Reference brute-force enumerator (kept as the equivalence oracle)
+# ----------------------------------------------------------------------
+
+
+def brute_force_candidates(program: Program) -> Iterator[Candidate]:
+    """The original materialised rf × co cross-product, unpruned.
+
+    Kept as the reference semantics: the randomized equivalence suite
+    asserts the incremental search yields exactly this candidate set
+    (as execution signatures and outcomes).  The ``coherent`` bit is
+    computed from first principles here.
+    """
+    counts = _txn_counts(program)
+    commit_spaces = [
+        list(itertools.product([True, False], repeat=c)) for c in counts
+    ]
+    for commit_choice in itertools.product(*commit_spaces):
+        committed_sets = [
+            {i: ok for i, ok in enumerate(choices)} for choices in commit_choice
+        ]
+        shapes = [
+            _expand_thread(thread, committed_sets[tid])
+            for tid, thread in enumerate(program.threads)
+        ]
+        if any(shape is None for shape in shapes):
+            continue
+        offset: list[int] = []
+        events: list[Event] = []
+        threads: list[list[int]] = []
+        for shape in shapes:
+            offset.append(len(events))
+            threads.append(
+                list(range(len(events), len(events) + len(shape.events)))
             )
-            registers = {
-                (tid, reg): (store_values[rf[r]] if r in rf else 0)
-                for tid, r, reg in reads
+            events.extend(shape.events)
+
+        store_values: dict[int, int] = {}
+        writes_by_loc: dict[str, list[int]] = {}
+        for tid, shape in enumerate(shapes):
+            for local, value in shape.store_values.items():
+                store_values[offset[tid] + local] = value
+        for eid, event in enumerate(events):
+            if event.is_write:
+                writes_by_loc.setdefault(event.loc, []).append(eid)
+
+        reads: list[tuple[int, int, str]] = []
+        for tid, shape in enumerate(shapes):
+            for local, reg in shape.reads:
+                reads.append((tid, offset[tid] + local, reg))
+
+        condition_reads = [
+            offset[tid] + c
+            for tid, shape in enumerate(shapes)
+            for c in shape.abort_conditions
+        ]
+
+        deps = {"addr": [], "data": [], "ctrl": [], "rmw": []}
+        txns: list[Transaction] = []
+        for tid, shape in enumerate(shapes):
+            for name in ("addr", "data", "ctrl", "rmw"):
+                deps[name].extend(
+                    (offset[tid] + a, offset[tid] + b)
+                    for a, b in getattr(shape, name)
+                )
+            for first, last, atomic in shape.txns:
+                txns.append(
+                    Transaction(
+                        tuple(
+                            range(offset[tid] + first, offset[tid] + last + 1)
+                        ),
+                        atomic,
+                    )
+                )
+
+        committed = frozenset(
+            (tid, idx)
+            for tid, chosen in enumerate(committed_sets)
+            for idx, ok in chosen.items()
+            if ok
+        )
+        aborted = frozenset(
+            (tid, idx)
+            for tid, chosen in enumerate(committed_sets)
+            for idx, ok in chosen.items()
+            if not ok
+        )
+
+        rf_spaces = [
+            [None] + writes_by_loc.get(events[r].loc, [])
+            for _, r, _ in reads
+        ]
+        co_locs = [loc for loc, ws in writes_by_loc.items() if len(ws) > 1]
+        co_spaces = [
+            list(itertools.permutations(writes_by_loc[loc])) for loc in co_locs
+        ]
+
+        nonempty_threads = [t for t in threads if t]
+        for rf_choice in itertools.product(*rf_spaces):
+            rf = {
+                r: w
+                for (_, r, _), w in zip(reads, rf_choice)
+                if w is not None
             }
-            memory = {
-                loc: store_values[order[-1]]
-                for loc, order in co.items()
-                if order
-            }
-            write_orders = {
-                loc: tuple(store_values[w] for w in order)
-                for loc, order in co.items()
-                if order
-            }
-            outcome = Outcome(
-                registers=registers,
-                memory=memory,
-                committed=committed,
-                aborted=aborted,
-                write_orders=write_orders,
-            )
-            yield Candidate(execution, outcome)
+            if any(c in rf for c in condition_reads):
+                continue  # a committed transaction's abort would have fired
+            for co_choice in itertools.product(*co_spaces):
+                co = {loc: order for loc, order in zip(co_locs, co_choice)}
+                for loc, ws in writes_by_loc.items():
+                    if len(ws) == 1:
+                        co[loc] = tuple(ws)
+                execution = Execution(
+                    events=events,
+                    threads=nonempty_threads,
+                    rf=rf,
+                    co=co,
+                    addr=deps["addr"],
+                    data=deps["data"],
+                    ctrl=deps["ctrl"],
+                    rmw=deps["rmw"],
+                    txns=txns,
+                )
+                registers = {
+                    (tid, reg): (store_values[rf[r]] if r in rf else 0)
+                    for tid, r, reg in reads
+                }
+                memory = {
+                    loc: store_values[order[-1]]
+                    for loc, order in co.items()
+                    if order
+                }
+                write_orders = {
+                    loc: tuple(store_values[w] for w in order)
+                    for loc, order in co.items()
+                    if order
+                }
+                outcome = Outcome(
+                    registers=registers,
+                    memory=memory,
+                    committed=committed,
+                    aborted=aborted,
+                    write_orders=write_orders,
+                )
+                coherent = (execution.po_loc | execution.com).is_acyclic()
+                yield Candidate(execution, outcome, coherent=coherent)
+
+
+# ----------------------------------------------------------------------
+# Consumers
+# ----------------------------------------------------------------------
+
+
+#: Bound on the per-sweep verdict memo: past this the memo resets, so a
+#: huge test cannot pin every distinct candidate (and its attached
+#: analysis) in memory — mirroring the expansion retention cap.
+_VERDICT_MEMO_LIMIT = 1 << 12
 
 
 def observable(test: LitmusTest, model: MemoryModel) -> bool:
@@ -361,17 +881,44 @@ def observable(test: LitmusTest, model: MemoryModel) -> bool:
     This is the axiomatic analogue of running the test on hardware: the
     test is observable iff some consistent candidate execution satisfies
     the postcondition.
+
+    The candidate stream is postcondition-filtered during enumeration
+    (shared by every model checking the same test); when the model
+    declares :attr:`~repro.models.base.MemoryModel.enforces_coherence`,
+    incoherent candidates are pruned before executions are built.
+    Structurally identical candidates (same
+    :meth:`~repro.core.execution.Execution.signature`) are checked once.
     """
-    for candidate in candidate_executions(test.program):
-        if test.check(candidate.outcome) and model.consistent(candidate.execution):
+    coherent_only = getattr(model, "enforces_coherence", False)
+    verdicts: dict[Execution, bool] = {}
+    for candidate in expand_test(test, coherent_only):
+        if coherent_only and not candidate.coherent:
+            continue
+        verdict = verdicts.get(candidate.execution)
+        if verdict is None:
+            verdict = model.consistent(candidate.execution)
+            if len(verdicts) >= _VERDICT_MEMO_LIMIT:
+                verdicts.clear()
+            verdicts[candidate.execution] = verdict
+        if verdict:
             return True
     return False
 
 
 def all_outcomes(test: LitmusTest, model: MemoryModel) -> set[tuple]:
     """All final states reachable under ``model`` (as hashable keys)."""
+    coherence_gate = getattr(model, "enforces_coherence", False)
+    verdicts: dict[Execution, bool] = {}
     out: set[tuple] = set()
     for candidate in candidate_executions(test.program):
-        if model.consistent(candidate.execution):
+        if coherence_gate and not candidate.coherent:
+            continue  # never consistent under this model
+        verdict = verdicts.get(candidate.execution)
+        if verdict is None:
+            verdict = model.consistent(candidate.execution)
+            if len(verdicts) >= _VERDICT_MEMO_LIMIT:
+                verdicts.clear()
+            verdicts[candidate.execution] = verdict
+        if verdict:
             out.add(candidate.outcome.key())
     return out

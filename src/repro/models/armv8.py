@@ -18,9 +18,9 @@ incompatible with lock elision:
 
 from __future__ import annotations
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.events import Label
 from ..core.execution import Execution
-from ..core.lifting import stronglift
 from ..core.relation import Relation
 from .base import Axiom, DerivedRelations, MemoryModel
 
@@ -31,69 +31,67 @@ class ARMv8(MemoryModel):
     """ARMv8 (multicopy-atomic) with the proposed TM extension."""
 
     arch = "armv8"
+    enforces_coherence = True
 
-    def _dob(self, x: Execution) -> Relation:
+    def _dob(self, a: CandidateAnalysis) -> Relation:
         """Dependency-ordered-before."""
-        n = x.n
-        writes = Relation.lift(n, x.writes)
-        isb_events = [i for i in x.fences if x.events[i].has(Label.ISB)]
-        isb_lift = Relation.lift(n, isb_events)
-        dep_to_isb = (x.ctrl_rel | (x.addr_rel @ x.po)) @ isb_lift @ x.po
+        writes = a.lift(a.writes)
+        isb_lift = a.lift(a.labelled(Label.ISB) & a.fences)
+        dep_to_isb = (a.ctrl_rel | (a.addr_rel @ a.po)) @ isb_lift @ a.po
         return (
-            x.addr_rel
-            | x.data_rel
-            | (x.ctrl_rel @ writes)
+            a.addr_rel
+            | a.data_rel
+            | (a.ctrl_rel @ writes)
             | dep_to_isb
-            | (x.addr_rel @ x.po @ writes)
-            | ((x.addr_rel | x.data_rel) @ x.rfi)
+            | (a.addr_rel @ a.po @ writes)
+            | ((a.addr_rel | a.data_rel) @ a.rfi)
         )
 
-    def _aob(self, x: Execution) -> Relation:
+    def _aob(self, a: CandidateAnalysis) -> Relation:
         """Atomic-ordered-before: RMWs, and acquire loads that read from
         the write half of a local RMW."""
-        n = x.n
-        acq_reads = Relation.lift(
-            n, (r for r in x.reads if x.events[r].has(Label.ACQ))
-        )
-        rmw_writes = Relation.lift(n, x.rmw_rel.codomain())
-        return x.rmw_rel | (rmw_writes @ x.rfi @ acq_reads)
+        acq_reads = a.lift(a.labelled(Label.ACQ) & a.reads)
+        rmw_writes = a.lift(a.rmw_rel.codomain())
+        return a.rmw_rel | (rmw_writes @ a.rfi @ acq_reads)
 
-    def _bob(self, x: Execution) -> Relation:
+    def _bob(self, a: CandidateAnalysis) -> Relation:
         """Barrier-ordered-before: DMB variants plus one-way
         release/acquire fencing."""
-        n = x.n
-        reads = Relation.lift(n, x.reads)
-        writes = Relation.lift(n, x.writes)
-        acq = Relation.lift(
-            n, (r for r in x.reads if x.events[r].has(Label.ACQ))
-        )
-        rel = Relation.lift(
-            n, (w for w in x.writes if x.events[w].has(Label.REL))
-        )
-        dmb = x.fence_rel(Label.DMB)
-        dmb_ld = reads @ x.fence_rel(Label.DMB_LD)
-        dmb_st = writes @ x.fence_rel(Label.DMB_ST) @ writes
+        reads = a.lift(a.reads)
+        writes = a.lift(a.writes)
+        acq = a.lift(a.labelled(Label.ACQ) & a.reads)
+        rel = a.lift(a.labelled(Label.REL) & a.writes)
+        dmb = a.fence_rel(Label.DMB)
+        dmb_ld = reads @ a.fence_rel(Label.DMB_LD)
+        dmb_st = writes @ a.fence_rel(Label.DMB_ST) @ writes
         return (
             dmb
             | dmb_ld
             | dmb_st
-            | (acq @ x.po)
-            | (x.po @ rel)
-            | (rel @ x.po @ acq)
-            | (x.po @ rel @ x.coi)
+            | (acq @ a.po)
+            | (a.po @ rel)
+            | (rel @ a.po @ acq)
+            | (a.po @ rel @ a.coi)
         )
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        ob_base = (
-            x.come | self._dob(x) | self._aob(x) | self._bob(x) | x.tfence
+    def _ob_skeleton(self, a: CandidateAnalysis) -> Relation:
+        """The transaction-independent part of ordered-before."""
+        return a.memo(
+            "armv8.ob_base",
+            lambda: a.come | self._dob(a) | self._aob(a) | self._bob(a),
+            txn_free=True,
         )
+
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        a = analyze(x)
+        ob_base = self._ob_skeleton(a) | a.tfence
         return {
-            "coherence": x.po_loc | x.com,
+            "coherence": a.coherence,
             "ob": ob_base,
-            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
-            "strong_isol": stronglift(x.com, x.stxn),
-            "txn_order": stronglift(ob_base.plus(), x.stxn),
-            "txn_cancels_rmw": x.rmw_rel & x.tfence,
+            "rmw_isol": a.rmw_isol,
+            "strong_isol": a.stronglift(a.com),
+            "txn_order": a.stronglift(ob_base.plus()),
+            "txn_cancels_rmw": a.rmw_rel & a.tfence,
         }
 
     def axioms(self) -> tuple[Axiom, ...]:

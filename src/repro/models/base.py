@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from ..core import profiling
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.execution import Execution
 from ..core.relation import Relation
 
@@ -107,6 +109,14 @@ class MemoryModel:
     #: Short architecture tag ("sc", "x86", "power", "armv8", "cpp").
     arch: str = ""
 
+    #: True iff the model's axioms imply per-location coherence
+    #: (``acyclic(po_loc ∪ com)``).  The candidate enumerator tags each
+    #: candidate with a coherence bit; consumers skip the full axiom
+    #: sweep for incoherent candidates of models that declare this.
+    #: Every architecture model in the paper enforces it; the default is
+    #: conservative for ad-hoc subclasses.
+    enforces_coherence: bool = False
+
     def __init__(self, tm: bool = True) -> None:
         self.tm = tm
 
@@ -117,8 +127,14 @@ class MemoryModel:
 
     # -- to be provided by subclasses ----------------------------------
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        """Compute the model's derived relations for ``x``."""
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        """Compute the model's derived relations for ``x``.
+
+        Implementations start with ``a = analyze(x)`` and read every
+        base relation off the shared :class:`CandidateAnalysis`, so one
+        candidate checked by many models derives ``po``/``fr``/``ppo``/…
+        exactly once.
+        """
         raise NotImplementedError
 
     def axioms(self) -> tuple[Axiom, ...]:
@@ -130,18 +146,31 @@ class MemoryModel:
     def _effective(self, x: Execution) -> Execution:
         return x if self.tm else x.without_transactions()
 
-    def check(self, x: Execution) -> Verdict:
+    def _analysis(self, x: "Execution | CandidateAnalysis") -> CandidateAnalysis:
+        """The analysis this model evaluates against: the candidate's
+        shared analysis, or its transaction-erased baseline view when
+        ``tm=False`` (the section 5.3 non-transactional sweep)."""
+        a = analyze(x)
+        return a if self.tm else a.baseline
+
+    def check(self, x: "Execution | CandidateAnalysis") -> Verdict:
         """Evaluate every axiom; return a full report with witnesses."""
-        relations = self.relations(self._effective(x))
+        relations = self.relations(self._analysis(x))
         results = tuple(axiom.evaluate(relations) for axiom in self.axioms())
         return Verdict(self.name, all(r.holds for r in results), results)
 
-    def consistent(self, x: Execution) -> bool:
+    def consistent(self, x: "Execution | CandidateAnalysis") -> bool:
         """Fast yes/no consistency (short-circuits on first failure)."""
-        relations = self.relations(self._effective(x))
+        if profiling.ACTIVE is not None:
+            with profiling.stage("axioms"):
+                relations = self.relations(self._analysis(x))
+                return all(
+                    axiom.holds(relations) for axiom in self.axioms()
+                )
+        relations = self.relations(self._analysis(x))
         return all(axiom.holds(relations) for axiom in self.axioms())
 
-    def failed_axioms(self, x: Execution) -> list[str]:
+    def failed_axioms(self, x: "Execution | CandidateAnalysis") -> list[str]:
         """Names of the axioms the execution violates."""
         return [r.name for r in self.check(x).failures]
 

@@ -21,9 +21,9 @@ axioms: it is a predicate on whole programs.  Use :meth:`Cpp.race_free`.
 
 from __future__ import annotations
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.events import Label
 from ..core.execution import Execution
-from ..core.lifting import weaklift
 from ..core.relation import Relation
 from .base import Axiom, DerivedRelations, MemoryModel
 
@@ -33,79 +33,112 @@ _ACQ_MODES = frozenset({Label.ACQ, Label.ACQ_REL, Label.SC})
 _REL_MODES = frozenset({Label.REL, Label.ACQ_REL, Label.SC})
 
 
-def atomic_events(x: Execution) -> frozenset[int]:
+def atomic_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
     """``Ato``: accesses from atomic operations."""
-    return frozenset(
-        i for i in x.accesses if x.events[i].has(Label.ATO)
+    a = analyze(x)
+    return a.memo(
+        "cpp.ato",
+        lambda: a.labelled(Label.ATO) & a.accesses,
+        txn_free=True,
     )
 
 
-def acquire_events(x: Execution) -> frozenset[int]:
+def acquire_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
     """Events with acquire semantics: acq/acq_rel/sc reads and fences."""
-    out = set()
-    for i, e in enumerate(x.events):
-        if e.mode in _ACQ_MODES and (e.is_read or e.is_fence):
-            out.add(i)
-    return frozenset(out)
+    a = analyze(x)
+
+    def compute() -> frozenset[int]:
+        return frozenset(
+            i
+            for i, e in enumerate(a.events)
+            if e.mode in _ACQ_MODES and (e.is_read or e.is_fence)
+        )
+
+    return a.memo("cpp.acq", compute, txn_free=True)
 
 
-def release_events(x: Execution) -> frozenset[int]:
+def release_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
     """Events with release semantics: rel/acq_rel/sc writes and fences."""
-    out = set()
-    for i, e in enumerate(x.events):
-        if e.mode in _REL_MODES and (e.is_write or e.is_fence):
-            out.add(i)
-    return frozenset(out)
+    a = analyze(x)
+
+    def compute() -> frozenset[int]:
+        return frozenset(
+            i
+            for i, e in enumerate(a.events)
+            if e.mode in _REL_MODES and (e.is_write or e.is_fence)
+        )
+
+    return a.memo("cpp.rel", compute, txn_free=True)
 
 
-def sc_events(x: Execution) -> frozenset[int]:
+def sc_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
     """``SC``: events with memory order seq_cst."""
-    return frozenset(i for i, e in enumerate(x.events) if e.mode == Label.SC)
+    a = analyze(x)
+    return a.memo(
+        "cpp.sc",
+        lambda: frozenset(
+            i for i, e in enumerate(a.events) if e.mode == Label.SC
+        ),
+        txn_free=True,
+    )
 
 
 class Cpp(MemoryModel):
     """RC11 plus the transactional extensions of section 7."""
 
     arch = "cpp"
+    #: RC11's HbCom axiom (irreflexive(hb ; eco?)) subsumes SC-per-location
+    #: [Lahav et al. 2017], so incoherent candidates are never consistent.
+    enforces_coherence = True
 
-    def _sw(self, x: Execution) -> Relation:
-        """Synchronises-with, including release sequences and fences."""
-        n = x.n
-        w = Relation.lift(n, x.writes)
-        w_ato = Relation.lift(n, atomic_events(x) & x.writes)
-        r_ato = Relation.lift(n, atomic_events(x) & x.reads)
-        f = Relation.lift(n, x.fences)
-        rel = Relation.lift(n, release_events(x))
-        acq = Relation.lift(n, acquire_events(x))
+    def _sw(self, a: CandidateAnalysis) -> Relation:
+        """Synchronises-with, including release sequences and fences
+        (transaction-independent, memoized per candidate)."""
 
-        rs = w @ x.po_loc.opt() @ w_ato @ (x.rf_rel @ x.rmw_rel).star()
-        return (
-            rel
-            @ (f @ x.po).opt()
-            @ rs
-            @ x.rf_rel
-            @ r_ato
-            @ (x.po @ f).opt()
-            @ acq
+        def compute() -> Relation:
+            w = a.lift(a.writes)
+            w_ato = a.lift(atomic_events(a) & a.writes)
+            r_ato = a.lift(atomic_events(a) & a.reads)
+            f = a.lift(a.fences)
+            rel = a.lift(release_events(a))
+            acq = a.lift(acquire_events(a))
+
+            rs = w @ a.po_loc.opt() @ w_ato @ (a.rf_rel @ a.rmw_rel).star()
+            return (
+                rel
+                @ (f @ a.po).opt()
+                @ rs
+                @ a.rf_rel
+                @ r_ato
+                @ (a.po @ f).opt()
+                @ acq
+            )
+
+        return a.memo("cpp.sw", compute, txn_free=True)
+
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        a = analyze(x)
+        ecom = a.memo(
+            "cpp.ecom",
+            lambda: a.com | (a.co_rel @ a.rf_rel),
+            txn_free=True,
+        )
+        tsw = a.weaklift(ecom)
+        hb = a.memo(
+            "cpp.hb", lambda: (a.po | self._sw(a) | tsw).plus()
         )
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        n = x.n
-        ecom = x.com | (x.co_rel @ x.rf_rel)
-        tsw = weaklift(ecom, x.stxn)
-        hb = (x.po | self._sw(x) | tsw).plus()
-
         # RC11 psc.
-        sc_all = Relation.lift(n, sc_events(x))
-        sc_fence = Relation.lift(n, sc_events(x) & x.fences)
-        sb_neq_loc = x.po - x.sloc
-        eco = x.com.plus()
+        sc_all = a.lift(sc_events(a))
+        sc_fence = a.lift(sc_events(a) & a.fences)
+        sb_neq_loc = a.po - a.sloc
+        eco = a.com.plus()
         scb = (
-            x.po
+            a.po
             | (sb_neq_loc @ hb @ sb_neq_loc)
-            | (hb & x.sloc)
-            | x.co_rel
-            | x.fr
+            | (hb & a.sloc)
+            | a.co_rel
+            | a.fr
         )
         psc_base = (
             (sc_all | (sc_fence @ hb.opt()))
@@ -116,9 +149,9 @@ class Cpp(MemoryModel):
 
         return {
             "hb": hb,
-            "hb_com": hb @ x.com.star(),
-            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
-            "thin_air": x.po | x.rf_rel,
+            "hb_com": hb @ a.com.star(),
+            "rmw_isol": a.rmw_isol,
+            "thin_air": a.po | a.rf_rel,
             "psc": psc_base | psc_fence,
         }
 
@@ -134,23 +167,23 @@ class Cpp(MemoryModel):
     # Race freedom (the NoRace predicate at the bottom of Fig. 9)
     # ------------------------------------------------------------------
 
-    def conflicts(self, x: Execution) -> Relation:
+    def conflicts(self, x: "Execution | CandidateAnalysis") -> Relation:
         """``cnf``: same-location pairs, at least one a write, not both the
         same event."""
-        n = x.n
-        ww = Relation.cross(n, x.writes, x.writes)
-        rw = Relation.cross(n, x.reads, x.writes)
-        wr = Relation.cross(n, x.writes, x.reads)
-        return ((ww | rw | wr) & x.sloc).remove_diagonal()
+        a = analyze(x)
+        ww = a.cross(a.writes, a.writes)
+        rw = a.cross(a.reads, a.writes)
+        wr = a.cross(a.writes, a.reads)
+        return ((ww | rw | wr) & a.sloc).remove_diagonal()
 
-    def races(self, x: Execution) -> Relation:
+    def races(self, x: "Execution | CandidateAnalysis") -> Relation:
         """Conflicting pairs that are neither both atomic nor hb-ordered."""
-        x = self._effective(x)
-        ato = atomic_events(x)
-        ato_sq = Relation.cross(x.n, ato, ato)
-        hb = self.relations(x)["hb"]
-        return self.conflicts(x) - ato_sq - (hb | hb.inverse())
+        a = self._analysis(x)
+        ato = atomic_events(a)
+        ato_sq = a.cross(ato, ato)
+        hb = self.relations(a)["hb"]
+        return self.conflicts(a) - ato_sq - (hb | hb.inverse())
 
-    def race_free(self, x: Execution) -> bool:
+    def race_free(self, x: "Execution | CandidateAnalysis") -> bool:
         """The NoRace predicate: no race in this execution."""
         return self.races(x).is_empty()

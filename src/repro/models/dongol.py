@@ -17,10 +17,9 @@ two models over the whole enumerated execution space.
 
 from __future__ import annotations
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.events import Label
 from ..core.execution import Execution
-from ..core.lifting import stronglift
-from ..core.relation import Relation
 from .base import Axiom, DerivedRelations, MemoryModel
 from .power import power_ppo
 
@@ -31,33 +30,34 @@ class DongolPower(MemoryModel):
     """Power with transactions that are atomic but impose no ordering."""
 
     arch = "power-dongol"
+    enforces_coherence = True
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        n = x.n
-        writes = Relation.lift(n, x.writes)
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        a = analyze(x)
+        writes = a.lift(a.writes)
 
-        ppo = power_ppo(x)
-        sync = x.fence_rel(Label.SYNC)
-        lwsync = x.fence_rel(Label.LWSYNC)
-        wr = Relation.cross(n, x.writes, x.reads)
+        ppo = power_ppo(a)
+        sync = a.fence_rel(Label.SYNC)
+        lwsync = a.fence_rel(Label.LWSYNC)
+        wr = a.cross(a.writes, a.reads)
 
         fence = sync | (lwsync - wr)
         ihb = ppo | fence
-        hb = x.rfe.opt() @ ihb @ x.rfe.opt()
+        hb = a.rfe.opt() @ ihb @ a.rfe.opt()
         hb_star = hb.star()
 
-        efence = x.rfe.opt() @ fence @ x.rfe.opt()
+        efence = a.rfe.opt() @ fence @ a.rfe.opt()
         prop1 = writes @ efence @ hb_star @ writes
-        prop2 = x.come.star() @ efence.star() @ hb_star @ sync @ hb_star
+        prop2 = a.come.star() @ efence.star() @ hb_star @ sync @ hb_star
         prop = prop1 | prop2
 
         return {
-            "coherence": x.po_loc | x.com,
-            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "coherence": a.coherence,
+            "rmw_isol": a.rmw_isol,
             "hb": hb,
-            "propagation": x.co_rel | prop,
-            "observation": x.fre @ prop @ hb_star,
-            "strong_isol": stronglift(x.com, x.stxn),
+            "propagation": a.co_rel | prop,
+            "observation": a.fre @ prop @ hb_star,
+            "strong_isol": a.stronglift(a.com),
         }
 
     def axioms(self) -> tuple[Axiom, ...]:

@@ -26,16 +26,16 @@ The highlighted TM additions (all implemented below):
 
 from __future__ import annotations
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.events import Label
 from ..core.execution import Execution
-from ..core.lifting import stronglift, weaklift
 from ..core.relation import Relation
 from .base import Axiom, DerivedRelations, MemoryModel
 
 __all__ = ["Power", "power_ppo"]
 
 
-def power_ppo(x: Execution) -> Relation:
+def power_ppo(x: "Execution | CandidateAnalysis") -> Relation:
     """Preserved program order: the herding-cats ii/ic/ci/cc fixpoint.
 
     ::
@@ -48,22 +48,31 @@ def power_ppo(x: Execution) -> Relation:
         ci  = ci0 | ci;ii | cc;ci
         cc  = cc0 | ci | ci;ic | cc;cc
         ppo = (R×R ∩ ii) | (R×W ∩ ic)
+
+    The fixpoint is transaction-independent and memoized on the shared
+    candidate analysis: the Power and Dongol models (and their
+    ``tm=False`` baselines) compute it once per candidate.
     """
-    n = x.n
-    dd = x.addr_rel | x.data_rel
-    po = x.po
-    rdw = x.po_loc & (x.fre @ x.rfe)
-    detour = x.po_loc & (x.coe @ x.rfe)
+    a = analyze(x)
+    return a.memo("power.ppo", lambda: _power_ppo(a), txn_free=True)
+
+
+def _power_ppo(a: CandidateAnalysis) -> Relation:
+    n = a.n
+    dd = a.addr_rel | a.data_rel
+    po = a.po
+    rdw = a.po_loc & (a.fre @ a.rfe)
+    detour = a.po_loc & (a.coe @ a.rfe)
     isync_events = [
-        i for i in x.fences if x.events[i].has(Label.ISYNC)
+        i for i in a.fences if a.events[i].has(Label.ISYNC)
     ]
     ctrl_isync = (
-        x.ctrl_rel.restrict(range(n), isync_events) @ po
-    ) | (x.ctrl_rel & x.fence_rel(Label.ISYNC))
+        a.ctrl_rel.restrict(range(n), isync_events) @ po
+    ) | (a.ctrl_rel & a.fence_rel(Label.ISYNC))
 
-    ii0 = dd | rdw | x.rfi
+    ii0 = dd | rdw | a.rfi
     ci0 = ctrl_isync | detour
-    cc0 = dd | x.po_loc | x.ctrl_rel | (x.addr_rel @ po)
+    cc0 = dd | a.po_loc | a.ctrl_rel | (a.addr_rel @ po)
 
     empty = Relation.empty(n)
     ii, ic, ci, cc = ii0, empty, ci0, cc0
@@ -76,8 +85,8 @@ def power_ppo(x: Execution) -> Relation:
             break
         ii, ic, ci, cc = new_ii, new_ic, new_ci, new_cc
 
-    rr = Relation.cross(n, x.reads, x.reads)
-    rw = Relation.cross(n, x.reads, x.writes)
+    rr = a.cross(a.reads, a.reads)
+    rw = a.cross(a.reads, a.writes)
     return (rr & ii) | (rw & ic)
 
 
@@ -85,48 +94,49 @@ class Power(MemoryModel):
     """Power with the ISA 3.0 transactional-memory facility."""
 
     arch = "power"
+    enforces_coherence = True
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        n = x.n
-        writes = Relation.lift(n, x.writes)
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        a = analyze(x)
+        writes = a.lift(a.writes)
 
-        ppo = power_ppo(x)
-        sync = x.fence_rel(Label.SYNC)
-        lwsync = x.fence_rel(Label.LWSYNC)
-        wr = Relation.cross(n, x.writes, x.reads)
-        tfence = x.tfence
+        ppo = power_ppo(a)
+        sync = a.fence_rel(Label.SYNC)
+        lwsync = a.fence_rel(Label.LWSYNC)
+        wr = a.cross(a.writes, a.reads)
+        tfence = a.tfence
 
         fence = sync | tfence | (lwsync - wr)
         ihb = ppo | fence
 
-        frecoe = x.fre | x.coe
+        frecoe = a.fre | a.coe
         # thb: chains of ihb and external communication, excluding
         # (fre|coe);rfe sub-chains that end mid-chain (they give no
         # ordering on a non-multicopy-atomic machine).
         thb = (
-            (x.rfe | (frecoe.star() @ ihb)).star()
+            (a.rfe | (frecoe.star() @ ihb)).star()
             @ frecoe.star()
-            @ x.rfe.opt()
+            @ a.rfe.opt()
         )
-        hb = (x.rfe.opt() @ ihb @ x.rfe.opt()) | weaklift(thb, x.stxn)
+        hb = (a.rfe.opt() @ ihb @ a.rfe.opt()) | a.weaklift(thb)
         hb_star = hb.star()
 
-        efence = x.rfe.opt() @ fence @ x.rfe.opt()
+        efence = a.rfe.opt() @ fence @ a.rfe.opt()
         prop1 = writes @ efence @ hb_star @ writes
-        prop2 = x.come.star() @ efence.star() @ hb_star @ (sync | tfence) @ hb_star
-        tprop1 = x.rfe @ x.stxn @ writes
-        tprop2 = x.stxn @ x.rfe
+        prop2 = a.come.star() @ efence.star() @ hb_star @ (sync | tfence) @ hb_star
+        tprop1 = a.rfe @ a.stxn @ writes
+        tprop2 = a.stxn @ a.rfe
         prop = prop1 | prop2 | tprop1 | tprop2
 
         return {
-            "coherence": x.po_loc | x.com,
-            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "coherence": a.coherence,
+            "rmw_isol": a.rmw_isol,
             "hb": hb,
-            "propagation": x.co_rel | prop,
-            "observation": x.fre @ prop @ hb_star,
-            "strong_isol": stronglift(x.com, x.stxn),
-            "txn_order": stronglift(hb, x.stxn),
-            "txn_cancels_rmw": x.rmw_rel & x.tfence,
+            "propagation": a.co_rel | prop,
+            "observation": a.fre @ prop @ hb_star,
+            "strong_isol": a.stronglift(a.com),
+            "txn_order": a.stronglift(hb),
+            "txn_cancels_rmw": a.rmw_rel & a.tfence,
         }
 
     def axioms(self) -> tuple[Axiom, ...]:

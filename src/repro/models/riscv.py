@@ -47,32 +47,31 @@ the critical-region body.
 
 from __future__ import annotations
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.events import Label
 from ..core.execution import Execution
-from ..core.lifting import stronglift
 from ..core.relation import Relation
 from .base import Axiom, DerivedRelations, MemoryModel
 
 __all__ = ["RiscV", "riscv_ppo"]
 
 
-def _fence_order(x: Execution) -> Relation:
+def _fence_order(a: CandidateAnalysis) -> Relation:
     """The order induced by the four modelled FENCE flavours.
 
     ``fence pr,ps`` orders predecessor-set events before successor-set
     events; ``fence.tso`` orders R→RW and W→W.
     """
-    n = x.n
-    r = Relation.lift(n, x.reads)
-    w = Relation.lift(n, x.writes)
-    full = x.fence_rel(Label.FENCE_RW_RW)
-    r_rw = r @ x.fence_rel(Label.FENCE_R_RW)
-    rw_w = x.fence_rel(Label.FENCE_RW_W) @ w
-    tso = x.fence_rel(Label.FENCE_TSO)
+    r = a.lift(a.reads)
+    w = a.lift(a.writes)
+    full = a.fence_rel(Label.FENCE_RW_RW)
+    r_rw = r @ a.fence_rel(Label.FENCE_R_RW)
+    rw_w = a.fence_rel(Label.FENCE_RW_W) @ w
+    tso = a.fence_rel(Label.FENCE_TSO)
     return full | r_rw | rw_w | (r @ tso) | (w @ tso @ w)
 
 
-def riscv_ppo(x: Execution) -> Relation:
+def riscv_ppo(x: "Execution | CandidateAnalysis") -> Relation:
     """Preserved program order: the thirteen RVWMO rules.
 
     Rule numbering follows the RVWMO chapter of the spec:
@@ -93,42 +92,45 @@ def riscv_ppo(x: Execution) -> Relation:
     r12   load that reads from a dependency-ordered local store
     r13   address dependency followed by any access, into a store
     ====  ======================================================
+
+    The rule union is transaction-independent and memoized on the
+    shared candidate analysis (one computation per candidate across
+    the ``tm`` sweeps).
     """
-    n = x.n
-    reads = Relation.lift(n, x.reads)
-    writes = Relation.lift(n, x.writes)
-    rr = Relation.cross(n, x.reads, x.reads)
+    a = analyze(x)
+    return a.memo("riscv.ppo", lambda: _riscv_ppo(a), txn_free=True)
 
-    rsw = x.rf_rel.inverse() @ x.rf_rel
-    po_loc_no_w = x.po_loc - (x.po_loc @ writes @ x.po_loc)
 
-    aq = Relation.lift(n, (e for e in x.reads if x.events[e].has(Label.ACQ)))
-    rl = Relation.lift(n, (e for e in x.writes if x.events[e].has(Label.REL)))
-    rcsc_events = frozenset(
-        e
-        for e in x.accesses
-        if x.events[e].has(Label.ACQ) or x.events[e].has(Label.REL)
+def _riscv_ppo(a: CandidateAnalysis) -> Relation:
+    reads = a.lift(a.reads)
+    writes = a.lift(a.writes)
+    rr = a.cross(a.reads, a.reads)
+
+    rsw = a.rf_rel.inverse() @ a.rf_rel
+    po_loc_no_w = a.po_loc - (a.po_loc @ writes @ a.po_loc)
+
+    aq = a.lift(a.labelled(Label.ACQ) & a.reads)
+    rl = a.lift(a.labelled(Label.REL) & a.writes)
+    rcsc = a.lift(
+        (a.labelled(Label.ACQ) | a.labelled(Label.REL)) & a.accesses
     )
-    rcsc = Relation.lift(n, rcsc_events)
-    atomic_writes = Relation.lift(
-        n,
-        x.rmw_rel.codomain()
-        | {w for w in x.writes if x.events[w].has(Label.EXCL)},
+    atomic_writes = a.lift(
+        a.rmw_rel.codomain() | (a.labelled(Label.EXCL) & a.writes)
     )
 
-    r1 = x.po_loc @ writes
+    r1 = a.po_loc @ writes
     r2 = (po_loc_no_w & rr) - rsw
-    r3 = atomic_writes @ x.rfi
-    r4 = _fence_order(x)
-    r5 = aq @ x.po
-    r6 = x.po @ rl
-    r7 = rcsc @ x.po @ rcsc
-    r8 = x.rmw_rel
-    r9 = x.addr_rel
-    r10 = x.data_rel @ writes
-    r11 = x.ctrl_rel @ writes
-    r12 = reads @ (x.addr_rel | x.data_rel) @ x.rfi
-    r13 = x.addr_rel @ x.po @ writes
+    r3 = atomic_writes @ a.rfi
+    r4 = _fence_order(a)
+    r5 = aq @ a.po
+    r6 = a.po @ rl
+    r7 = rcsc @ a.po @ rcsc
+    r8 = a.rmw_rel
+    r9 = a.addr_rel
+    r10 = a.data_rel @ writes
+    r11 = a.ctrl_rel @ writes
+    r12 = reads @ (a.addr_rel | a.data_rel) @ a.rfi
+    r13 = a.addr_rel @ a.po @ writes
 
     return r1 | r2 | r3 | r4 | r5 | r6 | r7 | r8 | r9 | r10 | r11 | r12 | r13
 
@@ -137,16 +139,18 @@ class RiscV(MemoryModel):
     """RVWMO with the TM extension built by the paper's recipe."""
 
     arch = "riscv"
+    enforces_coherence = True
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        main = riscv_ppo(x) | x.rfe | x.coe | x.fre | x.tfence
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        a = analyze(x)
+        main = riscv_ppo(a) | a.rfe | a.coe | a.fre | a.tfence
         return {
-            "coherence": x.po_loc | x.com,
-            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "coherence": a.coherence,
+            "rmw_isol": a.rmw_isol,
             "main": main,
-            "strong_isol": stronglift(x.com, x.stxn),
-            "txn_order": stronglift(main.plus(), x.stxn),
-            "txn_cancels_rmw": x.rmw_rel & x.tfence,
+            "strong_isol": a.stronglift(a.com),
+            "txn_order": a.stronglift(main.plus()),
+            "txn_cancels_rmw": a.rmw_rel & a.tfence,
         }
 
     def axioms(self) -> tuple[Axiom, ...]:

@@ -14,23 +14,30 @@ TxnOrder subsumes StrongIsol (com ⊆ hb), as the paper notes.
 
 from __future__ import annotations
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.execution import Execution
-from ..core.lifting import stronglift
+from ..core.relation import Relation
 from .base import Axiom, DerivedRelations, MemoryModel
 
 __all__ = ["SC", "TSC"]
+
+
+def _sc_hb(a: CandidateAnalysis) -> Relation:
+    """``po ∪ com`` — shared by SC and TSC via the analysis memo."""
+    return a.memo("sc.hb", lambda: a.po | a.com, txn_free=True)
 
 
 class SC(MemoryModel):
     """Plain sequential consistency (ignores transactions entirely)."""
 
     arch = "sc"
+    enforces_coherence = True
 
     def __init__(self) -> None:
         super().__init__(tm=False)
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        return {"hb": x.po | x.com}
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        return {"hb": _sc_hb(analyze(x))}
 
     def axioms(self) -> tuple[Axiom, ...]:
         return (Axiom("Order", "acyclic", "hb"),)
@@ -40,13 +47,15 @@ class TSC(MemoryModel):
     """Transactional sequential consistency (Fig. 4 with highlights)."""
 
     arch = "tsc"
+    enforces_coherence = True
 
     def __init__(self, tm: bool = True) -> None:
         super().__init__(tm=tm)
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        hb = x.po | x.com
-        return {"hb": hb, "txn_hb": stronglift(hb, x.stxn)}
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        a = analyze(x)
+        hb = _sc_hb(a)
+        return {"hb": hb, "txn_hb": a.stronglift(hb)}
 
     def axioms(self) -> tuple[Axiom, ...]:
         return (

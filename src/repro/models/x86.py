@@ -14,49 +14,53 @@ highlighted TM additions are:
 
 from __future__ import annotations
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.events import Label
 from ..core.execution import Execution
-from ..core.lifting import stronglift
-from ..core.relation import Relation
 from .base import Axiom, DerivedRelations, MemoryModel
 
 __all__ = ["X86"]
+
+
+def _tso_base(a: CandidateAnalysis):
+    """The transaction-independent TSO skeleton: ``ppo`` plus the fences
+    implied by mfence and LOCK'd RMW halves (shared by tm sweeps)."""
+
+    def compute():
+        # ppo: TSO preserves all of po except W->R pairs.
+        ww = a.cross(a.writes, a.writes)
+        rw = a.cross(a.reads, a.writes)
+        rr = a.cross(a.reads, a.reads)
+        ppo = (ww | rw | rr) & a.po
+
+        mfence = a.fence_rel(Label.MFENCE)
+
+        # LOCK'd instructions (the two halves of atomic RMWs) imply
+        # fencing on both sides.
+        locked = a.rmw_rel.domain() | a.rmw_rel.codomain()
+        lift_locked = a.lift(locked)
+        implied = (lift_locked @ a.po) | (a.po @ lift_locked)
+
+        return mfence | ppo | implied
+
+    return a.memo("x86.base", compute, txn_free=True)
 
 
 class X86(MemoryModel):
     """x86-TSO with Intel TSX transactions."""
 
     arch = "x86"
+    enforces_coherence = True
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        n = x.n
-        reads = Relation.lift(n, x.reads)
-        writes = Relation.lift(n, x.writes)
-
-        # ppo: TSO preserves all of po except W->R pairs.
-        ww = Relation.cross(n, x.writes, x.writes)
-        rw = Relation.cross(n, x.reads, x.writes)
-        rr = Relation.cross(n, x.reads, x.reads)
-        ppo = (ww | rw | rr) & x.po
-
-        mfence = x.fence_rel(Label.MFENCE)
-
-        tfence = x.tfence
-
-        # LOCK'd instructions (the two halves of atomic RMWs) imply
-        # fencing on both sides.
-        locked = x.rmw_rel.domain() | x.rmw_rel.codomain()
-        lift_locked = Relation.lift(n, locked)
-        implied = (lift_locked @ x.po) | (x.po @ lift_locked) | tfence
-
-        hb = mfence | ppo | implied | x.rfe | x.fr | x.co_rel
-
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        a = analyze(x)
+        hb = _tso_base(a) | a.tfence | a.rfe | a.fr | a.co_rel
         return {
-            "coherence": x.po_loc | x.com,
-            "rmw_isol": x.rmw_rel & (x.fre @ x.coe),
+            "coherence": a.coherence,
+            "rmw_isol": a.rmw_isol,
             "hb": hb,
-            "strong_isol": stronglift(x.com, x.stxn),
-            "txn_order": stronglift(hb, x.stxn),
+            "strong_isol": a.stronglift(a.com),
+            "txn_order": a.stronglift(hb),
         }
 
     def axioms(self) -> tuple[Axiom, ...]:

@@ -22,8 +22,9 @@ which is the role the Litmus tool plays in the paper's flow.
 
 from __future__ import annotations
 
+from ..core.analysis import CandidateAnalysis, analyze
 from ..core.execution import Execution
-from ..litmus.candidates import candidate_executions
+from ..litmus.candidates import observable
 from ..litmus.test import LitmusTest
 from ..models.armv8 import ARMv8
 from ..models.base import Axiom, DerivedRelations, MemoryModel
@@ -53,18 +54,18 @@ class HardwareOracle:
 
 
 class _AxiomaticOracle(HardwareOracle):
-    """Observable iff some consistent candidate satisfies the test."""
+    """Observable iff some consistent candidate satisfies the test.
+
+    Delegates to :func:`repro.litmus.candidates.observable`, sharing the
+    postcondition-filtered candidate streams (and per-candidate
+    analyses) with the axiomatic checkers.
+    """
 
     def __init__(self, model: MemoryModel) -> None:
         self.model = model
 
     def observable(self, test: LitmusTest) -> bool:
-        for candidate in candidate_executions(test.program):
-            if test.check(candidate.outcome) and self.model.consistent(
-                candidate.execution
-            ):
-                return True
-        return False
+        return observable(test, self.model)
 
 
 class X86Hardware(HardwareOracle):
@@ -86,9 +87,10 @@ class _NoLbPower(Power):
 
     arch = "power-hw"
 
-    def relations(self, x: Execution) -> DerivedRelations:
-        relations = super().relations(x)
-        relations["no_lb"] = x.po | x.rf_rel
+    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
+        a = analyze(x)
+        relations = super().relations(a)
+        relations["no_lb"] = a.po | a.rf_rel
         return relations
 
     def axioms(self) -> tuple[Axiom, ...]:
