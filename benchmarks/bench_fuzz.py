@@ -1,0 +1,117 @@
+"""Benchmark: differential-fuzzer throughput.
+
+Measures the conformance pipeline end to end — generation, the
+campaign cross-product over the full checker trio (native model, .cat
+model, operational machine, brute-force oracle), classification, and
+mutant shrinking — plus the pieces in isolation:
+
+* suite generation (diy enumeration + catalog mutation + random
+  programs) per architecture;
+* a cold stock run (no cache, no mutants): the "is everything still in
+  agreement?" sweep CI performs;
+* the mutant run, which adds one weakened model per known mutant and
+  shrinks every witness down the ⊏ order.
+
+Run directly (``python benchmarks/bench_fuzz.py --json OUT.json``) for
+the CI artifact: tests/sec and cells/sec for a small stock sweep of
+every architecture, tracked from PR 3 onward.
+"""
+
+import pytest
+
+from repro.conformance import generate_suite, run_fuzz
+from repro.litmus.candidates import _expand_test, expand_program
+
+
+def _clear_expansions():
+    expand_program.cache_clear()
+    _expand_test.cache_clear()
+
+
+def _cold_fuzz(arch, budget="smoke", **kwargs):
+    _clear_expansions()
+    return run_fuzz(arch, seed=0, budget=budget, **kwargs)
+
+
+@pytest.mark.parametrize("arch", ["x86", "armv8"])
+def test_generate_suite(benchmark, once, arch):
+    suite = once(benchmark, generate_suite, arch, 0, "small")
+    assert len(suite) > 50
+
+
+def test_fuzz_stock_smoke(benchmark, once):
+    report = once(benchmark, _cold_fuzz, "armv8")
+    assert report.ok
+    print(report.summary())
+
+
+def test_fuzz_mutants_smoke(benchmark, once):
+    report = once(benchmark, _cold_fuzz, "armv8", mutants=True)
+    assert report.ok
+    print(report.summary())
+
+
+def test_fuzz_stock_small(benchmark, once):
+    report = once(benchmark, _cold_fuzz, "armv8", budget="small")
+    assert report.ok
+    print(report.summary())
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: the CI perf artifact (no pytest-benchmark needed)
+# ----------------------------------------------------------------------
+
+_ARTIFACT_ARCHES = ["x86", "power", "armv8", "riscv", "cpp"]
+
+
+def _artifact(json_path: str) -> dict:
+    import json
+    import time
+
+    per_arch = {}
+    total_items = total_cells = 0
+    start = time.perf_counter()
+    for arch in _ARTIFACT_ARCHES:
+        _clear_expansions()
+        arch_start = time.perf_counter()
+        report = run_fuzz(arch, seed=0, budget="small", mutants=True)
+        arch_elapsed = time.perf_counter() - arch_start
+        total_items += report.n_items
+        total_cells += report.n_cells
+        per_arch[arch] = {
+            "tests": report.n_items,
+            "cells": report.n_cells,
+            "ok": report.ok,
+            "mutants_detected": sum(m.detected for m in report.mutants),
+            "mutants_total": len(report.mutants),
+            "elapsed_seconds": round(arch_elapsed, 4),
+        }
+    elapsed = time.perf_counter() - start
+
+    payload = {
+        "benchmark": "fuzz-small-sweep",
+        "arches": per_arch,
+        "tests": total_items,
+        "cells": total_cells,
+        "elapsed_seconds": round(elapsed, 4),
+        "tests_per_second": round(total_items / elapsed, 1),
+        "cells_per_second": round(total_cells / elapsed, 1),
+    }
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        default="BENCH_fuzz.json",
+        help="where to write the perf artifact",
+    )
+    args = parser.parse_args()
+    print(json.dumps(_artifact(args.json), indent=2, sort_keys=True))

@@ -12,6 +12,14 @@ Commands:
   suite (synthesized diy cycles, the catalog, or litmus files) across
   many models through the campaign engine, with a persistent result
   cache under ``.repro-cache/``;
+* ``fuzz --arch A --seed S --budget B`` — differential conformance
+  fuzzing: generate litmus streams (diy cycles, directed witnesses,
+  catalog ⊏-mutations, seeded random programs), cross-check the native
+  model, the .cat model, the operational machine, and the brute-force
+  enumerator, classify every disagreement and shrink it to a minimal
+  reproducer; ``--mutants`` additionally injects weakened models and
+  asserts each is detected.  Exit codes: 1 = disagreement (or
+  undetected mutant), 2 = checker error;
 * ``table1`` / ``table2`` / ``table3`` / ``fig7`` / ``rtl`` /
   ``ablation`` — regenerate the paper's tables and figures.  table1
   and table2 run through the campaign engine and accept ``--jobs``;
@@ -173,6 +181,9 @@ def _cmd_campaign(args) -> int:
         profiler = profiling.enable()
     try:
         result = run_campaign(items, models, jobs=jobs, cache=cache)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if profiler is not None:
             profiling.disable()
@@ -191,6 +202,56 @@ def _cmd_campaign(args) -> int:
         print("disagreements with expected verdicts:")
         for name, model, got, expected in diffs:
             print(f"  {name} under {model}: got {got}, expected {expected}")
+    errors = result.errors()
+    if errors:
+        print()
+        print("checker errors:")
+        for name, model, message in errors:
+            print(f"  {name} under {model}: {message}")
+        return 2
+    return 1 if diffs else 0
+
+
+def _cmd_fuzz(args) -> int:
+    from .conformance import reproducible_seed, run_fuzz
+    from .conformance.report import to_json_lines, to_markdown
+
+    if args.mutants is None:
+        mutants: tuple[str, ...] | bool = ()
+    elif args.mutants == "known":
+        mutants = True
+    else:
+        mutants = tuple(args.mutants.split(","))
+    try:
+        # Inside the try: a malformed $REPRO_TEST_SEED is a
+        # configuration error (exit 2), not a disagreement (exit 1).
+        seed = reproducible_seed() if args.seed is None else args.seed
+        report = run_fuzz(
+            args.arch,
+            seed=seed,
+            budget=args.budget,
+            shrink=args.shrink,
+            mutants=mutants,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+            machine=not args.no_machine,
+            brute=not args.no_brute,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(to_json_lines(report))
+        print(f"jsonl report: {args.jsonl}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(to_markdown(report))
+        print(f"markdown report: {args.report}")
+    if report.errors:
+        return 2
+    if report.disagreements or not all(m.detected for m in report.mutants):
         return 1
     return 0
 
@@ -341,6 +402,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "(expansion / analysis / axioms / cache)")
     add_engine_options(p)
 
+    p = sub.add_parser("fuzz",
+                       help="differential conformance fuzzing across "
+                            "native/.cat/machine/brute-force checkers")
+    p.add_argument("--arch", default="armv8",
+                   choices=["x86", "power", "armv8", "riscv", "cpp"])
+    p.add_argument("--seed", type=int, default=None,
+                   help="generator seed (default: $REPRO_TEST_SEED)")
+    p.add_argument("--budget", default="small",
+                   choices=["smoke", "small", "medium", "large"],
+                   help="suite size / oracle-eligibility tier")
+    p.add_argument("--shrink", dest="shrink", action="store_true",
+                   default=True,
+                   help="shrink disagreements to minimal reproducers "
+                        "(default)")
+    p.add_argument("--no-shrink", dest="shrink", action="store_false")
+    p.add_argument("--mutants", nargs="?", const="known", default=None,
+                   metavar="AXIOMS",
+                   help="inject weakened models and assert detection: "
+                        "bare flag = the arch's known mutants, or a "
+                        "comma-separated axiom list")
+    p.add_argument("--no-machine", action="store_true",
+                   help="skip the operational/hardware checkers")
+    p.add_argument("--no-brute", action="store_true",
+                   help="skip the brute-force ground-truth checker")
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="write the machine-readable JSONL report")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the markdown report")
+    add_engine_options(p)
+
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--budget", type=float, default=120.0)
     p.add_argument("--full", action="store_true")
@@ -404,6 +495,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "synth": _cmd_synth,
     "campaign": _cmd_campaign,
+    "fuzz": _cmd_fuzz,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "table3": _cmd_table3,

@@ -1,0 +1,58 @@
+"""Differential conformance fuzzing: cross-checking every oracle.
+
+The repository carries three independent implementations of each
+architecture's semantics — the native Python axiomatic models
+(:mod:`repro.models`), the ``.cat`` library models evaluated by
+:mod:`repro.cat`, and the operational machines of :mod:`repro.sim` —
+plus a brute-force candidate enumerator kept as ground truth.  The
+paper's central empirical claim is that these agree across thousands of
+generated litmus tests; this package checks that claim *continuously*:
+
+* :mod:`~repro.conformance.generators` streams litmus tests from three
+  sources — diy critical-cycle enumeration, seeded random program
+  generation over the per-architecture vocabularies, and ⊏-mutation of
+  catalog entries;
+* :mod:`~repro.conformance.fuzzer` runs every test through the
+  architecture's checker trio via the campaign engine (cached,
+  parallel, profiled) and classifies any disagreement;
+* :mod:`~repro.conformance.shrink` delta-debugs each disagreement down
+  the paper's §4.2 weakening order to a minimal reproducer;
+* :mod:`~repro.conformance.mutants` injects known weakenings (dropped
+  axioms, e.g. ARMv8 without TxnOrder — the §6.2 RTL bug) to prove the
+  harness detects and shrinks real conformance bugs;
+* :mod:`~repro.conformance.golden` pins the catalog verdict matrix as a
+  checked-in snapshot.
+
+Entry points: :func:`~repro.conformance.fuzzer.run_fuzz` and the
+``repro fuzz`` CLI subcommand.
+"""
+
+from .budget import BUDGETS, FuzzBudget, get_budget
+from .classify import CheckerError, Disagreement
+from .fuzzer import FuzzReport, MutantResult, run_fuzz
+from .generators import FuzzItem, generate_suite, random_litmus
+from .mutants import KNOWN_MUTANTS, drop_axiom, known_mutant_specs
+from .seeds import DEFAULT_SEED, derive_seed, reproducible_seed
+from .shrink import shrink_disagreement, witness_execution
+
+__all__ = [
+    "BUDGETS",
+    "CheckerError",
+    "DEFAULT_SEED",
+    "Disagreement",
+    "FuzzBudget",
+    "FuzzItem",
+    "FuzzReport",
+    "KNOWN_MUTANTS",
+    "MutantResult",
+    "derive_seed",
+    "drop_axiom",
+    "generate_suite",
+    "get_budget",
+    "known_mutant_specs",
+    "random_litmus",
+    "reproducible_seed",
+    "run_fuzz",
+    "shrink_disagreement",
+    "witness_execution",
+]

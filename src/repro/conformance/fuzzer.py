@@ -1,0 +1,296 @@
+"""The differential fuzzing loop: generate → campaign → classify → shrink.
+
+:func:`run_fuzz` is the subsystem's entry point (the ``repro fuzz`` CLI
+wraps it).  One run:
+
+1. generates the (arch, seed, budget) suite — diy cycles, catalog
+   entries and their ⊏-mutations, seeded random programs;
+2. sweeps it through the architecture's checkers via the campaign
+   engine (so verdicts are cached, parallel, and profiled): the native
+   model and the ``.cat`` model over the *whole* suite, the operational
+   machine / hardware stand-in over machine-eligible tests, and the
+   brute-force ground-truth enumerator over tests small enough to
+   cross-product;
+3. classifies every divergence (:mod:`~repro.conformance.classify`)
+   and delta-debugs each one down the §4.2 weakening order
+   (:mod:`~repro.conformance.shrink`);
+4. optionally injects mutant models (``mut:<arch>:<axiom>``) and
+   verifies each injected weakening is *detected* — the harness's own
+   conformance test.
+
+The result is a :class:`FuzzReport`; :mod:`~repro.conformance.report`
+renders it as JSONL and markdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..engine.campaign import CampaignResult, run_campaign
+from ..engine.checkers import resolve_checker
+from ..litmus.program import Fence, Load, Store
+from ..litmus.test import LitmusTest
+from ..sim.tso import runnable_on_tso
+from ..sim.weakmachine import runnable_on
+from .budget import FuzzBudget, get_budget
+from .classify import CheckerError, Disagreement, classify_matrix
+from .generators import FuzzItem, estimate_candidates, generate_suite
+from .mutants import KNOWN_MUTANTS
+from .seeds import reproducible_seed
+from .shrink import shrink_disagreement
+
+__all__ = ["FuzzReport", "MutantResult", "run_fuzz", "hw_specs_for"]
+
+
+#: Hardware / operational-machine checker specs per architecture.
+HW_SPECS: dict[str, tuple[str, ...]] = {
+    "x86": ("hw:x86",),  # exhaustive TSO+HTM machine
+    "power": ("hw:power:machine",),  # non-MCA propagation machine
+    "armv8": ("hw:armv8:machine",),  # MCA operational machine
+    "riscv": ("hw:riscv",),  # MCA operational machine
+    "cpp": (),  # no machine: C++ is a language model
+}
+
+
+def hw_specs_for(arch: str) -> tuple[str, ...]:
+    """The operational checkers the fuzzer runs for one architecture."""
+    return HW_SPECS.get(arch, ())
+
+
+@dataclass
+class MutantResult:
+    """Did the fuzzer catch one injected weakening?"""
+
+    spec: str  # "mut:armv8:TxnOrder"
+    axiom: str
+    detected: bool
+    witnesses: int = 0
+    first_witness: str | None = None
+    min_events: int | None = None  # smallest shrunk reproducer
+
+    def describe(self) -> str:
+        if not self.detected:
+            return f"{self.spec}: NOT DETECTED"
+        tail = (
+            f", minimal witness {self.min_events} events"
+            if self.min_events is not None
+            else ""
+        )
+        return (
+            f"{self.spec}: detected ({self.witnesses} witnesses, "
+            f"first {self.first_witness}{tail})"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Everything one differential fuzzing run produced."""
+
+    arch: str
+    seed: int
+    budget: str
+    checkers: list[str]
+    n_items: int
+    by_source: dict[str, int]
+    n_cells: int
+    cache_hits: int
+    disagreements: list[Disagreement]
+    errors: list[CheckerError]
+    mutants: list[MutantResult]
+    unseen_allows: int
+    elapsed: float
+    campaigns: list[CampaignResult] = field(default_factory=list, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """Clean run: no disagreements, no errors, every mutant caught."""
+        return (
+            not self.disagreements
+            and not self.errors
+            and all(m.detected for m in self.mutants)
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz {self.arch} seed={self.seed} budget={self.budget}: "
+            f"{self.n_items} tests "
+            f"({', '.join(f'{n} {s}' for s, n in sorted(self.by_source.items()))}) "
+            f"x {len(self.checkers)} checkers = {self.n_cells} cells "
+            f"({self.cache_hits} cached) in {self.elapsed:.2f}s",
+            f"disagreements: {len(self.disagreements)}, "
+            f"checker errors: {len(self.errors)}, "
+            f"machine unseen-allows: {self.unseen_allows} (informational)",
+        ]
+        for d in self.disagreements:
+            lines.append("  " + d.describe())
+        for e in self.errors:
+            lines.append(f"  [error] {e.item} under {e.checker}: {e.message}")
+        for m in self.mutants:
+            lines.append("  " + m.describe())
+        verdict = "CLEAN" if self.ok else "FAILED"
+        lines.append(f"=> {verdict}")
+        return "\n".join(lines)
+
+
+def _machine_eligible(test: LitmusTest, arch: str, budget: FuzzBudget) -> bool:
+    events = sum(
+        isinstance(i, (Load, Store, Fence))
+        for thread in test.program.threads
+        for i in thread
+    )
+    if events > budget.machine_events:
+        return False
+    if arch == "x86":
+        return runnable_on_tso(test.program)
+    return runnable_on(test.program, arch)
+
+
+def run_fuzz(
+    arch: str,
+    seed: int | None = None,
+    budget: "str | FuzzBudget" = "small",
+    shrink: bool = True,
+    mutants: "bool | tuple[str, ...] | list[str]" = (),
+    jobs: int = 1,
+    cache=None,
+    sources: tuple[str, ...] = ("diy", "directed", "catalog", "mutation", "random"),
+    machine: bool = True,
+    brute: bool = True,
+) -> FuzzReport:
+    """One differential fuzzing run (see the module docstring).
+
+    Args:
+        arch: architecture to fuzz (``x86``/``power``/``armv8``/
+            ``riscv``/``cpp``).
+        seed: randomness seed; ``None`` = ``$REPRO_TEST_SEED``.
+        budget: tier name or explicit :class:`FuzzBudget`.
+        shrink: delta-debug each disagreement to a minimal reproducer.
+        mutants: axiom names to inject as weakened models; ``True`` =
+            the architecture's :data:`~repro.conformance.mutants.
+            KNOWN_MUTANTS`.
+        jobs: campaign worker processes (``1`` = serial).
+        cache: a :class:`~repro.engine.cache.ResultCache` (``None``
+            disables persistence).
+        sources: generator streams to draw from.
+        machine: include the operational/hardware checkers.
+        brute: include the brute-force ground-truth checker.
+    """
+    start = time.perf_counter()
+    seed = reproducible_seed() if seed is None else seed
+    budget = get_budget(budget)
+    if mutants is True:
+        mutant_axioms = KNOWN_MUTANTS.get(arch, ())
+    elif not mutants:
+        mutant_axioms = ()
+    else:
+        mutant_axioms = tuple(mutants)
+    mutant_specs = [f"mut:{arch}:{axiom}" for axiom in mutant_axioms]
+
+    items = generate_suite(arch, seed, budget, sources)
+    by_name = {item.name: item for item in items}
+
+    native_spec = arch
+    main_specs = [native_spec]
+    from ..cat.model import CAT_MODEL_FILES
+
+    if arch in CAT_MODEL_FILES:
+        main_specs.append(f"cat:{arch}")
+    main_specs.extend(mutant_specs)
+
+    campaigns: list[CampaignResult] = []
+    cells: dict[tuple[str, str], object] = {}
+
+    main = run_campaign(
+        [item.campaign_item() for item in items],
+        main_specs,
+        jobs=jobs,
+        cache=cache,
+    )
+    campaigns.append(main)
+    cells.update(main.cells)
+
+    hw_specs = hw_specs_for(arch) if machine else ()
+    if hw_specs:
+        eligible = [
+            item
+            for item in items
+            if _machine_eligible(item.test, arch, budget)
+        ]
+        if eligible:
+            hw = run_campaign(
+                [item.campaign_item() for item in eligible],
+                list(hw_specs),
+                jobs=jobs,
+                cache=cache,
+            )
+            campaigns.append(hw)
+            cells.update(hw.cells)
+
+    if brute:
+        eligible = [
+            item
+            for item in items
+            if estimate_candidates(item.test.program) <= budget.brute_candidates
+        ]
+        if eligible:
+            bf = run_campaign(
+                [item.campaign_item() for item in eligible],
+                [f"brute:{arch}"],
+                jobs=jobs,
+                cache=cache,
+            )
+            campaigns.append(bf)
+            cells.update(bf.cells)
+
+    disagreements, errors, unseen_allows = classify_matrix(
+        by_name, cells, native_spec
+    )
+
+    # Mutant firings are the harness testing itself, not model bugs:
+    # split them out of the failure list and summarise per mutant.
+    mutant_hits = [d for d in disagreements if d.kind == "mutant-disagreement"]
+    disagreements = [
+        d for d in disagreements if d.kind != "mutant-disagreement"
+    ]
+
+    if shrink:
+        for d in disagreements + mutant_hits:
+            shrink_disagreement(
+                d, resolve_checker(d.left), resolve_checker(d.right)
+            )
+
+    mutant_results = []
+    for spec, axiom in zip(mutant_specs, mutant_axioms):
+        hits = [d for d in mutant_hits if d.right == spec]
+        sizes = [d.shrunk_events for d in hits if d.shrunk_events is not None]
+        mutant_results.append(
+            MutantResult(
+                spec=spec,
+                axiom=axiom,
+                detected=bool(hits),
+                witnesses=len(hits),
+                first_witness=hits[0].item if hits else None,
+                min_events=min(sizes) if sizes else None,
+            )
+        )
+
+    return FuzzReport(
+        arch=arch,
+        seed=seed,
+        budget=budget.name,
+        checkers=main_specs + list(hw_specs) + ([f"brute:{arch}"] if brute else []),
+        n_items=len(items),
+        by_source={
+            source: sum(1 for item in items if item.source == source)
+            for source in {item.source for item in items}
+        },
+        n_cells=len(cells),
+        cache_hits=sum(c.cache_hits for c in campaigns),
+        disagreements=disagreements,
+        errors=errors,
+        mutants=mutant_results,
+        unseen_allows=unseen_allows,
+        elapsed=time.perf_counter() - start,
+        campaigns=campaigns,
+    )

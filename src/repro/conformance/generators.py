@@ -1,0 +1,419 @@
+"""Litmus-test streams for the differential fuzzer.
+
+Three independent sources, so no single generator's blind spot hides a
+model bug:
+
+* **diy** — critical-cycle enumeration (:mod:`repro.synth.diy`) over a
+  per-architecture relaxation vocabulary extended with transactional
+  (``TxndXX``) edges, rendered to litmus tests;
+* **catalog / mutation** — every arch-compatible catalog entry as-is
+  (deterministic, seed-independent — mutant detection must never hinge
+  on random luck), plus seeded random walks down the §4.2 ⊏ weakening
+  order from those entries;
+* **random** — seeded random programs over the architecture's event
+  vocabulary (:mod:`repro.synth.vocab`): labelled accesses, fences,
+  dependencies, exclusives, and committed/aborted transactions.
+
+Every stream is deterministic in ``(arch, seed, budget)``; item names
+are unique within a suite, so a failing test is addressable from the
+report alone.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.events import Label
+from ..core.execution import Execution
+from ..engine.campaign import CampaignItem
+from ..litmus.from_execution import to_litmus
+from ..litmus.program import (
+    CtrlBranch,
+    Fence,
+    Instruction,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from ..litmus.test import CoSeq, LitmusTest, MemEq, RegEq, TxnOk
+from ..synth.diy import cycle_execution, enumerate_cycles
+from ..synth.minimality import weakenings
+from ..synth.vocab import ArchVocab, get_vocab
+from .budget import FuzzBudget, get_budget
+from .seeds import derive_seed
+
+__all__ = [
+    "FuzzItem",
+    "random_postcondition",
+    "FUZZ_ARCHES",
+    "generate_suite",
+    "random_litmus",
+    "estimate_candidates",
+    "vocab_compatible",
+]
+
+#: Architectures the fuzzer knows how to build checker trios for.
+FUZZ_ARCHES = ("x86", "power", "armv8", "riscv", "cpp")
+
+
+@dataclass
+class FuzzItem:
+    """One generated test plus its provenance.
+
+    ``origin`` is the execution whose witness the test pins (diy cycles
+    and catalog mutations have one; random programs do not) — the
+    shrinker prefers it as the starting point of the ⊏ descent.
+    """
+
+    name: str
+    test: LitmusTest
+    source: str  # "diy" | "catalog" | "mutation" | "random"
+    origin: Execution | None = None
+
+    def campaign_item(self) -> CampaignItem:
+        return CampaignItem(self.name, self.test)
+
+
+# ----------------------------------------------------------------------
+# diy stream
+# ----------------------------------------------------------------------
+
+_POD = ("PodWR", "PodWW", "PodRR", "PodRW")
+_COM = ("Rfe", "Fre", "Wse")
+_TXN = ("TxndWR", "TxndWW", "TxndRR", "TxndRW")
+_DEPS = ("DpAddrdR", "DpDatadW", "DpCtrldW")
+
+
+def _fenced(tag: str) -> tuple[str, ...]:
+    return tuple(f"{tag}d{s}{d}" for s, d in itertools.product("WR", repeat=2))
+
+
+#: Per-arch diy relaxation vocabularies (cycles are enumerated in this
+#: deterministic order; budgets cap the prefix).
+DIY_VOCABS: dict[str, tuple[str, ...]] = {
+    "x86": _POD + _COM + _fenced("MFence") + _TXN,
+    "power": _POD + _COM + _fenced("Sync") + _fenced("LwSync") + _DEPS + _TXN,
+    "armv8": _POD + _COM + _fenced("Dmb") + _DEPS + _TXN,
+    "riscv": _POD + _COM + _fenced("FenceRwRw") + _DEPS + _TXN,
+    "cpp": _POD + _COM + _TXN,
+}
+
+
+def _diy_stream(arch: str, budget: FuzzBudget) -> list[FuzzItem]:
+    out = []
+    cycles = enumerate_cycles(DIY_VOCABS[arch], budget.diy_length)
+    for cycle in itertools.islice(cycles, budget.diy_tests):
+        name = "diy-" + "+".join(e.name for e in cycle.edges)
+        execution = cycle_execution(cycle)
+        test = to_litmus(execution, name, arch)
+        out.append(FuzzItem(name, test, "diy", execution))
+    return out
+
+
+# ----------------------------------------------------------------------
+# directed stream: seed-independent witnesses for the TM axioms
+# ----------------------------------------------------------------------
+
+_TXN_FENCES = {"x86": "mfence", "armv8": "dmb", "riscv": Label.FENCE_RW_RW}
+
+
+def _directed_stream(arch: str) -> list[FuzzItem]:
+    """Hand-picked conformance witnesses the random generators only find
+    at larger budgets.
+
+    Currently one shape: the TxnOrder-only violation (a transaction
+    observed out-of-order through a fenced non-transactional thread —
+    the §6.2 RTL-bug family).  Its ``hb`` is acyclic and its
+    ``stronglift(com)`` is acyclic, so *only* the TxnOrder axiom forbids
+    it: dropping TxnOrder is invisible on every classic shape (the SB/MP
+    transactional variants violate StrongIsol too) but fires here.
+    """
+    fence = _TXN_FENCES.get(arch)
+    if fence is None:
+        return []
+    program = Program(
+        (
+            (TxBegin(), Store("x", 1), Load("r0", "y"), TxEnd()),
+            (Store("y", 1), Fence(fence), Load("r0", "x")),
+        )
+    )
+    test = LitmusTest(
+        name="dir-txnorder",
+        arch=arch,
+        program=program,
+        postcondition=(TxnOk(0, 0, ok=True), RegEq(0, "r0", 0), RegEq(1, "r0", 0)),
+    )
+    return [FuzzItem("dir-txnorder", test, "directed")]
+
+
+# ----------------------------------------------------------------------
+# catalog + mutation stream
+# ----------------------------------------------------------------------
+
+
+def vocab_compatible(x: Execution, vocab: ArchVocab) -> bool:
+    """True iff every event, dependency, and RMW of ``x`` is expressible
+    in the architecture's vocabulary."""
+    reads = set(vocab.read_labels)
+    writes = set(vocab.write_labels)
+    for event in x.events:
+        labels = event.labels - {Label.EXCL}
+        if event.is_fence:
+            if event.fence_kind not in vocab.fence_kinds:
+                return False
+        elif event.is_read:
+            if labels not in reads:
+                return False
+        elif event.is_write:
+            if labels not in writes:
+                return False
+        else:
+            return False  # call events have no litmus rendering
+    for kind in ("addr", "data", "ctrl"):
+        if getattr(x, kind) and kind not in vocab.dep_kinds:
+            return False
+    if x.rmw and not vocab.rmw:
+        return False
+    return True
+
+
+def _catalog_executions(arch: str, budget: FuzzBudget) -> list[tuple[str, Execution]]:
+    from ..catalog import CATALOG
+
+    vocab = get_vocab(arch)
+    return [
+        (name, entry.execution)
+        for name, entry in sorted(CATALOG.items())
+        if entry.execution.n <= budget.max_events + 2
+        and vocab_compatible(entry.execution, vocab)
+    ]
+
+
+def _catalog_stream(arch: str, budget: FuzzBudget) -> list[FuzzItem]:
+    out = []
+    for name, execution in _catalog_executions(arch, budget):
+        test = to_litmus(execution, f"cat-{name}", arch)
+        out.append(FuzzItem(f"cat-{name}", test, "catalog", execution))
+    return out
+
+
+def _mutation_stream(
+    arch: str, rng: random.Random, budget: FuzzBudget
+) -> list[FuzzItem]:
+    vocab = get_vocab(arch)
+    pool = _catalog_executions(arch, budget)
+    out: list[FuzzItem] = []
+    if not pool:
+        return out
+    attempts = 0
+    while len(out) < budget.mutation_tests and attempts < 20 * budget.mutation_tests:
+        attempts += 1
+        name, x = pool[rng.randrange(len(pool))]
+        for _ in range(rng.randint(1, 2)):
+            steps = [w for w in weakenings(x, vocab) if w.n >= 2]
+            if not steps:
+                break
+            x = steps[rng.randrange(len(steps))]
+        try:
+            item_name = f"mut{len(out)}-{name}"
+            test = to_litmus(x, item_name, arch)
+        except ValueError:
+            continue
+        out.append(FuzzItem(item_name, test, "mutation", x))
+    return out
+
+
+# ----------------------------------------------------------------------
+# random-program stream
+# ----------------------------------------------------------------------
+
+
+def random_litmus(
+    arch: str, rng: random.Random, budget: "FuzzBudget | str", name: str = "rand"
+) -> LitmusTest:
+    """One seeded random litmus test over the architecture's vocabulary."""
+    budget = get_budget(budget)
+    vocab = get_vocab(arch)
+    locs = ["x", "y", "z"][: rng.randint(1, 3)]
+    n_threads = rng.randint(1, budget.max_threads)
+    next_value = {loc: 0 for loc in locs}
+    txns_left = budget.max_txns
+    instr_budget = rng.randint(n_threads, budget.max_events)
+
+    threads: list[tuple[Instruction, ...]] = []
+    for tid in range(n_threads):
+        remaining_threads = n_threads - tid - 1
+        size = (
+            instr_budget - remaining_threads
+            if remaining_threads == 0 or instr_budget - remaining_threads <= 1
+            else rng.randint(1, instr_budget - remaining_threads)
+        )
+        size = max(1, size)
+        instr_budget -= size
+        instrs: list[Instruction] = []
+        defined: list[str] = []
+        in_txn = False
+        reg_counter = 0
+        open_excl: str | None = None
+        for _ in range(size):
+            roll = rng.random()
+            loc = locs[rng.randrange(len(locs))]
+            if roll < 0.35:
+                labels = vocab.write_labels[rng.randrange(len(vocab.write_labels))]
+                next_value[loc] += 1
+                deps: dict = {}
+                if defined and "data" in vocab.dep_kinds and rng.random() < 0.3:
+                    deps["data_dep"] = (rng.choice(defined),)
+                if defined and "addr" in vocab.dep_kinds and rng.random() < 0.15:
+                    deps["addr_dep"] = (rng.choice(defined),)
+                excl = vocab.rmw and open_excl == loc and rng.random() < 0.7
+                if excl:
+                    open_excl = None
+                instrs.append(
+                    Store(loc, next_value[loc], labels=labels, excl=excl, **deps)
+                )
+            elif roll < 0.68:
+                labels = vocab.read_labels[rng.randrange(len(vocab.read_labels))]
+                reg = f"r{reg_counter}"
+                reg_counter += 1
+                deps = {}
+                if defined and "addr" in vocab.dep_kinds and rng.random() < 0.15:
+                    deps["addr_dep"] = (rng.choice(defined),)
+                excl = vocab.rmw and rng.random() < 0.15
+                if excl:
+                    open_excl = loc
+                instrs.append(Load(reg, loc, labels=labels, excl=excl, **deps))
+                defined.append(reg)
+            elif roll < 0.76 and vocab.fence_kinds:
+                kind = vocab.fence_kinds[rng.randrange(len(vocab.fence_kinds))]
+                instrs.append(Fence(kind))
+            elif roll < 0.82 and defined and "ctrl" in vocab.dep_kinds:
+                instrs.append(CtrlBranch((rng.choice(defined),)))
+            elif roll < 0.92 and not in_txn and txns_left > 0:
+                atomic = arch == "cpp" and rng.random() < 0.5
+                instrs.append(TxBegin(atomic=atomic))
+                in_txn = True
+                txns_left -= 1
+            elif in_txn:
+                if defined and rng.random() < 0.25:
+                    instrs.append(TxAbort(rng.choice(defined)))
+                instrs.append(TxEnd())
+                in_txn = False
+        if in_txn:
+            instrs.append(TxEnd())
+        threads.append(tuple(instrs))
+
+    program = Program(tuple(threads))
+    return LitmusTest(
+        name=name,
+        arch=arch,
+        program=program,
+        postcondition=random_postcondition(rng, program),
+    )
+
+
+def random_postcondition(rng: random.Random, program: Program) -> tuple:
+    """0–3 atoms over the program's registers, locations, and txns."""
+    atoms = []
+    loads = list(program.loads())
+    values_by_loc: dict[str, list[int]] = {}
+    for _, _, store in program.stores():
+        values_by_loc.setdefault(store.loc, []).append(store.value)
+    txns = [
+        (tid, idx)
+        for tid, thread in enumerate(program.threads)
+        for idx in range(sum(isinstance(i, TxBegin) for i in thread))
+    ]
+    for _ in range(rng.randint(0, 3)):
+        roll = rng.random()
+        if roll < 0.5 and loads:
+            tid, _, load = loads[rng.randrange(len(loads))]
+            choices = [0] + values_by_loc.get(load.loc, [])
+            atoms.append(RegEq(tid, load.dst, rng.choice(choices)))
+        elif roll < 0.75 and values_by_loc:
+            loc = rng.choice(sorted(values_by_loc))
+            atoms.append(MemEq(loc, rng.choice([0] + values_by_loc[loc])))
+        elif roll < 0.9 and txns:
+            tid, idx = txns[rng.randrange(len(txns))]
+            atoms.append(TxnOk(tid, idx, ok=rng.random() < 0.6))
+        elif values_by_loc:
+            loc = rng.choice(sorted(values_by_loc))
+            values = values_by_loc[loc][:]
+            rng.shuffle(values)
+            atoms.append(CoSeq(loc, tuple(values)))
+    return tuple(atoms)
+
+
+def _random_stream(
+    arch: str, rng: random.Random, budget: FuzzBudget
+) -> list[FuzzItem]:
+    out = []
+    for i in range(budget.random_tests):
+        name = f"rand-{i}"
+        out.append(FuzzItem(name, random_litmus(arch, rng, budget, name), "random"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Suite assembly and sizing
+# ----------------------------------------------------------------------
+
+
+def generate_suite(
+    arch: str,
+    seed: int,
+    budget: "FuzzBudget | str",
+    sources: tuple[str, ...] = ("diy", "directed", "catalog", "mutation", "random"),
+) -> list[FuzzItem]:
+    """The full fuzzing suite for one (arch, seed, budget) triple."""
+    if arch not in FUZZ_ARCHES:
+        raise ValueError(
+            f"cannot fuzz {arch!r}; supported: {', '.join(FUZZ_ARCHES)}"
+        )
+    budget = get_budget(budget)
+    items: list[FuzzItem] = []
+    if "diy" in sources:
+        items.extend(_diy_stream(arch, budget))
+    if "directed" in sources:
+        items.extend(_directed_stream(arch))
+    if "catalog" in sources:
+        items.extend(_catalog_stream(arch, budget))
+    if "mutation" in sources:
+        rng = random.Random(derive_seed(seed, f"fuzz-mutation-{arch}"))
+        items.extend(_mutation_stream(arch, rng, budget))
+    if "random" in sources:
+        rng = random.Random(derive_seed(seed, f"fuzz-random-{arch}"))
+        items.extend(_random_stream(arch, rng, budget))
+    return items
+
+
+def estimate_candidates(program: Program) -> int:
+    """A cheap upper bound on the brute-force candidate count.
+
+    Counts the full cross-product as if every transaction committed and
+    every read could observe every same-location write — an
+    overestimate, which is what a cost gate wants.  Saturates at 10^9.
+    """
+    cap = 1_000_000_000
+    txns = sum(
+        sum(isinstance(i, TxBegin) for i in thread) for thread in program.threads
+    )
+    est = 2**txns if txns < 30 else cap
+    writes_by_loc: dict[str, int] = {}
+    for _, _, store in program.stores():
+        writes_by_loc[store.loc] = writes_by_loc.get(store.loc, 0) + 1
+    for count in writes_by_loc.values():
+        est *= math.factorial(count)
+        if est > cap:
+            return cap
+    for _, _, load in program.loads():
+        est *= writes_by_loc.get(load.loc, 0) + 1
+        if est > cap:
+            return cap
+    return est

@@ -1,0 +1,49 @@
+"""Golden conformance snapshots: the catalog verdict matrix, pinned.
+
+The catalog is the repository's curated set of paper executions; the
+native models' verdicts over it are the ground truth every refactor
+must preserve.  :func:`verdict_matrix` computes the full catalog ×
+model consistency matrix; ``tests/golden_verdicts.json`` pins it, and
+``tests/test_golden_verdicts.py`` fails loudly on any flip.
+
+Regenerate (after an *intentional* semantic change) with::
+
+    PYTHONPATH=src python tests/regen_golden_verdicts.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["verdict_matrix", "write_snapshot", "load_snapshot"]
+
+
+def verdict_matrix() -> dict[str, dict[str, bool]]:
+    """``matrix[entry][model] -> consistent`` over the whole catalog
+    and every native registry model."""
+    from ..catalog import CATALOG
+    from ..models.registry import MODELS, get_model
+
+    models = {name: get_model(name) for name in sorted(MODELS)}
+    matrix: dict[str, dict[str, bool]] = {}
+    for entry_name, entry in sorted(CATALOG.items()):
+        row = {}
+        for model_name, model in models.items():
+            row[model_name] = bool(model.consistent(entry.execution))
+        matrix[entry_name] = row
+    return matrix
+
+
+def write_snapshot(path: "str | Path") -> dict[str, dict[str, bool]]:
+    """Compute the matrix and write it as sorted, diff-friendly JSON."""
+    matrix = verdict_matrix()
+    Path(path).write_text(
+        json.dumps(matrix, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return matrix
+
+
+def load_snapshot(path: "str | Path") -> dict[str, dict[str, bool]]:
+    """Load a previously written snapshot."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

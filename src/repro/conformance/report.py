@@ -1,0 +1,161 @@
+"""Rendering fuzz reports: reproducible JSONL and human markdown.
+
+The JSONL stream is the machine artifact CI archives: a ``header``
+record carrying everything needed to reproduce the run (arch, seed,
+budget, checkers), then one record per disagreement / mutant /
+checker error, each with its minimal reproducer serialised in the
+neutral litmus format (:func:`repro.litmus.parse.dumps`) so it can be
+re-run directly with ``repro run``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..litmus.parse import dumps
+from .classify import Disagreement
+from .fuzzer import FuzzReport
+
+__all__ = ["to_json_lines", "to_markdown"]
+
+
+def _reproducer(d: Disagreement) -> dict:
+    out: dict = {}
+    if d.shrunk is not None:
+        out["shrunk_events"] = d.shrunk.n
+        out["shrunk_execution"] = d.shrunk.describe()
+    if d.shrunk_test is not None:
+        out["shrunk_litmus"] = dumps(d.shrunk_test)
+    return out
+
+
+def _disagreement_record(d: Disagreement, record_kind: str) -> dict:
+    return {
+        "record": record_kind,
+        "item": d.item,
+        "class": d.kind,
+        "source": d.source,
+        "left": d.left,
+        "right": d.right,
+        "left_verdict": d.left_verdict,
+        "right_verdict": d.right_verdict,
+        "litmus": dumps(d.test),
+        **_reproducer(d),
+    }
+
+
+def to_json_lines(report: FuzzReport) -> str:
+    """The report as newline-delimited JSON (header first)."""
+    records: list[dict] = [
+        {
+            "record": "header",
+            "arch": report.arch,
+            "seed": report.seed,
+            "budget": report.budget,
+            "checkers": report.checkers,
+            "n_items": report.n_items,
+            "by_source": report.by_source,
+            "n_cells": report.n_cells,
+            "cache_hits": report.cache_hits,
+            "disagreements": len(report.disagreements),
+            "errors": len(report.errors),
+            "unseen_allows": report.unseen_allows,
+            "elapsed": round(report.elapsed, 3),
+            "ok": report.ok,
+            "reproduce": (
+                f"repro fuzz --arch {report.arch} --seed {report.seed} "
+                f"--budget {report.budget}"
+            ),
+        }
+    ]
+    records.extend(
+        _disagreement_record(d, "disagreement") for d in report.disagreements
+    )
+    for m in report.mutants:
+        records.append(
+            {
+                "record": "mutant",
+                "spec": m.spec,
+                "axiom": m.axiom,
+                "detected": m.detected,
+                "witnesses": m.witnesses,
+                "first_witness": m.first_witness,
+                "min_events": m.min_events,
+            }
+        )
+    records.extend(
+        {
+            "record": "error",
+            "item": e.item,
+            "checker": e.checker,
+            "message": e.message,
+        }
+        for e in report.errors
+    )
+    return "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n"
+
+
+def to_markdown(report: FuzzReport) -> str:
+    """The report as a human-readable markdown document."""
+    status = "✅ clean" if report.ok else "❌ FAILED"
+    lines = [
+        f"# Differential fuzz report: {report.arch}",
+        "",
+        f"**Status:** {status}",
+        "",
+        f"- seed: `{report.seed}` (rerun: `repro fuzz --arch {report.arch} "
+        f"--seed {report.seed} --budget {report.budget}`)",
+        f"- budget: `{report.budget}`",
+        f"- suite: {report.n_items} tests — "
+        + ", ".join(f"{n} {s}" for s, n in sorted(report.by_source.items())),
+        f"- checkers: {', '.join(f'`{c}`' for c in report.checkers)}",
+        f"- cells: {report.n_cells} ({report.cache_hits} cached), "
+        f"{report.elapsed:.2f}s",
+        f"- machine unseen-allows (informational): {report.unseen_allows}",
+        "",
+    ]
+
+    lines.append(f"## Disagreements ({len(report.disagreements)})")
+    lines.append("")
+    if not report.disagreements:
+        lines.append("None — every checker pair agreed on every test.")
+        lines.append("")
+    for d in report.disagreements:
+        lines.append(f"### `{d.item}` — {d.kind}")
+        lines.append("")
+        lines.append(
+            f"`{d.left}` says **{d.left_verdict}**, "
+            f"`{d.right}` says **{d.right_verdict}** "
+            f"(source: {d.source})"
+        )
+        lines.append("")
+        repro = d.shrunk_test or d.test
+        size = f" ({d.shrunk_events} events)" if d.shrunk is not None else ""
+        lines.append(f"Minimal reproducer{size}:")
+        lines.append("")
+        lines.append("```")
+        lines.append(dumps(repro).rstrip())
+        lines.append("```")
+        lines.append("")
+
+    if report.mutants:
+        lines.append(f"## Injected mutants ({len(report.mutants)})")
+        lines.append("")
+        lines.append("| mutant | detected | witnesses | minimal witness |")
+        lines.append("|---|---|---|---|")
+        for m in report.mutants:
+            detected = "yes" if m.detected else "**NO**"
+            size = f"{m.min_events} events" if m.min_events else "—"
+            lines.append(
+                f"| `{m.spec}` | {detected} | {m.witnesses} | {size} |"
+            )
+        lines.append("")
+
+    if report.errors:
+        lines.append(f"## Checker errors ({len(report.errors)})")
+        lines.append("")
+        for e in report.errors:
+            lines.append(f"- `{e.item}` under `{e.checker}`: {e.message}")
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Shrinking disagreements to minimal reproducers.
+
+The fuzzer reports nothing it cannot shrink: every disagreement is
+delta-debugged down the paper's §4.2 ⊏ weakening order
+(:func:`repro.synth.minimality.shrink`) until no one-step-weaker
+execution still reproduces it.  Two predicate shapes cover every
+disagreement kind:
+
+* **execution-level** — when both checkers are axiomatic models
+  (model-mismatch, mutant-disagreement, and enumeration splits whose
+  verdicts differ on a specific candidate), the witness execution the
+  "observable" side accepted *is* the disagreement:
+  ``left.consistent(w) != right.consistent(w)``.  Shrinking works on
+  the execution directly; the result is re-rendered as a litmus test.
+* **test-level** — machines have no ``consistent``; their disagreements
+  are shrunk through :func:`~repro.litmus.from_execution.to_litmus`:
+  weaken the test's origin execution, re-render, re-ask both checkers.
+  Machine escapes keep their *direction* while shrinking (machine
+  observes ∧ model forbids), so the descent cannot drift into the
+  benign unseen-Allow case.
+
+Random-program disagreements with no execution witness (possible only
+for machine escapes, where the machine is the sole "observable" side)
+fall back to instruction-level delta debugging on the program itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.execution import Execution
+from ..engine.checkers import Checker
+from ..litmus.candidates import expand_test
+from ..litmus.from_execution import to_litmus
+from ..litmus.program import Program
+from ..litmus.test import LitmusTest
+from ..models.base import MemoryModel
+from ..synth.minimality import shrink
+from ..synth.vocab import get_vocab
+from .classify import Disagreement
+
+__all__ = [
+    "witness_execution",
+    "shrink_disagreement",
+    "shrink_litmus",
+]
+
+
+def witness_execution(test: LitmusTest, model: MemoryModel) -> Execution | None:
+    """The first consistent, postcondition-satisfying candidate of
+    ``test`` under ``model`` — the execution witnessing observability."""
+    coherent_only = bool(getattr(model, "enforces_coherence", False))
+    for candidate in expand_test(test, coherent_only):
+        if coherent_only and not candidate.coherent:
+            continue
+        if model.consistent(candidate.execution):
+            return candidate.execution
+    return None
+
+
+def _model_of(checker: Checker) -> MemoryModel | None:
+    model = getattr(checker, "model", None)
+    return model if isinstance(model, MemoryModel) else None
+
+
+def shrink_disagreement(
+    d: Disagreement,
+    left: Checker,
+    right: Checker,
+    max_steps: int = 10_000,
+) -> None:
+    """Shrink ``d`` in place (fills ``shrunk`` and/or ``shrunk_test``)."""
+    vocab = get_vocab(d.test.arch)
+    left_model = _model_of(left)
+    right_model = _model_of(right)
+
+    # Execution-level descent for model-vs-model disagreements.
+    if left_model is not None and right_model is not None:
+        observer = left_model if d.left_verdict else right_model
+        witness = witness_execution(d.test, observer)
+        if witness is not None and (
+            left_model.consistent(witness) != right_model.consistent(witness)
+        ):
+            d.shrunk = shrink(
+                witness,
+                lambda x: left_model.consistent(x) != right_model.consistent(x),
+                vocab,
+                max_steps=max_steps,
+            )
+            try:
+                d.shrunk_test = to_litmus(d.shrunk, f"{d.item}-min", d.test.arch)
+            except ValueError:
+                d.shrunk_test = None
+            return
+
+    # Test-level descent from the item's origin execution.
+    def test_predicate(x: Execution) -> bool:
+        test = to_litmus(x, d.item, d.test.arch)
+        lv = left.verdict(test)
+        rv = right.verdict(test)
+        if d.kind == "machine-escape":
+            # Keep the ⊆-violation direction: the machine (right)
+            # observes what the model (left) forbids.
+            return rv and not lv
+        return lv != rv
+
+    if d.origin is not None:
+        try:
+            holds = test_predicate(d.origin)
+        except Exception:
+            holds = False
+        if holds:
+            d.shrunk = shrink(
+                d.origin, test_predicate, vocab, max_steps=max_steps
+            )
+            d.shrunk_test = to_litmus(d.shrunk, f"{d.item}-min", d.test.arch)
+            return
+
+    # Last resort: instruction-level delta debugging on the program.
+    def litmus_predicate(test: LitmusTest) -> bool:
+        lv = left.verdict(test)
+        rv = right.verdict(test)
+        if d.kind == "machine-escape":
+            return rv and not lv
+        return lv != rv
+
+    d.shrunk_test = shrink_litmus(d.test, litmus_predicate)
+
+
+def shrink_litmus(
+    test: LitmusTest,
+    predicate: Callable[[LitmusTest], bool],
+    max_steps: int = 1_000,
+) -> LitmusTest:
+    """Greedy one-at-a-time reduction of a litmus test.
+
+    Tries removing single instructions (variants that fail program
+    validation — dangling registers, unbalanced transaction brackets —
+    are skipped) and single postcondition atoms while ``predicate``
+    stays true.  Coarser than the ⊏ shrinker but total: it needs no
+    origin execution.
+    """
+    steps = 0
+    progressed = True
+    while progressed and steps < max_steps:
+        progressed = False
+        for variant in _litmus_reductions(test):
+            try:
+                still = predicate(variant)
+            except Exception:
+                still = False
+            if still:
+                test = variant
+                steps += 1
+                progressed = True
+                break
+    return test
+
+
+def _litmus_reductions(test: LitmusTest):
+    """Yield every one-instruction / one-atom reduction of ``test``."""
+    threads = test.program.threads
+    for tid, thread in enumerate(threads):
+        for idx in range(len(thread)):
+            new_thread = thread[:idx] + thread[idx + 1 :]
+            # Empty threads are kept: postcondition atoms address
+            # threads by index, so removal must not shift tids.
+            new_threads = tuple(
+                new_thread if t == tid else threads[t]
+                for t in range(len(threads))
+            )
+            try:
+                program = Program(new_threads)
+            except ValueError:
+                continue
+            yield LitmusTest(
+                test.name, test.arch, program, test.postcondition, test.init
+            )
+    for idx in range(len(test.postcondition)):
+        post = test.postcondition[:idx] + test.postcondition[idx + 1 :]
+        yield LitmusTest(test.name, test.arch, test.program, post, test.init)

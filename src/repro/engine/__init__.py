@@ -40,11 +40,18 @@ from .campaign import (
     litmus_suite,
     run_campaign,
 )
-from .checkers import Checker, ModelChecker, OracleChecker, resolve_checker
+from .checkers import (
+    BruteForceChecker,
+    Checker,
+    ModelChecker,
+    OracleChecker,
+    resolve_checker,
+)
 from .memo import MemoModel
 from .pool import default_jobs, parallel_map
 
 __all__ = [
+    "BruteForceChecker",
     "CACHE_VERSION",
     "CampaignItem",
     "CampaignResult",

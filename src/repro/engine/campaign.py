@@ -66,11 +66,17 @@ class CampaignItem:
 
 @dataclass(frozen=True)
 class CellResult:
-    """One (test, model) cell of the verdict matrix."""
+    """One (test, model) cell of the verdict matrix.
+
+    ``error`` carries the ``"ExcType: message"`` string of a checker
+    that raised instead of producing a verdict (the verdict is then
+    ``False`` by convention and the cell is never cached).
+    """
 
     verdict: bool
     elapsed: float
     cached: bool
+    error: str | None = None
 
 
 @dataclass
@@ -112,6 +118,15 @@ class CampaignResult:
             if spec == model and not cell.cached
         )
 
+    def errors(self) -> list[tuple[str, str, str]]:
+        """``(item, model, error)`` rows for every cell whose checker
+        raised instead of producing a verdict."""
+        return [
+            (name, spec, cell.error)
+            for (name, spec), cell in sorted(self.cells.items())
+            if cell.error is not None
+        ]
+
     def diffs(self, items: Sequence[CampaignItem]) -> list[tuple[str, str, bool, bool]]:
         """(item, model, got, expected) rows where the verdict disagrees
         with the item's expectation (models without expectations skip)."""
@@ -146,30 +161,36 @@ class CampaignResult:
             row = name.ljust(name_width)
             for spec, w in zip(self.model_specs, widths):
                 cell = self.cells[(name, spec)]
-                mark = "A" if cell.verdict else "F"
+                mark = "!" if cell.error else "A" if cell.verdict else "F"
                 row += f"  {mark:>{w}}"
             lines.append(row)
-        lines.append("(A = observable/consistent, F = forbidden)")
+        lines.append("(A = observable/consistent, F = forbidden, ! = error)")
         return "\n".join(lines)
 
     def summary(self) -> str:
         computed = self.cache_misses
+        errors = sum(1 for cell in self.cells.values() if cell.error)
+        suffix = f", {errors} checker errors" if errors else ""
         return (
             f"{len(self.item_names)} tests x {len(self.model_specs)} models "
             f"= {len(self.cells)} cells ({self.cache_hits} cached, "
             f"{computed} computed) in {self.elapsed:.2f}s "
-            f"[{100 * self.hit_rate:.0f}% cache hits]"
+            f"[{100 * self.hit_rate:.0f}% cache hits]{suffix}"
         )
 
 
 def _base_model_name(spec: str) -> str:
     """The registry name behind a spec, for expected-verdict lookups:
     ``hw:x86:<oracle>`` → ``x86``, ``cat:x86`` → ``x86``, the bare .cat
-    stem ``x86tm`` → ``x86``."""
+    stem ``x86tm`` → ``x86``, ``brute:x86`` → ``x86``,
+    ``mut:armv8:<axiom>`` → ``armv8`` (a mutant *should* diff against
+    the stock expectations — that is what detection means)."""
     from ..cat.model import CAT_MODEL_FILES
 
-    if spec.startswith("hw:"):
+    if spec.startswith(("hw:", "mut:")):
         return spec.split(":")[1]
+    if spec.startswith("brute:"):
+        return spec[6:]
     name = spec[4:] if spec.startswith("cat:") else spec
     if name in CAT_MODEL_FILES:
         return name
@@ -186,21 +207,33 @@ def _base_model_name(spec: str) -> str:
 
 def _run_unit(
     unit: tuple[str, LitmusTest | Execution, tuple[str | Checker, ...]],
-) -> list[tuple[str, str, bool, float]]:
+) -> list[tuple[str, str, bool, float, str | None]]:
     """Evaluate one test against several checkers (runs in a worker).
 
     Grouping by test means the candidate expansion is computed once and
     shared by every checker via the per-process memo.  Checkers arrive
     as spec strings (resolved locally, memoized per process) or as
     ready-made :class:`Checker` instances.
+
+    A checker that raises yields an errored cell instead of killing the
+    whole campaign — one bad (test, model) pair must not lose the other
+    verdicts of a long sweep.  The error is reported per cell and the
+    campaign's consumer decides (the CLI exits nonzero).
     """
     name, payload, checkers = unit
     out = []
     for entry in checkers:
         checker = entry if isinstance(entry, Checker) else resolve_checker(entry)
         start = time.perf_counter()
-        verdict = checker.verdict(payload)
-        out.append((name, checker.spec, verdict, time.perf_counter() - start))
+        try:
+            verdict = checker.verdict(payload)
+            error = None
+        except Exception as exc:
+            verdict = False
+            error = f"{type(exc).__name__}: {exc}"
+        out.append(
+            (name, checker.spec, verdict, time.perf_counter() - start, error)
+        )
     return out
 
 
@@ -300,8 +333,12 @@ def run_campaign(
     misses = sum(len(specs) for _, _, specs in units)
 
     for result in parallel_map(_run_unit, units, jobs=jobs):
-        for name, spec, verdict, elapsed in result:
-            cells[(name, spec)] = CellResult(verdict, elapsed, cached=False)
+        for name, spec, verdict, elapsed, error in result:
+            cells[(name, spec)] = CellResult(
+                verdict, elapsed, cached=False, error=error
+            )
+            if error is not None:
+                continue  # never cache a crash as a verdict
             if caching:
                 with profiling.stage("cache"):
                     cache.put(

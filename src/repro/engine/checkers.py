@@ -12,13 +12,21 @@ verdict:
 Specs are plain strings so they cross process boundaries cheaply (the
 worker pool resolves them locally and memoizes the instantiation):
 
-==================  ====================================================
-``x86``             native Python model from ``repro.models.registry``
-``x86!notm``        the same with ``tm=False`` (baseline view)
-``x86tm``           .cat library model (any ``CAT_MODEL_FILES`` stem,
-                    registry key prefixed ``cat:``, or a ``*.cat`` path)
-``hw:x86``          hardware stand-in from ``repro.sim.oracle``
-==================  ====================================================
+=====================  =================================================
+``x86``                native Python model from ``repro.models.registry``
+``x86!notm``           the same with ``tm=False`` (baseline view)
+``x86tm``              .cat library model (any ``CAT_MODEL_FILES`` stem,
+                       registry key prefixed ``cat:``, or a ``*.cat``
+                       path)
+``hw:x86``             hardware stand-in from ``repro.sim.oracle``
+``hw:armv8:machine``   oracle variant (``machine`` = the operational
+                       machine, ``buggy`` = the §6.2 RTL prototype)
+``brute:x86``          the native model driven by the *brute-force*
+                       candidate enumerator — ground truth for the
+                       differential fuzzer's enumeration splits
+``mut:armv8:TxnOrder``  the native model with one axiom dropped — the
+                       fuzzer's injected-weakening mutants
+=====================  =================================================
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from ..models.base import MemoryModel
 from ..models.registry import MODELS, get_model
 
 __all__ = [
+    "BruteForceChecker",
     "Checker",
     "ModelChecker",
     "OracleChecker",
@@ -46,15 +55,21 @@ def definition_hash(obj) -> str:
     """A short hash of a model/oracle *definition*, for cache keying.
 
     Editing a model must invalidate its cached verdicts, so the cache
-    key includes this alongside the spec string.  For ``.cat`` models
-    the parsed AST is hashed (editing the file changes it); for native
-    Python models and oracles, the class source.  Edits to shared
+    key includes this alongside the spec string.  Objects may provide a
+    ``definition_token()`` naming their definition explicitly (mutant
+    models are dynamically created classes whose source is unavailable,
+    and whose ``repr`` would collide); otherwise, for ``.cat`` models
+    the parsed AST is hashed (editing the file changes it), and for
+    native Python models and oracles, the class source.  Edits to shared
     helpers in other modules are not caught — bump
     :data:`repro.engine.cache.CACHE_VERSION` for those.
     """
     from ..cat.model import CatModel
 
-    if isinstance(obj, CatModel):
+    token = getattr(obj, "definition_token", None)
+    if callable(token):
+        text = token()
+    elif isinstance(obj, CatModel):
         text = repr(obj.ast)
     else:
         try:
@@ -125,6 +140,32 @@ class OracleChecker(Checker):
         return self.oracle.observable(payload)
 
 
+class BruteForceChecker(Checker):
+    """A native model driven by the brute-force candidate enumerator.
+
+    Semantically identical to the :class:`ModelChecker` for the same
+    model — any verdict difference is an *enumeration split*: a bug in
+    the constraint-pruned incremental search (or in the brute-force
+    reference).  The differential fuzzer runs this on small tests as its
+    ground-truth oracle; it shares nothing with the pruned path (no
+    memoized expansion, no coherence gating, no postcondition pushing).
+    """
+
+    def __init__(self, spec: str, model: MemoryModel) -> None:
+        super().__init__(spec)
+        self.model = model
+
+    def verdict(self, payload: LitmusTest | Execution) -> bool:
+        from ..litmus.candidates import brute_force_observable
+
+        if isinstance(payload, LitmusTest):
+            return brute_force_observable(payload, self.model)
+        return self.model.consistent(payload)
+
+    def definition_hash(self) -> str:
+        return "brute-" + definition_hash(self.model)
+
+
 def _cat_file_for(name: str) -> str | None:
     """Resolve ``name`` to a .cat library file, or None."""
     from ..cat.model import CAT_MODEL_FILES
@@ -140,9 +181,27 @@ def _cat_file_for(name: str) -> str | None:
 def resolve_checker(spec: str) -> Checker:
     """Instantiate the checker named by ``spec`` (memoized per process)."""
     if spec.startswith("hw:"):
-        from ..sim.oracle import get_oracle
+        from ..sim.oracle import oracle_for_spec
 
-        return OracleChecker(spec, get_oracle(spec[3:]))
+        return OracleChecker(spec, oracle_for_spec(spec[3:]))
+    if spec.startswith("brute:"):
+        name = spec[6:]
+        if name not in MODELS:
+            raise ValueError(
+                f"unknown model {name!r} in {spec!r}; brute: takes a "
+                f"registry model ({', '.join(sorted(MODELS))})"
+            )
+        return BruteForceChecker(spec, get_model(name))
+    if spec.startswith("mut:"):
+        from ..conformance.mutants import drop_axiom
+
+        try:
+            _, arch, axiom = spec.split(":", 2)
+        except ValueError:
+            raise ValueError(
+                f"malformed mutant spec {spec!r}; use 'mut:<arch>:<axiom>'"
+            ) from None
+        return ModelChecker(spec, drop_axiom(arch, axiom))
 
     name, _, suffix = spec.partition("!")
     if suffix not in ("", "notm"):
@@ -163,5 +222,6 @@ def resolve_checker(spec: str) -> Checker:
     raise ValueError(
         f"unknown checker {spec!r}; use a registry model "
         f"({', '.join(sorted(MODELS))}), a .cat library name, "
-        f"'cat:<name>', or 'hw:<arch>'"
+        f"'cat:<name>', 'hw:<arch>[:<variant>]', 'brute:<model>', "
+        f"or 'mut:<arch>:<axiom>'"
     )

@@ -64,6 +64,8 @@ __all__ = [
     "expand_program",
     "expand_test",
     "brute_force_candidates",
+    "brute_force_observable",
+    "brute_force_outcomes",
     "observable",
     "all_outcomes",
     "set_expansion_cache_limit",
@@ -112,6 +114,13 @@ def _expand_thread(
     Returns ``None`` if a transaction chosen as committed contains an
     unconditional ``TxAbort`` — that choice is infeasible (Remark 7.1:
     such a transaction never succeeds).
+
+    A register whose *only* definition sits inside an aborted
+    transaction is rolled back with it (the operational machines restore
+    the register snapshot, section 3.1: an aborted transaction's events
+    vanish): later uses read the pre-transaction definition if one
+    exists, else the initial value 0 — and induce no dependency edge,
+    since the defining load event does not exist in this candidate.
     """
     shape = _ThreadShape([], {}, [], {}, [], [], [], [], [], [])
     pending_ctrl: list[int] = []  # defining loads of all open branches
@@ -149,11 +158,15 @@ def _expand_thread(
                 continue
             if instr.reg is None:
                 return None  # committed choice is infeasible
-            shape.abort_conditions.append(shape.regs[instr.reg])
+            if instr.reg in shape.regs:
+                shape.abort_conditions.append(shape.regs[instr.reg])
+            # A rolled-back condition register reads 0: the abort never
+            # fires, so a committed choice needs no extra condition.
             continue
         if isinstance(instr, CtrlBranch):
             for reg in instr.regs:
-                pending_ctrl.append(shape.regs[reg])
+                if reg in shape.regs:
+                    pending_ctrl.append(shape.regs[reg])
             continue
         if isinstance(instr, Fence):
             eid = len(shape.events)
@@ -166,9 +179,11 @@ def _expand_thread(
             if instr.excl:
                 labels.add(Label.EXCL)
             shape.events.append(Event(EventKind.READ, instr.loc, frozenset(labels)))
+            shape.addr.extend(
+                (shape.regs[r], eid) for r in instr.addr_dep if r in shape.regs
+            )
             shape.regs[instr.dst] = eid
             shape.reads.append((eid, instr.dst))
-            shape.addr.extend((shape.regs[r], eid) for r in instr.addr_dep)
             shape.ctrl.extend((src, eid) for src in pending_ctrl)
             if instr.excl:
                 open_excl[instr.loc] = eid
@@ -180,8 +195,12 @@ def _expand_thread(
                 labels.add(Label.EXCL)
             shape.events.append(Event(EventKind.WRITE, instr.loc, frozenset(labels)))
             shape.store_values[eid] = instr.value
-            shape.data.extend((shape.regs[r], eid) for r in instr.data_dep)
-            shape.addr.extend((shape.regs[r], eid) for r in instr.addr_dep)
+            shape.data.extend(
+                (shape.regs[r], eid) for r in instr.data_dep if r in shape.regs
+            )
+            shape.addr.extend(
+                (shape.regs[r], eid) for r in instr.addr_dep if r in shape.regs
+            )
             shape.ctrl.extend((src, eid) for src in pending_ctrl)
             if instr.excl and instr.loc in open_excl:
                 shape.rmw.append((open_excl.pop(instr.loc), eid))
@@ -862,6 +881,30 @@ def brute_force_candidates(program: Program) -> Iterator[Candidate]:
                 )
                 coherent = (execution.po_loc | execution.com).is_acyclic()
                 yield Candidate(execution, outcome, coherent=coherent)
+
+
+def brute_force_observable(test: LitmusTest, model: MemoryModel) -> bool:
+    """Reference :func:`observable`, enumerated by brute force.
+
+    This walks the unpruned, unmemoized cross-product and applies the
+    postcondition and the model *after* the fact, so it shares nothing
+    with the incremental search — the differential fuzzer uses it as the
+    ground-truth oracle for enumeration splits, and the randomized
+    equivalence suite as its reference semantics.
+    """
+    return any(
+        test.check(c.outcome) and model.consistent(c.execution)
+        for c in brute_force_candidates(test.program)
+    )
+
+
+def brute_force_outcomes(test: LitmusTest, model: MemoryModel) -> set[tuple]:
+    """Reference :func:`all_outcomes`, enumerated by brute force."""
+    return {
+        c.outcome.key()
+        for c in brute_force_candidates(test.program)
+        if model.consistent(c.execution)
+    }
 
 
 # ----------------------------------------------------------------------

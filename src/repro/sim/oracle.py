@@ -41,6 +41,7 @@ __all__ = [
     "ArmRtl",
     "BuggyRtlArm",
     "get_oracle",
+    "oracle_for_spec",
 ]
 
 
@@ -170,3 +171,32 @@ def get_oracle(
     if arch == "riscv":
         return MachineHardware(arch)
     raise ValueError(f"no hardware oracle for {arch!r}")
+
+
+def oracle_for_spec(text: str) -> HardwareOracle:
+    """Resolve an oracle spec: ``<arch>`` or ``<arch>:<variant>``.
+
+    Variants select between the stand-ins for one architecture:
+
+    * ``machine`` — the policy-driven operational machine
+      (:class:`MachineHardware`, power/armv8/riscv);
+    * ``buggy`` — the §6.2 RTL prototype with the TxnOrder bug
+      (armv8 only);
+    * no variant — the default :func:`get_oracle` stand-in.
+
+    This is the parsing behind the campaign engine's ``hw:<arch>`` and
+    ``hw:<arch>:<variant>`` checker specs.
+    """
+    arch, _, variant = text.partition(":")
+    if not variant:
+        return get_oracle(arch)
+    if variant == "machine":
+        return get_oracle(arch, operational=True)
+    if variant == "buggy":
+        if arch != "armv8":
+            raise ValueError(f"no buggy RTL stand-in for {arch!r}")
+        return get_oracle(arch, buggy_rtl=True)
+    raise ValueError(
+        f"unknown oracle variant {variant!r} in {text!r}; "
+        f"use 'machine' or 'buggy'"
+    )

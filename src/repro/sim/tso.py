@@ -137,6 +137,81 @@ class TsoMachine:
                     counter += 1
                     begin = None
             self._spans.append(spans)
+        # Pre-compute LOCK'd RMW pairs per thread: an exclusive store
+        # pairs with the closest preceding exclusive load on the *same*
+        # location (mirroring the candidate expansion).  Unpaired
+        # exclusive loads execute as plain loads — found by the
+        # differential fuzzer: the old "every exclusive load is the read
+        # half of an RMW" treatment silently dropped their register
+        # write, observing r0=0 past a program-order-earlier store.
+        self._excl_pairs: list[dict[int, int]] = []  # load pc -> store pc
+        self._excl_store_load: list[dict[int, int]] = []  # store pc -> load pc
+        for thread in program.threads:
+            pairs: dict[int, int] = {}
+            open_excl: dict[str, int] = {}
+            for idx, instr in enumerate(thread):
+                if isinstance(instr, Load) and instr.excl:
+                    open_excl[instr.loc] = idx
+                elif (
+                    isinstance(instr, Store)
+                    and instr.excl
+                    and instr.loc in open_excl
+                ):
+                    pairs[open_excl.pop(instr.loc)] = idx
+            self._excl_pairs.append(pairs)
+            self._excl_store_load.append({s: l for l, s in pairs.items()})
+        # Static pc → transaction-number map, for commit-aware pairing:
+        # an exclusive load inside an *aborted* transaction is rolled
+        # back with it, so a post-transaction exclusive store must not
+        # pair with it (the candidate expansion drops the vanished load).
+        self._txn_of_pc: list[dict[int, int]] = []
+        for tid, spans in enumerate(self._spans):
+            by_pc: dict[int, int] = {}
+            for txn_no, (begin, end) in spans.items():
+                for pc in range(begin, end + 1):
+                    by_pc[pc] = txn_no
+            self._txn_of_pc.append(by_pc)
+        # Deferring the paired read to the store ("the read half of a
+        # LOCK'd RMW executes with the store") is only sound for a
+        # *clean* same-context pair: nothing between the halves may
+        # touch the pair's location (the deferred read would observe
+        # po-later same-thread writes — coRW1 — or contradict
+        # po-ordered reads — coRR), and nothing may consume or redefine
+        # the load's destination register (a TxAbort condition would
+        # decide commit on a value the store later rewrites
+        # retroactively).  Every one of these was a machine-escape
+        # found by the fuzzer's randomized subset stress or its review.
+        # Any other surviving pair blocks at the store (mirroring the
+        # weak machine's failed store-exclusive), so no outcome from
+        # that path exists at all.
+        self._rmw_store_pcs: list[frozenset[int]] = []
+        self._noop_load_pcs: list[frozenset[int]] = []
+        for tid, thread in enumerate(program.threads):
+            rmw_stores = set()
+            noop_loads = set()
+            for store_pc, load_pc in self._excl_store_load[tid].items():
+                if self._txn_of_pc[tid].get(load_pc) != self._txn_of_pc[
+                    tid
+                ].get(store_pc):
+                    continue  # straddling pair: never atomic
+                loc = thread[store_pc].loc
+                dst = thread[load_pc].dst
+                between = thread[load_pc + 1 : store_pc]
+                if any(
+                    isinstance(ins, (Load, Store)) and ins.loc == loc
+                    for ins in between
+                ):
+                    continue  # reservation lost
+                if any(
+                    (isinstance(ins, Load) and ins.dst == dst)
+                    or (isinstance(ins, TxAbort) and ins.reg == dst)
+                    for ins in between
+                ):
+                    continue  # deferred register write would be seen
+                rmw_stores.add(store_pc)
+                noop_loads.add(load_pc)
+            self._rmw_store_pcs.append(frozenset(rmw_stores))
+            self._noop_load_pcs.append(frozenset(noop_loads))
 
     # ------------------------------------------------------------------
     # State transitions
@@ -284,8 +359,10 @@ class TsoMachine:
             return (memory, log, threads)
 
         if isinstance(instr, Load):
-            if instr.excl:
-                # The read half of a LOCK'd RMW executes with the store.
+            if instr.excl and thread.pc in self._noop_load_pcs[tid]:
+                # The read half of a LOCK'd RMW executes with the store;
+                # *unpaired* and transaction-straddling exclusive loads
+                # fall through and execute as ordinary loads.
                 threads = self._set(
                     threads, tid, thread._replace(pc=thread.pc + 1)
                 )
@@ -314,11 +391,27 @@ class TsoMachine:
             return (memory, log, self._set(threads, tid, thread))
 
         if isinstance(instr, Store):
+            if instr.excl and thread.txn is not None:
+                # A LOCK'd operation inside a TSX transaction aborts it
+                # (Intel SDM 16.3.8 lists LOCK-prefixed instructions
+                # among the abort causes).  The old direct-to-memory
+                # path leaked the write past the rollback — found by
+                # the differential fuzzer's machine-escape classifier.
+                threads = self._set(threads, tid, self._abort_txn(thread, tid))
+                return (memory, log, threads)
             if instr.excl:
                 # LOCK'd RMW: buffer must be empty; atomic read+write.
                 if thread.buffer:
                     return None
-                load = self._paired_exclusive_load(tid, thread.pc)
+                load = self._paired_exclusive_load(tid, thread.pc, thread)
+                if (
+                    load is not None
+                    and thread.pc not in self._rmw_store_pcs[tid]
+                ):
+                    # The pair survived this run's commit choices but
+                    # cannot execute atomically (straddling context or
+                    # lost reservation): the path never completes.
+                    return None
                 old = self._mem_get(memory, instr.loc)
                 memory = self._mem_set(memory, instr.loc, instr.value)
                 log = log + ((instr.loc, instr.value),)
@@ -348,12 +441,27 @@ class TsoMachine:
 
         raise TypeError(f"unknown instruction {instr!r}")
 
-    def _paired_exclusive_load(self, tid: int, store_pc: int) -> Load | None:
-        for idx in range(store_pc - 1, -1, -1):
-            instr = self.program.threads[tid][idx]
-            if isinstance(instr, Load) and instr.excl:
-                return instr
-        return None
+    def _paired_exclusive_load(
+        self, tid: int, store_pc: int, thread: _ThreadState
+    ) -> Load | None:
+        """The exclusive load paired with the store at ``store_pc``
+        (same location, closest preceding — matching the expansion).
+
+        Pairing is commit-aware: a load inside a transaction this run
+        *aborted* was rolled back and never executed, so the store runs
+        unpaired (exactly as the candidate expansion drops the vanished
+        load for that commit choice)."""
+        load_pc = self._excl_store_load[tid].get(store_pc)
+        if load_pc is None:
+            return None
+        txn_no = self._txn_of_pc[tid].get(load_pc)
+        if (
+            txn_no is not None
+            and txn_no != thread.txn
+            and txn_no not in thread.committed
+        ):
+            return None
+        return self.program.threads[tid][load_pc]
 
     @staticmethod
     def _set(
@@ -392,8 +500,17 @@ class TsoMachine:
             memory, log, threads = state
             successors = list(self._successors(state))
             if not successors:
-                outcome = self._outcome(state)
-                outcomes[outcome.key()] = outcome
+                # Only completed runs yield outcomes.  A successor-less
+                # state that is not finished is a dead path — a LOCK'd
+                # RMW whose reservation was irrecoverably lost — and
+                # contributes nothing (mirroring the weak machine).
+                if all(
+                    thread.pc == len(self.program.threads[tid])
+                    and not thread.buffer
+                    for tid, thread in enumerate(threads)
+                ):
+                    outcome = self._outcome(state)
+                    outcomes[outcome.key()] = outcome
                 continue
             stack.extend(successors)
         return set(outcomes.values())

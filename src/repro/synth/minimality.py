@@ -12,17 +12,23 @@
 execution is *minimally forbidden* when all of its weakenings are allowed,
 and the *maximally allowed* tests are the consistent one-step weakenings
 of minimally forbidden ones (section 4.2's ``max-consistent``).
+
+:func:`shrink` runs the same order in reverse as a delta debugger: given
+any predicate over executions (the differential fuzzer's "these two
+checkers still disagree"), it descends ⊏ greedily until no one-step
+weakening preserves the predicate — the result is a ⊏-minimal
+reproducer.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..core.execution import Execution, Transaction
 from ..models.base import MemoryModel
 from .vocab import ArchVocab
 
-__all__ = ["weakenings", "is_minimal_inconsistent"]
+__all__ = ["weakenings", "is_minimal_inconsistent", "shrink"]
 
 
 def weakenings(x: Execution, vocab: ArchVocab) -> Iterator[Execution]:
@@ -53,6 +59,42 @@ def weakenings(x: Execution, vocab: ArchVocab) -> Iterator[Execution]:
             else:
                 del txns[idx]
             yield x.with_txns(txns)
+
+
+def shrink(
+    x: Execution,
+    predicate: Callable[[Execution], bool],
+    vocab: ArchVocab,
+    max_steps: int = 10_000,
+) -> Execution:
+    """Delta-debug ``x`` down the ⊏ order while ``predicate`` holds.
+
+    Greedy descent: take the first one-step weakening on which the
+    predicate still holds, repeat until none does (or ``max_steps``
+    weakenings have been applied).  Every ⊏ step strictly shrinks a
+    finite measure of the execution (events, edges, label strength,
+    transaction spans), so the loop terminates; the result is a
+    ⊏-minimal execution satisfying the predicate.  A predicate that
+    raises on some weakening treats it as "does not hold" — shrinking
+    never propagates checker crashes.
+
+    ``predicate(x)`` itself is assumed to hold; it is not re-checked.
+    """
+    steps = 0
+    progressed = True
+    while progressed and steps < max_steps:
+        progressed = False
+        for weaker in weakenings(x, vocab):
+            try:
+                still = predicate(weaker)
+            except Exception:
+                still = False
+            if still:
+                x = weaker
+                steps += 1
+                progressed = True
+                break
+    return x
 
 
 def is_minimal_inconsistent(

@@ -1,0 +1,28 @@
+"""Shared test configuration: one seed to reproduce every random suite.
+
+All randomized suites (``test_equivalence``, ``test_relation_properties``,
+``test_conformance``, …) derive their randomness from ``REPRO_TEST_SEED``
+via :mod:`repro.conformance.seeds`.  The value is printed in the pytest
+header, so any CI failure is reproducible from the log line alone::
+
+    REPRO_TEST_SEED=<value from the log> python -m pytest tests/...
+"""
+
+import pytest
+
+
+def pytest_report_header(config):
+    try:
+        from repro.conformance.seeds import ENV_VAR, reproducible_seed
+
+        return f"{ENV_VAR}={reproducible_seed()}"
+    except Exception:  # pragma: no cover - src not on sys.path
+        return None
+
+
+@pytest.fixture
+def test_seed() -> int:
+    """The session seed (``$REPRO_TEST_SEED`` or the fixed default)."""
+    from repro.conformance.seeds import reproducible_seed
+
+    return reproducible_seed()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate the golden catalog verdict matrix.
+
+Run after an *intentional* semantic change to a native model or a
+catalog entry::
+
+    PYTHONPATH=src python tests/regen_golden_verdicts.py
+
+and commit the updated ``tests/golden_verdicts.json`` together with the
+change that motivated it.  ``tests/test_golden_verdicts.py`` fails on
+any unexplained flip.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.conformance.golden import write_snapshot  # noqa: E402
+
+GOLDEN = pathlib.Path(__file__).resolve().parent / "golden_verdicts.json"
+
+
+def main() -> int:
+    matrix = write_snapshot(GOLDEN)
+    cells = sum(len(row) for row in matrix.values())
+    print(f"wrote {GOLDEN} ({len(matrix)} entries x "
+          f"{len(next(iter(matrix.values())))} models = {cells} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -134,3 +134,97 @@ class TestNewCommands:
         )
         assert code == 0
         assert "forbid" in out.lower()
+
+
+class TestExitCodes:
+    """campaign/fuzz must exit nonzero on disagreements (1) and on
+    checker errors (2) — CI gates on these."""
+
+    def test_campaign_clean_exits_zero(self, capsys):
+        code, out = run(
+            capsys, "campaign", "--arch", "x86", "--models", "x86,sc",
+            "--length", "2", "--no-cache",
+        )
+        assert code == 0
+
+    def test_campaign_disagreement_exits_one(self, capsys):
+        # A weakened armv8 flips catalog verdicts against the stock
+        # expectations, which the diff report must surface as exit 1.
+        code, out = run(
+            capsys, "campaign", "--suite", "catalog",
+            "--models", "mut:armv8:TxnOrder", "--no-cache",
+        )
+        assert code == 1
+        assert "disagreements with expected verdicts" in out
+
+    def test_campaign_checker_error_exits_two(self, capsys):
+        # Oracles judge litmus tests, not bare catalog executions: every
+        # cell errors, and the run must say so and exit 2.
+        code, out = run(
+            capsys, "campaign", "--suite", "catalog",
+            "--models", "hw:x86", "--no-cache",
+        )
+        assert code == 2
+        assert "checker errors" in out
+
+    def test_campaign_unknown_model_exits_two(self, capsys):
+        code, _ = run(
+            capsys, "campaign", "--arch", "x86",
+            "--models", "nosuchmodel", "--no-cache",
+        )
+        assert code == 2
+
+    def test_fuzz_clean_exits_zero(self, capsys):
+        code, out = run(
+            capsys, "fuzz", "--arch", "x86", "--seed", "0",
+            "--budget", "smoke", "--no-cache",
+        )
+        assert code == 0
+        assert "CLEAN" in out
+
+    def test_fuzz_undetected_mutant_exits_one(self, capsys):
+        # Dropping x86's Order axiom is extensionally masked by TxnOrder
+        # (stronglift(hb) ⊇ hb), so the mutant can never be detected:
+        # the run must report the failure and exit 1.
+        code, out = run(
+            capsys, "fuzz", "--arch", "x86", "--seed", "0",
+            "--budget", "smoke", "--mutants", "Order", "--no-cache",
+        )
+        assert code == 1
+        assert "NOT DETECTED" in out
+
+    def test_fuzz_checker_error_exits_two(self, capsys, monkeypatch):
+        from repro.sim import oracle
+
+        def boom(self, test):
+            raise RuntimeError("injected machine fault")
+
+        monkeypatch.setattr(oracle.MachineHardware, "observable", boom)
+        code, out = run(
+            capsys, "fuzz", "--arch", "armv8", "--seed", "0",
+            "--budget", "smoke", "--no-brute", "--no-cache",
+        )
+        assert code == 2
+        assert "injected machine fault" in out
+
+    def test_fuzz_unknown_mutant_axiom_exits_two(self, capsys):
+        code, _ = run(
+            capsys, "fuzz", "--arch", "x86", "--seed", "0",
+            "--budget", "smoke", "--mutants", "NoSuchAxiom", "--no-cache",
+        )
+        assert code == 2
+
+    def test_fuzz_writes_reports(self, capsys, tmp_path):
+        jsonl = tmp_path / "fuzz.jsonl"
+        md = tmp_path / "fuzz.md"
+        code, out = run(
+            capsys, "fuzz", "--arch", "cpp", "--seed", "0",
+            "--budget", "smoke", "--no-cache",
+            "--jsonl", str(jsonl), "--report", str(md),
+        )
+        assert code == 0
+        assert jsonl.is_file() and md.is_file()
+        import json
+
+        header = json.loads(jsonl.read_text().splitlines()[0])
+        assert header["record"] == "header" and header["ok"] is True

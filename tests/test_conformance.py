@@ -1,0 +1,314 @@
+"""Tests for the differential conformance fuzzer.
+
+The two headline properties:
+
+* stock models are *clean*: ``repro fuzz --arch armv8 --seed 0
+  --budget small`` (and the smoke tier for every architecture) finds
+  zero disagreements and zero checker errors;
+* the harness has *teeth*: every injected weakening in
+  ``KNOWN_MUTANTS`` is detected and shrunk to a ≤6-event reproducer.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.conformance import (
+    KNOWN_MUTANTS,
+    Disagreement,
+    drop_axiom,
+    generate_suite,
+    run_fuzz,
+    witness_execution,
+)
+from repro.conformance.budget import BUDGETS, get_budget
+from repro.conformance.generators import (
+    FUZZ_ARCHES,
+    estimate_candidates,
+    random_litmus,
+    vocab_compatible,
+)
+from repro.conformance.report import to_json_lines, to_markdown
+from repro.conformance.seeds import derive_seed, reproducible_seed
+from repro.conformance.shrink import shrink_disagreement, shrink_litmus
+from repro.engine.checkers import resolve_checker
+from repro.litmus.candidates import brute_force_observable, observable
+from repro.models.registry import get_model
+from repro.synth.minimality import shrink
+from repro.synth.vocab import get_vocab
+
+_SEED = reproducible_seed()
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+class TestGenerators:
+    def test_suite_is_deterministic_in_seed(self):
+        a = generate_suite("armv8", 123, "smoke")
+        b = generate_suite("armv8", 123, "smoke")
+        assert [i.name for i in a] == [i.name for i in b]
+        assert [i.test for i in a] == [i.test for i in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_suite("armv8", 1, "smoke")
+        b = generate_suite("armv8", 2, "smoke")
+        assert [i.test for i in a] != [i.test for i in b]
+
+    def test_seed_independent_sources_are_stable(self):
+        """diy/directed/catalog streams never depend on the seed, so
+        mutant detection cannot hinge on random luck."""
+        stable = lambda items: [
+            (i.name, i.test)
+            for i in items
+            if i.source in ("diy", "directed", "catalog")
+        ]
+        assert stable(generate_suite("x86", 1, "smoke")) == stable(
+            generate_suite("x86", 99, "smoke")
+        )
+
+    @pytest.mark.parametrize("arch", FUZZ_ARCHES)
+    def test_every_arch_generates_a_nonempty_suite(self, arch):
+        suite = generate_suite(arch, _SEED, "smoke")
+        assert len(suite) > 20
+        names = [i.name for i in suite]
+        assert len(names) == len(set(names)), "duplicate item names"
+
+    @pytest.mark.parametrize("arch", FUZZ_ARCHES)
+    def test_random_programs_respect_the_vocabulary(self, arch):
+        rng = random.Random(derive_seed(_SEED, f"vocab-check-{arch}"))
+        vocab = get_vocab(arch)
+        budget = get_budget("small")
+        for i in range(15):
+            test = random_litmus(arch, rng, budget, f"t{i}")
+            events = sum(len(t) for t in test.program.threads)
+            assert events <= budget.max_events + 2 * budget.max_txns + 2
+            for thread in test.program.threads:
+                for instr in thread:
+                    if hasattr(instr, "kind"):  # Fence
+                        assert instr.kind in vocab.fence_kinds
+
+    def test_estimate_candidates_bounds_the_brute_force(self):
+        from repro.litmus.candidates import brute_force_candidates
+
+        rng = random.Random(derive_seed(_SEED, "estimate-check"))
+        for i in range(8):
+            test = random_litmus("x86", rng, "smoke", f"t{i}")
+            estimate = estimate_candidates(test.program)
+            actual = sum(1 for _ in brute_force_candidates(test.program))
+            assert actual <= estimate
+
+    def test_vocab_compatible_filters_foreign_labels(self):
+        from repro.catalog import CATALOG
+
+        x86 = get_vocab("x86")
+        assert not vocab_compatible(
+            CATALOG["cpp_mp_rel_acq"].execution, x86
+        )
+        assert vocab_compatible(CATALOG["sb_mfence"].execution, x86)
+
+
+# ----------------------------------------------------------------------
+# Stock models are clean
+# ----------------------------------------------------------------------
+
+
+class TestStockClean:
+    def test_armv8_small_seed0_is_clean(self):
+        """The acceptance run: armv8, seed 0, small budget, all four
+        checker roles — zero disagreements, zero errors."""
+        report = run_fuzz("armv8", seed=0, budget="small")
+        assert report.disagreements == []
+        assert report.errors == []
+        assert report.ok
+
+    @pytest.mark.parametrize("arch", FUZZ_ARCHES)
+    def test_every_arch_smoke_is_clean(self, arch):
+        report = run_fuzz(arch, seed=_SEED, budget="smoke")
+        assert report.disagreements == [], [
+            d.describe() for d in report.disagreements
+        ]
+        assert report.errors == []
+
+    def test_report_counts_are_consistent(self):
+        report = run_fuzz("x86", seed=_SEED, budget="smoke")
+        assert report.n_items == sum(report.by_source.values())
+        assert report.n_cells >= report.n_items  # at least native column
+        assert report.arch == "x86"
+
+
+# ----------------------------------------------------------------------
+# Mutant mode: the harness detects injected weakenings
+# ----------------------------------------------------------------------
+
+
+class TestMutantDetection:
+    @pytest.mark.parametrize("arch", FUZZ_ARCHES)
+    def test_known_mutants_detected_and_shrunk(self, arch):
+        """Every injected weakening fires and shrinks to ≤6 events —
+        including armv8 TxnOrder, the paper's §6.2 RTL bug."""
+        report = run_fuzz(arch, seed=_SEED, budget="smoke", mutants=True)
+        assert report.mutants, "mutant mode produced no mutant results"
+        assert {m.axiom for m in report.mutants} == set(KNOWN_MUTANTS[arch])
+        for m in report.mutants:
+            assert m.detected, f"{m.spec} not detected"
+            assert m.min_events is not None and m.min_events <= 6, (
+                f"{m.spec}: minimal witness has {m.min_events} events"
+            )
+
+    def test_armv8_txnorder_is_the_62_bug(self):
+        """The TxnOrder mutant is extensionally the BuggyRtlArm oracle."""
+        from repro.sim.oracle import BuggyRtlArm
+
+        mutant = drop_axiom("armv8", "TxnOrder")
+        buggy = BuggyRtlArm()
+        suite = generate_suite("armv8", _SEED, "smoke")
+        for item in suite[:40]:
+            assert observable(item.test, mutant) == buggy.observable(
+                item.test
+            ), item.name
+
+    def test_drop_axiom_validates_names(self):
+        with pytest.raises(ValueError):
+            drop_axiom("armv8", "NoSuchAxiom")
+        with pytest.raises(ValueError):
+            drop_axiom("nosucharch", "Order")
+
+    def test_mutant_checker_specs_resolve_with_distinct_hashes(self):
+        a = resolve_checker("mut:armv8:TxnOrder")
+        b = resolve_checker("mut:armv8:StrongIsol")
+        stock = resolve_checker("armv8")
+        hashes = {
+            a.definition_hash(),
+            b.definition_hash(),
+            stock.definition_hash(),
+        }
+        assert len(hashes) == 3, "mutant cache keys collide"
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+
+class TestShrinking:
+    def _txnorder_disagreement(self):
+        stock = resolve_checker("armv8")
+        mutant = resolve_checker("mut:armv8:TxnOrder")
+        suite = {i.name: i for i in generate_suite("armv8", _SEED, "smoke")}
+        for name, item in sorted(suite.items()):
+            sv = stock.verdict(item.test)
+            mv = mutant.verdict(item.test)
+            if sv != mv:
+                return (
+                    Disagreement(
+                        item=name,
+                        kind="mutant-disagreement",
+                        left="armv8",
+                        right="mut:armv8:TxnOrder",
+                        left_verdict=sv,
+                        right_verdict=mv,
+                        test=item.test,
+                        source=item.source,
+                        origin=item.origin,
+                    ),
+                    stock,
+                    mutant,
+                )
+        pytest.fail("no TxnOrder witness in the smoke suite")
+
+    def test_shrunk_reproducer_still_disagrees_and_is_minimal(self):
+        d, stock, mutant = self._txnorder_disagreement()
+        shrink_disagreement(d, stock, mutant)
+        assert d.shrunk is not None
+        assert d.shrunk.n <= 6
+        # still a disagreement at the execution level
+        assert stock.model.consistent(d.shrunk) != mutant.model.consistent(
+            d.shrunk
+        )
+        # ⊏-minimal: no one-step weakening still disagrees
+        from repro.synth.minimality import weakenings
+
+        vocab = get_vocab("armv8")
+        for weaker in weakenings(d.shrunk, vocab):
+            assert stock.model.consistent(weaker) == mutant.model.consistent(
+                weaker
+            )
+
+    def test_shrink_respects_predicate_exceptions(self):
+        """A predicate that raises on some weakening is treated as
+        'does not hold' rather than crashing the descent."""
+        vocab = get_vocab("armv8")
+        d, stock, mutant = self._txnorder_disagreement()
+        witness = witness_execution(
+            d.test, mutant.model if d.right_verdict else stock.model
+        )
+        assert witness is not None
+
+        def flaky(x):
+            if x.n % 2:
+                raise RuntimeError("boom")
+            return stock.model.consistent(x) != mutant.model.consistent(x)
+
+        shrunk = shrink(witness, flaky, vocab)
+        assert shrunk.n % 2 == 0 or shrunk is witness
+
+    def test_shrink_litmus_reduces_instructions(self):
+        from repro.litmus.parse import loads
+
+        test = loads(
+            'litmus "t" x86\n'
+            "thread\n"
+            "  store x 1\n"
+            "  store y 1\n"
+            "  load r0 x\n"
+            "exists 0:r0=1\n"
+        )
+        model = get_model("x86")
+        reduced = shrink_litmus(test, lambda t: observable(t, model))
+        n_instrs = sum(len(t) for t in reduced.program.threads)
+        assert n_instrs <= 2  # the y-store and, possibly, more are gone
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fuzz("x86", seed=_SEED, budget="smoke", mutants=True)
+
+    def test_jsonl_roundtrips_and_carries_the_header(self, report):
+        lines = to_json_lines(report).strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        header = records[0]
+        assert header["record"] == "header"
+        assert header["arch"] == "x86"
+        assert header["seed"] == report.seed
+        assert "repro fuzz" in header["reproduce"]
+        mutant_records = [r for r in records if r["record"] == "mutant"]
+        assert len(mutant_records) == len(report.mutants)
+
+    def test_markdown_renders(self, report):
+        text = to_markdown(report)
+        assert "# Differential fuzz report: x86" in text
+        assert "Injected mutants" in text
+
+    def test_brute_force_agrees_on_the_smoke_suite(self):
+        """Spot-check the ground-truth oracle path end to end."""
+        model = get_model("x86")
+        suite = generate_suite("x86", _SEED, "smoke")
+        checked = 0
+        for item in suite:
+            if estimate_candidates(item.test.program) > 2_000:
+                continue
+            assert brute_force_observable(item.test, model) == observable(
+                item.test, model
+            ), item.name
+            checked += 1
+        assert checked > 10

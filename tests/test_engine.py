@@ -349,3 +349,94 @@ class TestCampaignCli:
         )
         assert code == 0
         assert "sb-file" in out
+
+
+class TestNewCheckerSpecs:
+    """The conformance layer's checker families: brute:, mut:, hw variants."""
+
+    def test_brute_spec_matches_native(self):
+        test = to_litmus(classic("sb"), "sb", "x86")
+        from repro.engine.checkers import resolve_checker
+
+        assert resolve_checker("brute:x86").verdict(test) == resolve_checker(
+            "x86"
+        ).verdict(test)
+
+    def test_brute_spec_rejects_unknown_model(self):
+        from repro.engine.checkers import resolve_checker
+
+        with pytest.raises(ValueError):
+            resolve_checker("brute:nosuchmodel")
+
+    def test_mut_spec_is_weaker_than_stock(self):
+        """Dropping an axiom is monotone: whatever the stock model
+        observes, the mutant observes too."""
+        from repro.engine.checkers import resolve_checker
+
+        stock = resolve_checker("armv8")
+        mutant = resolve_checker("mut:armv8:Coherence")
+        for name in ("sb", "mp", "lb", "2+2w"):
+            test = to_litmus(classic(name), name, "armv8")
+            if stock.verdict(test):
+                assert mutant.verdict(test), name
+
+    def test_hw_variant_specs_resolve(self):
+        from repro.engine.checkers import resolve_checker
+        from repro.sim.oracle import BuggyRtlArm, MachineHardware
+
+        assert isinstance(
+            resolve_checker("hw:armv8:machine").oracle, MachineHardware
+        )
+        assert isinstance(
+            resolve_checker("hw:armv8:buggy").oracle, BuggyRtlArm
+        )
+        with pytest.raises(ValueError):
+            resolve_checker("hw:armv8:nosuchvariant")
+        with pytest.raises(ValueError):
+            resolve_checker("hw:cpp:buggy")
+
+    def test_definition_hashes_are_distinct_per_mutant(self):
+        from repro.engine.checkers import resolve_checker
+
+        hashes = {
+            resolve_checker(spec).definition_hash()
+            for spec in (
+                "armv8",
+                "brute:armv8",
+                "mut:armv8:TxnOrder",
+                "mut:armv8:Coherence",
+            )
+        }
+        assert len(hashes) == 4
+
+
+class TestErrorCells:
+    """Checker crashes become reportable cells, not lost campaigns."""
+
+    class _Boom(ModelChecker):
+        def __init__(self):
+            super().__init__("boom", get_model("sc"))
+
+        def verdict(self, payload):
+            raise RuntimeError("kaboom")
+
+    def test_errors_are_captured_and_reported(self):
+        items = [CampaignItem("fig2", CATALOG["fig2"].execution)]
+        result = run_campaign(items, [self._Boom(), "sc"])
+        cell = result.cells[("fig2", "boom")]
+        assert cell.error == "RuntimeError: kaboom"
+        assert cell.verdict is False
+        assert result.errors() == [("fig2", "boom", "RuntimeError: kaboom")]
+        # the healthy checker's cell is unaffected
+        assert result.cells[("fig2", "sc")].error is None
+        assert "1 checker errors" in result.summary()
+        assert "!" in result.format_matrix()
+
+    def test_errored_cells_are_never_cached(self, tmp_path):
+        items = [CampaignItem("fig2", CATALOG["fig2"].execution)]
+        cache = ResultCache(tmp_path)
+        run_campaign(items, [self._Boom()], cache=cache)
+        assert len(cache) == 0
+        # a healthy run does populate the cache
+        run_campaign(items, ["sc"], cache=cache)
+        assert len(cache) == 1

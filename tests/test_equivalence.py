@@ -12,19 +12,25 @@ The constraint-pruned incremental enumerator of
   :func:`~repro.litmus.candidates.all_outcomes` agree with the naive
   reference loop for every model.
 
-Programs are generated pseudo-randomly (fixed seeds, so failures
-reproduce) over the full instruction vocabulary: loads/stores with
-dependencies and exclusives, fences, control branches, and committed/
-aborted/conditionally-aborting transactions.
+Programs are generated pseudo-randomly over the full instruction
+vocabulary: loads/stores with dependencies and exclusives, fences,
+control branches, and committed/aborted/conditionally-aborting
+transactions.  All randomness derives from ``REPRO_TEST_SEED`` (printed
+in the pytest header), so any failure is reproducible from the log line
+alone.
 """
 
 import random
 
 import pytest
 
+from repro.conformance.generators import random_postcondition
+from repro.conformance.seeds import derive_seed, reproducible_seed
 from repro.litmus.candidates import (
     _enumerate_candidates,
     brute_force_candidates,
+    brute_force_observable,
+    brute_force_outcomes,
     all_outcomes,
     observable,
 )
@@ -43,6 +49,9 @@ from repro.models.registry import get_model
 
 #: Hard cap on brute-force candidates per program (keeps the suite fast).
 _MAX_CANDIDATES = 1500
+
+#: Session seed: $REPRO_TEST_SEED or the fixed default.
+_SEED = reproducible_seed()
 
 
 def random_program(rng: random.Random) -> Program:
@@ -111,42 +120,7 @@ def random_program(rng: random.Random) -> Program:
     return Program(tuple(threads))
 
 
-def random_postcondition(rng: random.Random, program: Program) -> tuple:
-    """0–3 atoms over the program's registers, locations, and txns."""
-    atoms = []
-    loads = list(program.loads())
-    stores = list(program.stores())
-    values_by_loc: dict[str, list[int]] = {}
-    for _, _, store in stores:
-        values_by_loc.setdefault(store.loc, []).append(store.value)
-    txns = [
-        (tid, idx)
-        for tid, thread in enumerate(program.threads)
-        for idx in range(sum(isinstance(i, TxBegin) for i in thread))
-    ]
-    for _ in range(rng.randint(0, 3)):
-        roll = rng.random()
-        if roll < 0.5 and loads:
-            tid, _, load = rng.choice(loads)
-            choices = [0] + values_by_loc.get(load.loc, [])
-            atoms.append(RegEq(tid, load.dst, rng.choice(choices)))
-        elif roll < 0.75 and values_by_loc:
-            loc = rng.choice(sorted(values_by_loc))
-            atoms.append(
-                MemEq(loc, rng.choice([0] + values_by_loc[loc]))
-            )
-        elif roll < 0.9 and txns:
-            tid, idx = rng.choice(txns)
-            atoms.append(TxnOk(tid, idx, ok=rng.random() < 0.6))
-        elif values_by_loc:
-            loc = rng.choice(sorted(values_by_loc))
-            values = values_by_loc[loc][:]
-            rng.shuffle(values)
-            atoms.append(CoSeq(loc, tuple(values)))
-    return tuple(atoms)
-
-
-def _corpus(n: int, seed: int = 20260728):
+def _corpus(n: int, seed: int = _SEED):
     """Deterministic corpus of (program, brute-force candidate list)."""
     rng = random.Random(seed)
     out = []
@@ -197,7 +171,7 @@ class TestCandidateSetEquivalence:
             assert set(pruned) == set(expected), program
 
     def test_filtered_stream_is_the_satisfying_subset(self):
-        rng = random.Random(987)
+        rng = random.Random(derive_seed(_SEED, "equivalence-filtered"))
         for program, brute in CORPUS:
             post = random_postcondition(rng, program)
             test = LitmusTest("rand", "neutral", program, post)
@@ -209,26 +183,17 @@ class TestCandidateSetEquivalence:
             assert set(filtered) == set(expected), (program, post)
 
 
-def _reference_observable(test, model):
-    for c in brute_force_candidates(test.program):
-        if test.check(c.outcome) and model.consistent(c.execution):
-            return True
-    return False
-
-
-def _reference_outcomes(test, model):
-    return {
-        c.outcome.key()
-        for c in brute_force_candidates(test.program)
-        if model.consistent(c.execution)
-    }
+# The reference semantics now live next to the enumerators themselves
+# (they double as the differential fuzzer's ground-truth checker).
+_reference_observable = brute_force_observable
+_reference_outcomes = brute_force_outcomes
 
 
 class TestVerdictEquivalence:
     MODELS = ["sc", "tsc", "x86", "power", "armv8", "riscv", "cpp"]
 
     def test_observable_matches_reference(self):
-        rng = random.Random(555)
+        rng = random.Random(derive_seed(_SEED, "equivalence-observable"))
         models = [get_model(name) for name in self.MODELS]
         models.append(get_model("x86", tm=False))
         for program, _ in CORPUS[:12]:
@@ -242,7 +207,7 @@ class TestVerdictEquivalence:
     def test_observable_matches_reference_cat(self):
         from repro.cat.model import load_cat_model
 
-        rng = random.Random(777)
+        rng = random.Random(derive_seed(_SEED, "equivalence-cat"))
         model = load_cat_model("x86")
         assert model.enforces_coherence
         for program, _ in CORPUS[:4]:

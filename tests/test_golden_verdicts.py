@@ -1,0 +1,58 @@
+"""Golden conformance snapshots: the catalog verdict matrix, pinned.
+
+Any refactor of a native model (or of the shared analysis layer under
+it) that flips a single catalog verdict fails here with the exact
+(entry, model) cells that moved.  If the change was *intentional*,
+regenerate the fixture and commit it together with the change::
+
+    PYTHONPATH=src python tests/regen_golden_verdicts.py
+"""
+
+import json
+import pathlib
+
+from repro.catalog import CATALOG
+from repro.conformance.golden import load_snapshot, verdict_matrix
+from repro.models.registry import MODELS
+
+GOLDEN = pathlib.Path(__file__).resolve().parent / "golden_verdicts.json"
+
+_REGEN_HINT = (
+    "if this change is intentional, regenerate with "
+    "`PYTHONPATH=src python tests/regen_golden_verdicts.py` and commit "
+    "the updated fixture"
+)
+
+
+class TestGoldenVerdicts:
+    def test_snapshot_exists_and_is_valid_json(self):
+        assert GOLDEN.is_file(), f"missing {GOLDEN}; {_REGEN_HINT}"
+        snapshot = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert snapshot, "empty golden snapshot"
+
+    def test_snapshot_covers_the_full_catalog_and_registry(self):
+        """New catalog entries / models must be pinned too."""
+        snapshot = load_snapshot(GOLDEN)
+        assert set(snapshot) == set(CATALOG), (
+            f"snapshot entries differ from the catalog; {_REGEN_HINT}"
+        )
+        for entry, row in snapshot.items():
+            assert set(row) == set(MODELS), (
+                f"snapshot models for {entry!r} differ from the "
+                f"registry; {_REGEN_HINT}"
+            )
+
+    def test_no_verdict_flipped(self):
+        snapshot = load_snapshot(GOLDEN)
+        current = verdict_matrix()
+        flipped = [
+            (entry, model, snapshot[entry][model], got)
+            for entry, row in current.items()
+            for model, got in row.items()
+            if snapshot.get(entry, {}).get(model) is not None
+            and snapshot[entry][model] != got
+        ]
+        assert not flipped, (
+            "catalog verdicts flipped (entry, model, pinned, got): "
+            f"{flipped}; {_REGEN_HINT}"
+        )

@@ -178,3 +178,143 @@ class TestConformance:
         }
         extra = machine_outcomes - model_outcomes
         assert not extra, f"{name}: machine reaches {len(extra)} outcomes the model forbids"
+
+
+class TestExclusivePairing:
+    """Regressions found by the differential fuzzer: exclusive-load
+    pairing must match the candidate expansion exactly."""
+
+    def test_unpaired_exclusive_load_executes_as_plain_load(self):
+        prog = Program(((Store("z", 1), Load("r0", "z", excl=True)),))
+        outcomes = list(TsoMachine(prog).explore())
+        assert {o.registers.get((0, "r0"), 0) for o in outcomes} == {1}
+
+    def test_cross_location_exclusives_do_not_pair(self):
+        prog = Program(
+            ((Load("r0", "x", excl=True), Store("y", 1, excl=True)),)
+        )
+        outcomes = list(TsoMachine(prog).explore())
+        # the load reads x (0 from memory), never y's old value
+        assert {o.registers.get((0, "r0"), 0) for o in outcomes} == {0}
+
+    def test_pairing_is_commit_aware(self):
+        """An exclusive load inside an always-aborting transaction is
+        rolled back; the post-transaction exclusive store must run
+        unpaired instead of resurrecting its register write."""
+        from repro.litmus.program import TxAbort
+        from repro.litmus.test import LitmusTest, RegEq
+        from repro.litmus.candidates import brute_force_observable
+
+        prog = Program(
+            (
+                (
+                    TxBegin(),
+                    Load("r0", "x", excl=True),
+                    TxAbort(),
+                    TxEnd(),
+                    Store("x", 1, excl=True),
+                ),
+                (Store("x", 2),),
+            )
+        )
+        outcomes = list(TsoMachine(prog).explore())
+        assert {o.registers.get((0, "r0"), 0) for o in outcomes} == {0}
+        test = LitmusTest("t", "x86", prog, (RegEq(0, "r0", 2),))
+        assert not brute_force_observable(test, get_model("x86"))
+
+    def test_straddling_pair_with_committed_txn_blocks(self):
+        """A pair straddling a *committed* transaction cannot execute
+        atomically (the read already happened — and may have been
+        consumed — inside the transaction): the store blocks, so the
+        commit path yields no outcome at all rather than a retroactive
+        register rewrite the model forbids."""
+        prog = Program(
+            (
+                (
+                    TxBegin(),
+                    Load("r0", "x", excl=True),
+                    TxEnd(),
+                    Store("x", 1, excl=True),
+                ),
+            )
+        )
+        assert list(TsoMachine(prog).explore()) == []
+
+    def test_conditional_abort_on_deferred_register(self):
+        """A TxAbort condition must never observe a register the paired
+        store would rewrite afterwards (review-found ⊆-escape)."""
+        from repro.litmus.program import TxAbort
+        from repro.litmus.candidates import brute_force_candidates
+
+        prog = Program(
+            (
+                (
+                    TxBegin(),
+                    Load("r0", "x", excl=True),
+                    TxAbort("r0"),
+                    TxEnd(),
+                    Store("x", 1, excl=True),
+                ),
+                (Store("x", 5),),
+            )
+        )
+        model = get_model("x86")
+        machine = {o.key() for o in TsoMachine(prog).explore()}
+        allowed = {
+            c.outcome.key()
+            for c in brute_force_candidates(prog)
+            if model.consistent(c.execution)
+        }
+        assert machine <= allowed
+
+    def test_lost_reservation_blocks_instead_of_misreading(self):
+        """An intervening same-location access between the exclusive
+        halves loses the reservation: the deferred read would otherwise
+        observe the po-later write (a coRW1 violation the model
+        forbids).  The path blocks, like the weak machine's failed
+        store-exclusive, so only reservation-free outcomes remain."""
+        prog = Program(
+            (
+                (Store("x", 1, excl=True),),
+                (
+                    Load("r0", "x", excl=True),
+                    Store("x", 2),
+                    Store("x", 3, excl=True),
+                ),
+            )
+        )
+        model = get_model("x86")
+        machine = {o.key() for o in TsoMachine(prog).explore()}
+        from repro.litmus.candidates import brute_force_candidates
+
+        allowed = {
+            c.outcome.key()
+            for c in brute_force_candidates(prog)
+            if model.consistent(c.execution)
+        }
+        assert machine <= allowed
+        # The dirty pair's store never commits: x never ends at 3.
+        assert all(
+            dict(key[1]).get("x") != 3 for key in machine
+        )
+
+    def test_lock_inside_transaction_aborts_it(self):
+        """A LOCK'd store inside a TSX transaction aborts it (Intel SDM
+        16.3.8); the old direct-to-memory path leaked the write past
+        the rollback."""
+        prog = Program(
+            (
+                (
+                    Store("x", 1),
+                    Load("r0", "x", excl=True),
+                    TxBegin(),
+                    Store("x", 2, excl=True),
+                    TxEnd(),
+                ),
+            )
+        )
+        outcomes = list(TsoMachine(prog).explore())
+        assert outcomes
+        for o in outcomes:
+            assert o.memory.get("x") == 1  # the txn write rolled back
+            assert (0, 0) in o.aborted
