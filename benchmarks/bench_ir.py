@@ -1,0 +1,178 @@
+"""Benchmark: unified-IR evaluation throughput and cross-model sharing.
+
+Measures what the IR layer buys a campaign:
+
+* axiom-evals/sec — how fast the one evaluation engine drives all eight
+  native models (fresh executions each round, so the per-candidate memo
+  works but nothing is pre-warmed);
+* cross-model sharing — the static DAG statistic: how many interned
+  nodes the full model roster (native + ``.cat``) needs, versus the sum
+  of each model compiled alone.  The acceptance bar for the IR refactor
+  is a ratio > 1.5×;
+* memo leverage — evaluations of *shared* nodes actually performed per
+  candidate when sweeping all models, versus the as-if-unshared count.
+
+Run directly (``python benchmarks/bench_ir.py --json OUT.json``) for the
+CI artifact (BENCH_ir.json), tracked next to BENCH_campaign.json and
+BENCH_fuzz.json from PR 4 onward.
+"""
+
+import pytest
+
+from repro.catalog import CATALOG
+from repro.cat.model import CAT_MODEL_FILES, load_cat_model
+from repro.ir import ir_definition
+from repro.ir.eval import STATS
+from repro.ir.nodes import cross_model_stats
+from repro.models.registry import get_model, model_names
+
+#: Catalog entries used as the candidate workload (diverse shapes:
+#: plain SB/MP/IRIW, transactional figures, dependencies).
+_ENTRIES = ("sb", "mp", "lb", "iriw", "fig2", "2+2w")
+
+
+def _fresh_executions():
+    """Structurally fresh executions (fresh analyses, cold memos)."""
+    out = []
+    for name in _ENTRIES:
+        x = CATALOG[name].execution
+        out.append(x.with_txns(x.txns))
+    return out
+
+
+def _sweep_all_models(executions) -> int:
+    """Run every native model's full check over every execution."""
+    evals = 0
+    for x in executions:
+        for name in model_names():
+            model = get_model(name)
+            model.consistent(x)
+            evals += len(model.axioms())
+    return evals
+
+
+def test_ir_all_models_sweep(benchmark, once):
+    executions = _fresh_executions()
+    _sweep_all_models(executions)  # warm class-level definitions
+    evals = once(benchmark, _sweep_all_models, _fresh_executions())
+    assert evals > 0
+
+
+def test_cross_model_sharing_ratio():
+    """The acceptance criterion: > 1.5× sharing across the full roster."""
+    ratio, _, _ = _sharing()
+    assert ratio > 1.5, f"cross-model sharing ratio {ratio:.2f}x"
+
+
+def _all_definitions():
+    out = []
+    for name in model_names():
+        definition = ir_definition(get_model(name))
+        assert definition is not None
+        out.append((name, definition))
+    for name in sorted(CAT_MODEL_FILES):
+        cat = load_cat_model(name)
+        assert cat.compiled is not None
+        out.append((f"cat:{name}", cat.definition()))
+    return out
+
+
+def _sharing():
+    """(cross-model ratio, union DAG nodes, sum of per-model DAGs)."""
+    definitions = _all_definitions()
+    stats = cross_model_stats([d.roots() for _, d in definitions])
+    return stats["sharing"], stats["union_nodes"], stats["sum_of_models"]
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: the CI perf artifact (no pytest-benchmark needed)
+# ----------------------------------------------------------------------
+
+
+def _campaign_resweep() -> dict:
+    """The campaign shape the memo layer targets: all models over one
+    expanded suite, re-swept (fig7/minimality-style repeated checking).
+
+    The first sweep pays candidate expansion + first evaluation; the
+    re-sweep isolates what repeated checking costs once the shared DAG
+    values are attached to the candidates."""
+    import time
+
+    from repro.engine import diy_suite, run_campaign
+
+    models = [
+        "x86", "tsc", "sc", "x86tm", "power", "armv8", "riscv", "cpp",
+        "x86!notm",
+    ]
+    suite = diy_suite("x86", max_length=4)
+    run_campaign(suite, models)
+    start = time.perf_counter()
+    result = run_campaign(suite, models)
+    elapsed = time.perf_counter() - start
+    return {
+        "campaign_resweep_cells": len(result.cells),
+        "campaign_resweep_seconds": round(elapsed, 4),
+        "campaign_resweep_cells_per_second": round(
+            len(result.cells) / elapsed, 1
+        )
+        if elapsed
+        else 0.0,
+    }
+
+
+def _artifact(json_path: str) -> dict:
+    import json
+    import time
+
+    # Warm the class-level definitions and import side effects.
+    warm = _fresh_executions()
+    _sweep_all_models(warm)
+
+    rounds = 40
+    executions = [_fresh_executions() for _ in range(rounds)]
+    STATS.reset()
+    start = time.perf_counter()
+    evals = 0
+    for batch in executions:
+        evals += _sweep_all_models(batch)
+    elapsed = time.perf_counter() - start
+    computes = STATS.computes
+
+    ratio, union_nodes, individual_nodes = _sharing()
+
+    payload = {
+        "benchmark": "ir-all-models-sweep",
+        "models": len(model_names()),
+        "executions": rounds * len(_ENTRIES),
+        "axiom_evals": evals,
+        "elapsed_seconds": round(elapsed, 4),
+        "axiom_evals_per_second": round(evals / elapsed, 1)
+        if elapsed
+        else 0.0,
+        "node_computes": computes,
+        "node_computes_per_candidate": round(
+            computes / (rounds * len(_ENTRIES)), 1
+        ),
+        "cross_model_dag_nodes": union_nodes,
+        "sum_of_per_model_dag_nodes": individual_nodes,
+        "cross_model_sharing_ratio": round(ratio, 3),
+    }
+    payload.update(_campaign_resweep())
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        default="BENCH_ir.json",
+        help="where to write the perf artifact",
+    )
+    args = parser.parse_args()
+    print(json.dumps(_artifact(args.json), indent=2, sort_keys=True))

@@ -1,0 +1,323 @@
+"""Compile parsed ``.cat`` models onto the unified relational IR.
+
+The tree-walk evaluator (:mod:`repro.cat.evaluator`) re-interprets a
+model's AST against every execution.  This module instead compiles the
+AST **once** into interned :mod:`repro.ir` nodes — the same hash-consed
+DAG the native models declare their axioms in — so that:
+
+* per-candidate evaluation is a memo lookup per node instead of an AST
+  walk (``let`` bindings, closure inlining, include resolution all
+  happen at compile time);
+* a ``.cat`` model and its native twin share every common subexpression
+  per candidate (``x86tm.cat``'s ``hb`` *is* the native x86 ``hb``
+  node);
+* ``let rec`` lowers to an explicit simultaneous-fixpoint node instead
+  of an interpreter loop.
+
+Compilation strategy
+====================
+
+The compile environment maps names to IR nodes (sets or relations) or to
+:class:`_CompiledClosure` values (user functions, inlined at every
+application — the dialect has no recursion through closures).  The
+stdlib's ``weaklift``/``stronglift`` inline to compositions that the
+``comp`` smart constructor recognises and rewrites to the dedicated
+transaction-lifting nodes, so sharing with the native models is
+preserved without special-casing the function names.
+
+``flag`` checks and negated checks compile like any other; their special
+semantics live in the :class:`CompiledCheck` record.
+
+Anything the IR cannot express raises :class:`CatCompileError`;
+:class:`~repro.cat.model.CatModel` falls back to the tree-walk
+evaluator in that case (none of the shipped library needs the
+fallback — ``tests/test_ir.py`` asserts the whole library compiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ir import nodes as N
+from ..ir.nodes import Node
+from .ast import (
+    Apply,
+    Binary,
+    Check,
+    EmptyRel,
+    Expr,
+    Include,
+    Let,
+    LetRec,
+    Lift,
+    Model,
+    Name,
+    Postfix,
+    SetLiteral,
+    Show,
+    Stmt,
+    Unary,
+)
+from .errors import CatError
+
+__all__ = ["CatCompileError", "CompiledCheck", "CompiledModel", "compile_model"]
+
+#: Callback that resolves ``include "name.cat"`` to a parsed model.
+Loader = Callable[[str], Model]
+
+
+class CatCompileError(CatError):
+    """The model uses a construct the IR cannot express."""
+
+
+@dataclass(frozen=True)
+class _CompiledClosure:
+    """A user function, applied by inlining its body."""
+
+    name: str
+    params: tuple[str, ...]
+    body: Expr
+    env: dict
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+@dataclass(frozen=True)
+class CompiledCheck:
+    """One ``[flag] [~] acyclic|irreflexive|empty expr as name``."""
+
+    name: str
+    kind: str
+    negated: bool
+    flag: bool
+    node: Node
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """A ``.cat`` model lowered onto the IR DAG."""
+
+    title: str
+    checks: tuple[CompiledCheck, ...]
+    #: Name → node for every relation/set binding visible at the end of
+    #: the file (used by ``repro explain`` and the differential tests).
+    bindings: tuple[tuple[str, Node], ...] = field(default_factory=tuple)
+
+    @property
+    def axiom_checks(self) -> tuple[CompiledCheck, ...]:
+        """The consistency checks (non-flag), in declaration order."""
+        return tuple(c for c in self.checks if not c.flag)
+
+    @property
+    def flag_checks(self) -> tuple[CompiledCheck, ...]:
+        return tuple(c for c in self.checks if c.flag)
+
+    def roots(self) -> list[Node]:
+        return [c.node for c in self.checks]
+
+
+def _err(message: str, node) -> CatCompileError:
+    return CatCompileError(message, node.line, node.col)
+
+
+class _Compiler:
+    def __init__(self, loader: Loader | None) -> None:
+        self.loader = loader
+        self.env: dict[str, object] = {}
+        for name in N.BASE_SETS:
+            self.env[name] = N.bset(name)
+        for name in N.BASE_RELATIONS:
+            if name not in ("loc", "int", "id"):
+                self.env[name] = N.base(name)
+        # .cat surface names that differ from the IR base tokens.
+        self.env["loc"] = N.base("loc")
+        self.env["int"] = N.base("int")
+        self.env["id"] = N.base("id")
+        self.env["domain"] = "domain"
+        self.env["range"] = "range"
+        self.checks: list[CompiledCheck] = []
+        self.included: set[str] = set()
+        self.in_letrec = False
+
+    # -- expressions -----------------------------------------------------
+
+    def compile(self, expr: Expr, env: dict) -> object:
+        if isinstance(expr, Name):
+            try:
+                return env[expr.ident]
+            except KeyError:
+                raise _err(f"unbound name {expr.ident!r}", expr) from None
+        if isinstance(expr, EmptyRel):
+            return N.empty()
+        if isinstance(expr, SetLiteral):
+            return N.sempty()
+        if isinstance(expr, Lift):
+            body = self._node(self.compile(expr.body, env), expr)
+            if not body.is_set:
+                raise _err("[...] expects an event set", expr)
+            return N.lift(body)
+        if isinstance(expr, Unary):
+            body = self._node(self.compile(expr.body, env), expr)
+            return N.scompl(body) if body.is_set else N.compl(body)
+        if isinstance(expr, Postfix):
+            body = self._node(self.compile(expr.body, env), expr)
+            if body.is_set:
+                body = N.lift(body)
+            if expr.op == "^+":
+                return N.plus(body)
+            if expr.op == "^*":
+                return N.star(body)
+            if expr.op == "^?":
+                return N.opt(body)
+            if expr.op == "^-1":
+                return N.inverse(body)
+            raise _err(f"unknown postfix {expr.op!r}", expr)
+        if isinstance(expr, Binary):
+            return self._binary(expr, env)
+        if isinstance(expr, Apply):
+            return self._apply(expr, env)
+        raise _err(f"unhandled node {type(expr).__name__}", expr)
+
+    def _node(self, value: object, where) -> Node:
+        if isinstance(value, Node):
+            return value
+        raise _err("expected a set or relation", where)
+
+    def _binary(self, expr: Binary, env: dict) -> Node:
+        left = self._node(self.compile(expr.left, env), expr)
+        right = self._node(self.compile(expr.right, env), expr)
+        op = expr.op
+        if op == ";":
+            return N.comp(left, right)
+        if op == "*":
+            if left.is_set and right.is_set:
+                return N.cross(left, right)
+            raise _err(
+                "* is the Cartesian product of two event sets "
+                "(use ^* for reflexive-transitive closure)",
+                expr,
+            )
+        if left.is_set != right.is_set:
+            raise _err(
+                f"{op!r} needs two sets or two relations", expr
+            )
+        if left.is_set:
+            if op == "|":
+                return N.sunion(left, right)
+            if op == "&":
+                return N.sinter(left, right)
+            return N.sdiff(left, right)
+        if op == "|":
+            return N.union(left, right)
+        if op == "&":
+            return N.inter(left, right)
+        return N.diff(left, right)
+
+    def _apply(self, expr: Apply, env: dict) -> Node:
+        try:
+            func = env[expr.func]
+        except KeyError:
+            raise _err(f"unbound function {expr.func!r}", expr) from None
+        args = [self.compile(arg, env) for arg in expr.args]
+        if func == "domain" or func == "range":
+            if len(args) != 1:
+                raise _err(f"{func}() expects 1 argument", expr)
+            rel = self._node(args[0], expr)
+            if rel.is_set:
+                raise _err(f"{func}() expects a relation", expr)
+            return N.domain(rel) if func == "domain" else N.range_(rel)
+        if not isinstance(func, _CompiledClosure):
+            raise _err(f"{expr.func!r} is not a function", expr)
+        if func.arity != len(args):
+            raise _err(
+                f"{expr.func!r} expects {func.arity} argument(s), "
+                f"got {len(args)}",
+                expr,
+            )
+        call_env = dict(func.env)
+        call_env.update(zip(func.params, args))
+        return self._node(self.compile(func.body, call_env), expr)
+
+    # -- statements ------------------------------------------------------
+
+    def _let_rec(self, stmt: LetRec) -> None:
+        if self.in_letrec:
+            raise _err("nested let rec is not supported by the IR", stmt)
+        self.in_letrec = True
+        try:
+            names = [name for name, _ in stmt.bindings]
+            rec_env = dict(self.env)
+            for index, name in enumerate(names):
+                rec_env[name] = N.var(index)
+            bodies = []
+            for name, body in stmt.bindings:
+                node = self._node(self.compile(body, rec_env), stmt)
+                if node.is_set:
+                    raise _err(
+                        f"let rec {name!r} must be relation-valued", stmt
+                    )
+                bodies.append(node)
+            body_tuple = tuple(bodies)
+            for index, name in enumerate(names):
+                self.env[name] = N.fix(body_tuple, index)
+        finally:
+            self.in_letrec = False
+
+    def _check(self, stmt: Check) -> None:
+        node = self._node(self.compile(stmt.expr, self.env), stmt.expr)
+        if node.is_set:
+            node = N.lift(node)
+        self.checks.append(
+            CompiledCheck(stmt.name, stmt.kind, stmt.negated, stmt.flag, node)
+        )
+
+    def run(self, model: Model) -> None:
+        for stmt in model.statements:
+            self._statement(stmt)
+
+    def _statement(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Let):
+            if stmt.params:
+                self.env[stmt.name] = _CompiledClosure(
+                    stmt.name, stmt.params, stmt.body, dict(self.env)
+                )
+            else:
+                self.env[stmt.name] = self.compile(stmt.body, self.env)
+        elif isinstance(stmt, LetRec):
+            self._let_rec(stmt)
+        elif isinstance(stmt, Check):
+            self._check(stmt)
+        elif isinstance(stmt, Include):
+            if self.loader is None:
+                raise _err(
+                    f'include "{stmt.filename}" needs a loader', stmt
+                )
+            if stmt.filename in self.included:
+                return
+            self.included.add(stmt.filename)
+            self.run(self.loader(stmt.filename))
+        elif isinstance(stmt, Show):
+            return
+        else:
+            raise _err(
+                f"unhandled statement {type(stmt).__name__}", stmt
+            )
+
+
+def compile_model(model: Model, loader: Loader | None = None) -> CompiledModel:
+    """Lower a parsed ``.cat`` model onto the IR DAG.
+
+    Raises :class:`CatCompileError` for constructs outside the IR
+    (callers fall back to the tree-walk evaluator).
+    """
+    compiler = _Compiler(loader)
+    compiler.run(model)
+    bindings = tuple(
+        (name, value)
+        for name, value in compiler.env.items()
+        if isinstance(value, Node)
+    )
+    return CompiledModel(model.title, tuple(compiler.checks), bindings)

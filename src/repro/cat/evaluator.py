@@ -49,7 +49,14 @@ Loader = Callable[[str], Model]
 
 @dataclass(frozen=True)
 class CheckResult:
-    """Outcome of one ``acyclic``/``irreflexive``/``empty`` statement."""
+    """Outcome of one ``acyclic``/``irreflexive``/``empty`` statement.
+
+    ``witness`` is the deterministic failure witness of the *underlying*
+    (un-negated) test — a canonical cycle, sorted reflexive events, or
+    sorted pairs (see :func:`repro.models.base.witness_for`) — or
+    ``None`` when that test holds, so golden and fuzz reports are
+    byte-stable across runs.
+    """
 
     name: str
     kind: str
@@ -57,6 +64,7 @@ class CheckResult:
     flag: bool
     relation: Relation
     holds: bool
+    witness: object = None
 
     def describe(self) -> str:
         neg = "~" if self.negated else ""
@@ -276,18 +284,16 @@ class _Evaluator:
         )
 
     def _check(self, stmt: Check) -> None:
+        from ..models.base import witness_for
+
         value = self.eval(stmt.expr, self.env)
         rel = _as_relation(value, self.n, stmt.expr)
-        if stmt.kind == "acyclic":
-            holds = rel.is_acyclic()
-        elif stmt.kind == "irreflexive":
-            holds = rel.is_irreflexive()
-        else:
-            holds = rel.is_empty()
+        witness = witness_for(stmt.kind, rel)
+        holds = witness is None
         if stmt.negated:
             holds = not holds
         result = CheckResult(
-            stmt.name, stmt.kind, stmt.negated, stmt.flag, rel, holds
+            stmt.name, stmt.kind, stmt.negated, stmt.flag, rel, holds, witness
         )
         if stmt.flag:
             self.flags.append(result)

@@ -6,18 +6,31 @@ Python models — the same ``check``/``consistent`` interface, the same
 metatheory, conformance) can run off a ``.cat`` file.  The
 cross-validation tests exploit this to assert that every library model
 agrees with its native counterpart on every execution they are given.
+
+Checking routes through the unified relational IR: the source is
+compiled once (:mod:`repro.cat.compile`) onto the same hash-consed DAG
+the native models declare their axioms in, so ``check``/``consistent``
+are per-node memo lookups shared with every other model in a campaign.
+The tree-walk evaluator remains available via :meth:`CatModel.evaluate`
+(it exposes the full binding environment) and serves as the fallback
+for any source the IR cannot express.
 """
 
 from __future__ import annotations
 
+import hashlib
 from functools import lru_cache
 from pathlib import Path
 
 from ..core import profiling
 from ..core.analysis import CandidateAnalysis
 from ..core.execution import Execution
-from ..models.base import Axiom, AxiomResult, MemoryModel, Verdict
+from ..ir.eval import axiom_holds
+from ..ir.eval import evaluate as ir_evaluate
+from ..ir.model import IRAxiom, IRDefinition
+from ..models.base import Axiom, AxiomResult, MemoryModel, Verdict, witness_for
 from .ast import Check, Include, Model
+from .compile import CatCompileError, CompiledModel, compile_model
 from .errors import CatError
 from .evaluator import EvalResult, evaluate
 from .library import library_source
@@ -62,6 +75,23 @@ class CatModel(MemoryModel):
         self.ast = parse(source)
         self.arch = name or self.ast.title or "cat"
         self._static_checks = tuple(self._collect_checks(self.ast, set()))
+        #: The IR lowering, or ``None`` if the source uses constructs
+        #: outside the IR (then everything falls back to the tree walk).
+        self.compiled: CompiledModel | None
+        try:
+            self.compiled = compile_model(self.ast, _library_loader)
+        except CatCompileError:
+            self.compiled = None
+        self._plan = (
+            None
+            if self.compiled is None
+            else tuple(
+                sorted(
+                    self.compiled.axiom_checks,
+                    key=lambda c: c.node.cost,
+                )
+            )
+        )
 
     def _collect_checks(self, model: Model, seen: set[str]) -> list[Check]:
         checks: list[Check] = []
@@ -78,12 +108,10 @@ class CatModel(MemoryModel):
     # -- evaluation ------------------------------------------------------
 
     def evaluate(self, x: "Execution | CandidateAnalysis") -> EvalResult:
-        """Full evaluation (respecting the ``tm`` flag).
+        """Full tree-walk evaluation (respecting the ``tm`` flag).
 
-        The evaluator consumes the candidate's shared analysis: the
-        primitive environment (and each included library prelude's
-        bindings) is computed once per candidate however many ``.cat``
-        models — or repeated evaluations — see it.
+        Exposes the complete binding environment; checking goes through
+        the compiled IR instead (see :meth:`check`/:meth:`consistent`).
         """
         a = self._analysis(x)
         if profiling.ACTIVE is not None:
@@ -91,9 +119,38 @@ class CatModel(MemoryModel):
                 return evaluate(self.ast, a, _library_loader)
         return evaluate(self.ast, a, _library_loader)
 
+    def definition(self) -> IRDefinition:
+        """The compiled consistency axioms as an :class:`IRDefinition`.
+
+        Flag checks are diagnostics and excluded (matching
+        :meth:`axioms`); negated non-flag checks have no axiom form.
+        """
+        if self.compiled is None:
+            raise NotImplementedError(
+                f"{self.arch}: source did not compile to IR"
+            )
+        axioms = []
+        for check in self.compiled.axiom_checks:
+            if check.negated:
+                raise CatError(
+                    f"negated non-flag check {check.name!r} has no Axiom form"
+                )
+            axioms.append(
+                IRAxiom(check.name, check.kind, check.name, check.node)
+            )
+        return IRDefinition(tuple(axioms))
+
     def relations(self, x: "Execution | CandidateAnalysis") -> dict:
-        result = self.evaluate(x)
-        return {c.name: c.relation for c in result.checks}
+        if self.compiled is None:
+            result = self.evaluate(x)
+            return {c.name: c.relation for c in result.checks}
+        from ..core.analysis import analyze
+
+        a = analyze(x)
+        return {
+            c.name: ir_evaluate(c.node, a)
+            for c in self.compiled.axiom_checks
+        }
 
     def axioms(self) -> tuple[Axiom, ...]:
         out = []
@@ -108,23 +165,73 @@ class CatModel(MemoryModel):
         return tuple(out)
 
     def check(self, x: "Execution | CandidateAnalysis") -> Verdict:
-        result = self.evaluate(x)
-        results = tuple(
-            AxiomResult(c.name, c.holds, None if c.holds else "cat-check")
-            for c in result.checks
-        )
+        if self.compiled is None:
+            result = self.evaluate(x)
+            results = tuple(
+                AxiomResult(c.name, c.holds, c.witness)
+                for c in result.checks
+            )
+            return Verdict(self.name, all(r.holds for r in results), results)
+        a = self._analysis(x)
+        results = []
+        for c in self.compiled.axiom_checks:
+            rel = ir_evaluate(c.node, a)
+            witness = witness_for(c.kind, rel)
+            holds = witness is None
+            if c.negated:
+                holds = not holds
+            results.append(AxiomResult(c.name, holds, witness))
+        results = tuple(results)
         return Verdict(self.name, all(r.holds for r in results), results)
 
     def consistent(self, x: "Execution | CandidateAnalysis") -> bool:
-        return self.evaluate(x).consistent
+        if self._plan is None:
+            return self.evaluate(x).consistent
+        a = self._analysis(x)
+        if profiling.ACTIVE is not None:
+            with profiling.stage("axioms"):
+                return all(self._holds(c, a) for c in self._plan)
+        return all(self._holds(c, a) for c in self._plan)
+
+    @staticmethod
+    def _holds(check, a) -> bool:
+        holds = axiom_holds(check.kind, check.node, a)
+        return not holds if check.negated else holds
 
     def flags_raised(self, x: "Execution | CandidateAnalysis") -> list[str]:
-        """Names of raised ``flag`` diagnostics (e.g. ``DataRace``)."""
-        return self.evaluate(x).flagged
+        """Names of raised ``flag`` diagnostics (e.g. ``DataRace``).
+
+        Herd semantics: ``flag ~empty race`` raises when the test holds,
+        i.e. when races exist.
+        """
+        if self.compiled is None:
+            return self.evaluate(x).flagged
+        a = self._analysis(x)
+        return [
+            c.name
+            for c in self.compiled.flag_checks
+            if self._holds(c, a)
+        ]
 
     def race_free(self, x: "Execution | CandidateAnalysis") -> bool:
         """Convenience mirroring :meth:`repro.models.cpp.Cpp.race_free`."""
         return "DataRace" not in self.flags_raised(x)
+
+    def definition_token(self) -> str:
+        """Engine cache keying: the structural digest of the compiled
+        checks (comment/whitespace edits no longer invalidate cached
+        verdicts; semantic edits always do).  Falls back to hashing the
+        AST when the source did not compile."""
+        if self.compiled is None:
+            text = repr(self.ast)
+        else:
+            text = ";".join(
+                f"{c.name}:{c.kind}:{int(c.negated)}:{int(c.flag)}:"
+                f"{c.node.digest}"
+                for c in self.compiled.checks
+            )
+        digest = hashlib.sha256(text.encode()).hexdigest()[:16]
+        return f"cat:{self.arch}:tm={self.tm}:{digest}"
 
 
 def load_cat_model(name: str, tm: bool = True) -> CatModel:

@@ -256,6 +256,159 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _explain_definition(model):
+    """The model's IR lowering, or None (oracles, non-compiling cat)."""
+    from .ir import ir_definition
+
+    try:
+        return ir_definition(model)
+    except Exception:
+        return None
+
+
+def _cmd_explain(args) -> int:
+    import os
+
+    from .engine.checkers import resolve_checker
+    from .ir.nodes import cross_model_stats
+    from .litmus.candidates import candidate_executions, expand_test
+    from .litmus.parse import loads
+
+    specs = args.model.split(",")
+    models = []
+    for spec in specs:
+        try:
+            checker = resolve_checker(spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        model = getattr(checker, "model", None)
+        if model is None:
+            print(f"error: {spec!r} is not an axiomatic model", file=sys.stderr)
+            return 2
+        models.append((spec, model))
+
+    # -- compiled IR DAG statistics -------------------------------------
+    definitions = []
+    print("compiled IR DAG:")
+    for spec, model in models:
+        definition = _explain_definition(model)
+        if definition is None:
+            print(f"  {spec:<16} (not IR-defined; no stats)")
+            continue
+        definitions.append((spec, definition))
+        stats = definition.stats()
+        print(
+            f"  {spec:<16} axioms={len(definition.axioms):<2} "
+            f"dag_nodes={stats['dag_nodes']:<4} "
+            f"tree_size={stats['tree_size']:<5} "
+            f"sharing={stats['sharing']:.2f}x"
+        )
+    if len(definitions) > 1:
+        cross = cross_model_stats([d.roots() for _, d in definitions])
+        print(
+            f"  cross-model: union_dag_nodes={cross['union_nodes']} "
+            f"sum_of_models={cross['sum_of_models']} "
+            f"sharing={cross['sharing']:.2f}x"
+        )
+
+    # -- per-axiom relation values --------------------------------------
+    if os.path.isfile(args.test):
+        from .litmus.parse import ParseError
+
+        with open(args.test, encoding="utf-8") as handle:
+            try:
+                test = loads(handle.read())
+            except ParseError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        candidates = [
+            c.execution for c in candidate_executions(test.program)
+        ]
+        witnessing = sum(1 for _ in expand_test(test))
+        print(
+            f"\n{test.name}: {len(candidates)} candidate executions "
+            f"({witnessing} satisfy the postcondition)"
+        )
+        if args.candidate is not None:
+            if not 0 <= args.candidate < len(candidates):
+                print(
+                    f"error: --candidate out of range 0..{len(candidates)-1}",
+                    file=sys.stderr,
+                )
+                return 2
+            _explain_execution(
+                candidates[args.candidate], models, verbose=args.relations
+            )
+            return 0
+        for spec, model in models:
+            fails: dict[str, int] = {}
+            consistent = 0
+            for x in candidates:
+                verdict = model.check(x)
+                if verdict.consistent:
+                    consistent += 1
+                for r in verdict.failures:
+                    fails[r.name] = fails.get(r.name, 0) + 1
+            parts = ", ".join(
+                f"{name}:{count}" for name, count in sorted(fails.items())
+            )
+            print(
+                f"  {spec:<16} consistent={consistent}/{len(candidates)}"
+                + (f"  axiom failures: {parts}" if parts else "")
+            )
+        return 0
+
+    entry = get_entry(args.test)
+    x = entry.execution
+    print(f"\n{args.test}:")
+    print(x.describe())
+    _explain_execution(x, models, verbose=args.relations)
+    return 0
+
+
+def _explain_execution(x, models, verbose: bool = False) -> None:
+    """Print each model's per-axiom relation values on one execution."""
+    from .ir.eval import evaluate as ir_evaluate
+    from .models.base import witness_for
+
+    for spec, model in models:
+        print(f"\n  {spec}:")
+        definition = _explain_definition(model)
+        if definition is not None:
+            a = analyze_for(model, x)
+            for ax in definition.axioms:
+                rel = ir_evaluate(ax.node, a)
+                witness = witness_for(ax.kind, rel)
+                status = "ok      " if witness is None else "VIOLATED"
+                line = (
+                    f"    {ax.name:<14} {ax.kind:<11} {status} "
+                    f"|r|={len(rel)} cost={ax.node.cost}"
+                )
+                if witness is not None:
+                    line += f" witness={witness}"
+                print(line)
+                if verbose:
+                    print(f"      node: {ir_describe(ax.node)}")
+                    print(f"      pairs: {sorted(rel.pairs())}")
+        else:
+            verdict = model.check(x)
+            for r in verdict.results:
+                status = "ok      " if r.holds else "VIOLATED"
+                print(f"    {r.name:<14} {status}")
+
+
+def analyze_for(model, x):
+    """The analysis a model would check ``x`` against (tm-aware)."""
+    return model._analysis(x)
+
+
+def ir_describe(node) -> str:
+    from .ir.nodes import describe
+
+    return describe(node, maxdepth=3)
+
+
 def _cmd_rtl(args) -> int:
     from .experiments.rtl import format_rtl, run_rtl_check
 
@@ -432,6 +585,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the markdown report")
     add_engine_options(p)
 
+    p = sub.add_parser("explain",
+                       help="print a model's compiled IR DAG stats and "
+                            "per-axiom relation values for a test")
+    p.add_argument("--test", required=True, metavar="NAME|FILE",
+                   help="catalog entry name or litmus file path")
+    p.add_argument("--model", required=True, metavar="SPECS",
+                   help="comma-separated checker specs (registry names, "
+                        ".cat library names, mut:<arch>:<axiom>, ...)")
+    p.add_argument("--candidate", type=int, default=None, metavar="N",
+                   help="for a litmus file: dump the N-th candidate's "
+                        "per-axiom relations instead of the summary")
+    p.add_argument("--relations", action="store_true",
+                   help="also dump each axiom's IR node and pairs")
+
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--budget", type=float, default=120.0)
     p.add_argument("--full", action="store_true")
@@ -495,6 +662,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "synth": _cmd_synth,
     "campaign": _cmd_campaign,
+    "explain": _cmd_explain,
     "fuzz": _cmd_fuzz,
     "table1": _cmd_table1,
     "table2": _cmd_table2,

@@ -8,6 +8,13 @@ RTL bug, where the ARM prototype accidentally failed to enforce
 TxnOrder (``BuggyRtlArm`` in :mod:`repro.sim.oracle` is literally
 ``drop_axiom("armv8", "TxnOrder")`` by another name).
 
+Since every model's semantics is IR data (an
+:class:`~repro.ir.model.IRDefinition`), a mutant is a *uniform data
+transformation* — :meth:`IRDefinition.drop` filters the axiom tuple —
+instead of a dynamically created subclass per family.  The mutant
+shares every surviving axiom node with the stock model by interning, so
+sweeping stock + mutants over a candidate re-evaluates nothing.
+
 Dropping an axiom only ever *weakens* a model, so a mutant disagreement
 always has the shape "mutant observes what stock forbids" — the same
 direction as a real conformance escape.  :data:`KNOWN_MUTANTS` lists,
@@ -20,10 +27,11 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from ..ir.model import IRDefinition, IRModel
 from ..models.base import MemoryModel
 from ..models.registry import MODELS, get_model
 
-__all__ = ["KNOWN_MUTANTS", "drop_axiom", "known_mutant_specs"]
+__all__ = ["KNOWN_MUTANTS", "MutantModel", "drop_axiom", "known_mutant_specs"]
 
 
 #: Axioms per architecture whose removal the fuzzer must detect even at
@@ -50,46 +58,65 @@ def known_mutant_specs(arch: str) -> list[str]:
 
 
 @lru_cache(maxsize=None)
-def _mutant_class(arch: str, axiom_name: str) -> type:
+def _mutant_definition(arch: str, axiom_name: str) -> IRDefinition:
     try:
-        base_cls = MODELS[arch]
+        cls = MODELS[arch]
     except KeyError:
         raise ValueError(
             f"unknown model {arch!r}; known: {', '.join(sorted(MODELS))}"
         ) from None
-    known = [a.name for a in get_model(arch).axioms()]
+    stock = get_model(arch)
+    if not isinstance(stock, IRModel):
+        raise ValueError(
+            f"model {arch!r} is not IR-defined; cannot derive mutants"
+        )
+    known = [a.name for a in stock.axioms()]
     if axiom_name not in known:
         raise ValueError(
             f"model {arch!r} has no axiom {axiom_name!r}; "
             f"its axioms are {', '.join(known)}"
         )
+    del cls
+    return stock.definition().drop(axiom_name)
 
-    class Mutant(base_cls):
-        _dropped_axiom = axiom_name
 
+class MutantModel(IRModel):
+    """The registry model for ``arch`` with one axiom removed."""
+
+    def __init__(self, arch: str, axiom_name: str, tm: bool = True) -> None:
+        definition = _mutant_definition(arch, axiom_name)
+        super().__init__(tm=tm)
+        self._definition = definition
+        self._arch = arch
+        self._dropped = axiom_name
+        self.arch = arch
         # Dropping the coherence axiom must also stop the candidate
         # enumerator from pruning incoherent candidates on the mutant's
         # behalf, or the weakening would be invisible to `observable`.
-        enforces_coherence = (
-            base_cls.enforces_coherence and axiom_name != "Coherence"
+        stock_cls = MODELS[arch]
+        self.enforces_coherence = (
+            stock_cls.enforces_coherence and axiom_name != "Coherence"
         )
 
-        def axioms(self):
-            return tuple(
-                a for a in super().axioms() if a.name != self._dropped_axiom
-            )
+    def definition(self) -> IRDefinition:
+        return self._definition
 
-        def definition_token(self) -> str:
-            # Dynamic classes have no retrievable source; name the
-            # mutation explicitly so engine cache keys never collide
-            # between different mutants (or with the stock model).
-            return f"mut:{arch}:{axiom_name}:tm={self.tm}"
+    def definition_token(self) -> str:
+        # Name the mutation explicitly so engine cache keys never
+        # collide between different mutants (or with the stock model),
+        # and derive from the surviving axioms' structural digest so
+        # editing the stock model invalidates its mutants too.
+        return (
+            f"mut:{self._arch}:{self._dropped}:tm={self.tm}:"
+            f"{self._definition.digest}"
+        )
 
-    Mutant.__name__ = f"{base_cls.__name__}Minus{axiom_name}"
-    Mutant.__qualname__ = Mutant.__name__
-    return Mutant
+    def __repr__(self) -> str:
+        return (
+            f"<MutantModel {self._arch}-{self._dropped} tm={self.tm}>"
+        )
 
 
 def drop_axiom(arch: str, axiom_name: str, tm: bool = True) -> MemoryModel:
     """The registry model for ``arch`` with ``axiom_name`` removed."""
-    return _mutant_class(arch, axiom_name)(tm=tm)
+    return MutantModel(arch, axiom_name, tm=tm)

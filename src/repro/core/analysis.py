@@ -94,7 +94,7 @@ class CandidateAnalysis:
     the same candidate shares one instance.
     """
 
-    __slots__ = ("x", "_memo", "_parent", "_baseline")
+    __slots__ = ("x", "_memo", "_parent", "_baseline", "_ir_memo")
 
     def __init__(
         self, x: Execution, _parent: "CandidateAnalysis | None" = None
@@ -103,6 +103,12 @@ class CandidateAnalysis:
         self._memo: dict = {}
         self._parent = _parent
         self._baseline: CandidateAnalysis | None = None
+        #: Values of IR nodes, keyed by node id (int) — a dedicated dict
+        #: because the IR engine is the hottest memo client by far (one
+        #: lookup per node per model sweep); txn-free nodes of a
+        #: baseline view are stored on the parent's dict instead (see
+        #: :func:`repro.ir.eval.evaluate`).
+        self._ir_memo: dict = {}
 
     @classmethod
     def of(cls, x: "Execution | CandidateAnalysis") -> "CandidateAnalysis":
@@ -144,6 +150,19 @@ class CandidateAnalysis:
             value = compute()
         memo[key] = value
         return value
+
+    def ir(self, node) -> V:
+        """Evaluate a :class:`repro.ir.nodes.Node` against this candidate.
+
+        Convenience entry point into the unified IR engine; the result
+        is memoized in :attr:`_ir_memo` (keyed by node id) with the
+        node's ``txn_free`` flag routed into the baseline-sharing
+        split, so every model sweeping this candidate reads one
+        computation per shared node.
+        """
+        from ..ir.eval import evaluate
+
+        return evaluate(node, self)
 
     # ------------------------------------------------------------------
     # The tm=False view

@@ -56,13 +56,16 @@ def definition_hash(obj) -> str:
 
     Editing a model must invalidate its cached verdicts, so the cache
     key includes this alongside the spec string.  Objects may provide a
-    ``definition_token()`` naming their definition explicitly (mutant
-    models are dynamically created classes whose source is unavailable,
-    and whose ``repr`` would collide); otherwise, for ``.cat`` models
-    the parsed AST is hashed (editing the file changes it), and for
-    native Python models and oracles, the class source.  Edits to shared
-    helpers in other modules are not caught — bump
-    :data:`repro.engine.cache.CACHE_VERSION` for those.
+    ``definition_token()`` naming their definition explicitly — every
+    IR-defined model (all native models, compiled ``.cat`` models,
+    mutants) derives its token from the interned structural digest of
+    its axiom DAG, so cached verdicts are invalidated *precisely* when
+    the semantics change: reformatting a model file or renaming a local
+    binding keeps the cache warm, editing an axiom's relation always
+    invalidates.  Otherwise, for ``.cat`` models the parsed AST is
+    hashed, and for remaining Python models and oracles, the class
+    source.  Edits to shared helpers in other modules are not caught —
+    bump :data:`repro.engine.cache.CACHE_VERSION` for those.
     """
     from ..cat.model import CatModel
 

@@ -61,6 +61,13 @@ class MemoModel(MemoryModel):
     def check(self, x: Execution) -> Verdict:
         return self.model.check(x)
 
+    def definition_token(self) -> str:
+        """Delegate cache keying to the wrapped model's definition (the
+        proxy adds no semantics of its own)."""
+        from .checkers import definition_hash
+
+        return f"memo:{definition_hash(self.model)}"
+
     # Memoized hot path --------------------------------------------------
 
     def consistent(self, x: Execution) -> bool:

@@ -1,0 +1,95 @@
+"""Unified relational IR: one hash-consed expression DAG for all models.
+
+This package is the single semantic substrate behind both checker
+families: the native Python models (:mod:`repro.models`) declare their
+axioms as IR expressions, and the ``.cat`` evaluator compiles parsed
+models onto the same DAG (:mod:`repro.cat.compile`).  Structural
+interning makes identical subexpressions — across models, across
+families — the *same node*, and the evaluation engine memoizes per
+``(CandidateAnalysis, node)``, so a campaign sweeping many models over
+one candidate computes every shared relation exactly once.
+
+See ``src/repro/ir/README.md`` for the design document.
+"""
+
+from . import prelude
+from .eval import STATS, evaluate, register_shortcut
+from .model import IRAxiom, IRDefinition, IRModel
+from .nodes import (
+    Node,
+    base,
+    bset,
+    comp,
+    cross,
+    dag_stats,
+    diff,
+    domain,
+    empty,
+    fix,
+    inter,
+    lift,
+    opt,
+    plus,
+    range_,
+    reachable,
+    sdiff,
+    sempty,
+    sinter,
+    star,
+    sunion,
+    union,
+    var,
+)
+
+__all__ = [
+    "Node",
+    "IRAxiom",
+    "IRDefinition",
+    "IRModel",
+    "STATS",
+    "base",
+    "bset",
+    "comp",
+    "cross",
+    "dag_stats",
+    "diff",
+    "domain",
+    "empty",
+    "evaluate",
+    "fix",
+    "inter",
+    "ir_definition",
+    "lift",
+    "opt",
+    "plus",
+    "prelude",
+    "range_",
+    "reachable",
+    "register_shortcut",
+    "sdiff",
+    "sempty",
+    "sinter",
+    "star",
+    "sunion",
+    "union",
+    "var",
+]
+
+
+def ir_definition(model) -> "IRDefinition | None":
+    """The :class:`IRDefinition` behind ``model``, if it has one.
+
+    Works for native :class:`IRModel` subclasses and for
+    :class:`~repro.cat.model.CatModel` instances whose source compiled;
+    returns ``None`` for models outside the IR (ad-hoc subclasses,
+    oracles).
+    """
+    getter = getattr(model, "definition", None)
+    if callable(getter):
+        try:
+            definition = getter()
+        except NotImplementedError:
+            return None
+        if isinstance(definition, IRDefinition):
+            return definition
+    return None

@@ -14,92 +14,93 @@ incompatible with lock elision:
 * ``tfence`` — implicit fences at transaction boundaries, added to ``ob``;
 * TxnOrder — no ``ob`` cycles through transactions;
 * TxnCancelsRMW — exclusives straddling a boundary always fail.
+
+Declared as IR expressions; ``ob`` and its parts are the same interned
+nodes ``armv8tm.cat`` compiles to.
 """
 
 from __future__ import annotations
 
-from ..core.analysis import CandidateAnalysis, analyze
-from ..core.events import Label
-from ..core.execution import Execution
-from ..core.relation import Relation
-from .base import Axiom, DerivedRelations, MemoryModel
+from ..ir import nodes as N
+from ..ir import prelude as P
+from ..ir.model import IRAxiom, IRDefinition, IRModel
+from ..ir.nodes import Node
 
 __all__ = ["ARMv8"]
 
 
-class ARMv8(MemoryModel):
+def _dob() -> Node:
+    """Dependency-ordered-before."""
+    writes = N.lift(P.W)
+    isb = N.lift(N.sinter(N.bset("ISB"), P.F))
+    dep_to_isb = (P.ctrl | (P.addr @ P.po)) @ isb @ P.po
+    return (
+        P.addr
+        | P.data
+        | (P.ctrl @ writes)
+        | dep_to_isb
+        | (P.addr @ P.po @ writes)
+        | ((P.addr | P.data) @ P.rfi)
+    )
+
+
+def _aob() -> Node:
+    """Atomic-ordered-before: RMWs, and acquire loads that read from
+    the write half of a local RMW."""
+    acq_reads = N.lift(N.sinter(N.bset("ACQ"), P.R))
+    rmw_writes = N.lift(N.range_(P.rmw))
+    return P.rmw | (rmw_writes @ P.rfi @ acq_reads)
+
+
+def _bob() -> Node:
+    """Barrier-ordered-before: DMB variants plus one-way release/acquire
+    fencing."""
+    reads = N.lift(P.R)
+    writes = N.lift(P.W)
+    acq = N.lift(N.sinter(N.bset("ACQ"), P.R))
+    rel = N.lift(N.sinter(N.bset("REL"), P.W))
+    dmb = P.fencerel("DMB")
+    dmb_ld = reads @ P.fencerel("DMB.LD")
+    dmb_st = writes @ P.fencerel("DMB.ST") @ writes
+    return (
+        dmb
+        | dmb_ld
+        | dmb_st
+        | (acq @ P.po)
+        | (P.po @ rel)
+        | (rel @ P.po @ acq)
+        | (P.po @ rel @ P.coi)
+    )
+
+
+#: Ordered-before, including the TM extension's tfence.
+_OB = P.come | _dob() | _aob() | _bob() | P.tfence
+
+
+class ARMv8(IRModel):
     """ARMv8 (multicopy-atomic) with the proposed TM extension."""
 
     arch = "armv8"
     enforces_coherence = True
 
-    def _dob(self, a: CandidateAnalysis) -> Relation:
-        """Dependency-ordered-before."""
-        writes = a.lift(a.writes)
-        isb_lift = a.lift(a.labelled(Label.ISB) & a.fences)
-        dep_to_isb = (a.ctrl_rel | (a.addr_rel @ a.po)) @ isb_lift @ a.po
-        return (
-            a.addr_rel
-            | a.data_rel
-            | (a.ctrl_rel @ writes)
-            | dep_to_isb
-            | (a.addr_rel @ a.po @ writes)
-            | ((a.addr_rel | a.data_rel) @ a.rfi)
-        )
-
-    def _aob(self, a: CandidateAnalysis) -> Relation:
-        """Atomic-ordered-before: RMWs, and acquire loads that read from
-        the write half of a local RMW."""
-        acq_reads = a.lift(a.labelled(Label.ACQ) & a.reads)
-        rmw_writes = a.lift(a.rmw_rel.codomain())
-        return a.rmw_rel | (rmw_writes @ a.rfi @ acq_reads)
-
-    def _bob(self, a: CandidateAnalysis) -> Relation:
-        """Barrier-ordered-before: DMB variants plus one-way
-        release/acquire fencing."""
-        reads = a.lift(a.reads)
-        writes = a.lift(a.writes)
-        acq = a.lift(a.labelled(Label.ACQ) & a.reads)
-        rel = a.lift(a.labelled(Label.REL) & a.writes)
-        dmb = a.fence_rel(Label.DMB)
-        dmb_ld = reads @ a.fence_rel(Label.DMB_LD)
-        dmb_st = writes @ a.fence_rel(Label.DMB_ST) @ writes
-        return (
-            dmb
-            | dmb_ld
-            | dmb_st
-            | (acq @ a.po)
-            | (a.po @ rel)
-            | (rel @ a.po @ acq)
-            | (a.po @ rel @ a.coi)
-        )
-
-    def _ob_skeleton(self, a: CandidateAnalysis) -> Relation:
-        """The transaction-independent part of ordered-before."""
-        return a.memo(
-            "armv8.ob_base",
-            lambda: a.come | self._dob(a) | self._aob(a) | self._bob(a),
-            txn_free=True,
-        )
-
-    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
-        a = analyze(x)
-        ob_base = self._ob_skeleton(a) | a.tfence
-        return {
-            "coherence": a.coherence,
-            "ob": ob_base,
-            "rmw_isol": a.rmw_isol,
-            "strong_isol": a.stronglift(a.com),
-            "txn_order": a.stronglift(ob_base.plus()),
-            "txn_cancels_rmw": a.rmw_rel & a.tfence,
-        }
-
-    def axioms(self) -> tuple[Axiom, ...]:
-        return (
-            Axiom("Coherence", "acyclic", "coherence"),
-            Axiom("Order", "acyclic", "ob"),
-            Axiom("RMWIsol", "empty", "rmw_isol"),
-            Axiom("StrongIsol", "acyclic", "strong_isol"),
-            Axiom("TxnOrder", "acyclic", "txn_order"),
-            Axiom("TxnCancelsRMW", "empty", "txn_cancels_rmw"),
+    @classmethod
+    def define(cls) -> IRDefinition:
+        return IRDefinition(
+            (
+                IRAxiom("Coherence", "acyclic", "coherence", P.coherence),
+                IRAxiom("Order", "acyclic", "ob", _OB),
+                IRAxiom("RMWIsol", "empty", "rmw_isol", P.rmw_isol),
+                IRAxiom(
+                    "StrongIsol", "acyclic", "strong_isol",
+                    P.stronglift(P.com),
+                ),
+                IRAxiom(
+                    "TxnOrder", "acyclic", "txn_order",
+                    P.stronglift(_OB.plus()),
+                ),
+                IRAxiom(
+                    "TxnCancelsRMW", "empty", "txn_cancels_rmw",
+                    P.rmw & P.tfence,
+                ),
+            )
         )

@@ -22,17 +22,57 @@ non-transactional baselines", section 5.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
 
 from ..core import profiling
 from ..core.analysis import CandidateAnalysis, analyze
 from ..core.execution import Execution
 from ..core.relation import Relation
 
-__all__ = ["Axiom", "AxiomResult", "Verdict", "MemoryModel", "DerivedRelations"]
+__all__ = [
+    "Axiom",
+    "AxiomResult",
+    "Verdict",
+    "MemoryModel",
+    "DerivedRelations",
+    "canonical_cycle",
+    "witness_for",
+]
 
 #: The derived-relation dictionary each model computes per execution.
 DerivedRelations = dict[str, Relation]
+
+
+def canonical_cycle(cycle: list[int]) -> list[int]:
+    """Rotate a cycle so its smallest event comes first.
+
+    ``find_cycle`` is deterministic for a given relation, but the DFS
+    entry point is an implementation detail; canonicalising keeps
+    witnesses byte-stable across refactors of the search (golden and
+    fuzz reports diff cleanly).
+    """
+    if not cycle:
+        return cycle
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
+def witness_for(kind: str, rel: Relation):
+    """A deterministic failure witness for ``kind`` over ``rel``.
+
+    Returns ``None`` when the check holds; otherwise a canonical cycle
+    (``acyclic``), the sorted reflexive events (``irreflexive``), or the
+    sorted offending pairs (``empty``).
+    """
+    if kind == "acyclic":
+        cycle = rel.find_cycle()
+        return None if cycle is None else canonical_cycle(cycle)
+    if kind == "irreflexive":
+        witness = sorted(i for i in range(rel.n) if (i, i) in rel)
+        return witness or None
+    if kind == "empty":
+        witness = [list(pair) for pair in sorted(rel.pairs())]
+        return witness or None
+    raise ValueError(f"unknown axiom kind {kind!r}")
 
 
 @dataclass(frozen=True)
@@ -44,17 +84,8 @@ class Axiom:
     relation: str  # key into the model's derived-relation dict
 
     def evaluate(self, relations: DerivedRelations) -> "AxiomResult":
-        rel = relations[self.relation]
-        if self.kind == "acyclic":
-            cycle = rel.find_cycle()
-            return AxiomResult(self.name, cycle is None, cycle)
-        if self.kind == "irreflexive":
-            witness = [i for i in range(rel.n) if (i, i) in rel]
-            return AxiomResult(self.name, not witness, witness or None)
-        if self.kind == "empty":
-            witness = [list(pair) for pair in rel.pairs()]
-            return AxiomResult(self.name, not witness, witness or None)
-        raise ValueError(f"unknown axiom kind {self.kind!r}")
+        witness = witness_for(self.kind, relations[self.relation])
+        return AxiomResult(self.name, witness is None, witness)
 
     def holds(self, relations: DerivedRelations) -> bool:
         rel = relations[self.relation]

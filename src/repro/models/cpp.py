@@ -17,15 +17,21 @@ checked in :mod:`repro.metatheory.theorems`).
 
 Race freedom (NoRace) is deliberately *not* part of the consistency
 axioms: it is a predicate on whole programs.  Use :meth:`Cpp.race_free`.
+
+Declared as IR expressions; the event-set helpers (``atomic_events``
+etc.) keep their analysis-memoized Python forms for the metatheory.
 """
 
 from __future__ import annotations
 
-from ..core.analysis import CandidateAnalysis, analyze
+from ..core.analysis import analyze
 from ..core.events import Label
-from ..core.execution import Execution
 from ..core.relation import Relation
-from .base import Axiom, DerivedRelations, MemoryModel
+from ..ir import nodes as N
+from ..ir import prelude as P
+from ..ir.eval import evaluate
+from ..ir.model import IRAxiom, IRDefinition, IRModel
+from ..ir.nodes import Node
 
 __all__ = ["Cpp", "acquire_events", "release_events", "sc_events", "atomic_events"]
 
@@ -33,7 +39,7 @@ _ACQ_MODES = frozenset({Label.ACQ, Label.ACQ_REL, Label.SC})
 _REL_MODES = frozenset({Label.REL, Label.ACQ_REL, Label.SC})
 
 
-def atomic_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
+def atomic_events(x) -> frozenset[int]:
     """``Ato``: accesses from atomic operations."""
     a = analyze(x)
     return a.memo(
@@ -43,7 +49,7 @@ def atomic_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
     )
 
 
-def acquire_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
+def acquire_events(x) -> frozenset[int]:
     """Events with acquire semantics: acq/acq_rel/sc reads and fences."""
     a = analyze(x)
 
@@ -57,7 +63,7 @@ def acquire_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
     return a.memo("cpp.acq", compute, txn_free=True)
 
 
-def release_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
+def release_events(x) -> frozenset[int]:
     """Events with release semantics: rel/acq_rel/sc writes and fences."""
     a = analyze(x)
 
@@ -71,7 +77,7 @@ def release_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
     return a.memo("cpp.rel", compute, txn_free=True)
 
 
-def sc_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
+def sc_events(x) -> frozenset[int]:
     """``SC``: events with memory order seq_cst."""
     a = analyze(x)
     return a.memo(
@@ -83,7 +89,88 @@ def sc_events(x: "Execution | CandidateAnalysis") -> frozenset[int]:
     )
 
 
-class Cpp(MemoryModel):
+def _build() -> tuple[IRDefinition, Node, Node]:
+    """The RC11+TM definition plus the ``cnf``/``race`` nodes."""
+    ato = N.sinter(N.bset("ATO"), P.M)
+    acq_evts = N.sinter(
+        N.sunion(N.bset("ACQ"), N.bset("ACQREL"), N.bset("SC")),
+        N.sunion(P.R, P.F),
+    )
+    rel_evts = N.sinter(
+        N.sunion(N.bset("REL"), N.bset("ACQREL"), N.bset("SC")),
+        N.sunion(P.W, P.F),
+    )
+    sc_all = N.bset("SC")
+    sc_fence = N.sinter(sc_all, P.F)
+
+    # Release sequences and synchronises-with.
+    rs = (
+        N.lift(P.W)
+        @ P.po_loc.opt()
+        @ N.lift(N.sinter(P.W, ato))
+        @ (P.rf @ P.rmw).star()
+    )
+    sw = (
+        N.lift(rel_evts)
+        @ (N.lift(P.F) @ P.po).opt()
+        @ rs
+        @ P.rf
+        @ N.lift(N.sinter(P.R, ato))
+        @ (P.po @ N.lift(P.F)).opt()
+        @ N.lift(acq_evts)
+    )
+
+    # Extended communication and the transactional synchronises-with.
+    ecom = P.com | (P.co @ P.rf)
+    tsw = P.weaklift(ecom)
+    hb = (P.po | sw | tsw).plus()
+
+    # RC11 psc.
+    sb_neq_loc = P.po - P.loc
+    eco = P.com.plus()
+    scb = (
+        P.po
+        | (sb_neq_loc @ hb @ sb_neq_loc)
+        | (hb & P.loc)
+        | P.co
+        | P.fr
+    )
+    psc_base = (
+        (N.lift(sc_all) | (N.lift(sc_fence) @ hb.opt()))
+        @ scb
+        @ (N.lift(sc_all) | (hb.opt() @ N.lift(sc_fence)))
+    )
+    psc_fence = N.lift(sc_fence) @ (hb | (hb @ eco @ hb)) @ N.lift(sc_fence)
+
+    definition = IRDefinition(
+        (
+            IRAxiom("HbCom", "irreflexive", "hb_com", hb @ P.com.star()),
+            IRAxiom("RMWIsol", "empty", "rmw_isol", P.rmw_isol),
+            IRAxiom("NoThinAir", "acyclic", "thin_air", P.po | P.rf),
+            IRAxiom("SeqCst", "acyclic", "psc", psc_base | psc_fence),
+        ),
+        extras=(("hb", hb),),
+    )
+
+    # The NoRace predicate at the bottom of Fig. 9: conflicting pairs
+    # that are neither both atomic nor hb-ordered.
+    cnf = N.diff(
+        N.inter(
+            N.union(
+                N.cross(P.W, P.W), N.cross(P.R, P.W), N.cross(P.W, P.R)
+            ),
+            P.loc,
+        ),
+        P.id_,
+    )
+    race = N.diff(N.diff(cnf, N.cross(ato, ato)), hb | hb.inverse())
+    return definition, cnf, race
+
+
+_DEFINITION, _CNF, _RACE = _build()
+
+
+class Cpp(IRModel):
     """RC11 plus the transactional extensions of section 7."""
 
     arch = "cpp"
@@ -91,99 +178,23 @@ class Cpp(MemoryModel):
     #: [Lahav et al. 2017], so incoherent candidates are never consistent.
     enforces_coherence = True
 
-    def _sw(self, a: CandidateAnalysis) -> Relation:
-        """Synchronises-with, including release sequences and fences
-        (transaction-independent, memoized per candidate)."""
-
-        def compute() -> Relation:
-            w = a.lift(a.writes)
-            w_ato = a.lift(atomic_events(a) & a.writes)
-            r_ato = a.lift(atomic_events(a) & a.reads)
-            f = a.lift(a.fences)
-            rel = a.lift(release_events(a))
-            acq = a.lift(acquire_events(a))
-
-            rs = w @ a.po_loc.opt() @ w_ato @ (a.rf_rel @ a.rmw_rel).star()
-            return (
-                rel
-                @ (f @ a.po).opt()
-                @ rs
-                @ a.rf_rel
-                @ r_ato
-                @ (a.po @ f).opt()
-                @ acq
-            )
-
-        return a.memo("cpp.sw", compute, txn_free=True)
-
-    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
-        a = analyze(x)
-        ecom = a.memo(
-            "cpp.ecom",
-            lambda: a.com | (a.co_rel @ a.rf_rel),
-            txn_free=True,
-        )
-        tsw = a.weaklift(ecom)
-        hb = a.memo(
-            "cpp.hb", lambda: (a.po | self._sw(a) | tsw).plus()
-        )
-
-        # RC11 psc.
-        sc_all = a.lift(sc_events(a))
-        sc_fence = a.lift(sc_events(a) & a.fences)
-        sb_neq_loc = a.po - a.sloc
-        eco = a.com.plus()
-        scb = (
-            a.po
-            | (sb_neq_loc @ hb @ sb_neq_loc)
-            | (hb & a.sloc)
-            | a.co_rel
-            | a.fr
-        )
-        psc_base = (
-            (sc_all | (sc_fence @ hb.opt()))
-            @ scb
-            @ (sc_all | (hb.opt() @ sc_fence))
-        )
-        psc_fence = sc_fence @ (hb | (hb @ eco @ hb)) @ sc_fence
-
-        return {
-            "hb": hb,
-            "hb_com": hb @ a.com.star(),
-            "rmw_isol": a.rmw_isol,
-            "thin_air": a.po | a.rf_rel,
-            "psc": psc_base | psc_fence,
-        }
-
-    def axioms(self) -> tuple[Axiom, ...]:
-        return (
-            Axiom("HbCom", "irreflexive", "hb_com"),
-            Axiom("RMWIsol", "empty", "rmw_isol"),
-            Axiom("NoThinAir", "acyclic", "thin_air"),
-            Axiom("SeqCst", "acyclic", "psc"),
-        )
+    @classmethod
+    def define(cls) -> IRDefinition:
+        return _DEFINITION
 
     # ------------------------------------------------------------------
     # Race freedom (the NoRace predicate at the bottom of Fig. 9)
     # ------------------------------------------------------------------
 
-    def conflicts(self, x: "Execution | CandidateAnalysis") -> Relation:
+    def conflicts(self, x) -> Relation:
         """``cnf``: same-location pairs, at least one a write, not both the
         same event."""
-        a = analyze(x)
-        ww = a.cross(a.writes, a.writes)
-        rw = a.cross(a.reads, a.writes)
-        wr = a.cross(a.writes, a.reads)
-        return ((ww | rw | wr) & a.sloc).remove_diagonal()
+        return evaluate(_CNF, analyze(x))
 
-    def races(self, x: "Execution | CandidateAnalysis") -> Relation:
+    def races(self, x) -> Relation:
         """Conflicting pairs that are neither both atomic nor hb-ordered."""
-        a = self._analysis(x)
-        ato = atomic_events(a)
-        ato_sq = a.cross(ato, ato)
-        hb = self.relations(a)["hb"]
-        return self.conflicts(a) - ato_sq - (hb | hb.inverse())
+        return evaluate(_RACE, self._analysis(x))
 
-    def race_free(self, x: "Execution | CandidateAnalysis") -> bool:
+    def race_free(self, x) -> bool:
         """The NoRace predicate: no race in this execution."""
         return self.races(x).is_empty()

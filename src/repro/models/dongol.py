@@ -13,59 +13,58 @@ via ``tprop2``) but this model allows.  :mod:`repro.catalog.figures`
 contains that execution (``dongol_gap``) and
 ``benchmarks/bench_ablation.py`` measures the divergence between the
 two models over the whole enumerated execution space.
+
+The model shares the ``ppo`` fixpoint node (and every other common
+subexpression) with :class:`repro.models.power.Power` by interning.
 """
 
 from __future__ import annotations
 
-from ..core.analysis import CandidateAnalysis, analyze
-from ..core.events import Label
-from ..core.execution import Execution
-from .base import Axiom, DerivedRelations, MemoryModel
-from .power import power_ppo
+from ..ir import nodes as N
+from ..ir import prelude as P
+from ..ir.model import IRAxiom, IRDefinition, IRModel
+from .power import power_fence_base, power_ppo_node
 
 __all__ = ["DongolPower"]
 
 
-class DongolPower(MemoryModel):
+def _define() -> IRDefinition:
+    writes = N.lift(P.W)
+    sync = P.fencerel("SYNC")
+
+    fence = power_fence_base(with_tfence=False)
+    ihb = power_ppo_node() | fence
+    hb = P.rfe.opt() @ ihb @ P.rfe.opt()
+    hb_star = hb.star()
+
+    efence = P.rfe.opt() @ fence @ P.rfe.opt()
+    prop1 = writes @ efence @ hb_star @ writes
+    prop2 = P.come.star() @ efence.star() @ hb_star @ sync @ hb_star
+    prop = prop1 | prop2
+
+    return IRDefinition(
+        (
+            IRAxiom("Coherence", "acyclic", "coherence", P.coherence),
+            IRAxiom("RMWIsol", "empty", "rmw_isol", P.rmw_isol),
+            IRAxiom("Order", "acyclic", "hb", hb),
+            IRAxiom("Propagation", "acyclic", "propagation", P.co | prop),
+            IRAxiom(
+                "Observation", "irreflexive", "observation",
+                P.fre @ prop @ hb_star,
+            ),
+            IRAxiom(
+                "StrongIsol", "acyclic", "strong_isol", P.stronglift(P.com)
+            ),
+        )
+    )
+
+
+class DongolPower(IRModel):
     """Power with transactions that are atomic but impose no ordering."""
 
     arch = "power-dongol"
     enforces_coherence = True
 
-    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
-        a = analyze(x)
-        writes = a.lift(a.writes)
-
-        ppo = power_ppo(a)
-        sync = a.fence_rel(Label.SYNC)
-        lwsync = a.fence_rel(Label.LWSYNC)
-        wr = a.cross(a.writes, a.reads)
-
-        fence = sync | (lwsync - wr)
-        ihb = ppo | fence
-        hb = a.rfe.opt() @ ihb @ a.rfe.opt()
-        hb_star = hb.star()
-
-        efence = a.rfe.opt() @ fence @ a.rfe.opt()
-        prop1 = writes @ efence @ hb_star @ writes
-        prop2 = a.come.star() @ efence.star() @ hb_star @ sync @ hb_star
-        prop = prop1 | prop2
-
-        return {
-            "coherence": a.coherence,
-            "rmw_isol": a.rmw_isol,
-            "hb": hb,
-            "propagation": a.co_rel | prop,
-            "observation": a.fre @ prop @ hb_star,
-            "strong_isol": a.stronglift(a.com),
-        }
-
-    def axioms(self) -> tuple[Axiom, ...]:
-        return (
-            Axiom("Coherence", "acyclic", "coherence"),
-            Axiom("RMWIsol", "empty", "rmw_isol"),
-            Axiom("Order", "acyclic", "hb"),
-            Axiom("Propagation", "acyclic", "propagation"),
-            Axiom("Observation", "irreflexive", "observation"),
-            Axiom("StrongIsol", "acyclic", "strong_isol"),
-        )
+    @classmethod
+    def define(cls) -> IRDefinition:
+        return _define()

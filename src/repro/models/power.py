@@ -22,20 +22,25 @@ The highlighted TM additions (all implemented below):
   (rules out the IRIW-style execution (3)), folded into ``hb`` via
   ``weaklift`` so the serialisation order need not be constructed;
 * TxnCancelsRMW — an RMW straddling a transaction boundary always fails.
+
+The ii/ic/ci/cc fixpoint is a single IR ``fix`` node — the same node
+``powerppo.cat`` compiles to — so Power, Dongol and both ``.cat`` twins
+share one fixpoint computation per candidate.
 """
 
 from __future__ import annotations
 
-from ..core.analysis import CandidateAnalysis, analyze
-from ..core.events import Label
-from ..core.execution import Execution
 from ..core.relation import Relation
-from .base import Axiom, DerivedRelations, MemoryModel
+from ..ir import nodes as N
+from ..ir import prelude as P
+from ..ir.eval import evaluate
+from ..ir.model import IRAxiom, IRDefinition, IRModel
+from ..ir.nodes import Node
 
-__all__ = ["Power", "power_ppo"]
+__all__ = ["Power", "power_ppo", "power_ppo_node", "power_fence_base"]
 
 
-def power_ppo(x: "Execution | CandidateAnalysis") -> Relation:
+def _build_ppo() -> Node:
     """Preserved program order: the herding-cats ii/ic/ci/cc fixpoint.
 
     ::
@@ -48,105 +53,114 @@ def power_ppo(x: "Execution | CandidateAnalysis") -> Relation:
         ci  = ci0 | ci;ii | cc;ci
         cc  = cc0 | ci | ci;ic | cc;cc
         ppo = (R×R ∩ ii) | (R×W ∩ ic)
-
-    The fixpoint is transaction-independent and memoized on the shared
-    candidate analysis: the Power and Dongol models (and their
-    ``tm=False`` baselines) compute it once per candidate.
     """
-    a = analyze(x)
-    return a.memo("power.ppo", lambda: _power_ppo(a), txn_free=True)
+    dd = P.addr | P.data
+    rdw = P.po_loc & (P.fre @ P.rfe)
+    detour = P.po_loc & (P.coe @ P.rfe)
+    isync = N.lift(N.sinter(N.bset("ISYNC"), P.F))
+    ctrl_isync = (P.ctrl @ isync @ P.po) | (P.ctrl & P.fencerel("ISYNC"))
 
-
-def _power_ppo(a: CandidateAnalysis) -> Relation:
-    n = a.n
-    dd = a.addr_rel | a.data_rel
-    po = a.po
-    rdw = a.po_loc & (a.fre @ a.rfe)
-    detour = a.po_loc & (a.coe @ a.rfe)
-    isync_events = [
-        i for i in a.fences if a.events[i].has(Label.ISYNC)
-    ]
-    ctrl_isync = (
-        a.ctrl_rel.restrict(range(n), isync_events) @ po
-    ) | (a.ctrl_rel & a.fence_rel(Label.ISYNC))
-
-    ii0 = dd | rdw | a.rfi
+    ii0 = dd | rdw | P.rfi
     ci0 = ctrl_isync | detour
-    cc0 = dd | a.po_loc | a.ctrl_rel | (a.addr_rel @ po)
+    cc0 = dd | P.po_loc | P.ctrl | (P.addr @ P.po)
 
-    empty = Relation.empty(n)
-    ii, ic, ci, cc = ii0, empty, ci0, cc0
-    while True:
-        new_ii = ii0 | ci | (ic @ ci) | (ii @ ii)
-        new_ic = ii | cc | (ic @ cc) | (ii @ ic)
-        new_ci = ci0 | (ci @ ii) | (cc @ ci)
-        new_cc = cc0 | ci | (ci @ ic) | (cc @ cc)
-        if (new_ii, new_ic, new_ci, new_cc) == (ii, ic, ci, cc):
-            break
-        ii, ic, ci, cc = new_ii, new_ic, new_ci, new_cc
-
-    rr = a.cross(a.reads, a.reads)
-    rw = a.cross(a.reads, a.writes)
-    return (rr & ii) | (rw & ic)
+    ii, ic, ci, cc = N.var(0), N.var(1), N.var(2), N.var(3)
+    bodies = (
+        ii0 | ci | (ic @ ci) | (ii @ ii),
+        ii | cc | (ic @ cc) | (ii @ ic),
+        ci0 | (ci @ ii) | (cc @ ci),
+        cc0 | ci | (ci @ ic) | (cc @ cc),
+    )
+    fii = N.fix(bodies, 0)
+    fic = N.fix(bodies, 1)
+    return (N.cross(P.R, P.R) & fii) | (N.cross(P.R, P.W) & fic)
 
 
-class Power(MemoryModel):
+#: The interned ppo node (shared with dongol and the .cat library).
+_PPO = _build_ppo()
+
+
+def power_ppo_node() -> Node:
+    """The IR node for Power preserved program order."""
+    return _PPO
+
+
+def power_ppo(x) -> Relation:
+    """Preserved program order of ``x`` (execution or analysis).
+
+    Evaluated through the shared IR engine: the Power and Dongol models
+    (native and ``.cat``, and their ``tm=False`` baselines) all read the
+    same memoized fixpoint per candidate.
+    """
+    return evaluate(_PPO, x)
+
+
+def power_fence_base(with_tfence: bool) -> Node:
+    """``sync ∪ tfence? ∪ (lwsync \\ W×R)`` — shared with dongol."""
+    sync = P.fencerel("SYNC")
+    lwsync = P.fencerel("LWSYNC")
+    parts = [sync, lwsync - N.cross(P.W, P.R)]
+    if with_tfence:
+        parts.append(P.tfence)
+    return N.union(*parts)
+
+
+def _define_power() -> IRDefinition:
+    writes = N.lift(P.W)
+    sync = P.fencerel("SYNC")
+
+    fence = power_fence_base(with_tfence=True)
+    ihb = _PPO | fence
+
+    frecoe = P.fre | P.coe
+    # thb: chains of ihb and external communication, excluding
+    # (fre|coe);rfe sub-chains that end mid-chain (they give no
+    # ordering on a non-multicopy-atomic machine).
+    thb = (
+        (P.rfe | (frecoe.star() @ ihb)).star()
+        @ frecoe.star()
+        @ P.rfe.opt()
+    )
+    hb = (P.rfe.opt() @ ihb @ P.rfe.opt()) | P.weaklift(thb)
+    hb_star = hb.star()
+
+    efence = P.rfe.opt() @ fence @ P.rfe.opt()
+    prop1 = writes @ efence @ hb_star @ writes
+    prop2 = (
+        P.come.star() @ efence.star() @ hb_star @ (sync | P.tfence) @ hb_star
+    )
+    tprop1 = P.rfe @ P.stxn @ writes
+    tprop2 = P.stxn @ P.rfe
+    prop = prop1 | prop2 | tprop1 | tprop2
+
+    return IRDefinition(
+        (
+            IRAxiom("Coherence", "acyclic", "coherence", P.coherence),
+            IRAxiom("RMWIsol", "empty", "rmw_isol", P.rmw_isol),
+            IRAxiom("Order", "acyclic", "hb", hb),
+            IRAxiom("Propagation", "acyclic", "propagation", P.co | prop),
+            IRAxiom(
+                "Observation", "irreflexive", "observation",
+                P.fre @ prop @ hb_star,
+            ),
+            IRAxiom(
+                "StrongIsol", "acyclic", "strong_isol", P.stronglift(P.com)
+            ),
+            IRAxiom("TxnOrder", "acyclic", "txn_order", P.stronglift(hb)),
+            IRAxiom(
+                "TxnCancelsRMW", "empty", "txn_cancels_rmw",
+                P.rmw & P.tfence,
+            ),
+        )
+    )
+
+
+class Power(IRModel):
     """Power with the ISA 3.0 transactional-memory facility."""
 
     arch = "power"
     enforces_coherence = True
 
-    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
-        a = analyze(x)
-        writes = a.lift(a.writes)
-
-        ppo = power_ppo(a)
-        sync = a.fence_rel(Label.SYNC)
-        lwsync = a.fence_rel(Label.LWSYNC)
-        wr = a.cross(a.writes, a.reads)
-        tfence = a.tfence
-
-        fence = sync | tfence | (lwsync - wr)
-        ihb = ppo | fence
-
-        frecoe = a.fre | a.coe
-        # thb: chains of ihb and external communication, excluding
-        # (fre|coe);rfe sub-chains that end mid-chain (they give no
-        # ordering on a non-multicopy-atomic machine).
-        thb = (
-            (a.rfe | (frecoe.star() @ ihb)).star()
-            @ frecoe.star()
-            @ a.rfe.opt()
-        )
-        hb = (a.rfe.opt() @ ihb @ a.rfe.opt()) | a.weaklift(thb)
-        hb_star = hb.star()
-
-        efence = a.rfe.opt() @ fence @ a.rfe.opt()
-        prop1 = writes @ efence @ hb_star @ writes
-        prop2 = a.come.star() @ efence.star() @ hb_star @ (sync | tfence) @ hb_star
-        tprop1 = a.rfe @ a.stxn @ writes
-        tprop2 = a.stxn @ a.rfe
-        prop = prop1 | prop2 | tprop1 | tprop2
-
-        return {
-            "coherence": a.coherence,
-            "rmw_isol": a.rmw_isol,
-            "hb": hb,
-            "propagation": a.co_rel | prop,
-            "observation": a.fre @ prop @ hb_star,
-            "strong_isol": a.stronglift(a.com),
-            "txn_order": a.stronglift(hb),
-            "txn_cancels_rmw": a.rmw_rel & a.tfence,
-        }
-
-    def axioms(self) -> tuple[Axiom, ...]:
-        return (
-            Axiom("Coherence", "acyclic", "coherence"),
-            Axiom("RMWIsol", "empty", "rmw_isol"),
-            Axiom("Order", "acyclic", "hb"),
-            Axiom("Propagation", "acyclic", "propagation"),
-            Axiom("Observation", "irreflexive", "observation"),
-            Axiom("StrongIsol", "acyclic", "strong_isol"),
-            Axiom("TxnOrder", "acyclic", "txn_order"),
-            Axiom("TxnCancelsRMW", "empty", "txn_cancels_rmw"),
-        )
+    @classmethod
+    def define(cls) -> IRDefinition:
+        return _define_power()

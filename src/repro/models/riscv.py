@@ -43,35 +43,38 @@ The lock-elision study of section 8.3 extends to this model in
 (LR.aq/SC loop with an SW.rl release) is *unsound* under lock elision,
 and for the same reason — nothing orders the store-conditional before
 the critical-region body.
+
+Declared as IR expressions shared (by interning) with ``riscvtm.cat``.
 """
 
 from __future__ import annotations
 
-from ..core.analysis import CandidateAnalysis, analyze
-from ..core.events import Label
-from ..core.execution import Execution
 from ..core.relation import Relation
-from .base import Axiom, DerivedRelations, MemoryModel
+from ..ir import nodes as N
+from ..ir import prelude as P
+from ..ir.eval import evaluate
+from ..ir.model import IRAxiom, IRDefinition, IRModel
+from ..ir.nodes import Node
 
-__all__ = ["RiscV", "riscv_ppo"]
+__all__ = ["RiscV", "riscv_ppo", "riscv_ppo_node"]
 
 
-def _fence_order(a: CandidateAnalysis) -> Relation:
+def _fence_order() -> Node:
     """The order induced by the four modelled FENCE flavours.
 
     ``fence pr,ps`` orders predecessor-set events before successor-set
     events; ``fence.tso`` orders R→RW and W→W.
     """
-    r = a.lift(a.reads)
-    w = a.lift(a.writes)
-    full = a.fence_rel(Label.FENCE_RW_RW)
-    r_rw = r @ a.fence_rel(Label.FENCE_R_RW)
-    rw_w = a.fence_rel(Label.FENCE_RW_W) @ w
-    tso = a.fence_rel(Label.FENCE_TSO)
+    r = N.lift(P.R)
+    w = N.lift(P.W)
+    full = P.fencerel("FENCE.RW.RW")
+    r_rw = r @ P.fencerel("FENCE.R.RW")
+    rw_w = P.fencerel("FENCE.RW.W") @ w
+    tso = P.fencerel("FENCE.TSO")
     return full | r_rw | rw_w | (r @ tso) | (w @ tso @ w)
 
 
-def riscv_ppo(x: "Execution | CandidateAnalysis") -> Relation:
+def _build_ppo() -> Node:
     """Preserved program order: the thirteen RVWMO rules.
 
     Rule numbering follows the RVWMO chapter of the spec:
@@ -92,73 +95,81 @@ def riscv_ppo(x: "Execution | CandidateAnalysis") -> Relation:
     r12   load that reads from a dependency-ordered local store
     r13   address dependency followed by any access, into a store
     ====  ======================================================
-
-    The rule union is transaction-independent and memoized on the
-    shared candidate analysis (one computation per candidate across
-    the ``tm`` sweeps).
     """
-    a = analyze(x)
-    return a.memo("riscv.ppo", lambda: _riscv_ppo(a), txn_free=True)
+    reads = N.lift(P.R)
+    writes = N.lift(P.W)
+    rr = N.cross(P.R, P.R)
 
+    rsw = P.rf.inverse() @ P.rf
+    po_loc_no_w = P.po_loc - (P.po_loc @ writes @ P.po_loc)
 
-def _riscv_ppo(a: CandidateAnalysis) -> Relation:
-    reads = a.lift(a.reads)
-    writes = a.lift(a.writes)
-    rr = a.cross(a.reads, a.reads)
-
-    rsw = a.rf_rel.inverse() @ a.rf_rel
-    po_loc_no_w = a.po_loc - (a.po_loc @ writes @ a.po_loc)
-
-    aq = a.lift(a.labelled(Label.ACQ) & a.reads)
-    rl = a.lift(a.labelled(Label.REL) & a.writes)
-    rcsc = a.lift(
-        (a.labelled(Label.ACQ) | a.labelled(Label.REL)) & a.accesses
-    )
-    atomic_writes = a.lift(
-        a.rmw_rel.codomain() | (a.labelled(Label.EXCL) & a.writes)
+    aq = N.lift(N.sinter(N.bset("ACQ"), P.R))
+    rl = N.lift(N.sinter(N.bset("REL"), P.W))
+    rcsc = N.lift(N.sinter(N.sunion(N.bset("ACQ"), N.bset("REL")), P.M))
+    atomic_writes = N.lift(
+        N.sunion(N.range_(P.rmw), N.sinter(P.W, N.bset("X")))
     )
 
-    r1 = a.po_loc @ writes
+    r1 = P.po_loc @ writes
     r2 = (po_loc_no_w & rr) - rsw
-    r3 = atomic_writes @ a.rfi
-    r4 = _fence_order(a)
-    r5 = aq @ a.po
-    r6 = a.po @ rl
-    r7 = rcsc @ a.po @ rcsc
-    r8 = a.rmw_rel
-    r9 = a.addr_rel
-    r10 = a.data_rel @ writes
-    r11 = a.ctrl_rel @ writes
-    r12 = reads @ (a.addr_rel | a.data_rel) @ a.rfi
-    r13 = a.addr_rel @ a.po @ writes
+    r3 = atomic_writes @ P.rfi
+    r4 = _fence_order()
+    r5 = aq @ P.po
+    r6 = P.po @ rl
+    r7 = rcsc @ P.po @ rcsc
+    r8 = P.rmw
+    r9 = P.addr
+    r10 = P.data @ writes
+    r11 = P.ctrl @ writes
+    r12 = reads @ (P.addr | P.data) @ P.rfi
+    r13 = P.addr @ P.po @ writes
 
-    return r1 | r2 | r3 | r4 | r5 | r6 | r7 | r8 | r9 | r10 | r11 | r12 | r13
+    return N.union(
+        r1, r2, r3, r4, r5, r6, r7, r8, r9, r10, r11, r12, r13
+    )
 
 
-class RiscV(MemoryModel):
+#: The interned ppo node (shared with riscvtm.cat).
+_PPO = _build_ppo()
+
+#: Main order with the TM extension's tfence.
+_MAIN = _PPO | P.rfe | P.coe | P.fre | P.tfence
+
+
+def riscv_ppo_node() -> Node:
+    """The IR node for RVWMO preserved program order."""
+    return _PPO
+
+
+def riscv_ppo(x) -> Relation:
+    """Preserved program order of ``x``, via the shared IR engine."""
+    return evaluate(_PPO, x)
+
+
+class RiscV(IRModel):
     """RVWMO with the TM extension built by the paper's recipe."""
 
     arch = "riscv"
     enforces_coherence = True
 
-    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
-        a = analyze(x)
-        main = riscv_ppo(a) | a.rfe | a.coe | a.fre | a.tfence
-        return {
-            "coherence": a.coherence,
-            "rmw_isol": a.rmw_isol,
-            "main": main,
-            "strong_isol": a.stronglift(a.com),
-            "txn_order": a.stronglift(main.plus()),
-            "txn_cancels_rmw": a.rmw_rel & a.tfence,
-        }
-
-    def axioms(self) -> tuple[Axiom, ...]:
-        return (
-            Axiom("Coherence", "acyclic", "coherence"),
-            Axiom("RMWIsol", "empty", "rmw_isol"),
-            Axiom("Main", "acyclic", "main"),
-            Axiom("StrongIsol", "acyclic", "strong_isol"),
-            Axiom("TxnOrder", "acyclic", "txn_order"),
-            Axiom("TxnCancelsRMW", "empty", "txn_cancels_rmw"),
+    @classmethod
+    def define(cls) -> IRDefinition:
+        return IRDefinition(
+            (
+                IRAxiom("Coherence", "acyclic", "coherence", P.coherence),
+                IRAxiom("RMWIsol", "empty", "rmw_isol", P.rmw_isol),
+                IRAxiom("Main", "acyclic", "main", _MAIN),
+                IRAxiom(
+                    "StrongIsol", "acyclic", "strong_isol",
+                    P.stronglift(P.com),
+                ),
+                IRAxiom(
+                    "TxnOrder", "acyclic", "txn_order",
+                    P.stronglift(_MAIN.plus()),
+                ),
+                IRAxiom(
+                    "TxnCancelsRMW", "empty", "txn_cancels_rmw",
+                    P.rmw & P.tfence,
+                ),
+            )
         )

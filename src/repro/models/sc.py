@@ -10,24 +10,26 @@ consecutively in the overall order::
     acyclic(stronglift(hb, stxn))                   (TxnOrder)
 
 TxnOrder subsumes StrongIsol (com ⊆ hb), as the paper notes.
+
+Both models are declared as IR expressions over the shared hash-consed
+DAG (:mod:`repro.ir`): ``sc_hb`` below is *the same interned node* that
+``sc.cat``/``tsc.cat`` compile to, so a campaign mixing native and
+``.cat`` checkers evaluates it once per candidate.
 """
 
 from __future__ import annotations
 
-from ..core.analysis import CandidateAnalysis, analyze
-from ..core.execution import Execution
-from ..core.relation import Relation
-from .base import Axiom, DerivedRelations, MemoryModel
+from ..ir import prelude as P
+from ..ir.model import IRAxiom, IRDefinition, IRModel
+from ..ir.nodes import Node
 
-__all__ = ["SC", "TSC"]
+__all__ = ["SC", "TSC", "sc_hb"]
 
-
-def _sc_hb(a: CandidateAnalysis) -> Relation:
-    """``po ∪ com`` — shared by SC and TSC via the analysis memo."""
-    return a.memo("sc.hb", lambda: a.po | a.com, txn_free=True)
+#: ``po ∪ com`` — shared by SC and TSC (and their .cat twins) by interning.
+sc_hb: Node = P.po | P.com
 
 
-class SC(MemoryModel):
+class SC(IRModel):
     """Plain sequential consistency (ignores transactions entirely)."""
 
     arch = "sc"
@@ -36,14 +38,14 @@ class SC(MemoryModel):
     def __init__(self) -> None:
         super().__init__(tm=False)
 
-    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
-        return {"hb": _sc_hb(analyze(x))}
+    @classmethod
+    def define(cls) -> IRDefinition:
+        return IRDefinition(
+            (IRAxiom("Order", "acyclic", "hb", sc_hb),)
+        )
 
-    def axioms(self) -> tuple[Axiom, ...]:
-        return (Axiom("Order", "acyclic", "hb"),)
 
-
-class TSC(MemoryModel):
+class TSC(IRModel):
     """Transactional sequential consistency (Fig. 4 with highlights)."""
 
     arch = "tsc"
@@ -52,13 +54,11 @@ class TSC(MemoryModel):
     def __init__(self, tm: bool = True) -> None:
         super().__init__(tm=tm)
 
-    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
-        a = analyze(x)
-        hb = _sc_hb(a)
-        return {"hb": hb, "txn_hb": a.stronglift(hb)}
-
-    def axioms(self) -> tuple[Axiom, ...]:
-        return (
-            Axiom("Order", "acyclic", "hb"),
-            Axiom("TxnOrder", "acyclic", "txn_hb"),
+    @classmethod
+    def define(cls) -> IRDefinition:
+        return IRDefinition(
+            (
+                IRAxiom("Order", "acyclic", "hb", sc_hb),
+                IRAxiom("TxnOrder", "acyclic", "txn_hb", P.stronglift(sc_hb)),
+            )
         )

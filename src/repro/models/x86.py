@@ -10,64 +10,60 @@ highlighted TM additions are:
   processor, transactional or not (SDM 16.2);
 * TxnOrder — transactions appear to execute instantaneously, so ``hb``
   must not cycle through them.
+
+The model is declared as IR expressions (:mod:`repro.ir`): the nodes
+below intern to the same DAG as the compiled ``x86tm.cat``, so the two
+checker families share every evaluation per candidate.
 """
 
 from __future__ import annotations
 
-from ..core.analysis import CandidateAnalysis, analyze
-from ..core.events import Label
-from ..core.execution import Execution
-from .base import Axiom, DerivedRelations, MemoryModel
+from ..ir import nodes as N
+from ..ir import prelude as P
+from ..ir.model import IRAxiom, IRDefinition, IRModel
 
 __all__ = ["X86"]
 
 
-def _tso_base(a: CandidateAnalysis):
-    """The transaction-independent TSO skeleton: ``ppo`` plus the fences
-    implied by mfence and LOCK'd RMW halves (shared by tm sweeps)."""
+def _build():
+    # ppo: TSO preserves all of po except W->R pairs.
+    ppo = (
+        N.cross(P.W, P.W) | N.cross(P.R, P.W) | N.cross(P.R, P.R)
+    ) & P.po
 
-    def compute():
-        # ppo: TSO preserves all of po except W->R pairs.
-        ww = a.cross(a.writes, a.writes)
-        rw = a.cross(a.reads, a.writes)
-        rr = a.cross(a.reads, a.reads)
-        ppo = (ww | rw | rr) & a.po
+    mfence = P.fencerel("MFENCE")
 
-        mfence = a.fence_rel(Label.MFENCE)
+    # LOCK'd instructions (the two halves of atomic RMWs) imply fencing
+    # on both sides; successful transaction boundaries do the same.
+    locked = N.domain(P.rmw) | N.range_(P.rmw)
+    implied = (N.lift(locked) @ P.po) | (P.po @ N.lift(locked)) | P.tfence
 
-        # LOCK'd instructions (the two halves of atomic RMWs) imply
-        # fencing on both sides.
-        locked = a.rmw_rel.domain() | a.rmw_rel.codomain()
-        lift_locked = a.lift(locked)
-        implied = (lift_locked @ a.po) | (a.po @ lift_locked)
-
-        return mfence | ppo | implied
-
-    return a.memo("x86.base", compute, txn_free=True)
+    hb = mfence | ppo | implied | P.rfe | P.fr | P.co
+    return hb
 
 
-class X86(MemoryModel):
+_HB = _build()
+
+
+class X86(IRModel):
     """x86-TSO with Intel TSX transactions."""
 
     arch = "x86"
     enforces_coherence = True
 
-    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
-        a = analyze(x)
-        hb = _tso_base(a) | a.tfence | a.rfe | a.fr | a.co_rel
-        return {
-            "coherence": a.coherence,
-            "rmw_isol": a.rmw_isol,
-            "hb": hb,
-            "strong_isol": a.stronglift(a.com),
-            "txn_order": a.stronglift(hb),
-        }
-
-    def axioms(self) -> tuple[Axiom, ...]:
-        return (
-            Axiom("Coherence", "acyclic", "coherence"),
-            Axiom("RMWIsol", "empty", "rmw_isol"),
-            Axiom("Order", "acyclic", "hb"),
-            Axiom("StrongIsol", "acyclic", "strong_isol"),
-            Axiom("TxnOrder", "acyclic", "txn_order"),
+    @classmethod
+    def define(cls) -> IRDefinition:
+        return IRDefinition(
+            (
+                IRAxiom("Coherence", "acyclic", "coherence", P.coherence),
+                IRAxiom("RMWIsol", "empty", "rmw_isol", P.rmw_isol),
+                IRAxiom("Order", "acyclic", "hb", _HB),
+                IRAxiom(
+                    "StrongIsol", "acyclic", "strong_isol",
+                    P.stronglift(P.com),
+                ),
+                IRAxiom(
+                    "TxnOrder", "acyclic", "txn_order", P.stronglift(_HB)
+                ),
+            )
         )

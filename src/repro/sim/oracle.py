@@ -22,12 +22,10 @@ which is the role the Litmus tool plays in the paper's flow.
 
 from __future__ import annotations
 
-from ..core.analysis import CandidateAnalysis, analyze
-from ..core.execution import Execution
 from ..litmus.candidates import observable
 from ..litmus.test import LitmusTest
 from ..models.armv8 import ARMv8
-from ..models.base import Axiom, DerivedRelations, MemoryModel
+from ..models.base import MemoryModel
 from ..models.power import Power
 from ..models.registry import get_model
 from .tso import TsoMachine, runnable_on_tso
@@ -88,14 +86,16 @@ class _NoLbPower(Power):
 
     arch = "power-hw"
 
-    def relations(self, x: "Execution | CandidateAnalysis") -> DerivedRelations:
-        a = analyze(x)
-        relations = super().relations(a)
-        relations["no_lb"] = a.po | a.rf_rel
-        return relations
+    @classmethod
+    def define(cls):
+        from ..ir import prelude as P
+        from ..ir.model import IRAxiom, IRDefinition
 
-    def axioms(self) -> tuple[Axiom, ...]:
-        return super().axioms() + (Axiom("NoLB", "acyclic", "no_lb"),)
+        base = Power.define()
+        # ``po ∪ rf`` is the same interned node as cpp's NoThinAir
+        # operand — sharing across families comes for free.
+        no_lb = IRAxiom("NoLB", "acyclic", "no_lb", P.po | P.rf)
+        return IRDefinition(base.axioms + (no_lb,), base.extras)
 
 
 class PowerHardware(_AxiomaticOracle):
@@ -125,12 +125,14 @@ class MachineHardware(HardwareOracle):
 
 
 class _NoTxnOrderArm(ARMv8):
-    """The buggy RTL prototype: TxnOrder accidentally unenforced."""
+    """The buggy RTL prototype: TxnOrder accidentally unenforced —
+    the same uniform IR axiom-drop the fuzzer's mutants use."""
 
     arch = "armv8-rtl"
 
-    def axioms(self) -> tuple[Axiom, ...]:
-        return tuple(a for a in super().axioms() if a.name != "TxnOrder")
+    @classmethod
+    def define(cls):
+        return ARMv8.define().drop("TxnOrder")
 
 
 class BuggyRtlArm(_AxiomaticOracle):

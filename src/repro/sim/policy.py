@@ -177,6 +177,20 @@ class CommitPolicy:
                 return True
             if isinstance(b, Store) and Label.REL in b.labels:
                 return True
+            # RCsc pairs: a release store also commits before a
+            # po-later acquire load (RVWMO ppo rule 7; ARMv8 bob's
+            # ``[REL & W]; po; [ACQ & R]``).  The one-way rules above
+            # cover every other annotated pair, but not this one — and
+            # without it the machine reaches store-buffering outcomes
+            # on rel/acq-annotated SB that both axiomatic models
+            # forbid (a ⊆-escape the seeded conformance suite found).
+            if (
+                isinstance(a, Store)
+                and Label.REL in a.labels
+                and isinstance(b, Load)
+                and Label.ACQ in b.labels
+            ):
+                return True
 
         return False
 

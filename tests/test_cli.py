@@ -228,3 +228,44 @@ class TestExitCodes:
 
         header = json.loads(jsonl.read_text().splitlines()[0])
         assert header["record"] == "header" and header["ok"] is True
+
+
+class TestExplain:
+    def test_explain_catalog_entry(self, capsys):
+        code, out = run(capsys, "explain", "--test", "fig2",
+                        "--model", "x86,x86tm")
+        assert code == 0
+        assert "compiled IR DAG" in out
+        assert "cross-model" in out
+        assert "StrongIsol" in out and "VIOLATED" in out
+        # Native x86 and x86tm.cat share the whole DAG: 2.00x.
+        assert "sharing=2.00x" in out
+
+    def test_explain_litmus_file(self, capsys, tmp_path):
+        test = to_litmus(CATALOG["sb"].execution, "sb", "x86")
+        path = tmp_path / "sb.litmus"
+        path.write_text(dumps(test))
+        code, out = run(capsys, "explain", "--test", str(path),
+                        "--model", "x86,sc")
+        assert code == 0
+        assert "candidate executions" in out
+        assert "consistent=" in out
+
+    def test_explain_candidate_dump(self, capsys, tmp_path):
+        test = to_litmus(CATALOG["sb"].execution, "sb", "x86")
+        path = tmp_path / "sb.litmus"
+        path.write_text(dumps(test))
+        code, out = run(capsys, "explain", "--test", str(path),
+                        "--model", "x86", "--candidate", "0")
+        assert code == 0
+        assert "Coherence" in out and "cost=" in out
+
+    def test_explain_bad_model_exits_two(self, capsys):
+        code, _ = run(capsys, "explain", "--test", "fig2",
+                      "--model", "nosuchmodel")
+        assert code == 2
+
+    def test_explain_oracle_exits_two(self, capsys):
+        code, _ = run(capsys, "explain", "--test", "fig2",
+                      "--model", "hw:x86")
+        assert code == 2
