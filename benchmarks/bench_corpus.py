@@ -1,0 +1,141 @@
+"""Benchmark: herd-frontend parsing and corpus campaign throughput.
+
+Measures the two hot paths the litmus frontend adds:
+
+* **parse throughput** — every ``tests/corpus/*/*.litmus`` file through
+  :func:`repro.litmus.frontend.load_dialect` (files/sec);
+* **corpus campaign throughput** — the full corpus × native-model
+  cross-product through the campaign engine, cold and warm
+  (cells/sec), which is what the CI corpus job sweeps.
+
+Run directly (``python benchmarks/bench_corpus.py --json OUT.json``)
+for the CI artifact: files parsed/sec and corpus cells/sec, tracked
+from PR 5 onward.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
+
+from repro.engine.campaign import CampaignItem, run_campaign
+from repro.litmus.candidates import _expand_test, expand_program
+from repro.litmus.frontend import dump_dialect, load_dialect
+from repro.models.registry import MODELS
+
+CORPUS = pathlib.Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+
+def _corpus_texts() -> dict[str, str]:
+    return {
+        p.relative_to(CORPUS).as_posix(): p.read_text(encoding="utf-8")
+        for p in sorted(CORPUS.glob("*/*.litmus"))
+    }
+
+
+def _parse_all(texts: dict[str, str]) -> int:
+    return sum(1 for text in texts.values() if load_dialect(text))
+
+
+def _corpus_items(texts: dict[str, str]) -> list[CampaignItem]:
+    return [
+        CampaignItem(relpath, load_dialect(text))
+        for relpath, text in texts.items()
+    ]
+
+
+def _cold_campaign(items):
+    expand_program.cache_clear()
+    _expand_test.cache_clear()
+    return run_campaign(items, sorted(MODELS))
+
+
+def test_parse_corpus(benchmark):
+    texts = _corpus_texts()
+    parsed = benchmark(_parse_all, texts)
+    assert parsed >= 150
+
+
+def test_roundtrip_corpus(benchmark, once):
+    texts = _corpus_texts()
+    tests = [load_dialect(text) for text in texts.values()]
+
+    def roundtrip():
+        return sum(1 for t in tests if load_dialect(dump_dialect(t)) == t)
+
+    assert once(benchmark, roundtrip) == len(tests)
+
+
+def test_corpus_campaign_cold(benchmark, once):
+    items = _corpus_items(_corpus_texts())
+    result = once(benchmark, _cold_campaign, items)
+    assert not result.errors()
+
+
+@pytest.mark.parametrize("jobs", [1])
+def test_corpus_campaign_warm(benchmark, jobs):
+    items = _corpus_items(_corpus_texts())
+    run_campaign(items, sorted(MODELS), jobs=jobs)  # prime the memos
+    result = benchmark(run_campaign, items, sorted(MODELS), jobs=jobs)
+    assert not result.errors()
+
+
+# ----------------------------------------------------------------------
+# Standalone mode: the CI perf artifact (no pytest-benchmark needed)
+# ----------------------------------------------------------------------
+
+
+def _artifact(json_path: str) -> dict:
+    import json
+    import time
+
+    texts = _corpus_texts()
+
+    start = time.perf_counter()
+    rounds = 5
+    for _ in range(rounds):
+        _parse_all(texts)
+    parse_elapsed = (time.perf_counter() - start) / rounds
+
+    items = _corpus_items(texts)
+    start = time.perf_counter()
+    result = _cold_campaign(items)
+    cold_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_campaign(items, sorted(MODELS))
+    warm_elapsed = time.perf_counter() - start
+    assert not result.errors() and not warm.errors()
+
+    cells = len(result.cells)
+    payload = {
+        "benchmark": "corpus-frontend",
+        "files": len(texts),
+        "models": len(MODELS),
+        "cells": cells,
+        "parse_seconds": round(parse_elapsed, 4),
+        "files_parsed_per_second": round(len(texts) / parse_elapsed, 1),
+        "campaign_cold_seconds": round(cold_elapsed, 4),
+        "campaign_warm_seconds": round(warm_elapsed, 4),
+        "corpus_cells_per_second": round(cells / cold_elapsed, 1),
+        "corpus_cells_per_second_warm": round(cells / warm_elapsed, 1),
+    }
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        default="BENCH_corpus.json",
+        help="where to write the perf artifact",
+    )
+    args = parser.parse_args()
+    print(json.dumps(_artifact(args.json), indent=2, sort_keys=True))

@@ -5,8 +5,12 @@ Commands:
 * ``check <entry> [--model M]`` — check a catalogued execution;
 * ``litmus <entry> --arch A`` — render a catalogued execution as a
   litmus test in the architecture's surface syntax;
-* ``run <file> [--model M | --hw]`` — run a litmus test (neutral format)
-  against a model or the simulated hardware;
+* ``run <file> [--model M | --hw]`` — run a litmus test against a
+  model or the simulated hardware.  The format is auto-detected by
+  header: the neutral format or any herd-style dialect (``X86``,
+  ``AArch64``, ``PPC``, ``RISCV``; see ``repro.litmus.frontend``).
+  ``exists``/``~exists``/``forall`` conditions are honoured; malformed
+  input exits 2 with a ``file:line:`` diagnostic;
 * ``synth --arch A --events N`` — synthesize Forbid/Allow suites;
 * ``campaign --arch A --models M1,M2 [--jobs N]`` — batch-run a litmus
   suite (synthesized diy cycles, the catalog, or litmus files) across
@@ -71,19 +75,59 @@ def _cmd_litmus(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    with open(args.file, encoding="utf-8") as handle:
-        test = loads(handle.read())
+    from .litmus.candidates import forall_holds
+    from .litmus.frontend import load_litmus_file
+    from .litmus.parse import ParseError
+
+    try:
+        test = load_litmus_file(args.file)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ParseError as exc:
+        # Frontend errors already carry "file:line: message"; neutral
+        # parse errors carry "line N:" — prefix those with the path.
+        message = str(exc)
+        if args.file not in message:
+            message = f"{args.file}: {message}"
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     if args.hw:
         oracle = get_oracle(test.arch)
-        seen = oracle.observable(test)
-        print(f"{test.name} on {oracle.name}: {'SEEN' if seen else 'not seen'}")
+        if test.quantifier == "forall":
+            holds = oracle.forall(test)
+            print(
+                f"{test.name} on {oracle.name}: "
+                f"forall {'holds' if holds else 'VIOLATED'}"
+            )
+        else:
+            seen = oracle.observable(test)
+            print(
+                f"{test.name} on {oracle.name}: "
+                f"{'SEEN' if seen else 'not seen'}"
+            )
+            if test.quantifier == "~exists" and seen:
+                return 1  # the file's expectation is violated
     else:
         model = get_model(args.model or test.arch)
-        seen = observable(test, model)
-        print(
-            f"{test.name} under {model.name}: "
-            f"{'observable' if seen else 'forbidden'}"
-        )
+        if test.quantifier == "forall":
+            holds = forall_holds(test, model)
+            print(
+                f"{test.name} under {model.name}: "
+                f"forall {'holds' if holds else 'VIOLATED'}"
+            )
+        else:
+            seen = observable(test, model)
+            verdict = "observable" if seen else "forbidden"
+            if test.quantifier == "~exists":
+                verdict += (
+                    " (VIOLATES ~exists)" if seen else " (as expected)"
+                )
+            print(f"{test.name} under {model.name}: {verdict}")
+            if test.quantifier == "~exists" and seen:
+                # Mirror `repro campaign`: a violated expected-forbidden
+                # row is exit 1 (a conformance failure, not an error).
+                return 1
     return 0
 
 
@@ -158,7 +202,14 @@ def _cmd_campaign(args) -> int:
     )
 
     if args.files:
-        items = litmus_suite(args.files)
+        from .litmus.parse import ParseError
+
+        try:
+            items = litmus_suite(args.files)
+        except (OSError, ParseError) as exc:
+            # Frontend errors already carry "file:line: message".
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     elif args.suite == "catalog":
         items = catalog_suite()
     else:
@@ -272,7 +323,6 @@ def _cmd_explain(args) -> int:
     from .engine.checkers import resolve_checker
     from .ir.nodes import cross_model_stats
     from .litmus.candidates import candidate_executions, expand_test
-    from .litmus.parse import loads
 
     specs = args.model.split(",")
     models = []
@@ -314,14 +364,14 @@ def _cmd_explain(args) -> int:
 
     # -- per-axiom relation values --------------------------------------
     if os.path.isfile(args.test):
+        from .litmus.frontend import load_litmus_file
         from .litmus.parse import ParseError
 
-        with open(args.test, encoding="utf-8") as handle:
-            try:
-                test = loads(handle.read())
-            except ParseError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
+        try:
+            test = load_litmus_file(args.test)
+        except ParseError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         candidates = [
             c.execution for c in candidate_executions(test.program)
         ]
@@ -538,7 +588,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("campaign",
                        help="batch-run a litmus suite across models")
     p.add_argument("files", nargs="*",
-                   help="litmus files (overrides --suite)")
+                   help="litmus files, neutral or herd dialect "
+                        "(overrides --suite)")
     p.add_argument("--arch", default="x86",
                    choices=["x86", "power", "armv8", "cpp", "riscv"])
     p.add_argument("--models", default=None,

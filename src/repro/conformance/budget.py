@@ -24,6 +24,10 @@ class FuzzBudget:
     Attributes:
         name: budget tier name.
         random_tests: number of seeded random programs.
+        herd_tests: number of seeded random programs pushed through the
+            herd dialect frontend round-trip (render → reparse) before
+            checking, so the frontend sits inside the differential
+            loop; zero for architectures without a dialect.
         mutation_tests: number of ⊏-mutated catalog tests (the
             unmutated arch-compatible catalog entries are always
             included on top, so mutant detection never depends on the
@@ -43,6 +47,7 @@ class FuzzBudget:
     name: str
     diy_tests: int
     random_tests: int
+    herd_tests: int
     mutation_tests: int
     diy_length: int
     max_events: int
@@ -57,6 +62,7 @@ BUDGETS: dict[str, FuzzBudget] = {
     for budget in (
         FuzzBudget(
             name="smoke",
+            herd_tests=8,
             diy_tests=25,
             random_tests=12,
             mutation_tests=8,
@@ -69,6 +75,7 @@ BUDGETS: dict[str, FuzzBudget] = {
         ),
         FuzzBudget(
             name="small",
+            herd_tests=25,
             diy_tests=80,
             random_tests=40,
             mutation_tests=25,
@@ -81,6 +88,7 @@ BUDGETS: dict[str, FuzzBudget] = {
         ),
         FuzzBudget(
             name="medium",
+            herd_tests=100,
             diy_tests=300,
             random_tests=200,
             mutation_tests=120,
@@ -93,6 +101,7 @@ BUDGETS: dict[str, FuzzBudget] = {
         ),
         FuzzBudget(
             name="large",
+            herd_tests=400,
             diy_tests=1200,
             random_tests=1_000,
             mutation_tests=500,

@@ -35,7 +35,12 @@ from ..sim.tso import runnable_on_tso
 from ..sim.weakmachine import runnable_on
 from .budget import FuzzBudget, get_budget
 from .classify import CheckerError, Disagreement, classify_matrix
-from .generators import FuzzItem, estimate_candidates, generate_suite
+from .generators import (
+    DEFAULT_SOURCES,
+    FuzzItem,
+    estimate_candidates,
+    generate_suite,
+)
 from .mutants import KNOWN_MUTANTS
 from .seeds import reproducible_seed
 from .shrink import shrink_disagreement
@@ -154,7 +159,7 @@ def run_fuzz(
     mutants: "bool | tuple[str, ...] | list[str]" = (),
     jobs: int = 1,
     cache=None,
-    sources: tuple[str, ...] = ("diy", "directed", "catalog", "mutation", "random"),
+    sources: tuple[str, ...] = DEFAULT_SOURCES,
     machine: bool = True,
     brute: bool = True,
 ) -> FuzzReport:

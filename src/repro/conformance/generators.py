@@ -12,7 +12,10 @@ model bug:
   order from those entries;
 * **random** — seeded random programs over the architecture's event
   vocabulary (:mod:`repro.synth.vocab`): labelled accesses, fences,
-  dependencies, exclusives, and committed/aborted transactions.
+  dependencies, exclusives, and committed/aborted transactions;
+* **herd** — seeded random programs rendered to the architecture's
+  herd dialect text and reparsed before checking, putting the litmus
+  frontend (:mod:`repro.litmus.frontend`) inside the differential loop.
 
 Every stream is deterministic in ``(arch, seed, budget)``; item names
 are unique within a suite, so a failing test is addressable from the
@@ -49,6 +52,7 @@ from .budget import FuzzBudget, get_budget
 from .seeds import derive_seed
 
 __all__ = [
+    "DEFAULT_SOURCES",
     "FuzzItem",
     "random_postcondition",
     "FUZZ_ARCHES",
@@ -60,6 +64,10 @@ __all__ = [
 
 #: Architectures the fuzzer knows how to build checker trios for.
 FUZZ_ARCHES = ("x86", "power", "armv8", "riscv", "cpp")
+
+#: Every generator stream, in suite order — the single default for
+#: :func:`generate_suite` and :func:`repro.conformance.fuzzer.run_fuzz`.
+DEFAULT_SOURCES = ("diy", "directed", "catalog", "mutation", "random", "herd")
 
 
 @dataclass
@@ -361,6 +369,40 @@ def _random_stream(
 
 
 # ----------------------------------------------------------------------
+# herd-dialect stream
+# ----------------------------------------------------------------------
+
+
+def _herd_stream(
+    arch: str, rng: random.Random, budget: FuzzBudget
+) -> list[FuzzItem]:
+    """Seeded random programs emitted *as herd-dialect text* and
+    reparsed before checking.
+
+    This puts the litmus frontend inside the differential loop: the
+    checkers judge the reparsed test, and the stream asserts the
+    round-trip is exact — a renderer/parser divergence either fails the
+    equality check here or shows up as a cross-checker disagreement.
+    """
+    from ..litmus.frontend import DIALECTS, dump_dialect, load_dialect
+
+    if arch not in DIALECTS:
+        return []
+    out = []
+    for i in range(budget.herd_tests):
+        name = f"herd-{i}"
+        test = random_litmus(arch, rng, budget, name)
+        reparsed = load_dialect(dump_dialect(test))
+        if reparsed != test:
+            raise AssertionError(
+                f"herd {arch} dialect round-trip diverged on {name}:\n"
+                f"{dump_dialect(test)}"
+            )
+        out.append(FuzzItem(name, reparsed, "herd"))
+    return out
+
+
+# ----------------------------------------------------------------------
 # Suite assembly and sizing
 # ----------------------------------------------------------------------
 
@@ -369,7 +411,7 @@ def generate_suite(
     arch: str,
     seed: int,
     budget: "FuzzBudget | str",
-    sources: tuple[str, ...] = ("diy", "directed", "catalog", "mutation", "random"),
+    sources: tuple[str, ...] = DEFAULT_SOURCES,
 ) -> list[FuzzItem]:
     """The full fuzzing suite for one (arch, seed, budget) triple."""
     if arch not in FUZZ_ARCHES:
@@ -390,6 +432,9 @@ def generate_suite(
     if "random" in sources:
         rng = random.Random(derive_seed(seed, f"fuzz-random-{arch}"))
         items.extend(_random_stream(arch, rng, budget))
+    if "herd" in sources:
+        rng = random.Random(derive_seed(seed, f"fuzz-herd-{arch}"))
+        items.extend(_herd_stream(arch, rng, budget))
     return items
 
 

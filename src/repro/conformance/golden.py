@@ -14,9 +14,27 @@ Regenerate (after an *intentional* semantic change) with::
 from __future__ import annotations
 
 import json
+from functools import lru_cache
 from pathlib import Path
 
-__all__ = ["verdict_matrix", "write_snapshot", "load_snapshot"]
+__all__ = [
+    "verdict_matrix",
+    "litmus_matrix",
+    "litmus_key",
+    "litmus_entries",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+#: Architectures with a herd dialect frontend; the golden snapshot pins
+#: the litmus-observability row of every classic catalog entry that the
+#: corpus imports through those dialects.
+LITMUS_ARCHES = ("x86", "power", "armv8", "riscv")
+
+
+def litmus_key(entry: str, arch: str) -> str:
+    """Snapshot key of one catalog entry's litmus rendering."""
+    return f"litmus:{entry}@{arch}"
 
 
 def verdict_matrix() -> dict[str, dict[str, bool]]:
@@ -35,9 +53,73 @@ def verdict_matrix() -> dict[str, dict[str, bool]]:
     return matrix
 
 
+@lru_cache(maxsize=None)
+def _litmus_imports(arch: str) -> tuple:
+    """``(entry name, litmus test)`` pairs the ``arch`` corpus imports.
+
+    An entry qualifies when it is tagged ``classic``, has no call
+    events, its events/dependencies/RMWs are expressible in the
+    architecture's vocabulary, and its litmus rendering survives the
+    dialect round-trip (which the corpus test then re-asserts on the
+    committed files).  Memoized: the snapshot writer and both golden
+    test modules walk the same catalog-wide render/reparse sweep.
+    """
+    from ..catalog import CATALOG
+    from ..litmus.from_execution import to_litmus
+    from ..litmus.frontend import dump_dialect, load_dialect
+    from ..synth.vocab import get_vocab
+    from .generators import vocab_compatible
+
+    vocab = get_vocab(arch)
+    out = []
+    for name, entry in sorted(CATALOG.items()):
+        if "classic" not in entry.tags or entry.execution.calls:
+            continue
+        if not vocab_compatible(entry.execution, vocab):
+            continue
+        try:
+            test = to_litmus(entry.execution, f"cat-{name}", arch)
+            if load_dialect(dump_dialect(test)) != test:
+                continue
+        except (ValueError, TypeError):
+            continue
+        out.append((name, test))
+    return tuple(out)
+
+
+def litmus_entries(arch: str) -> list[str]:
+    """Classic catalog entries the ``arch`` dialect corpus imports."""
+    return [name for name, _ in _litmus_imports(arch)]
+
+
+def litmus_matrix() -> dict[str, dict[str, bool]]:
+    """Observability rows for the corpus-imported classic entries.
+
+    ``matrix[litmus_key(entry, arch)][model] -> observable`` for every
+    classic catalog entry each dialect imports: the litmus rendering of
+    the entry's execution, judged by :func:`repro.litmus.candidates.
+    observable` under every native model.  The corpus conformance test
+    asserts the committed ``cat-*.litmus`` files reproduce these exact
+    rows after a trip through the frontend.
+    """
+    from ..litmus.candidates import observable
+    from ..models.registry import MODELS, get_model
+
+    models = {name: get_model(name) for name in sorted(MODELS)}
+    matrix: dict[str, dict[str, bool]] = {}
+    for arch in LITMUS_ARCHES:
+        for entry_name, test in _litmus_imports(arch):
+            matrix[litmus_key(entry_name, arch)] = {
+                model_name: bool(observable(test, model))
+                for model_name, model in models.items()
+            }
+    return matrix
+
+
 def write_snapshot(path: "str | Path") -> dict[str, dict[str, bool]]:
-    """Compute the matrix and write it as sorted, diff-friendly JSON."""
+    """Compute both matrices and write sorted, diff-friendly JSON."""
     matrix = verdict_matrix()
+    matrix.update(litmus_matrix())
     Path(path).write_text(
         json.dumps(matrix, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

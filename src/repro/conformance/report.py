@@ -19,6 +19,19 @@ from .fuzzer import FuzzReport
 __all__ = ["to_json_lines", "to_markdown"]
 
 
+def _herd_text(test) -> str | None:
+    """The reproducer in its architecture's herd dialect, if it has one
+    and every construct is dialect-expressible."""
+    from ..litmus.frontend import DIALECTS, dump_dialect
+
+    if test.arch not in DIALECTS:
+        return None
+    try:
+        return dump_dialect(test)
+    except ValueError:
+        return None
+
+
 def _reproducer(d: Disagreement) -> dict:
     out: dict = {}
     if d.shrunk is not None:
@@ -26,6 +39,9 @@ def _reproducer(d: Disagreement) -> dict:
         out["shrunk_execution"] = d.shrunk.describe()
     if d.shrunk_test is not None:
         out["shrunk_litmus"] = dumps(d.shrunk_test)
+        herd = _herd_text(d.shrunk_test)
+        if herd is not None:
+            out["shrunk_herd"] = herd
     return out
 
 
@@ -137,6 +153,14 @@ def to_markdown(report: FuzzReport) -> str:
         lines.append(dumps(repro).rstrip())
         lines.append("```")
         lines.append("")
+        herd = _herd_text(repro)
+        if herd is not None:
+            lines.append(f"In {repro.arch} dialect syntax:")
+            lines.append("")
+            lines.append("```")
+            lines.append(herd.rstrip())
+            lines.append("```")
+            lines.append("")
 
     if report.mutants:
         lines.append(f"## Injected mutants ({len(report.mutants)})")

@@ -174,8 +174,12 @@ def _litmus_reductions(test: LitmusTest):
             except ValueError:
                 continue
             yield LitmusTest(
-                test.name, test.arch, program, test.postcondition, test.init
+                test.name, test.arch, program, test.postcondition,
+                test.init, test.quantifier,
             )
     for idx in range(len(test.postcondition)):
         post = test.postcondition[:idx] + test.postcondition[idx + 1 :]
-        yield LitmusTest(test.name, test.arch, test.program, post, test.init)
+        yield LitmusTest(
+            test.name, test.arch, test.program, post,
+            test.init, test.quantifier,
+        )

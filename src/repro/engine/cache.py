@@ -42,7 +42,7 @@ __all__ = [
 ]
 
 #: Bumped whenever the fingerprint scheme or record layout changes.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Default directory for the on-disk store, relative to the CWD.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -78,6 +78,7 @@ def _canon(obj: Any) -> Any:
         return [
             "LitmusTest",
             obj.arch,
+            obj.quantifier,
             _canon(obj.program),
             _canon(obj.postcondition),
             _canon(obj.init),

@@ -410,14 +410,35 @@ def diy_suite(
 
 
 def litmus_suite(paths: Iterable[str]) -> list[CampaignItem]:
-    """Litmus files (neutral format) as campaign items."""
-    from ..litmus.parse import loads
+    """Litmus files as campaign items, auto-detecting the format.
+
+    Both the neutral format and the herd-style dialect frontends
+    (:mod:`repro.litmus.frontend`) are accepted; a ``~exists`` condition
+    records the expectation that the test is *forbidden* under its
+    architecture's model, so the campaign's diff report flags any model
+    that observes it.
+    """
+    from ..litmus.frontend import load_litmus_file
+    from ..models.registry import MODELS
 
     out = []
+    names: dict[str, int] = {}
     for path in paths:
-        with open(path, encoding="utf-8") as handle:
-            test = loads(handle.read())
-        out.append(CampaignItem(test.name, test))
+        test = load_litmus_file(path)
+        name = test.name
+        if name in names:
+            # Same test name in several files (common across dialect
+            # directories): qualify by occurrence to keep items unique.
+            names[name] += 1
+            name = f"{name}~{names[test.name]}"
+        else:
+            names[name] = 0
+        expected = (
+            {test.arch: False}
+            if test.quantifier == "~exists" and test.arch in MODELS
+            else {}
+        )
+        out.append(CampaignItem(name, test, expected))
     return out
 
 

@@ -6,7 +6,10 @@ or a bare :class:`~repro.core.execution.Execution` — to a boolean
 verdict:
 
 * for a litmus test, "is the postcondition observable?"
-  (:func:`repro.litmus.candidates.observable` semantics);
+  (:func:`repro.litmus.candidates.observable` semantics) — except
+  ``forall`` tests, whose verdict is "does every reachable final state
+  satisfy the condition?" (:func:`~repro.litmus.candidates.
+  forall_holds`, with brute-force and machine counterparts);
 * for an execution, "is it consistent under the model?".
 
 Specs are plain strings so they cross process boundaries cheaply (the
@@ -36,7 +39,7 @@ import inspect
 from functools import lru_cache
 
 from ..core.execution import Execution
-from ..litmus.candidates import observable
+from ..litmus.candidates import forall_holds, observable
 from ..litmus.test import LitmusTest
 from ..models.base import MemoryModel
 from ..models.registry import MODELS, get_model
@@ -117,6 +120,8 @@ class ModelChecker(Checker):
 
     def verdict(self, payload: LitmusTest | Execution) -> bool:
         if isinstance(payload, LitmusTest):
+            if payload.quantifier == "forall":
+                return forall_holds(payload, self.model)
             return observable(payload, self.model)
         return self.model.consistent(payload)
 
@@ -140,6 +145,8 @@ class OracleChecker(Checker):
                 f"oracle checker {self.spec!r} needs a litmus test, "
                 f"got {type(payload).__name__}"
             )
+        if payload.quantifier == "forall":
+            return self.oracle.forall(payload)
         return self.oracle.observable(payload)
 
 
@@ -159,9 +166,11 @@ class BruteForceChecker(Checker):
         self.model = model
 
     def verdict(self, payload: LitmusTest | Execution) -> bool:
-        from ..litmus.candidates import brute_force_observable
+        from ..litmus.candidates import brute_force_forall, brute_force_observable
 
         if isinstance(payload, LitmusTest):
+            if payload.quantifier == "forall":
+                return brute_force_forall(payload, self.model)
             return brute_force_observable(payload, self.model)
         return self.model.consistent(payload)
 

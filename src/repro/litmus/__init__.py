@@ -4,16 +4,25 @@ from .candidates import (
     Candidate,
     all_outcomes,
     brute_force_candidates,
+    brute_force_forall,
     candidate_executions,
     expand_test,
+    forall_holds,
     observable,
     set_expansion_cache_limit,
 )
 from .from_execution import to_litmus
+from .frontend import (
+    detect_dialect,
+    dump_dialect,
+    load_any,
+    load_dialect,
+    load_litmus_file,
+)
 from .parse import ParseError, dumps, loads
 from .program import CtrlBranch, Fence, Instruction, Load, Program, Store, TxBegin, TxEnd
 from .render import render, render_armv8, render_cpp, render_power, render_x86
-from .test import Atom, LitmusTest, MemEq, Outcome, RegEq, TxnOk
+from .test import QUANTIFIERS, Atom, LitmusTest, MemEq, Outcome, RegEq, TxnOk
 
 __all__ = [
     "Atom",
@@ -27,6 +36,7 @@ __all__ = [
     "Outcome",
     "ParseError",
     "Program",
+    "QUANTIFIERS",
     "RegEq",
     "Store",
     "TxBegin",
@@ -34,9 +44,16 @@ __all__ = [
     "TxnOk",
     "all_outcomes",
     "brute_force_candidates",
+    "brute_force_forall",
     "candidate_executions",
+    "detect_dialect",
+    "dump_dialect",
     "dumps",
     "expand_test",
+    "forall_holds",
+    "load_any",
+    "load_dialect",
+    "load_litmus_file",
     "loads",
     "observable",
     "set_expansion_cache_limit",

@@ -64,9 +64,11 @@ __all__ = [
     "expand_program",
     "expand_test",
     "brute_force_candidates",
+    "brute_force_forall",
     "brute_force_observable",
     "brute_force_outcomes",
     "observable",
+    "forall_holds",
     "all_outcomes",
     "set_expansion_cache_limit",
 ]
@@ -907,6 +909,15 @@ def brute_force_outcomes(test: LitmusTest, model: MemoryModel) -> set[tuple]:
     }
 
 
+def brute_force_forall(test: LitmusTest, model: MemoryModel) -> bool:
+    """Reference :func:`forall_holds`, enumerated by brute force."""
+    return all(
+        test.check(c.outcome)
+        for c in brute_force_candidates(test.program)
+        if model.consistent(c.execution)
+    )
+
+
 # ----------------------------------------------------------------------
 # Consumers
 # ----------------------------------------------------------------------
@@ -916,6 +927,38 @@ def brute_force_outcomes(test: LitmusTest, model: MemoryModel) -> set[tuple]:
 #: huge test cannot pin every distinct candidate (and its attached
 #: analysis) in memory — mirroring the expansion retention cap.
 _VERDICT_MEMO_LIMIT = 1 << 12
+
+
+def _consistent_stream(
+    candidates: Iterator[Candidate],
+    model: MemoryModel,
+    skip: Callable[[Candidate], bool] | None = None,
+) -> Iterator[Candidate]:
+    """The candidates of ``candidates`` consistent under ``model``.
+
+    The single home of the coherence gate (models declaring
+    :attr:`~repro.models.base.MemoryModel.enforces_coherence` never see
+    incoherent candidates) and the bounded signature-keyed verdict memo
+    (structurally identical candidates are checked once per sweep).
+    ``skip`` drops candidates *before* the model runs — used by
+    :func:`forall_holds` to avoid consistency checks on candidates that
+    cannot decide the verdict.
+    """
+    coherence_gate = getattr(model, "enforces_coherence", False)
+    verdicts: dict[Execution, bool] = {}
+    for candidate in candidates:
+        if coherence_gate and not candidate.coherent:
+            continue  # never consistent under this model
+        if skip is not None and skip(candidate):
+            continue
+        verdict = verdicts.get(candidate.execution)
+        if verdict is None:
+            verdict = model.consistent(candidate.execution)
+            if len(verdicts) >= _VERDICT_MEMO_LIMIT:
+                verdicts.clear()
+            verdicts[candidate.execution] = verdict
+        if verdict:
+            yield candidate
 
 
 def observable(test: LitmusTest, model: MemoryModel) -> bool:
@@ -929,39 +972,34 @@ def observable(test: LitmusTest, model: MemoryModel) -> bool:
     (shared by every model checking the same test); when the model
     declares :attr:`~repro.models.base.MemoryModel.enforces_coherence`,
     incoherent candidates are pruned before executions are built.
-    Structurally identical candidates (same
-    :meth:`~repro.core.execution.Execution.signature`) are checked once.
     """
     coherent_only = getattr(model, "enforces_coherence", False)
-    verdicts: dict[Execution, bool] = {}
-    for candidate in expand_test(test, coherent_only):
-        if coherent_only and not candidate.coherent:
-            continue
-        verdict = verdicts.get(candidate.execution)
-        if verdict is None:
-            verdict = model.consistent(candidate.execution)
-            if len(verdicts) >= _VERDICT_MEMO_LIMIT:
-                verdicts.clear()
-            verdicts[candidate.execution] = verdict
-        if verdict:
-            return True
-    return False
+    stream = _consistent_stream(expand_test(test, coherent_only), model)
+    return next(iter(stream), None) is not None
+
+
+def forall_holds(test: LitmusTest, model: MemoryModel) -> bool:
+    """Does every consistent candidate satisfy ``test``'s postcondition?
+
+    This is herd7's ``forall`` condition semantics: the quantifier
+    ranges over the final states the model admits.  The candidate
+    stream cannot be postcondition-filtered here (a *failing* candidate
+    is exactly what decides the verdict); candidates that already
+    satisfy the postcondition skip the model entirely.
+    """
+    refuting = _consistent_stream(
+        candidate_executions(test.program),
+        model,
+        skip=lambda c: test.check(c.outcome),
+    )
+    return next(iter(refuting), None) is None
 
 
 def all_outcomes(test: LitmusTest, model: MemoryModel) -> set[tuple]:
     """All final states reachable under ``model`` (as hashable keys)."""
-    coherence_gate = getattr(model, "enforces_coherence", False)
-    verdicts: dict[Execution, bool] = {}
-    out: set[tuple] = set()
-    for candidate in candidate_executions(test.program):
-        if coherence_gate and not candidate.coherent:
-            continue  # never consistent under this model
-        verdict = verdicts.get(candidate.execution)
-        if verdict is None:
-            verdict = model.consistent(candidate.execution)
-            if len(verdicts) >= _VERDICT_MEMO_LIMIT:
-                verdicts.clear()
-            verdicts[candidate.execution] = verdict
-        if verdict:
-            out.add(candidate.outcome.key())
-    return out
+    return {
+        candidate.outcome.key()
+        for candidate in _consistent_stream(
+            candidate_executions(test.program), model
+        )
+    }

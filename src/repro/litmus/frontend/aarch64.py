@@ -1,0 +1,297 @@
+"""AArch64 litmus dialect: ``LDR``/``STR``/``DMB``, TME ``TSTART``.
+
+Parses the herd7 AArch64 surface syntax (including init-section
+register↦location bindings, the ``MOV #imm`` store-value idiom, and the
+``EOR``-zero dependency idiom) onto the neutral program IR, and renders
+neutral programs back out in the same idioms so files round-trip.
+
+Transactions use the TME-flavoured mnemonics ``TSTART``/``TCOMMIT``/
+``TABORT`` (Example 1.1's "unofficial but representative" encoding;
+``TXBEGIN``/``TXEND``/``TXABORT`` are accepted as aliases), gated on
+the ``(* repro: txn *)`` pragma.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ...core.events import Label
+from ..program import CtrlBranch, Fence, Load, Store, TxAbort, TxBegin, TxEnd
+from .common import Dialect, FrontendError, ThreadState
+
+__all__ = ["AArch64Dialect"]
+
+_FENCES = {
+    "DMB SY": Label.DMB,
+    "DMB": Label.DMB,
+    "DMB LD": Label.DMB_LD,
+    "DMB ST": Label.DMB_ST,
+    "ISB": Label.ISB,
+}
+_FENCE_OUT = {
+    Label.DMB: "DMB SY",
+    Label.DMB_LD: "DMB LD",
+    Label.DMB_ST: "DMB ST",
+    Label.ISB: "ISB",
+}
+_LOAD_OPS = {
+    "LDR": (False, False),
+    "LDAR": (True, False),
+    "LDXR": (False, True),
+    "LDAXR": (True, True),
+}
+_STORE_OPS = {"STR": False, "STLR": True}
+_STORE_EXCL_OPS = {"STXR": False, "STLXR": True}
+
+_REG = re.compile(r"^[WX](\d+)$")
+_ADDR = re.compile(r"^\[([^\],]+)(?:,([^\],]+?))?(?:,SXTW)?\]$")
+
+
+def _split_args(rest: str) -> list[str]:
+    """Split operands on commas, keeping ``[base,offset]`` intact."""
+    args: list[str] = []
+    depth = 0
+    current = ""
+    for ch in rest:
+        if ch == "," and depth == 0:
+            args.append(current.strip())
+            current = ""
+            continue
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        current += ch
+    if current.strip():
+        args.append(current.strip())
+    return args
+
+
+class AArch64Dialect(Dialect):
+    arch = "armv8"
+    tags = ("AArch64", "ARM", "ARMv8")
+    txn_mnemonics = "TSTART/TCOMMIT/TABORT"
+
+    def reg_of_neutral(self, neutral: str) -> str:
+        return "W" + neutral[1:]
+
+    def neutral_of_reg(self, name: str) -> str | None:
+        m = _REG.match(name)
+        return f"r{int(m.group(1))}" if m else None
+
+    # ------------------------------------------------------------------
+
+    def parse_cell(
+        self, state: ThreadState, text: str, lineno: int, txn_ok: bool
+    ) -> None:
+        op, _, rest = text.partition(" ")
+        op = op.upper()
+        args = _split_args(rest)
+
+        if op in ("TSTART", "TXBEGIN"):
+            self.require_txn(txn_ok, op, lineno)
+            # An operand is the status register (TME) or a fail label.
+            if args and self.is_register(args[0]):
+                state.env[args[0]] = ("status",)
+            state.instrs.append(TxBegin())
+            return
+        if op in ("TCOMMIT", "TXEND"):
+            self.require_txn(txn_ok, op, lineno)
+            state.instrs.append(TxEnd())
+            return
+        if op in ("TABORT", "TXABORT", "TCANCEL"):
+            self.require_txn(txn_ok, op, lineno)
+            reg = None
+            if args and self.is_register(args[0]):
+                value = state.env.get(args[0])
+                if value is None or value[0] != "prog":
+                    raise FrontendError(
+                        f"{op} condition register {args[0]} does not hold "
+                        f"a loaded value",
+                        lineno,
+                    )
+                reg = value[1]
+            state.instrs.append(TxAbort(reg))
+            return
+        if text.upper() in _FENCES:
+            state.instrs.append(Fence(_FENCES[text.upper()]))
+            return
+        if op == "MOV":
+            self._two(args, text, lineno)
+            imm = self._imm(args[1], lineno)
+            state.env[args[0]] = ("const", imm)
+            return
+        if op in ("EOR", "ORR"):
+            if len(args) != 3:
+                raise FrontendError(f"malformed {op}: {text!r}", lineno)
+            state.env[args[0]] = self.fold_mix(state, args[1], args[2], lineno)
+            return
+        if op == "ADD":
+            if len(args) != 3 or args[0] != args[1]:
+                raise FrontendError(
+                    f"unsupported ADD form {text!r} (expected ADD Wd,Wd,#imm)",
+                    lineno,
+                )
+            self.fold_imm_add(state, args[0], self._imm(args[2], lineno), lineno)
+            return
+        if op in _LOAD_OPS:
+            self._two(args, text, lineno)
+            acq, excl = _LOAD_OPS[op]
+            loc, addr_dep = self._addr(state, args[1], lineno)
+            labels = frozenset({Label.ACQ}) if acq else frozenset()
+            dst = self.neutral_of_reg(args[0])
+            if dst is None:
+                raise FrontendError(f"bad destination {args[0]!r}", lineno)
+            state.instrs.append(
+                Load(dst, loc, labels=labels, addr_dep=addr_dep, excl=excl)
+            )
+            state.env[args[0]] = ("prog", dst)
+            return
+        if op in _STORE_OPS:
+            self._two(args, text, lineno)
+            self._store(state, args[0], args[1], _STORE_OPS[op], False, lineno)
+            return
+        if op in _STORE_EXCL_OPS:
+            if len(args) != 3:
+                raise FrontendError(f"malformed {op}: {text!r}", lineno)
+            state.env[args[0]] = ("status",)
+            self._store(
+                state, args[1], args[2], _STORE_EXCL_OPS[op], True, lineno
+            )
+            return
+        if op in ("CBNZ", "CBZ"):
+            reg = args[0] if args else ""
+            value = state.env.get(reg)
+            if value is not None and value[0] == "status":
+                return  # exclusive/TSTART retry plumbing
+            self.fold_branch(state, reg, lineno)
+            return
+        raise FrontendError(f"unknown AArch64 instruction {text!r}", lineno)
+
+    def _two(self, args, text, lineno) -> None:
+        if len(args) != 2:
+            raise FrontendError(f"malformed instruction {text!r}", lineno)
+
+    def _imm(self, token: str, lineno: int) -> int:
+        m = re.fullmatch(r"#(-?\d+)", token)
+        if not m:
+            raise FrontendError(f"expected immediate, got {token!r}", lineno)
+        return int(m.group(1))
+
+    def _addr(
+        self, state: ThreadState, token: str, lineno: int
+    ) -> tuple[str, tuple[str, ...]]:
+        m = _ADDR.match(token)
+        if not m:
+            raise FrontendError(f"bad address {token!r}", lineno)
+        base, offset = m.group(1).strip(), m.group(2)
+        loc, deps = self.location_of(state, base, lineno)
+        if offset is not None:
+            deps = deps + self.operand_deps(state, offset.strip(), lineno)
+        return loc, deps
+
+    def _store(
+        self, state, value_reg, addr, rel: bool, excl: bool, lineno
+    ) -> None:
+        value, data_dep = self.fold_store_value(state, value_reg, lineno)
+        loc, addr_dep = self._addr(state, addr, lineno)
+        labels = frozenset({Label.REL}) if rel else frozenset()
+        state.instrs.append(
+            Store(
+                loc,
+                value,
+                labels=labels,
+                data_dep=data_dep,
+                addr_dep=addr_dep,
+                excl=excl,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def render_thread(self, tid: int, thread, scratch_base: int) -> list[str]:
+        lines: list[str] = []
+        scratch = scratch_base
+        label = 0
+
+        def mix_into(deps: tuple[str, ...]) -> str:
+            nonlocal scratch
+            reg = f"W{scratch}"
+            scratch += 1
+            first = self.reg_of_neutral(deps[0])
+            second = self.reg_of_neutral(deps[1]) if len(deps) > 1 else first
+            lines.append(f"EOR {reg},{first},{second}")
+            for extra in deps[2:]:
+                lines.append(f"EOR {reg},{reg},{self.reg_of_neutral(extra)}")
+            return reg
+
+        def addr_of(loc: str, addr_dep: tuple[str, ...]) -> str:
+            if addr_dep:
+                return f"[{loc},{mix_into(addr_dep)}]"
+            return f"[{loc}]"
+
+        for instr in thread:
+            if isinstance(instr, TxBegin):
+                if instr.atomic:
+                    raise ValueError(
+                        "C++ atomic{} transactions have no AArch64 rendering"
+                    )
+                lines.append("TSTART")
+            elif isinstance(instr, TxEnd):
+                lines.append("TCOMMIT")
+            elif isinstance(instr, TxAbort):
+                if instr.reg is None:
+                    lines.append("TABORT")
+                else:
+                    lines.append(f"TABORT {self.reg_of_neutral(instr.reg)}")
+            elif isinstance(instr, Fence):
+                try:
+                    lines.append(_FENCE_OUT[instr.kind])
+                except KeyError:
+                    raise ValueError(
+                        f"no AArch64 rendering for fence {instr.kind!r}"
+                    ) from None
+            elif isinstance(instr, CtrlBranch):
+                if len(instr.regs) == 1:
+                    reg = self.reg_of_neutral(instr.regs[0])
+                else:
+                    reg = f"W{scratch}"
+                    scratch += 1
+                    first = self.reg_of_neutral(instr.regs[0])
+                    second = self.reg_of_neutral(instr.regs[1])
+                    lines.append(f"ORR {reg},{first},{second}")
+                    for extra in instr.regs[2:]:
+                        lines.append(
+                            f"ORR {reg},{reg},{self.reg_of_neutral(extra)}"
+                        )
+                lines.append(f"CBNZ {reg},LC{tid}{label}")
+                lines.append(f"LC{tid}{label}:")
+                label += 1
+            elif isinstance(instr, Load):
+                acq = Label.ACQ in instr.labels
+                op = {v: k for k, v in _LOAD_OPS.items()}[(acq, instr.excl)]
+                lines.append(
+                    f"{op} {self.reg_of_neutral(instr.dst)},"
+                    f"{addr_of(instr.loc, instr.addr_dep)}"
+                )
+            elif isinstance(instr, Store):
+                rel = Label.REL in instr.labels
+                if instr.data_dep:
+                    value_reg = mix_into(instr.data_dep)
+                    lines.append(f"ADD {value_reg},{value_reg},#{instr.value}")
+                else:
+                    value_reg = f"W{scratch}"
+                    scratch += 1
+                    lines.append(f"MOV {value_reg},#{instr.value}")
+                addr = addr_of(instr.loc, instr.addr_dep)
+                if instr.excl:
+                    status = f"W{scratch}"
+                    scratch += 1
+                    op = "STLXR" if rel else "STXR"
+                    lines.append(f"{op} {status},{value_reg},{addr}")
+                else:
+                    op = "STLR" if rel else "STR"
+                    lines.append(f"{op} {value_reg},{addr}")
+            else:
+                raise ValueError(f"cannot render {instr!r} as AArch64")
+        return lines

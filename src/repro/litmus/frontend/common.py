@@ -1,0 +1,607 @@
+"""Shared machinery of the herd7-style litmus frontend.
+
+A herd7 ``.litmus`` file has a fixed shape (arch header, optional doc
+strings and ``(* ... *)`` comments, a ``{ ... }`` init section, a table
+of ``|``-separated per-thread columns terminated by ``;``, and a final
+``exists``/``~exists``/``forall`` condition).  :func:`split_sections`
+parses that shape once; each architecture dialect then only supplies an
+instruction-cell parser and renderer (:class:`Dialect`).
+
+The dialects parse assembly *symbolically*: constant-register moves
+(``MOV W10,#1`` / ``li r10,1``), the ``eor/xor`` zero idiom that litmus
+tools use to materialise data/address dependencies, and init-section
+register↦location bindings (``0:X1=x``) are folded into the neutral
+:mod:`repro.litmus.program` instructions instead of becoming events.
+The matching renderers emit exactly those idioms, so every dialect
+round-trips: ``loads(dumps(test)) == test``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..parse import ParseError
+from ..program import (
+    CtrlBranch,
+    Fence,
+    Instruction,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from ..test import Atom, CoSeq, LitmusTest, MemEq, RegEq, TxnOk
+
+__all__ = [
+    "FrontendError",
+    "Dialect",
+    "Sections",
+    "ThreadState",
+    "split_sections",
+    "TXN_PRAGMA",
+]
+
+#: The transaction-extension pragma: TM mnemonics (``XBEGIN``,
+#: ``TSTART``, ``tbegin.``, ``tx.begin``, …) are only legal in files
+#: carrying this comment, mirroring how the paper's mnemonics extend
+#: each base ISA.  The renderers emit it whenever a program transacts.
+TXN_PRAGMA = "(* repro: txn *)"
+
+
+class FrontendError(ParseError):
+    """A source-located diagnostic for malformed dialect litmus text."""
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        self.lineno = lineno
+        self.message = message
+        where = f"line {lineno}: " if lineno is not None else ""
+        super().__init__(f"{where}{message}")
+
+
+# ----------------------------------------------------------------------
+# File shape
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Sections:
+    """The raw sections of one dialect litmus file."""
+
+    arch_tag: str
+    name: str
+    lineno: int  # of the header
+    pragmas: frozenset[str]
+    init: list[tuple[int, str]]  # (lineno, "lhs=rhs") statements
+    rows: list[tuple[int, list[str]]]  # (lineno, per-thread cells)
+    n_threads: int
+    quantifier: str
+    condition: str
+    condition_lineno: int
+
+
+_COMMENT = re.compile(r"\(\*.*?\*\)", re.DOTALL)
+_PRAGMA = re.compile(r"\(\*\s*repro:\s*([\w,\s-]+?)\s*\*\)")
+_HEADER = re.compile(r"^(\S+)\s+(\S+)\s*$")
+_QUANT = re.compile(r"^(~\s*exists|exists|forall)\b(.*)$", re.DOTALL)
+
+
+def _strip_comments(text: str) -> tuple[str, frozenset[str]]:
+    """Blank out ``(* ... *)`` comments (preserving line numbers) and
+    collect ``(* repro: ... *)`` pragma words."""
+    pragmas: set[str] = set()
+    for m in _PRAGMA.finditer(text):
+        pragmas.update(w.strip() for w in m.group(1).split(","))
+
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    return _COMMENT.sub(blank, text), frozenset(p for p in pragmas if p)
+
+
+def split_sections(text: str) -> Sections:
+    """Parse the dialect-independent shape of a herd-style file."""
+    text, pragmas = _strip_comments(text)
+    lines = text.splitlines()
+
+    arch_tag = name = None
+    lineno = 0
+    init: list[tuple[int, str]] = []
+    rows: list[tuple[int, list[str]]] = []
+    quantifier = None
+    condition_parts: list[str] = []
+    condition_lineno = 0
+    state = "header"
+    header_lineno = 0
+    column_header = 0
+
+    i = 0
+    while i < len(lines):
+        n, raw = i + 1, lines[i]
+        i += 1
+        line = raw.strip()
+        if not line:
+            continue
+        if state == "header":
+            m = _HEADER.match(line)
+            if not m:
+                raise FrontendError(
+                    f"expected '<ARCH> <name>' header, got {line!r}", n
+                )
+            arch_tag, name, header_lineno = m.group(1), m.group(2), n
+            state = "preamble"
+            continue
+        if quantifier is not None:
+            # Herd conditions may wrap; everything after the quantifier
+            # keyword belongs to the condition.
+            condition_parts.append(line)
+            continue
+        if state == "preamble":
+            if line.startswith('"') and line.endswith('"'):
+                continue  # the generator's cycle doc-string
+            if line.startswith("{"):
+                # Init block: consume up to the matching '}'.
+                body = line[1:]
+                start = n
+                while "}" not in body:
+                    if i >= len(lines):
+                        raise FrontendError("unterminated init section", start)
+                    body += "\n" + lines[i]
+                    i += 1
+                body, _, trailer = body.partition("}")
+                if trailer.strip():
+                    raise FrontendError(
+                        f"unexpected text after init section: {trailer.strip()!r}",
+                        start,
+                    )
+                offset = 0
+                for stmt_line in body.split("\n"):
+                    for stmt in stmt_line.split(";"):
+                        if stmt.strip():
+                            init.append((start + offset, stmt.strip()))
+                    offset += 1
+                state = "body"
+                continue
+            state = "body"  # no init section: fall through to the body
+        if state == "body":
+            if m := _QUANT.match(line):
+                quantifier = m.group(1).replace(" ", "")
+                condition_lineno = n
+                rest = m.group(2).strip()
+                if rest:
+                    condition_parts.append(rest)
+                continue
+            if line.startswith("locations"):
+                continue  # herd output directive; verdicts don't use it
+            cells = [c.strip() for c in line.rstrip(";").split("|")]
+            if not any(cells):
+                continue  # a row of empty cells carries nothing
+            if all(re.fullmatch(r"P\d+", c) for c in cells if c):
+                # The 'P0 | P1' column header row: it carries the
+                # thread count even when every thread body is empty.
+                column_header = max(column_header, len(cells))
+                continue
+            rows.append((n, cells))
+            continue
+
+    if arch_tag is None:
+        raise FrontendError("empty litmus file: missing arch header", 1)
+    if not rows and not column_header:
+        raise FrontendError("litmus file has no instruction rows", header_lineno)
+    if quantifier is None:
+        raise FrontendError(
+            "missing exists/~exists/forall condition", len(lines)
+        )
+    n_threads = max(
+        [column_header] + [len(cells) for _, cells in rows]
+    )
+    for n, cells in rows:
+        while len(cells) < n_threads:
+            cells.append("")
+    return Sections(
+        arch_tag=arch_tag,
+        name=name,
+        lineno=header_lineno,
+        pragmas=pragmas,
+        init=init,
+        rows=rows,
+        n_threads=n_threads,
+        quantifier=quantifier,
+        condition=" ".join(condition_parts),
+        condition_lineno=condition_lineno,
+    )
+
+
+# ----------------------------------------------------------------------
+# Symbolic per-thread state
+# ----------------------------------------------------------------------
+
+# Register values tracked while folding assembly into neutral
+# instructions.  A value is one of:
+#   ("const", v)          -- a known constant (MOV #v / li)
+#   ("prog", "rN")        -- the run-time value of a load destination
+#   ("mix", deps, v)      -- eor-zero idiom: constant v, dependency regs
+#   ("loc", "x")          -- the address of location x (init binding)
+#   ("locmix", "x", deps) -- address of x mixed with dependency regs
+#   ("status",)           -- an exclusive-store/TSTART status flag
+#                            (branches on it are retry/fail plumbing,
+#                            not control dependencies)
+
+
+@dataclass
+class ThreadState:
+    """Folding state for one thread column."""
+
+    tid: int
+    instrs: list[Instruction] = field(default_factory=list)
+    env: dict[str, tuple] = field(default_factory=dict)
+    pending_cmp: str | None = None  # PPC cmpwi awaiting its branch
+    #: Set after ``tbegin.``: the immediately following conditional
+    #: branch is the transaction's fail handler, not a dependency.
+    absorb_branch: bool = False
+
+    def deps_of(self, value: tuple) -> tuple[str, ...]:
+        if value[0] == "prog":
+            return (value[1],)
+        if value[0] == "mix":
+            return value[1]
+        return ()
+
+
+class Dialect:
+    """One architecture's surface syntax: cell parser + renderer."""
+
+    #: Neutral architecture tag (model registry name).
+    arch = ""
+    #: Header tags this dialect answers to (first one is emitted).
+    tags: tuple[str, ...] = ()
+    #: TM mnemonic table used in diagnostics.
+    txn_mnemonics = ""
+
+    # -- registers ------------------------------------------------------
+
+    def reg_of_neutral(self, neutral: str) -> str:
+        """Dialect register name for the neutral register ``rN``."""
+        raise NotImplementedError
+
+    def neutral_of_reg(self, name: str) -> str | None:
+        """Neutral ``rN`` for a dialect register name, or None."""
+        raise NotImplementedError
+
+    # -- per-cell parse / render ---------------------------------------
+
+    def parse_cell(
+        self, state: ThreadState, text: str, lineno: int, txn_ok: bool
+    ) -> None:
+        """Fold one instruction cell into ``state``."""
+        raise NotImplementedError
+
+    def render_thread(self, tid: int, thread, scratch_base: int) -> list[str]:
+        """Render one neutral thread as dialect assembly lines."""
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------
+
+    def require_txn(self, txn_ok: bool, op: str, lineno: int) -> None:
+        if not txn_ok:
+            raise FrontendError(
+                f"transactional mnemonic {op!r} requires the "
+                f"transaction-extension pragma {TXN_PRAGMA!r}",
+                lineno,
+            )
+
+    def fold_store_value(
+        self, state: ThreadState, reg: str, lineno: int
+    ) -> tuple[int, tuple[str, ...]]:
+        """(constant value, data deps) a store of ``reg`` writes."""
+        value = state.env.get(reg)
+        if value is None:
+            raise FrontendError(f"store of undefined register {reg}", lineno)
+        if value[0] == "const":
+            return value[1], ()
+        if value[0] == "mix":
+            return value[2], value[1]
+        raise FrontendError(
+            f"store of run-time value in {reg}; use the xor/eor zero "
+            f"idiom to express a data dependency",
+            lineno,
+        )
+
+    def operand_deps(
+        self, state: ThreadState, reg: str, lineno: int
+    ) -> tuple[str, ...]:
+        """Dependency registers an ALU operand contributes."""
+        value = state.env.get(reg)
+        if value is None:
+            raise FrontendError(f"use of undefined register {reg}", lineno)
+        return state.deps_of(value)
+
+    def fold_mix(
+        self, state: ThreadState, a: str, b: str, lineno: int
+    ) -> tuple:
+        """The xor/eor-zero idiom: ``xor d,a,b`` as a dependency mix."""
+        deps = self.operand_deps(state, a, lineno)
+        if b != a:
+            deps = deps + self.operand_deps(state, b, lineno)
+        return ("mix", deps, 0)
+
+    def fold_imm_add(
+        self, state: ThreadState, reg: str, imm: int, lineno: int
+    ) -> None:
+        """``add reg,reg,#imm`` over a folded constant or mix value."""
+        value = state.env.get(reg)
+        if value is None or value[0] not in ("mix", "const"):
+            raise FrontendError(
+                f"immediate add on register {reg} holding no foldable "
+                f"value",
+                lineno,
+            )
+        if value[0] == "const":
+            state.env[reg] = ("const", value[1] + imm)
+        else:
+            state.env[reg] = ("mix", value[1], value[2] + imm)
+
+    def fold_branch(
+        self, state: ThreadState, reg: str, lineno: int
+    ) -> None:
+        """Append the CtrlBranch a conditional branch on ``reg`` means."""
+        value = state.env.get(reg)
+        deps = state.deps_of(value) if value else ()
+        if not deps:
+            raise FrontendError(
+                f"branch on {reg}, which holds no loaded value", lineno
+            )
+        state.instrs.append(CtrlBranch(deps))
+
+    def location_of(
+        self, state: ThreadState, token: str, lineno: int
+    ) -> tuple[str, tuple[str, ...]]:
+        """Resolve an address token to (location, addr deps).
+
+        ``token`` is either a location symbol or a register holding one
+        (bound in the init section, possibly mixed with dependency
+        registers via the xor idiom).
+        """
+        value = state.env.get(token)
+        if value is not None:
+            if value[0] == "loc":
+                return value[1], ()
+            if value[0] == "locmix":
+                return value[1], value[2]
+        if self.is_register(token):
+            raise FrontendError(
+                f"address register {token} is not bound to a location "
+                f"(bind it in the init section: '{state.tid}:{token}=x;')",
+                lineno,
+            )
+        return token, ()
+
+    def is_register(self, token: str) -> bool:
+        return self.neutral_of_reg(token) is not None
+
+    # -- whole-file parse ----------------------------------------------
+
+    def parse(self, sections: Sections) -> LitmusTest:
+        txn_ok = "txn" in sections.pragmas
+        states = [ThreadState(tid) for tid in range(sections.n_threads)]
+
+        init_mem: dict[str, int] = {}
+        for lineno, stmt in sections.init:
+            self._parse_init(stmt, lineno, states, init_mem)
+
+        for lineno, cells in sections.rows:
+            for tid, cell in enumerate(cells):
+                cell = cell.strip()
+                if not cell or cell.endswith(":"):
+                    continue  # empty slot or a branch-target label
+                self.parse_cell(states[tid], cell, lineno, txn_ok)
+
+        for state in states:
+            if state.pending_cmp is not None:
+                raise FrontendError(
+                    f"thread {state.tid}: compare without a branch",
+                    sections.rows[-1][0] if sections.rows else sections.lineno,
+                )
+
+        try:
+            program = Program(tuple(tuple(s.instrs) for s in states))
+        except ValueError as exc:
+            raise FrontendError(str(exc), sections.lineno) from exc
+        atoms = self.parse_condition(
+            sections.condition, sections.condition_lineno
+        )
+        return LitmusTest(
+            name=sections.name,
+            arch=self.arch,
+            program=program,
+            postcondition=atoms,
+            init=init_mem,
+            quantifier=sections.quantifier,
+        )
+
+    def _parse_init(
+        self,
+        stmt: str,
+        lineno: int,
+        states: list[ThreadState],
+        init_mem: dict[str, int],
+    ) -> None:
+        lhs, eq, rhs = stmt.partition("=")
+        if not eq:
+            return  # a bare declaration ('int x;') initialises to zero
+        lhs, rhs = lhs.strip(), rhs.strip()
+        # Drop C-style type prefixes herd allows ('int x = 0').
+        lhs = lhs.split()[-1]
+        m = re.fullmatch(r"(\d+)\s*:\s*(\S+)", lhs)
+        if m:
+            tid, reg = int(m.group(1)), m.group(2)
+            if tid >= len(states):
+                raise FrontendError(
+                    f"init binds register of unknown thread {tid}", lineno
+                )
+            if not self.is_register(reg):
+                raise FrontendError(
+                    f"init binds unknown register {reg!r}", lineno
+                )
+            if re.fullmatch(r"-?\d+", rhs):
+                states[tid].env[reg] = ("const", int(rhs))
+            else:
+                states[tid].env[reg] = ("loc", rhs.strip("&"))
+            return
+        loc = lhs.strip("[]")
+        if not re.fullmatch(r"-?\d+", rhs):
+            raise FrontendError(
+                f"unsupported init statement {stmt!r}", lineno
+            )
+        value = int(rhs)
+        if value != 0:
+            raise FrontendError(
+                f"non-zero initial value {loc}={value} is not supported "
+                f"(the checking semantics starts memory at zero)",
+                lineno,
+            )
+        init_mem[loc] = 0
+
+    # -- condition ------------------------------------------------------
+
+    def parse_condition(self, text: str, lineno: int) -> tuple[Atom, ...]:
+        text = text.strip()
+        if text.startswith("(") and text.endswith(")"):
+            text = text[1:-1].strip()
+        if text in ("", "true"):
+            return ()
+        if "\\/" in text:
+            raise FrontendError(
+                "disjunctive conditions (\\/) are not supported", lineno
+            )
+        atoms = []
+        for part in text.split("/\\"):
+            atoms.append(self._parse_atom(part.strip(), lineno))
+        return tuple(atoms)
+
+    _TXN_ATOM = re.compile(r"^txn\s*\(\s*(\d+)\s*,\s*(\d+)\s*\)\s*=\s*(ok|aborted)$")
+    _CO_ATOM = re.compile(r"^co\s*\(\s*(\w+)\s*\)\s*=\s*((?:-?\d+)(?:\s*,\s*-?\d+)*)$")
+    _REG_ATOM = re.compile(r"^(\d+)\s*:\s*(\S+)\s*=\s*(-?\d+)$")
+    _MEM_ATOM = re.compile(r"^\[?(\w+)\]?\s*=\s*(-?\d+)$")
+
+    def _parse_atom(self, text: str, lineno: int) -> Atom:
+        if m := self._TXN_ATOM.match(text):
+            return TxnOk(int(m.group(1)), int(m.group(2)), m.group(3) == "ok")
+        if m := self._CO_ATOM.match(text):
+            values = tuple(int(v) for v in re.split(r"\s*,\s*", m.group(2)))
+            return CoSeq(m.group(1), values)
+        if m := self._REG_ATOM.match(text):
+            neutral = self.neutral_of_reg(m.group(2))
+            if neutral is None:
+                raise FrontendError(
+                    f"unknown {self.arch} register {m.group(2)!r} in "
+                    f"condition atom {text!r}",
+                    lineno,
+                )
+            return RegEq(int(m.group(1)), neutral, int(m.group(3)))
+        if m := self._MEM_ATOM.match(text):
+            return MemEq(m.group(1), int(m.group(2)))
+        raise FrontendError(f"bad condition atom {text!r}", lineno)
+
+    # -- whole-file render ---------------------------------------------
+
+    def dump(self, test: LitmusTest) -> str:
+        """Serialise ``test`` in this dialect; parses back equal."""
+        program = test.program
+        scratch_base = _scratch_base(test)
+        columns = [
+            self.render_thread(tid, thread, scratch_base)
+            for tid, thread in enumerate(program.threads)
+        ]
+        lines = [f"{self.tags[0]} {test.name}"]
+        if any(
+            isinstance(i, (TxBegin, TxEnd, TxAbort))
+            for thread in program.threads
+            for i in thread
+        ):
+            lines.append(TXN_PRAGMA)
+        locs = program.locations()
+        if locs:
+            lines.append(
+                "{ " + " ".join(f"{loc}=0;" for loc in locs) + " }"
+            )
+        lines.append(_format_columns(columns))
+        lines.append(
+            f"{test.quantifier} ({self._dump_condition(test)})"
+        )
+        return "\n".join(lines) + "\n"
+
+    def _dump_condition(self, test: LitmusTest) -> str:
+        if not test.postcondition:
+            return "true"
+        parts = []
+        for atom in test.postcondition:
+            if isinstance(atom, RegEq):
+                parts.append(
+                    f"{atom.tid}:{self.reg_of_neutral(atom.reg)}={atom.value}"
+                )
+            elif isinstance(atom, MemEq):
+                parts.append(f"{atom.loc}={atom.value}")
+            elif isinstance(atom, TxnOk):
+                state = "ok" if atom.ok else "aborted"
+                parts.append(f"txn({atom.tid},{atom.index})={state}")
+            elif isinstance(atom, CoSeq):
+                chain = ",".join(str(v) for v in atom.values)
+                parts.append(f"co({atom.loc})={chain}")
+            else:
+                raise ValueError(f"cannot render atom {atom!r}")
+        return " /\\ ".join(parts)
+
+
+def _scratch_base(test: LitmusTest) -> int:
+    """First neutral register index free for renderer scratch use.
+
+    Scratch registers (store-value holders, xor-zero mixers, exclusive
+    status flags) fold away on parse, but they must not collide with
+    program registers, including ones the condition names without a
+    defining load.
+    """
+    used = [-1]
+    for thread in test.program.threads:
+        for instr in thread:
+            if isinstance(instr, Load):
+                used.append(_reg_index(instr.dst))
+                used.extend(_reg_index(r) for r in instr.addr_dep)
+            elif isinstance(instr, Store):
+                used.extend(_reg_index(r) for r in instr.data_dep)
+                used.extend(_reg_index(r) for r in instr.addr_dep)
+            elif isinstance(instr, CtrlBranch):
+                used.extend(_reg_index(r) for r in instr.regs)
+            elif isinstance(instr, TxAbort) and instr.reg:
+                used.append(_reg_index(instr.reg))
+    for atom in test.postcondition:
+        if isinstance(atom, RegEq):
+            used.append(_reg_index(atom.reg))
+    return max(used) + 1
+
+
+def _reg_index(neutral: str) -> int:
+    m = re.fullmatch(r"r(\d+)", neutral)
+    if not m:
+        raise ValueError(f"cannot render non-canonical register {neutral!r}")
+    return int(m.group(1))
+
+
+def _format_columns(columns: list[list[str]]) -> str:
+    width = max((len(line) for col in columns for line in col), default=2)
+    width = max(width, 2)
+    height = max((len(col) for col in columns), default=0)
+    header = (
+        " "
+        + " | ".join(f"P{i}".ljust(width) for i in range(len(columns)))
+        + " ;"
+    )
+    rows = [header]
+    for i in range(height):
+        cells = [
+            (col[i] if i < len(col) else "").ljust(width) for col in columns
+        ]
+        rows.append(" " + " | ".join(cells) + " ;")
+    return "\n".join(rows)

@@ -1,0 +1,273 @@
+"""Power litmus dialect: ``lwz``/``stw``/``sync``, HTM ``tbegin.``.
+
+Parses the herd7 PPC surface syntax — ``li`` store values, the
+``xor``-zero dependency idiom, ``OFF(reg)`` addressing with
+init-section register↦location bindings — onto the neutral IR.
+
+Neutral register ``rN`` maps to PPC ``r{N+1}`` (``r0`` reads as zero in
+D-form addressing, so litmus tools avoid it).  Transactions use the
+Power HTM mnemonics ``tbegin.``/``tend.``/``tabort.``; a ``beq``
+immediately after ``tbegin.`` is absorbed as the fail handler (Fig. 2's
+idiom), and ``tabort. rK`` with a loaded register is the conditional
+self-abort extension.  All TM mnemonics require the
+``(* repro: txn *)`` pragma.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ...core.events import Label
+from ..program import CtrlBranch, Fence, Load, Store, TxAbort, TxBegin, TxEnd
+from .common import Dialect, FrontendError, ThreadState
+
+__all__ = ["PpcDialect"]
+
+_FENCES = {
+    "sync": Label.SYNC,
+    "lwsync": Label.LWSYNC,
+    "isync": Label.ISYNC,
+}
+_FENCE_OUT = {v: k for k, v in _FENCES.items()}
+_REG = re.compile(r"^r(\d+)$")
+_ADDR = re.compile(r"^(\w+)\((\w+)\)$")
+
+
+class PpcDialect(Dialect):
+    arch = "power"
+    tags = ("PPC", "POWER")
+    txn_mnemonics = "tbegin./tend./tabort."
+
+    def reg_of_neutral(self, neutral: str) -> str:
+        return f"r{int(neutral[1:]) + 1}"
+
+    def neutral_of_reg(self, name: str) -> str | None:
+        m = _REG.match(name)
+        if not m or int(m.group(1)) == 0:
+            return None
+        return f"r{int(m.group(1)) - 1}"
+
+    # ------------------------------------------------------------------
+
+    def parse_cell(
+        self, state: ThreadState, text: str, lineno: int, txn_ok: bool
+    ) -> None:
+        op, _, rest = text.partition(" ")
+        args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+
+        # The absorb flag only covers a branch *immediately* after
+        # tbegin./stwcx.; any other instruction in between clears it.
+        absorb = state.absorb_branch
+        state.absorb_branch = False
+
+        if op == "tbegin.":
+            self.require_txn(txn_ok, op, lineno)
+            state.instrs.append(TxBegin())
+            state.absorb_branch = True
+            return
+        if op == "tend.":
+            self.require_txn(txn_ok, op, lineno)
+            state.instrs.append(TxEnd())
+            return
+        if op == "tabort.":
+            self.require_txn(txn_ok, op, lineno)
+            reg = None
+            if args and self.is_register(args[0]):
+                value = state.env.get(args[0])
+                if value is None or value[0] != "prog":
+                    raise FrontendError(
+                        f"tabort. condition register {args[0]} does not "
+                        f"hold a loaded value",
+                        lineno,
+                    )
+                reg = value[1]
+            state.instrs.append(TxAbort(reg))
+            return
+        if text in _FENCES:
+            state.instrs.append(Fence(_FENCES[text]))
+            return
+        if op == "li":
+            self._argc(args, 2, text, lineno)
+            state.env[args[0]] = ("const", int(args[1]))
+            return
+        if op in ("xor", "or"):
+            self._argc(args, 3, text, lineno)
+            state.env[args[0]] = self.fold_mix(state, args[1], args[2], lineno)
+            return
+        if op == "addi":
+            self._argc(args, 3, text, lineno)
+            if args[0] != args[1]:
+                raise FrontendError(
+                    f"unsupported addi form {text!r} "
+                    f"(expected addi rd,rd,imm)",
+                    lineno,
+                )
+            self.fold_imm_add(state, args[0], int(args[2]), lineno)
+            return
+        if op in ("lwz", "lwarx"):
+            self._argc(args, 2, text, lineno)
+            loc, addr_dep = self._addr(state, args[1], lineno)
+            neutral = self.neutral_of_reg(args[0])
+            if neutral is None:
+                raise FrontendError(f"bad destination {args[0]!r}", lineno)
+            state.instrs.append(
+                Load(neutral, loc, addr_dep=addr_dep, excl=op == "lwarx")
+            )
+            state.env[args[0]] = ("prog", neutral)
+            return
+        if op in ("stw", "stwcx."):
+            self._argc(args, 2, text, lineno)
+            value, data_dep = self.fold_store_value(state, args[0], lineno)
+            loc, addr_dep = self._addr(state, args[1], lineno)
+            state.instrs.append(
+                Store(
+                    loc,
+                    value,
+                    data_dep=data_dep,
+                    addr_dep=addr_dep,
+                    excl=op == "stwcx.",
+                )
+            )
+            if op == "stwcx.":
+                state.absorb_branch = True  # the bne retry loop
+            return
+        if op == "cmpwi":
+            self._argc(args, 2, text, lineno)
+            state.pending_cmp = args[0]
+            return
+        if op in ("bne", "beq", "bne-", "beq-"):
+            if absorb:
+                # tbegin. fail handler / stwcx. retry loop.
+                state.pending_cmp = None
+                return
+            reg = state.pending_cmp
+            state.pending_cmp = None
+            if reg is None:
+                raise FrontendError(
+                    f"branch {op} without a preceding cmpwi", lineno
+                )
+            self.fold_branch(state, reg, lineno)
+            return
+        raise FrontendError(f"unknown PPC instruction {text!r}", lineno)
+
+    def _argc(self, args, n, text, lineno) -> None:
+        if len(args) != n:
+            raise FrontendError(f"malformed instruction {text!r}", lineno)
+
+    def _addr(
+        self, state: ThreadState, token: str, lineno: int
+    ) -> tuple[str, tuple[str, ...]]:
+        m = _ADDR.match(token)
+        if not m:
+            raise FrontendError(f"bad address {token!r}", lineno)
+        offset, base = m.group(1), m.group(2)
+        loc, deps = self.location_of(state, base, lineno)
+        if not re.fullmatch(r"\d+", offset):
+            # Register offset: the xor-zero address-dependency idiom.
+            value = state.env.get(offset)
+            if value is None or value[0] != "mix":
+                raise FrontendError(
+                    f"address offset register {offset} holds no "
+                    f"xor-zero value",
+                    lineno,
+                )
+            deps = deps + value[1]
+        elif int(offset) != 0:
+            raise FrontendError(
+                f"non-zero address offset {offset} is not supported", lineno
+            )
+        return loc, deps
+
+    # ------------------------------------------------------------------
+
+    def render_thread(self, tid: int, thread, scratch_base: int) -> list[str]:
+        lines: list[str] = []
+        scratch = scratch_base + 1  # dialect numbering is neutral + 1
+        label = 0
+
+        def mix_into(deps: tuple[str, ...]) -> str:
+            nonlocal scratch
+            reg = f"r{scratch}"
+            scratch += 1
+            first = self.reg_of_neutral(deps[0])
+            second = self.reg_of_neutral(deps[1]) if len(deps) > 1 else first
+            lines.append(f"xor {reg},{first},{second}")
+            for extra in deps[2:]:
+                lines.append(f"xor {reg},{reg},{self.reg_of_neutral(extra)}")
+            return reg
+
+        def addr_of(loc: str, addr_dep: tuple[str, ...]) -> str:
+            if addr_dep:
+                return f"{mix_into(addr_dep)}({loc})"
+            return f"0({loc})"
+
+        for instr in thread:
+            if isinstance(instr, TxBegin):
+                if instr.atomic:
+                    raise ValueError(
+                        "C++ atomic{} transactions have no PPC rendering"
+                    )
+                lines.append("tbegin.")
+                lines.append(f"beq LF{tid}{label}")
+                lines.append(f"LF{tid}{label}:")
+                label += 1
+            elif isinstance(instr, TxEnd):
+                lines.append("tend.")
+            elif isinstance(instr, TxAbort):
+                if instr.reg is None:
+                    lines.append("tabort.")
+                else:
+                    lines.append(f"tabort. {self.reg_of_neutral(instr.reg)}")
+            elif isinstance(instr, Fence):
+                try:
+                    lines.append(_FENCE_OUT[instr.kind])
+                except KeyError:
+                    raise ValueError(
+                        f"no PPC rendering for fence {instr.kind!r}"
+                    ) from None
+            elif isinstance(instr, CtrlBranch):
+                if len(instr.regs) == 1:
+                    reg = self.reg_of_neutral(instr.regs[0])
+                else:
+                    reg = f"r{scratch}"
+                    scratch += 1
+                    first = self.reg_of_neutral(instr.regs[0])
+                    second = self.reg_of_neutral(instr.regs[1])
+                    lines.append(f"or {reg},{first},{second}")
+                    for extra in instr.regs[2:]:
+                        lines.append(
+                            f"or {reg},{reg},{self.reg_of_neutral(extra)}"
+                        )
+                lines.append(f"cmpwi {reg},0")
+                lines.append(f"bne LC{tid}{label}")
+                lines.append(f"LC{tid}{label}:")
+                label += 1
+            elif isinstance(instr, Load):
+                if instr.labels:
+                    raise ValueError(f"no PPC rendering for load {instr!r}")
+                op = "lwarx" if instr.excl else "lwz"
+                lines.append(
+                    f"{op} {self.reg_of_neutral(instr.dst)},"
+                    f"{addr_of(instr.loc, instr.addr_dep)}"
+                )
+            elif isinstance(instr, Store):
+                if instr.labels:
+                    raise ValueError(f"no PPC rendering for store {instr!r}")
+                if instr.data_dep:
+                    value_reg = mix_into(instr.data_dep)
+                    lines.append(f"addi {value_reg},{value_reg},{instr.value}")
+                else:
+                    value_reg = f"r{scratch}"
+                    scratch += 1
+                    lines.append(f"li {value_reg},{instr.value}")
+                op = "stwcx." if instr.excl else "stw"
+                lines.append(
+                    f"{op} {value_reg},{addr_of(instr.loc, instr.addr_dep)}"
+                )
+                if instr.excl:
+                    lines.append(f"bne LR{tid}{label}")
+                    lines.append(f"LR{tid}{label}:")
+                    label += 1
+            else:
+                raise ValueError(f"cannot render {instr!r} as PPC")
+        return lines

@@ -1,0 +1,278 @@
+"""RISC-V litmus dialect: ``lw``/``sw``/``fence``, unofficial TM.
+
+Parses the herd7 RVWMO surface syntax (``li`` store values, the
+``xor``-zero dependency idiom, ``0(reg)`` addressing with init-section
+bindings) onto the neutral IR.  Neutral ``rN`` maps to ``x{N+5}``
+(``x0``–``x4`` are zero/ra/sp/gp/tp).
+
+Extensions beyond stock herd7, documented in the dialect table:
+
+* ``lw.aq`` / ``sw.rl`` — plain acquire/release accesses.  RISC-V has
+  no such instructions (RVWMO expresses them through ``lr``/``sc``/AMO
+  forms only); the suffix forms keep the litmus text one-to-one with
+  the neutral events, exactly as the paper's ARMv8 TM mnemonics are
+  "unofficial but representative";
+* ``tx.begin`` / ``tx.end`` / ``tx.abort [xK]`` — the transaction
+  bracket (RISC-V has no ratified TM extension), gated on the
+  ``(* repro: txn *)`` pragma.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ...core.events import Label
+from ..program import CtrlBranch, Fence, Load, Store, TxAbort, TxBegin, TxEnd
+from .common import Dialect, FrontendError, ThreadState
+
+__all__ = ["RiscvDialect"]
+
+_FENCES = {
+    "fence rw,rw": Label.FENCE_RW_RW,
+    "fence r,rw": Label.FENCE_R_RW,
+    "fence rw,w": Label.FENCE_RW_W,
+    "fence.tso": Label.FENCE_TSO,
+}
+_FENCE_OUT = {v: k for k, v in _FENCES.items()}
+_REG = re.compile(r"^x(\d+)$")
+_ADDR = re.compile(r"^(\d+)\((\w+)\)$")
+
+
+class RiscvDialect(Dialect):
+    arch = "riscv"
+    tags = ("RISCV", "RISC-V")
+    txn_mnemonics = "tx.begin/tx.end/tx.abort"
+
+    def reg_of_neutral(self, neutral: str) -> str:
+        return f"x{int(neutral[1:]) + 5}"
+
+    def neutral_of_reg(self, name: str) -> str | None:
+        m = _REG.match(name)
+        if not m or int(m.group(1)) < 5:
+            return None
+        return f"r{int(m.group(1)) - 5}"
+
+    # ------------------------------------------------------------------
+
+    def parse_cell(
+        self, state: ThreadState, text: str, lineno: int, txn_ok: bool
+    ) -> None:
+        normalized = " ".join(text.split())
+        if normalized.replace(", ", ",") in _FENCES:
+            state.instrs.append(Fence(_FENCES[normalized.replace(", ", ",")]))
+            return
+        op, _, rest = normalized.partition(" ")
+        args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+
+        if op == "tx.begin":
+            self.require_txn(txn_ok, op, lineno)
+            state.instrs.append(TxBegin())
+            return
+        if op == "tx.end":
+            self.require_txn(txn_ok, op, lineno)
+            state.instrs.append(TxEnd())
+            return
+        if op == "tx.abort":
+            self.require_txn(txn_ok, op, lineno)
+            reg = None
+            if args and self.is_register(args[0]):
+                value = state.env.get(args[0])
+                if value is None or value[0] != "prog":
+                    raise FrontendError(
+                        f"tx.abort condition register {args[0]} does not "
+                        f"hold a loaded value",
+                        lineno,
+                    )
+                reg = value[1]
+            state.instrs.append(TxAbort(reg))
+            return
+        if op == "li":
+            self._argc(args, 2, text, lineno)
+            state.env[args[0]] = ("const", int(args[1]))
+            return
+        if op in ("xor", "or"):
+            self._argc(args, 3, text, lineno)
+            state.env[args[0]] = self.fold_mix(state, args[1], args[2], lineno)
+            return
+        if op == "add":
+            # add xs,xs,SYM folds a location into an xor-zero register:
+            # the address-dependency idiom.
+            self._argc(args, 3, text, lineno)
+            if args[0] != args[1]:
+                raise FrontendError(
+                    f"unsupported add form {text!r} (expected add xd,xd,sym)",
+                    lineno,
+                )
+            value = state.env.get(args[0])
+            if value is None or value[0] != "mix":
+                raise FrontendError(
+                    f"add on register {args[0]} holding no xor-zero value",
+                    lineno,
+                )
+            loc, extra = self.location_of(state, args[2], lineno)
+            state.env[args[0]] = ("locmix", loc, extra + value[1])
+            return
+        if op == "addi":
+            self._argc(args, 3, text, lineno)
+            if args[0] != args[1]:
+                raise FrontendError(
+                    f"unsupported addi form {text!r} "
+                    f"(expected addi xd,xd,imm)",
+                    lineno,
+                )
+            self.fold_imm_add(state, args[0], int(args[2]), lineno)
+            return
+        if m := re.fullmatch(r"(lw|lr\.w)(\.aq)?", op):
+            self._argc(args, 2, text, lineno)
+            excl = m.group(1) == "lr.w"
+            acq = m.group(2) is not None
+            loc, addr_dep = self._addr(state, args[1], lineno)
+            neutral = self.neutral_of_reg(args[0])
+            if neutral is None:
+                raise FrontendError(f"bad destination {args[0]!r}", lineno)
+            labels = frozenset({Label.ACQ}) if acq else frozenset()
+            state.instrs.append(
+                Load(neutral, loc, labels=labels, addr_dep=addr_dep, excl=excl)
+            )
+            state.env[args[0]] = ("prog", neutral)
+            return
+        if m := re.fullmatch(r"sw(\.rl)?", op):
+            self._argc(args, 2, text, lineno)
+            self._store(state, args[0], args[1], m.group(1), False, lineno)
+            return
+        if m := re.fullmatch(r"sc\.w(\.rl)?", op):
+            self._argc(args, 3, text, lineno)
+            state.env[args[0]] = ("status",)
+            self._store(state, args[1], args[2], m.group(1), True, lineno)
+            return
+        if op in ("bnez", "beqz"):
+            reg = args[0] if args else ""
+            value = state.env.get(reg)
+            if value is not None and value[0] == "status":
+                return  # sc.w retry plumbing
+            self.fold_branch(state, reg, lineno)
+            return
+        raise FrontendError(f"unknown RISC-V instruction {text!r}", lineno)
+
+    def _argc(self, args, n, text, lineno) -> None:
+        if len(args) != n:
+            raise FrontendError(f"malformed instruction {text!r}", lineno)
+
+    def _addr(
+        self, state: ThreadState, token: str, lineno: int
+    ) -> tuple[str, tuple[str, ...]]:
+        m = _ADDR.match(token)
+        if not m:
+            raise FrontendError(f"bad address {token!r}", lineno)
+        if int(m.group(1)) != 0:
+            raise FrontendError(
+                f"non-zero address offset {m.group(1)} is not supported",
+                lineno,
+            )
+        return self.location_of(state, m.group(2), lineno)
+
+    def _store(
+        self, state, value_reg, addr, rel, excl: bool, lineno
+    ) -> None:
+        value, data_dep = self.fold_store_value(state, value_reg, lineno)
+        loc, addr_dep = self._addr(state, addr, lineno)
+        labels = frozenset({Label.REL}) if rel else frozenset()
+        state.instrs.append(
+            Store(
+                loc,
+                value,
+                labels=labels,
+                data_dep=data_dep,
+                addr_dep=addr_dep,
+                excl=excl,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def render_thread(self, tid: int, thread, scratch_base: int) -> list[str]:
+        lines: list[str] = []
+        scratch = scratch_base + 5  # dialect numbering is neutral + 5
+        label = 0
+
+        def mix_into(deps: tuple[str, ...]) -> str:
+            nonlocal scratch
+            reg = f"x{scratch}"
+            scratch += 1
+            first = self.reg_of_neutral(deps[0])
+            second = self.reg_of_neutral(deps[1]) if len(deps) > 1 else first
+            lines.append(f"xor {reg},{first},{second}")
+            for extra in deps[2:]:
+                lines.append(f"xor {reg},{reg},{self.reg_of_neutral(extra)}")
+            return reg
+
+        def addr_of(loc: str, addr_dep: tuple[str, ...]) -> str:
+            if addr_dep:
+                reg = mix_into(addr_dep)
+                lines.append(f"add {reg},{reg},{loc}")
+                return f"0({reg})"
+            return f"0({loc})"
+
+        for instr in thread:
+            if isinstance(instr, TxBegin):
+                if instr.atomic:
+                    raise ValueError(
+                        "C++ atomic{} transactions have no RISC-V rendering"
+                    )
+                lines.append("tx.begin")
+            elif isinstance(instr, TxEnd):
+                lines.append("tx.end")
+            elif isinstance(instr, TxAbort):
+                if instr.reg is None:
+                    lines.append("tx.abort")
+                else:
+                    lines.append(f"tx.abort {self.reg_of_neutral(instr.reg)}")
+            elif isinstance(instr, Fence):
+                try:
+                    lines.append(_FENCE_OUT[instr.kind])
+                except KeyError:
+                    raise ValueError(
+                        f"no RISC-V rendering for fence {instr.kind!r}"
+                    ) from None
+            elif isinstance(instr, CtrlBranch):
+                if len(instr.regs) == 1:
+                    reg = self.reg_of_neutral(instr.regs[0])
+                else:
+                    reg = f"x{scratch}"
+                    scratch += 1
+                    first = self.reg_of_neutral(instr.regs[0])
+                    second = self.reg_of_neutral(instr.regs[1])
+                    lines.append(f"or {reg},{first},{second}")
+                    for extra in instr.regs[2:]:
+                        lines.append(
+                            f"or {reg},{reg},{self.reg_of_neutral(extra)}"
+                        )
+                lines.append(f"bnez {reg},LC{tid}{label}")
+                lines.append(f"LC{tid}{label}:")
+                label += 1
+            elif isinstance(instr, Load):
+                acq = ".aq" if Label.ACQ in instr.labels else ""
+                op = ("lr.w" if instr.excl else "lw") + acq
+                lines.append(
+                    f"{op} {self.reg_of_neutral(instr.dst)},"
+                    f"{addr_of(instr.loc, instr.addr_dep)}"
+                )
+            elif isinstance(instr, Store):
+                rel = ".rl" if Label.REL in instr.labels else ""
+                if instr.data_dep:
+                    value_reg = mix_into(instr.data_dep)
+                    lines.append(f"addi {value_reg},{value_reg},{instr.value}")
+                else:
+                    value_reg = f"x{scratch}"
+                    scratch += 1
+                    lines.append(f"li {value_reg},{instr.value}")
+                addr = addr_of(instr.loc, instr.addr_dep)
+                if instr.excl:
+                    status = f"x{scratch}"
+                    scratch += 1
+                    lines.append(f"sc.w{rel} {status},{value_reg},{addr}")
+                else:
+                    lines.append(f"sw{rel} {value_reg},{addr}")
+            else:
+                raise ValueError(f"cannot render {instr!r} as RISC-V")
+        return lines

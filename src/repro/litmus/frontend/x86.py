@@ -1,0 +1,183 @@
+"""x86 litmus dialect: ``MOV``/``MFENCE``, TSX ``XBEGIN``/``XEND``.
+
+Parses the herd7 x86 surface syntax (``MOV [x],$1`` stores, ``MOV
+EAX,[x]`` loads, ``MFENCE``) plus the paper's TSX mnemonics (Fig. 2),
+gated on the ``(* repro: txn *)`` pragma.
+
+Two encodings extend herd7, both documented in the dialect table of
+``src/repro/litmus/README.md``:
+
+* ``LOCK MOV`` marks the load/store *halves* of a LOCK'd RMW — the
+  neutral IR models exclusives as separate events with a constant
+  store value, which ``XCHG``'s register-valued store cannot express
+  (``XCHG`` is rejected with a diagnostic saying so);
+* ``XABORT EAX`` is a conditional abort (abort iff the register is
+  non-zero — the lock-elision self-abort idiom), alongside the
+  standard unconditional ``XABORT $imm``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ...core.events import Label
+from ..program import Fence, Load, Store, TxAbort, TxBegin, TxEnd
+from .common import Dialect, FrontendError, ThreadState
+
+__all__ = ["X86Dialect"]
+
+_NAMED = ["EAX", "EBX", "ECX", "EDX", "ESI", "EDI"]
+_NAMED_64 = {f"R{n[1:]}": i for i, n in enumerate(_NAMED)}  # RAX, RBX, ...
+_WIDE = re.compile(r"^R(\d+)D?$")
+_ADDR = re.compile(r"^\[(\w+)\]$")
+
+
+class X86Dialect(Dialect):
+    arch = "x86"
+    tags = ("X86", "X86_64")
+    txn_mnemonics = "XBEGIN/XEND/XABORT"
+
+    def reg_of_neutral(self, neutral: str) -> str:
+        idx = int(neutral[1:])
+        return _NAMED[idx] if idx < len(_NAMED) else f"R{idx + 2}D"
+
+    def neutral_of_reg(self, name: str) -> str | None:
+        if name in _NAMED:
+            return f"r{_NAMED.index(name)}"
+        if name in _NAMED_64:
+            return f"r{_NAMED_64[name]}"
+        m = _WIDE.match(name)
+        if m and int(m.group(1)) >= 8:
+            return f"r{int(m.group(1)) - 2}"
+        return None
+
+    # ------------------------------------------------------------------
+
+    def parse_cell(
+        self, state: ThreadState, text: str, lineno: int, txn_ok: bool
+    ) -> None:
+        excl = False
+        upper = text.upper()
+        if upper.startswith("LOCK "):
+            excl = True
+            text = text[5:].strip()
+            upper = text.upper()
+        op, _, rest = text.partition(" ")
+        op = op.upper()
+        args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+
+        if op == "XBEGIN":
+            self.require_txn(txn_ok, op, lineno)
+            state.instrs.append(TxBegin())
+            return
+        if op == "XEND":
+            self.require_txn(txn_ok, op, lineno)
+            state.instrs.append(TxEnd())
+            return
+        if op == "XABORT":
+            self.require_txn(txn_ok, op, lineno)
+            reg = None
+            if args and self.is_register(args[0]):
+                value = state.env.get(args[0])
+                if value is None or value[0] != "prog":
+                    raise FrontendError(
+                        f"XABORT condition register {args[0]} does not "
+                        f"hold a loaded value",
+                        lineno,
+                    )
+                reg = value[1]
+            state.instrs.append(TxAbort(reg))
+            return
+        if upper == "MFENCE":
+            state.instrs.append(Fence(Label.MFENCE))
+            return
+        if op in ("XCHG", "CMPXCHG", "XADD"):
+            raise FrontendError(
+                f"{op} stores a register value, which the neutral IR "
+                f"cannot express; encode the RMW as LOCK MOV "
+                f"load/store halves instead",
+                lineno,
+            )
+        if op == "MOV":
+            if len(args) != 2:
+                raise FrontendError(f"malformed MOV: {text!r}", lineno)
+            dst, src = args
+            if m := _ADDR.match(dst):
+                loc, _ = self.location_of(state, m.group(1), lineno)
+                if imm := re.fullmatch(r"\$(-?\d+)", src):
+                    state.instrs.append(
+                        Store(loc, int(imm.group(1)), excl=excl)
+                    )
+                    return
+                if self.is_register(src):
+                    value, data_dep = self.fold_store_value(
+                        state, src, lineno
+                    )
+                    state.instrs.append(
+                        Store(loc, value, data_dep=data_dep, excl=excl)
+                    )
+                    return
+                raise FrontendError(f"bad store source {src!r}", lineno)
+            if not self.is_register(dst):
+                raise FrontendError(f"bad MOV destination {dst!r}", lineno)
+            if m := _ADDR.match(src):
+                loc, _ = self.location_of(state, m.group(1), lineno)
+                neutral = self.neutral_of_reg(dst)
+                state.instrs.append(Load(neutral, loc, excl=excl))
+                state.env[dst] = ("prog", neutral)
+                return
+            if imm := re.fullmatch(r"\$(-?\d+)", src):
+                state.env[dst] = ("const", int(imm.group(1)))
+                return
+            raise FrontendError(f"bad MOV source {src!r}", lineno)
+        raise FrontendError(f"unknown x86 instruction {text!r}", lineno)
+
+    # ------------------------------------------------------------------
+
+    def render_thread(self, tid: int, thread, scratch_base: int) -> list[str]:
+        lines: list[str] = []
+        txn = 0
+        for instr in thread:
+            if isinstance(instr, TxBegin):
+                if instr.atomic:
+                    raise ValueError(
+                        "C++ atomic{} transactions have no x86 rendering"
+                    )
+                # The fail-handler label is defined after the matching
+                # XEND (transactions are non-nested by validation).
+                lines.append(f"XBEGIN LF{tid}{txn}")
+            elif isinstance(instr, TxEnd):
+                lines.append("XEND")
+                lines.append(f"LF{tid}{txn}:")
+                txn += 1
+            elif isinstance(instr, TxAbort):
+                if instr.reg is None:
+                    lines.append("XABORT $0")
+                else:
+                    lines.append(f"XABORT {self.reg_of_neutral(instr.reg)}")
+            elif isinstance(instr, Fence):
+                if instr.kind != Label.MFENCE:
+                    raise ValueError(
+                        f"no x86 rendering for fence {instr.kind!r}"
+                    )
+                lines.append("MFENCE")
+            elif isinstance(instr, Load):
+                if instr.labels or instr.addr_dep:
+                    raise ValueError(
+                        f"no x86 rendering for load {instr!r}"
+                    )
+                prefix = "LOCK " if instr.excl else ""
+                lines.append(
+                    f"{prefix}MOV {self.reg_of_neutral(instr.dst)},"
+                    f"[{instr.loc}]"
+                )
+            elif isinstance(instr, Store):
+                if instr.labels or instr.addr_dep or instr.data_dep:
+                    raise ValueError(
+                        f"no x86 rendering for store {instr!r}"
+                    )
+                prefix = "LOCK " if instr.excl else ""
+                lines.append(f"{prefix}MOV [{instr.loc}],${instr.value}")
+            else:
+                raise ValueError(f"cannot render {instr!r} as x86")
+        return lines

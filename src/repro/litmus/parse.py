@@ -124,12 +124,16 @@ def _parse_atom(text: str, lineno: int) -> Atom:
     raise ParseError(f"line {lineno}: bad postcondition atom {text!r}")
 
 
+_QUANT = re.compile(r"^(~exists|exists|forall)\b(.*)$")
+
+
 def loads(text: str) -> LitmusTest:
     """Parse a litmus test from its textual form."""
     name = arch = None
     init: dict[str, int] = {}
     threads: list[list[Instruction]] = []
     atoms: list[Atom] = []
+    quantifier = "exists"
     current: list[Instruction] | None = None
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -145,9 +149,12 @@ def loads(text: str) -> LitmusTest:
         elif line == "thread":
             current = []
             threads.append(current)
-        elif line.startswith("exists"):
-            for part in line[len("exists"):].split("&"):
-                atoms.append(_parse_atom(part, lineno))
+        elif m := _QUANT.match(line):
+            quantifier = m.group(1)
+            rest = m.group(2).strip()
+            if rest:
+                for part in rest.split("&"):
+                    atoms.append(_parse_atom(part, lineno))
         else:
             if current is None:
                 raise ParseError(f"line {lineno}: instruction outside a thread")
@@ -163,6 +170,7 @@ def loads(text: str) -> LitmusTest:
         program=Program(tuple(tuple(t) for t in threads)),
         postcondition=tuple(atoms),
         init=init,
+        quantifier=quantifier,
     )
 
 
@@ -178,10 +186,11 @@ def dumps(test: LitmusTest) -> str:
         lines.append("thread")
         for instr in thread:
             lines.append("  " + _dump_instruction(instr))
-    if test.postcondition:
-        lines.append(
-            "exists " + " & ".join(_dump_atom(a) for a in test.postcondition)
-        )
+    if test.postcondition or test.quantifier != "exists":
+        line = test.quantifier
+        if test.postcondition:
+            line += " " + " & ".join(_dump_atom(a) for a in test.postcondition)
+        lines.append(line)
     return "\n".join(lines) + "\n"
 
 

@@ -12,7 +12,16 @@ from typing import Union
 
 from .program import Program
 
-__all__ = ["RegEq", "MemEq", "TxnOk", "Atom", "LitmusTest", "Outcome"]
+__all__ = [
+    "RegEq",
+    "MemEq",
+    "TxnOk",
+    "CoSeq",
+    "Atom",
+    "LitmusTest",
+    "Outcome",
+    "QUANTIFIERS",
+]
 
 
 @dataclass(frozen=True)
@@ -118,15 +127,45 @@ class Outcome:
         raise TypeError(f"unknown atom {atom!r}")
 
 
+#: Postcondition quantifiers (herd7's three condition forms).
+QUANTIFIERS = ("exists", "~exists", "forall")
+
+
 @dataclass(frozen=True)
 class LitmusTest:
-    """A named litmus test for a given architecture."""
+    """A named litmus test for a given architecture.
+
+    ``quantifier`` follows herd7's condition forms: ``exists`` asks
+    whether some final state satisfies the atoms (the Litmus-tool
+    question), ``~exists`` carries the same observability semantics but
+    *expects* the answer no (a conformance assertion), and ``forall``
+    asks whether *every* reachable final state satisfies the atoms.
+
+    ``init`` is normalised to cover exactly the program's locations
+    (missing entries default to 0), so parse/dump round-trips compare
+    equal regardless of how explicitly the source spelled the inits.
+    The checking semantics always starts memory at zero; non-zero inits
+    are rejected at the parser level.
+    """
 
     name: str
     arch: str
     program: Program
     postcondition: tuple[Atom, ...]
     init: dict[str, int] = field(default_factory=dict)
+    quantifier: str = "exists"
+
+    def __post_init__(self) -> None:
+        if self.quantifier not in QUANTIFIERS:
+            raise ValueError(
+                f"unknown quantifier {self.quantifier!r}; "
+                f"use one of {', '.join(QUANTIFIERS)}"
+            )
+        object.__setattr__(
+            self,
+            "init",
+            {loc: self.init.get(loc, 0) for loc in self.program.locations()},
+        )
 
     def check(self, outcome: Outcome) -> bool:
         """True iff ``outcome`` satisfies every postcondition atom."""
@@ -136,4 +175,7 @@ class LitmusTest:
         return " /\\ ".join(str(atom) for atom in self.postcondition)
 
     def __str__(self) -> str:
-        return f"{self.arch} {self.name}: exists ({self.postcondition_str()})"
+        return (
+            f"{self.arch} {self.name}: "
+            f"{self.quantifier} ({self.postcondition_str()})"
+        )

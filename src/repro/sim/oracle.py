@@ -22,7 +22,7 @@ which is the role the Litmus tool plays in the paper's flow.
 
 from __future__ import annotations
 
-from ..litmus.candidates import observable
+from ..litmus.candidates import forall_holds, observable
 from ..litmus.test import LitmusTest
 from ..models.armv8 import ARMv8
 from ..models.base import MemoryModel
@@ -44,11 +44,18 @@ __all__ = [
 
 
 class HardwareOracle:
-    """Base interface: can a litmus test's postcondition be observed?"""
+    """Base interface: can a litmus test's postcondition be observed?
+
+    :meth:`forall` answers herd7's ``forall`` condition — does *every*
+    reachable final state satisfy the postcondition?
+    """
 
     name = "oracle"
 
     def observable(self, test: LitmusTest) -> bool:
+        raise NotImplementedError
+
+    def forall(self, test: LitmusTest) -> bool:
         raise NotImplementedError
 
 
@@ -66,6 +73,9 @@ class _AxiomaticOracle(HardwareOracle):
     def observable(self, test: LitmusTest) -> bool:
         return observable(test, self.model)
 
+    def forall(self, test: LitmusTest) -> bool:
+        return forall_holds(test, self.model)
+
 
 class X86Hardware(HardwareOracle):
     """Intel-TSX stand-in: exhaustive execution on the TSO+HTM machine."""
@@ -79,6 +89,14 @@ class X86Hardware(HardwareOracle):
             if test.check(outcome):
                 return True
         return False
+
+    def forall(self, test: LitmusTest) -> bool:
+        if not runnable_on_tso(test.program):
+            raise ValueError("test is not an x86 program")
+        return all(
+            test.check(outcome)
+            for outcome in TsoMachine(test.program).explore()
+        )
 
 
 class _NoLbPower(Power):
@@ -122,6 +140,12 @@ class MachineHardware(HardwareOracle):
             raise ValueError(f"test is not a {self.arch} program")
         machine = WeakMachine(test.program, self.arch, self.max_states)
         return any(test.check(outcome) for outcome in machine.explore())
+
+    def forall(self, test: LitmusTest) -> bool:
+        if not runnable_on(test.program, self.arch):
+            raise ValueError(f"test is not a {self.arch} program")
+        machine = WeakMachine(test.program, self.arch, self.max_states)
+        return all(test.check(outcome) for outcome in machine.explore())
 
 
 class _NoTxnOrderArm(ARMv8):

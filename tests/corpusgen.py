@@ -1,0 +1,519 @@
+"""Deterministic builder of the herd-dialect conformance corpus.
+
+``build_corpus(arch)`` produces every ``.litmus`` test of one dialect:
+the classic shapes (SB/MP/LB/S/R/2+2W/CoRR/CoWW/WRC/IRIW) under the
+architecture's fence/ordering vocabulary, their transactional variants
+(including the paper's TxnOrder-only witness and abort idioms), a pair
+of ``forall`` conditions, and the ``cat-*`` imports of every classic
+catalog entry expressible in the dialect.
+
+``~exists`` marks tests whose condition is canonically *forbidden*
+under the architecture's own model — ``regen_corpus.py`` asserts each
+such verdict before committing the corpus, and ``repro campaign``
+treats the quantifier as an expected-verdict row, so the CI corpus
+sweep doubles as a conformance check.
+
+Run ``python tests/regen_corpus.py`` to rewrite ``tests/corpus/`` and
+the golden matrix ``tests/corpus_verdicts.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.events import Label  # noqa: E402
+from repro.litmus.program import (  # noqa: E402
+    CtrlBranch,
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from repro.litmus.test import CoSeq, LitmusTest, MemEq, RegEq, TxnOk  # noqa: E402
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parent / "corpus"
+VERDICTS = pathlib.Path(__file__).resolve().parent / "corpus_verdicts.json"
+
+ARCHES = ("x86", "power", "armv8", "riscv")
+
+#: (write-side, read-side) fence pairs per architecture, by variant
+#: suffix.  ``None`` entries place no fence on that side.
+FENCE_VARIANTS: dict[str, dict[str, tuple[str | None, str | None]]] = {
+    "x86": {
+        "": (None, None),
+        "+mfences": (Label.MFENCE, Label.MFENCE),
+    },
+    "power": {
+        "": (None, None),
+        "+syncs": (Label.SYNC, Label.SYNC),
+        "+lwsyncs": (Label.LWSYNC, Label.LWSYNC),
+    },
+    "armv8": {
+        "": (None, None),
+        "+dmbs": (Label.DMB, Label.DMB),
+        "+dmb.st+dmb.ld": (Label.DMB_ST, Label.DMB_LD),
+    },
+    "riscv": {
+        "": (None, None),
+        "+fences": (Label.FENCE_RW_RW, Label.FENCE_RW_RW),
+        "+fence.tsos": (Label.FENCE_TSO, Label.FENCE_TSO),
+        "+fence.rw.w+fence.r.rw": (Label.FENCE_RW_W, Label.FENCE_R_RW),
+    },
+}
+
+#: The strongest full-fence variant per arch: its SB/MP/LB/IRIW shapes
+#: are canonically forbidden and get ``~exists`` conditions.
+FULL_FENCE = {
+    "x86": "+mfences",
+    "power": "+syncs",
+    "armv8": "+dmbs",
+    "riscv": "+fences",
+}
+
+#: Architectures whose base model already forbids the plain shape.
+_TSO_LIKE = {"x86"}
+
+#: Fence used inside the directed TxnOrder witness.
+TXN_FENCE = {
+    "x86": Label.MFENCE,
+    "power": Label.SYNC,
+    "armv8": Label.DMB,
+    "riscv": Label.FENCE_RW_RW,
+}
+
+_REL = frozenset({Label.REL})
+_ACQ = frozenset({Label.ACQ})
+
+
+def _seq(*instrs):
+    return tuple(i for i in instrs if i is not None)
+
+
+def _f(kind: str | None) -> Fence | None:
+    return Fence(kind) if kind is not None else None
+
+
+def _test(name, arch, threads, post, quantifier="exists") -> LitmusTest:
+    return LitmusTest(
+        name=name,
+        arch=arch,
+        program=Program(tuple(threads)),
+        postcondition=tuple(post),
+        quantifier=quantifier,
+    )
+
+
+# ----------------------------------------------------------------------
+# Classic shapes, fence-parametric
+# ----------------------------------------------------------------------
+
+
+def _shapes(arch: str) -> list[LitmusTest]:
+    out = []
+    full = FULL_FENCE[arch]
+    for suffix, (wf, rf) in FENCE_VARIANTS[arch].items():
+        fenced = suffix == full
+        # SB: both reads seeing the initial value.
+        out.append(
+            _test(
+                f"sb{suffix}",
+                arch,
+                (
+                    _seq(Store("x", 1), _f(wf), Load("r0", "y")),
+                    _seq(Store("y", 1), _f(wf), Load("r0", "x")),
+                ),
+                (RegEq(0, "r0", 0), RegEq(1, "r0", 0)),
+                "~exists" if fenced else "exists",
+            )
+        )
+        # MP: stale data after seeing the flag.
+        out.append(
+            _test(
+                f"mp{suffix}",
+                arch,
+                (
+                    _seq(Store("x", 1), _f(wf), Store("y", 1)),
+                    _seq(Load("r0", "y"), _f(rf), Load("r1", "x")),
+                ),
+                (RegEq(1, "r0", 1), RegEq(1, "r1", 0)),
+                "~exists" if fenced or arch in _TSO_LIKE else "exists",
+            )
+        )
+        # LB: both loads observing the other thread's po-later store.
+        out.append(
+            _test(
+                f"lb{suffix}",
+                arch,
+                (
+                    _seq(Load("r0", "y"), _f(rf), Store("x", 1)),
+                    _seq(Load("r0", "x"), _f(rf), Store("y", 1)),
+                ),
+                (RegEq(0, "r0", 1), RegEq(1, "r0", 1)),
+                "~exists" if fenced or arch in _TSO_LIKE else "exists",
+            )
+        )
+        # S: write-to-read-from edge against a coherence edge.
+        out.append(
+            _test(
+                f"s{suffix}",
+                arch,
+                (
+                    _seq(Store("x", 2), _f(wf), Store("y", 1)),
+                    _seq(Load("r0", "y"), _f(rf), Store("x", 1)),
+                ),
+                (RegEq(1, "r0", 1), CoSeq("x", (1, 2))),
+                "~exists" if fenced else "exists",
+            )
+        )
+        # R: two writers racing against a read.
+        out.append(
+            _test(
+                f"r{suffix}",
+                arch,
+                (
+                    _seq(Store("x", 1), _f(wf), Store("y", 1)),
+                    _seq(Store("y", 2), _f(wf), Load("r0", "x")),
+                ),
+                (CoSeq("y", (1, 2)), RegEq(1, "r0", 0)),
+                "~exists" if fenced else "exists",
+            )
+        )
+        # 2+2W: both coherence orders against po.
+        out.append(
+            _test(
+                f"2+2w{suffix}",
+                arch,
+                (
+                    _seq(Store("x", 2), _f(wf), Store("y", 1)),
+                    _seq(Store("y", 2), _f(wf), Store("x", 1)),
+                ),
+                (CoSeq("x", (1, 2)), CoSeq("y", (1, 2))),
+                "~exists" if fenced else "exists",
+            )
+        )
+        # IRIW: independent reads of independent writes.
+        out.append(
+            _test(
+                f"iriw{suffix}",
+                arch,
+                (
+                    (Store("x", 1),),
+                    (Store("y", 1),),
+                    _seq(Load("r0", "x"), _f(rf), Load("r1", "y")),
+                    _seq(Load("r0", "y"), _f(rf), Load("r1", "x")),
+                ),
+                (
+                    RegEq(2, "r0", 1),
+                    RegEq(2, "r1", 0),
+                    RegEq(3, "r0", 1),
+                    RegEq(3, "r1", 0),
+                ),
+                "~exists" if fenced or arch in _TSO_LIKE else "exists",
+            )
+        )
+    # Coherence shapes: forbidden under every model (uniproc).
+    out.append(
+        _test(
+            "corr",
+            arch,
+            ((Store("x", 1),), (Load("r0", "x"), Load("r1", "x"))),
+            (RegEq(1, "r0", 1), RegEq(1, "r1", 0)),
+            "~exists",
+        )
+    )
+    out.append(
+        _test(
+            "coww",
+            arch,
+            ((Store("x", 1), Store("x", 2)),),
+            (CoSeq("x", (2, 1)),),
+            "~exists",
+        )
+    )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Dependency variants (arches with dependency vocabularies)
+# ----------------------------------------------------------------------
+
+
+def _dep_shapes(arch: str) -> list[LitmusTest]:
+    if arch == "x86":
+        return []
+    out = [
+        _test(
+            "mp+addr",
+            arch,
+            (
+                (Store("x", 1), Fence(TXN_FENCE[arch]), Store("y", 1)),
+                (Load("r0", "y"), Load("r1", "x", addr_dep=("r0",))),
+            ),
+            (RegEq(1, "r0", 1), RegEq(1, "r1", 0)),
+            "~exists",
+        ),
+        _test(
+            "mp+ctrl",
+            arch,
+            (
+                (Store("x", 1), Fence(TXN_FENCE[arch]), Store("y", 1)),
+                (Load("r0", "y"), CtrlBranch(("r0",)), Load("r1", "x")),
+            ),
+            (RegEq(1, "r0", 1), RegEq(1, "r1", 0)),
+        ),
+        _test(
+            "lb+datas",
+            arch,
+            (
+                (Load("r0", "y"), Store("x", 1, data_dep=("r0",))),
+                (Load("r0", "x"), Store("y", 1, data_dep=("r0",))),
+            ),
+            (RegEq(0, "r0", 1), RegEq(1, "r0", 1)),
+            "~exists",
+        ),
+        _test(
+            "wrc+data+addr",
+            arch,
+            (
+                (Store("x", 1),),
+                (Load("r0", "x"), Store("y", 1, data_dep=("r0",))),
+                (Load("r0", "y"), Load("r1", "x", addr_dep=("r0",))),
+            ),
+            (RegEq(1, "r0", 1), RegEq(2, "r0", 1), RegEq(2, "r1", 0)),
+        ),
+    ]
+    if arch in ("armv8", "riscv"):
+        out.append(
+            _test(
+                "mp+rel+acq",
+                arch,
+                (
+                    (Store("x", 1), Store("y", 1, labels=_REL)),
+                    (Load("r0", "y", labels=_ACQ), Load("r1", "x")),
+                ),
+                (RegEq(1, "r0", 1), RegEq(1, "r1", 0)),
+                "~exists",
+            )
+        )
+        out.append(
+            _test(
+                "lb+rel+acq",
+                arch,
+                (
+                    (Load("r0", "y", labels=_ACQ), Store("x", 1, labels=_REL)),
+                    (Load("r0", "x", labels=_ACQ), Store("y", 1, labels=_REL)),
+                ),
+                (RegEq(0, "r0", 1), RegEq(1, "r0", 1)),
+                "~exists",
+            )
+        )
+        out.append(
+            _test(
+                "sb+rmw",
+                arch,
+                (
+                    (
+                        Load("r0", "x", excl=True),
+                        Store("x", 1, excl=True),
+                        Load("r1", "y"),
+                    ),
+                    (
+                        Load("r0", "y", excl=True),
+                        Store("y", 1, excl=True),
+                        Load("r1", "x"),
+                    ),
+                ),
+                (
+                    RegEq(0, "r0", 0),
+                    RegEq(0, "r1", 0),
+                    RegEq(1, "r0", 0),
+                    RegEq(1, "r1", 0),
+                ),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Transactional variants
+# ----------------------------------------------------------------------
+
+
+def _txn_shapes(arch: str) -> list[LitmusTest]:
+    out = [
+        # SB with thread 0 transactional: still observable (a single
+        # transaction serialises against nothing here).
+        _test(
+            "sb+txn0",
+            arch,
+            (
+                (TxBegin(), Store("x", 1), Load("r0", "y"), TxEnd()),
+                (Store("y", 1), Load("r0", "x")),
+            ),
+            (RegEq(0, "r0", 0), RegEq(1, "r0", 0), TxnOk(0, 0, True)),
+        ),
+        # SB with both threads transactional: committed transactions
+        # are serialisable, so the SB outcome is forbidden (Fig. 2).
+        _test(
+            "sb+txns",
+            arch,
+            (
+                (TxBegin(), Store("x", 1), Load("r0", "y"), TxEnd()),
+                (TxBegin(), Store("y", 1), Load("r0", "x"), TxEnd()),
+            ),
+            (
+                RegEq(0, "r0", 0),
+                RegEq(1, "r0", 0),
+                TxnOk(0, 0, True),
+                TxnOk(1, 0, True),
+            ),
+            "~exists",
+        ),
+        # MP with a transactional writer against a plain reader.
+        _test(
+            "mp+txn0",
+            arch,
+            (
+                (TxBegin(), Store("x", 1), Store("y", 1), TxEnd()),
+                (Load("r0", "y"), Load("r1", "x")),
+            ),
+            (RegEq(1, "r0", 1), RegEq(1, "r1", 0), TxnOk(0, 0, True)),
+        ),
+        # LB with both threads transactional: forbidden.
+        _test(
+            "lb+txns",
+            arch,
+            (
+                (TxBegin(), Load("r0", "y"), Store("x", 1), TxEnd()),
+                (TxBegin(), Load("r0", "x"), Store("y", 1), TxEnd()),
+            ),
+            (
+                RegEq(0, "r0", 1),
+                RegEq(1, "r0", 1),
+                TxnOk(0, 0, True),
+                TxnOk(1, 0, True),
+            ),
+            "~exists",
+        ),
+        # The TxnOrder-only witness (the §6.2 RTL-bug family): hb and
+        # stronglift(com) are both acyclic, so only TxnOrder forbids
+        # it.  Power's TM model has no TxnOrder axiom (non-MCA base),
+        # so there the same shape is genuinely observable.
+        _test(
+            "txnorder",
+            arch,
+            (
+                (TxBegin(), Store("x", 1), Load("r0", "y"), TxEnd()),
+                (Store("y", 1), Fence(TXN_FENCE[arch]), Load("r0", "x")),
+            ),
+            (TxnOk(0, 0, True), RegEq(0, "r0", 0), RegEq(1, "r0", 0)),
+            "exists" if arch == "power" else "~exists",
+        ),
+        # An unconditional abort: the write can never be observed.
+        _test(
+            "txn+abort",
+            arch,
+            (
+                (TxBegin(), Store("x", 1), TxAbort(), TxEnd()),
+                (Load("r0", "x"),),
+            ),
+            (RegEq(1, "r0", 1),),
+            "~exists",
+        ),
+        # The lock-elision self-abort idiom: committing while having
+        # read a non-zero "lock" is contradictory.
+        _test(
+            "txn+condabort",
+            arch,
+            (
+                (
+                    TxBegin(),
+                    Load("r0", "y"),
+                    TxAbort("r0"),
+                    Store("x", 1),
+                    TxEnd(),
+                ),
+                (Store("y", 1),),
+            ),
+            (RegEq(0, "r0", 1), TxnOk(0, 0, True)),
+            "~exists",
+        ),
+    ]
+    return out
+
+
+# ----------------------------------------------------------------------
+# forall conditions
+# ----------------------------------------------------------------------
+
+
+def _forall_shapes(arch: str) -> list[LitmusTest]:
+    return [
+        # Non-transactional stores always commit: holds everywhere.
+        _test(
+            "forall+stores",
+            arch,
+            (
+                (Store("x", 1), Store("y", 1)),
+                (Load("r0", "x"),),
+            ),
+            (MemEq("x", 1), MemEq("y", 1)),
+            "forall",
+        ),
+        # SB's registers are not pinned: violated everywhere.
+        _test(
+            "forall+sb",
+            arch,
+            (
+                (Store("x", 1), Load("r0", "y")),
+                (Store("y", 1), Load("r0", "x")),
+            ),
+            (RegEq(0, "r0", 0), RegEq(1, "r0", 0)),
+            "forall",
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Catalog imports
+# ----------------------------------------------------------------------
+
+
+def _catalog_shapes(arch: str) -> list[LitmusTest]:
+    from repro.catalog import CATALOG
+    from repro.conformance.golden import litmus_entries
+    from repro.litmus.from_execution import to_litmus
+
+    return [
+        to_litmus(CATALOG[name].execution, f"cat-{name}", arch)
+        for name in litmus_entries(arch)
+    ]
+
+
+def build_corpus(arch: str) -> list[LitmusTest]:
+    """Every corpus test of one dialect, in deterministic order."""
+    tests = (
+        _shapes(arch)
+        + _dep_shapes(arch)
+        + _txn_shapes(arch)
+        + _forall_shapes(arch)
+        + _catalog_shapes(arch)
+    )
+    names = [t.name for t in tests]
+    assert len(names) == len(set(names)), "duplicate corpus test names"
+    return tests
+
+
+def corpus_paths() -> dict[str, LitmusTest]:
+    """``{"<arch>/<name>.litmus": test}`` over the whole corpus."""
+    return {
+        f"{arch}/{test.name}.litmus": test
+        for arch in ARCHES
+        for test in build_corpus(arch)
+    }

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Regenerate the herd-dialect corpus and its golden verdict matrix.
+
+Rewrites every ``tests/corpus/<arch>/<name>.litmus`` file from
+:mod:`corpusgen` and recomputes ``tests/corpus_verdicts.json`` — the
+full corpus × native-model verdict matrix (quantifier-aware: ``forall``
+cells are "condition holds in every final state", others are
+"condition observable").
+
+Before writing anything it asserts two contracts the corpus relies on:
+
+* every test round-trips exactly through its dialect renderer/parser;
+* every ``~exists`` condition really is forbidden under its own
+  architecture's model (``repro campaign`` reads the quantifier as an
+  expected verdict, so a wrong claim would fail the CI corpus sweep).
+
+Run after an intentional semantic change to a model or to the corpus
+builder::
+
+    PYTHONPATH=src python tests/regen_corpus.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import corpusgen  # noqa: E402
+from repro.engine.checkers import resolve_checker  # noqa: E402
+from repro.litmus.frontend import dump_dialect, load_dialect  # noqa: E402
+from repro.models.registry import MODELS  # noqa: E402
+
+
+def main() -> int:
+    paths = corpusgen.corpus_paths()
+    checkers = {name: resolve_checker(name) for name in sorted(MODELS)}
+
+    texts: dict[str, str] = {}
+    for relpath, test in paths.items():
+        text = dump_dialect(test)
+        reparsed = load_dialect(text)
+        assert reparsed == test, f"{relpath}: dialect round-trip diverged"
+        if test.quantifier == "~exists":
+            assert not checkers[test.arch].verdict(test), (
+                f"{relpath}: claims ~exists but {test.arch} observes it"
+            )
+        texts[relpath] = text
+
+    matrix: dict[str, dict[str, bool]] = {}
+    for relpath, test in sorted(paths.items()):
+        matrix[relpath] = {
+            name: bool(checker.verdict(test))
+            for name, checker in checkers.items()
+        }
+
+    if corpusgen.CORPUS_DIR.exists():
+        shutil.rmtree(corpusgen.CORPUS_DIR)
+    for relpath, text in texts.items():
+        target = corpusgen.CORPUS_DIR / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+
+    corpusgen.VERDICTS.write_text(
+        json.dumps(matrix, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    cells = sum(len(row) for row in matrix.values())
+    print(
+        f"wrote {len(texts)} corpus files under {corpusgen.CORPUS_DIR} and "
+        f"{corpusgen.VERDICTS} ({len(matrix)} files x {len(checkers)} "
+        f"models = {cells} cells)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -269,3 +269,123 @@ class TestExplain:
         code, _ = run(capsys, "explain", "--test", "fig2",
                       "--model", "hw:x86")
         assert code == 2
+
+
+class TestRunFrontend:
+    """`repro run` over the herd frontend: auto-detection, quantifier
+    output, and source-located exit-2 diagnostics."""
+
+    HERD_SB = (
+        "X86 SB\n"
+        "{ x=0; y=0; }\n"
+        " P0          | P1          ;\n"
+        " MOV [x],$1  | MOV [y],$1  ;\n"
+        " MOV EAX,[y] | MOV EBX,[x] ;\n"
+        "exists (0:EAX=0 /\\ 1:EBX=0)\n"
+    )
+
+    def _write(self, tmp_path, text, name="t.litmus"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_run_herd_file(self, capsys, tmp_path):
+        path = self._write(tmp_path, self.HERD_SB)
+        code, out = run(capsys, "run", path)
+        assert code == 0
+        assert "observable" in out
+
+    def test_run_tilde_exists_violation_exits_one(self, capsys, tmp_path):
+        # Unfenced SB is observable on x86, so claiming ~exists is a
+        # conformance failure: exit 1, mirroring `repro campaign`.
+        text = self.HERD_SB.replace("exists", "~exists").replace(
+            "SB", "SB-claimed-forbidden"
+        )
+        path = self._write(tmp_path, text)
+        code, out = run(capsys, "run", path)
+        assert code == 1
+        assert "VIOLATES ~exists" in out
+
+    def test_run_tilde_exists_honoured_exits_zero(self, capsys):
+        import pathlib
+
+        corpus = pathlib.Path(__file__).resolve().parent / "corpus"
+        code, out = run(capsys, "run", str(corpus / "x86" / "sb+mfences.litmus"))
+        assert code == 0
+        assert "as expected" in out
+
+    def test_run_forall(self, capsys, tmp_path):
+        text = self.HERD_SB.replace("exists (0:EAX=0 /\\ 1:EBX=0)",
+                                    "forall (x=1 /\\ y=1)")
+        path = self._write(tmp_path, text)
+        code, out = run(capsys, "run", path)
+        assert code == 0
+        assert "forall holds" in out
+
+    def test_run_forall_hw(self, capsys, tmp_path):
+        text = self.HERD_SB.replace("exists (0:EAX=0 /\\ 1:EBX=0)",
+                                    "forall (x=1 /\\ y=1)")
+        path = self._write(tmp_path, text)
+        code, out = run(capsys, "run", path, "--hw")
+        assert code == 0
+        assert "forall holds" in out
+
+    def test_run_malformed_exits_two_with_location(self, capsys, tmp_path):
+        bad = self.HERD_SB.replace("MOV EAX,[y]", "FNORD EAX")
+        path = self._write(tmp_path, bad, "bad.litmus")
+        code = main(["run", path])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+        assert "bad.litmus:5" in err
+        assert "FNORD" in err
+
+    def test_run_malformed_neutral_exits_two(self, capsys, tmp_path):
+        path = self._write(
+            tmp_path, 'litmus "t" x86\nthread\n  frobnicate x\n', "n.litmus"
+        )
+        code = main(["run", path])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "line 3" in err and "n.litmus" in err
+
+    def test_run_missing_file_exits_two(self, capsys, tmp_path):
+        code = main(["run", str(tmp_path / "nope.litmus")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_campaign_over_corpus_files(self, capsys):
+        import pathlib
+
+        corpus = pathlib.Path(__file__).resolve().parent / "corpus" / "x86"
+        files = sorted(str(p) for p in corpus.glob("sb*.litmus"))
+        code, out = run(capsys, "campaign", *files,
+                        "--models", "x86,sc", "--no-cache")
+        assert code == 0
+        assert "sb+mfences" in out
+
+    def test_campaign_malformed_file_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.litmus"
+        bad.write_text(self.HERD_SB.replace("MOV EAX,[y]", "FNORD"))
+        code = main(["campaign", str(bad), "--models", "x86", "--no-cache"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "bad.litmus:5" in err
+
+    def test_campaign_missing_file_exits_two(self, capsys, tmp_path):
+        code = main(["campaign", str(tmp_path / "nope.litmus"),
+                     "--models", "x86", "--no-cache"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_run_neutral_with_leading_comment(self, capsys, tmp_path):
+        path = self._write(
+            tmp_path,
+            '# a header comment\nlitmus "t" x86\nthread\n  store x 1\n'
+            "exists x=1\n",
+        )
+        code, out = run(capsys, "run", path)
+        assert code == 0
+        assert "observable" in out

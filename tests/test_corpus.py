@@ -1,0 +1,155 @@
+"""The committed herd-dialect corpus: parse, round-trip, verdicts.
+
+``tests/corpus/<arch>/*.litmus`` is the conformance workload the CI
+corpus job sweeps; this suite pins its three contracts:
+
+* every file parses through the dialect frontend and round-trips
+  byte-exactly through the matching renderer;
+* the full corpus × native-model verdict matrix equals the golden
+  ``tests/corpus_verdicts.json`` (regen:
+  ``PYTHONPATH=src python tests/regen_corpus.py``);
+* every ``cat-*`` file (a classic catalog entry imported through the
+  dialect) reproduces the catalog's pinned observability row across
+  all eight models — frontend↔catalog agreement.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.conformance.golden import litmus_key, load_snapshot
+from repro.engine.campaign import litmus_suite, run_campaign
+from repro.engine.checkers import resolve_checker
+from repro.litmus.frontend import (
+    DIALECTS,
+    detect_dialect,
+    dump_dialect,
+    load_dialect,
+)
+from repro.models.registry import MODELS
+
+CORPUS = pathlib.Path(__file__).resolve().parent / "corpus"
+VERDICTS = pathlib.Path(__file__).resolve().parent / "corpus_verdicts.json"
+GOLDEN = pathlib.Path(__file__).resolve().parent / "golden_verdicts.json"
+
+_REGEN_HINT = (
+    "if this change is intentional, regenerate with "
+    "`PYTHONPATH=src python tests/regen_corpus.py` and commit the result"
+)
+
+ALL_FILES = sorted(
+    p.relative_to(CORPUS).as_posix() for p in CORPUS.glob("*/*.litmus")
+)
+
+
+def _load(relpath: str):
+    return load_dialect((CORPUS / relpath).read_text(encoding="utf-8"))
+
+
+class TestCorpusShape:
+    def test_at_least_150_files_across_four_dialects(self):
+        assert len(ALL_FILES) >= 150, f"corpus shrank to {len(ALL_FILES)}"
+        by_arch = {p.split("/")[0] for p in ALL_FILES}
+        assert by_arch == set(DIALECTS), by_arch
+
+    def test_matrix_covers_exactly_the_corpus(self):
+        matrix = json.loads(VERDICTS.read_text(encoding="utf-8"))
+        assert set(matrix) == set(ALL_FILES), _REGEN_HINT
+        for row in matrix.values():
+            assert set(row) == set(MODELS), _REGEN_HINT
+
+    def test_every_shape_family_is_present(self):
+        names = {p.split("/", 1)[1] for p in ALL_FILES}
+        for family in (
+            "sb.litmus",
+            "mp.litmus",
+            "lb.litmus",
+            "iriw.litmus",
+            "corr.litmus",
+            "txnorder.litmus",
+            "forall+stores.litmus",
+            "cat-sb.litmus",
+        ):
+            assert family in names, f"missing corpus family {family}"
+
+
+@pytest.mark.parametrize("relpath", ALL_FILES)
+def test_parse_and_roundtrip(relpath):
+    """Each file parses in its directory's dialect and the renderer
+    reproduces the committed text exactly."""
+    text = (CORPUS / relpath).read_text(encoding="utf-8")
+    arch = relpath.split("/")[0]
+    assert detect_dialect(text) == arch
+    test = load_dialect(text)
+    assert test.arch == arch
+    assert dump_dialect(test) == text
+    assert load_dialect(dump_dialect(test)) == test
+
+
+class TestCorpusVerdicts:
+    def test_matrix_matches_golden(self):
+        """The full corpus × native-model matrix (quantifier-aware)
+        equals the committed snapshot."""
+        golden = json.loads(VERDICTS.read_text(encoding="utf-8"))
+        checkers = {name: resolve_checker(name) for name in sorted(MODELS)}
+        flipped = []
+        for relpath in ALL_FILES:
+            test = _load(relpath)
+            for model, checker in checkers.items():
+                got = bool(checker.verdict(test))
+                want = golden[relpath][model]
+                if got != want:
+                    flipped.append((relpath, model, want, got))
+        assert not flipped, (
+            f"corpus verdicts flipped (file, model, pinned, got): "
+            f"{flipped[:10]}; {_REGEN_HINT}"
+        )
+
+    def test_campaign_over_corpus_dir_has_no_expected_diffs(self):
+        """`repro campaign` semantics: a sweep of one dialect directory
+        honours every ~exists expectation (no diffs, no errors)."""
+        paths = [str(CORPUS / p) for p in ALL_FILES if p.startswith("x86/")]
+        items = litmus_suite(paths)
+        result = run_campaign(items, ["x86", "sc"])
+        assert not result.errors()
+        assert result.diffs(items) == []
+
+    def test_tilde_exists_forbidden_under_own_arch(self):
+        """The corpus contract the campaign expectations rely on."""
+        for relpath in ALL_FILES:
+            test = _load(relpath)
+            if test.quantifier != "~exists":
+                continue
+            assert not resolve_checker(test.arch).verdict(test), (
+                f"{relpath}: ~exists condition observable under {test.arch}"
+            )
+
+
+class TestFrontendCatalogAgreement:
+    """Each imported classic entry must reproduce the golden litmus
+    observability row across all eight models."""
+
+    CAT_FILES = [p for p in ALL_FILES if p.split("/", 1)[1].startswith("cat-")]
+
+    def test_catalog_imports_exist(self):
+        assert len(self.CAT_FILES) >= 40
+
+    @pytest.mark.parametrize(
+        "relpath", [p for p in ALL_FILES if "/cat-" in p]
+    )
+    def test_row_matches_golden(self, relpath):
+        golden = load_snapshot(GOLDEN)
+        arch, filename = relpath.split("/", 1)
+        entry = filename[len("cat-"):-len(".litmus")]
+        key = litmus_key(entry, arch)
+        assert key in golden, f"{key} missing from golden_verdicts.json"
+        test = _load(relpath)
+        row = {
+            name: bool(resolve_checker(name).verdict(test))
+            for name in sorted(MODELS)
+        }
+        assert row == golden[key], (
+            f"{relpath}: verdict row diverged from the catalog's pinned "
+            f"row {key}"
+        )

@@ -1,0 +1,326 @@
+"""Tests for the herd7-style litmus frontend (dialect parsers/renderers)."""
+
+import pytest
+
+from repro.core.events import Label
+from repro.litmus.frontend import (
+    DIALECTS,
+    TXN_PRAGMA,
+    FrontendError,
+    detect_dialect,
+    dump_dialect,
+    load_any,
+    load_dialect,
+    load_litmus_file,
+)
+from repro.litmus.program import (
+    CtrlBranch,
+    Fence,
+    Load,
+    Program,
+    Store,
+    TxAbort,
+    TxBegin,
+    TxEnd,
+)
+from repro.litmus.test import CoSeq, LitmusTest, MemEq, RegEq, TxnOk
+
+X86_SB = """X86 SB
+"Fre PodWR Fre PodWR"
+{ x=0; y=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [y],$1  ;
+ MOV EAX,[y] | MOV EBX,[x] ;
+exists (0:EAX=0 /\\ 1:EBX=0)
+"""
+
+AARCH64_MP = """AArch64 MP
+{
+0:X1=x; 0:X3=y;
+1:X1=y; 1:X3=x;
+}
+ P0          | P1          ;
+ MOV W0,#1   | LDR W0,[X1] ;
+ STR W0,[X1] | LDR W2,[X3] ;
+ MOV W2,#1   |             ;
+ STR W2,[X3] |             ;
+exists (1:X0=1 /\\ 1:X2=0)
+"""
+
+PPC_MP = """PPC MP+lwsync+addr
+{
+0:r2=x; 0:r4=y;
+1:r2=y; 1:r4=x;
+}
+ P0           | P1            ;
+ li r1,1      | lwz r1,0(r2)  ;
+ stw r1,0(r2) | xor r3,r1,r1  ;
+ lwsync       | lwz r5,r3(r4) ;
+ li r3,1      |               ;
+ stw r3,0(r4) |               ;
+exists (1:r1=1 /\\ 1:r5=0)
+"""
+
+RISCV_MP = """RISCV MP
+{
+0:x6=x; 0:x7=y;
+1:x6=y; 1:x7=x;
+}
+ P0           | P1           ;
+ li x5,1      | lw x5,0(x6)  ;
+ sw x5,0(x6)  | fence r,rw   ;
+ fence rw,w   | lw x8,0(x7)  ;
+ li x8,1      |              ;
+ sw x8,0(x7)  |              ;
+exists (1:x5=1 /\\ 1:x8=0)
+"""
+
+
+class TestHerdShapes:
+    def test_x86_sb(self):
+        t = load_dialect(X86_SB)
+        assert t.arch == "x86" and t.name == "SB"
+        assert t.program.threads == (
+            (Store("x", 1), Load("r0", "y")),
+            (Store("y", 1), Load("r1", "x")),
+        )
+        assert t.postcondition == (RegEq(0, "r0", 0), RegEq(1, "r1", 0))
+
+    def test_aarch64_mp_with_register_bindings(self):
+        t = load_dialect(AARCH64_MP)
+        assert t.arch == "armv8"
+        assert t.program.threads == (
+            (Store("x", 1), Store("y", 1)),
+            (Load("r0", "y"), Load("r2", "x")),
+        )
+        # Condition may name W or X registers interchangeably.
+        assert t.postcondition == (RegEq(1, "r0", 1), RegEq(1, "r2", 0))
+
+    def test_ppc_mp_with_addr_dep(self):
+        t = load_dialect(PPC_MP)
+        assert t.arch == "power"
+        (t0, t1) = t.program.threads
+        assert t0 == (Store("x", 1), Fence(Label.LWSYNC), Store("y", 1))
+        # The xor-zero idiom folds into an address dependency.
+        assert t1 == (Load("r0", "y"), Load("r4", "x", addr_dep=("r0",)))
+
+    def test_riscv_mp_with_fences(self):
+        t = load_dialect(RISCV_MP)
+        assert t.arch == "riscv"
+        assert t.program.threads == (
+            (Store("x", 1), Fence(Label.FENCE_RW_W), Store("y", 1)),
+            (Load("r0", "y"), Fence(Label.FENCE_R_RW), Load("r3", "x")),
+        )
+
+
+class TestQuantifiers:
+    def _sb(self, quantifier):
+        return X86_SB.replace("exists", quantifier, 1)
+
+    def test_tilde_exists(self):
+        t = load_dialect(self._sb("~exists"))
+        assert t.quantifier == "~exists"
+
+    def test_forall(self):
+        t = load_dialect(self._sb("forall"))
+        assert t.quantifier == "forall"
+
+    def test_true_condition(self):
+        t = load_dialect(
+            "X86 t\n{ x=0; }\n P0 ;\n MOV [x],$1 ;\nexists (true)\n"
+        )
+        assert t.postcondition == ()
+
+    def test_multiline_condition(self):
+        t = load_dialect(
+            "X86 t\n{ x=0; }\n P0 ;\n MOV EAX,[x] ;\n"
+            "exists (0:EAX=0\n/\\ x=0)\n"
+        )
+        assert t.postcondition == (RegEq(0, "r0", 0), MemEq("x", 0))
+
+    def test_txn_and_co_atoms(self):
+        t = load_dialect(
+            f"X86 t\n{TXN_PRAGMA}\n{{ x=0; }}\n P0 ;\n XBEGIN ;\n"
+            " MOV [x],$1 ;\n MOV [x],$2 ;\n XEND ;\n"
+            "exists (txn(0,0)=ok /\\ co(x)=1,2)\n"
+        )
+        assert t.postcondition == (TxnOk(0, 0, True), CoSeq("x", (1, 2)))
+
+    def test_disjunction_rejected(self):
+        with pytest.raises(FrontendError, match="disjunctive"):
+            load_dialect(self._sb("exists").replace("/\\", "\\/"))
+
+
+class TestTransactions:
+    def test_pragma_required(self):
+        with pytest.raises(FrontendError, match="pragma"):
+            load_dialect(
+                "AArch64 t\n{ x=0; }\n P0 ;\n TSTART ;\n"
+                " MOV W9,#1 ;\n STR W9,[x] ;\n TCOMMIT ;\nexists (x=1)\n"
+            )
+
+    def test_pragma_emitted_for_transactional_programs(self):
+        p = Program(((TxBegin(), Store("x", 1), TxEnd()),))
+        t = LitmusTest("t", "armv8", p, (TxnOk(0, 0, True),))
+        assert TXN_PRAGMA in dump_dialect(t)
+
+    @pytest.mark.parametrize("arch", sorted(DIALECTS))
+    def test_conditional_abort_round_trips(self, arch):
+        p = Program(
+            (
+                (
+                    TxBegin(),
+                    Load("r0", "y"),
+                    TxAbort("r0"),
+                    Store("x", 1),
+                    TxEnd(),
+                ),
+                (Store("y", 1),),
+            )
+        )
+        t = LitmusTest(
+            "elide", arch, p, (RegEq(0, "r0", 0), TxnOk(0, 0, True))
+        )
+        assert load_dialect(dump_dialect(t)) == t
+
+    def test_ppc_tbegin_beq_absorbed(self):
+        t = load_dialect(
+            f"PPC t\n{TXN_PRAGMA}\n{{ x=0; }}\n P0 ;\n tbegin. ;\n"
+            " beq LF0 ;\n li r9,1 ;\n stw r9,0(x) ;\n tend. ;\n"
+            "exists (x=1)\n"
+        )
+        assert t.program.threads[0] == (TxBegin(), Store("x", 1), TxEnd())
+
+
+class TestDiagnostics:
+    def test_unknown_instruction_is_located(self):
+        with pytest.raises(FrontendError) as err:
+            load_dialect("X86 t\n{ x=0; }\n P0 ;\n FNORD ;\nexists (x=0)\n")
+        assert err.value.lineno == 4
+
+    def test_xchg_rejected_with_hint(self):
+        with pytest.raises(FrontendError, match="LOCK MOV"):
+            load_dialect(
+                "X86 t\n{ x=0; }\n P0 ;\n XCHG [x],EAX ;\nexists (x=0)\n"
+            )
+
+    def test_nonzero_init_rejected(self):
+        with pytest.raises(FrontendError, match="non-zero initial value"):
+            load_dialect(
+                "X86 t\n{ x=1; }\n P0 ;\n MOV EAX,[x] ;\nexists (0:EAX=1)\n"
+            )
+
+    def test_unbound_address_register(self):
+        with pytest.raises(FrontendError, match="not bound to a location"):
+            load_dialect(
+                "AArch64 t\n P0 ;\n LDR W0,[X1] ;\nexists (0:W0=0)\n"
+            )
+
+    def test_store_of_runtime_value(self):
+        with pytest.raises(FrontendError, match="data dependency"):
+            load_dialect(
+                "AArch64 t\n{ x=0; y=0; }\n P0 ;\n LDR W0,[x] ;\n"
+                " STR W0,[y] ;\nexists (y=0)\n"
+            )
+
+    def test_missing_condition(self):
+        with pytest.raises(FrontendError, match="condition"):
+            load_dialect("X86 t\n{ x=0; }\n P0 ;\n MOV [x],$1 ;\n")
+
+    def test_file_loader_prefixes_path(self, tmp_path):
+        path = tmp_path / "bad.litmus"
+        path.write_text("X86 t\n{ x=0; }\n P0 ;\n FNORD ;\nexists (x=0)\n")
+        with pytest.raises(FrontendError, match="bad.litmus:4"):
+            load_litmus_file(str(path))
+
+
+class TestDetection:
+    @pytest.mark.parametrize(
+        "header,arch",
+        [
+            ("X86 t", "x86"),
+            ("X86_64 t", "x86"),
+            ("AArch64 t", "armv8"),
+            ("PPC t", "power"),
+            ("POWER t", "power"),
+            ("RISCV t", "riscv"),
+        ],
+    )
+    def test_detect(self, header, arch):
+        assert detect_dialect(f"(* note *)\n{header}\n") == arch
+
+    def test_neutral_not_detected(self):
+        assert detect_dialect('litmus "t" x86\n') is None
+
+    def test_load_any_neutral(self):
+        t = load_any('litmus "t" x86\nthread\n  store x 1\nexists x=1\n')
+        assert t.arch == "x86"
+
+    def test_load_any_dialect(self):
+        assert load_any(X86_SB).arch == "x86"
+
+    def test_load_any_unknown(self):
+        with pytest.raises(FrontendError, match="unrecognised litmus format"):
+            load_any("what even is this\nnot litmus\nexists (x=0)\n")
+
+
+class TestRendererScratchHygiene:
+    def test_scratch_avoids_condition_registers(self):
+        """A condition can name a register no load defines; the
+        renderer's scratch registers must not collide with it."""
+        p = Program(((Store("x", 1),),))
+        t = LitmusTest("t", "armv8", p, (RegEq(0, "r0", 0),))
+        text = dump_dialect(t)
+        assert load_dialect(text) == t
+
+    def test_empty_thread_round_trips(self):
+        p = Program(((Store("x", 1),), ()))
+        t = LitmusTest("t", "x86", p, (MemEq("x", 1),))
+        assert load_dialect(dump_dialect(t)) == t
+
+    def test_multi_reg_ctrl_branch_round_trips(self):
+        p = Program(
+            (
+                (
+                    Load("r0", "x"),
+                    Load("r1", "y"),
+                    CtrlBranch(("r0", "r1")),
+                    Store("z", 1),
+                ),
+            )
+        )
+        t = LitmusTest("t", "armv8", p, (MemEq("z", 1),))
+        assert load_dialect(dump_dialect(t)) == t
+
+
+class TestRowHygiene:
+    def test_all_empty_row_is_not_a_phantom_thread(self):
+        """A stray row of empty cells must neither add a thread nor be
+        mistaken for the P-column header."""
+        t = load_dialect(
+            "X86 t\n{ x=0; }\n P0          | P1          ;\n"
+            "             |             ;\n"
+            " MOV [x],$1  | MOV EAX,[x] ;\nexists (1:EAX=1)\n"
+        )
+        assert t.program.n_threads == 2
+        assert load_dialect(dump_dialect(t)) == t
+
+    def test_x86_txn_fail_labels_are_defined_and_unique(self):
+        p = Program(
+            (
+                (
+                    TxBegin(),
+                    Store("x", 1),
+                    TxEnd(),
+                    TxBegin(),
+                    Store("y", 1),
+                    TxEnd(),
+                ),
+            )
+        )
+        t = LitmusTest("t", "x86", p, (TxnOk(0, 1, True),))
+        text = dump_dialect(t)
+        for label in ("LF00", "LF01"):
+            assert f"XBEGIN {label}" in text
+            assert f"{label}:" in text
+        assert load_dialect(text) == t

@@ -1,0 +1,72 @@
+"""Corpus-wide round-trip property: ``loads(dumps(p)) == p``.
+
+Runs over every file in ``tests/corpus/`` and over seeded
+fuzzer-generated programs, in both serialisations:
+
+* the neutral format (:mod:`repro.litmus.parse`);
+* the herd dialect of the test's architecture
+  (:mod:`repro.litmus.frontend`).
+
+Seeded via ``$REPRO_TEST_SEED`` like every randomized suite.
+"""
+
+import pathlib
+import random
+
+import pytest
+
+from repro.conformance.budget import get_budget
+from repro.conformance.generators import generate_suite, random_litmus
+from repro.conformance.seeds import derive_seed
+from repro.litmus.frontend import DIALECTS, dump_dialect, load_dialect
+from repro.litmus.parse import dumps, loads
+
+CORPUS = pathlib.Path(__file__).resolve().parent / "corpus"
+ALL_FILES = sorted(
+    p.relative_to(CORPUS).as_posix() for p in CORPUS.glob("*/*.litmus")
+)
+
+
+@pytest.mark.parametrize("relpath", ALL_FILES)
+def test_corpus_roundtrip_both_formats(relpath):
+    test = load_dialect((CORPUS / relpath).read_text(encoding="utf-8"))
+    assert loads(dumps(test)) == test, f"{relpath}: neutral round-trip"
+    assert load_dialect(dump_dialect(test)) == test, (
+        f"{relpath}: dialect round-trip"
+    )
+
+
+@pytest.mark.parametrize("arch", sorted(DIALECTS))
+def test_random_programs_roundtrip_both_formats(arch, test_seed):
+    rng = random.Random(derive_seed(test_seed, f"frontend-rt-{arch}"))
+    budget = get_budget("small")
+    for i in range(60):
+        test = random_litmus(arch, rng, budget, f"rt-{i}")
+        assert loads(dumps(test)) == test
+        assert load_dialect(dump_dialect(test)) == test
+
+
+def test_cpp_random_programs_roundtrip_neutral(test_seed):
+    """C++ has no herd dialect; its fuzzer stream still must round-trip
+    through the neutral format (atomic{} brackets, memory orders)."""
+    rng = random.Random(derive_seed(test_seed, "frontend-rt-cpp"))
+    budget = get_budget("small")
+    for i in range(60):
+        test = random_litmus("cpp", rng, budget, f"rt-{i}")
+        assert loads(dumps(test)) == test
+
+
+@pytest.mark.parametrize("arch", sorted(DIALECTS))
+def test_fuzzer_suite_roundtrips(arch, test_seed):
+    """Every test the fuzzer would actually emit (all streams, smoke
+    budget) round-trips through both serialisations."""
+    for item in generate_suite(arch, test_seed, "smoke"):
+        assert loads(dumps(item.test)) == item.test, item.name
+        try:
+            herd = dump_dialect(item.test)
+        except ValueError:
+            # Catalog entries can carry constructs with no dialect
+            # rendering (e.g. C++ memory orders on an x86 sweep);
+            # those legitimately stay neutral-only.
+            continue
+        assert load_dialect(herd) == item.test, item.name

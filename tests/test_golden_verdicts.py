@@ -12,7 +12,14 @@ import json
 import pathlib
 
 from repro.catalog import CATALOG
-from repro.conformance.golden import load_snapshot, verdict_matrix
+from repro.conformance.golden import (
+    LITMUS_ARCHES,
+    litmus_entries,
+    litmus_key,
+    litmus_matrix,
+    load_snapshot,
+    verdict_matrix,
+)
 from repro.models.registry import MODELS
 
 GOLDEN = pathlib.Path(__file__).resolve().parent / "golden_verdicts.json"
@@ -31,10 +38,16 @@ class TestGoldenVerdicts:
         assert snapshot, "empty golden snapshot"
 
     def test_snapshot_covers_the_full_catalog_and_registry(self):
-        """New catalog entries / models must be pinned too."""
+        """New catalog entries / models / litmus imports must be pinned."""
         snapshot = load_snapshot(GOLDEN)
-        assert set(snapshot) == set(CATALOG), (
-            f"snapshot entries differ from the catalog; {_REGEN_HINT}"
+        expected_keys = set(CATALOG) | {
+            litmus_key(entry, arch)
+            for arch in LITMUS_ARCHES
+            for entry in litmus_entries(arch)
+        }
+        assert set(snapshot) == expected_keys, (
+            f"snapshot entries differ from the catalog + litmus imports; "
+            f"{_REGEN_HINT}"
         )
         for entry, row in snapshot.items():
             assert set(row) == set(MODELS), (
@@ -54,5 +67,22 @@ class TestGoldenVerdicts:
         ]
         assert not flipped, (
             "catalog verdicts flipped (entry, model, pinned, got): "
+            f"{flipped}; {_REGEN_HINT}"
+        )
+
+    def test_no_litmus_observability_flipped(self):
+        """The litmus renderings of the corpus-imported classic entries
+        keep their pinned observability rows across all eight models."""
+        snapshot = load_snapshot(GOLDEN)
+        current = litmus_matrix()
+        flipped = [
+            (key, model, snapshot[key][model], got)
+            for key, row in current.items()
+            for model, got in row.items()
+            if snapshot.get(key, {}).get(model) is not None
+            and snapshot[key][model] != got
+        ]
+        assert not flipped, (
+            "litmus observability flipped (key, model, pinned, got): "
             f"{flipped}; {_REGEN_HINT}"
         )

@@ -278,6 +278,10 @@ def test_golden_verdicts_unchanged_through_ir():
         (Path(__file__).parent / "golden_verdicts.json").read_text()
     )
     for entry_name, models in golden.items():
+        if entry_name.startswith("litmus:"):
+            # Litmus-observability rows (frontend↔catalog agreement)
+            # are pinned by tests/test_corpus.py, not the IR sweep.
+            continue
         x = CATALOG[entry_name].execution
         for model_name, expected in models.items():
             assert get_model(model_name).consistent(x) == expected, (
