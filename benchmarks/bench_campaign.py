@@ -88,7 +88,7 @@ _ARTIFACT_MODELS = [
 ]
 
 
-def _artifact(json_path: str) -> dict:
+def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
     import json
     import time
 
@@ -122,6 +122,41 @@ def _artifact(json_path: str) -> dict:
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+    if manifest_path is not None:
+        import sys
+
+        from repro.obs import manifest as obs_manifest
+
+        manifest = obs_manifest.from_rates(
+            kind="bench",
+            label="campaign-cold-sweep",
+            rates={
+                "tests_per_second": payload["tests_per_second"],
+                "cells_per_second": payload["cells_per_second"],
+                "candidates_per_second": payload["candidates_per_second"],
+            },
+            elapsed=elapsed,
+            stages={
+                name: {
+                    "seconds": round(secs, 6),
+                    "calls": profiler.calls.get(name, 0),
+                }
+                for name, secs in profiler.seconds.items()
+            },
+            counters=dict(profiler.counters),
+            argv=sys.argv[1:],
+            extra={
+                "tests": len(suite),
+                "models": len(_ARTIFACT_MODELS),
+                "cells": len(result.cells),
+            },
+        )
+        # An explicit path, not the runs/ directory: CI diffs it against
+        # a committed baseline (`repro stats diff` resolves bare paths).
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return payload
 
 
@@ -135,5 +170,15 @@ if __name__ == "__main__":
         default="BENCH_campaign.json",
         help="where to write the perf artifact",
     )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="also write a repro.run-manifest for `repro stats diff`",
+    )
     args = parser.parse_args()
-    print(json.dumps(_artifact(args.json), indent=2, sort_keys=True))
+    print(
+        json.dumps(
+            _artifact(args.json, args.manifest), indent=2, sort_keys=True
+        )
+    )

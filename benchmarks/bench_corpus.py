@@ -87,7 +87,7 @@ def test_corpus_campaign_warm(benchmark, jobs):
 # ----------------------------------------------------------------------
 
 
-def _artifact(json_path: str) -> dict:
+def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
     import json
     import time
 
@@ -124,6 +124,42 @@ def _artifact(json_path: str) -> dict:
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+    if manifest_path is not None:
+        from repro.obs import manifest as obs_manifest
+
+        manifest = obs_manifest.from_rates(
+            kind="bench",
+            label="corpus-frontend",
+            rates={
+                "files_parsed_per_second": payload[
+                    "files_parsed_per_second"
+                ],
+                "corpus_cells_per_second": payload[
+                    "corpus_cells_per_second"
+                ],
+                "corpus_cells_per_second_warm": payload[
+                    "corpus_cells_per_second_warm"
+                ],
+            },
+            elapsed=cold_elapsed,
+            stages={
+                "parse": {"seconds": round(parse_elapsed, 6), "calls": 1},
+                "campaign_cold": {
+                    "seconds": round(cold_elapsed, 6),
+                    "calls": 1,
+                },
+                "campaign_warm": {
+                    "seconds": round(warm_elapsed, 6),
+                    "calls": 1,
+                },
+            },
+            argv=sys.argv[1:],
+            extra={"files": len(texts), "cells": cells},
+        )
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return payload
 
 
@@ -137,5 +173,15 @@ if __name__ == "__main__":
         default="BENCH_corpus.json",
         help="where to write the perf artifact",
     )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="also write a repro.run-manifest for `repro stats diff`",
+    )
     args = parser.parse_args()
-    print(json.dumps(_artifact(args.json), indent=2, sort_keys=True))
+    print(
+        json.dumps(
+            _artifact(args.json, args.manifest), indent=2, sort_keys=True
+        )
+    )

@@ -120,7 +120,7 @@ def _campaign_resweep() -> dict:
     }
 
 
-def _artifact(json_path: str) -> dict:
+def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
     import json
     import time
 
@@ -161,6 +161,40 @@ def _artifact(json_path: str) -> dict:
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+    if manifest_path is not None:
+        import sys
+
+        from repro.obs import manifest as obs_manifest
+
+        manifest = obs_manifest.from_rates(
+            kind="bench",
+            label="ir-all-models-sweep",
+            rates={
+                "axiom_evals_per_second": payload[
+                    "axiom_evals_per_second"
+                ],
+                "cross_model_sharing_ratio": payload[
+                    "cross_model_sharing_ratio"
+                ],
+                "campaign_resweep_cells_per_second": payload[
+                    "campaign_resweep_cells_per_second"
+                ],
+            },
+            elapsed=elapsed,
+            counters={
+                "node_computes": payload["node_computes"],
+                "axiom_evals": payload["axiom_evals"],
+            },
+            argv=sys.argv[1:],
+            extra={
+                "models": payload["models"],
+                "executions": payload["executions"],
+            },
+        )
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return payload
 
 
@@ -174,5 +208,15 @@ if __name__ == "__main__":
         default="BENCH_ir.json",
         help="where to write the perf artifact",
     )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="also write a repro.run-manifest for `repro stats diff`",
+    )
     args = parser.parse_args()
-    print(json.dumps(_artifact(args.json), indent=2, sort_keys=True))
+    print(
+        json.dumps(
+            _artifact(args.json, args.manifest), indent=2, sort_keys=True
+        )
+    )

@@ -32,18 +32,18 @@ def main() -> None:
         #    SC.  Each test is expanded into candidate executions once
         #    and checked against all three models; misses go to the
         #    worker pool; every verdict lands in the persistent cache.
+        #    Using the cache as a context manager guarantees buffered
+        #    verdicts are flushed to disk when the block exits.
         models = ["x86", "x86tm", "sc"]
-        result = run_campaign(
-            suite, models, jobs=2, cache=ResultCache(cache_dir)
-        )
+        with ResultCache(cache_dir) as cache:
+            result = run_campaign(suite, models, jobs=2, cache=cache)
         print(result.format_matrix())
         print(result.summary())
         print()
 
         # 3. Re-running is incremental: everything is a cache hit.
-        rerun = run_campaign(
-            suite, models, cache=ResultCache(cache_dir)
-        )
+        with ResultCache(cache_dir) as cache:
+            rerun = run_campaign(suite, models, cache=cache)
         print(f"re-run: {rerun.summary()}")
         print()
 
@@ -56,9 +56,8 @@ def main() -> None:
         #    expected verdicts attached) — diffs() reports any model
         #    that disagrees with the paper's expectations.
         entries = catalog_suite(tags=["classic"])
-        check = run_campaign(
-            entries, ["sc", "x86", "power"], cache=ResultCache(cache_dir)
-        )
+        with ResultCache(cache_dir) as cache:
+            check = run_campaign(entries, ["sc", "x86", "power"], cache=cache)
         print(f"catalog sweep: {check.summary()}")
         print(f"disagreements with the paper: {check.diffs(entries)}")
 

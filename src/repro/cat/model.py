@@ -22,7 +22,7 @@ import hashlib
 from functools import lru_cache
 from pathlib import Path
 
-from ..core import profiling
+from ..obs import trace
 from ..core.analysis import CandidateAnalysis
 from ..core.execution import Execution
 from ..ir.eval import axiom_holds
@@ -114,8 +114,8 @@ class CatModel(MemoryModel):
         the compiled IR instead (see :meth:`check`/:meth:`consistent`).
         """
         a = self._analysis(x)
-        if profiling.ACTIVE is not None:
-            with profiling.stage("axioms"):
+        if trace.ACTIVE is not None:
+            with trace.stage("axioms"):
                 return evaluate(self.ast, a, _library_loader)
         return evaluate(self.ast, a, _library_loader)
 
@@ -188,8 +188,8 @@ class CatModel(MemoryModel):
         if self._plan is None:
             return self.evaluate(x).consistent
         a = self._analysis(x)
-        if profiling.ACTIVE is not None:
-            with profiling.stage("axioms"):
+        if trace.ACTIVE is not None:
+            with trace.stage("axioms"):
                 return all(self._holds(c, a) for c in self._plan)
         return all(self._holds(c, a) for c in self._plan)
 

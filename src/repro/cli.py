@@ -15,7 +15,12 @@ Commands:
 * ``campaign --arch A --models M1,M2 [--jobs N]`` — batch-run a litmus
   suite (synthesized diy cycles, the catalog, or litmus files) across
   many models through the campaign engine, with a persistent result
-  cache under ``.repro-cache/``;
+  cache under ``.repro-cache/``.  ``--profile`` prints the per-stage
+  timing breakdown (merged across workers), ``--telemetry`` records a
+  run manifest under ``.repro-cache/runs/``, ``--trace`` streams a
+  JSONL span sidecar, ``--json`` writes the machine-readable result;
+* ``stats list|show|diff`` — query recorded run manifests; ``diff``
+  compares two runs metric-by-metric (``--fail-over PCT`` gates);
 * ``fuzz --arch A --seed S --budget B`` — differential conformance
   fuzzing: generate litmus streams (diy cycles, directed witnesses,
   catalog ⊏-mutations, seeded random programs), cross-check the native
@@ -160,12 +165,13 @@ def _cmd_table1(args) -> int:
     bounds = {"x86": [2, 3], "power": [2, 3]}
     if args.full:
         bounds = {"x86": [2, 3, 4], "power": [2, 3, 4]}
-    table = run_table1(
-        bounds=bounds,
-        time_budget=args.budget,
-        jobs=args.jobs,
-        cache=_make_cache(args),
-    )
+    with _make_cache(args) as cache:
+        table = run_table1(
+            bounds=bounds,
+            time_budget=args.budget,
+            jobs=args.jobs,
+            cache=cache,
+        )
     print(format_table1(table))
     return 0
 
@@ -192,14 +198,37 @@ def _cmd_fig7(args) -> int:
     return 0
 
 
+def _telemetry_requested(args) -> bool:
+    """--telemetry / --profile / --trace, or ``$REPRO_TELEMETRY``."""
+    import os
+
+    return bool(
+        getattr(args, "telemetry", False)
+        or getattr(args, "profile", False)
+        or getattr(args, "trace", None)
+        or os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")
+    )
+
+
+def _runs_dir_for(args):
+    """Manifests live beside the result cache when --cache-dir is set."""
+    from pathlib import Path
+
+    cache_dir = getattr(args, "cache_dir", None)
+    return Path(cache_dir) / "runs" if cache_dir else None
+
+
 def _cmd_campaign(args) -> int:
-    from .core import profiling
+    import json
+
     from .engine import (
         catalog_suite,
         diy_suite,
         litmus_suite,
         run_campaign,
     )
+    from .obs import manifest as obs_manifest
+    from .obs import telemetry as obs_telemetry
 
     if args.files:
         from .litmus.parse import ParseError
@@ -220,33 +249,66 @@ def _cmd_campaign(args) -> int:
         return 1
 
     models = (args.models or args.arch).split(",")
-    cache = _make_cache(args)
-    jobs = args.jobs
-    profiler = None
-    if args.profile:
-        # Stage timers live in this process; worker processes would not
-        # report back, so profiling forces the deterministic serial path.
-        if jobs != 1:
-            print("--profile forces --jobs 1 (timers are per-process)")
-            jobs = 1
-        profiler = profiling.enable()
+    # Telemetry no longer forces --jobs 1: pool workers collect their own
+    # snapshots and the parent merges them (see repro.obs.telemetry).
+    bundle = (
+        obs_telemetry.enable(sink=args.trace)
+        if _telemetry_requested(args)
+        else None
+    )
+    report = manifest = None
     try:
-        result = run_campaign(items, models, jobs=jobs, cache=cache)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        with _make_cache(args) as cache:
+            try:
+                result = run_campaign(
+                    items, models, jobs=args.jobs, cache=cache
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            cache_line = (
+                f"cache: {cache.path} ({cache.stats()})"
+                if cache.path is not None
+                else None
+            )
+            if bundle is not None:
+                report = bundle.tracer.report()
+                label = (
+                    "files" if args.files else f"{args.suite}:{args.arch}"
+                )
+                manifest = obs_manifest.from_campaign(
+                    result,
+                    kind="campaign",
+                    label=label,
+                    items=items,
+                    cache=cache,
+                    argv=sys.argv[1:],
+                    snapshot=bundle.snapshot(),
+                )
     finally:
-        if profiler is not None:
-            profiling.disable()
+        if bundle is not None:
+            obs_telemetry.disable()
     print(result.format_matrix())
     print()
     print(result.summary())
-    if profiler is not None:
+    if args.profile and report is not None:
         print()
         print("per-stage timing (self time):")
-        print(profiler.report())
-    if cache.path is not None:
-        print(f"cache: {cache.path} ({cache.stats()})")
+        print(report)
+    if cache_line is not None:
+        print(cache_line)
+    if manifest is not None:
+        path = obs_manifest.write_manifest(manifest, _runs_dir_for(args))
+        print(f"run manifest: {path}")
+    if args.trace:
+        print(f"trace sidecar: {args.trace}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                result.to_json_dict(items), handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        print(f"json result: {args.json}")
     diffs = result.diffs(items)
     if diffs:
         print()
@@ -266,6 +328,8 @@ def _cmd_campaign(args) -> int:
 def _cmd_fuzz(args) -> int:
     from .conformance import reproducible_seed, run_fuzz
     from .conformance.report import to_json_lines, to_markdown
+    from .obs import manifest as obs_manifest
+    from .obs import telemetry as obs_telemetry
 
     if args.mutants is None:
         mutants: tuple[str, ...] | bool = ()
@@ -273,25 +337,43 @@ def _cmd_fuzz(args) -> int:
         mutants = True
     else:
         mutants = tuple(args.mutants.split(","))
+    bundle = (
+        obs_telemetry.enable() if _telemetry_requested(args) else None
+    )
+    manifest = None
     try:
         # Inside the try: a malformed $REPRO_TEST_SEED is a
         # configuration error (exit 2), not a disagreement (exit 1).
         seed = reproducible_seed() if args.seed is None else args.seed
-        report = run_fuzz(
-            args.arch,
-            seed=seed,
-            budget=args.budget,
-            shrink=args.shrink,
-            mutants=mutants,
-            jobs=args.jobs,
-            cache=_make_cache(args),
-            machine=not args.no_machine,
-            brute=not args.no_brute,
-        )
+        with _make_cache(args) as cache:
+            report = run_fuzz(
+                args.arch,
+                seed=seed,
+                budget=args.budget,
+                shrink=args.shrink,
+                mutants=mutants,
+                jobs=args.jobs,
+                cache=cache,
+                machine=not args.no_machine,
+                brute=not args.no_brute,
+            )
+            if bundle is not None:
+                manifest = obs_manifest.from_fuzz(
+                    report,
+                    cache=cache,
+                    argv=sys.argv[1:],
+                    snapshot=bundle.snapshot(),
+                )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if bundle is not None:
+            obs_telemetry.disable()
     print(report.summary())
+    if manifest is not None:
+        path = obs_manifest.write_manifest(manifest, _runs_dir_for(args))
+        print(f"run manifest: {path}")
     if args.jsonl:
         with open(args.jsonl, "w", encoding="utf-8") as handle:
             handle.write(to_json_lines(report))
@@ -459,6 +541,12 @@ def ir_describe(node) -> str:
     return describe(node, maxdepth=3)
 
 
+def _cmd_stats(args) -> int:
+    from .obs.stats import cmd_stats
+
+    return cmd_stats(args)
+
+
 def _cmd_rtl(args) -> int:
     from .experiments.rtl import format_rtl, run_rtl_check
 
@@ -603,7 +691,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max diy cycle length")
     p.add_argument("--profile", action="store_true",
                    help="print a per-stage timing breakdown "
-                        "(expansion / analysis / axioms / cache)")
+                        "(expansion / analysis / axioms / cache); "
+                        "works with --jobs: workers ship their timers "
+                        "back and the parent merges them")
+    p.add_argument("--telemetry", action="store_true",
+                   help="record structured telemetry and write a run "
+                        "manifest under the cache's runs/ directory "
+                        "(also enabled by $REPRO_TELEMETRY=1)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="stream completed spans to a JSONL trace "
+                        "sidecar (implies --telemetry)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the machine-readable campaign result "
+                        "(matrix, per-cell timings, cache stats)")
     add_engine_options(p)
 
     p = sub.add_parser("fuzz",
@@ -634,6 +734,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the machine-readable JSONL report")
     p.add_argument("--report", metavar="PATH",
                    help="write the markdown report")
+    p.add_argument("--telemetry", action="store_true",
+                   help="record structured telemetry and write a run "
+                        "manifest under the cache's runs/ directory "
+                        "(also enabled by $REPRO_TELEMETRY=1)")
     add_engine_options(p)
 
     p = sub.add_parser("explain",
@@ -665,6 +769,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig7", help="regenerate the Fig 7 curve")
     p.add_argument("--events", type=int, default=4)
     p.add_argument("--budget", type=float, default=120.0)
+
+    p = sub.add_parser("stats",
+                       help="list, inspect, and diff recorded run "
+                            "manifests (campaigns, fuzz runs, benches)")
+    p.add_argument("action", choices=["list", "show", "diff"])
+    p.add_argument("runs", nargs="*",
+                   help="run references: a manifest path, 'last', "
+                        "'last~N', or a unique run-id prefix "
+                        "(show takes one, diff takes baseline + fresh)")
+    p.add_argument("--runs-dir", default=None, metavar="DIR",
+                   help="manifest directory (default "
+                        "$REPRO_CACHE_DIR/runs or .repro-cache/runs)")
+    p.add_argument("--fail-over", type=float, default=None, metavar="PCT",
+                   help="diff: exit 1 if any metric regresses by more "
+                        "than PCT percent (default: warn only)")
 
     p = sub.add_parser("rtl", help="run the §6.2 RTL conformance check")
     p.add_argument("--events", type=int, default=4)
@@ -715,6 +834,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "explain": _cmd_explain,
     "fuzz": _cmd_fuzz,
+    "stats": _cmd_stats,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "table3": _cmd_table3,

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from ..engine.campaign import CampaignResult, run_campaign
 from ..engine.checkers import resolve_checker
+from ..obs import trace
 from ..litmus.program import Fence, Load, Store
 from ..litmus.test import LitmusTest
 from ..sim.tso import runnable_on_tso
@@ -261,9 +262,15 @@ def run_fuzz(
 
     if shrink:
         for d in disagreements + mutant_hits:
-            shrink_disagreement(
-                d, resolve_checker(d.left), resolve_checker(d.right)
-            )
+            if trace.ACTIVE is not None:
+                with trace.stage("shrink", item=d.item, kind=d.kind):
+                    shrink_disagreement(
+                        d, resolve_checker(d.left), resolve_checker(d.right)
+                    )
+            else:
+                shrink_disagreement(
+                    d, resolve_checker(d.left), resolve_checker(d.right)
+                )
 
     mutant_results = []
     for spec, axiom in zip(mutant_specs, mutant_axioms):

@@ -45,6 +45,7 @@ from ..litmus.program import (
     TxEnd,
 )
 from ..litmus.test import CoSeq, LitmusTest, MemEq, RegEq, TxnOk
+from ..obs import trace
 from ..synth.diy import cycle_execution, enumerate_cycles
 from ..synth.minimality import weakenings
 from ..synth.vocab import ArchVocab, get_vocab
@@ -419,22 +420,55 @@ def generate_suite(
             f"cannot fuzz {arch!r}; supported: {', '.join(FUZZ_ARCHES)}"
         )
     budget = get_budget(budget)
-    items: list[FuzzItem] = []
+    streams: list[tuple[str, object]] = []
     if "diy" in sources:
-        items.extend(_diy_stream(arch, budget))
+        streams.append(("diy", lambda: _diy_stream(arch, budget)))
     if "directed" in sources:
-        items.extend(_directed_stream(arch))
+        streams.append(("directed", lambda: _directed_stream(arch)))
     if "catalog" in sources:
-        items.extend(_catalog_stream(arch, budget))
+        streams.append(("catalog", lambda: _catalog_stream(arch, budget)))
     if "mutation" in sources:
-        rng = random.Random(derive_seed(seed, f"fuzz-mutation-{arch}"))
-        items.extend(_mutation_stream(arch, rng, budget))
+        streams.append(
+            (
+                "mutation",
+                lambda: _mutation_stream(
+                    arch,
+                    random.Random(derive_seed(seed, f"fuzz-mutation-{arch}")),
+                    budget,
+                ),
+            )
+        )
     if "random" in sources:
-        rng = random.Random(derive_seed(seed, f"fuzz-random-{arch}"))
-        items.extend(_random_stream(arch, rng, budget))
+        streams.append(
+            (
+                "random",
+                lambda: _random_stream(
+                    arch,
+                    random.Random(derive_seed(seed, f"fuzz-random-{arch}")),
+                    budget,
+                ),
+            )
+        )
     if "herd" in sources:
-        rng = random.Random(derive_seed(seed, f"fuzz-herd-{arch}"))
-        items.extend(_herd_stream(arch, rng, budget))
+        streams.append(
+            (
+                "herd",
+                lambda: _herd_stream(
+                    arch,
+                    random.Random(derive_seed(seed, f"fuzz-herd-{arch}")),
+                    budget,
+                ),
+            )
+        )
+    items: list[FuzzItem] = []
+    for source, produce in streams:
+        if trace.ACTIVE is not None:
+            with trace.stage(f"generate:{source}", arch=arch):
+                batch = produce()
+            trace.count(f"generated:{source}", len(batch))
+        else:
+            batch = produce()
+        items.extend(batch)
     return items
 
 

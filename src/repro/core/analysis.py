@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, TypeVar
 
-from . import profiling
+from ..obs import trace
 from .events import Label
 from .execution import Execution
 from .lifting import stronglift as _stronglift
@@ -143,8 +143,8 @@ class CandidateAnalysis:
             return memo[key]
         except KeyError:
             pass
-        if profiling.ACTIVE is not None:
-            with profiling.stage("analysis"):
+        if trace.ACTIVE is not None:
+            with trace.stage("analysis"):
                 value = compute()
         else:
             value = compute()

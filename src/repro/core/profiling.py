@@ -1,119 +1,65 @@
-"""Per-stage timing for the checking pipeline (``repro campaign --profile``).
+"""Compatibility shim over :mod:`repro.obs` (the telemetry subsystem).
 
-The pipeline has four stages worth telling apart when hunting for the
-next bottleneck:
+This module used to own the four-stage profiler behind
+``repro campaign --profile``.  The real implementation now lives in
+:mod:`repro.obs.trace` — a structured span tracer with the same
+self-time attribution (per-stage totals sum to the instrumented wall
+clock, no double counting), plus span ring buffers, JSONL sidecars,
+and cross-process snapshot merging the old profiler never had.
 
-* ``expansion`` — enumerating candidate executions of a program;
-* ``analysis`` — building the shared base relations of a candidate
-  (:class:`repro.core.analysis.CandidateAnalysis`);
-* ``axioms`` — deriving each model's relations and evaluating its
-  axioms (or evaluating a ``.cat`` file);
-* ``cache`` — fingerprinting payloads and persistent-cache lookups.
+The legacy surface is preserved exactly:
 
-Stages nest (axiom evaluation forces analysis lazily, expansion happens
-inside the first axiom sweep of a test), so the profiler keeps a stack
-and attributes *self time*: seconds spent in a stage excluding enclosed
-stages.  The per-stage totals therefore add up to the instrumented
-wall-clock instead of double counting.
+* ``Profiler`` is the tracer class (``seconds``/``calls``/``counters``/
+  ``report()`` unchanged);
+* ``enable()``/``disable()`` install/uninstall the *full* telemetry
+  bundle (tracer + metrics registry) via :mod:`repro.obs.telemetry`,
+  returning the tracer so ``--profile`` call sites keep working;
+* ``stage(name)`` / ``count(name)`` delegate to the tracer module;
+* ``profiling.ACTIVE`` forwards to :data:`repro.obs.trace.ACTIVE`
+  through module ``__getattr__``.
 
-Profiling is off by default and costs one module-attribute read per
-instrumented site when off.  Hot paths guard with::
+New instrumentation should import :mod:`repro.obs.trace` directly —
+its module-global ``ACTIVE`` is the cheap one-attribute-read guard
+(this shim's ``ACTIVE`` costs a ``__getattr__`` call)::
 
-    if profiling.ACTIVE is not None:
-        with profiling.stage("expansion"):
+    from repro.obs import trace
+
+    if trace.ACTIVE is not None:
+        with trace.stage("expansion"):
             ...work...
-    else:
-        ...work...
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Iterator
+from ..obs import trace as _trace
 
 __all__ = ["Profiler", "ACTIVE", "stage", "count", "enable", "disable"]
 
+#: The legacy profiler class is the span tracer.
+Profiler = _trace.Tracer
 
-class Profiler:
-    """Accumulates self-time seconds and call counts per stage."""
-
-    def __init__(self) -> None:
-        self.seconds: dict[str, float] = {}
-        self.calls: dict[str, int] = {}
-        self.counters: dict[str, int] = {}
-        self._stack: list[list] = []  # [name, start, inner_seconds]
-
-    # -- recording -------------------------------------------------------
-
-    def push(self, name: str) -> None:
-        self._stack.append([name, time.perf_counter(), 0.0])
-
-    def pop(self) -> None:
-        name, start, inner = self._stack.pop()
-        total = time.perf_counter() - start
-        self.seconds[name] = self.seconds.get(name, 0.0) + (total - inner)
-        self.calls[name] = self.calls.get(name, 0) + 1
-        if self._stack:
-            self._stack[-1][2] += total
-
-    def count(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
-
-    # -- reporting -------------------------------------------------------
-
-    def report(self) -> str:
-        """A per-stage breakdown table (self time, calls, share)."""
-        total = sum(self.seconds.values())
-        lines = ["stage        seconds     calls   share", "-" * 39]
-        order = ("expansion", "analysis", "axioms", "cache")
-        names = [n for n in order if n in self.seconds] + sorted(
-            set(self.seconds) - set(order)
-        )
-        for name in names:
-            secs = self.seconds[name]
-            share = 100 * secs / total if total else 0.0
-            lines.append(
-                f"{name:<10} {secs:>9.4f} {self.calls[name]:>9} {share:>6.1f}%"
-            )
-        lines.append(f"{'total':<10} {total:>9.4f}")
-        for name in sorted(self.counters):
-            lines.append(f"{name}: {self.counters[name]}")
-        return "\n".join(lines)
+#: Re-exported no-op-when-off helpers.
+stage = _trace.stage
+count = _trace.count
 
 
-#: The active profiler, or ``None`` when profiling is off.
-ACTIVE: Profiler | None = None
+def enable() -> "_trace.Tracer":
+    """Install a fresh telemetry bundle; return its tracer."""
+    from ..obs import telemetry
 
-
-def enable() -> Profiler:
-    """Install and return a fresh profiler."""
-    global ACTIVE
-    ACTIVE = Profiler()
-    return ACTIVE
+    return telemetry.enable().tracer
 
 
 def disable() -> None:
-    global ACTIVE
-    ACTIVE = None
+    """Uninstall the telemetry bundle installed by :func:`enable`."""
+    from ..obs import telemetry
+
+    telemetry.disable()
 
 
-@contextmanager
-def stage(name: str) -> Iterator[None]:
-    """Time a pipeline stage (no-op when profiling is off)."""
-    prof = ACTIVE
-    if prof is None:
-        yield
-        return
-    prof.push(name)
-    try:
-        yield
-    finally:
-        prof.pop()
-
-
-def count(name: str, n: int = 1) -> None:
-    """Bump a named counter (no-op when profiling is off)."""
-    prof = ACTIVE
-    if prof is not None:
-        prof.count(name, n)
+def __getattr__(name: str):
+    # ``profiling.ACTIVE`` must track the live tracer; a module global
+    # here would go stale the moment obs.enable()/disable() ran.
+    if name == "ACTIVE":
+        return _trace.ACTIVE
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -195,22 +195,41 @@ class ResultCache:
         self._append_handle.flush()
 
     def close(self) -> None:
-        """Close the append handle (reopened lazily by the next put)."""
+        """Close the append handle (reopened lazily by the next put).
+
+        Flushing is durable only once this runs; owners use the cache
+        as a context manager (``with ResultCache(...) as cache:``)
+        rather than relying on GC timing — the class deliberately has
+        no ``__del__``.
+        """
         if self._append_handle is not None:
             self._append_handle.close()
             self._append_handle = None
 
-    def __del__(self) -> None:  # pragma: no cover - GC timing
-        try:
-            self.close()
-        except Exception:
-            pass
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats_dict(self) -> dict:
+        """Structured accounting for metrics snapshots and manifests."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes": size,
+        }
 
     def stats(self) -> str:
         return (
@@ -230,11 +249,23 @@ class NullCache:
     def __len__(self) -> int:
         return 0
 
+    def __enter__(self) -> "NullCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
     def get(self, key: str) -> None:
         return None
 
     def put(self, key: str, record: dict) -> None:
         pass
+
+    def stats_dict(self) -> dict:
+        return {"entries": 0, "hits": 0, "misses": 0, "bytes": 0}
 
     def stats(self) -> str:
         return "caching disabled"

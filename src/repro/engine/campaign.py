@@ -27,9 +27,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..core import profiling
 from ..core.execution import Execution
 from ..litmus.test import LitmusTest
+from ..obs import metrics as obs_metrics
+from ..obs import telemetry as obs_telemetry
+from ..obs import trace
 from .cache import NullCache, ResultCache, cache_key, fingerprint
 from .checkers import Checker, resolve_checker
 from .pool import parallel_map
@@ -167,6 +169,57 @@ class CampaignResult:
         lines.append("(A = observable/consistent, F = forbidden, ! = error)")
         return "\n".join(lines)
 
+    def to_json_dict(
+        self, items: "Sequence[CampaignItem] | None" = None
+    ) -> dict:
+        """The machine-readable run record behind ``campaign --json``:
+        verdict matrix, per-cell detail, diffs, errors, cache and timing
+        aggregates — so CI consumes structured output instead of
+        grepping the human-format matrix."""
+        out = {
+            "schema": "repro.campaign-result",
+            "version": 1,
+            "items": list(self.item_names),
+            "models": list(self.model_specs),
+            "matrix": self.matrix(),
+            "cells": [
+                {
+                    "item": name,
+                    "model": spec,
+                    "verdict": cell.verdict,
+                    "elapsed": round(cell.elapsed, 6),
+                    "cached": cell.cached,
+                    "error": cell.error,
+                }
+                for (name, spec), cell in sorted(self.cells.items())
+            ],
+            "elapsed_seconds": round(self.elapsed, 6),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.hit_rate, 6),
+            },
+            "model_seconds": {
+                spec: round(self.model_time(spec), 6)
+                for spec in self.model_specs
+            },
+            "errors": [
+                {"item": name, "model": spec, "error": message}
+                for name, spec, message in self.errors()
+            ],
+        }
+        if items is not None:
+            out["diffs"] = [
+                {
+                    "item": name,
+                    "model": spec,
+                    "got": got,
+                    "expected": expected,
+                }
+                for name, spec, got, expected in self.diffs(items)
+            ]
+        return out
+
     def summary(self) -> str:
         computed = self.cache_misses
         errors = sum(1 for cell in self.cells.values() if cell.error)
@@ -205,10 +258,24 @@ def _base_model_name(spec: str) -> str:
 # ----------------------------------------------------------------------
 
 
-def _run_unit(
-    unit: tuple[str, LitmusTest | Execution, tuple[str | Checker, ...]],
+#: Per-process memo of checker definition tokens (sha over a model's
+#: definition); keys cell spans without rehashing per cell.
+_TOKEN_CACHE: dict[str, str] = {}
+
+
+def _definition_token(checker: Checker) -> str:
+    token = _TOKEN_CACHE.get(checker.spec)
+    if token is None:
+        token = _TOKEN_CACHE[checker.spec] = checker.definition_hash()
+    return token
+
+
+def _run_checkers(
+    name: str,
+    payload: LitmusTest | Execution,
+    checkers: tuple[str | Checker, ...],
 ) -> list[tuple[str, str, bool, float, str | None]]:
-    """Evaluate one test against several checkers (runs in a worker).
+    """Evaluate one test against several checkers.
 
     Grouping by test means the candidate expansion is computed once and
     shared by every checker via the per-process memo.  Checkers arrive
@@ -220,10 +287,19 @@ def _run_unit(
     verdicts of a long sweep.  The error is reported per cell and the
     campaign's consumer decides (the CLI exits nonzero).
     """
-    name, payload, checkers = unit
     out = []
     for entry in checkers:
         checker = entry if isinstance(entry, Checker) else resolve_checker(entry)
+        tracer = trace.ACTIVE
+        if tracer is not None:
+            tracer.push(
+                "cell",
+                {
+                    "item": name,
+                    "model": checker.spec,
+                    "token": _definition_token(checker),
+                },
+            )
         start = time.perf_counter()
         try:
             verdict = checker.verdict(payload)
@@ -231,10 +307,34 @@ def _run_unit(
         except Exception as exc:
             verdict = False
             error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if tracer is not None:
+                tracer.pop()
         out.append(
             (name, checker.spec, verdict, time.perf_counter() - start, error)
         )
     return out
+
+
+def _run_unit(
+    unit: tuple[str, LitmusTest | Execution, tuple[str | Checker, ...], bool],
+) -> tuple[list[tuple[str, str, bool, float, str | None]], dict | None]:
+    """One worker task: run the unit's checkers, ship telemetry home.
+
+    When the parent ran with telemetry enabled the unit is tagged; a
+    pool worker (whose telemetry state was reset by the worker
+    initializer) then collects spans/metrics into an ephemeral local
+    bundle and returns its snapshot alongside the cell rows, so
+    worker-side stage time is merged fleet-wide instead of dropped.  On
+    the serial path :func:`repro.obs.telemetry.collect` is a no-op —
+    the parent's own collectors see the work directly.
+    """
+    name, payload, checkers, telemetry_on = unit
+    if telemetry_on:
+        with obs_telemetry.collect() as holder:
+            rows = _run_checkers(name, payload, checkers)
+        return rows, holder.snapshot
+    return _run_checkers(name, payload, checkers), None
 
 
 # ----------------------------------------------------------------------
@@ -288,9 +388,9 @@ def run_campaign(
     caching = not isinstance(cache, NullCache)
     definitions = (
         {
-            spec: (
+            spec: _definition_token(
                 entry if isinstance(entry, Checker) else resolve_checker(entry)
-            ).definition_hash()
+            )
             for spec, entry in by_spec.items()
         }
         if caching
@@ -300,14 +400,14 @@ def run_campaign(
         # Fingerprinting is the expensive per-item step; skip it
         # entirely on uncached runs.
         if caching:
-            with profiling.stage("cache"):
+            with trace.stage("cache"):
                 item_fp = fingerprint(item.payload)
         else:
             item_fp = None
         for spec in models:
             record = None
             if caching:
-                with profiling.stage("cache"):
+                with trace.stage("cache"):
                     key = cache_key(item_fp, spec, definitions[spec])
                     keys[(item.name, spec)] = key
                     record = cache.get(key)
@@ -321,26 +421,38 @@ def run_campaign(
             else:
                 pending.setdefault(item.name, []).append(spec)
 
+    telemetry_on = trace.ACTIVE is not None
     units = [
         (
             item.name,
             item.payload,
             tuple(by_spec[spec] for spec in pending[item.name]),
+            telemetry_on,
         )
         for item in items
         if item.name in pending
     ]
-    misses = sum(len(specs) for _, _, specs in units)
+    misses = sum(len(specs) for _, _, specs, _ in units)
 
-    for result in parallel_map(_run_unit, units, jobs=jobs):
-        for name, spec, verdict, elapsed, error in result:
+    registry = obs_metrics.ACTIVE
+    for rows, snap in parallel_map(_run_unit, units, jobs=jobs):
+        # Worker-side telemetry (stage self-times, per-cell spans, IR
+        # counters) comes home with the chunk results; merging it here
+        # is what makes ``--profile``/manifests see ProcessPool time.
+        if snap is not None:
+            obs_telemetry.merge_snapshot(snap)
+        for name, spec, verdict, elapsed, error in rows:
             cells[(name, spec)] = CellResult(
                 verdict, elapsed, cached=False, error=error
             )
+            if registry is not None and error is None:
+                # Parent-side observation keeps latency percentiles
+                # exact for serial and parallel runs alike.
+                registry.histogram(f"cell_seconds:{spec}").observe(elapsed)
             if error is not None:
                 continue  # never cache a crash as a verdict
             if caching:
-                with profiling.stage("cache"):
+                with trace.stage("cache"):
                     cache.put(
                         keys[(name, spec)],
                         {
@@ -350,6 +462,16 @@ def run_campaign(
                             "model": spec,
                         },
                     )
+
+    if telemetry_on:
+        trace.count("cells_computed", misses)
+        trace.count("cells_cached", hits)
+        if registry is not None and caching and hasattr(cache, "stats_dict"):
+            stats = cache.stats_dict()
+            registry.counter("cache_hits").inc(hits)
+            registry.counter("cache_misses").inc(misses)
+            registry.gauge("cache_entries").set(stats["entries"])
+            registry.gauge("cache_bytes").set(stats["bytes"])
 
     return CampaignResult(
         item_names=names,

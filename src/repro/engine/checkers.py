@@ -51,6 +51,7 @@ __all__ = [
     "OracleChecker",
     "definition_hash",
     "resolve_checker",
+    "spec_definition_hash",
 ]
 
 
@@ -187,6 +188,16 @@ def _cat_file_for(name: str) -> str | None:
     if f"{name}.cat" in CAT_MODEL_FILES.values():
         return f"{name}.cat"
     return None
+
+
+@lru_cache(maxsize=None)
+def spec_definition_hash(spec: str) -> str:
+    """The resolved checker's definition hash, memoized per process.
+
+    Manifest building and cell-span keying hash the same definitions a
+    campaign keys its cache with; memoizing by spec string avoids
+    re-walking model sources per run."""
+    return resolve_checker(spec).definition_hash()
 
 
 @lru_cache(maxsize=None)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..core.execution import Execution
 from ..models.base import Axiom, MemoryModel, Verdict
+from ..obs import trace
 from .cache import NullCache, ResultCache, cache_key, fingerprint
 
 __all__ = ["MemoModel"]
@@ -73,15 +74,21 @@ class MemoModel(MemoryModel):
     def consistent(self, x: Execution) -> bool:
         hit = self._memo.get(x)
         if hit is not None:
+            if trace.ACTIVE is not None:
+                trace.ACTIVE.count("memo_model_hits")
             return hit
         key = None
         if not isinstance(self.cache, NullCache):
             key = cache_key(fingerprint(x), self.spec)
             record = self.cache.get(key)
             if record is not None:
+                if trace.ACTIVE is not None:
+                    trace.ACTIVE.count("memo_persistent_hits")
                 verdict = bool(record["verdict"])
                 self._memo[x] = verdict
                 return verdict
+        if trace.ACTIVE is not None:
+            trace.ACTIVE.count("memo_model_misses")
         verdict = self.model.consistent(x)
         if len(self._memo) >= _MEMO_LIMIT:
             self._memo.clear()

@@ -13,6 +13,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..obs import telemetry
+
 __all__ = ["parallel_map", "default_jobs"]
 
 T = TypeVar("T")
@@ -22,6 +24,18 @@ R = TypeVar("R")
 def default_jobs() -> int:
     """A sensible worker count for ``--jobs 0``: the CPU count."""
     return os.cpu_count() or 1
+
+
+def _worker_init() -> None:
+    """Per-worker-process setup.
+
+    Forked workers inherit the parent's telemetry objects; anything
+    recorded into those copies would be silently lost.  Resetting here
+    makes workers start observably *off*, so telemetry-tagged campaign
+    units collect into fresh local bundles and ship snapshots back with
+    their results (see :func:`repro.engine.campaign._run_unit`).
+    """
+    telemetry.reset_worker_state()
 
 
 def parallel_map(
@@ -46,7 +60,9 @@ def parallel_map(
         # ~4 chunks per worker balances scheduling overhead and skew.
         chunksize = max(1, len(items) // (workers * 4))
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init
+        ) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
     except (OSError, PermissionError):
         # No subprocess support here; fall back to the serial path.

@@ -44,17 +44,20 @@ __all__ = [
 
 
 class EvalStats:
-    """Process-wide counters (cheap; used by bench_ir and ``explain``)."""
+    """Process-wide counters (cheap; used by bench_ir, ``explain``, and
+    the telemetry snapshot, which reports them as deltas-since-enable)."""
 
-    __slots__ = ("computes", "fix_iterations")
+    __slots__ = ("computes", "fix_iterations", "memo_hits")
 
     def __init__(self) -> None:
         self.computes = 0
         self.fix_iterations = 0
+        self.memo_hits = 0
 
     def reset(self) -> None:
         self.computes = 0
         self.fix_iterations = 0
+        self.memo_hits = 0
 
 
 STATS = EvalStats()
@@ -168,6 +171,8 @@ def _eval(node: Node, a: CandidateAnalysis, env):
     if hit is _MISSING:
         hit = _compute(node, target, env)
         memo[node_id] = hit
+    else:
+        STATS.memo_hits += 1
     return hit
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import cached_property
 
-from ..core import profiling
+from ..obs import trace
 from ..models.base import Axiom, MemoryModel
 from .eval import axiom_holds, evaluate
 from .nodes import Node, dag_stats
@@ -163,8 +163,8 @@ class IRModel(MemoryModel):
         """Planner-ordered, lazily evaluated short-circuit consistency."""
         a = self._analysis(x)
         plan = self._checks_plan()
-        if profiling.ACTIVE is not None:
-            with profiling.stage("axioms"):
+        if trace.ACTIVE is not None:
+            with trace.stage("axioms"):
                 return all(
                     axiom_holds(kind, node, a) for kind, node in plan
                 )

@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Iterator
 
-from ..core import profiling
+from ..obs import trace
 from ..core.events import Event, EventKind, Label
 from ..core.execution import Execution, Transaction
 from ..models.base import MemoryModel
@@ -294,10 +294,10 @@ class _LazyExpansion:
 
 def _next_profiled(source: Iterator[Candidate]) -> Candidate:
     """``next(source)`` attributed to the ``expansion`` profiling stage."""
-    if profiling.ACTIVE is not None:
-        with profiling.stage("expansion"):
+    if trace.ACTIVE is not None:
+        with trace.stage("expansion"):
             item = next(source)
-        profiling.count("candidates")
+        trace.count("candidates")
         return item
     return next(source)
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core import profiling
+from ..obs import trace
 from ..core.analysis import CandidateAnalysis, analyze
 from ..core.execution import Execution
 from ..core.relation import Relation
@@ -192,8 +192,8 @@ class MemoryModel:
 
     def consistent(self, x: "Execution | CandidateAnalysis") -> bool:
         """Fast yes/no consistency (short-circuits on first failure)."""
-        if profiling.ACTIVE is not None:
-            with profiling.stage("axioms"):
+        if trace.ACTIVE is not None:
+            with trace.stage("axioms"):
                 relations = self.relations(self._analysis(x))
                 return all(
                     axiom.holds(relations) for axiom in self.axioms()

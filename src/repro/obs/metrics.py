@@ -1,0 +1,241 @@
+"""Mergeable metrics: counters, gauges, and streaming histograms.
+
+The registry complements the span tracer with *value* instrumentation:
+how many cells were computed, how big the cache is, what the per-model
+cell-latency percentiles look like.  Every instrument is designed to be
+**mergeable** — a ProcessPool worker serializes its registry with
+:meth:`MetricsRegistry.snapshot`, ships the dict back with its chunk
+results, and the parent folds it in with :meth:`MetricsRegistry.merge`;
+fleet-wide numbers are exact sums (counters/gauges) or exact bucket
+sums (histograms).
+
+Histograms are geometric fixed-bucket: observations land in buckets
+whose bounds grow by ``2**(1/8)`` (~9% apart), so quantile estimates
+carry at most ~4.5% relative error, merging is bucket-count addition,
+and a snapshot is a small sparse dict however many observations were
+recorded — the standard trick of HdrHistogram-style stores.
+
+Like the tracer, the registry is off by default behind a module-global
+``ACTIVE`` read.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "METRICS_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ACTIVE",
+    "enable",
+    "disable",
+]
+
+METRICS_SCHEMA = "repro.metrics"
+METRICS_VERSION = 1
+
+#: Buckets per power of two: bounds are ``2**(i / GRANULARITY)``.
+GRANULARITY = 8
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A streaming geometric-bucket histogram with percentile queries."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = self._index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @staticmethod
+    def _index(value: float) -> int:
+        if value <= 0.0:
+            return -(10**6)  # dedicated underflow bucket
+        return math.ceil(math.log2(value) * GRANULARITY)
+
+    @staticmethod
+    def _bound(index: int) -> float:
+        if index <= -(10**6):
+            return 0.0
+        return 2.0 ** (index / GRANULARITY)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1] (bucket upper bound,
+        exact at the recorded extremes)."""
+        if not self.count:
+            return 0.0
+        if q <= 0:
+            return self.min
+        if q >= 1:
+            return self.max
+        rank = q * self.count
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return min(self._bound(index), self.max)
+        return self.max  # pragma: no cover - rank <= count always lands
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": round(self.total, 9),
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(k): v for k, v in self.buckets.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        h = cls()
+        h.merge(data)
+        return h
+
+    def merge(self, data: dict) -> None:
+        self.count += data.get("count", 0)
+        self.total += data.get("total", 0.0)
+        low, high = data.get("min"), data.get("max")
+        if low is not None and low < self.min:
+            self.min = low
+        if high is not None and high > self.max:
+            self.max = high
+        for key, n in data.get("buckets", {}).items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + n
+
+    def summary(self) -> dict:
+        """The percentile digest manifests store per model."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 9),
+            "p50": round(self.percentile(0.50), 9),
+            "p95": round(self.percentile(0.95), 9),
+            "p99": round(self.percentile(0.99), 9),
+            "max": round(self.max, 9) if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, lazily created on first touch."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ----------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    # -- serialization ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "schema": METRICS_SCHEMA,
+            "version": METRICS_VERSION,
+            "counters": {k: c.value for k, c in self.counters.items()},
+            "gauges": {k: g.value for k, g in self.gauges.items()},
+            "histograms": {
+                k: h.to_dict() for k, h in self.histograms.items()
+            },
+        }
+
+    def merge(self, snap: dict | None) -> None:
+        """Fold a worker snapshot in: counters/histograms add, gauges
+        take the incoming value (last write wins)."""
+        if not snap:
+            return
+        if snap.get("schema") not in (None, METRICS_SCHEMA):
+            raise ValueError(
+                f"not a metrics snapshot: {snap.get('schema')!r}"
+            )
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snap.get("histograms", {}).items():
+            self.histogram(name).merge(data)
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(snap)
+        return registry
+
+
+#: The active registry, or ``None`` when metrics are off.
+ACTIVE: MetricsRegistry | None = None
+
+
+def enable() -> MetricsRegistry:
+    """Install and return a fresh registry (prefer ``obs.enable``)."""
+    global ACTIVE
+    ACTIVE = MetricsRegistry()
+    return ACTIVE
+
+
+def disable() -> "MetricsRegistry | None":
+    global ACTIVE
+    registry, ACTIVE = ACTIVE, None
+    return registry

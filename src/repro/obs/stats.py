@@ -1,0 +1,213 @@
+"""``repro stats``: list, inspect, and diff recorded run manifests.
+
+The diff is the point: perf regressions become visible by comparing two
+manifests — cells/sec, cache hit rate, per-stage self time, per-model
+latency percentiles — without rerunning either workload.  CI uses it
+warn-only against committed baseline manifests (``--fail-over PCT``
+turns regressions beyond a threshold into a nonzero exit).
+
+Exit codes: 0 = ok (including "regressions found" in warn-only mode),
+1 = ``--fail-over`` threshold exceeded, 2 = bad reference / unreadable
+manifest / wrong schema generation.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from .manifest import (
+    ManifestError,
+    RunManifest,
+    list_manifests,
+    resolve_run,
+)
+
+__all__ = ["MetricDelta", "diff_manifests", "format_diff", "cmd_stats"]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric between run A and run B."""
+
+    name: str
+    a: float
+    b: float
+    higher_is_better: bool
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def pct(self) -> float | None:
+        """Relative change in percent, ``None`` when A is zero."""
+        return 100.0 * self.delta / self.a if self.a else None
+
+    @property
+    def regression(self) -> float:
+        """How much *worse* B is than A, in percent (0 when improved)."""
+        if self.pct is None:
+            return 0.0
+        worse = -self.pct if self.higher_is_better else self.pct
+        return max(0.0, worse)
+
+
+def _pairs(a: dict, b: dict) -> list[tuple[str, float, float]]:
+    return [
+        (name, float(a.get(name, 0.0) or 0.0), float(b.get(name, 0.0) or 0.0))
+        for name in sorted(set(a) | set(b))
+    ]
+
+
+def diff_manifests(a: RunManifest, b: RunManifest) -> list[MetricDelta]:
+    """Every comparable metric of two runs (A = baseline, B = fresh)."""
+    out = [
+        MetricDelta(
+            "elapsed_seconds",
+            a.elapsed_seconds,
+            b.elapsed_seconds,
+            higher_is_better=False,
+        )
+    ]
+    for name, va, vb in _pairs(a.rates, b.rates):
+        out.append(MetricDelta(f"rate:{name}", va, vb, higher_is_better=True))
+    ha = a.cache.get("hit_rate")
+    hb = b.cache.get("hit_rate")
+    if ha is not None or hb is not None:
+        out.append(
+            MetricDelta(
+                "cache_hit_rate",
+                float(ha or 0.0),
+                float(hb or 0.0),
+                higher_is_better=True,
+            )
+        )
+    stage_a = {k: v.get("seconds", 0.0) for k, v in a.stages.items()}
+    stage_b = {k: v.get("seconds", 0.0) for k, v in b.stages.items()}
+    for name, va, vb in _pairs(stage_a, stage_b):
+        out.append(
+            MetricDelta(f"stage:{name}", va, vb, higher_is_better=False)
+        )
+    for quantile in ("p50", "p95", "p99"):
+        lat_a = {
+            spec: digest.get(quantile, 0.0)
+            for spec, digest in a.model_latency.items()
+        }
+        lat_b = {
+            spec: digest.get(quantile, 0.0)
+            for spec, digest in b.model_latency.items()
+        }
+        for spec in sorted(set(lat_a) & set(lat_b)):
+            out.append(
+                MetricDelta(
+                    f"{quantile}:{spec}",
+                    lat_a[spec],
+                    lat_b[spec],
+                    higher_is_better=False,
+                )
+            )
+    return out
+
+
+def format_diff(
+    a: RunManifest,
+    b: RunManifest,
+    deltas: list[MetricDelta],
+    threshold: float | None = None,
+) -> str:
+    """The diff table; regressions beyond ``threshold`` percent are
+    flagged ``REGRESSED`` (informational without a threshold)."""
+    lines = [
+        f"A (baseline): {a.run_id}  ({a.kind}:{a.label})",
+        f"B (fresh):    {b.run_id}  ({b.kind}:{b.label})",
+        "",
+        f"{'metric':<28} {'A':>12} {'B':>12} {'delta':>12}  change",
+        "-" * 76,
+    ]
+    for d in deltas:
+        if d.a == 0.0 and d.b == 0.0:
+            continue
+        pct = d.pct
+        change = f"{pct:+8.1f}%" if pct is not None else "     new"
+        flag = ""
+        if threshold is not None and d.regression > threshold:
+            flag = "  REGRESSED"
+        elif d.regression > 0:
+            flag = "  (worse)"
+        lines.append(
+            f"{d.name:<28} {d.a:>12.4f} {d.b:>12.4f} "
+            f"{d.delta:>+12.4f}  {change}{flag}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def cmd_stats(args) -> int:
+    """The ``repro stats <list|show|diff>`` dispatcher (see module doc)."""
+    runs_dir = getattr(args, "runs_dir", None)
+    action = args.action
+
+    if action == "list":
+        manifests = list_manifests(runs_dir)
+        if not manifests:
+            print("no recorded runs")
+            return 0
+        print(
+            f"{'run_id':<26} {'kind':<9} {'label':<14} created (UTC)"
+        )
+        for m in manifests:
+            print(m.describe())
+        return 0
+
+    if action == "show":
+        if len(args.runs) != 1:
+            print("error: stats show takes exactly one run", file=sys.stderr)
+            return 2
+        try:
+            manifest = resolve_run(args.runs[0], runs_dir)
+        except ManifestError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(manifest.format())
+        return 0
+
+    if action == "diff":
+        if len(args.runs) != 2:
+            print(
+                "error: stats diff takes two runs (baseline, fresh)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            a = resolve_run(args.runs[0], runs_dir)
+            b = resolve_run(args.runs[1], runs_dir)
+        except ManifestError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        deltas = diff_manifests(a, b)
+        threshold = getattr(args, "fail_over", None)
+        print(format_diff(a, b, deltas, threshold=threshold))
+        if threshold is not None:
+            regressed = [d for d in deltas if d.regression > threshold]
+            if regressed:
+                print(
+                    f"\n{len(regressed)} metric(s) regressed beyond "
+                    f"{threshold:.1f}%:",
+                    file=sys.stderr,
+                )
+                for d in regressed:
+                    print(
+                        f"  {d.name}: {d.a:.4f} -> {d.b:.4f} "
+                        f"({d.regression:.1f}% worse)",
+                        file=sys.stderr,
+                    )
+                return 1
+        return 0
+
+    print(f"error: unknown stats action {action!r}", file=sys.stderr)
+    return 2
