@@ -6,7 +6,11 @@ Measures the two hot paths the litmus frontend adds:
   :func:`repro.litmus.frontend.load_dialect` (files/sec);
 * **corpus campaign throughput** — the full corpus × native-model
   cross-product through the campaign engine, cold and warm
-  (cells/sec), which is what the CI corpus job sweeps.
+  (cells/sec), which is what the CI corpus job sweeps.  The cold
+  number is measured twice: batched (the default path — cross-item
+  kernel prefill, the headline ``corpus_cells_per_second``) and scalar
+  (``set_batch_size(0)``), and their ratio is reported as
+  ``batch_vs_scalar_speedup``.
 
 Run directly (``python benchmarks/bench_corpus.py --json OUT.json``)
 for the CI artifact: files parsed/sec and corpus cells/sec, tracked
@@ -21,7 +25,7 @@ import pytest
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
 
 from repro.engine.campaign import CampaignItem, run_campaign
-from repro.litmus.candidates import _expand_test, expand_program
+from repro.litmus.candidates import _expand_test, expand_program, set_batch_size
 from repro.litmus.frontend import dump_dialect, load_dialect
 from repro.models.registry import MODELS
 
@@ -46,10 +50,17 @@ def _corpus_items(texts: dict[str, str]) -> list[CampaignItem]:
     ]
 
 
-def _cold_campaign(items):
+def _cold_campaign(items, batch=None):
+    """One corpus campaign from cold expansion caches; ``batch=0``
+    forces the scalar per-candidate path, ``None`` keeps the default
+    (batched)."""
     expand_program.cache_clear()
     _expand_test.cache_clear()
-    return run_campaign(items, sorted(MODELS))
+    set_batch_size(batch)
+    try:
+        return run_campaign(items, sorted(MODELS))
+    finally:
+        set_batch_size(None)
 
 
 def test_parse_corpus(benchmark):
@@ -100,13 +111,18 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
     parse_elapsed = (time.perf_counter() - start) / rounds
 
     items = _corpus_items(texts)
+    _cold_campaign(items)  # warm compiled plans and model definitions
     start = time.perf_counter()
     result = _cold_campaign(items)
     cold_elapsed = time.perf_counter() - start
     start = time.perf_counter()
+    scalar = _cold_campaign(items, batch=0)
+    scalar_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
     warm = run_campaign(items, sorted(MODELS))
     warm_elapsed = time.perf_counter() - start
     assert not result.errors() and not warm.errors()
+    assert not scalar.errors()
 
     cells = len(result.cells)
     payload = {
@@ -117,9 +133,14 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
         "parse_seconds": round(parse_elapsed, 4),
         "files_parsed_per_second": round(len(texts) / parse_elapsed, 1),
         "campaign_cold_seconds": round(cold_elapsed, 4),
+        "campaign_scalar_seconds": round(scalar_elapsed, 4),
         "campaign_warm_seconds": round(warm_elapsed, 4),
         "corpus_cells_per_second": round(cells / cold_elapsed, 1),
+        "corpus_cells_per_second_scalar": round(cells / scalar_elapsed, 1),
         "corpus_cells_per_second_warm": round(cells / warm_elapsed, 1),
+        "batch_vs_scalar_speedup": round(scalar_elapsed / cold_elapsed, 2)
+        if cold_elapsed
+        else 0.0,
     }
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -138,8 +159,14 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
                 "corpus_cells_per_second": payload[
                     "corpus_cells_per_second"
                 ],
+                "corpus_cells_per_second_scalar": payload[
+                    "corpus_cells_per_second_scalar"
+                ],
                 "corpus_cells_per_second_warm": payload[
                     "corpus_cells_per_second_warm"
+                ],
+                "batch_vs_scalar_speedup": payload[
+                    "batch_vs_scalar_speedup"
                 ],
             },
             elapsed=cold_elapsed,
@@ -147,6 +174,10 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
                 "parse": {"seconds": round(parse_elapsed, 6), "calls": 1},
                 "campaign_cold": {
                     "seconds": round(cold_elapsed, 6),
+                    "calls": 1,
+                },
+                "campaign_scalar": {
+                    "seconds": round(scalar_elapsed, 6),
                     "calls": 1,
                 },
                 "campaign_warm": {

@@ -4,7 +4,10 @@ Measures what the IR layer buys a campaign:
 
 * axiom-evals/sec — how fast the one evaluation engine drives all eight
   native models (fresh executions each round, so the per-candidate memo
-  works but nothing is pre-warmed);
+  works but nothing is pre-warmed), measured scalar
+  (``model.consistent`` per execution) and batched
+  (``repro.ir.plan.consistent_batch`` over same-universe stacks), with
+  the ratio reported as ``batch_vs_scalar_speedup``;
 * cross-model sharing — the static DAG statistic: how many interned
   nodes the full model roster (native + ``.cat``) needs, versus the sum
   of each model compiled alone.  The acceptance bar for the IR refactor
@@ -51,10 +54,41 @@ def _sweep_all_models(executions) -> int:
     return evals
 
 
+def _sweep_all_models_batched(executions) -> int:
+    """The same workload through the compiled per-model plans: bucket
+    the executions by universe size and run every model's plan over
+    each whole bucket."""
+    from repro.ir.plan import consistent_batch
+
+    buckets: dict[int, list] = {}
+    for x in executions:
+        buckets.setdefault(x.n, []).append(x)
+    evals = 0
+    for name in model_names():
+        model = get_model(name)
+        definition = model.batch_definition()
+        assert definition is not None
+        for stack in buckets.values():
+            consistent_batch(model, definition, stack)
+            evals += len(model.axioms()) * len(stack)
+    return evals
+
+
 def test_ir_all_models_sweep(benchmark, once):
     executions = _fresh_executions()
     _sweep_all_models(executions)  # warm class-level definitions
     evals = once(benchmark, _sweep_all_models, _fresh_executions())
+    assert evals > 0
+
+
+def test_ir_all_models_sweep_batched(benchmark, once):
+    stack = [x for _ in range(8) for x in _fresh_executions()]
+    _sweep_all_models_batched(stack)  # warm compiled plans
+    evals = once(
+        benchmark,
+        _sweep_all_models_batched,
+        [x for _ in range(8) for x in _fresh_executions()],
+    )
     assert evals > 0
 
 
@@ -138,6 +172,15 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
     elapsed = time.perf_counter() - start
     computes = STATS.computes
 
+    batched_stack = [x for batch in executions for x in batch]
+    _sweep_all_models_batched(batched_stack)  # warm compiled plans
+    batched_stack = [
+        x for _ in range(rounds) for x in _fresh_executions()
+    ]
+    start = time.perf_counter()
+    batched_evals = _sweep_all_models_batched(batched_stack)
+    batched_elapsed = time.perf_counter() - start
+
     ratio, union_nodes, individual_nodes = _sharing()
 
     payload = {
@@ -148,6 +191,17 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
         "elapsed_seconds": round(elapsed, 4),
         "axiom_evals_per_second": round(evals / elapsed, 1)
         if elapsed
+        else 0.0,
+        "batched_axiom_evals": batched_evals,
+        "batched_axiom_evals_per_second": round(
+            batched_evals / batched_elapsed, 1
+        )
+        if batched_elapsed
+        else 0.0,
+        "batch_vs_scalar_speedup": round(
+            (batched_evals / batched_elapsed) / (evals / elapsed), 2
+        )
+        if elapsed and batched_elapsed
         else 0.0,
         "node_computes": computes,
         "node_computes_per_candidate": round(
@@ -173,6 +227,12 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
             rates={
                 "axiom_evals_per_second": payload[
                     "axiom_evals_per_second"
+                ],
+                "batched_axiom_evals_per_second": payload[
+                    "batched_axiom_evals_per_second"
+                ],
+                "batch_vs_scalar_speedup": payload[
+                    "batch_vs_scalar_speedup"
                 ],
                 "cross_model_sharing_ratio": payload[
                     "cross_model_sharing_ratio"

@@ -38,6 +38,8 @@ from .parser import parse
 
 __all__ = ["CatModel", "load_cat_model", "CAT_MODEL_FILES"]
 
+_UNSET = object()
+
 #: Library file for each model name, mirroring ``repro.models.registry``.
 CAT_MODEL_FILES: dict[str, str] = {
     "sc": "sc.cat",
@@ -183,6 +185,19 @@ class CatModel(MemoryModel):
             results.append(AxiomResult(c.name, holds, witness))
         results = tuple(results)
         return Verdict(self.name, all(r.holds for r in results), results)
+
+    def batch_definition(self):
+        """Batchable iff consistency routes through the compiled IR
+        (same condition as :meth:`consistent`'s fast path) and no check
+        is negated (negation has no :class:`IRAxiom` form)."""
+        cached = self.__dict__.get("_batch_definition", _UNSET)
+        if cached is _UNSET:
+            if self._plan is None or any(c.negated for c in self._plan):
+                cached = None
+            else:
+                cached = self.definition()
+            self._batch_definition = cached
+        return cached
 
     def consistent(self, x: "Execution | CandidateAnalysis") -> bool:
         if self._plan is None:

@@ -165,6 +165,7 @@ def _cmd_table1(args) -> int:
     bounds = {"x86": [2, 3], "power": [2, 3]}
     if args.full:
         bounds = {"x86": [2, 3, 4], "power": [2, 3, 4]}
+    _configure_batch(args)
     with _make_cache(args) as cache:
         table = run_table1(
             bounds=bounds,
@@ -210,6 +211,22 @@ def _telemetry_requested(args) -> bool:
     )
 
 
+def _configure_batch(args) -> int:
+    """Apply ``--batch`` and return the effective chunk size.
+
+    Exported through the environment as well, so campaign worker
+    processes inherit the setting.
+    """
+    import os
+
+    from .litmus.candidates import batch_size, set_batch_size
+
+    if getattr(args, "batch", None) is not None:
+        set_batch_size(args.batch)
+        os.environ["REPRO_BATCH"] = str(args.batch)
+    return batch_size()
+
+
 def _runs_dir_for(args):
     """Manifests live beside the result cache when --cache-dir is set."""
     from pathlib import Path
@@ -249,6 +266,7 @@ def _cmd_campaign(args) -> int:
         return 1
 
     models = (args.models or args.arch).split(",")
+    batch = _configure_batch(args)
     # Telemetry no longer forces --jobs 1: pool workers collect their own
     # snapshots and the parent merges them (see repro.obs.telemetry).
     bundle = (
@@ -284,6 +302,7 @@ def _cmd_campaign(args) -> int:
                     cache=cache,
                     argv=sys.argv[1:],
                     snapshot=bundle.snapshot(),
+                    extra={"batch": batch},
                 )
     finally:
         if bundle is not None:
@@ -345,6 +364,7 @@ def _cmd_fuzz(args) -> int:
         # Inside the try: a malformed $REPRO_TEST_SEED is a
         # configuration error (exit 2), not a disagreement (exit 1).
         seed = reproducible_seed() if args.seed is None else args.seed
+        batch = _configure_batch(args)
         with _make_cache(args) as cache:
             report = run_fuzz(
                 args.arch,
@@ -363,6 +383,7 @@ def _cmd_fuzz(args) -> int:
                     cache=cache,
                     argv=sys.argv[1:],
                     snapshot=bundle.snapshot(),
+                    extra={"batch": batch},
                 )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -672,6 +693,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the persistent result cache")
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="result cache location (default .repro-cache)")
+        p.add_argument("--batch", type=int, default=None, metavar="N",
+                       help="candidate chunk size for the batched "
+                            "consistency kernels (0 = scalar path; "
+                            "default: $REPRO_BATCH, else 64)")
 
     p = sub.add_parser("campaign",
                        help="batch-run a litmus suite across models")

@@ -20,7 +20,7 @@ from functools import cached_property
 from typing import Iterable, Mapping, Sequence
 
 from .events import Event, EventKind, Label
-from .relation import Relation
+from .relation import Relation, _bits as _mask_bits
 
 __all__ = ["Transaction", "Execution"]
 
@@ -167,10 +167,13 @@ class Execution:
     @cached_property
     def po(self) -> Relation:
         """Program order: strict total order per thread."""
-        rel = Relation.empty(self.n)
+        rows = [0] * self.n
         for thread in self.threads:
-            rel = rel | Relation.total_order(self.n, thread)
-        return rel
+            later = 0
+            for e in reversed(thread):
+                rows[e] = later
+                later |= 1 << e
+        return Relation(self.n, rows)
 
     @cached_property
     def rf_rel(self) -> Relation:
@@ -180,10 +183,13 @@ class Execution:
     @cached_property
     def co_rel(self) -> Relation:
         """Coherence order as a relation."""
-        rel = Relation.empty(self.n)
+        rows = [0] * self.n
         for order in self.co.values():
-            rel = rel | Relation.total_order(self.n, order)
-        return rel
+            later = 0
+            for e in reversed(order):
+                rows[e] |= later
+                later |= 1 << e
+        return Relation(self.n, rows)
 
     @cached_property
     def addr_rel(self) -> Relation:
@@ -208,21 +214,27 @@ class Execution:
     @cached_property
     def sloc(self) -> Relation:
         """Same-location relation over accesses (reflexive on accesses)."""
-        rel = Relation.empty(self.n)
-        by_loc: dict[str, list[int]] = {}
+        by_loc: dict[str, int] = {}
         for i in self.accesses:
-            by_loc.setdefault(self.events[i].loc, []).append(i)
-        for group in by_loc.values():
-            rel = rel | Relation.cross(self.n, group, group)
-        return rel
+            loc = self.events[i].loc
+            by_loc[loc] = by_loc.get(loc, 0) | (1 << i)
+        rows = [0] * self.n
+        for mask in by_loc.values():
+            for i in _mask_bits(mask):
+                rows[i] = mask
+        return Relation(self.n, rows)
 
     @cached_property
     def sthd(self) -> Relation:
         """Same-thread relation, ``(po ∪ po⁻¹)*`` (reflexive)."""
-        rel = Relation.empty(self.n)
+        rows = [0] * self.n
         for thread in self.threads:
-            rel = rel | Relation.cross(self.n, thread, thread)
-        return rel
+            mask = 0
+            for e in thread:
+                mask |= 1 << e
+            for e in thread:
+                rows[e] = mask
+        return Relation(self.n, rows)
 
     @cached_property
     def fr(self) -> Relation:
@@ -330,6 +342,8 @@ class Execution:
         """Implicit transaction-boundary fences (sections 5.2, 6.1):
         ``po ∩ ((¬stxn; stxn) ∪ (stxn; ¬stxn))``.
         """
+        if not self.txns:
+            return Relation.empty(self.n)
         not_stxn = self.stxn.complement()
         boundary = (not_stxn @ self.stxn) | (self.stxn @ not_stxn)
         return self.po & boundary

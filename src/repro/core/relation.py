@@ -251,7 +251,16 @@ class Relation:
         return Relation(self.n, (row | (1 << i) for i, row in enumerate(self._rows)))
 
     def plus(self) -> "Relation":
-        """``r⁺``: transitive closure (Warshall on bitmask rows)."""
+        """``r⁺``: transitive closure (Warshall on bitmask rows).
+
+        One pass is complete: after the ``k``-th outer iteration,
+        ``rows[i]`` holds every ``j`` reachable from ``i`` through
+        intermediate vertices in ``{0..k}`` (the standard
+        Floyd–Warshall invariant, with the inner ``j`` loop collapsed
+        into one bitmask union).  ``tests/test_relation_properties.py``
+        checks the result against an independent repeated-squaring
+        closure.
+        """
         rows = list(self._rows)
         for k in range(self.n):
             k_bit = 1 << k
@@ -259,20 +268,6 @@ class Relation:
             for i in range(self.n):
                 if rows[i] & k_bit:
                     rows[i] |= k_row
-        # A single Warshall pass over ints is enough because each
-        # ``rows[i] |= rows[k]`` uses the already-extended ``rows[k]`` for
-        # k' < k; repeat until fixpoint to be safe for all orderings.
-        changed = True
-        while changed:
-            changed = False
-            for i in range(self.n):
-                out = rows[i]
-                acc = out
-                for j in _bits(out):
-                    acc |= rows[j]
-                if acc != out:
-                    rows[i] = acc
-                    changed = True
         return Relation(self.n, rows)
 
     def star(self) -> "Relation":

@@ -1,0 +1,570 @@
+"""Batched relational algebra: one kernel call over a stack of candidates.
+
+A campaign evaluates the same IR node over hundreds of candidate
+executions that share a universe size; doing that one
+:class:`~repro.core.relation.Relation` at a time pays the Python
+interpreter per node *per candidate*.  :class:`RelationBatch` stores a
+whole stack as one dense 0/1 ``uint8`` tensor of shape ``[batch, n,
+n]`` (``data[b, i, j]`` is 1 iff pair ``(i, j)`` is in candidate
+``b``'s relation) and implements the full algebra as vectorized numpy
+kernels, so the per-node interpreter cost is paid once per *batch*.
+The dense layout trades memory (one byte per pair; universes here are
+tens of events) for kernels that are single C-level calls —
+composition is one integer ``matmul``, inverse is an axis swap, the
+boolean algebra is elementwise ``uint8`` bitwise ops.
+
+When numpy is absent (or disabled via ``REPRO_NO_NUMPY=1`` /
+:func:`set_backend`), a pure-Python fallback provides the identical API
+by mapping each operation over a tuple of packed-int
+:class:`Relation` values — same semantics, scalar speed.  Everything
+downstream (the batch evaluator, the compiled plans, the chunked
+candidate streams) is backend-agnostic.
+
+Transitive closure uses repeated squaring (``R ← R ∪ R;R`` until fixed,
+at most ``ceil(log2 n)`` + 1 rounds), the same kernel the batch
+evaluator uses for ``plus``/``star``; the scalar
+:meth:`Relation.plus` keeps its single-pass Warshall loop (the property
+tests prove the two agree).
+
+Predicates (:meth:`RelationBatch.is_empty` /
+:meth:`~RelationBatch.is_irreflexive` / :meth:`~RelationBatch.is_acyclic`)
+return one ``bool`` per candidate, which is what the batched axiom
+checks consume.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+
+from .relation import Relation
+
+__all__ = [
+    "HAVE_NUMPY",
+    "RelationBatch",
+    "SetBatch",
+    "active_backend",
+    "set_backend",
+]
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+if os.environ.get("REPRO_NO_NUMPY"):
+    _np = None
+
+#: True when the vectorized numpy backend is importable and not disabled.
+HAVE_NUMPY = _np is not None
+
+#: Explicit override ("numpy" | "python") or None for automatic choice.
+_FORCED: str | None = None
+
+
+def set_backend(name: str | None) -> None:
+    """Force the backend: ``"numpy"``, ``"python"``, or ``None``/"auto".
+
+    Used by the differential tests to exercise the pure-Python fallback
+    on machines that do have numpy.
+    """
+    global _FORCED
+    if name in (None, "auto"):
+        _FORCED = None
+        return
+    if name not in ("numpy", "python"):
+        raise ValueError(f"unknown relbatch backend {name!r}")
+    if name == "numpy" and not HAVE_NUMPY:
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    _FORCED = name
+
+
+def active_backend() -> str:
+    """The backend new batches are built with."""
+    if _FORCED is not None:
+        return _FORCED
+    return "numpy" if HAVE_NUMPY else "python"
+
+
+# ----------------------------------------------------------------------
+# Set stacks
+# ----------------------------------------------------------------------
+
+
+class SetBatch:
+    """A stack of event sets over a shared universe of size ``n``."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def from_sets(sets: Sequence[Iterable[int]], n: int) -> "SetBatch":
+        if active_backend() == "numpy":
+            data = _np.zeros((len(sets), n), dtype=_np.uint8)
+            for b, events in enumerate(sets):
+                for e in events:
+                    data[b, e] = 1
+            return _NumpySetBatch(data, n)
+        masks = []
+        for events in sets:
+            mask = 0
+            for e in events:
+                mask |= 1 << e
+            masks.append(mask)
+        return _PySetBatch(tuple(masks), n)
+
+    @staticmethod
+    def from_dense(data) -> "SetBatch":
+        """Wrap a 0/1 ``uint8`` ``[batch, n]`` array (numpy backend only).
+
+        The caller promises never to mutate ``data`` afterwards — batch
+        values are immutable by convention, and every kernel allocates
+        its result.
+        """
+        if active_backend() != "numpy":
+            raise RuntimeError("from_dense requires the numpy backend")
+        return _NumpySetBatch(data, data.shape[1])
+
+    @staticmethod
+    def full(batch: int, n: int) -> "SetBatch":
+        return SetBatch.from_sets([range(n)] * batch, n)
+
+    @staticmethod
+    def empty(batch: int, n: int) -> "SetBatch":
+        return SetBatch.from_sets([()] * batch, n)
+
+    def to_sets(self) -> list[frozenset[int]]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.batch  # type: ignore[attr-defined]
+
+
+class _NumpySetBatch(SetBatch):
+    __slots__ = ("data", "n", "batch")
+
+    def __init__(self, data, n: int) -> None:
+        self.data = data  # uint8 0/1 [batch, n]
+        self.n = n
+        self.batch = data.shape[0]
+
+    def __or__(self, other):
+        return _NumpySetBatch(self.data | other.data, self.n)
+
+    def __and__(self, other):
+        return _NumpySetBatch(self.data & other.data, self.n)
+
+    def __sub__(self, other):
+        return _NumpySetBatch(self.data & (other.data ^ 1), self.n)
+
+    def complement(self):
+        return _NumpySetBatch(self.data ^ 1, self.n)
+
+    def is_empty(self):
+        return ~self.data.any(axis=1)
+
+    def same_as(self, other) -> bool:
+        return _np.array_equal(self.data, other.data)
+
+    def to_sets(self) -> list[frozenset[int]]:
+        return [
+            frozenset(int(i) for i in row.nonzero()[0]) for row in self.data
+        ]
+
+
+class _PySetBatch(SetBatch):
+    __slots__ = ("masks", "n", "batch")
+
+    def __init__(self, masks: tuple[int, ...], n: int) -> None:
+        self.masks = masks
+        self.n = n
+        self.batch = len(masks)
+
+    def _zip(self, other, op):
+        return _PySetBatch(
+            tuple(op(a, b) for a, b in zip(self.masks, other.masks)), self.n
+        )
+
+    def __or__(self, other):
+        return self._zip(other, lambda a, b: a | b)
+
+    def __and__(self, other):
+        return self._zip(other, lambda a, b: a & b)
+
+    def __sub__(self, other):
+        return self._zip(other, lambda a, b: a & ~b)
+
+    def complement(self):
+        full = (1 << self.n) - 1
+        return _PySetBatch(tuple(full & ~m for m in self.masks), self.n)
+
+    def is_empty(self):
+        return [m == 0 for m in self.masks]
+
+    def same_as(self, other) -> bool:
+        return self.masks == other.masks
+
+    def to_sets(self) -> list[frozenset[int]]:
+        return [
+            frozenset(i for i in range(self.n) if mask >> i & 1)
+            for mask in self.masks
+        ]
+
+
+# ----------------------------------------------------------------------
+# Relation stacks
+# ----------------------------------------------------------------------
+
+
+class RelationBatch:
+    """A stack of binary relations over a shared universe of size ``n``."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def from_relations(relations: Sequence[Relation]) -> "RelationBatch":
+        n = relations[0].n
+        for r in relations:
+            if r.n != n:
+                raise ValueError("mixed universe sizes in one batch")
+        if active_backend() == "numpy":
+            if n <= 64:
+                # One vectorized unpack: the packed rows fit uint64.
+                masks = _np.array(
+                    [rel._rows for rel in relations], dtype=_np.uint64
+                ).reshape(len(relations), n)
+                shifts = _np.arange(n, dtype=_np.uint64)
+                data = (
+                    (masks[:, :, None] >> shifts[None, None, :])
+                    & _np.uint64(1)
+                ).astype(_np.uint8)
+            else:
+                data = _np.zeros((len(relations), n, n), dtype=_np.uint8)
+                for b, rel in enumerate(relations):
+                    for i, row in enumerate(rel._rows):
+                        while row:
+                            low = row & -row
+                            data[b, i, low.bit_length() - 1] = 1
+                            row ^= low
+            return _NumpyRelationBatch(data, n)
+        return _PyRelationBatch(tuple(relations), n)
+
+    @staticmethod
+    def from_dense(data) -> "RelationBatch":
+        """Wrap a 0/1 ``uint8`` ``[batch, n, n]`` array (numpy backend
+        only); the caller promises never to mutate ``data`` afterwards."""
+        if active_backend() != "numpy":
+            raise RuntimeError("from_dense requires the numpy backend")
+        return _NumpyRelationBatch(data, data.shape[1])
+
+    @staticmethod
+    def empty(batch: int, n: int) -> "RelationBatch":
+        if active_backend() == "numpy":
+            return _NumpyRelationBatch(
+                _np.zeros((batch, n, n), dtype=_np.uint8), n
+            )
+        return RelationBatch.from_relations([Relation.empty(n)] * batch)
+
+    @staticmethod
+    def identity(batch: int, n: int) -> "RelationBatch":
+        if active_backend() == "numpy":
+            return _NumpyRelationBatch(
+                _np.broadcast_to(_eye(n), (batch, n, n)), n
+            )
+        return RelationBatch.from_relations([Relation.identity(n)] * batch)
+
+    @staticmethod
+    def full(batch: int, n: int) -> "RelationBatch":
+        if active_backend() == "numpy":
+            return _NumpyRelationBatch(
+                _np.ones((batch, n, n), dtype=_np.uint8), n
+            )
+        return RelationBatch.from_relations([Relation.full(n)] * batch)
+
+    @staticmethod
+    def lift_set(events: SetBatch) -> "RelationBatch":
+        """The paper's ``[s]`` per candidate (identity on ``events``)."""
+        if isinstance(events, _NumpySetBatch):
+            return _NumpyRelationBatch.lift_set(events)
+        return _PyRelationBatch.lift_set(events)
+
+    @staticmethod
+    def cross_sets(sources: SetBatch, targets: SetBatch) -> "RelationBatch":
+        """The Cartesian product ``sources × targets`` per candidate."""
+        if isinstance(sources, _NumpySetBatch):
+            return _NumpyRelationBatch.cross_sets(sources, targets)
+        return _PyRelationBatch.cross_sets(sources, targets)
+
+    def to_relations(self) -> list[Relation]:
+        raise NotImplementedError
+
+    def star(self):
+        return self.plus().opt()  # type: ignore[attr-defined]
+
+    def __len__(self) -> int:
+        return self.batch  # type: ignore[attr-defined]
+
+
+_EYES: dict[int, object] = {}
+
+
+def _eye(n: int):
+    """uint8 ``[n, n]`` identity, shared across batches."""
+    cached = _EYES.get(n)
+    if cached is None:
+        cached = _np.eye(n, dtype=_np.uint8)
+        _EYES[n] = cached
+    return cached
+
+
+class _NumpyRelationBatch(RelationBatch):
+    __slots__ = ("data", "n", "batch")
+
+    def __init__(self, data, n: int) -> None:
+        self.data = data  # uint8 0/1 [batch, n, n]
+        self.n = n
+        self.batch = data.shape[0]
+
+    # -- boolean algebra ------------------------------------------------
+
+    def __or__(self, other):
+        return _NumpyRelationBatch(self.data | other.data, self.n)
+
+    def __and__(self, other):
+        return _NumpyRelationBatch(self.data & other.data, self.n)
+
+    def __sub__(self, other):
+        return _NumpyRelationBatch(self.data & (other.data ^ 1), self.n)
+
+    def complement(self):
+        return _NumpyRelationBatch(self.data ^ 1, self.n)
+
+    # -- composition and friends ----------------------------------------
+
+    def __matmul__(self, other):
+        """Relational composition as one batched matmul per stack.
+
+        The operands are widened to ``float32``: numpy routes float
+        matmul through BLAS, which beats the generic integer gufunc by
+        5-30x at these shapes even counting the conversions, and the
+        accumulation is exact (row sums are at most ``n``, far below
+        the 2**24 float32 integer range).
+        """
+        a = self.data.astype(_np.float32)
+        b = other.data.astype(_np.float32)
+        return _NumpyRelationBatch(
+            (_np.matmul(a, b) != 0).view(_np.uint8), self.n
+        )
+
+    def inverse(self):
+        return _NumpyRelationBatch(self.data.swapaxes(1, 2), self.n)
+
+    def opt(self):
+        return _NumpyRelationBatch(self.data | _eye(self.n), self.n)
+
+    def plus(self):
+        """Transitive closure by repeated squaring."""
+        cur = self
+        while True:
+            nxt = cur | (cur @ cur)
+            if nxt.same_as(cur):
+                return cur
+            cur = nxt
+
+    def remove_diagonal(self):
+        return _NumpyRelationBatch(self.data & (_eye(self.n) ^ 1), self.n)
+
+    def restrict(self, sources: SetBatch, targets: SetBatch):
+        """Keep pairs with source in ``sources`` and target in ``targets``."""
+        data = self.data & sources.data[:, :, None] & targets.data[:, None, :]
+        return _NumpyRelationBatch(data, self.n)
+
+    def restrict_domain(self, sources: SetBatch):
+        """``[sources] ; r`` — keep pairs whose source is in ``sources``."""
+        return _NumpyRelationBatch(
+            self.data & sources.data[:, :, None], self.n
+        )
+
+    def restrict_range(self, targets: SetBatch):
+        """``r ; [targets]`` — keep pairs whose target is in ``targets``."""
+        return _NumpyRelationBatch(
+            self.data & targets.data[:, None, :], self.n
+        )
+
+    @staticmethod
+    def lift_set(events: SetBatch):
+        return _NumpyRelationBatch(
+            _eye(events.n) & events.data[:, :, None], events.n
+        )
+
+    @staticmethod
+    def cross_sets(sources: SetBatch, targets: SetBatch):
+        return _NumpyRelationBatch(
+            sources.data[:, :, None] & targets.data[:, None, :], sources.n
+        )
+
+    def domain(self) -> SetBatch:
+        return _NumpySetBatch(
+            self.data.any(axis=2).view(_np.uint8), self.n
+        )
+
+    def codomain(self) -> SetBatch:
+        return _NumpySetBatch(
+            self.data.any(axis=1).view(_np.uint8), self.n
+        )
+
+    # -- predicates (one bool per candidate) ----------------------------
+
+    def is_empty(self):
+        return ~self.data.any(axis=(1, 2))
+
+    def is_irreflexive(self):
+        idx = _np.arange(self.n)
+        return ~self.data[:, idx, idx].any(axis=1)
+
+    def is_acyclic(self):
+        return self.plus().is_irreflexive()
+
+    def same_as(self, other) -> bool:
+        return _np.array_equal(self.data, other.data)
+
+    def to_relations(self) -> list[Relation]:
+        shifts = _np.arange(self.n, dtype=object)
+        masks = _np.bitwise_or.reduce(
+            self.data.astype(object) << shifts[None, None, :], axis=2
+        )
+        return [Relation(self.n, map(int, masks[b])) for b in range(self.batch)]
+
+
+class _PyRelationBatch(RelationBatch):
+    """Fallback: the same API over a tuple of scalar :class:`Relation`.
+
+    Python ints *are* packed bitmask rows, so this is the "pure-Python
+    packed" path — correct everywhere, vectorized nowhere.
+    """
+
+    __slots__ = ("rels", "n", "batch")
+
+    def __init__(self, rels: tuple[Relation, ...], n: int) -> None:
+        self.rels = rels
+        self.n = n
+        self.batch = len(rels)
+
+    def _map(self, op):
+        return _PyRelationBatch(tuple(op(r) for r in self.rels), self.n)
+
+    def _zip(self, other, op):
+        return _PyRelationBatch(
+            tuple(op(a, b) for a, b in zip(self.rels, other.rels)), self.n
+        )
+
+    def __or__(self, other):
+        return self._zip(other, lambda a, b: a | b)
+
+    def __and__(self, other):
+        return self._zip(other, lambda a, b: a & b)
+
+    def __sub__(self, other):
+        return self._zip(other, lambda a, b: a - b)
+
+    def complement(self):
+        return self._map(Relation.complement)
+
+    def __matmul__(self, other):
+        return self._zip(other, lambda a, b: a @ b)
+
+    def inverse(self):
+        return self._map(Relation.inverse)
+
+    def opt(self):
+        return self._map(Relation.opt)
+
+    def plus(self):
+        return self._map(Relation.plus)
+
+    def remove_diagonal(self):
+        return self._map(Relation.remove_diagonal)
+
+    def restrict(self, sources: "_PySetBatch", targets: "_PySetBatch"):
+        out = []
+        for rel, smask, tmask in zip(
+            self.rels, sources.masks, targets.masks
+        ):
+            rows = (
+                (row & tmask) if smask >> i & 1 else 0
+                for i, row in enumerate(rel._rows)
+            )
+            out.append(Relation(rel.n, rows))
+        return _PyRelationBatch(tuple(out), self.n)
+
+    def restrict_domain(self, sources: "_PySetBatch"):
+        out = []
+        for rel, smask in zip(self.rels, sources.masks):
+            rows = (
+                row if smask >> i & 1 else 0
+                for i, row in enumerate(rel._rows)
+            )
+            out.append(Relation(rel.n, rows))
+        return _PyRelationBatch(tuple(out), self.n)
+
+    def restrict_range(self, targets: "_PySetBatch"):
+        out = []
+        for rel, tmask in zip(self.rels, targets.masks):
+            out.append(Relation(rel.n, (row & tmask for row in rel._rows)))
+        return _PyRelationBatch(tuple(out), self.n)
+
+    @staticmethod
+    def lift_set(events: "_PySetBatch"):
+        n = events.n
+        rels = tuple(
+            Relation(
+                n, ((mask >> i & 1) << i for i in range(n))
+            )
+            for mask in events.masks
+        )
+        return _PyRelationBatch(rels, n)
+
+    @staticmethod
+    def cross_sets(sources: "_PySetBatch", targets: "_PySetBatch"):
+        n = sources.n
+        rels = tuple(
+            Relation(
+                n,
+                (tmask if smask >> i & 1 else 0 for i in range(n)),
+            )
+            for smask, tmask in zip(sources.masks, targets.masks)
+        )
+        return _PyRelationBatch(rels, n)
+
+    def domain(self) -> "_PySetBatch":
+        masks = []
+        for rel in self.rels:
+            mask = 0
+            for i, row in enumerate(rel._rows):
+                if row:
+                    mask |= 1 << i
+            masks.append(mask)
+        return _PySetBatch(tuple(masks), self.n)
+
+    def codomain(self) -> "_PySetBatch":
+        masks = []
+        for rel in self.rels:
+            mask = 0
+            for row in rel._rows:
+                mask |= row
+            masks.append(mask)
+        return _PySetBatch(tuple(masks), self.n)
+
+    def is_empty(self):
+        return [r.is_empty() for r in self.rels]
+
+    def is_irreflexive(self):
+        return [r.is_irreflexive() for r in self.rels]
+
+    def is_acyclic(self):
+        return [r.is_acyclic() for r in self.rels]
+
+    def same_as(self, other) -> bool:
+        return self.rels == other.rels
+
+    def to_relations(self) -> list[Relation]:
+        return list(self.rels)

@@ -1,0 +1,285 @@
+"""Cross-item batched verdict prefill for serial campaigns.
+
+The campaign engine's unit of work is one (test, checker) cell, but the
+corpus-shaped workload is hundreds of *small* tests: each test's
+postcondition-filtered candidate stream holds a handful of candidates,
+so within-stream chunking (:func:`repro.litmus.candidates.
+_batched_consistent_stream`) never accumulates a batch worth kerneling.
+The batch dimension that *is* large lives across items: the whole suite
+yields hundreds of candidates sharing a universe size.
+
+:func:`prefill_units` exploits that before the per-cell loop runs:
+
+1. **Collect** — for every pending cell whose checker is a plain
+   batchable :class:`~repro.engine.checkers.ModelChecker`, pull the
+   exact candidate set the scalar verdict quantifies over (the
+   postcondition-filtered stream for ``exists``, the refuting candidates
+   for ``forall``, the bare execution for execution payloads), bounded
+   by :data:`PREFILL_STREAM_CAP`;
+2. **Sweep** — bucket every collected execution by universe size, build
+   one :class:`~repro.ir.batch.BatchContext` per bucket, and run each
+   participating model's compiled plan (:func:`repro.ir.plan.
+   consistent_on`) over the *whole bucket* — base-relation packing and
+   hash-consed node kernels are paid once per bucket and shared by all
+   models;
+3. **Assemble** — each cell's verdict is the same quantifier over the
+   same candidate set the scalar path uses (``exists``: any consistent
+   candidate; ``forall``: no consistent refutation), so the verdicts are
+   identical by construction.  Cells whose streams overflowed the cap
+   and were not decided by the collected prefix fall back to the
+   per-cell path untouched.
+
+The prefill runs only on the serial (``jobs == 1``) path; worker
+processes keep the per-cell within-stream batching they inherit via
+``REPRO_BATCH``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+from ..core.execution import Execution
+from ..ir.batch import BatchContext
+from ..litmus.candidates import batch_size, candidate_executions, expand_test
+from ..litmus.test import LitmusTest
+from .checkers import Checker, ModelChecker, resolve_checker
+
+__all__ = ["PREFILL_STREAM_CAP", "KERNEL_CHUNK", "prefill_units"]
+
+#: Per-cell candidate cap for the collect phase: a stream still going
+#: after this many (post-filter) candidates is a big test, and big tests
+#: are exactly where the per-cell chunked early exit beats speculative
+#: full expansion — the cell falls back unless its prefix already
+#: decides the verdict.
+PREFILL_STREAM_CAP = 256
+
+#: Kernel sweeps over a bucket are chunked at this many executions to
+#: bound the live bit-matrix memory (one chunk's arrays are freed before
+#: the next is packed).
+KERNEL_CHUNK = 1024
+
+
+_MISSING = object()
+
+
+class _Cell:
+    """One prefill candidate: a pending (item, checker) pair plus the
+    candidate set its verdict quantifies over."""
+
+    __slots__ = (
+        "name", "spec", "model", "definition", "quantifier",
+        "executions", "exhausted",
+    )
+
+    def __init__(self, name, checker, definition, quantifier):
+        self.name = name
+        self.spec = checker.spec
+        self.model = checker.model
+        self.definition = definition
+        self.quantifier = quantifier  # "exec" | "exists" | "forall"
+        self.executions: list[Execution] = []
+        self.exhausted = False
+
+
+def _collect_stream(
+    candidates: Iterable,
+    keep: Callable,
+) -> "tuple[list[tuple[Execution, bool]], bool]":
+    """The (deduplicated) ``(execution, coherent)`` pairs of the
+    candidates passing ``keep``, up to the cap, plus whether the stream
+    was exhausted.
+
+    Carrying the structural coherence flag lets one walk serve both the
+    gated and ungated checkers of an item: the coherent subset of an
+    exhausted stream is itself exhaustive, and an overflowed one is
+    (conservatively) undecided for both gates.
+    """
+    pairs: list[tuple[Execution, bool]] = []
+    seen: set[Execution] = set()
+    count = 0
+    for candidate in candidates:
+        if keep is not None and not keep(candidate):
+            continue
+        count += 1
+        if count > PREFILL_STREAM_CAP:
+            return pairs, False  # overflow
+        x = candidate.execution
+        if x not in seen:
+            seen.add(x)
+            pairs.append((x, candidate.coherent))
+    return pairs, True
+
+
+def _resolve_batchable(entry, cache):
+    """``(checker, definition, gate)`` for a batchable plain
+    :class:`ModelChecker` entry, else ``None`` — computed once per
+    distinct entry, not once per (unit, entry)."""
+    key = id(entry)
+    if key in cache:
+        return cache[key]
+    checker = entry if isinstance(entry, Checker) else resolve_checker(entry)
+    out = None
+    if type(checker) is ModelChecker:  # oracle/brute-force keep their path
+        try:
+            definition = checker.model.batch_definition()
+        except Exception:
+            definition = None
+        if definition is not None:
+            gate = getattr(checker.model, "enforces_coherence", False)
+            out = (checker, definition, gate)
+    cache[key] = out
+    return out
+
+
+def _collect(units) -> list[_Cell]:
+    cells: list[_Cell] = []
+    resolved: dict = {}
+    for name, payload, checkers, _telemetry in units:
+        # Checkers of one item share the candidate stream; walking it
+        # (and applying the postcondition) once per *quantifier*, not
+        # once per checker or per coherence gate, matters on suites of
+        # hundreds of small tests.  ``prefixes`` maps a quantifier to
+        # ``(pairs, exhausted, per-gate executions)``.
+        prefixes: dict[str, tuple | None] = {}
+        for entry in checkers:
+            batchable = _resolve_batchable(entry, resolved)
+            if batchable is None:
+                continue
+            checker, definition, gate = batchable
+            if isinstance(payload, Execution):
+                cell = _Cell(name, checker, definition, "exec")
+                cell.executions.append(payload)
+                cell.exhausted = True
+                cells.append(cell)
+                continue
+            if not isinstance(payload, LitmusTest):
+                continue
+            quantifier = (
+                "forall" if payload.quantifier == "forall" else "exists"
+            )
+            prefix = prefixes.get(quantifier, _MISSING)
+            if prefix is _MISSING:
+                try:
+                    if quantifier == "forall":
+                        # The scalar path's skip: only candidates
+                        # *refuting* the condition can decide the
+                        # verdict.
+                        prefix = _collect_stream(
+                            candidate_executions(payload.program),
+                            lambda c: not payload.check(c.outcome),
+                        ) + ({},)
+                    else:
+                        prefix = _collect_stream(
+                            iter(expand_test(payload, False)), None
+                        ) + ({},)
+                except Exception:
+                    # Fall back: the per-cell path reports the error.
+                    prefix = None
+                prefixes[quantifier] = prefix
+            if prefix is None:
+                continue
+            pairs, exhausted, by_gate = prefix
+            executions = by_gate.get(gate)
+            if executions is None:
+                by_gate[gate] = executions = [
+                    x for x, coherent in pairs if coherent or not gate
+                ]
+            cell = _Cell(name, checker, definition, quantifier)
+            cell.executions = executions
+            cell.exhausted = exhausted
+            cells.append(cell)
+    return cells
+
+
+def prefill_units(units):
+    """Batched verdicts for the cells of ``units`` decidable up front.
+
+    Returns ``(rows, covered)``: cell rows in the campaign's result-row
+    shape ``(name, spec, verdict, elapsed, None)`` and the set of
+    ``(name, spec)`` pairs they cover; every uncovered pending cell must
+    still go through the per-cell path.  A no-op (empty results) when
+    batching is off.
+    """
+    if batch_size() <= 1:
+        return [], set()
+    start = time.perf_counter()
+    cells = _collect(units)
+    if not cells:
+        return [], set()
+
+    # -- bucket every execution by universe size ------------------------
+    buckets: dict[int, dict[Execution, int]] = {}
+    sweeps: dict[int, list[tuple[str, object, object]]] = {}
+    swept: set[tuple[str, int]] = set()
+    for cell in cells:
+        for x in cell.executions:
+            index = buckets.setdefault(x.n, {})
+            if x not in index:
+                index[x] = len(index)
+            key = (cell.spec, x.n)
+            if key not in swept:
+                swept.add(key)
+                sweeps.setdefault(x.n, []).append(
+                    (cell.spec, cell.model, cell.definition)
+                )
+
+    # -- one context per bucket chunk, every model's plan over it --------
+    from ..ir.plan import consistent_on
+
+    flags: dict[str, dict[Execution, bool]] = {}
+    broken: set[str] = set()
+    for n, index in buckets.items():
+        stack = list(index)
+        for lo in range(0, len(stack), KERNEL_CHUNK):
+            chunk = stack[lo : lo + KERNEL_CHUNK]
+            ctx = BatchContext.of(chunk)
+            for spec, model, definition in sweeps[n]:
+                if spec in broken:
+                    continue
+                try:
+                    out = consistent_on(model, definition, ctx)
+                except Exception:
+                    # The per-cell fallback will reproduce (and report)
+                    # the failure for exactly the affected cells.
+                    broken.add(spec)
+                    flags.pop(spec, None)
+                    continue
+                table = flags.setdefault(spec, {})
+                for x, flag in zip(chunk, out):
+                    table[x] = bool(flag)
+
+    # -- assemble verdicts ----------------------------------------------
+    decided: list[tuple[str, str, bool]] = []
+    for cell in cells:
+        table = flags.get(cell.spec)
+        if table is None:
+            continue
+        hit = any(table[x] for x in cell.executions)
+        if cell.quantifier == "forall":
+            if hit:  # a consistent refutation
+                verdict = False
+            elif cell.exhausted:
+                verdict = True
+            else:
+                continue  # undecided prefix: fall back
+        else:  # "exists" and bare executions alike
+            if hit:
+                verdict = True
+            elif cell.exhausted:
+                verdict = False
+            else:
+                continue
+        decided.append((cell.name, cell.spec, verdict))
+
+    if not decided:
+        return [], set()
+    # Apportion the sweep time evenly: per-cell attribution below batch
+    # granularity is not meaningful, but model_time() should still add
+    # up to wall-clock spent.
+    elapsed = (time.perf_counter() - start) / len(decided)
+    rows = [
+        (name, spec, verdict, elapsed, None)
+        for name, spec, verdict in decided
+    ]
+    return rows, {(name, spec) for name, spec, _ in decided}

@@ -23,6 +23,7 @@ summaries.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -66,19 +67,47 @@ class CampaignItem:
     expected: dict[str, bool] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
 class CellResult:
     """One (test, model) cell of the verdict matrix.
 
     ``error`` carries the ``"ExcType: message"`` string of a checker
     that raised instead of producing a verdict (the verdict is then
     ``False`` by convention and the cell is never cached).
+
+    A plain slotted class rather than a frozen dataclass: a campaign
+    allocates one per cell, and frozen-dataclass ``__init__`` overhead
+    is measurable at thousands of cells.  Treat instances as immutable.
     """
 
-    verdict: bool
-    elapsed: float
-    cached: bool
-    error: str | None = None
+    __slots__ = ("verdict", "elapsed", "cached", "error")
+
+    def __init__(
+        self,
+        verdict: bool,
+        elapsed: float,
+        cached: bool,
+        error: str | None = None,
+    ) -> None:
+        self.verdict = verdict
+        self.elapsed = elapsed
+        self.cached = cached
+        self.error = error
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CellResult):
+            return NotImplemented
+        return (
+            self.verdict == other.verdict
+            and self.elapsed == other.elapsed
+            and self.cached == other.cached
+            and self.error == other.error
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CellResult(verdict={self.verdict!r}, elapsed={self.elapsed!r},"
+            f" cached={self.cached!r}, error={self.error!r})"
+        )
 
 
 @dataclass
@@ -432,10 +461,54 @@ def run_campaign(
         for item in items
         if item.name in pending
     ]
-    misses = sum(len(specs) for _, _, specs, _ in units)
+
+    # Cross-item batched prefill (serial path only): cells whose
+    # quantifier is decidable from a bounded candidate prefix are
+    # verdict-ed in universe-size buckets spanning the whole suite, so
+    # the compiled batch plans see hundreds of candidates per kernel
+    # call instead of one small test's worth.  Workers (jobs != 1) keep
+    # the per-cell path with its within-stream chunking.  Telemetry
+    # runs also keep it: per-cell spans and latency histograms are the
+    # observability contract, and a cross-item sweep has no meaningful
+    # per-cell attribution to offer.
+    prefilled: list = []
+    if (
+        units
+        and jobs == 1
+        and not telemetry_on
+        and obs_metrics.ACTIVE is None
+    ):
+        from .batchsweep import prefill_units
+
+        prefilled, covered = prefill_units(units)
+        if covered:
+            units = [
+                (
+                    name,
+                    payload,
+                    tuple(
+                        entry
+                        for entry in specs
+                        if (
+                            name,
+                            entry.spec
+                            if isinstance(entry, Checker)
+                            else entry,
+                        )
+                        not in covered
+                    ),
+                    tel,
+                )
+                for name, payload, specs, tel in units
+            ]
+            units = [unit for unit in units if unit[2]]
+    misses = sum(len(specs) for _, _, specs, _ in units) + len(prefilled)
 
     registry = obs_metrics.ACTIVE
-    for rows, snap in parallel_map(_run_unit, units, jobs=jobs):
+    results = parallel_map(_run_unit, units, jobs=jobs)
+    if prefilled:
+        results = itertools.chain([(prefilled, None)], results)
+    for rows, snap in results:
         # Worker-side telemetry (stage self-times, per-cell spans, IR
         # counters) comes home with the chunk results; merging it here
         # is what makes ``--profile``/manifests see ProcessPool time.

@@ -47,17 +47,25 @@ class EvalStats:
     """Process-wide counters (cheap; used by bench_ir, ``explain``, and
     the telemetry snapshot, which reports them as deltas-since-enable)."""
 
-    __slots__ = ("computes", "fix_iterations", "memo_hits")
+    __slots__ = (
+        "computes",
+        "fix_iterations",
+        "memo_hits",
+        "batch_computes",
+        "batch_candidates",
+    )
 
     def __init__(self) -> None:
-        self.computes = 0
-        self.fix_iterations = 0
-        self.memo_hits = 0
+        self.reset()
 
     def reset(self) -> None:
         self.computes = 0
         self.fix_iterations = 0
         self.memo_hits = 0
+        #: Batched node-kernel computations (one per (node, chunk)).
+        self.batch_computes = 0
+        #: Candidates whose consistency ran through the batched plans.
+        self.batch_candidates = 0
 
 
 STATS = EvalStats()

@@ -187,3 +187,7 @@ class IRModel(MemoryModel):
         cached verdicts are invalidated precisely when an axiom's
         meaning changes."""
         return f"ir:{self.arch}:tm={self.tm}:{self.definition().digest}"
+
+    def batch_definition(self):
+        """Native IR models are always batchable."""
+        return self.definition()

@@ -70,8 +70,48 @@ __all__ = [
     "observable",
     "forall_holds",
     "all_outcomes",
+    "set_batch_size",
     "set_expansion_cache_limit",
 ]
+
+
+# ----------------------------------------------------------------------
+# Batched checking knobs
+# ----------------------------------------------------------------------
+
+#: Default chunk size for the batched consistency path.  Streams shorter
+#: than this degenerate to one whole-stream batch; 0 (or 1) falls back
+#: to the scalar per-candidate path everywhere.
+DEFAULT_BATCH_SIZE = 64
+
+_BATCH_OVERRIDE: int | None = None
+
+
+def set_batch_size(size: "int | None") -> None:
+    """Set the candidate chunk size for batched checking.
+
+    ``0`` (or ``1``) selects the scalar per-candidate path; ``None``
+    restores the default (the ``REPRO_BATCH`` environment variable,
+    else :data:`DEFAULT_BATCH_SIZE`).  The CLI's ``--batch`` flag and
+    the differential tests route through here.
+    """
+    global _BATCH_OVERRIDE
+    if size is not None and size < 0:
+        raise ValueError(f"batch size must be >= 0, got {size}")
+    _BATCH_OVERRIDE = size
+
+
+def batch_size() -> int:
+    """The effective candidate chunk size (see :func:`set_batch_size`)."""
+    if _BATCH_OVERRIDE is not None:
+        return _BATCH_OVERRIDE
+    raw = os.environ.get("REPRO_BATCH")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_BATCH_SIZE
 
 
 @dataclass(frozen=True)
@@ -894,23 +934,90 @@ def brute_force_observable(test: LitmusTest, model: MemoryModel) -> bool:
     ground-truth oracle for enumeration splits, and the randomized
     equivalence suite as its reference semantics.
     """
+    exists = _brute_force_exists(
+        test.program, model, lambda c: test.check(c.outcome)
+    )
+    if exists is not None:
+        return exists
     return any(
         test.check(c.outcome) and model.consistent(c.execution)
         for c in brute_force_candidates(test.program)
     )
 
 
+def _brute_force_exists(program, model, want) -> "bool | None":
+    """Batched "does a consistent candidate satisfying ``want`` exist?",
+    or ``None`` when batching is off or the model is not batchable.
+
+    The enumeration stays the unpruned, unmemoized cross-product; only
+    the per-candidate ``model.consistent`` calls are chunked through the
+    compiled plans (early-exiting between chunks), so the oracle still
+    shares nothing with the incremental search it cross-checks.
+    """
+    size = batch_size()
+    definition = model.batch_definition() if size > 1 else None
+    if definition is None:
+        return None
+    from ..ir.plan import consistent_batch as _ir_consistent_batch
+
+    buckets: dict[int, list[Execution]] = {}
+
+    def flush(n: int) -> bool:
+        return any(_ir_consistent_batch(model, definition, buckets.pop(n)))
+
+    for c in brute_force_candidates(program):
+        if not want(c):
+            continue
+        n = c.execution.n
+        bucket = buckets.setdefault(n, [])
+        bucket.append(c.execution)
+        if len(bucket) >= size and flush(n):
+            return True
+    return any(flush(n) for n in list(buckets))
+
+
 def brute_force_outcomes(test: LitmusTest, model: MemoryModel) -> set[tuple]:
     """Reference :func:`all_outcomes`, enumerated by brute force."""
-    return {
-        c.outcome.key()
-        for c in brute_force_candidates(test.program)
-        if model.consistent(c.execution)
-    }
+    size = batch_size()
+    definition = model.batch_definition() if size > 1 else None
+    if definition is None:
+        return {
+            c.outcome.key()
+            for c in brute_force_candidates(test.program)
+            if model.consistent(c.execution)
+        }
+    from ..ir.plan import consistent_batch as _ir_consistent_batch
+
+    out: set[tuple] = set()
+    buckets: dict[int, list[Candidate]] = {}
+
+    def flush(n: int) -> None:
+        bucket = buckets.pop(n)
+        flags = _ir_consistent_batch(
+            model, definition, [c.execution for c in bucket]
+        )
+        out.update(
+            c.outcome.key() for c, flag in zip(bucket, flags) if flag
+        )
+
+    for c in brute_force_candidates(test.program):
+        n = c.execution.n
+        bucket = buckets.setdefault(n, [])
+        bucket.append(c)
+        if len(bucket) >= size:
+            flush(n)
+    for n in list(buckets):
+        flush(n)
+    return out
 
 
 def brute_force_forall(test: LitmusTest, model: MemoryModel) -> bool:
     """Reference :func:`forall_holds`, enumerated by brute force."""
+    refuted = _brute_force_exists(
+        test.program, model, lambda c: not test.check(c.outcome)
+    )
+    if refuted is not None:
+        return not refuted
     return all(
         test.check(c.outcome)
         for c in brute_force_candidates(test.program)
@@ -944,6 +1051,14 @@ def _consistent_stream(
     :func:`forall_holds` to avoid consistency checks on candidates that
     cannot decide the verdict.
     """
+    size = batch_size()
+    if size > 1:
+        definition = model.batch_definition()
+        if definition is not None:
+            yield from _batched_consistent_stream(
+                candidates, model, definition, skip, size
+            )
+            return
     coherence_gate = getattr(model, "enforces_coherence", False)
     verdicts: dict[Execution, bool] = {}
     for candidate in candidates:
@@ -959,6 +1074,68 @@ def _consistent_stream(
             verdicts[candidate.execution] = verdict
         if verdict:
             yield candidate
+
+
+def _batched_consistent_stream(
+    candidates: Iterator[Candidate],
+    model: MemoryModel,
+    definition,
+    skip: Callable[[Candidate], bool] | None,
+    size: int,
+) -> Iterator[Candidate]:
+    """The batched body of :func:`_consistent_stream`.
+
+    Candidates are buffered into per-universe-size chunks (one test's
+    commit choices yield different event counts, and a batch shares one
+    bit-matrix shape) and each full chunk is checked with one compiled
+    plan sweep; the stream early-exits *between* chunks, so a consumer
+    like :func:`observable` stops enumerating after the chunk containing
+    its witness.  The coherence gate, the ``skip`` callback, and the
+    bounded verdict memo behave exactly as in the scalar path; only the
+    yield order may differ (chunks group same-sized candidates), which
+    no consumer observes — they ask for existence or collect sets.
+    """
+    from ..ir.plan import consistent_batch as _ir_consistent_batch
+
+    coherence_gate = getattr(model, "enforces_coherence", False)
+    verdicts: dict[Execution, bool] = {}
+    buckets: dict[int, list[Candidate]] = {}
+
+    def flush(n: int) -> Iterator[Candidate]:
+        bucket = buckets.pop(n)
+        stack: list[Execution] = []
+        index: dict[Execution, int] = {}
+        for candidate in bucket:
+            x = candidate.execution
+            if x not in index:
+                index[x] = len(stack)
+                stack.append(x)
+        flags = _ir_consistent_batch(model, definition, stack)
+        if len(verdicts) + len(stack) > _VERDICT_MEMO_LIMIT:
+            verdicts.clear()
+        for x, flag in zip(stack, flags):
+            verdicts[x] = bool(flag)
+        for candidate in bucket:
+            if flags[index[candidate.execution]]:
+                yield candidate
+
+    for candidate in candidates:
+        if coherence_gate and not candidate.coherent:
+            continue
+        if skip is not None and skip(candidate):
+            continue
+        verdict = verdicts.get(candidate.execution)
+        if verdict is not None:
+            if verdict:
+                yield candidate
+            continue
+        n = candidate.execution.n
+        bucket = buckets.setdefault(n, [])
+        bucket.append(candidate)
+        if len(bucket) >= size:
+            yield from flush(n)
+    for n in list(buckets):
+        yield from flush(n)
 
 
 def observable(test: LitmusTest, model: MemoryModel) -> bool:

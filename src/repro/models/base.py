@@ -190,6 +190,25 @@ class MemoryModel:
         results = tuple(axiom.evaluate(relations) for axiom in self.axioms())
         return Verdict(self.name, all(r.holds for r in results), results)
 
+    def batch_definition(self):
+        """The :class:`~repro.ir.model.IRDefinition` the batched
+        evaluation path may check instead of per-candidate
+        :meth:`consistent` calls, or ``None`` when this model's
+        consistency is not expressible as plain IR axioms (then every
+        consumer falls back to the scalar path)."""
+        return None
+
+    def consistent_batch(self, executions) -> "list[bool] | None":
+        """:meth:`consistent` over a stack of same-universe executions,
+        evaluated through the compiled batch plans; ``None`` when the
+        model has no batchable definition."""
+        definition = self.batch_definition()
+        if definition is None:
+            return None
+        from ..ir.plan import consistent_batch
+
+        return consistent_batch(self, definition, executions)
+
     def consistent(self, x: "Execution | CandidateAnalysis") -> bool:
         """Fast yes/no consistency (short-circuits on first failure)."""
         if trace.ACTIVE is not None:

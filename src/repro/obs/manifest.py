@@ -411,12 +411,14 @@ def from_campaign(
     seed: int | None = None,
     argv: list[str] | None = None,
     snapshot: dict | None = None,
+    extra: dict | None = None,
 ) -> RunManifest:
     """Build a manifest from a :class:`CampaignResult` plus telemetry.
 
     ``snapshot`` is a telemetry snapshot (``obs.snapshot()``); when
-    omitted the active bundle is snapshotted.  Everything is read
-    duck-typed so obs never imports the engine.
+    omitted the active bundle is snapshotted.  ``extra`` merges into the
+    ``suite`` block (run knobs like the candidate batch size).
+    Everything is read duck-typed so obs never imports the engine.
     """
     from . import telemetry
 
@@ -452,6 +454,7 @@ def from_campaign(
         suite={
             "items": len(result.item_names),
             "digest": _suite_digest(result.item_names),
+            **(extra or {}),
         },
         models=definitions,
         verdicts={
@@ -481,9 +484,11 @@ def from_fuzz(
     cache=None,
     argv: list[str] | None = None,
     snapshot: dict | None = None,
+    extra: dict | None = None,
 ) -> RunManifest:
     """Build a manifest from a :class:`FuzzReport`, merging the cells of
-    every campaign the fuzz run dispatched (main, machine, brute)."""
+    every campaign the fuzz run dispatched (main, machine, brute);
+    ``extra`` merges into the ``suite`` block."""
     from . import telemetry
 
     if snapshot is None:
@@ -515,6 +520,7 @@ def from_fuzz(
         suite={
             "items": report.n_items,
             "digest": _suite_digest(sorted(names)),
+            **(extra or {}),
         },
         models=_definition_tokens(report.checkers),
         verdicts={

@@ -85,6 +85,8 @@ def _ir_totals() -> dict[str, int]:
         "ir_node_computes": STATS.computes,
         "ir_fix_iterations": STATS.fix_iterations,
         "ir_memo_hits": STATS.memo_hits,
+        "ir_batch_computes": STATS.batch_computes,
+        "ir_batch_candidates": STATS.batch_candidates,
     }
 
 

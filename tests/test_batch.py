@@ -1,0 +1,340 @@
+"""Differential suite for the batched relation kernels.
+
+Four layers, each pinning batched evaluation to the scalar reference:
+
+* **Algebra** — :class:`repro.core.relbatch.RelationBatch` /
+  :class:`SetBatch` operations against per-element scalar
+  :class:`repro.core.relation.Relation` results, on *both* backends
+  (numpy dense and the pure-Python packed fallback), including a
+  universe above 64 events to exercise the non-vectorized unpack path;
+* **Golden catalog** — compiled plans (:func:`repro.ir.plan.
+  consistent_batch`, kernels forced on) over the whole curated catalog
+  against the pinned ``tests/golden_verdicts.json`` scalar matrix, for
+  every native model and for ``.cat`` models with ``let rec``
+  fixpoints;
+* **Corpus matrix** — a batched campaign over the full committed
+  litmus corpus (every dialect, ``exists`` and ``forall`` alike)
+  against a scalar campaign over the same files, cell for cell;
+* **Fuzz stream** — a seeded generator suite (reproducible via
+  ``REPRO_TEST_SEED``) swept batched vs scalar.
+
+The batched path must be *bit-identical* to the scalar one: any
+mismatch here is a kernel bug, never an acceptable approximation.
+"""
+
+import pathlib
+import random
+
+import pytest
+
+from repro.catalog import CATALOG
+from repro.cat.model import load_cat_model
+from repro.conformance.generators import generate_suite
+from repro.conformance.golden import load_snapshot
+from repro.conformance.seeds import derive_seed, reproducible_seed
+from repro.core.execution import Execution
+from repro.core.relation import Relation
+from repro.core.relbatch import (
+    HAVE_NUMPY,
+    RelationBatch,
+    SetBatch,
+    active_backend,
+    set_backend,
+)
+from repro.engine.campaign import litmus_suite, run_campaign
+from repro.litmus.candidates import _expand_test, expand_program, set_batch_size
+from repro.models.registry import MODELS, get_model
+import repro.ir.plan as plan
+
+_SEED = reproducible_seed()
+CORPUS = pathlib.Path(__file__).resolve().parent / "corpus"
+GOLDEN = pathlib.Path(__file__).resolve().parent / "golden_verdicts.json"
+
+BACKENDS = ("python", "numpy") if HAVE_NUMPY else ("python",)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    set_backend(request.param)
+    try:
+        yield request.param
+    finally:
+        set_backend(None)
+
+
+def _random_relation(rng: random.Random, n: int, density: float) -> Relation:
+    pairs = [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if rng.random() < density
+    ]
+    return Relation.from_pairs(n, pairs)
+
+
+def _random_set(rng: random.Random, n: int, density: float = 0.4):
+    return frozenset(i for i in range(n) if rng.random() < density)
+
+
+def _stacks(stream: str, n: int, batch: int = 6):
+    """Deterministic test stacks: relations ``r, s`` and sets ``a, b``."""
+    rng = random.Random(derive_seed(_SEED, f"{stream}-{n}"))
+    rs = [_random_relation(rng, n, rng.uniform(0.05, 0.5)) for _ in range(batch)]
+    ss = [_random_relation(rng, n, rng.uniform(0.05, 0.5)) for _ in range(batch)]
+    sa = [_random_set(rng, n) for _ in range(batch)]
+    sb = [_random_set(rng, n) for _ in range(batch)]
+    return rs, ss, sa, sb
+
+
+#: Universe sizes: tiny, catalog-typical, and one past the 64-bit packed
+#: row (exercises the per-bit unpack path in ``from_relations``).
+SIZES = (1, 3, 7, 66)
+
+
+class TestBatchAlgebra:
+    """Every RelationBatch/SetBatch operation against the scalar
+    Relation algebra, element by element, on the active backend."""
+
+    def test_roundtrip(self, backend):
+        for n in SIZES:
+            rs, _, sa, _ = _stacks("roundtrip", n)
+            assert RelationBatch.from_relations(rs).to_relations() == rs
+            assert SetBatch.from_sets(sa, n).to_sets() == sa
+
+    def test_constructors(self, backend):
+        for n in SIZES:
+            assert RelationBatch.empty(3, n).to_relations() == [
+                Relation.empty(n)
+            ] * 3
+            assert RelationBatch.identity(3, n).to_relations() == [
+                Relation.identity(n)
+            ] * 3
+            assert RelationBatch.full(3, n).to_relations() == [
+                Relation.full(n)
+            ] * 3
+            assert SetBatch.full(3, n).to_sets() == [frozenset(range(n))] * 3
+            assert SetBatch.empty(3, n).to_sets() == [frozenset()] * 3
+
+    def test_binary_relation_ops(self, backend):
+        for n in SIZES:
+            rs, ss, _, _ = _stacks("binary", n)
+            br, bs = RelationBatch.from_relations(rs), RelationBatch.from_relations(ss)
+            assert (br | bs).to_relations() == [r | s for r, s in zip(rs, ss)]
+            assert (br & bs).to_relations() == [r & s for r, s in zip(rs, ss)]
+            assert (br - bs).to_relations() == [r - s for r, s in zip(rs, ss)]
+            assert (br @ bs).to_relations() == [r @ s for r, s in zip(rs, ss)]
+
+    def test_unary_relation_ops(self, backend):
+        for n in SIZES:
+            rs, _, _, _ = _stacks("unary", n)
+            br = RelationBatch.from_relations(rs)
+            assert br.complement().to_relations() == [r.complement() for r in rs]
+            assert br.inverse().to_relations() == [r.inverse() for r in rs]
+            assert br.opt().to_relations() == [r.opt() for r in rs]
+            assert br.plus().to_relations() == [r.plus() for r in rs]
+            assert br.star().to_relations() == [r.star() for r in rs]
+            assert br.remove_diagonal().to_relations() == [
+                r.remove_diagonal() for r in rs
+            ]
+
+    def test_restrictions_and_lifts(self, backend):
+        for n in SIZES:
+            rs, _, sa, sb = _stacks("restrict", n)
+            br = RelationBatch.from_relations(rs)
+            ba, bb = SetBatch.from_sets(sa, n), SetBatch.from_sets(sb, n)
+            assert br.restrict(ba, bb).to_relations() == [
+                r.restrict(a, b) for r, a, b in zip(rs, sa, sb)
+            ]
+            # restrict_domain/range are the comp-lift peephole kernels:
+            # they must equal the lift-then-compose they replace.
+            assert br.restrict_domain(ba).to_relations() == [
+                Relation.lift(n, a) @ r for r, a in zip(rs, sa)
+            ]
+            assert br.restrict_range(bb).to_relations() == [
+                r @ Relation.lift(n, b) for r, b in zip(rs, sb)
+            ]
+            assert RelationBatch.lift_set(ba).to_relations() == [
+                Relation.lift(n, a) for a in sa
+            ]
+            assert RelationBatch.cross_sets(ba, bb).to_relations() == [
+                Relation.cross(n, a, b) for a, b in zip(sa, sb)
+            ]
+
+    def test_domain_codomain(self, backend):
+        for n in SIZES:
+            rs, _, _, _ = _stacks("domain", n)
+            br = RelationBatch.from_relations(rs)
+            assert br.domain().to_sets() == [r.domain() for r in rs]
+            assert br.codomain().to_sets() == [r.codomain() for r in rs]
+
+    def test_predicates(self, backend):
+        for n in SIZES:
+            rs, _, _, _ = _stacks("pred", n)
+            # Mix in edge cases that random stacks rarely produce.
+            rs = rs + [Relation.empty(n), Relation.identity(n)]
+            br = RelationBatch.from_relations(rs)
+            assert list(map(bool, br.is_empty())) == [r.is_empty() for r in rs]
+            assert list(map(bool, br.is_irreflexive())) == [
+                r.is_irreflexive() for r in rs
+            ]
+            assert list(map(bool, br.is_acyclic())) == [
+                r.is_acyclic() for r in rs
+            ]
+            assert br.same_as(RelationBatch.from_relations(rs))
+            assert not br.same_as(br.complement())
+
+    def test_set_ops(self, backend):
+        for n in SIZES:
+            _, _, sa, sb = _stacks("sets", n)
+            ba, bb = SetBatch.from_sets(sa, n), SetBatch.from_sets(sb, n)
+            universe = frozenset(range(n))
+            assert (ba | bb).to_sets() == [a | b for a, b in zip(sa, sb)]
+            assert (ba & bb).to_sets() == [a & b for a, b in zip(sa, sb)]
+            assert (ba - bb).to_sets() == [a - b for a, b in zip(sa, sb)]
+            assert ba.complement().to_sets() == [universe - a for a in sa]
+            assert list(map(bool, ba.is_empty())) == [not a for a in sa]
+            assert ba.same_as(SetBatch.from_sets(sa, n))
+
+    def test_from_dense_requires_numpy(self, backend):
+        if backend == "numpy":
+            import numpy as np
+
+            rel = RelationBatch.from_dense(np.eye(4, dtype=np.uint8)[None])
+            assert rel.to_relations() == [Relation.identity(4)]
+            events = SetBatch.from_dense(np.ones((2, 4), dtype=np.uint8))
+            assert events.to_sets() == [frozenset(range(4))] * 2
+        else:
+            with pytest.raises(RuntimeError):
+                RelationBatch.from_dense(None)
+            with pytest.raises(RuntimeError):
+                SetBatch.from_dense(None)
+
+    def test_backend_selection(self):
+        assert active_backend() in ("python", "numpy")
+        with pytest.raises(ValueError):
+            set_backend("fortran")
+
+
+# ----------------------------------------------------------------------
+# Compiled plans vs the scalar reference
+# ----------------------------------------------------------------------
+
+
+def _fresh(x: Execution) -> Execution:
+    """A copy with no cached analysis: batched evaluation on it cannot
+    read memos a scalar pass already filled (or vice versa), so the two
+    paths stay genuinely independent."""
+    return Execution(
+        x.events, x.threads, x.rf, x.co, x.addr, x.data, x.ctrl, x.rmw, x.txns
+    )
+
+
+@pytest.fixture
+def forced_kernels(monkeypatch):
+    """Force every stack through the compiled kernels, however small —
+    without this the differential would silently compare scalar against
+    scalar below ``MIN_KERNEL_BATCH``."""
+    monkeypatch.setattr(plan, "MIN_KERNEL_BATCH", 1)
+
+
+def _catalog_stacks():
+    """Catalog executions bucketed by universe size, as fresh copies."""
+    buckets: dict[int, list[tuple[str, Execution]]] = {}
+    for name, entry in sorted(CATALOG.items()):
+        buckets.setdefault(entry.execution.n, []).append(
+            (name, _fresh(entry.execution))
+        )
+    return buckets
+
+
+class TestGoldenCatalogBatched:
+    def test_native_models_match_pinned_scalar_matrix(self, forced_kernels):
+        """Batched plans over the full catalog reproduce the pinned
+        scalar golden matrix for every native model."""
+        golden = load_snapshot(GOLDEN)
+        buckets = _catalog_stacks()
+        mismatches = []
+        for model_name in sorted(MODELS):
+            model = get_model(model_name)
+            definition = model.batch_definition()
+            assert definition is not None, f"{model_name} lost its IR"
+            for stack in buckets.values():
+                flags = plan.consistent_batch(
+                    model, definition, [x for _, x in stack]
+                )
+                for (entry_name, _), flag in zip(stack, flags):
+                    want = golden[entry_name][model_name]
+                    if bool(flag) != want:
+                        mismatches.append((entry_name, model_name, want))
+        assert not mismatches, f"batched verdicts flipped: {mismatches[:10]}"
+
+    @pytest.mark.parametrize("cat_name", ["power", "armv8"])
+    def test_cat_models_match_scalar(self, forced_kernels, cat_name):
+        """`.cat` models (``let rec`` fixpoints included) batched vs a
+        scalar sweep over independent execution copies."""
+        model = load_cat_model(cat_name)
+        definition = model.batch_definition()
+        if definition is None:
+            pytest.skip(f"cat:{cat_name} has no batchable IR")
+        for stack in _catalog_stacks().values():
+            scalar = [
+                bool(model.consistent(_fresh(x))) for _, x in stack
+            ]
+            flags = plan.consistent_batch(
+                model, definition, [x for _, x in stack]
+            )
+            assert list(map(bool, flags)) == scalar
+
+
+# ----------------------------------------------------------------------
+# Campaign-level differentials (corpus matrix + seeded fuzz stream)
+# ----------------------------------------------------------------------
+
+
+def _campaign_verdicts(items, specs, batch):
+    """One campaign pass at the given batch setting, from cold expansion
+    caches, returning ``{(name, spec): (verdict, error)}``."""
+    expand_program.cache_clear()
+    _expand_test.cache_clear()
+    set_batch_size(batch)
+    try:
+        result = run_campaign(items, specs)
+    finally:
+        set_batch_size(None)
+        expand_program.cache_clear()
+        _expand_test.cache_clear()
+    return {
+        key: (cell.verdict, cell.error) for key, cell in result.cells.items()
+    }
+
+
+def _assert_identical(items, specs):
+    scalar = _campaign_verdicts(items, specs, 0)
+    batched = _campaign_verdicts(items, specs, 64)
+    assert batched == scalar
+
+
+class TestCampaignDifferential:
+    def test_full_corpus_matrix(self, forced_kernels):
+        """The complete committed corpus (every dialect; ``exists``,
+        ``~exists`` and ``forall`` tests alike) × every native model:
+        batched and scalar campaigns agree on all cells."""
+        paths = sorted(str(p) for p in CORPUS.glob("*/*.litmus"))
+        assert len(paths) >= 150, "corpus shrank; differential is hollow"
+        _assert_identical(litmus_suite(paths), sorted(MODELS))
+
+    def test_seeded_fuzz_stream(self, forced_kernels):
+        """A reproducible generator suite (prints its seed via the
+        pytest header) swept batched vs scalar, including a ``.cat``
+        checker so ``let rec`` plans run inside the campaign."""
+        for arch, specs in (
+            ("x86", ["x86", "sc"]),
+            ("power", ["power", "cat:power"]),
+        ):
+            seed = derive_seed(_SEED, f"batch-differential-{arch}")
+            items = [
+                item.campaign_item()
+                for item in generate_suite(arch, seed, "smoke")
+            ]
+            assert items, "empty fuzz suite; differential is hollow"
+            _assert_identical(items, specs)

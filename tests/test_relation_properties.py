@@ -54,6 +54,21 @@ class TestClosures:
             assert r <= p
             assert p.is_transitive()
 
+    def test_plus_matches_repeated_squaring(self):
+        """``plus()`` (single-pass Warshall over bitmask rows) against
+        an independent repeated-squaring closure: square ``r ∪ r·r``
+        until the fixpoint.  The two algorithms share no code, so a
+        Warshall ordering bug cannot hide."""
+        for r, s, _ in SAMPLES:
+            for rel in (r, s):
+                closure = rel
+                while True:
+                    bigger = closure | (closure @ closure)
+                    if bigger == closure:
+                        break
+                    closure = bigger
+                assert rel.plus() == closure
+
     def test_plus_is_idempotent(self):
         for r, _, _ in SAMPLES:
             p = r.plus()
