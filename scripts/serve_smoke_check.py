@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Check a campaign-service job's verdicts against the golden corpus matrix.
+
+CI's serve-smoke job submits the x86 litmus corpus to a live ``repro
+serve`` instance and captures the job record + streamed cells with
+``repro submit --json``.  This script replays the path -> item-name
+mapping (``litmus_suite`` preserves submission order) and asserts that
+every streamed cell matches ``tests/corpus_verdicts.json`` exactly —
+full coverage, no errors, no poisoned cells, no verdict drift.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke_check.py \
+        serve-job.json tests/corpus_verdicts.json tests/corpus/x86 x86,sc
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 5:
+        print(__doc__, file=sys.stderr)
+        return 2
+    job_path, golden_path, corpus_dir, models_arg = argv[1:]
+    models = [m for m in models_arg.split(",") if m]
+
+    from repro.engine import litmus_suite
+
+    corpus = Path(corpus_dir)
+    paths = sorted(corpus.glob("*.litmus"))
+    if not paths:
+        print(f"no .litmus files under {corpus}", file=sys.stderr)
+        return 2
+    # litmus_suite preserves path order, so items[i] came from paths[i];
+    # the golden matrix is keyed by <arch>/<file>.litmus.
+    items = litmus_suite([str(p) for p in paths])
+    name_to_key = {
+        item.name: f"{corpus.name}/{path.name}"
+        for item, path in zip(items, paths)
+    }
+
+    golden = json.loads(Path(golden_path).read_text())
+    payload = json.loads(Path(job_path).read_text())
+    record, cells = payload["job"], payload["cells"]
+
+    failures = []
+    if record["state"] != "done":
+        failures.append(f"job state {record['state']!r}, expected 'done'")
+    if record["cells"]["poisoned"]:
+        failures.append(f"{record['cells']['poisoned']} poisoned cells")
+
+    seen = {}
+    for cell in cells:
+        key = name_to_key.get(cell["item"])
+        if key is None:
+            failures.append(f"unknown item {cell['item']!r}")
+            continue
+        if cell["error"]:
+            failures.append(f"{key} x {cell['model']}: error {cell['error']}")
+            continue
+        seen[(key, cell["model"])] = cell["verdict"]
+
+    for path in paths:
+        key = f"{corpus.name}/{path.name}"
+        expected_row = golden.get(key)
+        if expected_row is None:
+            failures.append(f"{key} missing from golden matrix")
+            continue
+        for model in models:
+            got = seen.get((key, model))
+            expected = expected_row.get(model)
+            if got is None:
+                failures.append(f"{key} x {model}: no cell streamed")
+            elif got != expected:
+                failures.append(
+                    f"{key} x {model}: verdict {got}, golden {expected}"
+                )
+
+    if failures:
+        print(f"serve smoke: {len(failures)} mismatches", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"serve smoke: {len(seen)} cells "
+        f"({len(paths)} tests x {len(models)} models) match the golden matrix"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -19,6 +19,12 @@ Commands:
   timing breakdown (merged across workers), ``--telemetry`` records a
   run manifest under ``.repro-cache/runs/``, ``--trace`` streams a
   JSONL span sidecar, ``--json`` writes the machine-readable result;
+* ``serve`` / ``submit`` / ``jobs`` — the campaign *service*: ``serve``
+  runs a long-lived job queue over the engine (shared result store,
+  per-shard timeouts/retries, poisoned-cell degradation, per-job run
+  manifests) behind a stdlib HTTP JSON API; ``submit`` sends a suite ×
+  models job and streams its cells; ``jobs`` lists/inspects jobs.  See
+  ``src/repro/serve/README.md`` for the protocol;
 * ``stats list|show|diff`` — query recorded run manifests; ``diff``
   compares two runs metric-by-metric (``--fail-over PCT`` gates);
 * ``fuzz --arch A --seed S --budget B`` — differential conformance
@@ -342,6 +348,184 @@ def _cmd_campaign(args) -> int:
             print(f"  {name} under {model}: {message}")
         return 2
     return 1 if diffs else 0
+
+
+def _default_server() -> str:
+    import os
+
+    from .serve.protocol import DEFAULT_PORT
+
+    return os.environ.get(
+        "REPRO_SERVE_URL", f"http://127.0.0.1:{DEFAULT_PORT}"
+    )
+
+
+def _cmd_serve(args) -> int:
+    from .serve import CampaignService, serve_forever
+
+    _configure_batch(args)
+    service = CampaignService(
+        jobs=args.jobs,
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
+        shards=args.shards,
+        cache=_make_cache(args),
+        runs_dir=_runs_dir_for(args),
+        telemetry=not args.no_telemetry,
+    )
+    try:
+        serve_forever(
+            service, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except KeyboardInterrupt:
+        print("\nrepro serve: shutting down")
+    except OSError as exc:
+        print(
+            f"error: cannot serve on {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _submit_suite(args) -> dict:
+    """The wire suite description for a submit invocation (files are
+    sent as absolute paths — the server resolves them in *its* cwd)."""
+    import os
+
+    if args.files:
+        return {
+            "kind": "files",
+            "paths": [os.path.abspath(path) for path in args.files],
+        }
+    if args.suite == "catalog":
+        return {"kind": "catalog"}
+    vocab = args.vocab.split(",") if args.vocab else None
+    return {
+        "kind": "diy",
+        "arch": args.arch,
+        "vocab": vocab,
+        "length": args.length,
+    }
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .serve import ServiceClient, ServiceError
+
+    url = args.server or _default_server()
+    client = ServiceClient(url)
+    body = {
+        "suite": _submit_suite(args),
+        "models": (args.models or args.arch).split(","),
+        "options": {
+            "cell_timeout": args.cell_timeout,
+            "retries": args.retries,
+            "shards": args.shards,
+        },
+        "label": args.label or "",
+    }
+    try:
+        job = client.submit(body)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"job {job['id']} submitted to {url}")
+    if args.no_wait:
+        return 0
+
+    cells = []
+    try:
+        for cell in client.iter_cells(job["id"], timeout=args.timeout):
+            cells.append(cell)
+            if args.watch:
+                mark = (
+                    "!" if cell["error"] else "A" if cell["verdict"] else "F"
+                )
+                source = "cache" if cell["cached"] else "fresh"
+                print(
+                    f"  {mark} {cell['item']} x {cell['model']} [{source}]"
+                )
+        record = client.job(job["id"])
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    counts = record["cells"]
+    print(
+        f"job {record['id']} {record['state']}: "
+        f"{counts['total']} cells ({counts['cached']} cached, "
+        f"{counts['computed']} computed, {counts['errors']} errors, "
+        f"{counts['poisoned']} poisoned) in "
+        f"{record['elapsed_seconds']:.2f}s"
+    )
+    if record.get("manifest"):
+        print(f"run manifest: {record['manifest']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"job": record, "cells": cells},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"json result: {args.json}")
+    errored = [c for c in cells if c["error"] is not None]
+    if errored:
+        print()
+        print("cell errors:")
+        for cell in errored:
+            print(f"  {cell['item']} under {cell['model']}: {cell['error']}")
+        return 2
+    return 1 if record["diffs"] else 0
+
+
+def _cmd_jobs(args) -> int:
+    from .serve import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server or _default_server())
+    try:
+        if not args.job_id:
+            jobs = client.jobs()
+            if not jobs:
+                print("no jobs")
+                return 0
+            for record in jobs:
+                counts = record["cells"]
+                print(
+                    f"{record['id']:<8} {record['state']:<8} "
+                    f"{record['label']:<20} "
+                    f"{counts['done']}/{counts['total']} cells "
+                    f"({counts['errors']} errors) "
+                    f"{record['elapsed_seconds']:.2f}s"
+                )
+            return 0
+        record = client.job(args.job_id)
+        counts = record["cells"]
+        print(f"job {record['id']} ({record['label']}): {record['state']}")
+        print(f"  models: {', '.join(record['models'])}")
+        print(
+            f"  cells: {counts['done']}/{counts['total']} "
+            f"({counts['cached']} cached, {counts['computed']} computed, "
+            f"{counts['errors']} errors, {counts['poisoned']} poisoned)"
+        )
+        print(f"  elapsed: {record['elapsed_seconds']:.2f}s")
+        if record.get("error"):
+            print(f"  error: {record['error']}")
+        if record.get("manifest"):
+            print(f"  manifest: {record['manifest']}")
+        if args.cells:
+            payload = client.cells(args.job_id)
+            for cell in payload["cells"]:
+                mark = (
+                    "!" if cell["error"] else "A" if cell["verdict"] else "F"
+                )
+                print(f"  {mark} {cell['item']} x {cell['model']}")
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_fuzz(args) -> int:
@@ -731,6 +915,70 @@ def build_parser() -> argparse.ArgumentParser:
                         "(matrix, per-cell timings, cache stats)")
     add_engine_options(p)
 
+    from .serve.protocol import DEFAULT_PORT
+
+    p = sub.add_parser("serve",
+                       help="run the campaign service: a job queue with "
+                            "a shared result store and an HTTP JSON API")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p.add_argument("--cell-timeout", type=float, default=60.0,
+                   metavar="SECS",
+                   help="default per-cell compute budget; a shard is "
+                        "abandoned after cell_timeout x its cell count")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="default re-runs for a shard whose worker died "
+                        "or hung before its cells are poisoned")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="pool tasks per job (default 4 x jobs)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="skip the per-job telemetry bundle and manifest")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    add_engine_options(p)
+
+    p = sub.add_parser("submit",
+                       help="submit a suite x models job to a running "
+                            "campaign service and stream its cells")
+    p.add_argument("files", nargs="*",
+                   help="litmus files (sent as absolute paths; the "
+                        "server must see the same filesystem)")
+    p.add_argument("--arch", default="x86",
+                   choices=["x86", "power", "armv8", "cpp", "riscv"])
+    p.add_argument("--models", default=None,
+                   help="comma-separated checker specs (default: --arch)")
+    p.add_argument("--suite", default="diy", choices=["diy", "catalog"])
+    p.add_argument("--vocab", default=None,
+                   help="diy relaxation vocabulary (comma-separated)")
+    p.add_argument("--length", type=int, default=3,
+                   help="max diy cycle length")
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="service endpoint (default $REPRO_SERVE_URL or "
+                        f"http://127.0.0.1:{DEFAULT_PORT})")
+    p.add_argument("--label", default=None,
+                   help="job label for listings and the run manifest")
+    p.add_argument("--cell-timeout", type=float, default=60.0,
+                   metavar="SECS")
+    p.add_argument("--retries", type=int, default=1, metavar="N")
+    p.add_argument("--shards", type=int, default=None, metavar="N")
+    p.add_argument("--watch", action="store_true",
+                   help="print each cell as it lands")
+    p.add_argument("--no-wait", action="store_true",
+                   help="submit and exit without polling")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                   help="give up polling after this long (error exit)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the job record and every cell as JSON")
+
+    p = sub.add_parser("jobs",
+                       help="list a campaign service's jobs, or show one")
+    p.add_argument("job_id", nargs="?", default=None)
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="service endpoint (default $REPRO_SERVE_URL or "
+                        f"http://127.0.0.1:{DEFAULT_PORT})")
+    p.add_argument("--cells", action="store_true",
+                   help="with a job id: dump its verdict cells")
+
     p = sub.add_parser("fuzz",
                        help="differential conformance fuzzing across "
                             "native/.cat/machine/brute-force checkers")
@@ -857,6 +1105,9 @@ _COMMANDS = {
     "run": _cmd_run,
     "synth": _cmd_synth,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
     "explain": _cmd_explain,
     "fuzz": _cmd_fuzz,
     "stats": _cmd_stats,

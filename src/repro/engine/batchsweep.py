@@ -43,6 +43,7 @@ from ..core.execution import Execution
 from ..ir.batch import BatchContext
 from ..litmus.candidates import batch_size, candidate_executions, expand_test
 from ..litmus.test import LitmusTest
+from ..obs import trace
 from .checkers import Checker, ModelChecker, resolve_checker
 
 __all__ = ["PREFILL_STREAM_CAP", "KERNEL_CHUNK", "prefill_units"]
@@ -68,15 +69,16 @@ class _Cell:
     candidate set its verdict quantifies over."""
 
     __slots__ = (
-        "name", "spec", "model", "definition", "quantifier",
+        "name", "spec", "model", "definition", "token", "quantifier",
         "executions", "exhausted",
     )
 
-    def __init__(self, name, checker, definition, quantifier):
+    def __init__(self, name, checker, definition, token, quantifier):
         self.name = name
         self.spec = checker.spec
         self.model = checker.model
         self.definition = definition
+        self.token = token
         self.quantifier = quantifier  # "exec" | "exists" | "forall"
         self.executions: list[Execution] = []
         self.exhausted = False
@@ -112,9 +114,11 @@ def _collect_stream(
 
 
 def _resolve_batchable(entry, cache):
-    """``(checker, definition, gate)`` for a batchable plain
+    """``(checker, definition, token, gate)`` for a batchable plain
     :class:`ModelChecker` entry, else ``None`` — computed once per
     distinct entry, not once per (unit, entry)."""
+    from .campaign import _definition_token
+
     key = id(entry)
     if key in cache:
         return cache[key]
@@ -127,7 +131,7 @@ def _resolve_batchable(entry, cache):
             definition = None
         if definition is not None:
             gate = getattr(checker.model, "enforces_coherence", False)
-            out = (checker, definition, gate)
+            out = (checker, definition, _definition_token(checker), gate)
     cache[key] = out
     return out
 
@@ -146,9 +150,9 @@ def _collect(units) -> list[_Cell]:
             batchable = _resolve_batchable(entry, resolved)
             if batchable is None:
                 continue
-            checker, definition, gate = batchable
+            checker, definition, token, gate = batchable
             if isinstance(payload, Execution):
-                cell = _Cell(name, checker, definition, "exec")
+                cell = _Cell(name, checker, definition, token, "exec")
                 cell.executions.append(payload)
                 cell.exhausted = True
                 cells.append(cell)
@@ -185,7 +189,7 @@ def _collect(units) -> list[_Cell]:
                 by_gate[gate] = executions = [
                     x for x, coherent in pairs if coherent or not gate
                 ]
-            cell = _Cell(name, checker, definition, quantifier)
+            cell = _Cell(name, checker, definition, token, quantifier)
             cell.executions = executions
             cell.exhausted = exhausted
             cells.append(cell)
@@ -250,7 +254,7 @@ def prefill_units(units):
                     table[x] = bool(flag)
 
     # -- assemble verdicts ----------------------------------------------
-    decided: list[tuple[str, str, bool]] = []
+    decided: list[tuple[str, str, bool, str]] = []
     for cell in cells:
         table = flags.get(cell.spec)
         if table is None:
@@ -270,7 +274,7 @@ def prefill_units(units):
                 verdict = False
             else:
                 continue
-        decided.append((cell.name, cell.spec, verdict))
+        decided.append((cell.name, cell.spec, verdict, cell.token))
 
     if not decided:
         return [], set()
@@ -278,8 +282,23 @@ def prefill_units(units):
     # granularity is not meaningful, but model_time() should still add
     # up to wall-clock spent.
     elapsed = (time.perf_counter() - start) / len(decided)
+    tracer = trace.ACTIVE
+    if tracer is not None:
+        # Telemetry composes with batching: one synthetic span per
+        # decided cell, carrying the same identity attributes as the
+        # scalar path's real spans.  Self time is 0.0 — the sweep's
+        # wall clock is already partitioned into the expansion/axioms
+        # stage spans recorded while it ran.
+        for name, spec, _verdict, token in decided:
+            tracer.add_span(
+                "cell",
+                elapsed,
+                {"item": name, "model": spec, "token": token,
+                 "batched": True},
+                self_seconds=0.0,
+            )
     rows = [
         (name, spec, verdict, elapsed, None)
-        for name, spec, verdict in decided
+        for name, spec, verdict, _token in decided
     ]
-    return rows, {(name, spec) for name, spec, _ in decided}
+    return rows, {(name, spec) for name, spec, _, _ in decided}

@@ -15,6 +15,18 @@ with the ``REPRO_CACHE_DIR`` environment variable), one record per line::
 Append-only keeps writes crash-safe and makes the cache trivially
 mergeable across machines (``cat`` two caches together); on load the
 last record for a key wins.
+
+The file is also a *shared* store: every record is appended through an
+``O_APPEND`` descriptor as one ``write()`` of one complete line, so any
+number of processes can append to the same file without interleaving
+each other's records, and :meth:`ResultCache.refresh` incrementally
+re-reads the tail other writers appended since the last load — the
+campaign service's concurrent clients and warm workers dedupe work
+fleet-wide through one file.  A torn final line (a crashed or mid-write
+appender) is tolerated and re-read once complete; any *interior*
+undecodable line is real corruption, counted in
+:attr:`ResultCache.corrupt_lines` and warned about, never silently
+dropped.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ import enum
 import hashlib
 import json
 import os
+import warnings
 from dataclasses import fields, is_dataclass
 from pathlib import Path
 from typing import Any
@@ -134,6 +147,12 @@ def cache_key(
 class ResultCache:
     """The on-disk JSONL store, with hit/miss accounting.
 
+    Safe to share between processes: appends go through an ``O_APPEND``
+    descriptor as single complete-line ``write()`` calls (the kernel
+    serializes the offset, so concurrent appenders never interleave
+    inside a record), and :meth:`refresh` folds in records other
+    processes appended since this instance last read the file.
+
     Args:
         path: the JSONL file (or a directory, in which case
             ``results.jsonl`` inside it).  Defaults to
@@ -146,26 +165,74 @@ class ResultCache:
             path = path / "results.jsonl"
         self.path = path
         self._records: dict[str, dict] = {}
-        self._append_handle = None
+        self._append_fd: int | None = None
+        #: Byte offset of consumed *complete* lines; a torn final line
+        #: stays past it and is re-read once its writer finishes it.
+        self._offset = 0
         self.hits = 0
         self.misses = 0
-        self._load()
+        #: Interior undecodable lines seen so far (real corruption, as
+        #: opposed to a tolerated torn tail).
+        self.corrupt_lines = 0
+        self.refresh()
 
-    def _load(self) -> None:
-        if not self.path.is_file():
-            return
-        with self.path.open(encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail write; ignore
+    def refresh(self) -> int:
+        """Fold in records appended to the file since the last read.
+
+        Incremental: only the tail past the last consumed byte offset
+        is read, so concurrent clients can refresh cheaply before each
+        lookup burst.  Last record wins, exactly as a full reload would
+        resolve duplicates.  A final line without a trailing newline is
+        a torn in-flight append: it is left unconsumed (and re-read by
+        the next refresh once complete).  Interior lines that fail to
+        decode are counted in :attr:`corrupt_lines` and reported with a
+        warning — mid-file corruption must surface, not vanish.
+
+        Returns the number of records folded in.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return 0
+        if size < self._offset:
+            # Truncated or replaced underneath us: start over.
+            self._records.clear()
+            self._offset = 0
+            self.corrupt_lines = 0
+        if size == self._offset:
+            return 0
+        with self.path.open("rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        lines = chunk.split(b"\n")
+        torn = lines.pop()  # b"" after a complete final line
+        self._offset += len(chunk) - len(torn)
+        folded = 0
+        corrupt = 0
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
                 key = record.get("key")
-                if key:
-                    self._records[key] = record
+            except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                corrupt += 1
+                continue
+            if key:
+                self._records[key] = record
+                folded += 1
+            else:
+                corrupt += 1
+        if corrupt:
+            self.corrupt_lines += corrupt
+            warnings.warn(
+                f"{self.path}: {corrupt} corrupt cache line(s) skipped "
+                f"({self.corrupt_lines} total); the affected verdicts "
+                "will be recomputed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return folded
 
     def __len__(self) -> int:
         return len(self._records)
@@ -182,29 +249,37 @@ class ResultCache:
     def put(self, key: str, record: dict) -> None:
         """Store ``record`` under ``key`` and append it to the file.
 
-        The append handle stays open across puts (the hot paths write
-        one record per computed cell) and is flushed per record so
-        concurrent readers and crashed runs see complete lines.
+        The record reaches the file as **one** ``write()`` of one
+        complete line on an ``O_APPEND`` descriptor: the kernel
+        serializes the append offset, so records from concurrent
+        writers never tear each other — at worst a reader sees a
+        not-yet-complete final line, which :meth:`refresh` tolerates.
+        The descriptor stays open across puts (the hot paths write one
+        record per computed cell).
         """
         record = {"key": key, **record}
         self._records[key] = record
-        if self._append_handle is None:
+        if self._append_fd is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._append_handle = self.path.open("a", encoding="utf-8")
-        self._append_handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._append_handle.flush()
+            self._append_fd = os.open(
+                self.path,
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        os.write(self._append_fd, line)
 
     def close(self) -> None:
-        """Close the append handle (reopened lazily by the next put).
+        """Close the append descriptor (reopened lazily by the next
+        put).
 
-        Flushing is durable only once this runs; owners use the cache
-        as a context manager (``with ResultCache(...) as cache:``)
-        rather than relying on GC timing — the class deliberately has
-        no ``__del__``.
+        Owners use the cache as a context manager (``with
+        ResultCache(...) as cache:``) rather than relying on GC timing
+        — the class deliberately has no ``__del__``.
         """
-        if self._append_handle is not None:
-            self._append_handle.close()
-            self._append_handle = None
+        if self._append_fd is not None:
+            os.close(self._append_fd)
+            self._append_fd = None
 
     def __enter__(self) -> "ResultCache":
         return self
@@ -229,13 +304,17 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "bytes": size,
+            "corrupt_lines": self.corrupt_lines,
         }
 
     def stats(self) -> str:
-        return (
+        text = (
             f"{len(self)} entries, {self.hits} hits / {self.misses} misses "
             f"({100 * self.hit_rate:.0f}% hit rate)"
         )
+        if self.corrupt_lines:
+            text += f", {self.corrupt_lines} corrupt lines skipped"
+        return text
 
 
 class NullCache:
@@ -245,8 +324,12 @@ class NullCache:
     hits = 0
     misses = 0
     hit_rate = 0.0
+    corrupt_lines = 0
 
     def __len__(self) -> int:
+        return 0
+
+    def refresh(self) -> int:
         return 0
 
     def __enter__(self) -> "NullCache":
@@ -265,7 +348,13 @@ class NullCache:
         pass
 
     def stats_dict(self) -> dict:
-        return {"entries": 0, "hits": 0, "misses": 0, "bytes": 0}
+        return {
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "bytes": 0,
+            "corrupt_lines": 0,
+        }
 
     def stats(self) -> str:
         return "caching disabled"

@@ -103,6 +103,11 @@ class CellResult:
             and self.error == other.error
         )
 
+    def __hash__(self) -> int:
+        # Defining __eq__ alone would set __hash__ = None; cells are
+        # value objects and must stay usable in sets and as dict keys.
+        return hash((self.verdict, self.elapsed, self.cached, self.error))
+
     def __repr__(self) -> str:
         return (
             f"CellResult(verdict={self.verdict!r}, elapsed={self.elapsed!r},"
@@ -468,16 +473,12 @@ def run_campaign(
     # the compiled batch plans see hundreds of candidates per kernel
     # call instead of one small test's worth.  Workers (jobs != 1) keep
     # the per-cell path with its within-stream chunking.  Telemetry
-    # runs also keep it: per-cell spans and latency histograms are the
-    # observability contract, and a cross-item sweep has no meaningful
-    # per-cell attribution to offer.
+    # composes: the prefill records one synthetic per-cell span per
+    # decided cell (apportioned sweep time, same item/model/token
+    # attributes as the scalar path), and the result loop below feeds
+    # the same rows into the per-model latency histograms.
     prefilled: list = []
-    if (
-        units
-        and jobs == 1
-        and not telemetry_on
-        and obs_metrics.ACTIVE is None
-    ):
+    if units and jobs == 1:
         from .batchsweep import prefill_units
 
         prefilled, covered = prefill_units(units)

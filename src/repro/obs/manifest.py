@@ -412,13 +412,16 @@ def from_campaign(
     argv: list[str] | None = None,
     snapshot: dict | None = None,
     extra: dict | None = None,
+    run_id: str = "",
 ) -> RunManifest:
     """Build a manifest from a :class:`CampaignResult` plus telemetry.
 
     ``snapshot`` is a telemetry snapshot (``obs.snapshot()``); when
     omitted the active bundle is snapshotted.  ``extra`` merges into the
     ``suite`` block (run knobs like the candidate batch size).
-    Everything is read duck-typed so obs never imports the engine.
+    ``run_id`` overrides the derived id — the campaign service keys job
+    manifests by job id.  Everything is read duck-typed so obs never
+    imports the engine.
     """
     from . import telemetry
 
@@ -448,6 +451,7 @@ def from_campaign(
         kind=kind,
         label=label,
         created=time.time(),
+        run_id=run_id,
         argv=list(argv or []),
         git=git_describe(),
         seed=seed,

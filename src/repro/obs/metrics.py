@@ -42,6 +42,12 @@ METRICS_VERSION = 1
 GRANULARITY = 8
 
 
+def _metric_name(name: str) -> str:
+    """``name`` restricted to the Prometheus metric charset."""
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return out if not out[:1].isdigit() else f"_{out}"
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -222,6 +228,36 @@ class MetricsRegistry:
         registry = cls()
         registry.merge(snap)
         return registry
+
+    # -- exposition ------------------------------------------------------
+
+    def render_text(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Instrument names are sanitized to the ``[a-zA-Z0-9_]`` metric
+        charset (``cell_seconds:x86`` → ``cell_seconds_x86``);
+        histograms expose ``_count``/``_sum`` plus quantile samples.
+        Served by the campaign service's ``/v1/metrics`` endpoint.
+        """
+        lines: list[str] = []
+        for name, counter in sorted(self.counters.items()):
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counter.value}")
+        for name, gauge in sorted(self.gauges.items()):
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {gauge.value}")
+        for name, hist in sorted(self.histograms.items()):
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} summary")
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f'{metric}{{quantile="{q}"}} {hist.percentile(q)}'
+                )
+            lines.append(f"{metric}_count {hist.count}")
+            lines.append(f"{metric}_sum {hist.total}")
+        return "\n".join(lines) + "\n" if lines else ""
 
 
 #: The active registry, or ``None`` when metrics are off.

@@ -117,6 +117,42 @@ class Tracer:
     def count(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
 
+    def add_span(
+        self,
+        name: str,
+        seconds: float,
+        attrs: dict | None = None,
+        self_seconds: float | None = None,
+    ) -> None:
+        """Record an already-measured span without a push/pop pairing.
+
+        Batched sweeps decide many cells inside one kernel call and
+        apportion its wall clock across them afterwards; this records
+        one such synthetic span into the ring, the sidecar, and the
+        aggregates.  ``self_seconds`` defaults to ``seconds``; pass
+        ``0.0`` when the span's time is already accounted for by real
+        stage spans recorded during the same work (keeping the
+        self-time partition of the instrumented wall clock exact).
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        own = seconds if self_seconds is None else self_seconds
+        self.seconds[name] = self.seconds.get(name, 0.0) + own
+        self.calls[name] = self.calls.get(name, 0) + 1
+        record = {
+            "id": span_id,
+            "parent": None,
+            "name": name,
+            "t0": round(time.time(), 6),
+            "secs": round(seconds, 9),
+            "self": round(own, 9),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self.spans.append(record)
+        if self._sink_path is not None:
+            self._write(record)
+
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[None]:
         """Record one span around a block (attributes are free-form)."""

@@ -1,0 +1,164 @@
+"""A stdlib HTTP client for the campaign service.
+
+Wraps the ``/v1`` endpoints in typed-ish methods and adds the two
+polling loops clients actually want: :meth:`ServiceClient.iter_cells`
+(stream cells as the job computes them, cursor-managed) and
+:meth:`ServiceClient.wait` (block until the job leaves the queue).
+Used by ``repro submit`` / ``repro jobs`` and the service tests.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+from .protocol import JobSpec
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A transport failure or an error envelope from the service."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint (``http://host:port``), stateless."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", str(exc)
+                )
+            except Exception:
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from None
+        if "error" in payload:
+            raise ServiceError(str(payload["error"]))
+        return payload
+
+    # -- endpoints -------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics_text(self) -> str:
+        request = urllib.request.Request(f"{self.base_url}/v1/metrics")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from None
+
+    def submit(self, spec: "JobSpec | dict") -> dict:
+        body = spec.to_dict() if isinstance(spec, JobSpec) else spec
+        return self._request("POST", "/v1/jobs", body)["job"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def cells(self, job_id: str, since: int = 0) -> dict:
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/cells?since={since}"
+        )
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/v1/shutdown")
+
+    # -- polling loops ---------------------------------------------------
+
+    def iter_cells(
+        self,
+        job_id: str,
+        interval: float = 0.2,
+        timeout: float | None = None,
+    ) -> Iterator[dict]:
+        """Yield each cell of a job exactly once, as it lands.
+
+        Polls ``/cells`` with a managed cursor until the job reaches a
+        terminal state *and* the tail has been drained.  Raises
+        :class:`ServiceError` on a ``failed`` job or an expired
+        ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = 0
+        while True:
+            payload = self.cells(job_id, since=cursor)
+            cursor = payload["next"]
+            yield from payload["cells"]
+            state = payload["state"]
+            if state == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed: "
+                    f"{self.job(job_id).get('error')}"
+                )
+            if state == "done" and not payload["cells"]:
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {state} after {timeout}s"
+                )
+            if not payload["cells"]:
+                time.sleep(interval)
+
+    def wait(
+        self,
+        job_id: str,
+        interval: float = 0.2,
+        timeout: float | None = None,
+    ) -> dict:
+        """Block until the job is ``done``/``failed``; returns its
+        record (a ``failed`` job returns rather than raises — callers
+        inspect ``error``)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed"):
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(interval)
