@@ -7,10 +7,12 @@ Measures the two hot paths the litmus frontend adds:
 * **corpus campaign throughput** — the full corpus × native-model
   cross-product through the campaign engine, cold and warm
   (cells/sec), which is what the CI corpus job sweeps.  The cold
-  number is measured twice: batched (the default path — cross-item
-  kernel prefill, the headline ``corpus_cells_per_second``) and scalar
-  (``set_batch_size(0)``), and their ratio is reported as
-  ``batch_vs_scalar_speedup``.
+  number is measured three ways: batched (the default path —
+  cross-item kernel prefill, the headline ``corpus_cells_per_second``),
+  scalar (``set_batch_size(0)``), and parallel (``jobs =
+  default_jobs()`` over batch-aware shards, one prefill per worker);
+  the ratios are ``batch_vs_scalar_speedup`` and
+  ``parallel_vs_serial_speedup``.
 
 Run directly (``python benchmarks/bench_corpus.py --json OUT.json``)
 for the CI artifact: files parsed/sec and corpus cells/sec, tracked
@@ -50,15 +52,15 @@ def _corpus_items(texts: dict[str, str]) -> list[CampaignItem]:
     ]
 
 
-def _cold_campaign(items, batch=None):
+def _cold_campaign(items, batch=None, jobs=1):
     """One corpus campaign from cold expansion caches; ``batch=0``
     forces the scalar per-candidate path, ``None`` keeps the default
-    (batched)."""
+    (batched); ``jobs`` selects the batch-aware sharded pool path."""
     expand_program.cache_clear()
     _expand_test.cache_clear()
     set_batch_size(batch)
     try:
-        return run_campaign(items, sorted(MODELS))
+        return run_campaign(items, sorted(MODELS), jobs=jobs)
     finally:
         set_batch_size(None)
 
@@ -82,6 +84,16 @@ def test_roundtrip_corpus(benchmark, once):
 def test_corpus_campaign_cold(benchmark, once):
     items = _corpus_items(_corpus_texts())
     result = once(benchmark, _cold_campaign, items)
+    assert not result.errors()
+
+
+def test_corpus_campaign_cold_parallel(benchmark, once):
+    """The batch-aware sharded pool path (one shard prefill per
+    worker) over the full corpus."""
+    from repro.engine.pool import default_jobs
+
+    items = _corpus_items(_corpus_texts())
+    result = once(benchmark, _cold_campaign, items, jobs=default_jobs())
     assert not result.errors()
 
 
@@ -118,11 +130,21 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
     start = time.perf_counter()
     scalar = _cold_campaign(items, batch=0)
     scalar_elapsed = time.perf_counter() - start
+    # The sharded pool path: same cold workload fanned out over
+    # batch-aware shards, one prefill per worker.  On a single-CPU
+    # runner ``default_jobs() == 1`` degrades to the serial prefill, so
+    # the ratio reads ~1 there by construction.
+    from repro.engine.pool import default_jobs
+
+    par_jobs = default_jobs()
+    start = time.perf_counter()
+    parallel = _cold_campaign(items, jobs=par_jobs)
+    parallel_elapsed = time.perf_counter() - start
     start = time.perf_counter()
     warm = run_campaign(items, sorted(MODELS))
     warm_elapsed = time.perf_counter() - start
     assert not result.errors() and not warm.errors()
-    assert not scalar.errors()
+    assert not scalar.errors() and not parallel.errors()
 
     cells = len(result.cells)
     payload = {
@@ -134,12 +156,22 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
         "files_parsed_per_second": round(len(texts) / parse_elapsed, 1),
         "campaign_cold_seconds": round(cold_elapsed, 4),
         "campaign_scalar_seconds": round(scalar_elapsed, 4),
+        "campaign_parallel_seconds": round(parallel_elapsed, 4),
         "campaign_warm_seconds": round(warm_elapsed, 4),
+        "parallel_jobs": par_jobs,
         "corpus_cells_per_second": round(cells / cold_elapsed, 1),
         "corpus_cells_per_second_scalar": round(cells / scalar_elapsed, 1),
+        "corpus_cells_per_second_parallel": round(
+            cells / parallel_elapsed, 1
+        ),
         "corpus_cells_per_second_warm": round(cells / warm_elapsed, 1),
         "batch_vs_scalar_speedup": round(scalar_elapsed / cold_elapsed, 2)
         if cold_elapsed
+        else 0.0,
+        "parallel_vs_serial_speedup": round(
+            cold_elapsed / parallel_elapsed, 2
+        )
+        if parallel_elapsed
         else 0.0,
     }
     with open(json_path, "w", encoding="utf-8") as handle:
@@ -162,11 +194,17 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
                 "corpus_cells_per_second_scalar": payload[
                     "corpus_cells_per_second_scalar"
                 ],
+                "corpus_cells_per_second_parallel": payload[
+                    "corpus_cells_per_second_parallel"
+                ],
                 "corpus_cells_per_second_warm": payload[
                     "corpus_cells_per_second_warm"
                 ],
                 "batch_vs_scalar_speedup": payload[
                     "batch_vs_scalar_speedup"
+                ],
+                "parallel_vs_serial_speedup": payload[
+                    "parallel_vs_serial_speedup"
                 ],
             },
             elapsed=cold_elapsed,
@@ -178,6 +216,10 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
                 },
                 "campaign_scalar": {
                     "seconds": round(scalar_elapsed, 6),
+                    "calls": 1,
+                },
+                "campaign_parallel": {
+                    "seconds": round(parallel_elapsed, 6),
                     "calls": 1,
                 },
                 "campaign_warm": {

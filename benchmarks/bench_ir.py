@@ -74,6 +74,45 @@ def _sweep_all_models_batched(executions) -> int:
     return evals
 
 
+def _bucketed(executions) -> dict:
+    buckets: dict[int, list] = {}
+    for x in executions:
+        buckets.setdefault(x.n, []).append(x)
+    return buckets
+
+
+def _sweep_prefill(executions, use_codegen: bool) -> int:
+    """The ``engine.batchsweep`` prefill shape: one shared
+    :class:`BatchContext` per universe bucket, every model swept over
+    it — through the generated kernels or the interpreted plans.
+
+    This is the shape the codegen tier targets: leaves are packed once
+    per context, interior values are shared across models, and the two
+    tiers differ only in how each model's kernel sequence is driven
+    (straight-line generated code vs per-node dispatch)."""
+    from repro.ir import codegen
+    from repro.ir.batch import BatchContext
+    from repro.ir.plan import plan_for
+
+    evals = 0
+    for stack in _bucketed(executions).values():
+        ctx = BatchContext.of(stack)
+        for name in model_names():
+            model = get_model(name)
+            definition = model.batch_definition()
+            assert definition is not None
+            token = model.definition_token()
+            target = ctx if model.tm else ctx.baseline
+            runner = None
+            if use_codegen:
+                runner = codegen.compiled_for(token, definition, ctx.n)
+            if runner is None:
+                runner = plan_for(token, definition, ctx.n)
+            runner.consistent(target)
+            evals += len(model.axioms()) * len(stack)
+    return evals
+
+
 def test_ir_all_models_sweep(benchmark, once):
     executions = _fresh_executions()
     _sweep_all_models(executions)  # warm class-level definitions
@@ -88,6 +127,14 @@ def test_ir_all_models_sweep_batched(benchmark, once):
         benchmark,
         _sweep_all_models_batched,
         [x for _ in range(8) for x in _fresh_executions()],
+    )
+    assert evals > 0
+
+
+def test_ir_all_models_sweep_codegen(benchmark, once):
+    _sweep_prefill(_fresh_executions(), use_codegen=True)  # warm kernels
+    evals = once(
+        benchmark, _sweep_prefill, _fresh_executions(), use_codegen=True
     )
     assert evals > 0
 
@@ -181,6 +228,30 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
     batched_evals = _sweep_all_models_batched(batched_stack)
     batched_elapsed = time.perf_counter() - start
 
+    # Codegen vs interpreted: the same prefill-shaped sweep driven by
+    # the generated kernels and by the interpreted plans, fresh
+    # contexts each round, best-of-repeats (wall noise on shared CI
+    # runners dwarfs the per-round spread otherwise).
+    _sweep_prefill(_fresh_executions(), use_codegen=True)  # warm kernels
+    cg_rounds = 12
+
+    def _tier_seconds(use_codegen: bool) -> float:
+        best = None
+        for _ in range(3):
+            batches = [_fresh_executions() for _ in range(cg_rounds)]
+            start = time.perf_counter()
+            for batch in batches:
+                _sweep_prefill(batch, use_codegen=use_codegen)
+            took = time.perf_counter() - start
+            best = took if best is None else min(best, took)
+        return best
+
+    interp_seconds = _tier_seconds(False)
+    codegen_seconds = _tier_seconds(True)
+    cg_evals = cg_rounds * _sweep_prefill(
+        _fresh_executions(), use_codegen=True
+    )
+
     ratio, union_nodes, individual_nodes = _sharing()
 
     payload = {
@@ -202,6 +273,21 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
             (batched_evals / batched_elapsed) / (evals / elapsed), 2
         )
         if elapsed and batched_elapsed
+        else 0.0,
+        "codegen_axiom_evals_per_second": round(
+            cg_evals / codegen_seconds, 1
+        )
+        if codegen_seconds
+        else 0.0,
+        "interpreted_axiom_evals_per_second": round(
+            cg_evals / interp_seconds, 1
+        )
+        if interp_seconds
+        else 0.0,
+        "codegen_vs_interpreted_speedup": round(
+            interp_seconds / codegen_seconds, 2
+        )
+        if codegen_seconds
         else 0.0,
         "node_computes": computes,
         "node_computes_per_candidate": round(
@@ -233,6 +319,9 @@ def _artifact(json_path: str, manifest_path: "str | None" = None) -> dict:
                 ],
                 "batch_vs_scalar_speedup": payload[
                     "batch_vs_scalar_speedup"
+                ],
+                "codegen_vs_interpreted_speedup": payload[
+                    "codegen_vs_interpreted_speedup"
                 ],
                 "cross_model_sharing_ratio": payload[
                     "cross_model_sharing_ratio"

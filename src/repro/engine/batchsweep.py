@@ -1,4 +1,4 @@
-"""Cross-item batched verdict prefill for serial campaigns.
+"""Cross-item batched verdict prefill and batch-aware shard assembly.
 
 The campaign engine's unit of work is one (test, checker) cell, but the
 corpus-shaped workload is hundreds of *small* tests: each test's
@@ -29,9 +29,14 @@ yields hundreds of candidates sharing a universe size.
    and were not decided by the collected prefix fall back to the
    per-cell path untouched.
 
-The prefill runs only on the serial (``jobs == 1``) path; worker
-processes keep the per-cell within-stream batching they inherit via
-``REPRO_BATCH``.
+On the serial (``jobs == 1``) path the prefill runs once over the whole
+suite.  Parallel campaigns and the serve scheduler instead assemble
+*batch-aware shards* (:func:`assemble_shards`): units are ordered by
+estimated universe size so same-bucket work lands in the same shard,
+and every worker runs the same prefill over its whole shard
+(:func:`run_shard`) before falling back to the per-cell path for
+whatever the prefill left undecided — batched kernels inside every
+worker, not just the serial run.
 """
 
 from __future__ import annotations
@@ -46,7 +51,13 @@ from ..litmus.test import LitmusTest
 from ..obs import trace
 from .checkers import Checker, ModelChecker, resolve_checker
 
-__all__ = ["PREFILL_STREAM_CAP", "KERNEL_CHUNK", "prefill_units"]
+__all__ = [
+    "PREFILL_STREAM_CAP",
+    "KERNEL_CHUNK",
+    "prefill_units",
+    "assemble_shards",
+    "run_shard",
+]
 
 #: Per-cell candidate cap for the collect phase: a stream still going
 #: after this many (post-filter) candidates is a big test, and big tests
@@ -302,3 +313,134 @@ def prefill_units(units):
         for name, spec, verdict, _token in decided
     ]
     return rows, {(name, spec) for name, spec, _, _ in decided}
+
+
+# ----------------------------------------------------------------------
+# Batch-aware sharding (parallel campaigns and the serve scheduler)
+# ----------------------------------------------------------------------
+
+
+def _spec_of(entry) -> str:
+    return entry.spec if isinstance(entry, Checker) else str(entry)
+
+
+def _unit_size(unit) -> int:
+    """Cheap, deterministic universe-size proxy for shard grouping.
+
+    The prefill kernels batch executions sharing an exact universe size
+    ``n``; that size is only known after candidate expansion, which is
+    far too expensive for shard assembly.  Executions carry it directly;
+    for litmus tests the program's instruction count tracks it closely
+    enough that equal-sized tests (the common corpus case: generated
+    families share a shape) sort into the same shard.
+    """
+    payload = unit[1]
+    if isinstance(payload, Execution):
+        return payload.n
+    if isinstance(payload, LitmusTest):
+        return sum(len(t) for t in payload.program.threads)
+    return 0
+
+
+def assemble_shards(units, n_shards: int) -> list[list]:
+    """Partition ``units`` into at most ``n_shards`` batch-friendly
+    shards.
+
+    Units are ordered by estimated universe size (:func:`_unit_size`,
+    name-tiebroken so the partition is deterministic) and cut into
+    *contiguous* chunks balanced by pending-cell count: same-bucket
+    units land in the same shard, so each worker's
+    :func:`prefill_units` sweep sees whole buckets instead of the
+    round-robin scatter that left every worker with one-execution
+    contexts.  Every returned shard is non-empty.
+    """
+    units = list(units)
+    if not units:
+        return []
+    n_shards = max(1, min(n_shards, len(units)))
+    if n_shards == 1:
+        return [units]
+    ordered = sorted(units, key=lambda u: (_unit_size(u), u[0]))
+    weights = [len(u[2]) or 1 for u in ordered]
+    total = sum(weights)
+    shards: list[list] = [[] for _ in range(n_shards)]
+    si = 0
+    acc = 0
+    for i, unit in enumerate(ordered):
+        if shards[si] and si + 1 < n_shards:
+            remaining = len(ordered) - i
+            # Advance when this shard met its proportional share of the
+            # cell weight — or must, so no later shard ends up empty.
+            forced = remaining == n_shards - si - 1
+            due = (
+                acc >= total * (si + 1) / n_shards
+                and remaining >= n_shards - si
+            )
+            if forced or due:
+                si += 1
+        shards[si].append(unit)
+        acc += weights[i]
+    return shards
+
+
+def _shard_rows(shard) -> list:
+    """Cell rows for one shard: the batched prefill over the whole
+    shard, then the per-cell path for whatever it left undecided."""
+    from .campaign import _run_checkers
+
+    try:
+        prefilled, covered = prefill_units(shard)
+    except Exception:
+        # The prefill is an optimisation; a crash in it must never cost
+        # verdicts.  Every cell falls back to the per-cell path.
+        prefilled, covered = [], set()
+    rows = list(prefilled)
+    for name, payload, entries, _telemetry in shard:
+        pending = (
+            tuple(
+                entry
+                for entry in entries
+                if (name, _spec_of(entry)) not in covered
+            )
+            if covered
+            else entries
+        )
+        if not pending:
+            continue
+        try:
+            rows.extend(_run_checkers(name, payload, pending))
+        except Exception as exc:
+            # A crash outside the checkers (expansion, resolution)
+            # poisons exactly this unit's cells, like the serial loop.
+            rows.extend(
+                (
+                    name,
+                    _spec_of(entry),
+                    False,
+                    0.0,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                for entry in pending
+            )
+    return rows
+
+
+def run_shard(shard) -> list:
+    """One pool task: a shard's units through the batched prefill plus
+    the per-cell fallback.
+
+    Module-level so it pickles.  Returns ``(rows, telemetry-snapshot)``
+    pairs in the same shape the per-unit task produces, so result loops
+    consume either interchangeably; the whole shard shares one
+    telemetry collection (the prefill's synthetic per-cell spans are
+    indistinguishable from per-unit ones downstream).
+    """
+    if not shard:
+        return []
+    if shard[0][3]:  # telemetry_on — uniform across a dispatch
+        from ..obs import telemetry as obs_telemetry
+
+        with obs_telemetry.collect() as holder:
+            rows = _shard_rows(shard)
+        return [(rows, holder.snapshot)]
+    return [(_shard_rows(shard), None)]

@@ -29,13 +29,14 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..core.execution import Execution
+from ..litmus.candidates import batch_size
 from ..litmus.test import LitmusTest
 from ..obs import metrics as obs_metrics
 from ..obs import telemetry as obs_telemetry
 from ..obs import trace
 from .cache import NullCache, ResultCache, cache_key, fingerprint
 from .checkers import Checker, resolve_checker
-from .pool import parallel_map
+from .pool import default_jobs, parallel_map
 
 __all__ = [
     "CampaignItem",
@@ -467,16 +468,15 @@ def run_campaign(
         if item.name in pending
     ]
 
-    # Cross-item batched prefill (serial path only): cells whose
-    # quantifier is decidable from a bounded candidate prefix are
-    # verdict-ed in universe-size buckets spanning the whole suite, so
-    # the compiled batch plans see hundreds of candidates per kernel
-    # call instead of one small test's worth.  Workers (jobs != 1) keep
-    # the per-cell path with its within-stream chunking.  Telemetry
-    # composes: the prefill records one synthetic per-cell span per
-    # decided cell (apportioned sweep time, same item/model/token
-    # attributes as the scalar path), and the result loop below feeds
-    # the same rows into the per-model latency histograms.
+    # Cross-item batched prefill (serial path): cells whose quantifier
+    # is decidable from a bounded candidate prefix are verdict-ed in
+    # universe-size buckets spanning the whole suite, so the compiled
+    # batch plans see hundreds of candidates per kernel call instead of
+    # one small test's worth.  Telemetry composes: the prefill records
+    # one synthetic per-cell span per decided cell (apportioned sweep
+    # time, same item/model/token attributes as the scalar path), and
+    # the result loop below feeds the same rows into the per-model
+    # latency histograms.
     prefilled: list = []
     if units and jobs == 1:
         from .batchsweep import prefill_units
@@ -506,7 +506,23 @@ def run_campaign(
     misses = sum(len(specs) for _, _, specs, _ in units) + len(prefilled)
 
     registry = obs_metrics.ACTIVE
-    results = parallel_map(_run_unit, units, jobs=jobs)
+    if jobs != 1 and len(units) > 1 and batch_size() > 1:
+        # Batch-aware sharding (parallel path): instead of streaming
+        # one unit per pool task — which would leave every worker's
+        # prefill with a single item's worth of candidates — group
+        # same-universe units into contiguous shards and run the same
+        # cross-item prefill *inside each worker* over its whole shard.
+        # Each worker task returns the per-unit (rows, snapshot) shape,
+        # so the result loop below is shared with the per-unit path.
+        from .batchsweep import assemble_shards, run_shard
+
+        effective = jobs if jobs > 0 else default_jobs()
+        shards = assemble_shards(units, max(1, 4 * effective))
+        results = itertools.chain.from_iterable(
+            parallel_map(run_shard, shards, jobs=jobs, chunksize=1)
+        )
+    else:
+        results = parallel_map(_run_unit, units, jobs=jobs)
     if prefilled:
         results = itertools.chain([(prefilled, None)], results)
     for rows, snap in results:

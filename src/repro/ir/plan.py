@@ -31,6 +31,7 @@ path's ``tm`` baseline handling and telemetry stages.
 
 from __future__ import annotations
 
+import os
 import time
 from functools import reduce
 
@@ -50,7 +51,13 @@ from .batch import BatchContext, _check, _eval_fix, _predicate_memo, _stxn
 from . import nodes as _nodes
 from .nodes import Node
 
-__all__ = ["BatchPlan", "consistent_batch", "consistent_on", "plan_for"]
+__all__ = [
+    "BatchPlan",
+    "consistent_batch",
+    "consistent_on",
+    "kernel_floor",
+    "plan_for",
+]
 
 #: Below this stack size the per-call overhead of the batched kernels
 #: exceeds the scalar evaluator's cost (packed-int ops on small
@@ -59,6 +66,39 @@ __all__ = ["BatchPlan", "consistent_batch", "consistent_on", "plan_for"]
 #: shares the same predicate memos, so verdicts are identical either
 #: way.  Tests pin this to 0 to force the kernels onto tiny stacks.
 MIN_KERNEL_BATCH = 8
+
+#: The floor once a *generated* kernel is warm for the plan: building
+#: the straight-line function already happened, so all that remains per
+#: chunk is cheap array ops — worth it from two candidates up.  A batch
+#: of one still walks the scalar path (it shares the predicate memos).
+CODEGEN_KERNEL_BATCH = 2
+
+
+def kernel_floor(token: str | None = None, n: int | None = None) -> int:
+    """The effective minimum stack size for the batched kernels.
+
+    ``REPRO_MIN_KERNEL_BATCH`` overrides everything; otherwise the
+    module default applies, except that a plan whose *generated* kernel
+    (:mod:`repro.ir.codegen`) is already compiled for ``(token, n)`` on
+    the active backend drops to :data:`CODEGEN_KERNEL_BATCH` — warm
+    small stacks were falling back to the scalar walk even though the
+    expensive part (compilation) was already paid.  Tests that pin
+    ``MIN_KERNEL_BATCH`` below the codegen floor keep their pin: the
+    warm-plan rule only ever lowers the floor.
+    """
+    raw = os.environ.get("REPRO_MIN_KERNEL_BATCH")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    floor = MIN_KERNEL_BATCH
+    if floor > CODEGEN_KERNEL_BATCH and token is not None and n is not None:
+        from . import codegen
+
+        if codegen.enabled() and codegen.is_warm(token, n):
+            return CODEGEN_KERNEL_BATCH
+    return floor
 
 
 def _fetch(ctx: BatchContext, node: Node):
@@ -488,7 +528,10 @@ def consistent_batch(model, definition, executions) -> list[bool]:
     """Batched :meth:`MemoryModel.consistent` over same-universe
     executions: the compiled plan, against the baseline stack when the
     model runs with ``tm=False``."""
-    if len(executions) < MIN_KERNEL_BATCH:
+    if not executions:
+        return []
+    floor = kernel_floor(model.definition_token(), executions[0].n)
+    if len(executions) < floor:
         return [bool(model.consistent(x)) for x in executions]
     return consistent_on(model, definition, BatchContext.of(executions))
 
@@ -502,22 +545,34 @@ def consistent_on(model, definition, ctx: BatchContext) -> list[bool]:
     values are shared across models, not just across candidates.
     ``ctx`` must be the unstripped stack — the ``tm`` baseline split is
     applied here, as in the scalar :meth:`MemoryModel._analysis`.
+
+    The actual kernels come from the fastest available tier: the
+    generated straight-line function (:mod:`repro.ir.codegen`) when
+    enabled and buildable for this plan, else the interpreted
+    :class:`BatchPlan` — identical verdicts either way.
     """
-    if ctx.batch < MIN_KERNEL_BATCH:
+    token = model.definition_token()
+    if ctx.batch < kernel_floor(token, ctx.n):
         return [bool(model.consistent(a)) for a in ctx.analyses]
     target = ctx if model.tm else ctx.baseline
-    plan = plan_for(model.definition_token(), definition, ctx.n)
+    runner = plan_for(token, definition, ctx.n)
+    from . import codegen
+
+    if codegen.enabled():
+        compiled = codegen.compiled_for(token, definition, ctx.n)
+        if compiled is not None:
+            runner = compiled
     STATS.batch_candidates += ctx.batch
     registry = obs_metrics.ACTIVE
     if trace.ACTIVE is None and registry is None:
-        return plan.consistent(target)
+        return runner.consistent(target)
     start = time.perf_counter()
     if trace.ACTIVE is not None:
         with trace.stage("axioms"):
-            flags = plan.consistent(target)
+            flags = runner.consistent(target)
         trace.count("batched_candidates", ctx.batch)
     else:
-        flags = plan.consistent(target)
+        flags = runner.consistent(target)
     if registry is not None:
         registry.histogram("batch_size").observe(ctx.batch)
         registry.histogram("batch_kernel_seconds").observe(

@@ -14,7 +14,15 @@ A ``JobSpec``::
              | {"kind": "diy", "arch": "x86", "vocab": null, "length": 3}
              | {"kind": "catalog", "names": null, "tags": null},
      "models": ["x86", "x86tm"],
-     "options": {"cell_timeout": 60.0, "retries": 1, "shards": null}}
+     "options": {"cell_timeout": 60.0, "retries": 1, "shards": null,
+                 "batch": null, "codegen": null}}
+
+``batch`` overrides the candidate chunk size for the batched
+consistency kernels for this job (``0`` selects the scalar path),
+``codegen`` forces the generated-kernel tier on/off; ``null`` keeps the
+server's environment defaults.  Neither changes verdicts — the tiers
+are differentially tested bit-identical — so cached cells stay valid
+across jobs with different knobs.
 
 Job lifecycle: ``queued`` → ``running`` → ``done`` | ``failed``.  A job
 *fails* only when its suite cannot be built (bad paths, bad model
@@ -60,6 +68,8 @@ class JobSpec:
     cell_timeout: float = 60.0
     retries: int = 1
     shards: int | None = None
+    batch: int | None = None
+    codegen: bool | None = None
     label: str = ""
 
     @classmethod
@@ -97,6 +107,8 @@ class JobSpec:
             retries = int(options.get("retries", 1))
             shards = options.get("shards")
             shards = None if shards is None else int(shards)
+            batch = options.get("batch")
+            batch = None if batch is None else int(batch)
         except (TypeError, ValueError) as exc:
             raise SpecError(f"bad option value: {exc}") from None
         if cell_timeout <= 0:
@@ -105,6 +117,11 @@ class JobSpec:
             raise SpecError("retries must be >= 0")
         if shards is not None and shards < 1:
             raise SpecError("shards must be >= 1")
+        if batch is not None and batch < 0:
+            raise SpecError("batch must be >= 0")
+        codegen = options.get("codegen")
+        if codegen is not None and not isinstance(codegen, bool):
+            raise SpecError("codegen must be true, false, or null")
         label = str(data.get("label", "") or "")
         return cls(
             suite=dict(suite),
@@ -112,6 +129,8 @@ class JobSpec:
             cell_timeout=cell_timeout,
             retries=retries,
             shards=shards,
+            batch=batch,
+            codegen=codegen,
             label=label,
         )
 
@@ -123,6 +142,8 @@ class JobSpec:
                 "cell_timeout": self.cell_timeout,
                 "retries": self.retries,
                 "shards": self.shards,
+                "batch": self.batch,
+                "codegen": self.codegen,
             },
             "label": self.label,
         }

@@ -32,6 +32,7 @@ import queue
 import threading
 import time
 
+from ..engine import batchsweep
 from ..engine.cache import NullCache, ResultCache, cache_key, fingerprint
 from ..engine.campaign import (
     CampaignResult,
@@ -51,16 +52,32 @@ __all__ = ["Job", "CampaignService"]
 
 
 def _run_shard(shard):
-    """One pool task: a shard's units, serially, in one worker.
-
-    Module-level so it pickles; returns the list of per-unit
-    ``(rows, telemetry-snapshot)`` pairs ``_run_unit`` produces.
+    """One pool task: the shard's units through the batched prefill
+    (:func:`~repro.engine.batchsweep.run_shard`) plus the per-cell
+    fallback.  Module-level so it pickles; returns ``(rows,
+    telemetry-snapshot)`` pairs in the per-unit shape.
     """
-    return [_run_unit(unit) for unit in shard]
+    return batchsweep.run_shard(shard)
 
 
 def _spec_of(entry) -> str:
     return entry.spec if isinstance(entry, Checker) else str(entry)
+
+
+def _effective_batch(spec: JobSpec) -> int:
+    if spec.batch is not None:
+        return spec.batch
+    from ..litmus.candidates import batch_size
+
+    return batch_size()
+
+
+def _effective_codegen(spec: JobSpec) -> bool:
+    if spec.codegen is not None:
+        return spec.codegen
+    from ..ir import codegen
+
+    return codegen.enabled()
 
 
 class Job:
@@ -372,10 +389,29 @@ class CampaignService:
             for name, models in pending.items()
         ]
 
-        if self.jobs == 1:
-            self._run_serial(job, units, keys, caching)
-        else:
-            self._run_sharded(job, units, keys, caching)
+        # Per-job evaluation knobs: the overrides are process globals
+        # (workers fork at dispatch time and inherit them), applied for
+        # exactly this job's span — jobs are executed one at a time, so
+        # there is no cross-job bleed.  The knobs pick an evaluation
+        # tier, never a verdict: the tiers are differentially tested
+        # bit-identical, so cached cells stay valid either way.
+        from ..ir import codegen
+        from ..litmus.candidates import set_batch_size
+
+        try:
+            if spec.batch is not None:
+                set_batch_size(spec.batch)
+            if spec.codegen is not None:
+                codegen.set_enabled(spec.codegen)
+            if self.jobs == 1:
+                self._run_serial(job, units, keys, caching)
+            else:
+                self._run_sharded(job, units, keys, caching)
+        finally:
+            if spec.batch is not None:
+                set_batch_size(None)
+            if spec.codegen is not None:
+                codegen.set_enabled(None)
 
         self._finish(job, items, spec.models)
 
@@ -453,24 +489,23 @@ class CampaignService:
             self._deliver_rows(job, rows, keys, caching)
 
     def _run_sharded(self, job: Job, units, keys, caching) -> None:
-        """jobs != 1: round-robin shards over ``resilient_map``.
+        """jobs != 1: batch-aware shards over ``resilient_map``.
 
-        The retry/poison granularity is the shard — the unit of pool
-        dispatch.  A poisoned shard yields one poisoned cell per
-        (item, model) pair it carried; the rest of the job is
-        unaffected.
+        Shards are assembled by :func:`~repro.engine.batchsweep.
+        assemble_shards` — units sorted by estimated universe size and
+        cut into contiguous cell-balanced chunks — so each worker's
+        batched prefill sweeps whole universe buckets instead of the
+        one-of-each scatter round-robin produced.  The retry/poison
+        granularity is the shard — the unit of pool dispatch.  A
+        poisoned shard yields one poisoned cell per (item, model) pair
+        it carried; the rest of the job is unaffected.
         """
         if not units:
             return
         spec = job.spec
         worker_count = self.jobs or default_jobs()
         n_shards = spec.shards or self.shards or max(1, 4 * worker_count)
-        n_shards = min(n_shards, len(units))
-        shard_list: list[list] = [[] for _ in range(n_shards)]
-        # Round-robin keeps shard cell-counts balanced for suites of
-        # similar-sized items without a cost model.
-        for i, unit in enumerate(units):
-            shard_list[i % n_shards].append(unit)
+        shard_list = batchsweep.assemble_shards(units, n_shards)
         budget = spec.cell_timeout * max(
             sum(len(u[2]) for u in shard) for shard in shard_list
         )
@@ -533,7 +568,14 @@ class CampaignService:
                 items=items,
                 cache=self.cache,
                 run_id=self._manifest_run_id(job),
-                extra={"job": job.id, "poisoned": job.poisoned_cells},
+                extra={
+                    "job": job.id,
+                    "poisoned": job.poisoned_cells,
+                    # The effective evaluation knobs, so a manifest
+                    # records which tier produced its timings.
+                    "batch": _effective_batch(job.spec),
+                    "codegen": _effective_codegen(job.spec),
+                },
             )
             manifest_path = str(
                 obs_manifest.write_manifest(manifest, self.runs_dir)
